@@ -1,0 +1,247 @@
+package golclint_test
+
+// One benchmark per paper experiment (see DESIGN.md's per-experiment
+// index). Absolute numbers are machine-dependent; the claims are shapes:
+// linear scaling (E9), order-of-magnitude modular speedup (E10), and
+// constant per-function cost regardless of loop nesting (E14).
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"golclint/internal/core"
+	"golclint/internal/cpp"
+	"golclint/internal/ercdb"
+	"golclint/internal/flags"
+	"golclint/internal/interp"
+	"golclint/internal/library"
+	"golclint/internal/testgen"
+)
+
+const sampleC = `extern char *gname;
+
+void setName (/*@null@*/ char *pname)
+{
+	gname = pname;
+}
+`
+
+const listAddhC = `typedef /*@null@*/ struct _list {
+	/*@only@*/ char *this;
+	/*@null@*/ /*@only@*/ struct _list *next;
+} *list;
+
+extern /*@out@*/ /*@only@*/ void *smalloc(unsigned long);
+
+void list_addh(/*@temp@*/ list l, /*@only@*/ char *e)
+{
+	if (l != NULL)
+	{
+		while (l->next != NULL)
+		{
+			l = l->next;
+		}
+		l->next = (list) smalloc(sizeof(*l->next));
+		l->next->this = e;
+	}
+}
+`
+
+// E1-E3 — Figures 1-4: checking sample.c end to end.
+func BenchmarkSampleC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := core.CheckSource("sample.c", sampleC, core.Options{})
+		if len(res.Diags) != 1 {
+			b.Fatalf("diags = %d", len(res.Diags))
+		}
+	}
+}
+
+// E4 — Figures 5-6: the list_addh analysis walkthrough.
+func BenchmarkListAddh(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := core.CheckSource("list.c", listAddhC, core.Options{})
+		if len(res.Diags) == 0 {
+			b.Fatal("expected anomalies")
+		}
+	}
+}
+
+// E5-E8 — Section 6: the employee database at each annotation stage.
+func BenchmarkErcDB(b *testing.B) {
+	for _, st := range ercdb.Stages() {
+		files := ercdb.CSources(st)
+		inc := cpp.MapIncluder(ercdb.Headers(st))
+		b.Run(st.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.CheckSources(files, core.Options{Includes: inc})
+			}
+		})
+	}
+}
+
+// E9 — Section 7 scaling: checking time vs program size. The reported
+// lines/op metric should stay roughly flat (linear total time).
+func BenchmarkScaling(b *testing.B) {
+	for _, modules := range []int{4, 16, 64} {
+		p := testgen.Generate(testgen.Config{
+			Seed: 42, Modules: modules, FuncsPer: 10, Annotate: true,
+		})
+		inc := cpp.MapIncluder(p.Headers)
+		b.Run(fmt.Sprintf("loc=%d", p.Lines), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.CheckSources(p.Files, core.Options{Includes: inc})
+			}
+			b.ReportMetric(float64(p.Lines)*float64(b.N)/b.Elapsed().Seconds()/1000,
+				"kloc/s")
+		})
+	}
+}
+
+// E10 — Section 7 modular checking: whole program vs one module against
+// an interface library.
+func BenchmarkModularWhole(b *testing.B) {
+	p := testgen.Generate(testgen.Config{Seed: 43, Modules: 64, FuncsPer: 10, Annotate: true})
+	inc := cpp.MapIncluder(p.Headers)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.CheckSources(p.Files, core.Options{Includes: inc})
+	}
+}
+
+func BenchmarkModularModule(b *testing.B) {
+	p := testgen.Generate(testgen.Config{Seed: 43, Modules: 64, FuncsPer: 10, Annotate: true})
+	inc := cpp.MapIncluder(p.Headers)
+	whole := core.CheckSources(p.Files, core.Options{Includes: inc})
+	lib := library.Build(whole.Program)
+	mod := map[string]string{"mod0.c": p.Files["mod0.c"]}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		library.CheckModule(mod, lib, core.Options{Includes: inc})
+	}
+}
+
+// E11 — Section 7 message economy: the unannotated program produces many
+// messages; the annotated one almost none (counts asserted in tests; the
+// bench tracks the cost of the noisier run).
+func BenchmarkAnnotationEconomy(b *testing.B) {
+	fl := flags.Default()
+	fl.ImplicitOnly = false
+	for _, annotate := range []bool{false, true} {
+		p := testgen.Generate(testgen.Config{Seed: 44, Modules: 16, FuncsPer: 10, Annotate: annotate})
+		inc := cpp.MapIncluder(p.Headers)
+		name := "bare"
+		if annotate {
+			name = "annotated"
+		}
+		b.Run(name, func(b *testing.B) {
+			var msgs int
+			for i := 0; i < b.N; i++ {
+				res := core.CheckSources(p.Files, core.Options{Flags: fl.Clone(), Includes: inc})
+				msgs = len(res.Diags)
+			}
+			b.ReportMetric(float64(msgs), "messages")
+		})
+	}
+}
+
+// E12 — suppression: checking with stylized comments in place.
+func BenchmarkSuppression(b *testing.B) {
+	src := `#include <stdlib.h>
+
+void leaky (void)
+{
+	char *p;
+	p = (char *) malloc (10);
+	if (p == NULL) { return; }
+	*p = 'a';
+	/*@i@*/
+}
+`
+	for i := 0; i < b.N; i++ {
+		res := core.CheckSource("s.c", src, core.Options{})
+		if len(res.Diags) != 0 || res.Suppressed == 0 {
+			b.Fatal("suppression failed")
+		}
+	}
+}
+
+// E13 — static vs run-time detection: the static pass over a seeded
+// program vs one instrumented execution of it.
+func BenchmarkStaticVsDynamic(b *testing.B) {
+	p := testgen.Generate(testgen.Config{
+		Seed: 45, Modules: 6, FuncsPer: 4, Annotate: true, WithDriver: true,
+		Bugs: map[testgen.BugKind]int{testgen.BugLeak: 4, testgen.BugUseAfterFree: 4},
+	})
+	inc := cpp.MapIncluder(p.Headers)
+	b.Run("static", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.CheckSources(p.Files, core.Options{Includes: inc})
+		}
+	})
+	b.Run("dynamic", func(b *testing.B) {
+		res := core.CheckSources(p.Files, core.Options{Includes: inc})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			interp.New(res.Program, interp.Options{}).Run("main")
+		}
+	})
+}
+
+// E14 — no fixpoint: nested loops vs straight-line code of equal size.
+// ns/op for the two shapes should be close (an iterative analysis would
+// blow up with depth).
+func BenchmarkNoFixpoint(b *testing.B) {
+	mkNested := func(depth int) string {
+		var sb strings.Builder
+		sb.WriteString("void f(int n) {\nint x;\nx = 0;\n")
+		for i := 0; i < depth; i++ {
+			sb.WriteString("while (x < n) {\n")
+		}
+		sb.WriteString("x = x + 1;\n")
+		for i := 0; i < depth; i++ {
+			sb.WriteString("}\n")
+		}
+		sb.WriteString("}\n")
+		return sb.String()
+	}
+	mkFlat := func(n int) string {
+		var sb strings.Builder
+		sb.WriteString("void f(int n) {\nint x;\nx = 0;\n")
+		for i := 0; i < n; i++ {
+			sb.WriteString("x = x + 1;\n")
+		}
+		sb.WriteString("}\n")
+		return sb.String()
+	}
+	for _, depth := range []int{8, 32} {
+		nested := mkNested(depth)
+		flat := mkFlat(2*depth + 1)
+		b.Run(fmt.Sprintf("nested/depth=%d", depth), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.CheckSource("f.c", nested, core.Options{})
+			}
+		})
+		b.Run(fmt.Sprintf("flat/depth=%d", depth), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.CheckSource("f.c", flat, core.Options{})
+			}
+		})
+	}
+}
+
+// Frontend microbenchmarks (context for the end-to-end numbers).
+func BenchmarkFrontendOnly(b *testing.B) {
+	p := testgen.Generate(testgen.Config{Seed: 46, Modules: 8, FuncsPer: 10})
+	inc := cpp.MapIncluder(p.Headers)
+	fl := flags.Default()
+	fl.NullChecking = false
+	fl.DefChecking = false
+	fl.AllocChecking = false
+	fl.AliasChecking = false
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.CheckSources(p.Files, core.Options{Flags: fl.Clone(), Includes: inc})
+	}
+}

@@ -1,0 +1,187 @@
+// Command golclint is the checking tool: it preprocesses, parses, and
+// checks C sources with memory annotations, reporting anomalies in the
+// paper's message format.
+//
+// Usage:
+//
+//	golclint [options] file.c...
+//
+//	-flags "+name -name ..."   checker flag toggles (see internal/flags)
+//	-I dir                     add an include directory (repeatable)
+//	-dump-lib file             write an interface library after checking
+//	-lib file                  load an interface library before checking
+//	                           (modular re-checking of the given files)
+//	-cfg function              print the function's control-flow graph
+//	-stats                     print summary statistics
+//	-max n                     cap the number of reported messages
+//
+// Exit status is 1 when anomalies were reported, 2 on usage or I/O errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"golclint/internal/cfg"
+	"golclint/internal/core"
+	"golclint/internal/diag"
+	"golclint/internal/flags"
+	"golclint/internal/library"
+)
+
+// dirIncluder resolves #include files against a list of directories.
+type dirIncluder struct {
+	dirs []string
+}
+
+// Include implements cpp.Includer.
+func (d dirIncluder) Include(name string) (string, error) {
+	for _, dir := range d.dirs {
+		b, err := os.ReadFile(filepath.Join(dir, name))
+		if err == nil {
+			return string(b), nil
+		}
+	}
+	return "", fmt.Errorf("include file %q not found", name)
+}
+
+// multiFlag collects repeated -I options.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(s string) error { *m = append(*m, s); return nil }
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("golclint", flag.ContinueOnError)
+	var (
+		flagToggles = fs.String("flags", "", "space-separated checker flag toggles (+name / -name)")
+		dumpLib     = fs.String("dump-lib", "", "write an interface library to this file")
+		loadLib     = fs.String("lib", "", "load an interface library from this file")
+		showCFG     = fs.String("cfg", "", "print the named function's control-flow graph")
+		stats       = fs.Bool("stats", false, "print summary statistics")
+		maxMsgs     = fs.Int("max", 0, "maximum number of messages (0 = unlimited)")
+		incDirs     multiFlag
+	)
+	fs.Var(&incDirs, "I", "include directory (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "golclint: no input files")
+		fs.Usage()
+		return 2
+	}
+
+	fl := flags.Default()
+	fl.MaxMessages = *maxMsgs
+	for _, tog := range strings.Fields(*flagToggles) {
+		if err := fl.Set(tog); err != nil {
+			fmt.Fprintf(os.Stderr, "golclint: %v\n", err)
+			return 2
+		}
+	}
+
+	files := map[string]string{}
+	dirSet := map[string]bool{}
+	for _, path := range fs.Args() {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "golclint: %v\n", err)
+			return 2
+		}
+		files[filepath.Base(path)] = string(b)
+		dirSet[filepath.Dir(path)] = true
+	}
+	for _, d := range incDirs {
+		dirSet[d] = true
+	}
+	var dirs []string
+	for d := range dirSet {
+		dirs = append(dirs, d)
+	}
+
+	opt := core.Options{Flags: fl, Includes: dirIncluder{dirs: dirs}}
+
+	var res *core.Result
+	if *loadLib != "" {
+		f, err := os.Open(*loadLib)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "golclint: %v\n", err)
+			return 2
+		}
+		lib, err := library.Decode(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "golclint: %v\n", err)
+			return 2
+		}
+		res = library.CheckModule(files, lib, opt)
+	} else {
+		res = core.CheckSources(files, opt)
+	}
+
+	for _, e := range res.ParseErrors {
+		fmt.Fprintf(os.Stderr, "%v\n", e)
+	}
+	for _, e := range res.SemaErrors {
+		fmt.Fprintf(os.Stderr, "%v\n", e)
+	}
+	fmt.Print(res.Messages())
+
+	if *showCFG != "" {
+		printed := false
+		for _, u := range res.Units {
+			for _, f := range u.Funcs() {
+				if f.Name == *showCFG {
+					fmt.Print(cfg.Build(f).Dump())
+					printed = true
+				}
+			}
+		}
+		if !printed {
+			fmt.Fprintf(os.Stderr, "golclint: function %q not found\n", *showCFG)
+		}
+	}
+
+	if *dumpLib != "" && res.Program != nil {
+		lib := library.Build(res.Program)
+		f, err := os.Create(*dumpLib)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "golclint: %v\n", err)
+			return 2
+		}
+		if err := lib.Encode(f); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "golclint: %v\n", err)
+			return 2
+		}
+		f.Close()
+		if *stats {
+			fmt.Printf("interface library: %s\n", lib.Stats())
+		}
+	}
+
+	if *stats {
+		counts := res.CountByCode()
+		var keys []diag.Code
+		for c := range counts {
+			keys = append(keys, c)
+		}
+		fmt.Printf("%d message(s), %d suppressed\n", len(res.Diags), res.Suppressed)
+		for _, c := range keys {
+			fmt.Printf("  %-16s %d\n", c, counts[c])
+		}
+	}
+
+	if len(res.Diags) > 0 || len(res.ParseErrors) > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+// Each experiment driver must run to completion (output goes to stdout;
+// correctness of the numbers is asserted by the package tests — this guards
+// against the drivers bit-rotting).
+func TestExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment drivers are slow")
+	}
+	for _, e := range experiments {
+		if e.name == "scaling" || e.name == "modular" || e.name == "economy" {
+			continue // minutes-scale corpora; exercised by benchmarks
+		}
+		e := e
+		t.Run(e.name, func(t *testing.T) {
+			e.run()
+		})
+	}
+}

@@ -1,0 +1,52 @@
+// The ercdb example replays Section 6 of the paper: the employee database
+// is checked through each annotation iteration, printing the anomalies the
+// checker reports at every stage and the changes the next stage makes.
+//
+//	go run ./examples/ercdb
+package main
+
+import (
+	"fmt"
+
+	"golclint/internal/core"
+	"golclint/internal/cpp"
+	"golclint/internal/ercdb"
+)
+
+var narration = map[ercdb.Stage]string{
+	ercdb.Bare: "No annotations yet. The null pass reports the erc_create anomaly\n" +
+		"(the vals field is assigned NULL but is implicitly non-null); the\n" +
+		"allocation checks already see the driver's leaks through the\n" +
+		"implicit only annotations on function returns.",
+	ercdb.NullField: "Added /*@null@*/ to the vals/next fields. erc_create is resolved;\n" +
+		"three arrow-access anomalies appear where the requires clauses of\n" +
+		"the LCL specification guaranteed non-nullness.",
+	ercdb.Asserted: "Added assertions at the three sites (\"good defensive programming\n" +
+		"practice\"). The null anomalies are gone.",
+	ercdb.AllocAnnotated: "Added the only annotations on returns, pool fields and free\n" +
+		"parameters, the dependent return of eref_get, and the out parameter\n" +
+		"discovered by complete-definition checking. What remains are the six\n" +
+		"driver leaks and the strcpy unique anomaly.",
+	ercdb.Final: "Released the old storage before each driver reassignment and\n" +
+		"documented employee_setName's parameter as unique.",
+}
+
+func main() {
+	for _, st := range ercdb.Stages() {
+		fmt.Printf("=== iteration %d: %s (%d annotations) ===\n",
+			int(st)+1, st, ercdb.AnnotationCount(st))
+		fmt.Println(narration[st])
+		fmt.Println()
+		res := core.CheckSources(ercdb.CSources(st), core.Options{
+			Includes: cpp.MapIncluder(ercdb.Headers(st)),
+		})
+		if len(res.Diags) == 0 {
+			fmt.Println("golclint: no anomalies")
+		} else {
+			fmt.Print(res.Messages())
+		}
+		fmt.Println()
+	}
+	fmt.Printf("summary: %d annotations resolved every anomaly (the paper used 15:\n", ercdb.AnnotationCount(ercdb.Final))
+	fmt.Println("1 null + 1 out + 13 only; our split is documented in EXPERIMENTS.md)")
+}

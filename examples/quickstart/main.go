@@ -1,0 +1,81 @@
+// The quickstart example checks the paper's sample.c (Figures 1-4) through
+// the three annotation states the paper walks through, printing the
+// checker's messages after each change. Run it with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"golclint/internal/core"
+)
+
+// stage pairs a description with source code.
+type stage struct {
+	title string
+	src   string
+}
+
+var stages = []stage{
+	{
+		"Figure 2: a possibly-null parameter assigned to a non-null global",
+		`extern char *gname;
+
+void setName (/*@null@*/ char *pname)
+{
+	gname = pname;
+}
+`,
+	},
+	{
+		"Figure 3: fixed by guarding the assignment with a truenull function",
+		`extern char *gname;
+extern /*@truenull@*/ int isNull (/*@null@*/ char *x);
+
+void setName (/*@null@*/ char *pname)
+{
+	if (!isNull (pname))
+	{
+		gname = pname;
+	}
+}
+`,
+	},
+	{
+		"Figure 4: inconsistent only and temp annotations",
+		`extern /*@only@*/ char *gname;
+
+void setName (/*@temp@*/ char *pname)
+{
+	gname = pname;
+}
+`,
+	},
+	{
+		"Fixed: the obligation is transferred from an only parameter",
+		`#include <stdlib.h>
+extern /*@only@*/ char *gname;
+
+void setName (/*@only@*/ char *pname)
+{
+	free (gname);
+	gname = pname;
+}
+`,
+	},
+}
+
+func main() {
+	for i, s := range stages {
+		fmt.Printf("--- stage %d: %s ---\n", i+1, s.title)
+		fmt.Println(s.src)
+		res := core.CheckSource("sample.c", s.src, core.Options{})
+		if len(res.Diags) == 0 {
+			fmt.Println("golclint: no anomalies")
+		} else {
+			fmt.Print(res.Messages())
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,63 @@
+// The staticvsdynamic example demonstrates the paper's core motivation
+// (§1): run-time memory checkers detect a bug only when a test case drives
+// execution through it, while the annotation-based static checker covers
+// every path with no test cases at all.
+//
+// A program with seeded, labelled bugs is generated; the static checker
+// and the instrumented interpreter (the dmalloc/Purify stand-in) are run
+// against it under increasing test coverage.
+//
+//	go run ./examples/staticvsdynamic
+package main
+
+import (
+	"fmt"
+
+	"golclint/internal/core"
+	"golclint/internal/cpp"
+	"golclint/internal/interp"
+	"golclint/internal/testgen"
+)
+
+func main() {
+	p := testgen.Generate(testgen.Config{
+		Seed: 99, Modules: 4, FuncsPer: 3, Annotate: true, WithDriver: true,
+		Bugs: map[testgen.BugKind]int{
+			testgen.BugLeak: 2, testgen.BugCondLeak: 2, testgen.BugUseAfterFree: 2,
+			testgen.BugDoubleFree: 2, testgen.BugNullDeref: 2, testgen.BugUninit: 2,
+		},
+	})
+	fmt.Printf("generated program: %d lines, %d modules, %d seeded bugs\n\n",
+		p.Lines, 4, len(p.Bugs))
+
+	// Static pass: no inputs needed.
+	res := core.CheckSources(p.Files, core.Options{Includes: cpp.MapIncluder(p.Headers)})
+	fmt.Printf("static checker: %d messages, e.g.:\n", len(res.Diags))
+	for i, d := range res.Diags {
+		if i == 3 {
+			fmt.Println("   ...")
+			break
+		}
+		fmt.Printf("   %s\n", d)
+	}
+	fmt.Println()
+
+	// Dynamic passes under partial coverage.
+	fmt.Printf("%-34s %10s %8s\n", "run-time baseline", "detections", "leaks")
+	for _, frac := range []int{0, 50, 100} {
+		n := len(p.Bugs) * frac / 100
+		var covered []int
+		for i := 0; i < n; i++ {
+			covered = append(covered, i)
+		}
+		pc := p.SetCoverage(covered)
+		resC := core.CheckSources(pc.Files, core.Options{Includes: cpp.MapIncluder(pc.Headers)})
+		run := interp.New(resC.Program, interp.Options{}).Run("main")
+		fmt.Printf("test suite covering %3d%% of bugs %10d %8d\n",
+			frac, len(run.Errors), len(run.Leaks))
+	}
+	fmt.Println()
+	fmt.Println("the run-time tool sees nothing without the right test cases;")
+	fmt.Println("the static checker needs none (and flags bugs, like unchecked")
+	fmt.Println("allocations, that may never fail during testing)")
+}

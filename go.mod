@@ -1,0 +1,3 @@
+module golclint
+
+go 1.22

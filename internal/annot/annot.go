@@ -1,0 +1,295 @@
+// Package annot defines the memory-management annotation taxonomy from
+// Appendix B of the paper, category-exclusivity rules ("at most one
+// annotation in any category can be used on a given declaration"), and
+// parsing of annotation words out of /*@...@*/ comment text.
+package annot
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Annot identifies one annotation keyword.
+type Annot int
+
+// The annotations, grouped by category as in Appendix B.
+const (
+	invalid Annot = iota
+
+	// Null pointers.
+	Null    // may have the value NULL
+	NotNull // not permitted to have the value NULL (the default)
+	RelNull // relax null checking
+
+	// Definition.
+	Out     // referenced storage need not be defined
+	In      // referenced storage is completely defined (the default)
+	Partial // referenced storage is partially defined
+	RelDef  // relax definition checking
+	Undef   // global may be undefined when the function is called
+
+	// Allocation.
+	Only      // unshared storage; confers obligation to release
+	Keep      // like only, but the caller may still use the reference
+	Temp      // temporary: callee may not release or capture
+	Owned     // owns storage possibly shared by dependent references
+	Dependent // shares storage owned elsewhere; may not release
+	Shared    // arbitrarily shared; never deallocated (GC mode)
+
+	// Parameter aliasing.
+	Unique // may not share storage with other params or accessible globals
+
+	// Returned references.
+	Returned // the return value may alias this parameter
+
+	// Exposure.
+	Observer // returned storage must not be modified by caller
+	Exposed  // exposed internal storage; may be modified, not deallocated
+
+	// Function null-test semantics (return-value annotations).
+	TrueNull  // function returns true iff its argument is null
+	FalseNull // function returns true only if its argument is not null
+
+	// Reference counting (the LCLint 2.0 extension the paper cites as
+	// [3]): refcounted types carry a reference count; newref results add
+	// a reference that must be released through a killref parameter;
+	// tempref parameters leave the count unchanged.
+	RefCounted
+	NewRef
+	KillRef
+	TempRef
+
+	numAnnots
+)
+
+var names = [...]string{
+	Null: "null", NotNull: "notnull", RelNull: "relnull",
+	Out: "out", In: "in", Partial: "partial", RelDef: "reldef", Undef: "undef",
+	Only: "only", Keep: "keep", Temp: "temp", Owned: "owned",
+	Dependent: "dependent", Shared: "shared",
+	Unique: "unique", Returned: "returned",
+	Observer: "observer", Exposed: "exposed",
+	TrueNull: "truenull", FalseNull: "falsenull",
+	RefCounted: "refcounted", NewRef: "newref", KillRef: "killref",
+	TempRef: "tempref",
+}
+
+// String returns the annotation keyword as written in source.
+func (a Annot) String() string {
+	if a > invalid && a < numAnnots {
+		return names[a]
+	}
+	return fmt.Sprintf("annot(%d)", int(a))
+}
+
+// byName maps keyword spellings to annotations.
+var byName = func() map[string]Annot {
+	m := make(map[string]Annot, int(numAnnots))
+	for a := Null; a < numAnnots; a++ {
+		m[names[a]] = a
+	}
+	return m
+}()
+
+// FromName returns the annotation named s, if any.
+func FromName(s string) (Annot, bool) {
+	a, ok := byName[s]
+	return a, ok
+}
+
+// Category classifies annotations; at most one annotation per category may
+// appear on a declaration.
+type Category int
+
+// Categories, per Appendix B's section headings.
+const (
+	CatNone Category = iota
+	CatNullness
+	CatDefinition
+	CatAllocation
+	CatAliasing
+	CatReturned
+	CatExposure
+	CatFuncNull
+)
+
+var catNames = map[Category]string{
+	CatNone: "none", CatNullness: "null pointers", CatDefinition: "definition",
+	CatAllocation: "allocation", CatAliasing: "parameter aliasing",
+	CatReturned: "returned references", CatExposure: "exposure",
+	CatFuncNull: "null-test functions",
+}
+
+// String returns the category's Appendix B heading.
+func (c Category) String() string { return catNames[c] }
+
+// CategoryOf returns the exclusivity category of a.
+func CategoryOf(a Annot) Category {
+	switch a {
+	case Null, NotNull, RelNull:
+		return CatNullness
+	case Out, In, Partial, RelDef, Undef:
+		return CatDefinition
+	case Only, Keep, Temp, Owned, Dependent, Shared, RefCounted, NewRef,
+		KillRef, TempRef:
+		return CatAllocation
+	case Unique:
+		return CatAliasing
+	case Returned:
+		return CatReturned
+	case Observer, Exposed:
+		return CatExposure
+	case TrueNull, FalseNull:
+		return CatFuncNull
+	}
+	return CatNone
+}
+
+// Set is a set of annotations, implemented as a bitset.
+type Set uint32
+
+// Make builds a set from the given annotations.
+func Make(as ...Annot) Set {
+	var s Set
+	for _, a := range as {
+		s = s.With(a)
+	}
+	return s
+}
+
+// With returns s plus a.
+func (s Set) With(a Annot) Set { return s | 1<<uint(a) }
+
+// Without returns s minus a.
+func (s Set) Without(a Annot) Set { return s &^ (1 << uint(a)) }
+
+// Has reports whether a is in s.
+func (s Set) Has(a Annot) bool { return s&(1<<uint(a)) != 0 }
+
+// IsEmpty reports whether the set has no annotations.
+func (s Set) IsEmpty() bool { return s == 0 }
+
+// Union returns the union of s and t.
+func (s Set) Union(t Set) Set { return s | t }
+
+// List returns the annotations in s in declaration order.
+func (s Set) List() []Annot {
+	var as []Annot
+	for a := Null; a < numAnnots; a++ {
+		if s.Has(a) {
+			as = append(as, a)
+		}
+	}
+	return as
+}
+
+// Len returns the number of annotations in s.
+func (s Set) Len() int { return len(s.List()) }
+
+// String renders the set as space-separated keywords in a stable order.
+func (s Set) String() string {
+	var ws []string
+	for _, a := range s.List() {
+		ws = append(ws, a.String())
+	}
+	return strings.Join(ws, " ")
+}
+
+// InCategory returns the annotation of s in category c, if exactly one
+// present; ok is false when the category is unconstrained.
+func (s Set) InCategory(c Category) (Annot, bool) {
+	for _, a := range s.List() {
+		if CategoryOf(a) == c {
+			return a, true
+		}
+	}
+	return invalid, false
+}
+
+// Conflicts returns the pairs of annotations in s that violate category
+// exclusivity (two annotations from the same category).
+func (s Set) Conflicts() [][2]Annot {
+	var out [][2]Annot
+	byCat := map[Category][]Annot{}
+	for _, a := range s.List() {
+		c := CategoryOf(a)
+		byCat[c] = append(byCat[c], a)
+	}
+	cats := make([]int, 0, len(byCat))
+	for c := range byCat {
+		cats = append(cats, int(c))
+	}
+	sort.Ints(cats)
+	for _, c := range cats {
+		as := byCat[Category(c)]
+		for i := 1; i < len(as); i++ {
+			out = append(out, [2]Annot{as[0], as[i]})
+		}
+	}
+	return out
+}
+
+// ParseWords parses the interior text of an annotation comment (e.g.
+// "out only" from /*@out only@*/) into a set. Unknown words are returned
+// separately so callers can report them; known control words such as
+// "ignore", "end" and "i" (message suppression) are not annotations and
+// should be filtered by the caller before calling ParseWords.
+func ParseWords(text string) (Set, []string) {
+	var s Set
+	var unknown []string
+	for _, w := range strings.Fields(text) {
+		if a, ok := FromName(w); ok {
+			s = s.With(a)
+		} else {
+			unknown = append(unknown, w)
+		}
+	}
+	return s, unknown
+}
+
+// ControlWord reports whether the annotation-comment text is a checker
+// control comment rather than a declaration annotation: "i" (suppress next
+// message), "ignore"/"end" (suppress region), or a flag toggle "+flag"/"-flag".
+func ControlWord(text string) bool {
+	t := strings.TrimSpace(text)
+	if t == "i" || t == "ignore" || t == "end" {
+		return true
+	}
+	return strings.HasPrefix(t, "+") || strings.HasPrefix(t, "-")
+}
+
+// ValidOn describes the declaration contexts an annotation may appear in.
+type ValidOn struct {
+	Param  bool // function parameter declarations
+	Result bool // function return values
+	Global bool // global/static variable declarations
+	Field  bool // structure fields
+	Type   bool // type definitions
+}
+
+// Placement returns where a may legally be written, following Appendix B
+// ("Function parameters only", "Return values only", etc.).
+func Placement(a Annot) ValidOn {
+	all := ValidOn{Param: true, Result: true, Global: true, Field: true, Type: true}
+	switch a {
+	case Keep, Temp, Unique, Returned:
+		return ValidOn{Param: true}
+	case Observer:
+		return ValidOn{Result: true}
+	case Exposed:
+		return ValidOn{Param: true, Result: true}
+	case TrueNull, FalseNull:
+		return ValidOn{Result: true}
+	case NewRef:
+		return ValidOn{Result: true}
+	case KillRef, TempRef:
+		return ValidOn{Param: true}
+	case RefCounted:
+		return ValidOn{Type: true, Field: true, Global: true}
+	case Undef:
+		return ValidOn{Global: true}
+	default:
+		return all
+	}
+}

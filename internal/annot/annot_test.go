@@ -1,0 +1,214 @@
+package annot
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNamesRoundTrip(t *testing.T) {
+	for a := Null; a < numAnnots; a++ {
+		got, ok := FromName(a.String())
+		if !ok || got != a {
+			t.Errorf("FromName(%q) = %v, %v", a.String(), got, ok)
+		}
+	}
+	if _, ok := FromName("bogus"); ok {
+		t.Error("FromName accepted bogus")
+	}
+}
+
+func TestCategoryExclusivity(t *testing.T) {
+	s := Make(Null, Only)
+	if c := s.Conflicts(); len(c) != 0 {
+		t.Errorf("null+only should not conflict: %v", c)
+	}
+	s = Make(Null, NotNull)
+	if c := s.Conflicts(); len(c) != 1 || c[0] != [2]Annot{Null, NotNull} {
+		t.Errorf("null+notnull conflicts = %v", c)
+	}
+	s = Make(Only, Temp, Keep)
+	if c := s.Conflicts(); len(c) != 2 {
+		t.Errorf("only+temp+keep conflicts = %v", c)
+	}
+}
+
+func TestEveryAnnotHasCategory(t *testing.T) {
+	for a := Null; a < numAnnots; a++ {
+		if CategoryOf(a) == CatNone {
+			t.Errorf("%v has no category", a)
+		}
+		if CategoryOf(a).String() == "" {
+			t.Errorf("%v category unnamed", a)
+		}
+	}
+}
+
+func TestSetOps(t *testing.T) {
+	s := Make(Null, Only, Out)
+	if !s.Has(Null) || !s.Has(Only) || !s.Has(Out) || s.Has(Temp) {
+		t.Fatal("Has wrong")
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	s2 := s.Without(Only)
+	if s2.Has(Only) || !s2.Has(Null) {
+		t.Fatal("Without wrong")
+	}
+	if Make().Len() != 0 || !Make().IsEmpty() || s.IsEmpty() {
+		t.Fatal("empty set wrong")
+	}
+	u := Make(Null).Union(Make(Temp))
+	if !u.Has(Null) || !u.Has(Temp) {
+		t.Fatal("Union wrong")
+	}
+}
+
+func TestSetString(t *testing.T) {
+	s := Make(Only, Null, Out)
+	if got := s.String(); got != "null out only" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestInCategory(t *testing.T) {
+	s := Make(Null, Only)
+	if a, ok := s.InCategory(CatNullness); !ok || a != Null {
+		t.Errorf("InCategory(null) = %v, %v", a, ok)
+	}
+	if a, ok := s.InCategory(CatAllocation); !ok || a != Only {
+		t.Errorf("InCategory(alloc) = %v, %v", a, ok)
+	}
+	if _, ok := s.InCategory(CatDefinition); ok {
+		t.Error("InCategory(def) should be absent")
+	}
+}
+
+func TestParseWords(t *testing.T) {
+	s, unk := ParseWords("null out only")
+	if len(unk) != 0 || !s.Has(Null) || !s.Has(Out) || !s.Has(Only) {
+		t.Fatalf("ParseWords = %v unk=%v", s, unk)
+	}
+	s, unk = ParseWords("null frobnicate")
+	if len(unk) != 1 || unk[0] != "frobnicate" || !s.Has(Null) {
+		t.Fatalf("ParseWords = %v unk=%v", s, unk)
+	}
+	s, unk = ParseWords("")
+	if !s.IsEmpty() || len(unk) != 0 {
+		t.Fatal("empty ParseWords wrong")
+	}
+}
+
+func TestControlWord(t *testing.T) {
+	for _, w := range []string{"i", "ignore", "end", "+nullderef", "-allimponly"} {
+		if !ControlWord(w) {
+			t.Errorf("ControlWord(%q) = false", w)
+		}
+	}
+	for _, w := range []string{"null", "only", "temp out"} {
+		if ControlWord(w) {
+			t.Errorf("ControlWord(%q) = true", w)
+		}
+	}
+}
+
+func TestPlacement(t *testing.T) {
+	if p := Placement(Temp); !p.Param || p.Result || p.Global {
+		t.Error("temp is parameters-only")
+	}
+	if p := Placement(Observer); !p.Result || p.Param {
+		t.Error("observer is results-only")
+	}
+	if p := Placement(TrueNull); !p.Result || p.Param {
+		t.Error("truenull is results-only")
+	}
+	if p := Placement(Undef); !p.Global || p.Param {
+		t.Error("undef is globals-only")
+	}
+	if p := Placement(Only); !p.Param || !p.Result || !p.Global || !p.Field || !p.Type {
+		t.Error("only is universal")
+	}
+	if p := Placement(Exposed); !p.Param || !p.Result || p.Global {
+		t.Error("exposed is param+result")
+	}
+}
+
+// Property: set membership after With is monotone, and Without inverts With
+// for elements not previously present.
+func TestSetProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		var s Set
+		var added []Annot
+		for _, r := range raw {
+			a := Annot(1 + int(r)%int(numAnnots-1))
+			s = s.With(a)
+			added = append(added, a)
+		}
+		for _, a := range added {
+			if !s.Has(a) {
+				return false
+			}
+		}
+		return s.Len() <= len(added)
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(3))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: parsing the String() of any set reproduces the set exactly
+// (annotation sets round-trip through their source spelling).
+func TestParseStringRoundTrip(t *testing.T) {
+	f := func(raw []uint8) bool {
+		var s Set
+		for _, r := range raw {
+			s = s.With(Annot(1 + int(r)%int(numAnnots-1)))
+		}
+		got, unk := ParseWords(s.String())
+		return len(unk) == 0 && got == s
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(4))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Conflicts is empty iff no category has two members.
+func TestConflictsConsistent(t *testing.T) {
+	f := func(raw []uint8) bool {
+		var s Set
+		for _, r := range raw {
+			s = s.With(Annot(1 + int(r)%int(numAnnots-1)))
+		}
+		counts := map[Category]int{}
+		for _, a := range s.List() {
+			counts[CategoryOf(a)]++
+		}
+		wantConflicts := 0
+		for _, n := range counts {
+			if n > 1 {
+				wantConflicts += n - 1
+			}
+		}
+		return len(s.Conflicts()) == wantConflicts
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(5))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringStable(t *testing.T) {
+	// Stable order regardless of insertion order.
+	a := Make(Only, Null)
+	b := Make(Null, Only)
+	if a.String() != b.String() {
+		t.Fatal("String not order independent")
+	}
+	if !strings.Contains(a.String(), "null") {
+		t.Fatal("missing word")
+	}
+}

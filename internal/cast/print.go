@@ -1,0 +1,200 @@
+package cast
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ExprString renders an expression back to C-like source, used in
+// diagnostics (the paper prints offending expressions, e.g.
+// "(c->vals)->val").
+func ExprString(e Expr) string {
+	switch v := e.(type) {
+	case nil:
+		return ""
+	case *Ident:
+		return v.Name
+	case *IntLit:
+		return v.Text
+	case *FloatLit:
+		return v.Text
+	case *CharLit:
+		return v.Text
+	case *StringLit:
+		return v.Text
+	case *Unary:
+		switch v.Op {
+		case PostInc:
+			return ExprString(v.X) + "++"
+		case PostDec:
+			return ExprString(v.X) + "--"
+		case Deref:
+			return "*" + ExprString(v.X)
+		default:
+			return v.Op.String() + ExprString(v.X)
+		}
+	case *Binary:
+		return fmt.Sprintf("%s %s %s", ExprString(v.X), v.Op, ExprString(v.Y))
+	case *Assign:
+		return fmt.Sprintf("%s %s %s", ExprString(v.LHS), v.Op, ExprString(v.RHS))
+	case *Cond:
+		return fmt.Sprintf("%s ? %s : %s", ExprString(v.C), ExprString(v.Then), ExprString(v.Else))
+	case *Call:
+		var args []string
+		for _, a := range v.Args {
+			args = append(args, ExprString(a))
+		}
+		return fmt.Sprintf("%s(%s)", ExprString(v.Fun), strings.Join(args, ", "))
+	case *Index:
+		return fmt.Sprintf("%s[%s]", ExprString(v.X), ExprString(v.Idx))
+	case *FieldSel:
+		op := "."
+		if v.Arrow {
+			op = "->"
+		}
+		return ExprString(v.X) + op + v.Name
+	case *Cast:
+		return fmt.Sprintf("(%s) %s", v.To, ExprString(v.X))
+	case *SizeofExpr:
+		return fmt.Sprintf("sizeof(%s)", ExprString(v.X))
+	case *SizeofType:
+		return fmt.Sprintf("sizeof(%s)", v.Of)
+	case *Comma:
+		return fmt.Sprintf("%s, %s", ExprString(v.X), ExprString(v.Y))
+	case *InitList:
+		var es []string
+		for _, el := range v.Elems {
+			es = append(es, ExprString(el))
+		}
+		return "{" + strings.Join(es, ", ") + "}"
+	}
+	return fmt.Sprintf("<%T>", e)
+}
+
+// Dump renders the tree rooted at n as an indented structural outline,
+// primarily for parser tests and debugging.
+func Dump(n Node) string {
+	var b strings.Builder
+	dump(&b, n, 0)
+	return b.String()
+}
+
+func indent(b *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+}
+
+func dump(b *strings.Builder, n Node, depth int) {
+	indent(b, depth)
+	switch v := n.(type) {
+	case nil:
+		b.WriteString("<nil>\n")
+	case *Unit:
+		fmt.Fprintf(b, "Unit %s\n", v.File)
+		for _, d := range v.Decls {
+			dump(b, d, depth+1)
+		}
+	case *VarDecl:
+		fmt.Fprintf(b, "VarDecl %s : %s", v.Name, v.Type)
+		if !v.Annots.IsEmpty() {
+			fmt.Fprintf(b, " /*@%s@*/", v.Annots)
+		}
+		if v.Storage != StorageNone {
+			fmt.Fprintf(b, " [%s]", v.Storage)
+		}
+		b.WriteByte('\n')
+		if v.Init != nil {
+			indent(b, depth+1)
+			fmt.Fprintf(b, "= %s\n", ExprString(v.Init))
+		}
+	case *TypedefDecl:
+		fmt.Fprintf(b, "Typedef %s = %s\n", v.Name, v.Type.Underlying)
+	case *TagDecl:
+		fmt.Fprintf(b, "TagDecl %s\n", v.Type)
+	case *FuncDef:
+		fmt.Fprintf(b, "FuncDef %s -> %s", v.Name, v.Result)
+		if !v.ResultAnnots.IsEmpty() {
+			fmt.Fprintf(b, " /*@%s@*/", v.ResultAnnots)
+		}
+		b.WriteByte('\n')
+		for _, p := range v.Params {
+			indent(b, depth+1)
+			fmt.Fprintf(b, "param %s : %s", p.Name, p.Type)
+			if !p.Annots.IsEmpty() {
+				fmt.Fprintf(b, " /*@%s@*/", p.Annots)
+			}
+			b.WriteByte('\n')
+		}
+		if v.Body != nil {
+			dump(b, v.Body, depth+1)
+		}
+	case *Block:
+		b.WriteString("Block\n")
+		for _, s := range v.Items {
+			dump(b, s, depth+1)
+		}
+	case *DeclStmt:
+		b.WriteString("DeclStmt\n")
+		for _, d := range v.Decls {
+			dump(b, d, depth+1)
+		}
+	case *ExprStmt:
+		fmt.Fprintf(b, "Expr %s\n", ExprString(v.X))
+	case *Empty:
+		b.WriteString("Empty\n")
+	case *If:
+		fmt.Fprintf(b, "If %s\n", ExprString(v.Cond))
+		dump(b, v.Then, depth+1)
+		if v.Else != nil {
+			indent(b, depth)
+			b.WriteString("Else\n")
+			dump(b, v.Else, depth+1)
+		}
+	case *While:
+		fmt.Fprintf(b, "While %s\n", ExprString(v.Cond))
+		dump(b, v.Body, depth+1)
+	case *DoWhile:
+		b.WriteString("DoWhile\n")
+		dump(b, v.Body, depth+1)
+		indent(b, depth)
+		fmt.Fprintf(b, "While %s\n", ExprString(v.Cond))
+	case *For:
+		b.WriteString("For\n")
+		if v.Init != nil {
+			dump(b, v.Init, depth+1)
+		}
+		if v.Cond != nil {
+			indent(b, depth+1)
+			fmt.Fprintf(b, "cond %s\n", ExprString(v.Cond))
+		}
+		if v.Post != nil {
+			indent(b, depth+1)
+			fmt.Fprintf(b, "post %s\n", ExprString(v.Post))
+		}
+		dump(b, v.Body, depth+1)
+	case *Switch:
+		fmt.Fprintf(b, "Switch %s\n", ExprString(v.Tag))
+		dump(b, v.Body, depth+1)
+	case *Case:
+		if v.Value == nil {
+			b.WriteString("Default\n")
+		} else {
+			fmt.Fprintf(b, "Case %s\n", ExprString(v.Value))
+		}
+	case *Break:
+		b.WriteString("Break\n")
+	case *Continue:
+		b.WriteString("Continue\n")
+	case *Return:
+		fmt.Fprintf(b, "Return %s\n", ExprString(v.X))
+	case *Goto:
+		fmt.Fprintf(b, "Goto %s\n", v.Label)
+	case *Label:
+		fmt.Fprintf(b, "Label %s\n", v.Name)
+	case Expr:
+		fmt.Fprintf(b, "%s\n", ExprString(v))
+	default:
+		fmt.Fprintf(b, "<%T>\n", n)
+	}
+}

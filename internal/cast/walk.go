@@ -1,0 +1,111 @@
+package cast
+
+// Inspect traverses the AST rooted at n in depth-first order, calling f for
+// each node. If f returns false for a node, its children are skipped.
+// Nil children are never visited.
+func Inspect(n Node, f func(Node) bool) {
+	if n == nil || !f(n) {
+		return
+	}
+	switch v := n.(type) {
+	case *Unit:
+		for _, d := range v.Decls {
+			Inspect(d, f)
+		}
+	case *VarDecl:
+		if v.Init != nil {
+			Inspect(v.Init, f)
+		}
+	case *TypedefDecl, *TagDecl, *ParamDecl, *Empty, *Break, *Continue,
+		*Goto, *Label, *Case, *Ident, *IntLit, *FloatLit, *CharLit,
+		*StringLit, *SizeofType:
+		// Leaves.
+	case *FuncDef:
+		for _, p := range v.Params {
+			Inspect(p, f)
+		}
+		if v.Body != nil {
+			Inspect(v.Body, f)
+		}
+	case *Block:
+		for _, s := range v.Items {
+			Inspect(s, f)
+		}
+	case *DeclStmt:
+		for _, d := range v.Decls {
+			Inspect(d, f)
+		}
+	case *ExprStmt:
+		Inspect(v.X, f)
+	case *If:
+		Inspect(v.Cond, f)
+		Inspect(v.Then, f)
+		if v.Else != nil {
+			Inspect(v.Else, f)
+		}
+	case *While:
+		Inspect(v.Cond, f)
+		Inspect(v.Body, f)
+	case *DoWhile:
+		Inspect(v.Body, f)
+		Inspect(v.Cond, f)
+	case *For:
+		if v.Init != nil {
+			Inspect(v.Init, f)
+		}
+		if v.Cond != nil {
+			Inspect(v.Cond, f)
+		}
+		if v.Post != nil {
+			Inspect(v.Post, f)
+		}
+		Inspect(v.Body, f)
+	case *Switch:
+		Inspect(v.Tag, f)
+		Inspect(v.Body, f)
+	case *Return:
+		if v.X != nil {
+			Inspect(v.X, f)
+		}
+	case *Unary:
+		Inspect(v.X, f)
+	case *Binary:
+		Inspect(v.X, f)
+		Inspect(v.Y, f)
+	case *Assign:
+		Inspect(v.LHS, f)
+		Inspect(v.RHS, f)
+	case *Cond:
+		Inspect(v.C, f)
+		Inspect(v.Then, f)
+		Inspect(v.Else, f)
+	case *Call:
+		Inspect(v.Fun, f)
+		for _, a := range v.Args {
+			Inspect(a, f)
+		}
+	case *Index:
+		Inspect(v.X, f)
+		Inspect(v.Idx, f)
+	case *FieldSel:
+		Inspect(v.X, f)
+	case *Cast:
+		Inspect(v.X, f)
+	case *SizeofExpr:
+		Inspect(v.X, f)
+	case *Comma:
+		Inspect(v.X, f)
+		Inspect(v.Y, f)
+	case *InitList:
+		for _, e := range v.Elems {
+			Inspect(e, f)
+		}
+	}
+}
+
+// CountNodes returns the number of nodes in the tree rooted at n.
+func CountNodes(n Node) int {
+	c := 0
+	Inspect(n, func(Node) bool { c++; return true })
+	return c
+}

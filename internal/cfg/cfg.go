@@ -1,0 +1,357 @@
+// Package cfg builds per-function control-flow graphs with the paper's
+// simplifications (§2, §5): loops contribute no back edges (a while loop is
+// "treated identically to an if statement"), so every graph is acyclic and
+// the checker's single forward pass visits each node once. The package also
+// renders graphs in the style of the paper's Figure 6 and provides
+// reachability queries used for unreachable-code reporting and the
+// no-fixpoint benchmarks (experiment E14).
+package cfg
+
+import (
+	"fmt"
+	"strings"
+
+	"golclint/internal/cast"
+	"golclint/internal/ctoken"
+)
+
+// NodeKind classifies CFG nodes.
+type NodeKind int
+
+// Node kinds.
+const (
+	Entry NodeKind = iota
+	Exit
+	Stmt   // a simple statement (expression, declaration, return, ...)
+	Branch // a two-way condition test
+	Merge  // a confluence point
+)
+
+var kindNames = map[NodeKind]string{
+	Entry: "entry", Exit: "exit", Stmt: "stmt", Branch: "branch", Merge: "merge",
+}
+
+// String returns the kind name.
+func (k NodeKind) String() string { return kindNames[k] }
+
+// Node is one vertex of the control-flow graph.
+type Node struct {
+	ID    int
+	Kind  NodeKind
+	Label string // source text or description
+	Pos   ctoken.Pos
+	Succs []*Node
+	Preds []*Node
+}
+
+// Graph is the control-flow graph of one function.
+type Graph struct {
+	FuncName string
+	Nodes    []*Node
+	Entry    *Node
+	Exit     *Node
+}
+
+// newNode appends a node to the graph.
+func (g *Graph) newNode(kind NodeKind, label string, pos ctoken.Pos) *Node {
+	n := &Node{ID: len(g.Nodes) + 1, Kind: kind, Label: label, Pos: pos}
+	g.Nodes = append(g.Nodes, n)
+	return n
+}
+
+// edge links from -> to.
+func (g *Graph) edge(from, to *Node) {
+	if from == nil || to == nil {
+		return
+	}
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// builder holds loop/switch context during construction.
+type builder struct {
+	g          *Graph
+	breakTo    []*Node
+	continueTo []*Node
+}
+
+// Build constructs the acyclic CFG of a function definition.
+func Build(f *cast.FuncDef) *Graph {
+	g := &Graph{FuncName: f.Name}
+	g.Entry = g.newNode(Entry, "Function Entrance", f.Pos())
+	g.Exit = g.newNode(Exit, "Function Exit", f.Pos())
+	b := &builder{g: g}
+	last := b.stmt(g.Entry, f.Body)
+	g.edge(last, g.Exit)
+	return g
+}
+
+// stmt wires the statement s after node cur and returns the node that
+// control flows out of (nil if the path ends, e.g. after return).
+func (b *builder) stmt(cur *Node, s cast.Stmt) *Node {
+	// A nil cur means the path already terminated; nodes are still
+	// created (with no incoming edges) so Unreachable can report them.
+	g := b.g
+	switch v := s.(type) {
+	case *cast.Block:
+		terminated := false
+		for _, item := range v.Items {
+			cur = b.stmt(cur, item)
+			if cur == nil {
+				terminated = true
+			}
+		}
+		if terminated && cur != nil {
+			// Dead statements after a terminator do not resurrect the
+			// path.
+			return nil
+		}
+		return cur
+	case *cast.Empty, *cast.Label, *cast.Case:
+		return cur
+	case *cast.DeclStmt:
+		n := g.newNode(Stmt, declLabel(v), v.P)
+		g.edge(cur, n)
+		return n
+	case *cast.ExprStmt:
+		n := g.newNode(Stmt, fmt.Sprintf("%d: %s", v.P.Line, cast.ExprString(v.X)), v.P)
+		g.edge(cur, n)
+		return n
+	case *cast.Return:
+		n := g.newNode(Stmt, fmt.Sprintf("%d: return %s", v.P.Line, cast.ExprString(v.X)), v.P)
+		g.edge(cur, n)
+		g.edge(n, g.Exit)
+		return nil
+	case *cast.Goto:
+		// Forward gotos exit the path in the paper's structured model.
+		n := g.newNode(Stmt, fmt.Sprintf("%d: goto %s", v.P.Line, v.Label), v.P)
+		g.edge(cur, n)
+		g.edge(n, g.Exit)
+		return nil
+	case *cast.Break:
+		if len(b.breakTo) > 0 {
+			g.edge(cur, b.breakTo[len(b.breakTo)-1])
+		}
+		return nil
+	case *cast.Continue:
+		if len(b.continueTo) > 0 {
+			g.edge(cur, b.continueTo[len(b.continueTo)-1])
+		}
+		return nil
+	case *cast.If:
+		br := g.newNode(Branch, fmt.Sprintf("%d: if (%s)", v.P.Line, cast.ExprString(v.Cond)), v.P)
+		g.edge(cur, br)
+		m := g.newNode(Merge, "merge", v.P)
+		thenEnd := b.stmt(br, v.Then)
+		g.edge(thenEnd, m)
+		if v.Else != nil {
+			elseEnd := b.stmt(br, v.Else)
+			g.edge(elseEnd, m)
+		} else {
+			g.edge(br, m)
+		}
+		if len(m.Preds) == 0 {
+			return nil
+		}
+		return m
+	case *cast.While:
+		// No back edge: the loop body flows forward into the merge, which
+		// also receives the zero-iteration path (§5: "The while loop is
+		// treated identically to an if statement — there is no back edge").
+		br := g.newNode(Branch, fmt.Sprintf("%d: while (%s)", v.P.Line, cast.ExprString(v.Cond)), v.P)
+		g.edge(cur, br)
+		m := g.newNode(Merge, "merge", v.P)
+		b.breakTo = append(b.breakTo, m)
+		b.continueTo = append(b.continueTo, m)
+		bodyEnd := b.stmt(br, v.Body)
+		b.breakTo = b.breakTo[:len(b.breakTo)-1]
+		b.continueTo = b.continueTo[:len(b.continueTo)-1]
+		g.edge(bodyEnd, m)
+		g.edge(br, m) // zero-iteration path
+		return m
+	case *cast.DoWhile:
+		m := g.newNode(Merge, "merge", v.P)
+		b.breakTo = append(b.breakTo, m)
+		b.continueTo = append(b.continueTo, m)
+		bodyEnd := b.stmt(cur, v.Body)
+		b.breakTo = b.breakTo[:len(b.breakTo)-1]
+		b.continueTo = b.continueTo[:len(b.continueTo)-1]
+		br := g.newNode(Branch, fmt.Sprintf("%d: do-while (%s)", v.P.Line, cast.ExprString(v.Cond)), v.P)
+		g.edge(bodyEnd, br)
+		g.edge(br, m)
+		return m
+	case *cast.For:
+		if v.Init != nil {
+			cur = b.stmt(cur, v.Init)
+		}
+		label := "for (;;)"
+		if v.Cond != nil {
+			label = fmt.Sprintf("for (%s)", cast.ExprString(v.Cond))
+		}
+		br := g.newNode(Branch, fmt.Sprintf("%d: %s", v.P.Line, label), v.P)
+		g.edge(cur, br)
+		m := g.newNode(Merge, "merge", v.P)
+		b.breakTo = append(b.breakTo, m)
+		b.continueTo = append(b.continueTo, m)
+		bodyEnd := b.stmt(br, v.Body)
+		b.breakTo = b.breakTo[:len(b.breakTo)-1]
+		b.continueTo = b.continueTo[:len(b.continueTo)-1]
+		if v.Post != nil && bodyEnd != nil {
+			p := g.newNode(Stmt, fmt.Sprintf("%d: %s", v.P.Line, cast.ExprString(v.Post)), v.P)
+			g.edge(bodyEnd, p)
+			bodyEnd = p
+		}
+		g.edge(bodyEnd, m)
+		if v.Cond != nil {
+			g.edge(br, m) // zero-iteration path
+		}
+		if len(m.Preds) == 0 {
+			return nil
+		}
+		return m
+	case *cast.Switch:
+		br := g.newNode(Branch, fmt.Sprintf("%d: switch (%s)", v.P.Line, cast.ExprString(v.Tag)), v.P)
+		g.edge(cur, br)
+		m := g.newNode(Merge, "merge", v.P)
+		b.breakTo = append(b.breakTo, m)
+		hasDefault := false
+		if body, ok := v.Body.(*cast.Block); ok {
+			var armEnd *Node
+			for _, item := range body.Items {
+				if cs, isCase := item.(*cast.Case); isCase {
+					if cs.Value == nil {
+						hasDefault = true
+					}
+					armStart := g.newNode(Merge, caseLabel(cs), cs.P)
+					g.edge(br, armStart)
+					g.edge(armEnd, armStart) // fallthrough
+					armEnd = armStart
+					continue
+				}
+				armEnd = b.stmt(armEnd, item)
+			}
+			g.edge(armEnd, m)
+		} else {
+			g.edge(b.stmt(br, v.Body), m)
+		}
+		b.breakTo = b.breakTo[:len(b.breakTo)-1]
+		if !hasDefault {
+			g.edge(br, m) // no-match path
+		}
+		if len(m.Preds) == 0 {
+			return nil
+		}
+		return m
+	}
+	return cur
+}
+
+func declLabel(v *cast.DeclStmt) string {
+	var names []string
+	for _, d := range v.Decls {
+		if vd, ok := d.(*cast.VarDecl); ok {
+			names = append(names, vd.Name)
+		}
+	}
+	return fmt.Sprintf("%d: decl %s", v.P.Line, strings.Join(names, ", "))
+}
+
+func caseLabel(cs *cast.Case) string {
+	if cs.Value == nil {
+		return "default:"
+	}
+	return "case " + cast.ExprString(cs.Value) + ":"
+}
+
+// IsAcyclic verifies the no-back-edge property (every graph built by this
+// package must satisfy it; exposed for property tests).
+func (g *Graph) IsAcyclic() bool {
+	state := make(map[*Node]int, len(g.Nodes)) // 0 unvisited, 1 on stack, 2 done
+	var visit func(n *Node) bool
+	visit = func(n *Node) bool {
+		switch state[n] {
+		case 1:
+			return false
+		case 2:
+			return true
+		}
+		state[n] = 1
+		for _, s := range n.Succs {
+			if !visit(s) {
+				return false
+			}
+		}
+		state[n] = 2
+		return true
+	}
+	return visit(g.Entry)
+}
+
+// Topo returns the nodes in a topological order starting at Entry.
+func (g *Graph) Topo() []*Node {
+	var order []*Node
+	seen := map[*Node]bool{}
+	var visit func(n *Node)
+	visit = func(n *Node) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		for _, s := range n.Succs {
+			visit(s)
+		}
+		order = append(order, n)
+	}
+	visit(g.Entry)
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	return order
+}
+
+// Reachable returns the set of nodes reachable from Entry.
+func (g *Graph) Reachable() map[*Node]bool {
+	seen := map[*Node]bool{}
+	stack := []*Node{g.Entry}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		stack = append(stack, n.Succs...)
+	}
+	return seen
+}
+
+// Unreachable returns statement nodes not reachable from Entry (dead code).
+func (g *Graph) Unreachable() []*Node {
+	reach := g.Reachable()
+	var out []*Node
+	for _, n := range g.Nodes {
+		if !reach[n] && (n.Kind == Stmt || n.Kind == Branch) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Dump renders the graph in the style of the paper's Figure 6: numbered
+// execution points with their successor lists.
+func (g *Graph) Dump() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "control flow graph for %s (no back edges)\n", g.FuncName)
+	for _, n := range g.Topo() {
+		var succs []string
+		for _, s := range n.Succs {
+			succs = append(succs, fmt.Sprintf("%d", s.ID))
+		}
+		label := n.Label
+		if label == "" {
+			label = n.Kind.String()
+		}
+		fmt.Fprintf(&b, "  (%d) %-40s -> %s\n", n.ID, label, strings.Join(succs, ", "))
+	}
+	return b.String()
+}

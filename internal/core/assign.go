@@ -1,0 +1,324 @@
+package core
+
+import (
+	"golclint/internal/annot"
+	"golclint/internal/cast"
+	"golclint/internal/ctoken"
+	"golclint/internal/diag"
+)
+
+// evalAssign checks and applies an assignment expression.
+func (c *checker) evalAssign(st *store, a *cast.Assign) value {
+	if a.Op != cast.AssignEq {
+		// Compound assignment: both a read and a write; states of the
+		// target are unchanged apart from becoming defined.
+		lhs := c.evalExpr(st, a.LHS, true)
+		c.evalExpr(st, a.RHS, true)
+		if lhs.key != "" {
+			st.applyToAliases(lhs.key, func(r *refState) {
+				if r.def == DefUndefined {
+					r.def = DefDefined
+				}
+			})
+		}
+		a.SetType(lhs.typ)
+		return lhs
+	}
+	rhs := c.evalExpr(st, a.RHS, true)
+	lhs := c.evalExpr(st, a.LHS, false)
+	if lhs.key == "" {
+		a.SetType(lhs.typ)
+		return rhs
+	}
+	c.assignTo(st, lhs.key, rhs, a.P, cast.ExprString(a))
+	a.SetType(lhs.typ)
+	if rs, ok := st.refs[lhs.key]; ok {
+		return valueOf(lhs.key, rs)
+	}
+	return rhs
+}
+
+// assignTo binds the value rhs to the reference lkey, performing the
+// paper's checks: loss of a release obligation (leak), transfer-of-
+// obligation rules for only/owned sinks, alias recording, and state
+// propagation.
+func (c *checker) assignTo(st *store, lkey string, rhs value, pos ctoken.Pos, exprText string) {
+	lrs, ok := st.refs[lkey]
+	if !ok {
+		return
+	}
+
+	// Observer storage must not be modified by the caller (§4.4 /
+	// Appendix B). Writing through a derived reference of an observer
+	// result modifies the observed object; rebinding a local that merely
+	// holds the observer pointer is fine.
+	if lrs.observer && isDerivedKey(lkey) {
+		d := c.report(diag.ObserverMod, pos,
+			"Observer storage %s may not be modified: %s", display(lkey), exprText)
+		if d != nil && lrs.declPos.IsValid() {
+			d.WithNote(lrs.declPos, "Storage %s becomes observer", display(lkey))
+		}
+	}
+
+	// Derived targets (l->next, argp->a) write through to storage also
+	// named by the structural mirrors of the same access path: keys that
+	// spell the path through an alias of the parent (argl->next for
+	// l->next). Value aliases (a local that happens to point to the same
+	// node) are NOT mirrors — they keep their own binding.
+	derived := isDerivedKey(lkey)
+	var structural []string
+	if derived {
+		parent := baseOf(lkey)
+		mirror := map[string]bool{}
+		for _, ap := range st.aliasesOf(parent) {
+			if len(lkey) > 0 && lkey[0] == '*' && lkey == "*"+parent {
+				mirror["*"+ap] = true // deref selectors prefix the base
+			} else {
+				mirror[ap+lkey[len(parent):]] = true
+			}
+		}
+		for _, al := range st.aliasesOf(lkey) {
+			if mirror[al] {
+				structural = append(structural, al)
+			}
+		}
+	}
+
+	// 1. Losing the last reference to unreleased storage (§4.3: "Only
+	// storage gname not released before assignment"). Structural mirrors
+	// name the same path, so they do not keep the storage reachable; a
+	// source that already shares the target's storage is being re-stored,
+	// not lost.
+	sameObject := rhs.key != "" && (rhs.key == lkey || st.aliases[lkey][rhs.key])
+	if !sameObject {
+		c.checkLoss(st, lkey, lrs, pos, "assignment: "+exprText, structural)
+	}
+
+	// 2. Transfer rules. The sink's governing allocation annotation
+	// decides what may be assigned.
+	sinkAnn, _ := lrs.declAnn.InCategory(annot.CatAllocation)
+	if sinkAnn == 0 && lrs.implOnly {
+		sinkAnn = annot.Only
+	}
+	rhsOwned := rhs.alloc == AllocOnly || rhs.alloc == AllocOwned
+	switch sinkAnn {
+	case annot.Only, annot.Owned:
+		switch {
+		case rhs.isNullConst || rhs.alloc == AllocError || rhs.alloc == AllocUnknown:
+			// Assigning NULL or already-poisoned storage: no transfer.
+		case rhsOwned:
+			// Obligation transfers. Unlike passing to an only parameter
+			// (which kills the reference), a transferring assignment
+			// leaves the source usable: "the allocation state of e
+			// becomes kept ... it can still be safely used" (§5).
+			if rhs.key != "" && rhs.key != lkey {
+				st.applyToAliases(rhs.key, func(r *refState) {
+					if r.alloc.Owning() {
+						r.alloc = AllocKept
+					}
+				})
+			}
+		default:
+			d := c.report(diag.AliasTransfer, pos,
+				"%s storage %s assigned to %s %s: %s",
+				titleAlloc(rhs.alloc), sourceName(rhs), sinkAnn, display(lkey), exprText)
+			if d != nil && rhs.declPos.IsValid() {
+				d.WithNote(rhs.declPos, "Storage %s becomes %s", sourceName(rhs), describeValAlloc(rhs))
+			}
+		}
+	default:
+		// Owned storage stored into an unannotated caller-visible sink —
+		// a field of reachable storage or a global, not a rebindable
+		// parameter local — loses its release obligation silently: the
+		// "missing only" anomaly the paper's -allimponly pass surfaces
+		// (§6).
+		if rhsOwned && lrs.external && !rhs.isNullConst &&
+			(isDerivedKey(lkey) || len(lkey) > 2 && lkey[:2] == "g:") {
+			d := c.report(diag.Leak, pos,
+				"Only storage %s assigned to unannotated external reference %s (release obligation lost; annotate with only): %s",
+				sourceName(rhs), display(lkey), exprText)
+			if d != nil && rhs.declPos.IsValid() {
+				d.WithNote(rhs.declPos, "Storage %s becomes only", sourceName(rhs))
+			}
+		}
+	}
+
+	// Capture the source's alias closure before the rebind invalidates
+	// keys derived from the target (l = l->next: the key "l->next" will
+	// no longer denote the assigned object, but argl->next still does).
+	var rhsAliases []string
+	if rhs.key != "" {
+		rhsAliases = st.aliasesOf(rhs.key)
+	}
+
+	// 3. Rebind: drop stale derived references of the target (and of its
+	// structural aliases); base references also unbind from their old
+	// alias set, while derived targets keep their structural aliases.
+	st.dropChildren(lkey)
+	for _, al := range structural {
+		st.dropChildren(al)
+	}
+	if !derived {
+		st.dropAliases(lkey)
+	} else {
+		// Keep structural mirrors; drop value aliases — the rebound path
+		// (and its mirrors, which spell the same path) no longer shares
+		// storage with them.
+		keep := map[string]bool{lkey: true}
+		for _, al := range structural {
+			keep[al] = true
+		}
+		for _, member := range append([]string{lkey}, structural...) {
+			for _, al := range st.aliasesOf(member) {
+				if !keep[al] {
+					delete(st.aliases[member], al)
+					delete(st.aliases[al], member)
+				}
+			}
+		}
+	}
+
+	// 4. Record the new aliases (the target and source now share
+	// storage). Keys derived from the target itself are excluded: after
+	// the rebind they denote different storage.
+	if rhs.key != "" && rhs.key != lkey {
+		if !hasBase(rhs.key, lkey) {
+			st.addAlias(lkey, rhs.key)
+		}
+		for _, al := range rhsAliases {
+			if al != lkey && !hasBase(al, lkey) {
+				st.addAlias(lkey, al)
+			}
+		}
+	}
+
+	// 5. New states for the target.
+	if rhs.isNullConst {
+		lrs.null = NullYes
+		lrs.nullPos = pos
+		lrs.def = DefDefined
+	} else {
+		lrs.null = rhs.null
+		if rhs.null == NullMaybe || rhs.null == NullYes {
+			if rhs.nullPos.IsValid() {
+				lrs.nullPos = rhs.nullPos
+			} else {
+				lrs.nullPos = pos
+			}
+		}
+		lrs.def = rhs.def
+		if lrs.def == DefUndefined {
+			// Assigning an undefined value was already reported at the
+			// read; the target is now "defined" to that garbage.
+			lrs.def = DefDefined
+		}
+	}
+	switch sinkAnn {
+	case annot.Only:
+		lrs.alloc = AllocOnly
+		lrs.allocPos = lrs.declPos
+	case annot.Owned:
+		lrs.alloc = AllocOwned
+		lrs.allocPos = lrs.declPos
+	case annot.Dependent:
+		lrs.alloc = AllocDependent
+	case annot.Shared:
+		lrs.alloc = AllocShared
+	default:
+		if rhs.isNullConst {
+			lrs.alloc = AllocUnknown
+			lrs.observer = false
+		} else {
+			lrs.alloc = rhs.alloc
+			lrs.observer = rhs.observer
+			if rhs.alloc.Owning() {
+				lrs.allocPos = pos
+			}
+		}
+	}
+	// 6. Mirror the new state onto the surviving structural aliases and
+	// adjust ancestors on every spelling of this storage. Aliases removed
+	// by the rebind (children of a structural alias) are skipped entirely
+	// — propagating from a dropped key would weaken the fresh target.
+	newDef := lrs.def
+	lrs.baseline = newDef
+	for _, al := range structural {
+		ars, ok := st.refs[al]
+		if !ok {
+			continue
+		}
+		ars.def = newDef
+		ars.baseline = newDef
+		ars.null = lrs.null
+		ars.nullPos = lrs.nullPos
+		ars.alloc = lrs.alloc
+		ars.allocPos = lrs.allocPos
+		st.propagateDefUp(al, newDef)
+	}
+	st.propagateDefUp(lkey, newDef)
+}
+
+// checkLoss reports a leak when the last live reference to storage with an
+// unmet release obligation is overwritten or lost. Keys in exclude (and
+// anonymous heap references, which are not program references) do not keep
+// storage reachable.
+func (c *checker) checkLoss(st *store, key string, rs *refState, pos ctoken.Pos, how string, exclude []string) {
+	if !rs.alloc.Owning() {
+		return
+	}
+	if rs.def == DefUndefined || rs.null == NullYes {
+		return // never held storage / holds NULL
+	}
+	excluded := map[string]bool{}
+	for _, e := range exclude {
+		excluded[e] = true
+	}
+	// Another live reference to the same storage keeps it reachable.
+	for _, al := range st.aliasesOf(key) {
+		if excluded[al] || isHeapKey(al) {
+			continue
+		}
+		if ars, ok := st.refs[al]; ok && ars.alloc.Live() {
+			return
+		}
+	}
+	d := c.report(diag.Leak, pos, "Only storage %s not released before %s", display(key), how)
+	if d != nil {
+		if rs.allocPos.IsValid() {
+			d.WithNote(rs.allocPos, "Storage %s becomes only", display(key))
+		} else if rs.declPos.IsValid() {
+			d.WithNote(rs.declPos, "Storage %s becomes only", display(key))
+		}
+	}
+	// Poison the whole closure so the loss is reported once.
+	st.applyToAliases(key, func(r *refState) { r.alloc = AllocError })
+}
+
+// titleAlloc renders an allocation state capitalized for message starts.
+func titleAlloc(a AllocState) string {
+	s := a.String()
+	if s == "" {
+		return "Unannotated"
+	}
+	b := []byte(s)
+	if b[0] >= 'a' && b[0] <= 'z' {
+		b[0] -= 'a' - 'A'
+	}
+	return string(b)
+}
+
+// describeValAlloc names the rhs allocation state for notes.
+func describeValAlloc(v value) string {
+	if a, ok := v.declAnn.InCategory(annot.CatAllocation); ok {
+		return a.String()
+	}
+	return v.alloc.String()
+}
+
+// sourceName names the source of a value for messages.
+func sourceName(v value) string {
+	if v.key != "" {
+		return display(v.key)
+	}
+	return "<expression>"
+}

@@ -1,0 +1,430 @@
+package core
+
+import (
+	"golclint/internal/annot"
+	"golclint/internal/cast"
+	"golclint/internal/ctoken"
+	"golclint/internal/ctypes"
+	"golclint/internal/diag"
+	"golclint/internal/sema"
+)
+
+// evalCall checks a function call against the callee's interface
+// annotations and computes the result value (§2: "LCLint checks that the
+// arguments and global variables used by the function satisfy the
+// assumptions made by the implementation of the called function").
+func (c *checker) evalCall(st *store, call *cast.Call) value {
+	name := call.FunName()
+	sig, known := c.prog.Lookup(name)
+	if !known {
+		// Indirect call or unknown function: evaluate arguments for
+		// effect only.
+		fv := c.evalExpr(st, call.Fun, true)
+		for _, a := range call.Args {
+			c.evalExpr(st, a, true)
+		}
+		var rt *ctypes.Type
+		if fv.typ != nil && fv.typ.IsFunc() {
+			rt = fv.typ.Resolve().Return
+		}
+		call.SetType(rt)
+		return anonValue(rt)
+	}
+
+	// assert(cond) acts as a guard: execution continues only on the true
+	// branch.
+	if name == "assert" && len(call.Args) == 1 {
+		stT, _ := c.checkCond(st, call.Args[0])
+		*st = *stT
+		call.SetType(ctypes.VoidType)
+		return anonValue(ctypes.VoidType)
+	}
+
+	vals := make([]value, len(call.Args))
+	for i, argE := range call.Args {
+		eff := sig.EffectiveParam(i)
+		asRvalue := true
+		v := c.evalExpr(st, argE, asRvalue)
+		vals[i] = v
+		if i >= len(sig.Params) {
+			continue // variadic extras: no annotation checks
+		}
+		c.checkArg(st, name, sig, i, argE, v, eff, call.P)
+	}
+
+	// Unique-parameter aliasing (§4.4, the strcpy example).
+	for i := range call.Args {
+		if i >= len(sig.Params) {
+			break
+		}
+		eff := sig.EffectiveParam(i)
+		if eff.Has(annot.Unique) {
+			c.checkUnique(st, name, call, vals, i)
+		}
+	}
+
+	// Globals used by the callee must satisfy their annotations now, and
+	// are re-assumed afterwards (the callee may change them).
+	c.checkCallGlobals(st, name, sig, call.P)
+
+	// Post-call argument states.
+	for i := range call.Args {
+		if i >= len(sig.Params) {
+			break
+		}
+		eff := sig.EffectiveParam(i)
+		v := vals[i]
+		if v.key == "" && v.pointee == "" {
+			continue
+		}
+		switch a, _ := eff.InCategory(annot.CatAllocation); a {
+		case annot.Only, annot.KillRef:
+			if v.alloc == AllocOnly || v.alloc == AllocOwned {
+				st.applyToAliases(v.key, func(r *refState) {
+					r.alloc = AllocDead
+					r.deadPos = call.P
+				})
+			}
+		case annot.Keep:
+			st.applyToAliases(v.key, func(r *refState) {
+				if r.alloc.Owning() {
+					r.alloc = AllocKept
+				}
+			})
+		}
+		if eff.Has(annot.Out) {
+			// "After the call, storage that was passed as an out
+			// parameter is assumed to be completely defined." For an
+			// &local argument the defined storage is the local itself.
+			tgt := v.key
+			if tgt == "" {
+				tgt = v.pointee
+			}
+			if tgt != "" {
+				st.dropChildren(tgt)
+				st.applyToAliases(tgt, func(r *refState) {
+					if r.alloc != AllocDead {
+						r.def = DefDefined
+					}
+				})
+				st.propagateDefUp(tgt, DefDefined)
+			}
+		}
+	}
+
+	if sig.NoReturn {
+		st.unreachable = true
+	}
+
+	return c.callResult(st, call, sig, vals)
+}
+
+// checkArg checks one actual argument against the formal's annotations.
+func (c *checker) checkArg(st *store, fname string, sig *sema.FuncSig, i int, argE cast.Expr, v value, eff annot.Set, pos ctoken.Pos) {
+	paramName := sig.Params[i].Name
+	if paramName == "" {
+		paramName = display(v.key)
+	}
+	ptrParam := sig.Params[i].Type != nil && sig.Params[i].Type.IsPointerLike()
+
+	// Null checking: a possibly-null actual may not be passed where a
+	// non-null formal is expected.
+	if ptrParam && !eff.Has(annot.Null) && !eff.Has(annot.RelNull) && !v.isNullConst {
+		if v.null == NullMaybe || v.null == NullYes {
+			d := c.report(diag.NullPass, pos,
+				"Possibly null storage %s passed as non-null param %s of %s",
+				sourceName(v), paramName, fname)
+			if d != nil && v.nullPos.IsValid() {
+				d.WithNote(v.nullPos, "Storage %s may become null", sourceName(v))
+			}
+			if v.key != "" {
+				st.applyToAliases(v.key, func(r *refState) { r.null = NullNo })
+			}
+		}
+	}
+
+	// Definition checking: parameters must be completely defined unless
+	// declared out (§4.2).
+	if ptrParam && !v.isNullConst {
+		if eff.Has(annot.Out) || eff.Has(annot.Partial) || eff.Has(annot.RelDef) {
+			// Allocated / partially defined storage is acceptable.
+		} else if v.key != "" || v.pointee != "" {
+			tgt := v.key
+			if tgt == "" {
+				tgt = v.pointee
+			}
+			if ok, bad := c.completeness(st, tgt, 0); !ok {
+				c.report(diag.IncompleteDef, pos,
+					"Storage %s passed as completely defined param %s of %s is not completely defined (%s may be undefined)",
+					sourceName(v), paramName, fname, display(bad))
+				st.applyToAliases(tgt, func(r *refState) { r.def = DefDefined })
+				st.dropChildren(tgt)
+			}
+		}
+	}
+
+	// Allocation transfer checking (§4.3). killref consumes a reference
+	// exactly as only consumes an obligation.
+	switch a, _ := eff.InCategory(annot.CatAllocation); a {
+	case annot.Only, annot.KillRef:
+		switch {
+		case v.isNullConst:
+			// free(NULL) is allowed by the annotated standard library
+			// signature (null param); nothing to transfer.
+		case v.alloc == AllocOnly || v.alloc == AllocOwned:
+			// Obligation transfers; the post-call pass marks it dead.
+			// Complete-destruction check (§4.3 footnote): passing an
+			// out-only void* (a deallocator) must not lose live unshared
+			// derived storage.
+			if eff.Has(annot.Out) && sig.Params[i].Type.IsVoidPointer() && v.key != "" {
+				c.checkCompleteDestruction(st, v.key, fname, pos)
+			}
+		case v.alloc == AllocKept || v.alloc == AllocDead:
+			d := c.report(diag.DoubleRelease, pos,
+				"Storage %s passed as only param %s of %s after its release obligation was already satisfied",
+				sourceName(v), paramName, fname)
+			if v.key != "" {
+				if rs, ok := st.refs[v.key]; ok && d != nil && rs.deadPos.IsValid() {
+					d.WithNote(rs.deadPos, "Storage %s is released", sourceName(v))
+				}
+			}
+		case v.alloc == AllocError || v.alloc == AllocUnknown:
+			// Poisoned by an earlier anomaly: stay quiet.
+		default:
+			d := c.report(diag.AliasTransfer, pos,
+				"%s storage %s passed as only param: %s(%s)",
+				implicitly(v), sourceName(v), fname, cast.ExprString(argE))
+			if d != nil && v.declPos.IsValid() {
+				d.WithNote(v.declPos, "Storage %s becomes %s", sourceName(v), describeValAlloc(v))
+			}
+		}
+	case annot.Temp, annot.Keep, 0:
+		// No transfer; nothing further to check here.
+	}
+}
+
+// implicitly prefixes the allocation state name with "Implicitly" when the
+// state came from a default rather than an explicit annotation (matching
+// the paper's "Implicitly temp storage c passed as only param").
+func implicitly(v value) string {
+	if _, explicit := v.declAnn.InCategory(annot.CatAllocation); !explicit {
+		return "Implicitly " + v.alloc.String()
+	}
+	return titleAlloc(v.alloc)
+}
+
+// checkCompleteDestruction reports live unshared storage reachable from a
+// reference being passed to a deallocator (§4.3 footnote: "LCLint checks
+// that any parameter passed as an out only void * does not contain
+// references to live, unshared objects").
+func (c *checker) checkCompleteDestruction(st *store, key string, fname string, pos ctoken.Pos) {
+	// Untouched fields that are declared only and non-null are guaranteed
+	// live storage the deallocation loses.
+	if rs, ok := st.refs[key]; ok && rs.typ != nil {
+		r := rs.typ.Resolve()
+		if r.Kind == ctypes.Pointer && r.Elem != nil && r.Elem.IsStructUnion() {
+			for _, f := range r.Elem.Resolve().Fields {
+				fEff := f.Type.EffectiveAnnots(f.Annots)
+				a, _ := fEff.InCategory(annot.CatAllocation)
+				if a != annot.Only && a != annot.Owned {
+					continue
+				}
+				if fEff.Has(annot.Null) || fEff.Has(annot.RelNull) {
+					continue // may legitimately hold NULL
+				}
+				ck := childKey(key, selector{kind: selArrow, name: f.Name})
+				if _, stored := st.refs[ck]; !stored {
+					c.report(diag.Leak, pos,
+						"Only storage %s derivable from %s is not released before %s destroys its base",
+						display(ck), display(key), fname)
+				}
+			}
+		}
+	}
+	for _, k := range st.sortedKeys() {
+		if !hasBase(k, key) {
+			continue
+		}
+		rs := st.refs[k]
+		if rs.alloc.Owning() && rs.def != DefUndefined && rs.null != NullYes {
+			aliasLive := false
+			for _, al := range st.aliasesOf(k) {
+				if !hasBase(al, key) && al != key {
+					if ars, ok := st.refs[al]; ok && ars.alloc.Live() {
+						aliasLive = true
+					}
+				}
+			}
+			if !aliasLive {
+				d := c.report(diag.Leak, pos,
+					"Only storage %s derivable from %s is not released before %s destroys its base",
+					display(k), display(key), fname)
+				if d != nil && rs.allocPos.IsValid() {
+					d.WithNote(rs.allocPos, "Storage %s becomes only", display(k))
+				}
+			}
+		}
+	}
+}
+
+// checkUnique reports a unique parameter whose actual may share storage
+// with another argument or an accessible global (§4.4).
+func (c *checker) checkUnique(st *store, fname string, call *cast.Call, vals []value, i int) {
+	vi := vals[i]
+	if vi.key == "" {
+		return
+	}
+	if !externallyShared(st, vi) {
+		return
+	}
+	for j := range vals {
+		if j == i || j >= len(vals) {
+			continue
+		}
+		vj := vals[j]
+		if vj.typ == nil || !vj.typ.IsPointerLike() || vj.isNullConst {
+			continue
+		}
+		// Direct may-alias information.
+		direct := vj.key != "" && (vj.key == vi.key || st.aliases[vi.key][vj.key])
+		if direct || externallyShared(st, vj) {
+			c.report(diag.UniqueAliased, call.P,
+				"Parameter %d (%s) to function %s is declared unique but may be aliased externally by parameter %d (%s)",
+				i+1, sourceName(vi), fname, j+1, sourceName(vj))
+			return
+		}
+	}
+}
+
+// externallyShared reports whether a value's storage could be reachable
+// from outside the current function (parameter- or global-derived, without
+// an unshared guarantee).
+func externallyShared(st *store, v value) bool {
+	if v.key == "" {
+		return false
+	}
+	rs, ok := st.refs[v.key]
+	if !ok {
+		return false
+	}
+	if v.alloc == AllocOnly || v.alloc == AllocOwned {
+		return false // unshared by definition
+	}
+	if rs.declAnn.Has(annot.Unique) {
+		return false // declared free of external aliases
+	}
+	return rs.external
+}
+
+// checkCallGlobals verifies that globals the callee uses satisfy their
+// annotated state at the call, then re-assumes the annotated state (the
+// callee may modify them).
+func (c *checker) checkCallGlobals(st *store, fname string, sig *sema.FuncSig, pos ctoken.Pos) {
+	for _, gname := range sig.GlobalsUsed {
+		g, ok := c.prog.Global(gname)
+		if !ok {
+			continue
+		}
+		key := globalKey(gname)
+		rs, present := st.refs[key]
+		if !present {
+			continue // never touched: still in its assumed state
+		}
+		eff := g.Effective(c.fl)
+		if !eff.Has(annot.Null) && !eff.Has(annot.RelNull) && (rs.null == NullMaybe || rs.null == NullYes) {
+			d := c.report(diag.NullPass, pos,
+				"Non-null global %s may be null when %s (which uses it) is called", gname, fname)
+			if d != nil && rs.nullPos.IsValid() {
+				d.WithNote(rs.nullPos, "Storage %s may become null", gname)
+			}
+		}
+		if rs.alloc == AllocDead {
+			d := c.report(diag.UseDead, pos,
+				"Global %s has been released when %s (which uses it) is called", gname, fname)
+			if d != nil && rs.deadPos.IsValid() {
+				d.WithNote(rs.deadPos, "Storage %s is released", gname)
+			}
+		}
+		if !eff.Has(annot.Undef) && !rs.relDef {
+			if ok, bad := c.completeness(st, key, 0); !ok {
+				c.report(diag.IncompleteDef, pos,
+					"Global %s is not completely defined when %s (which uses it) is called (%s may be undefined)",
+					gname, fname, display(bad))
+			}
+		}
+		// Re-assume the declared state after the call.
+		st.dropChildren(key)
+		st.dropAliases(key)
+		fresh := &refState{
+			typ: g.Type, declAnn: eff, declPos: g.Pos, external: true,
+			def: defFromAnnots(eff), null: nullFromAnnots(eff),
+			alloc:   allocFromAnnots(eff),
+			relNull: eff.Has(annot.RelNull),
+			relDef:  eff.Has(annot.RelDef) || eff.Has(annot.Partial),
+		}
+		if fresh.alloc == AllocUnknown {
+			if g.Type != nil && g.Type.IsPointerLike() && c.fl.ImplicitOnly {
+				fresh.alloc = AllocOnly
+				fresh.implOnly = true
+			} else {
+				fresh.alloc = AllocStatic
+			}
+		}
+		if fresh.null == NullMaybe {
+			fresh.nullPos = pos
+		}
+		st.refs[key] = fresh
+	}
+}
+
+// callResult computes the value of the call expression from the result
+// annotations.
+func (c *checker) callResult(st *store, call *cast.Call, sig *sema.FuncSig, vals []value) value {
+	res := sig.EffectiveResult(c.fl)
+	rt := sig.Result
+	call.SetType(rt)
+	if rt == nil || rt.IsVoid() {
+		return anonValue(rt)
+	}
+
+	// returned parameter: the result may alias that actual (§4.4).
+	for i := range sig.Params {
+		if i >= len(vals) {
+			break
+		}
+		if sig.EffectiveParam(i).Has(annot.Returned) && vals[i].key != "" {
+			v := vals[i]
+			v.typ = rt
+			return v
+		}
+	}
+
+	if !rt.IsPointerLike() {
+		return anonValue(rt)
+	}
+
+	// Fresh storage result: track it as an anonymous heap reference so
+	// obligations and nullness follow it.
+	key, rs := c.freshHeapRef(st, rt, res, call.P)
+	if a, _ := res.InCategory(annot.CatAllocation); a != annot.Only && a != annot.Owned && a != annot.NewRef {
+		// Non-owning result: no obligation attaches.
+		switch a {
+		case annot.Dependent:
+			rs.alloc = AllocDependent
+		case annot.Shared:
+			rs.alloc = AllocShared
+		default:
+			rs.alloc = AllocTemp
+		}
+	}
+	if res.Has(annot.Observer) {
+		rs.alloc = AllocDependent
+		rs.observer = true
+	}
+	if res.Has(annot.Exposed) {
+		// Exposed internal storage: may be modified but not deallocated
+		// (Appendix B).
+		rs.alloc = AllocDependent
+	}
+	return valueOf(key, rs)
+}

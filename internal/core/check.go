@@ -1,0 +1,159 @@
+package core
+
+import (
+	"sort"
+
+	"golclint/internal/cast"
+	"golclint/internal/cparse"
+	"golclint/internal/cpp"
+	"golclint/internal/diag"
+	"golclint/internal/flags"
+	"golclint/internal/sema"
+)
+
+// Options configures a checking run.
+type Options struct {
+	// Flags is the checker configuration; nil means flags.Default().
+	Flags *flags.Flags
+	// Includes resolves #include directives beyond the builtin headers;
+	// may be nil.
+	Includes cpp.Includer
+	// Defines are additional object-like macro predefinitions.
+	Defines map[string]string
+	// PreCheck runs after environment construction and before checking;
+	// the modular-checking path uses it to install an interface library
+	// (see internal/library).
+	PreCheck func(*sema.Program) error
+}
+
+// Result is the outcome of a checking run.
+type Result struct {
+	// Diags are the retained diagnostics in source order.
+	Diags []*diag.Diagnostic
+	// Suppressed counts messages dropped by stylized comments.
+	Suppressed int
+	// ParseErrors are syntax/preprocessing errors.
+	ParseErrors []string
+	// SemaErrors are environment-construction errors.
+	SemaErrors []string
+	// Program is the analyzed environment.
+	Program *sema.Program
+	// Units are the parsed translation units.
+	Units []*cast.Unit
+}
+
+// Messages renders the diagnostics in the paper's format.
+func (r *Result) Messages() string {
+	var b []byte
+	for _, d := range r.Diags {
+		b = append(b, d.String()...)
+		b = append(b, '\n')
+	}
+	return string(b)
+}
+
+// CountByCode tallies diagnostics per code.
+func (r *Result) CountByCode() map[diag.Code]int {
+	m := map[diag.Code]int{}
+	for _, d := range r.Diags {
+		m[d.Code]++
+	}
+	return m
+}
+
+// builtinHeaders are the headers the checker provides itself so checked
+// programs are self-contained (the substitution for the system headers the
+// real LCLint relied on).
+var builtinHeaders = map[string]string{
+	"stdlib.h": "typedef unsigned long size_t;\n" +
+		"#define NULL ((void*)0)\n" +
+		"#define EXIT_FAILURE 1\n" +
+		"#define EXIT_SUCCESS 0\n",
+	"stdio.h": "#define NULL ((void*)0)\n" +
+		"#define EOF (-1)\n",
+	"string.h": "typedef unsigned long size_t;\n" +
+		"#define NULL ((void*)0)\n",
+	"assert.h": "",
+	"bool.h": "typedef int bool;\n" +
+		"#define TRUE 1\n" +
+		"#define FALSE 0\n",
+}
+
+// stackedIncluder resolves from the primary includer first, then the
+// builtin headers.
+type stackedIncluder struct {
+	primary cpp.Includer
+}
+
+// Include implements cpp.Includer.
+func (s stackedIncluder) Include(name string) (string, error) {
+	if s.primary != nil {
+		if src, err := s.primary.Include(name); err == nil {
+			return src, nil
+		}
+	}
+	return cpp.MapIncluder(builtinHeaders).Include(name)
+}
+
+// CheckSources preprocesses, parses, analyzes, and checks a set of source
+// files (name -> contents), processed in sorted name order for
+// determinism.
+func CheckSources(files map[string]string, opt Options) *Result {
+	fl := opt.Flags
+	if fl == nil {
+		fl = flags.Default()
+	}
+	res := &Result{}
+	rep := diag.NewReporter(fl.MaxMessages)
+
+	names := make([]string, 0, len(files))
+	for n := range files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	var units []*cast.Unit
+	for _, name := range names {
+		pp := cpp.New(stackedIncluder{primary: opt.Includes})
+		pp.Define("NULL", "((void*)0)")
+		for k, v := range opt.Defines {
+			pp.Define(k, v)
+		}
+		expanded := pp.Process(name, files[name])
+		for _, e := range pp.Errors() {
+			res.ParseErrors = append(res.ParseErrors, e.Error())
+		}
+		pr := cparse.Parse(name, expanded)
+		for _, e := range pr.Errors {
+			res.ParseErrors = append(res.ParseErrors, e.Error())
+		}
+		var controls []diag.Control
+		for _, ctl := range pr.Controls {
+			controls = append(controls, diag.Control{Pos: ctl.Pos, Text: ctl.Text})
+		}
+		rep.AddSuppressions(controls)
+		units = append(units, pr.Unit)
+	}
+
+	prog := sema.Analyze(units)
+	for _, e := range prog.Errors {
+		res.SemaErrors = append(res.SemaErrors, e.Error())
+	}
+	if opt.PreCheck != nil {
+		if err := opt.PreCheck(prog); err != nil {
+			res.SemaErrors = append(res.SemaErrors, err.Error())
+		}
+	}
+	CheckProgram(prog, fl, rep)
+
+	res.Diags = rep.Diags()
+	res.Suppressed = rep.Suppressed()
+	res.Program = prog
+	res.Units = units
+	return res
+}
+
+// CheckSource checks a single source file.
+func CheckSource(name, src string, opt Options) *Result {
+	return CheckSources(map[string]string{name: src}, opt)
+}

@@ -1,0 +1,298 @@
+package core
+
+import (
+	"sort"
+	"strings"
+
+	"golclint/internal/annot"
+	"golclint/internal/cast"
+	"golclint/internal/cfg"
+	"golclint/internal/ctoken"
+	"golclint/internal/ctypes"
+	"golclint/internal/diag"
+	"golclint/internal/flags"
+	"golclint/internal/sema"
+)
+
+// checker holds the per-run state of the analysis.
+type checker struct {
+	prog *sema.Program
+	fl   *flags.Flags
+	rep  *diag.Reporter
+
+	// Current function under analysis.
+	fn  *cast.FuncDef
+	sig *sema.FuncSig
+
+	heapCount  int
+	indexCount int
+	unknown    map[string]bool
+	topBlock   *cast.Block
+
+	// breakStates/continueStates collect the stores flowing to the
+	// innermost enclosing loop/switch exit and loop head.
+	breakStates    []*[]*store
+	continueStates []*[]*store
+}
+
+// CheckProgram checks every function definition in the program, filing
+// diagnostics with the reporter.
+func CheckProgram(prog *sema.Program, fl *flags.Flags, rep *diag.Reporter) {
+	c := &checker{prog: prog, fl: fl, rep: rep, unknown: map[string]bool{}}
+	for _, u := range prog.Units {
+		for _, f := range u.Funcs() {
+			c.checkFunction(f)
+		}
+	}
+}
+
+// CheckFunction checks a single function definition (used by tests and
+// the modular-checking library path).
+func CheckFunction(prog *sema.Program, fl *flags.Flags, rep *diag.Reporter, f *cast.FuncDef) {
+	c := &checker{prog: prog, fl: fl, rep: rep, unknown: map[string]bool{}}
+	c.checkFunction(f)
+}
+
+// checkFunction analyzes one function body in a single forward pass.
+func (c *checker) checkFunction(f *cast.FuncDef) {
+	c.fn = f
+	sig, ok := c.prog.Lookup(f.Name)
+	if !ok {
+		return
+	}
+	c.sig = sig
+	st := newStore()
+
+	// Entry state: parameters are assumed to satisfy their annotations
+	// (§2). Each parameter gets a body-visible reference and a
+	// caller-visible mirror (the paper's "argl"), initially aliased.
+	for i, prm := range f.Params {
+		if prm.Name == "" {
+			continue
+		}
+		eff := sig.EffectiveParam(i)
+		local := c.ensureRef(st, prm.Name, prm.Type, eff, prm.Pos(), true)
+		mirror := c.ensureRef(st, argKey(prm.Name), prm.Type, eff, prm.Pos(), true)
+		_ = local
+		_ = mirror
+		st.addAlias(prm.Name, argKey(prm.Name))
+	}
+	// Globals used by the function are assumed to satisfy their
+	// annotations on entry.
+	for _, gname := range sig.GlobalsUsed {
+		if g, ok := c.prog.Global(gname); ok {
+			c.ensureRef(st, globalKey(gname), g.Type, g.Effective(c.fl), g.Pos, true)
+		}
+	}
+
+	// Unreachable statements (code after a return/break on every path)
+	// are anomalies in their own right; the acyclic CFG makes them easy
+	// to find. One message per contiguous dead region.
+	g := cfg.Build(f)
+	var lastDead int
+	for _, n := range g.Unreachable() {
+		if n.Pos.IsValid() && n.Pos.Line != lastDead+1 {
+			c.report(diag.DeadCode, n.Pos, "Code is not reachable")
+		}
+		lastDead = n.Pos.Line
+	}
+
+	c.topBlock = f.Body
+	out := c.checkStmt(st, f.Body)
+	if !out.unreachable {
+		endPos := f.Body.Pos()
+		if n := len(f.Body.Items); n > 0 {
+			endPos = f.Body.Items[n-1].Pos()
+			endPos.Line++ // the paper reports fall-off-the-end anomalies at the closing brace
+		}
+		if sig.Result != nil && !sig.Result.IsVoid() {
+			// Falling off the end of a value-returning function is
+			// tolerated (common C); exit constraints still apply.
+			c.checkExitState(out, endPos)
+		} else {
+			c.checkExitState(out, endPos)
+		}
+	}
+	c.fn, c.sig = nil, nil
+}
+
+// report wraps the reporter with per-class flag gating.
+func (c *checker) report(code diag.Code, pos ctoken.Pos, format string, args ...interface{}) *diag.Diagnostic {
+	switch code {
+	case diag.NullDeref, diag.NullPass, diag.NullAssign, diag.NullReturn:
+		if !c.fl.NullChecking {
+			return nil
+		}
+	case diag.UseUndef, diag.IncompleteDef:
+		if !c.fl.DefChecking {
+			return nil
+		}
+	case diag.Leak, diag.LeakReturn, diag.DoubleRelease:
+		if !c.fl.AllocChecking || c.fl.GCMode {
+			return nil
+		}
+	case diag.UseDead, diag.AliasTransfer, diag.Confluence:
+		if !c.fl.AllocChecking {
+			return nil
+		}
+	case diag.UniqueAliased, diag.ObserverMod, diag.Exposure:
+		if !c.fl.AliasChecking {
+			return nil
+		}
+	}
+	return c.rep.Report(code, pos, format, args...)
+}
+
+// mergeReport merges two stores and reports any confluence anomalies at
+// pos (§5: "This is a confluence error since there is no sensible way to
+// combine the allocation states").
+func (c *checker) mergeReport(a, b *store, pos ctoken.Pos) *store {
+	out, conflicts := mergeStores(a, b)
+	// One anomaly per storage object: aliased spellings (e and arge) and
+	// mirror keys report once, preferring the body-visible name.
+	sort.SliceStable(conflicts, func(i, j int) bool {
+		rank := func(k string) int {
+			switch {
+			case strings.HasPrefix(k, "arg:"):
+				return 2
+			case isHeapKey(k):
+				return 1
+			}
+			return 0
+		}
+		ri, rj := rank(conflicts[i].key), rank(conflicts[j].key)
+		if ri != rj {
+			return ri < rj
+		}
+		return conflicts[i].key < conflicts[j].key
+	})
+	reported := map[string]bool{}
+	for _, cf := range conflicts {
+		if reported[cf.key] {
+			continue
+		}
+		reported[cf.key] = true
+		for _, al := range out.aliasesOf(cf.key) {
+			reported[al] = true
+		}
+		d := c.report(diag.Confluence, pos,
+			"Storage %s is inconsistently %s on one path and %s on another (branches cannot be merged)",
+			display(cf.key), describeAlloc(cf.a), describeAlloc(cf.b))
+		if d != nil && cf.aState != nil && cf.aState.deadPos.IsValid() {
+			d.WithNote(cf.aState.deadPos, "Storage %s is released", display(cf.key))
+		}
+	}
+	return out
+}
+
+// describeAlloc renders an allocation state for confluence messages.
+func describeAlloc(a AllocState) string {
+	switch a {
+	case AllocOnly, AllocOwned:
+		return "only (must be released)"
+	case AllocKept:
+		return "kept (release obligation satisfied)"
+	case AllocDead:
+		return "released"
+	default:
+		return a.String()
+	}
+}
+
+// freshHeapRef creates a reference for anonymous fresh storage (an
+// allocation-function result) with states from its result annotations.
+func (c *checker) freshHeapRef(st *store, resType *ctypes.Type, res annot.Set, pos ctoken.Pos) (string, *refState) {
+	c.heapCount++
+	key := heapKey(c.heapCount)
+	rs := &refState{
+		typ:     resType,
+		declAnn: res,
+		declPos: pos,
+		def:     defFromAnnots(res),
+		null:    nullFromAnnots(res),
+		alloc:   allocFromAnnots(res),
+	}
+	rs.baseline = rs.def
+	if rs.null == NullMaybe {
+		rs.nullPos = pos
+	}
+	if rs.alloc == AllocUnknown {
+		rs.alloc = AllocOnly
+	}
+	rs.allocPos = pos
+	st.refs[key] = rs
+	return key, rs
+}
+
+// completeness checks whether the reference rooted at key is completely
+// defined, returning the deepest offending derived reference when not.
+// Depth is bounded to keep the analysis linear.
+func (c *checker) completeness(st *store, key string, depth int) (bool, string) {
+	rs, ok := st.refs[key]
+	if !ok || depth > 6 {
+		return true, ""
+	}
+	if rs.relDef {
+		return true, ""
+	}
+	switch rs.def {
+	case DefUndefined, DefAllocated:
+		return false, key
+	case DefDefined:
+		// Children recorded with weaker states still count.
+		for _, k := range st.sortedKeys() {
+			if baseOf(k) == key {
+				if ok2, bad := c.completeness(st, k, depth+1); !ok2 {
+					return false, bad
+				}
+			}
+		}
+		return true, ""
+	case DefPartial:
+		// Some reachable storage may be undefined: find it among stored
+		// children (of this spelling or of any alias), or materialize
+		// struct fields to name it.
+		for _, k := range st.sortedKeys() {
+			if baseOf(k) == key {
+				if ok2, bad := c.completeness(st, k, depth+1); !ok2 {
+					return false, bad
+				}
+			}
+		}
+		for _, al := range st.aliasesOf(key) {
+			if ok2, bad := c.completeness(st, al, depth+1); !ok2 {
+				return false, bad
+			}
+		}
+		// Name an untouched field if the stored children look complete.
+		if rs.typ != nil {
+			r := rs.typ.Resolve()
+			var fields []ctypes.Field
+			sel := selArrow
+			if r.Kind == ctypes.Pointer && r.Elem != nil && r.Elem.IsStructUnion() {
+				fields = r.Elem.Resolve().Fields
+			} else if r.IsStructUnion() {
+				fields = r.Fields
+				sel = selDot
+			}
+			if rs.baseline <= DefAllocated {
+				// Fresh (allocated) storage: untouched fields are
+				// undefined, unless their declaration relaxes definition
+				// checking (reldef/partial/out).
+				for _, f := range fields {
+					fEff := f.Type.EffectiveAnnots(f.Annots)
+					if fEff.Has(annot.RelDef) || fEff.Has(annot.Partial) || fEff.Has(annot.Out) {
+						continue
+					}
+					ck := childKey(key, selector{kind: sel, name: f.Name})
+					if _, stored := st.refs[ck]; !stored {
+						return false, ck
+					}
+				}
+			}
+		}
+		// Every reachable piece checks out: the object is complete.
+		return true, ""
+	}
+	return true, ""
+}

@@ -1,0 +1,499 @@
+package core
+
+// Second wave of behavioral tests: the remaining Appendix B annotations
+// (keep, owned/dependent, relnull, reldef, partial, notnull overrides,
+// returned), control-flow coverage (switch, do-while, for, ternary,
+// short-circuit), standard-library models (realloc, strdup, calloc), and
+// flag gating.
+
+import (
+	"testing"
+
+	"golclint/internal/diag"
+	"golclint/internal/flags"
+)
+
+// keep: like only, but the caller may still use the reference after the
+// call.
+func TestKeepParameter(t *testing.T) {
+	src := `#include <stdlib.h>
+extern void stash (/*@keep@*/ char *p);
+
+void go (void)
+{
+	char *p;
+	p = (char *) malloc (8);
+	if (p == NULL) { exit (1); }
+	*p = 'x';
+	stash (p);
+	*p = 'y';
+}
+`
+	res := check(t, src)
+	forbidDiag(t, res, diag.UseDead)
+	forbidDiag(t, res, diag.Leak)
+}
+
+// After keep, releasing again is a double release.
+func TestKeepThenFree(t *testing.T) {
+	src := `#include <stdlib.h>
+extern void stash (/*@keep@*/ char *p);
+
+void go (void)
+{
+	char *p;
+	p = (char *) malloc (8);
+	if (p == NULL) { exit (1); }
+	stash (p);
+	free (p);
+}
+`
+	res := check(t, src)
+	requireDiag(t, res, diag.DoubleRelease, 0, "already satisfied")
+}
+
+// owned/dependent: a dependent reference may not carry the obligation.
+func TestDependentToOnly(t *testing.T) {
+	src := `#include <stdlib.h>
+extern /*@dependent@*/ char *peek (void);
+
+void go (void)
+{
+	free (peek ());
+}
+`
+	res := check(t, src)
+	requireDiag(t, res, diag.AliasTransfer, 0, "passed as only param")
+}
+
+// relnull: assignable to NULL, assumed non-null when used.
+func TestRelNull(t *testing.T) {
+	src := `typedef struct { /*@relnull@*/ char *buf; int n; } box;
+
+char first (box *b)
+{
+	return *(b->buf);
+}
+
+void clear (box *b)
+{
+	b->buf = NULL;
+}
+`
+	res := check(t, src)
+	forbidDiag(t, res, diag.NullDeref)
+	forbidDiag(t, res, diag.NullReturn)
+}
+
+// reldef on a field relaxes completeness checking.
+func TestRelDefField(t *testing.T) {
+	src := `#include <stdlib.h>
+typedef struct { int id; /*@reldef@*/ char *scratch; } rec;
+
+/*@only@*/ rec *mk (void)
+{
+	rec *r;
+	r = (rec *) malloc (sizeof (rec));
+	if (r == NULL) { exit (1); }
+	r->id = 1;
+	return r;
+}
+`
+	res := check(t, src)
+	forbidDiag(t, res, diag.IncompleteDef)
+}
+
+// partial parameter admits incompletely defined storage.
+func TestPartialParameter(t *testing.T) {
+	src := `#include <stdlib.h>
+typedef struct { int a; int b; } pair;
+extern void half (/*@partial@*/ pair *p);
+
+void go (void)
+{
+	pair *p;
+	p = (pair *) malloc (sizeof (pair));
+	if (p == NULL) { exit (1); }
+	p->a = 1;
+	half (p);
+	free (p);
+}
+`
+	res := check(t, src)
+	forbidDiag(t, res, diag.IncompleteDef)
+}
+
+// notnull on a declaration overrides a null typedef (§4.1).
+func TestNotNullOverride(t *testing.T) {
+	src := `typedef /*@null@*/ char *maybe;
+
+char deref (/*@notnull@*/ maybe p)
+{
+	return *p;
+}
+`
+	res := check(t, src)
+	forbidDiag(t, res, diag.NullDeref)
+}
+
+// returned: the result aliases the parameter; no fresh obligation is
+// created.
+func TestReturnedParameter(t *testing.T) {
+	src := `#include <string.h>
+
+void fill (char *dst, char *src)
+{
+	char *end;
+	end = strcpy (dst, src);
+	*end = '!';
+}
+`
+	res := check(t, src)
+	forbidDiag(t, res, diag.Leak)
+	forbidDiag(t, res, diag.LeakReturn)
+}
+
+// realloc consumes its argument and returns fresh possibly-null storage.
+func TestRealloc(t *testing.T) {
+	src := `#include <stdlib.h>
+
+void grow (void)
+{
+	char *p;
+	char *q;
+	p = (char *) malloc (4);
+	if (p == NULL) { exit (1); }
+	q = (char *) realloc (p, 8);
+	if (q == NULL) { exit (1); }
+	free (q);
+}
+`
+	res := check(t, src)
+	if len(res.Diags) != 0 {
+		t.Fatalf("expected clean:\n%s", res.Messages())
+	}
+}
+
+// Using the old pointer after realloc is a use of dead storage.
+func TestUseAfterRealloc(t *testing.T) {
+	src := `#include <stdlib.h>
+
+void bad (void)
+{
+	char *p;
+	char *q;
+	p = (char *) malloc (4);
+	if (p == NULL) { exit (1); }
+	q = (char *) realloc (p, 8);
+	if (q == NULL) { exit (1); }
+	*p = 'x';
+	free (q);
+}
+`
+	res := check(t, src)
+	requireDiag(t, res, diag.UseDead, 0, "p")
+}
+
+// strdup returns fresh possibly-null only storage.
+func TestStrdup(t *testing.T) {
+	src := `#include <string.h>
+#include <stdlib.h>
+
+void dup (char *s)
+{
+	char *d;
+	d = strdup (s);
+	if (d == NULL) { exit (1); }
+	free (d);
+}
+`
+	res := check(t, src)
+	if len(res.Diags) != 0 {
+		t.Fatalf("expected clean:\n%s", res.Messages())
+	}
+}
+
+// Switch: releasing in some arms but not others is a confluence anomaly.
+func TestSwitchConfluence(t *testing.T) {
+	src := `#include <stdlib.h>
+
+void pick (int k, /*@only@*/ char *p)
+{
+	switch (k)
+	{
+	case 0:
+		free (p);
+		break;
+	case 1:
+		break;
+	default:
+		free (p);
+		break;
+	}
+}
+`
+	res := check(t, src)
+	requireDiag(t, res, diag.Confluence, 0, "p")
+}
+
+// Switch with uniform releases is clean.
+func TestSwitchClean(t *testing.T) {
+	src := `#include <stdlib.h>
+
+void pick (int k, /*@only@*/ char *p)
+{
+	switch (k)
+	{
+	case 0:
+		p[0] = 'a';
+		free (p);
+		break;
+	default:
+		free (p);
+		break;
+	}
+}
+`
+	res := check(t, src)
+	if len(res.Diags) != 0 {
+		t.Fatalf("expected clean:\n%s", res.Messages())
+	}
+}
+
+// do-while executes its body once in the model.
+func TestDoWhileGuard(t *testing.T) {
+	src := `#include <stdlib.h>
+
+void drain (/*@null@*/ /*@temp@*/ char *p)
+{
+	do
+	{
+		if (p == NULL) { return; }
+		*p = 'x';
+		p = NULL;
+	} while (p != NULL);
+}
+`
+	res := check(t, src)
+	forbidDiag(t, res, diag.NullDeref)
+}
+
+// Ternary with a null guard refines each arm.
+func TestTernaryGuard(t *testing.T) {
+	src := `char pick (/*@null@*/ char *p)
+{
+	return p != NULL ? *p : 'x';
+}
+`
+	res := check(t, src)
+	forbidDiag(t, res, diag.NullDeref)
+}
+
+// Short-circuit guards refine the right operand (p != NULL && *p).
+func TestShortCircuitGuard(t *testing.T) {
+	src := `int both (/*@null@*/ char *p)
+{
+	return p != NULL && *p == 'x';
+}
+`
+	res := check(t, src)
+	forbidDiag(t, res, diag.NullDeref)
+}
+
+func TestOrGuard(t *testing.T) {
+	src := `int either (/*@null@*/ char *p)
+{
+	if (p == NULL || *p == 0)
+	{
+		return 0;
+	}
+	return *p;
+}
+`
+	res := check(t, src)
+	forbidDiag(t, res, diag.NullDeref)
+}
+
+// Flags gate whole check classes.
+func TestNullFlagOff(t *testing.T) {
+	src := `char deref (/*@null@*/ char *p) { return *p; }
+`
+	fl := flags.Default()
+	fl.NullChecking = false
+	res := checkFlags(t, src, fl)
+	forbidDiag(t, res, diag.NullDeref)
+}
+
+func TestAllocFlagOff(t *testing.T) {
+	src := `#include <stdlib.h>
+void lk (void) { char *p; p = (char *) malloc (4); if (p == NULL) { return; } *p = 1; }
+`
+	fl := flags.Default()
+	fl.AllocChecking = false
+	res := checkFlags(t, src, fl)
+	forbidDiag(t, res, diag.Leak)
+}
+
+// Ignore regions suppress everything inside.
+func TestIgnoreRegion(t *testing.T) {
+	src := `#include <stdlib.h>
+
+/*@ignore@*/
+void lk (void)
+{
+	char *p;
+	p = (char *) malloc (4);
+	if (p == NULL) { return; }
+	*p = 1;
+}
+/*@end@*/
+`
+	res := check(t, src)
+	if len(res.Diags) != 0 {
+		t.Fatalf("region not suppressed:\n%s", res.Messages())
+	}
+	if res.Suppressed == 0 {
+		t.Fatal("no suppression recorded")
+	}
+}
+
+// The complete-destruction check (§4.3 footnote): freeing a struct whose
+// only field still holds live storage.
+func TestCompleteDestruction(t *testing.T) {
+	src := `#include <stdlib.h>
+typedef struct { /*@only@*/ char *buf; int n; } box;
+
+void destroy (/*@only@*/ box *b)
+{
+	free (b);
+}
+`
+	res := check(t, src)
+	requireDiag(t, res, diag.Leak, 0, "derivable from")
+}
+
+func TestCompleteDestructionClean(t *testing.T) {
+	src := `#include <stdlib.h>
+typedef struct { /*@null@*/ /*@only@*/ char *buf; int n; } box;
+
+void destroy (/*@only@*/ box *b)
+{
+	free (b->buf);
+	free (b);
+}
+`
+	res := check(t, src)
+	forbidDiag(t, res, diag.Leak)
+}
+
+// Returning a parameter from a temp-annotated function result context.
+func TestReturnNullConstAsNonNull(t *testing.T) {
+	src := `char *give (void)
+{
+	return NULL;
+}
+`
+	res := check(t, src)
+	requireDiag(t, res, diag.NullReturn, 0, "Null value returned")
+}
+
+// Unknown identifiers are reported once per name.
+func TestUnknownIdentifierOnce(t *testing.T) {
+	src := `void f (void) { mystery (1); mystery (2); }
+`
+	res := check(t, src)
+	n := 0
+	for _, d := range res.Diags {
+		if d.Code == diag.UnknownName {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Fatalf("unknown-name reports = %d:\n%s", n, res.Messages())
+	}
+}
+
+// Contradictory guards make a branch unreachable (no anomalies from
+// impossible paths).
+func TestInfeasibleBranch(t *testing.T) {
+	src := `#include <stdlib.h>
+
+void f (void)
+{
+	char *p;
+	p = NULL;
+	if (p != NULL)
+	{
+		*p = 'x';
+	}
+}
+`
+	res := check(t, src)
+	forbidDiag(t, res, diag.NullDeref)
+}
+
+// Nested scopes: a local leaking inside an inner block is reported at the
+// block's end, not the function's.
+func TestInnerScopeLeak(t *testing.T) {
+	src := `#include <stdlib.h>
+
+void f (int k)
+{
+	if (k)
+	{
+		char *p;
+		p = (char *) malloc (4);
+		if (p == NULL) { return; }
+		*p = 'x';
+	}
+	k = k + 1;
+}
+`
+	res := check(t, src)
+	requireDiag(t, res, diag.Leak, 0, "scope exit")
+}
+
+// Observer results must not be released.
+func TestObserverResultFreed(t *testing.T) {
+	src := `#include <stdlib.h>
+extern /*@observer@*/ char *name_of (int k);
+
+void f (void)
+{
+	char *n;
+	n = name_of (3);
+	free (n);
+}
+`
+	res := check(t, src)
+	requireDiag(t, res, diag.AliasTransfer, 0, "passed as only param")
+}
+
+// A function falling off the end still has its exit constraints checked.
+func TestFallOffEndChecksExit(t *testing.T) {
+	src := `#include <stdlib.h>
+
+void f (void)
+{
+	char *p;
+	p = (char *) malloc (4);
+	if (p == NULL) { return; }
+	*p = 'a';
+}
+`
+	res := check(t, src)
+	requireDiag(t, res, diag.Leak, 0, "not released before return")
+}
+
+// String literals are static storage: freeing one is an anomaly.
+func TestFreeStringLiteral(t *testing.T) {
+	src := `#include <stdlib.h>
+
+void f (void)
+{
+	free ("constant");
+}
+`
+	res := check(t, src)
+	requireDiag(t, res, diag.AliasTransfer, 0, "passed as only param")
+}

@@ -1,0 +1,338 @@
+package core
+
+// Third wave: observer enforcement, independent-index mode, checker
+// determinism, and stress/property tests over generated programs.
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"golclint/internal/diag"
+	"golclint/internal/flags"
+)
+
+// Observer storage must not be modified by the caller.
+func TestObserverModification(t *testing.T) {
+	src := `typedef struct { int id; char tag; } rec;
+extern /*@observer@*/ rec *peek (int k);
+
+void f (void)
+{
+	rec *r;
+	r = peek (3);
+	r->id = 9;
+}
+`
+	res := check(t, src)
+	requireDiag(t, res, diag.ObserverMod, 8, "may not be modified")
+}
+
+// Reading observer storage, and rebinding the local holding it, are fine.
+func TestObserverReadOK(t *testing.T) {
+	src := `typedef struct { int id; char tag; } rec;
+extern /*@observer@*/ rec *peek (int k);
+
+int f (void)
+{
+	rec *r;
+	r = peek (3);
+	r = peek (4);
+	return r->id;
+}
+`
+	res := check(t, src)
+	forbidDiag(t, res, diag.ObserverMod)
+}
+
+// Collapsed indexes (the default): writing a[i] then reading a[j] sees the
+// same element, so no use-before-definition is reported.
+func TestCollapsedIndexes(t *testing.T) {
+	src := `int f (int i, int j)
+{
+	int a[8];
+	a[i] = 1;
+	return a[j];
+}
+`
+	res := check(t, src)
+	forbidDiag(t, res, diag.UseUndef)
+}
+
+// -indepidx: each index is an independent element, so reading a[j] after
+// writing only a[i] is a use of undefined storage (§2: "compile-time
+// unknown array indexes are either all the same element of the array or
+// independent elements (depending on an LCLint flag)").
+func TestIndependentIndexes(t *testing.T) {
+	src := `int f (int i, int j)
+{
+	int a[8];
+	a[i] = 1;
+	return a[j];
+}
+`
+	fl := flags.Default()
+	fl.IndependentIndexes = true
+	res := checkFlags(t, src, fl)
+	requireDiag(t, res, diag.UseUndef, 5, "used before definition")
+}
+
+// Checking is deterministic: identical runs produce identical messages.
+func TestCheckerDeterministic(t *testing.T) {
+	src := `#include <stdlib.h>
+typedef struct _n { int v; /*@null@*/ /*@only@*/ struct _n *next; } node;
+
+/*@only@*/ node *push (/*@null@*/ /*@only@*/ node *head, int v)
+{
+	node *n;
+	n = (node *) malloc (sizeof (node));
+	if (n == NULL) { exit (1); }
+	n->v = v;
+	n->next = head;
+	return n;
+}
+
+void drain (/*@null@*/ /*@only@*/ node *head)
+{
+	node *cur;
+	node *nxt;
+	cur = head;
+	while (cur != NULL)
+	{
+		nxt = cur->next;
+		free (cur);
+		cur = nxt;
+	}
+}
+`
+	first := CheckSource("n.c", src, Options{}).Messages()
+	for i := 0; i < 5; i++ {
+		if got := CheckSource("n.c", src, Options{}).Messages(); got != first {
+			t.Fatalf("nondeterministic run %d:\n%s\nvs\n%s", i, got, first)
+		}
+	}
+}
+
+// A correct push/drain list implementation checks clean.
+func TestListPushDrainClean(t *testing.T) {
+	src := `#include <stdlib.h>
+typedef struct _n { int v; /*@null@*/ /*@only@*/ struct _n *next; } node;
+
+/*@only@*/ node *push (/*@null@*/ /*@only@*/ node *head, int v)
+{
+	node *n;
+	n = (node *) malloc (sizeof (node));
+	if (n == NULL) { exit (1); }
+	n->v = v;
+	n->next = head;
+	return n;
+}
+`
+	res := check(t, src)
+	if len(res.Diags) != 0 {
+		t.Fatalf("expected clean:\n%s", res.Messages())
+	}
+}
+
+// Property: the checker never panics and always terminates on arbitrary
+// programs assembled from a C-ish statement vocabulary.
+func TestCheckerTotality(t *testing.T) {
+	decls := `#include <stdlib.h>
+typedef struct _n { int v; /*@null@*/ /*@only@*/ struct _n *next; } node;
+extern /*@null@*/ /*@only@*/ node *mk (void);
+`
+	stmts := []string{
+		"p = mk ();",
+		"if (p != NULL) { p->v = 1; }",
+		"while (p != NULL) { p = p->next; }",
+		"free (p);",
+		"q = p;",
+		"if (q == NULL) { return; }",
+		"q->next = mk ();",
+		"do { k--; } while (k > 0);",
+		"switch (k) { case 1: k = 2; break; default: break; }",
+		"k = p == NULL ? 0 : p->v;",
+		"return;",
+	}
+	f := func(picks []uint8) bool {
+		var b strings.Builder
+		b.WriteString(decls)
+		b.WriteString("void f (int k)\n{\n\tnode *p;\n\tnode *q;\n\tp = NULL;\n\tq = NULL;\n")
+		for _, pk := range picks {
+			b.WriteString("\t" + stmts[int(pk)%len(stmts)] + "\n")
+		}
+		b.WriteString("}\n")
+		res := CheckSource("fuzz.c", b.String(), Options{})
+		return res != nil
+	}
+	cfg := &quick.Config{MaxCount: 250, Rand: rand.New(rand.NewSource(51))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: disabling every check class yields zero messages on any of the
+// fuzz programs (flag gating is complete).
+func TestAllFlagsOffSilent(t *testing.T) {
+	fl := flags.Default()
+	fl.NullChecking = false
+	fl.DefChecking = false
+	fl.AllocChecking = false
+	fl.AliasChecking = false
+	srcs := []string{
+		`#include <stdlib.h>
+void f (void) { char *p; p = (char *) malloc (4); *p = 1; free (p); *p = 2; }`,
+		`char g (/*@null@*/ char *p) { return *p; }`,
+		`int h (void) { int x; return x; }`,
+	}
+	for _, src := range srcs {
+		res := CheckSource("q.c", src, Options{Flags: fl.Clone()})
+		for _, d := range res.Diags {
+			if d.Code != diag.UnknownName && d.Code != diag.TypeError {
+				t.Errorf("message with all checks off: %v", d)
+			}
+		}
+	}
+}
+
+// Deeply nested control flow terminates quickly (no exponential path
+// enumeration): 2^40 paths, one pass.
+func TestNoPathExplosion(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("void f (int k)\n{\n\tint x;\n\tx = 0;\n")
+	for i := 0; i < 40; i++ {
+		b.WriteString("\tif (k > 0) { x = x + 1; } else { x = x - 1; }\n")
+	}
+	b.WriteString("}\n")
+	res := CheckSource("deep.c", b.String(), Options{})
+	if len(res.ParseErrors) != 0 {
+		t.Fatal(res.ParseErrors)
+	}
+}
+
+// Aliased frees through two locals: freeing via one alias kills the other.
+func TestAliasedFree(t *testing.T) {
+	src := `#include <stdlib.h>
+
+void f (void)
+{
+	char *a;
+	char *b;
+	a = (char *) malloc (4);
+	if (a == NULL) { exit (1); }
+	b = a;
+	free (b);
+	*a = 'x';
+}
+`
+	res := check(t, src)
+	requireDiag(t, res, diag.UseDead, 11, "used after release")
+}
+
+// Local-to-local copies share (not transfer) the obligation: freeing via
+// either alias satisfies it.
+func TestAliasSharedObligation(t *testing.T) {
+	src := `#include <stdlib.h>
+
+void f (void)
+{
+	char *a;
+	char *b;
+	a = (char *) malloc (4);
+	if (a == NULL) { exit (1); }
+	b = a;
+	free (b);
+}
+`
+	res := check(t, src)
+	forbidDiag(t, res, diag.Leak)
+}
+
+// A for-loop cursor pattern over an only list frees cleanly (the quiet
+// false-refinement at loop exit knows the cursor is null).
+func TestCursorRefinedAtLoopExit(t *testing.T) {
+	src := `#include <stdlib.h>
+typedef struct _n { int v; /*@null@*/ /*@only@*/ struct _n *next; } node;
+
+void drain (/*@null@*/ /*@only@*/ node *head)
+{
+	node *cur;
+	node *nxt;
+	cur = head;
+	while (cur != NULL)
+	{
+		nxt = cur->next;
+		free (cur);
+		cur = nxt;
+	}
+}
+`
+	res := check(t, src)
+	forbidDiag(t, res, diag.NullDeref)
+	forbidDiag(t, res, diag.UseDead)
+}
+
+// Exposed storage may be modified but not deallocated (Appendix B).
+func TestExposedResult(t *testing.T) {
+	src := `typedef struct { int id; } rec;
+extern /*@exposed@*/ rec *view (int k);
+
+void f (void)
+{
+	rec *r;
+	r = view (1);
+	r->id = 2;
+}
+`
+	res := check(t, src)
+	forbidDiag(t, res, diag.ObserverMod)
+	forbidDiag(t, res, diag.Leak)
+
+	src2 := `#include <stdlib.h>
+typedef struct { int id; } rec;
+extern /*@exposed@*/ rec *view (int k);
+
+void f (void)
+{
+	free (view (1));
+}
+`
+	res = check(t, src2)
+	requireDiag(t, res, diag.AliasTransfer, 0, "passed as only param")
+}
+
+// Unreachable code is reported (once per dead region).
+func TestDeadCode(t *testing.T) {
+	src := `int f (int k)
+{
+	return k;
+	k = k + 1;
+	k = k + 2;
+}
+`
+	res := check(t, src)
+	n := 0
+	for _, d := range res.Diags {
+		if d.Code == diag.DeadCode {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Fatalf("dead-code reports = %d:\n%s", n, res.Messages())
+	}
+}
+
+func TestNoDeadCodeFalsePositive(t *testing.T) {
+	src := `int f (int k)
+{
+	if (k > 0)
+	{
+		return 1;
+	}
+	return 0;
+}
+`
+	res := check(t, src)
+	forbidDiag(t, res, diag.DeadCode)
+}

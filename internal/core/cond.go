@@ -1,0 +1,234 @@
+package core
+
+import (
+	"golclint/internal/cast"
+	"golclint/internal/ctoken"
+)
+
+// checkCond evaluates a condition expression and returns the stores for
+// the true and false branches, refining null states from comparisons with
+// NULL, bare pointer tests, logical connectives, and truenull/falsenull
+// functions (§4.1). The input store is consumed.
+func (c *checker) checkCond(st *store, e cast.Expr) (*store, *store) {
+	switch v := e.(type) {
+	case *cast.Unary:
+		if v.Op == cast.LogNot {
+			stT, stF := c.checkCond(st, v.X)
+			return stF, stT
+		}
+	case *cast.Binary:
+		switch v.Op {
+		case cast.LogAnd:
+			t1, f1 := c.checkCond(st, v.X)
+			t2, f2 := c.checkCond(t1, v.Y)
+			return t2, c.mergeReport(f1, f2, v.P)
+		case cast.LogOr:
+			t1, f1 := c.checkCond(st, v.X)
+			t2, f2 := c.checkCond(f1, v.Y)
+			return c.mergeReport(t1, t2, v.P), f2
+		case cast.EqOp, cast.NeOp:
+			var refE cast.Expr
+			switch {
+			case cast.IsNullConstant(v.Y):
+				refE = v.X
+			case cast.IsNullConstant(v.X):
+				refE = v.Y
+			}
+			if refE != nil {
+				val := c.evalExpr(st, refE, true)
+				if val.key != "" {
+					stT := st
+					stF := st.clone()
+					if v.Op == cast.EqOp {
+						refineNull(stT, val.key, NullYes, v.P)
+						refineNull(stF, val.key, NullNo, v.P)
+					} else {
+						refineNull(stT, val.key, NullNo, v.P)
+						refineNull(stF, val.key, NullYes, v.P)
+					}
+					return stT, stF
+				}
+				return st, st.clone()
+			}
+		}
+	case *cast.Call:
+		if sig, ok := c.prog.Lookup(v.FunName()); ok && len(v.Args) >= 1 {
+			if sig.IsTrueNull() || sig.IsFalseNull() {
+				val := c.evalExpr(st, v.Args[0], true)
+				if val.key != "" {
+					stT := st
+					stF := st.clone()
+					if sig.IsTrueNull() {
+						// Returns true iff the argument is null.
+						refineNull(stT, val.key, NullYes, v.P)
+						refineNull(stF, val.key, NullNo, v.P)
+					} else {
+						// Returns true only if the argument is not null
+						// (false says nothing).
+						refineNull(stT, val.key, NullNo, v.P)
+					}
+					return stT, stF
+				}
+				return st, st.clone()
+			}
+		}
+	}
+	// General case: evaluate for effect; a pointer-valued condition
+	// refines like (e != NULL).
+	val := c.evalExpr(st, e, true)
+	if val.key != "" && val.typ != nil && val.typ.IsPointerLike() {
+		stT := st
+		stF := st.clone()
+		refineNull(stT, val.key, NullNo, e.Pos())
+		refineNull(stF, val.key, NullYes, e.Pos())
+		return stT, stF
+	}
+	return st, st.clone()
+}
+
+// refineNull sets the null state of key and its aliases. Refining a
+// definitely-null reference to non-null (or the reverse) is a
+// contradiction: the branch cannot execute, so the store is marked
+// unreachable and no anomalies are reported along it.
+func refineNull(st *store, key string, ns NullState, pos ctoken.Pos) {
+	if rs, ok := st.refs[key]; ok {
+		if (rs.null == NullYes && ns == NullNo) || (rs.null == NullNo && ns == NullYes) {
+			st.unreachable = true
+		}
+	}
+	st.applyToAliases(key, func(r *refState) {
+		if r.null == NullError {
+			return
+		}
+		r.null = ns
+		if ns == NullYes {
+			r.nullPos = pos
+		}
+	})
+}
+
+// refKeyOf resolves an expression to an existing reference key without
+// evaluating it (no materialization, no reports). Returns "" when the
+// expression does not name a known reference.
+func refKeyOf(st *store, e cast.Expr) string {
+	switch v := e.(type) {
+	case *cast.Ident:
+		if _, ok := st.refs[v.Name]; ok {
+			return v.Name
+		}
+		if _, ok := st.refs[globalKey(v.Name)]; ok {
+			return globalKey(v.Name)
+		}
+	case *cast.FieldSel:
+		base := refKeyOf(st, v.X)
+		if base == "" {
+			return ""
+		}
+		kind := selDot
+		if v.Arrow {
+			kind = selArrow
+		}
+		key := childKey(base, selector{kind: kind, name: v.Name})
+		if _, ok := st.refs[key]; ok {
+			return key
+		}
+	case *cast.Index:
+		base := refKeyOf(st, v.X)
+		if base != "" {
+			key := childKey(base, selector{kind: selIndex})
+			if _, ok := st.refs[key]; ok {
+				return key
+			}
+		}
+	case *cast.Unary:
+		if v.Op == cast.Deref {
+			base := refKeyOf(st, v.X)
+			if base != "" {
+				key := childKey(base, selector{kind: selDeref})
+				if _, ok := st.refs[key]; ok {
+					return key
+				}
+			}
+		}
+	case *cast.Cast:
+		return refKeyOf(st, v.X)
+	}
+	return ""
+}
+
+// quietRefine applies the null refinement implied by assuming cond is
+// want, without evaluating cond (no side effects, no reports). Used at
+// loop exits: after "while (p != NULL) ...", p is definitely null even on
+// the one-iteration path (§2: zero-or-one executions).
+func (c *checker) quietRefine(st *store, e cast.Expr, want bool) {
+	if st.unreachable {
+		return
+	}
+	switch v := e.(type) {
+	case *cast.Unary:
+		if v.Op == cast.LogNot {
+			c.quietRefine(st, v.X, !want)
+		}
+		return
+	case *cast.Binary:
+		switch v.Op {
+		case cast.LogAnd:
+			if want {
+				c.quietRefine(st, v.X, true)
+				c.quietRefine(st, v.Y, true)
+			}
+			return
+		case cast.LogOr:
+			if !want {
+				c.quietRefine(st, v.X, false)
+				c.quietRefine(st, v.Y, false)
+			}
+			return
+		case cast.EqOp, cast.NeOp:
+			var refE cast.Expr
+			switch {
+			case cast.IsNullConstant(v.Y):
+				refE = v.X
+			case cast.IsNullConstant(v.X):
+				refE = v.Y
+			}
+			if refE == nil {
+				return
+			}
+			isNull := want == (v.Op == cast.EqOp)
+			if key := refKeyOf(st, refE); key != "" {
+				ns := NullNo
+				if isNull {
+					ns = NullYes
+				}
+				refineNull(st, key, ns, e.Pos())
+			}
+			return
+		}
+	case *cast.Call:
+		if sig, ok := c.prog.Lookup(v.FunName()); ok && len(v.Args) >= 1 {
+			if key := refKeyOf(st, v.Args[0]); key != "" {
+				if sig.IsTrueNull() {
+					ns := NullNo
+					if want {
+						ns = NullYes
+					}
+					refineNull(st, key, ns, e.Pos())
+				} else if sig.IsFalseNull() && want {
+					refineNull(st, key, NullNo, e.Pos())
+				}
+			}
+		}
+		return
+	}
+	// Bare pointer condition.
+	if key := refKeyOf(st, e); key != "" {
+		if rs, ok := st.refs[key]; ok && rs.typ != nil && rs.typ.IsPointerLike() {
+			ns := NullNo
+			if !want {
+				ns = NullYes
+			}
+			refineNull(st, key, ns, e.Pos())
+		}
+	}
+}

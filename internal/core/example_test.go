@@ -1,0 +1,24 @@
+package core_test
+
+import (
+	"fmt"
+
+	"golclint/internal/core"
+)
+
+// ExampleCheckSource checks the paper's Figure 2 program and prints the
+// anomaly in the paper's message format.
+func ExampleCheckSource() {
+	src := `extern char *gname;
+
+void setName (/*@null@*/ char *pname)
+{
+	gname = pname;
+}
+`
+	res := core.CheckSource("sample.c", src, core.Options{})
+	fmt.Print(res.Messages())
+	// Output:
+	// sample.c:6: Function returns with non-null global gname referencing null storage
+	//    sample.c:5: Storage gname may become null
+}

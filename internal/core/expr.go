@@ -1,0 +1,380 @@
+package core
+
+import (
+	"fmt"
+
+	"golclint/internal/annot"
+	"golclint/internal/cast"
+	"golclint/internal/ctoken"
+	"golclint/internal/ctypes"
+	"golclint/internal/diag"
+)
+
+// value is the abstract value of an expression: the reference it denotes
+// (if any) plus the dataflow states of the value itself.
+type value struct {
+	typ         *ctypes.Type
+	key         string // reference key, or "" when the value is anonymous
+	null        NullState
+	def         DefState
+	alloc       AllocState
+	isNullConst bool
+	observer    bool
+
+	// pointee is the key of the object this value points AT when the
+	// value itself is anonymous (&x): used so out-parameters define x.
+	pointee string
+
+	// declAnn/declPos describe the governing annotation of the source
+	// reference for transfer messages.
+	declAnn annot.Set
+	declPos ctoken.Pos
+	nullPos ctoken.Pos
+}
+
+// valueOf builds a value from a reference's state.
+func valueOf(key string, rs *refState) value {
+	return value{
+		typ: rs.typ, key: key, null: rs.null, def: rs.def, alloc: rs.alloc,
+		observer: rs.observer,
+		declAnn:  rs.declAnn, declPos: rs.declPos, nullPos: rs.nullPos,
+	}
+}
+
+// anonValue builds an anonymous (non-reference) value.
+func anonValue(typ *ctypes.Type) value {
+	return value{typ: typ, null: NullNo, def: DefDefined, alloc: AllocStatic}
+}
+
+// evalExpr evaluates e for side effects and abstract value. When rvalue is
+// true, reads of undefined or released storage are anomalies (§3).
+func (c *checker) evalExpr(st *store, e cast.Expr, rvalue bool) value {
+	switch v := e.(type) {
+	case *cast.IntLit:
+		val := anonValue(ctypes.IntType)
+		val.isNullConst = v.Value == 0
+		e.SetType(val.typ)
+		return val
+	case *cast.FloatLit:
+		e.SetType(ctypes.DoubleType)
+		return anonValue(ctypes.DoubleType)
+	case *cast.CharLit:
+		e.SetType(ctypes.CharType)
+		return anonValue(ctypes.CharType)
+	case *cast.StringLit:
+		t := ctypes.PointerTo(ctypes.CharType)
+		e.SetType(t)
+		val := anonValue(t)
+		val.alloc = AllocStatic
+		return val
+	case *cast.Ident:
+		return c.evalIdent(st, v, rvalue)
+	case *cast.FieldSel:
+		return c.evalFieldSel(st, v, rvalue)
+	case *cast.Index:
+		c.evalExpr(st, v.Idx, true)
+		sel := selector{kind: selIndex}
+		if c.fl.IndependentIndexes {
+			// -indepidx (§2): compile-time-unknown indexes denote
+			// independent elements rather than one collapsed element.
+			c.indexCount++
+			sel.name = fmt.Sprintf("#%d", c.indexCount)
+		}
+		return c.evalDerived(st, v.X, sel, v.P, rvalue, e)
+	case *cast.Unary:
+		return c.evalUnary(st, v, rvalue)
+	case *cast.Binary:
+		return c.evalBinary(st, v)
+	case *cast.Assign:
+		return c.evalAssign(st, v)
+	case *cast.Cond:
+		return c.evalCondExpr(st, v)
+	case *cast.Call:
+		return c.evalCall(st, v)
+	case *cast.Cast:
+		inner := c.evalExpr(st, v.X, rvalue)
+		inner.typ = v.To
+		e.SetType(v.To)
+		if cast.IsNullConstant(v.X) {
+			inner.isNullConst = true
+		}
+		return inner
+	case *cast.SizeofExpr:
+		// sizeof does not evaluate its operand (§3 footnote).
+		e.SetType(ctypes.ULongType)
+		return anonValue(ctypes.ULongType)
+	case *cast.SizeofType:
+		e.SetType(ctypes.ULongType)
+		return anonValue(ctypes.ULongType)
+	case *cast.Comma:
+		c.evalExpr(st, v.X, true)
+		return c.evalExpr(st, v.Y, rvalue)
+	case *cast.InitList:
+		for _, el := range v.Elems {
+			c.evalExpr(st, el, true)
+		}
+		return anonValue(nil)
+	}
+	return anonValue(nil)
+}
+
+// evalIdent resolves a name against locals (already in the store), globals,
+// enum constants, and functions.
+func (c *checker) evalIdent(st *store, id *cast.Ident, rvalue bool) value {
+	// Local or parameter reference.
+	if rs, ok := st.refs[id.Name]; ok {
+		id.SetType(rs.typ)
+		if rvalue {
+			c.checkRead(st, id.Name, rs, id.P)
+		}
+		return valueOf(id.Name, rs)
+	}
+	// Global variable.
+	if g, ok := c.prog.Global(id.Name); ok {
+		rs := c.ensureRef(st, globalKey(id.Name), g.Type, g.Effective(c.fl), g.Pos, true)
+		id.SetType(g.Type)
+		if rvalue {
+			c.checkRead(st, globalKey(id.Name), rs, id.P)
+		}
+		return valueOf(globalKey(id.Name), rs)
+	}
+	// Enum constant.
+	if ev, ok := c.prog.Enums[id.Name]; ok {
+		id.SetType(ctypes.IntType)
+		val := anonValue(ctypes.IntType)
+		val.isNullConst = ev == 0 && false // enum 0 is not a null constant
+		return val
+	}
+	// Function name (address taken or called).
+	if sig, ok := c.prog.Lookup(id.Name); ok {
+		ft := ctypes.FuncOf(sig.Result, sig.Params, sig.Variadic)
+		id.SetType(ft)
+		return anonValue(ft)
+	}
+	if !c.unknown[id.Name] {
+		c.unknown[id.Name] = true
+		c.report(diag.UnknownName, id.P, "Unrecognized identifier: %s", id.Name)
+	}
+	return anonValue(nil)
+}
+
+// checkRead reports anomalies for using a reference as an rvalue.
+func (c *checker) checkRead(st *store, key string, rs *refState, pos ctoken.Pos) {
+	if rs.alloc == AllocDead {
+		d := c.report(diag.UseDead, pos, "Storage %s used after release (dead pointer)", display(key))
+		if d != nil && rs.deadPos.IsValid() {
+			d.WithNote(rs.deadPos, "Storage %s is released", display(key))
+		}
+		// Avoid cascades.
+		st.applyToAliases(key, func(r *refState) { r.alloc = AllocError })
+		return
+	}
+	if rs.def == DefUndefined && !rs.relDef {
+		// Array references denote addresses; reading the reference itself
+		// does not touch the (possibly undefined) contents.
+		if rs.typ != nil && rs.typ.Resolve() != nil && rs.typ.Resolve().Kind == ctypes.Array {
+			return
+		}
+		c.report(diag.UseUndef, pos, "Storage %s used before definition", display(key))
+		st.applyToAliases(key, func(r *refState) {
+			if r.def == DefUndefined {
+				r.def = DefDefined
+			}
+		})
+	}
+}
+
+// checkDerefBase reports anomalies for dereferencing base (->, [], *) and
+// refines its state to suppress cascades. how names the access for the
+// message ("Arrow access from", "Dereference of", "Index of").
+func (c *checker) checkDerefBase(st *store, base value, how string, pos ctoken.Pos, exprText string) {
+	if base.key == "" {
+		if base.null == NullMaybe || base.null == NullYes {
+			c.report(diag.NullDeref, pos, "%s possibly null pointer: %s", how, exprText)
+		}
+		return
+	}
+	rs, ok := st.refs[base.key]
+	if !ok {
+		return
+	}
+	if rs.alloc == AllocDead {
+		d := c.report(diag.UseDead, pos, "Storage %s used after release (dead pointer): %s", display(base.key), exprText)
+		if d != nil && rs.deadPos.IsValid() {
+			d.WithNote(rs.deadPos, "Storage %s is released", display(base.key))
+		}
+		st.applyToAliases(base.key, func(r *refState) { r.alloc = AllocError })
+		return
+	}
+	switch rs.null {
+	case NullMaybe:
+		if !rs.relNull {
+			d := c.report(diag.NullDeref, pos, "%s possibly null pointer %s: %s", how, display(base.key), exprText)
+			if d != nil && rs.nullPos.IsValid() {
+				d.WithNote(rs.nullPos, "Storage %s may become null", display(base.key))
+			}
+		}
+		st.applyToAliases(base.key, func(r *refState) { r.null = NullNo })
+	case NullYes:
+		d := c.report(diag.NullDeref, pos, "%s null pointer %s: %s", how, display(base.key), exprText)
+		if d != nil && rs.nullPos.IsValid() {
+			d.WithNote(rs.nullPos, "Storage %s becomes null", display(base.key))
+		}
+		st.applyToAliases(base.key, func(r *refState) { r.null = NullNo })
+	}
+	if rs.def == DefUndefined && !rs.relDef {
+		// Indexing/deref through an array reference uses its address, not
+		// its (possibly undefined) contents.
+		if rs.typ != nil && rs.typ.Resolve() != nil && rs.typ.Resolve().Kind == ctypes.Array {
+			return
+		}
+		c.report(diag.UseUndef, pos, "Storage %s used before definition: %s", display(base.key), exprText)
+		st.applyToAliases(base.key, func(r *refState) { r.def = DefAllocated })
+	}
+}
+
+// evalFieldSel evaluates x.f / x->f.
+func (c *checker) evalFieldSel(st *store, fs *cast.FieldSel, rvalue bool) value {
+	kind := selDot
+	if fs.Arrow {
+		kind = selArrow
+	}
+	return c.evalDerived(st, fs.X, selector{kind: kind, name: fs.Name}, fs.P, rvalue, fs)
+}
+
+// evalDerived evaluates a selection (field, index, deref) from base
+// expression x.
+func (c *checker) evalDerived(st *store, x cast.Expr, s selector, pos ctoken.Pos, rvalue bool, whole cast.Expr) value {
+	base := c.evalExpr(st, x, true)
+	how := map[selKind]string{
+		selArrow: "Arrow access from", selDot: "Field access from",
+		selIndex: "Index of", selDeref: "Dereference of",
+	}[s.kind]
+	if s.kind != selDot { // dot does not dereference
+		c.checkDerefBase(st, base, how, pos, cast.ExprString(whole))
+		// A poisoned base (just reported dead) yields an anonymous value
+		// rather than cascading through derived references.
+		if base.key != "" {
+			if brs, ok := st.refs[base.key]; ok && brs.alloc == AllocError {
+				typ, _ := c.childTypeAnnots(base.typ, s)
+				whole.SetType(typ)
+				return anonValue(typ)
+			}
+		}
+	}
+	if base.key == "" {
+		// Selection from an anonymous value: derive the type only.
+		typ, declAnn := c.childTypeAnnots(base.typ, s)
+		whole.SetType(typ)
+		v := anonValue(typ)
+		v.null = nullFromAnnots(declAnn)
+		v.declAnn = declAnn
+		return v
+	}
+	parent := st.refs[base.key]
+	if parent == nil {
+		return anonValue(nil)
+	}
+	key, rs := c.deriveChild(st, base.key, parent, s, pos)
+	whole.SetType(rs.typ)
+	if rvalue {
+		c.checkRead(st, key, rs, pos)
+	}
+	return valueOf(key, rs)
+}
+
+// evalUnary evaluates unary operators.
+func (c *checker) evalUnary(st *store, u *cast.Unary, rvalue bool) value {
+	switch u.Op {
+	case cast.Deref:
+		return c.evalDerived(st, u.X, selector{kind: selDeref}, u.P, rvalue, u)
+	case cast.AddrOf:
+		inner := c.evalExpr(st, u.X, false)
+		var t *ctypes.Type
+		if inner.typ != nil {
+			t = ctypes.PointerTo(inner.typ)
+		}
+		u.SetType(t)
+		val := anonValue(t)
+		val.alloc = AllocStatic // address of existing storage must not be freed
+		val.pointee = inner.key
+		return val
+	case cast.LogNot:
+		c.evalExpr(st, u.X, true)
+		u.SetType(ctypes.IntType)
+		return anonValue(ctypes.IntType)
+	case cast.Neg, cast.Pos, cast.BitNot:
+		inner := c.evalExpr(st, u.X, true)
+		u.SetType(inner.typ)
+		return anonValue(inner.typ)
+	case cast.PreInc, cast.PreDec, cast.PostInc, cast.PostDec:
+		inner := c.evalExpr(st, u.X, true)
+		u.SetType(inner.typ)
+		// Pointer arithmetic yields an offset pointer; states carry over
+		// (the paper notes offset-pointer release errors are not detected
+		// statically).
+		return inner
+	}
+	return anonValue(nil)
+}
+
+// evalBinary evaluates binary operators.
+func (c *checker) evalBinary(st *store, b *cast.Binary) value {
+	// && and || outside a condition context still refine: evaluate with
+	// short-circuit states and merge.
+	if b.Op == cast.LogAnd || b.Op == cast.LogOr {
+		stT, stF := c.checkCond(st, b)
+		merged := c.mergeReport(stT, stF, b.P)
+		*st = *merged
+		b.SetType(ctypes.IntType)
+		return anonValue(ctypes.IntType)
+	}
+	x := c.evalExpr(st, b.X, true)
+	y := c.evalExpr(st, b.Y, true)
+	if b.Op.IsComparison() {
+		b.SetType(ctypes.IntType)
+		return anonValue(ctypes.IntType)
+	}
+	// Pointer arithmetic: pointer +/- integer keeps the pointer's states
+	// (offset pointer).
+	if (b.Op == cast.Add || b.Op == cast.Sub) && x.typ != nil && x.typ.IsPointerLike() {
+		b.SetType(x.typ)
+		return x
+	}
+	if b.Op == cast.Add && y.typ != nil && y.typ.IsPointerLike() {
+		b.SetType(y.typ)
+		return y
+	}
+	t := x.typ
+	if t == nil || (y.typ != nil && y.typ.IsFloat()) {
+		t = y.typ
+	}
+	b.SetType(t)
+	return anonValue(t)
+}
+
+// evalCondExpr evaluates c ? a : b with condition refinement on each arm.
+func (c *checker) evalCondExpr(st *store, ce *cast.Cond) value {
+	stT, stF := c.checkCond(st, ce.C)
+	vT := c.evalExpr(stT, ce.Then, true)
+	vF := c.evalExpr(stF, ce.Else, true)
+	merged := c.mergeReport(stT, stF, ce.P)
+	*st = *merged
+	out := value{typ: vT.typ}
+	if out.typ == nil {
+		out.typ = vF.typ
+	}
+	out.null = MergeNull(vT.null, vF.null)
+	if vT.isNullConst || vF.isNullConst {
+		out.null = MergeNull(out.null, NullYes)
+		out.nullPos = ce.P
+	}
+	out.def = MergeDef(vT.def, vF.def)
+	a, _ := MergeAlloc(vT.alloc, vF.alloc)
+	out.alloc = a
+	if vT.key != "" && vT.key == vF.key {
+		out.key = vT.key
+	}
+	ce.SetType(out.typ)
+	return out
+}

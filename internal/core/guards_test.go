@@ -1,0 +1,200 @@
+package core
+
+// Guard-shape coverage: every condition form the paper's Section 4.1
+// describes ("Code can check that a possibly-null pointer is not null by
+// using a simple comparison or a function call").
+
+import (
+	"testing"
+
+	"golclint/internal/diag"
+)
+
+func TestBarePointerGuard(t *testing.T) {
+	src := `char f (/*@null@*/ char *p)
+{
+	if (p)
+	{
+		return *p;
+	}
+	return 'x';
+}
+`
+	res := check(t, src)
+	forbidDiag(t, res, diag.NullDeref)
+}
+
+func TestNegatedPointerGuard(t *testing.T) {
+	src := `char f (/*@null@*/ char *p)
+{
+	if (!p)
+	{
+		return 'x';
+	}
+	return *p;
+}
+`
+	res := check(t, src)
+	forbidDiag(t, res, diag.NullDeref)
+}
+
+func TestEqNullThenBranchDerefFlagged(t *testing.T) {
+	src := `char f (/*@null@*/ char *p)
+{
+	if (p == NULL)
+	{
+		return *p;
+	}
+	return 'x';
+}
+`
+	res := check(t, src)
+	requireDiag(t, res, diag.NullDeref, 5, "null pointer p")
+}
+
+func TestReversedComparisonGuard(t *testing.T) {
+	src := `char f (/*@null@*/ char *p)
+{
+	if (NULL != p)
+	{
+		return *p;
+	}
+	return 'x';
+}
+`
+	res := check(t, src)
+	forbidDiag(t, res, diag.NullDeref)
+}
+
+func TestFalseNullGuard(t *testing.T) {
+	src := `extern /*@falsenull@*/ int isValid (/*@null@*/ char *x);
+
+char f (/*@null@*/ char *p)
+{
+	if (isValid (p))
+	{
+		return *p;
+	}
+	return 'x';
+}
+`
+	res := check(t, src)
+	forbidDiag(t, res, diag.NullDeref)
+}
+
+func TestTrueNullNegativeBranch(t *testing.T) {
+	// truenull returning false means not-null; the true branch means null.
+	src := `extern /*@truenull@*/ int isNull (/*@null@*/ char *x);
+
+char f (/*@null@*/ char *p)
+{
+	if (isNull (p))
+	{
+		return 'x';
+	}
+	return *p;
+}
+`
+	res := check(t, src)
+	forbidDiag(t, res, diag.NullDeref)
+}
+
+func TestGuardInWhileCondition(t *testing.T) {
+	src := `typedef struct _n { int v; /*@null@*/ struct _n *next; } node;
+
+int sum (/*@null@*/ /*@temp@*/ node *p)
+{
+	int s;
+	s = 0;
+	while (p != NULL)
+	{
+		s += p->v;
+		p = p->next;
+	}
+	return s;
+}
+`
+	res := check(t, src)
+	forbidDiag(t, res, diag.NullDeref)
+}
+
+func TestGuardDoesNotLeakAcrossBranch(t *testing.T) {
+	// The refinement applies only on the guarded branch; afterwards the
+	// pointer is possibly-null again (merge of both branches).
+	src := `char f (/*@null@*/ char *p)
+{
+	if (p != NULL)
+	{
+		p++;
+	}
+	return *p;
+}
+`
+	res := check(t, src)
+	requireDiag(t, res, diag.NullDeref, 7, "possibly null pointer p")
+}
+
+func TestUnrelatedConditionNoRefinement(t *testing.T) {
+	src := `char f (/*@null@*/ char *p, int k)
+{
+	if (k > 3)
+	{
+		return *p;
+	}
+	return 'x';
+}
+`
+	res := check(t, src)
+	requireDiag(t, res, diag.NullDeref, 5, "possibly null pointer p")
+}
+
+func TestAssignmentInCondition(t *testing.T) {
+	src := `#include <stdlib.h>
+
+void f (void)
+{
+	char *p;
+	if ((p = (char *) malloc (4)) != NULL)
+	{
+		*p = 'x';
+		free (p);
+	}
+}
+`
+	res := check(t, src)
+	forbidDiag(t, res, diag.NullDeref)
+	forbidDiag(t, res, diag.Leak)
+}
+
+func TestGuardThroughAlias(t *testing.T) {
+	// Refining one alias refines the storage: q = p; if (q) { *p }.
+	src := `char f (/*@null@*/ char *p)
+{
+	char *q;
+	q = p;
+	if (q != NULL)
+	{
+		return *p;
+	}
+	return 'x';
+}
+`
+	res := check(t, src)
+	forbidDiag(t, res, diag.NullDeref)
+}
+
+func TestNestedFieldGuard(t *testing.T) {
+	src := `typedef struct _n { int v; /*@null@*/ struct _n *next; } node;
+
+int second (node *p)
+{
+	if (p->next != NULL)
+	{
+		return p->next->v;
+	}
+	return 0;
+}
+`
+	res := check(t, src)
+	forbidDiag(t, res, diag.NullDeref)
+}

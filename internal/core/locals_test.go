@@ -1,0 +1,206 @@
+package core
+
+// Coverage for stack aggregates (dot paths), address-of patterns, and
+// miscellaneous expression forms.
+
+import (
+	"testing"
+
+	"golclint/internal/diag"
+)
+
+// A local struct is allocated-but-undefined storage; using a field before
+// assigning it is an anomaly, after assigning it is fine.
+func TestLocalStructDotPaths(t *testing.T) {
+	src := `typedef struct { int a; int b; } pair;
+
+int f (void)
+{
+	pair p;
+	p.a = 1;
+	return p.a;
+}
+`
+	res := check(t, src)
+	if len(res.Diags) != 0 {
+		t.Fatalf("expected clean:\n%s", res.Messages())
+	}
+
+	src2 := `typedef struct { int a; int b; } pair;
+
+int g (void)
+{
+	pair p;
+	return p.b;
+}
+`
+	res = check(t, src2)
+	requireDiag(t, res, diag.UseUndef, 6, "p.b")
+}
+
+// Passing &local to an out-parameter function defines the local.
+func TestAddressOfOutParam(t *testing.T) {
+	src := `typedef struct { int a; int b; } pair;
+extern void fill (/*@out@*/ pair *p);
+
+int f (void)
+{
+	pair p;
+	fill (&p);
+	return p.a + p.b;
+}
+`
+	res := check(t, src)
+	forbidDiag(t, res, diag.UseUndef)
+}
+
+// Freeing the address of a local is freeing static storage.
+func TestFreeAddressOfLocal(t *testing.T) {
+	src := `#include <stdlib.h>
+
+void f (void)
+{
+	int x;
+	x = 1;
+	free (&x);
+}
+`
+	res := check(t, src)
+	requireDiag(t, res, diag.AliasTransfer, 0, "passed as only param")
+}
+
+// Compound assignment through a dereference both reads and writes.
+func TestCompoundThroughDeref(t *testing.T) {
+	src := `void f (int *p)
+{
+	*p += 3;
+}
+`
+	res := check(t, src)
+	if len(res.Diags) != 0 {
+		t.Fatalf("expected clean:\n%s", res.Messages())
+	}
+}
+
+// Comma expressions evaluate both sides for effect.
+func TestCommaEffects(t *testing.T) {
+	src := `#include <stdlib.h>
+
+void f (void)
+{
+	char *p;
+	int k;
+	p = (char *) malloc (4);
+	k = (free (p), 0);
+	*p = 'x';
+	k = k + 1;
+}
+`
+	res := check(t, src)
+	requireDiag(t, res, diag.UseDead, 9, "p")
+}
+
+// Variadic arguments are still evaluated (a dead pointer in a printf
+// argument list is caught).
+func TestVariadicArgsChecked(t *testing.T) {
+	src := `#include <stdlib.h>
+#include <stdio.h>
+
+void f (void)
+{
+	char *p;
+	p = (char *) malloc (4);
+	if (p == NULL) { return; }
+	p[0] = 'a';
+	free (p);
+	printf ("%s", p);
+}
+`
+	res := check(t, src)
+	requireDiag(t, res, diag.UseDead, 11, "p")
+}
+
+// Array locals: collapsed element tracking through writes and reads.
+func TestLocalArray(t *testing.T) {
+	src := `int f (void)
+{
+	int a[4];
+	a[0] = 1;
+	a[1] = 2;
+	return a[0] + a[1];
+}
+`
+	res := check(t, src)
+	if len(res.Diags) != 0 {
+		t.Fatalf("expected clean:\n%s", res.Messages())
+	}
+}
+
+// Struct containing an only pointer: a local instance must release it.
+func TestLocalStructOwnedField(t *testing.T) {
+	src := `#include <stdlib.h>
+typedef struct { /*@null@*/ /*@only@*/ char *buf; int n; } box;
+
+void f (void)
+{
+	box b;
+	b.buf = (char *) malloc (8);
+	b.n = 8;
+	free (b.buf);
+}
+`
+	res := check(t, src)
+	forbidDiag(t, res, diag.Leak)
+}
+
+func TestLocalStructOwnedFieldLeaks(t *testing.T) {
+	src := `#include <stdlib.h>
+typedef struct { /*@null@*/ /*@only@*/ char *buf; int n; } box;
+
+void f (void)
+{
+	box b;
+	b.buf = (char *) malloc (8);
+	b.n = 8;
+}
+`
+	res := check(t, src)
+	requireDiag(t, res, diag.Leak, 0, "b.buf")
+}
+
+// Chained assignment distributes the value.
+func TestChainedAssignment(t *testing.T) {
+	src := `void f (void)
+{
+	int a;
+	int b;
+	a = b = 3;
+	a = a + b;
+}
+`
+	res := check(t, src)
+	forbidDiag(t, res, diag.UseUndef)
+}
+
+// Postincrement of a pointer keeps its states (offset pointers are the
+// paper's acknowledged blind spot — no false positives either way).
+func TestPointerIncrementNoFalsePositive(t *testing.T) {
+	src := `#include <stdlib.h>
+
+void f (void)
+{
+	char *p;
+	char *base;
+	base = (char *) malloc (8);
+	if (base == NULL) { return; }
+	p = base;
+	*p = 'a';
+	p++;
+	*p = 'b';
+	free (base);
+}
+`
+	res := check(t, src)
+	forbidDiag(t, res, diag.UseDead)
+	forbidDiag(t, res, diag.Leak)
+}

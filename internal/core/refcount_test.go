@@ -1,0 +1,139 @@
+package core
+
+// The reference-counting extension (the LCLint 2.0 annotations the paper
+// defers to its citation [3]): newref results carry an obligation released
+// through killref parameters; tempref parameters leave the count alone.
+
+import (
+	"testing"
+
+	"golclint/internal/diag"
+)
+
+const rcDecls = `typedef /*@refcounted@*/ struct _img { int w; int h; } *image;
+extern /*@newref@*/ image image_open (int w);
+extern void image_release (/*@killref@*/ image im);
+extern int image_width (/*@tempref@*/ image im);
+`
+
+// A reference acquired and released once is clean.
+func TestRefCountBalanced(t *testing.T) {
+	src := rcDecls + `
+void f (void)
+{
+	image im;
+	im = image_open (640);
+	image_width (im);
+	image_release (im);
+}
+`
+	res := check(t, src)
+	if len(res.Diags) != 0 {
+		t.Fatalf("expected clean:\n%s", res.Messages())
+	}
+}
+
+// A reference never released leaks.
+func TestRefCountLeak(t *testing.T) {
+	src := rcDecls + `
+void f (void)
+{
+	image im;
+	im = image_open (640);
+	image_width (im);
+}
+`
+	res := check(t, src)
+	requireDiag(t, res, diag.Leak, 0, "im")
+}
+
+// Releasing twice is a use of a dead reference.
+func TestRefCountDoubleRelease(t *testing.T) {
+	src := rcDecls + `
+void f (void)
+{
+	image im;
+	im = image_open (640);
+	image_release (im);
+	image_release (im);
+}
+`
+	res := check(t, src)
+	if countOf(res, diag.UseDead)+countOf(res, diag.DoubleRelease) == 0 {
+		t.Fatalf("double release not reported:\n%s", res.Messages())
+	}
+}
+
+// Using a reference after release is caught.
+func TestRefCountUseAfterRelease(t *testing.T) {
+	src := rcDecls + `
+int f (void)
+{
+	image im;
+	im = image_open (640);
+	image_release (im);
+	return image_width (im);
+}
+`
+	res := check(t, src)
+	requireDiag(t, res, diag.UseDead, 0, "im")
+}
+
+// A tempref parameter must not consume the reference (callee view): the
+// caller still holds it.
+func TestTempRefDoesNotConsume(t *testing.T) {
+	src := rcDecls + `
+void f (void)
+{
+	image im;
+	im = image_open (640);
+	image_width (im);
+	image_width (im);
+	image_release (im);
+}
+`
+	res := check(t, src)
+	if len(res.Diags) != 0 {
+		t.Fatalf("expected clean:\n%s", res.Messages())
+	}
+}
+
+// Releasing on one path only is the usual confluence anomaly.
+func TestRefCountConfluence(t *testing.T) {
+	src := rcDecls + `
+void f (int k)
+{
+	image im;
+	im = image_open (640);
+	if (k)
+	{
+		image_release (im);
+	}
+	k = k + 1;
+}
+`
+	res := check(t, src)
+	requireDiag(t, res, diag.Confluence, 0, "im")
+}
+
+// killref placement is parameters-only; newref is results-only.
+func TestRefCountPlacement(t *testing.T) {
+	res := CheckSource("rc.c", "extern /*@killref@*/ char *bad (void);\n", Options{})
+	if len(res.SemaErrors) == 0 {
+		t.Fatal("killref on a result should be a placement error")
+	}
+	res = CheckSource("rc.c", "extern void bad2 (/*@newref@*/ char *p);\n", Options{})
+	if len(res.SemaErrors) == 0 {
+		t.Fatal("newref on a parameter should be a placement error")
+	}
+}
+
+func countOf(res *Result, code diag.Code) int {
+	n := 0
+	for _, d := range res.Diags {
+		if d.Code == code {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,372 @@
+package core
+
+import (
+	"fmt"
+
+	"golclint/internal/annot"
+	"golclint/internal/ctoken"
+	"golclint/internal/ctypes"
+)
+
+// Reference keys. A reference is a variable or a location derived from a
+// variable (§3). Keys are canonical strings:
+//
+//	x           local variable or parameter (function-body view)
+//	arg:x       caller-visible mirror of parameter x (the paper's "argx")
+//	g:name      global variable
+//	heap#3      anonymous fresh allocation
+//	K->f K.f    field selections derived from reference K
+//	K[]         collapsed array element derived from K
+//	*K          pointee of K
+//
+// Each key has a display form used in messages (mirrors print as the paper's
+// "argx"; globals print bare).
+
+func globalKey(name string) string { return "g:" + name }
+func argKey(name string) string    { return "arg:" + name }
+func heapKey(n int) string         { return fmt.Sprintf("heap#%d", n) }
+
+// selKind is a derivation step from a base reference.
+type selKind int
+
+const (
+	selArrow selKind = iota // p->f
+	selDot                  // s.f
+	selIndex                // p[i] (indexes collapse to one element)
+	selDeref                // *p
+)
+
+// selector is one derivation step.
+type selector struct {
+	kind selKind
+	name string // field name for selArrow/selDot
+}
+
+// childKey derives the canonical key for a selection from parent.
+func childKey(parent string, s selector) string {
+	switch s.kind {
+	case selArrow:
+		return parent + "->" + s.name
+	case selDot:
+		return parent + "." + s.name
+	case selIndex:
+		return parent + "[" + s.name + "]"
+	default:
+		return "*" + parent
+	}
+}
+
+// isHeapKey reports whether key names an anonymous allocation.
+func isHeapKey(key string) bool {
+	return len(key) >= 5 && key[:5] == "heap#"
+}
+
+// display renders a reference key in user-facing form.
+func display(key string) string {
+	if isHeapKey(key) {
+		rest := ""
+		for i := 0; i < len(key); i++ {
+			if key[i] == '-' || key[i] == '.' || key[i] == '[' || key[i] == '*' {
+				rest = key[i:]
+				break
+			}
+		}
+		return "(fresh storage)" + rest
+	}
+	out := make([]byte, 0, len(key))
+	for i := 0; i < len(key); i++ {
+		if key[i] == 'g' && i+1 < len(key) && key[i+1] == ':' && (i == 0 || !isWordByte(key[i-1])) {
+			i++ // drop "g:"
+			continue
+		}
+		if key[i] == 'a' && i+4 <= len(key) && key[i:i+4] == "arg:" && (i == 0 || !isWordByte(key[i-1])) {
+			out = append(out, 'a', 'r', 'g')
+			i += 3
+			continue
+		}
+		out = append(out, key[i])
+	}
+	return string(out)
+}
+
+func isWordByte(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+}
+
+// isDerivedKey reports whether key denotes derived storage (contains a
+// selection step).
+func isDerivedKey(key string) bool {
+	for i := 0; i < len(key); i++ {
+		switch key[i] {
+		case '*', '[', '.':
+			return true
+		case '-':
+			if i+1 < len(key) && key[i+1] == '>' {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// baseOf returns the longest proper prefix of key that is itself a
+// reference key (the parent reference), or "" for base references.
+func baseOf(key string) string {
+	if len(key) > 0 && key[0] == '*' {
+		return key[1:]
+	}
+	for i := len(key) - 1; i > 0; i-- {
+		switch key[i] {
+		case '.':
+			return key[:i]
+		case '>':
+			if key[i-1] == '-' {
+				return key[:i-1]
+			}
+		case ']':
+			if key[i-1] == '[' {
+				return key[:i-1]
+			}
+		case '[':
+			// Named index selectors ("[#3]" under -indepidx).
+			return key[:i]
+		}
+	}
+	return ""
+}
+
+// ensureRef returns the state for key, materializing it from its parent
+// reference and the governing field annotations if it has not been touched
+// yet (§5: annotations and type definitions determine the initial dataflow
+// values).
+func (c *checker) ensureRef(st *store, key string, typ *ctypes.Type, declAnn annot.Set, declPos ctoken.Pos, external bool) *refState {
+	if rs, ok := st.refs[key]; ok {
+		return rs
+	}
+	rs := &refState{
+		typ:      typ,
+		declAnn:  declAnn,
+		declPos:  declPos,
+		external: external,
+	}
+	rs.null = nullFromAnnots(declAnn)
+	rs.relNull = declAnn.Has(annot.RelNull)
+	rs.relDef = declAnn.Has(annot.RelDef) || declAnn.Has(annot.Partial)
+	rs.def = defFromAnnots(declAnn)
+	rs.baseline = rs.def
+	rs.alloc = allocFromAnnots(declAnn)
+	if rs.alloc == AllocUnknown {
+		switch {
+		case typ != nil && typ.IsPointer():
+			if c.fl.ImplicitOnly {
+				rs.alloc = AllocOnly
+				rs.implOnly = true
+			} else {
+				rs.alloc = AllocDependent
+			}
+		case typ != nil && typ.Resolve() != nil && typ.Resolve().Kind == ctypes.Array:
+			// Embedded arrays are part of their enclosing storage and
+			// may never be released independently.
+			rs.alloc = AllocDependent
+		default:
+			rs.alloc = AllocStatic
+		}
+	}
+	if rs.alloc == AllocOnly || rs.alloc == AllocOwned {
+		rs.allocPos = declPos
+	}
+	st.refs[key] = rs
+	return rs
+}
+
+// deriveChild materializes (or fetches) the child of parent under selector
+// s, inheriting parent definition state and external visibility, and
+// creates alias edges between the children of parent's aliases.
+func (c *checker) deriveChild(st *store, parentKey string, parent *refState, s selector, pos ctoken.Pos) (string, *refState) {
+	key := childKey(parentKey, s)
+	if rs, ok := st.refs[key]; ok {
+		c.linkAliasChildren(st, parentKey, s, key)
+		return key, rs
+	}
+	typ, declAnn := c.childTypeAnnots(parent.typ, s)
+	rs := &refState{
+		typ:      typ,
+		declAnn:  declAnn,
+		declPos:  parent.declPos,
+		external: parent.external,
+		observer: parent.observer,
+	}
+	rs.relNull = declAnn.Has(annot.RelNull)
+	rs.relDef = declAnn.Has(annot.RelDef) || declAnn.Has(annot.Partial)
+	// Definition state from the parent: a completely defined object has
+	// completely defined children; an allocated or partially defined
+	// object's untouched children are undefined.
+	switch parent.def {
+	case DefDefined:
+		rs.def = DefDefined
+	case DefPartial:
+		// A partially defined object that started out completely defined
+		// was weakened by one child; its untouched children stay defined.
+		if parent.baseline == DefDefined {
+			rs.def = DefDefined
+		} else {
+			rs.def = DefUndefined
+		}
+	default:
+		rs.def = DefUndefined
+	}
+	if declAnn.Has(annot.Out) {
+		rs.def = DefAllocated
+	}
+	rs.baseline = rs.def
+	if rs.def == DefDefined {
+		rs.null = nullFromAnnots(declAnn)
+	} else {
+		rs.null = NullUnknown
+	}
+	rs.alloc = allocFromAnnots(declAnn)
+	if rs.alloc == AllocUnknown {
+		switch {
+		case typ != nil && typ.IsPointer():
+			if c.fl.ImplicitOnly {
+				rs.alloc = AllocOnly
+				rs.implOnly = true
+			} else {
+				rs.alloc = AllocDependent
+			}
+		case typ != nil && typ.Resolve() != nil && typ.Resolve().Kind == ctypes.Array:
+			// Embedded arrays are part of their enclosing storage and
+			// may never be released independently.
+			rs.alloc = AllocDependent
+		default:
+			rs.alloc = AllocStatic
+		}
+	}
+	if rs.alloc == AllocOnly || rs.alloc == AllocOwned {
+		rs.allocPos = pos
+	}
+	st.refs[key] = rs
+	c.linkAliasChildren(st, parentKey, s, key)
+	return key, rs
+}
+
+// linkAliasChildren creates the corresponding child references for every
+// alias of parentKey and links them as aliases of childKey (§5: since
+// l->next may alias argl->next, updates apply to both).
+func (c *checker) linkAliasChildren(st *store, parentKey string, s selector, child string) {
+	for _, al := range st.aliasesOf(parentKey) {
+		alChild := childKey(al, s)
+		if _, ok := st.refs[alChild]; !ok {
+			if base, okBase := st.refs[child]; okBase {
+				cp := base.clone()
+				if alState, okAl := st.refs[al]; okAl {
+					cp.external = alState.external
+				}
+				st.refs[alChild] = cp
+			}
+		}
+		st.addAlias(child, alChild)
+	}
+}
+
+// childTypeAnnots computes the type and effective declared annotations for
+// a selection from a reference of type parent.
+func (c *checker) childTypeAnnots(parent *ctypes.Type, s selector) (*ctypes.Type, annot.Set) {
+	if parent == nil {
+		return nil, 0
+	}
+	r := parent.Resolve()
+	switch s.kind {
+	case selArrow:
+		if r.Kind == ctypes.Pointer || r.Kind == ctypes.Array {
+			if f, ok := r.Elem.FieldByName(s.name); ok {
+				return f.Type, f.Type.EffectiveAnnots(f.Annots)
+			}
+		}
+	case selDot:
+		if f, ok := r.FieldByName(s.name); ok {
+			return f.Type, f.Type.EffectiveAnnots(f.Annots)
+		}
+	case selIndex, selDeref:
+		if r.Kind == ctypes.Pointer || r.Kind == ctypes.Array {
+			elem := r.Elem
+			if elem != nil {
+				return elem, elem.EffectiveAnnots(0)
+			}
+		}
+	}
+	return nil, 0
+}
+
+// applyToAliases applies mutate to the state of key and every alias of key
+// (aliased references share storage, so state changes mirror).
+func (st *store) applyToAliases(key string, mutate func(*refState)) {
+	if rs, ok := st.refs[key]; ok {
+		mutate(rs)
+	}
+	for _, al := range st.aliasesOf(key) {
+		if rs, ok := st.refs[al]; ok {
+			mutate(rs)
+		}
+	}
+}
+
+// propagateDefUp adjusts ancestors after a child's definition state changed
+// to childDef (§5: "The change in definition state propagates to its base
+// reference"): an incompletely defined child weakens defined ancestors to
+// partially-defined; a completely defined child promotes allocated
+// ancestors to partially-defined (progress, not regress).
+func (st *store) propagateDefUp(key string, childDef DefState) {
+	// The collapsed-loop alias sets can relate a reference to its own
+	// ancestors (l->next may alias both argl->next and argl->next->next);
+	// the origin's own alias closure must not be weakened by itself.
+	skip := map[string]bool{key: true}
+	for _, al := range st.aliasesOf(key) {
+		skip[al] = true
+	}
+	adjust := func(rs *refState) {
+		if childDef < DefDefined {
+			if rs.def == DefDefined || rs.def == DefAllocated {
+				rs.def = DefPartial
+			}
+		} else if rs.def == DefAllocated || rs.def == DefUndefined {
+			rs.def = DefPartial
+		}
+	}
+	for b := baseOf(key); b != ""; b = baseOf(b) {
+		if rs, ok := st.refs[b]; ok {
+			if !skip[b] {
+				adjust(rs)
+			}
+			for _, al := range st.aliasesOf(b) {
+				if skip[al] {
+					continue
+				}
+				if as, ok := st.refs[al]; ok {
+					adjust(as)
+				}
+			}
+		}
+	}
+}
+
+// dropChildren removes all stored references derived from key (used when
+// key is rebound to a new value).
+func (st *store) dropChildren(key string) {
+	for _, k := range st.sortedKeys() {
+		if k != key && hasBase(k, key) {
+			st.dropAliases(k)
+			delete(st.refs, k)
+		}
+	}
+}
+
+// hasBase reports whether key is derived (transitively) from base.
+func hasBase(key, base string) bool {
+	for b := baseOf(key); b != ""; b = baseOf(b) {
+		if b == base {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,443 @@
+// Package core implements the paper's contribution: annotation-based,
+// modular static checking of dynamic memory errors. Each function body is
+// analyzed independently in a single forward pass (no fixpoint iteration,
+// per §2: loops are modeled as executing zero or one times). Three dataflow
+// values are tracked per reference — definition state, null state, and
+// allocation state (§5) — together with may-alias sets, and constraints
+// implied by interface annotations are checked at entry, call sites,
+// assignments, and exit points.
+package core
+
+import (
+	"sort"
+
+	"golclint/internal/annot"
+	"golclint/internal/ctoken"
+	"golclint/internal/ctypes"
+)
+
+// DefState is the definition state of a reference, ordered from weakest to
+// strongest; merges take the weakest (§5: "Definition states are combined
+// using the weakest assumption").
+type DefState int
+
+// Definition states.
+const (
+	DefUndefined DefState = iota // no value assigned
+	DefAllocated                 // pointer valid, pointee undefined (malloc/out)
+	DefPartial                   // some reachable storage defined
+	DefDefined                   // completely defined
+)
+
+var defNames = map[DefState]string{
+	DefUndefined: "undefined", DefAllocated: "allocated",
+	DefPartial: "partially-defined", DefDefined: "defined",
+}
+
+// String returns the paper's name for the state.
+func (d DefState) String() string { return defNames[d] }
+
+// MergeDef combines definition states at a confluence point.
+func MergeDef(a, b DefState) DefState {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// NullState is the null state of a reference.
+type NullState int
+
+// Null states.
+const (
+	NullUnknown NullState = iota
+	NullNo                // definitely not null
+	NullMaybe             // possibly null
+	NullYes               // definitely null
+	NullError             // error marker (suppresses cascades)
+)
+
+var nullNames = map[NullState]string{
+	NullUnknown: "unknown", NullNo: "not-null", NullMaybe: "possibly-null",
+	NullYes: "definitely-null", NullError: "error",
+}
+
+// String returns a readable name for the state.
+func (n NullState) String() string { return nullNames[n] }
+
+// MergeNull combines null states at a confluence point.
+func MergeNull(a, b NullState) NullState {
+	if a == b {
+		return a
+	}
+	if a == NullError || b == NullError {
+		return NullError
+	}
+	if a == NullUnknown {
+		return b
+	}
+	if b == NullUnknown {
+		return a
+	}
+	// Differing definite states admit the possibility of null.
+	return NullMaybe
+}
+
+// AllocState is the allocation state of a reference (§5: "corresponding to
+// the allocation annotation").
+type AllocState int
+
+// Allocation states.
+const (
+	AllocUnknown   AllocState = iota
+	AllocOnly                 // sole reference; obligation to release
+	AllocOwned                // owns storage shared by dependents
+	AllocKeep                 // keep parameter (callee view)
+	AllocKept                 // obligation satisfied; still usable
+	AllocTemp                 // borrowed; may not release or capture
+	AllocDependent            // shares owned storage; may not release
+	AllocShared               // arbitrarily shared (GC); never released
+	AllocStatic               // static/stack storage; never released
+	AllocDead                 // released or transferred; unusable
+	AllocError                // error marker after a confluence anomaly
+)
+
+var allocNames = map[AllocState]string{
+	AllocUnknown: "unknown", AllocOnly: "only", AllocOwned: "owned",
+	AllocKeep: "keep", AllocKept: "kept", AllocTemp: "temp",
+	AllocDependent: "dependent", AllocShared: "shared",
+	AllocStatic: "static", AllocDead: "dead", AllocError: "error",
+}
+
+// String returns the paper's name for the state.
+func (a AllocState) String() string { return allocNames[a] }
+
+// Owning reports whether the state carries an obligation to release.
+func (a AllocState) Owning() bool { return a == AllocOnly || a == AllocOwned }
+
+// Live reports whether storage in this state may still be used.
+func (a AllocState) Live() bool { return a != AllocDead && a != AllocError && a != AllocUnknown }
+
+// allocRank orders non-owning live states from most to least constrained
+// for silent same-group merging.
+var allocRank = map[AllocState]int{
+	AllocKeep: 1, AllocKept: 2, AllocTemp: 3, AllocStatic: 4,
+	AllocDependent: 5, AllocShared: 6,
+}
+
+// MergeAlloc combines allocation states at a confluence point. ok is false
+// when the states are irreconcilable (one path released or transferred the
+// obligation and the other did not) — the paper's confluence anomaly; the
+// caller reports it and the result is AllocError.
+func MergeAlloc(a, b AllocState) (AllocState, bool) {
+	if a == b {
+		return a, true
+	}
+	if a == AllocError || b == AllocError {
+		return AllocError, true // already reported
+	}
+	if a == AllocUnknown {
+		return b, true
+	}
+	if b == AllocUnknown {
+		return a, true
+	}
+	// Same group merges silently to the weaker claim.
+	if a.Owning() && b.Owning() {
+		return AllocOwned, true
+	}
+	ra, okA := allocRank[a]
+	rb, okB := allocRank[b]
+	if okA && okB {
+		if ra > rb {
+			return a, true
+		}
+		return b, true
+	}
+	// Owning on one path, borrowed on the other: a local alias of owned
+	// storage (the paper's point-7 merge in list_addh) — keep the
+	// obligation silently. But owning vs kept means the obligation was
+	// satisfied on only one path: a confluence anomaly.
+	if a.Owning() || b.Owning() {
+		other := a
+		owner := b
+		if a.Owning() {
+			other, owner = b, a
+		}
+		if other == AllocKept || other == AllocDead {
+			return AllocError, false
+		}
+		return owner, true
+	}
+	// live vs dead: released on only one path.
+	return AllocError, false
+}
+
+// allocFromAnnots maps declared allocation annotations to the initial
+// allocation state of a reference governed by them.
+func allocFromAnnots(as annot.Set) AllocState {
+	switch a, _ := as.InCategory(annot.CatAllocation); a {
+	case annot.Only:
+		return AllocOnly
+	case annot.Keep:
+		return AllocKeep
+	case annot.Temp:
+		return AllocTemp
+	case annot.Owned:
+		return AllocOwned
+	case annot.Dependent:
+		return AllocDependent
+	case annot.Shared:
+		return AllocShared
+	case annot.NewRef:
+		// A fresh reference carries an obligation to release it through a
+		// killref parameter — the same discipline as only storage.
+		return AllocOnly
+	case annot.KillRef:
+		return AllocOnly
+	case annot.TempRef, annot.RefCounted:
+		return AllocTemp
+	}
+	return AllocUnknown
+}
+
+// nullFromAnnots maps declared nullness annotations to the initial null
+// state.
+func nullFromAnnots(as annot.Set) NullState {
+	switch a, _ := as.InCategory(annot.CatNullness); a {
+	case annot.Null:
+		return NullMaybe
+	case annot.RelNull:
+		// relnull: assumed non-null when used, assignable to null.
+		return NullNo
+	default:
+		return NullNo
+	}
+}
+
+// defFromAnnots maps declared definition annotations to the initial
+// definition state.
+func defFromAnnots(as annot.Set) DefState {
+	switch a, _ := as.InCategory(annot.CatDefinition); a {
+	case annot.Out:
+		return DefAllocated
+	case annot.Partial:
+		return DefPartial
+	case annot.Undef:
+		return DefUndefined
+	default:
+		return DefDefined
+	}
+}
+
+// refState is the dataflow value for one reference.
+type refState struct {
+	def   DefState
+	null  NullState
+	alloc AllocState
+
+	// baseline is the definition state this reference was created or last
+	// rebound with; it decides whether untouched fields of a partially
+	// defined object are assumed undefined (baseline allocated — fresh
+	// storage) or defined (baseline defined — weakened by one child).
+	baseline DefState
+
+	// declAnn and declPos record the governing annotations and where they
+	// were declared (used in messages like "Storage gname becomes only").
+	declAnn annot.Set
+	declPos ctoken.Pos
+
+	// typ is the reference's C type (nil when unknown).
+	typ *ctypes.Type
+
+	// external marks caller-visible references: parameter mirrors,
+	// globals, and storage reachable from them.
+	external bool
+
+	// relaxed checking per relnull/reldef/partial.
+	relNull bool
+	relDef  bool
+
+	// observer marks storage returned with the observer annotation: the
+	// caller may not modify (or release) it.
+	observer bool
+
+	// implOnly marks references governed by an implicit only annotation
+	// (pointer fields/globals/returns with no explicit allocation
+	// annotation while implicit-only is enabled); they behave as only
+	// sinks for transfer checking.
+	implOnly bool
+
+	// Event positions for secondary notes.
+	nullPos  ctoken.Pos // where the reference may have become null
+	allocPos ctoken.Pos // where the current allocation state arose
+	deadPos  ctoken.Pos // where the reference died (release/transfer)
+}
+
+func (rs *refState) clone() *refState {
+	c := *rs
+	return &c
+}
+
+// store is the abstract state at a program point: a map from reference
+// keys to their dataflow values plus a symmetric may-alias relation.
+type store struct {
+	refs    map[string]*refState
+	aliases map[string]map[string]bool
+	// unreachable marks dead paths (after return/exit); merging with an
+	// unreachable store yields the other store unchanged.
+	unreachable bool
+}
+
+func newStore() *store {
+	return &store{refs: map[string]*refState{}, aliases: map[string]map[string]bool{}}
+}
+
+func (st *store) clone() *store {
+	c := newStore()
+	c.unreachable = st.unreachable
+	for k, v := range st.refs {
+		c.refs[k] = v.clone()
+	}
+	for k, set := range st.aliases {
+		m := make(map[string]bool, len(set))
+		for a := range set {
+			m[a] = true
+		}
+		c.aliases[k] = m
+	}
+	return c
+}
+
+// addAlias records that a and b may refer to the same storage.
+func (st *store) addAlias(a, b string) {
+	if a == b {
+		return
+	}
+	if st.aliases[a] == nil {
+		st.aliases[a] = map[string]bool{}
+	}
+	if st.aliases[b] == nil {
+		st.aliases[b] = map[string]bool{}
+	}
+	st.aliases[a][b] = true
+	st.aliases[b][a] = true
+}
+
+// aliasesOf returns the sorted may-alias set of key (not including key).
+func (st *store) aliasesOf(key string) []string {
+	set := st.aliases[key]
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// dropAliases unbinds key from the alias relation (used when a reference
+// is assigned a new value).
+func (st *store) dropAliases(key string) {
+	for a := range st.aliases[key] {
+		delete(st.aliases[a], key)
+	}
+	delete(st.aliases, key)
+}
+
+// sortedKeys returns the reference keys in deterministic order.
+func (st *store) sortedKeys() []string {
+	ks := make([]string, 0, len(st.refs))
+	for k := range st.refs {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// confluence describes an allocation-state conflict found during a merge.
+type confluence struct {
+	key    string
+	a, b   AllocState
+	aState *refState
+}
+
+// mergeStores combines two branch states. Conflicting allocation states
+// are returned for the caller to report (the paper's confluence anomaly);
+// the merged reference gets the error marker.
+func mergeStores(a, b *store) (*store, []confluence) {
+	if a.unreachable {
+		return b, nil
+	}
+	if b.unreachable {
+		return a, nil
+	}
+	out := newStore()
+	var conflicts []confluence
+	keys := map[string]bool{}
+	for k := range a.refs {
+		keys[k] = true
+	}
+	for k := range b.refs {
+		keys[k] = true
+	}
+	sorted := make([]string, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+	for _, k := range sorted {
+		ra, okA := a.refs[k]
+		rb, okB := b.refs[k]
+		switch {
+		case okA && okB:
+			m := ra.clone()
+			m.def = MergeDef(ra.def, rb.def)
+			m.baseline = MergeDef(ra.baseline, rb.baseline)
+			m.null = MergeNull(ra.null, rb.null)
+			// A definitely-null reference holds no storage, hence no
+			// obligation: its allocation state defers to the other path.
+			switch {
+			case ra.null == NullYes && rb.null != NullYes:
+				m.alloc = rb.alloc
+			case rb.null == NullYes && ra.null != NullYes:
+				m.alloc = ra.alloc
+			default:
+				merged, ok := MergeAlloc(ra.alloc, rb.alloc)
+				if !ok {
+					conflicts = append(conflicts, confluence{key: k, a: ra.alloc, b: rb.alloc, aState: m})
+				}
+				m.alloc = merged
+			}
+			if m.null == NullMaybe {
+				if ra.null == NullMaybe || ra.null == NullYes {
+					m.nullPos = ra.nullPos
+				} else {
+					m.nullPos = rb.nullPos
+				}
+			}
+			if rb.alloc == AllocDead && ra.alloc != AllocDead {
+				m.deadPos = rb.deadPos
+			}
+			m.relNull = ra.relNull || rb.relNull
+			m.relDef = ra.relDef || rb.relDef
+			out.refs[k] = m
+		case okA:
+			out.refs[k] = ra.clone()
+		default:
+			out.refs[k] = rb.clone()
+		}
+	}
+	// May-alias union (§5: "The possible aliases at confluence points is
+	// the union of the possible aliases on each branch").
+	for _, src := range []*store{a, b} {
+		for k, set := range src.aliases {
+			for al := range set {
+				out.addAlias(k, al)
+			}
+		}
+	}
+	return out, conflicts
+}

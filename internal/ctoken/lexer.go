@@ -1,0 +1,389 @@
+package ctoken
+
+import (
+	"fmt"
+	"strings"
+)
+
+// A LexError describes a lexical error at a source position.
+type LexError struct {
+	Pos Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *LexError) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Lexer scans C source text into tokens. It recognizes annotation comments
+// (/*@...@*/) as tokens and skips ordinary comments and whitespace. The
+// input is expected to already be preprocessed (see internal/cpp); however,
+// the lexer tolerates preprocessor line markers of the form
+//
+//	# <line> "<file>"
+//
+// which the preprocessor emits to preserve original source positions.
+type Lexer struct {
+	src    string
+	file   string // current logical file (updated by line markers)
+	off    int
+	line   int
+	col    int
+	errs   []*LexError
+	peeked *Token
+}
+
+// NewLexer returns a lexer over src, reporting positions against file.
+func NewLexer(file, src string) *Lexer {
+	return &Lexer{src: src, file: file, line: 1, col: 1}
+}
+
+// Errors returns the lexical errors encountered so far.
+func (lx *Lexer) Errors() []*LexError { return lx.errs }
+
+func (lx *Lexer) errorf(p Pos, format string, args ...interface{}) {
+	lx.errs = append(lx.errs, &LexError{Pos: p, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (lx *Lexer) pos() Pos { return Pos{File: lx.file, Line: lx.line, Col: lx.col, Off: lx.off} }
+
+func (lx *Lexer) cur() byte {
+	if lx.off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off]
+}
+
+func (lx *Lexer) at(i int) byte {
+	if lx.off+i >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off+i]
+}
+
+func (lx *Lexer) advance() {
+	if lx.off >= len(lx.src) {
+		return
+	}
+	if lx.src[lx.off] == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	lx.off++
+}
+
+func (lx *Lexer) advanceN(n int) {
+	for i := 0; i < n; i++ {
+		lx.advance()
+	}
+}
+
+func isDigit(c byte) bool  { return c >= '0' && c <= '9' }
+func isHex(c byte) bool    { return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F') }
+func isLetter(c byte) bool { return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') }
+func isIdent(c byte) bool  { return isLetter(c) || isDigit(c) }
+func isSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '\v' || c == '\f'
+}
+
+// skipBlanks consumes whitespace, ordinary comments, and line markers.
+func (lx *Lexer) skipBlanks() {
+	for {
+		c := lx.cur()
+		switch {
+		case c == 0:
+			return
+		case isSpace(c):
+			lx.advance()
+		case c == '/' && lx.at(1) == '/':
+			for lx.cur() != 0 && lx.cur() != '\n' {
+				lx.advance()
+			}
+		case c == '/' && lx.at(1) == '*' && lx.at(2) != '@':
+			p := lx.pos()
+			lx.advanceN(2)
+			closed := false
+			for lx.cur() != 0 {
+				if lx.cur() == '*' && lx.at(1) == '/' {
+					lx.advanceN(2)
+					closed = true
+					break
+				}
+				lx.advance()
+			}
+			if !closed {
+				lx.errorf(p, "unterminated comment")
+			}
+		case c == '#' && lx.col == 1:
+			lx.lineMarker()
+		default:
+			return
+		}
+	}
+}
+
+// lineMarker parses "# <line> \"file\"" directives (and skips any other
+// residual preprocessor line, reporting it as an error).
+func (lx *Lexer) lineMarker() {
+	p := lx.pos()
+	start := lx.off
+	for lx.cur() != 0 && lx.cur() != '\n' {
+		lx.advance()
+	}
+	text := lx.src[start:lx.off]
+	var ln int
+	var f string
+	if n, _ := fmt.Sscanf(text, "# %d %q", &ln, &f); n == 2 {
+		// Positions restart at the marked line of the named file. The
+		// newline following the marker advances to exactly line ln.
+		if lx.cur() == '\n' {
+			lx.advance()
+		}
+		lx.line = ln
+		lx.col = 1
+		lx.file = f
+		return
+	}
+	lx.errorf(p, "unexpected preprocessor directive %q (input not preprocessed?)", strings.TrimSpace(text))
+}
+
+// Next returns the next token, consuming it.
+func (lx *Lexer) Next() Token {
+	if lx.peeked != nil {
+		t := *lx.peeked
+		lx.peeked = nil
+		return t
+	}
+	return lx.scan()
+}
+
+// Peek returns the next token without consuming it.
+func (lx *Lexer) Peek() Token {
+	if lx.peeked == nil {
+		t := lx.scan()
+		lx.peeked = &t
+	}
+	return *lx.peeked
+}
+
+// All scans the remaining input and returns every token up to and including
+// the terminating EOF token.
+func (lx *Lexer) All() []Token {
+	var ts []Token
+	for {
+		t := lx.Next()
+		ts = append(ts, t)
+		if t.Kind == EOF {
+			return ts
+		}
+	}
+}
+
+func (lx *Lexer) scan() Token {
+	lx.skipBlanks()
+	p := lx.pos()
+	c := lx.cur()
+	switch {
+	case c == 0:
+		return Token{Kind: EOF, Pos: p}
+	case c == '/' && lx.at(1) == '*' && lx.at(2) == '@':
+		return lx.scanAnnot(p)
+	case isLetter(c):
+		start := lx.off
+		for isIdent(lx.cur()) {
+			lx.advance()
+		}
+		text := lx.src[start:lx.off]
+		if kw, ok := Keywords[text]; ok {
+			return Token{Kind: kw, Text: text, Pos: p}
+		}
+		return Token{Kind: Ident, Text: text, Pos: p}
+	case isDigit(c) || (c == '.' && isDigit(lx.at(1))):
+		return lx.scanNumber(p)
+	case c == '\'':
+		return lx.scanChar(p)
+	case c == '"':
+		return lx.scanString(p)
+	default:
+		return lx.scanPunct(p)
+	}
+}
+
+// scanAnnot scans an annotation comment /*@ ... @*/. Its Text is the interior
+// with surrounding whitespace trimmed. Both "/*@null@*/" and the multi-word
+// form "/*@ null out only @*/" are accepted; the parser splits words.
+func (lx *Lexer) scanAnnot(p Pos) Token {
+	lx.advanceN(3) // consume /*@
+	start := lx.off
+	for {
+		c := lx.cur()
+		if c == 0 {
+			lx.errorf(p, "unterminated annotation comment")
+			return Token{Kind: Annot, Text: strings.TrimSpace(lx.src[start:lx.off]), Pos: p}
+		}
+		// Terminators: "@*/" (canonical) or "*/" (tolerated, as LCLint does).
+		if c == '@' && lx.at(1) == '*' && lx.at(2) == '/' {
+			text := lx.src[start:lx.off]
+			lx.advanceN(3)
+			return Token{Kind: Annot, Text: strings.TrimSpace(text), Pos: p}
+		}
+		if c == '*' && lx.at(1) == '/' {
+			text := lx.src[start:lx.off]
+			lx.advanceN(2)
+			return Token{Kind: Annot, Text: strings.TrimSpace(text), Pos: p}
+		}
+		lx.advance()
+	}
+}
+
+func (lx *Lexer) scanNumber(p Pos) Token {
+	start := lx.off
+	isFloat := false
+	if lx.cur() == '0' && (lx.at(1) == 'x' || lx.at(1) == 'X') {
+		lx.advanceN(2)
+		for isHex(lx.cur()) {
+			lx.advance()
+		}
+	} else {
+		for isDigit(lx.cur()) {
+			lx.advance()
+		}
+		if lx.cur() == '.' {
+			isFloat = true
+			lx.advance()
+			for isDigit(lx.cur()) {
+				lx.advance()
+			}
+		}
+		if lx.cur() == 'e' || lx.cur() == 'E' {
+			if isDigit(lx.at(1)) || ((lx.at(1) == '+' || lx.at(1) == '-') && isDigit(lx.at(2))) {
+				isFloat = true
+				lx.advance()
+				if lx.cur() == '+' || lx.cur() == '-' {
+					lx.advance()
+				}
+				for isDigit(lx.cur()) {
+					lx.advance()
+				}
+			}
+		}
+	}
+	// Suffixes: u, l, f (any order/case, as in C).
+	for {
+		c := lx.cur()
+		if c == 'u' || c == 'U' || c == 'l' || c == 'L' {
+			lx.advance()
+			continue
+		}
+		if (c == 'f' || c == 'F') && isFloat {
+			lx.advance()
+			continue
+		}
+		break
+	}
+	kind := IntLit
+	if isFloat {
+		kind = FloatLit
+	}
+	return Token{Kind: kind, Text: lx.src[start:lx.off], Pos: p}
+}
+
+func (lx *Lexer) scanEscape(p Pos) {
+	lx.advance() // backslash
+	c := lx.cur()
+	switch c {
+	case 'n', 't', 'r', '0', '\\', '\'', '"', 'a', 'b', 'f', 'v', '?':
+		lx.advance()
+	case 'x':
+		lx.advance()
+		for isHex(lx.cur()) {
+			lx.advance()
+		}
+	default:
+		if isDigit(c) {
+			for isDigit(lx.cur()) {
+				lx.advance()
+			}
+		} else {
+			lx.errorf(p, "unknown escape sequence \\%c", c)
+			lx.advance()
+		}
+	}
+}
+
+func (lx *Lexer) scanChar(p Pos) Token {
+	start := lx.off
+	lx.advance() // opening quote
+	for lx.cur() != '\'' {
+		if lx.cur() == 0 || lx.cur() == '\n' {
+			lx.errorf(p, "unterminated character literal")
+			return Token{Kind: CharLit, Text: lx.src[start:lx.off], Pos: p}
+		}
+		if lx.cur() == '\\' {
+			lx.scanEscape(p)
+		} else {
+			lx.advance()
+		}
+	}
+	lx.advance() // closing quote
+	return Token{Kind: CharLit, Text: lx.src[start:lx.off], Pos: p}
+}
+
+func (lx *Lexer) scanString(p Pos) Token {
+	start := lx.off
+	lx.advance() // opening quote
+	for lx.cur() != '"' {
+		if lx.cur() == 0 || lx.cur() == '\n' {
+			lx.errorf(p, "unterminated string literal")
+			return Token{Kind: StringLit, Text: lx.src[start:lx.off], Pos: p}
+		}
+		if lx.cur() == '\\' {
+			lx.scanEscape(p)
+		} else {
+			lx.advance()
+		}
+	}
+	lx.advance() // closing quote
+	return Token{Kind: StringLit, Text: lx.src[start:lx.off], Pos: p}
+}
+
+// punct3, punct2, punct1 map operator spellings to kinds, longest first.
+var punct3 = map[string]Kind{"<<=": ShlEq, ">>=": ShrEq, "...": Ellipsis}
+
+var punct2 = map[string]Kind{
+	"->": Arrow, "++": Inc, "--": Dec, "<<": Shl, ">>": Shr,
+	"<=": Le, ">=": Ge, "==": EqEq, "!=": NotEq, "&&": AndAnd, "||": OrOr,
+	"*=": MulEq, "/=": DivEq, "%=": ModEq, "+=": AddEq, "-=": SubEq,
+	"&=": AndEq, "^=": XorEq, "|=": OrEq,
+}
+
+var punct1 = map[byte]Kind{
+	'(': LParen, ')': RParen, '{': LBrace, '}': RBrace,
+	'[': LBracket, ']': RBracket, ';': Semi, ',': Comma, '.': Dot,
+	'&': Amp, '*': Star, '+': Plus, '-': Minus, '~': Tilde, '!': Not,
+	'/': Slash, '%': Percent, '<': Lt, '>': Gt, '^': Caret, '|': Pipe,
+	'?': Question, ':': Colon, '=': Assign,
+}
+
+func (lx *Lexer) scanPunct(p Pos) Token {
+	if lx.off+3 <= len(lx.src) {
+		if k, ok := punct3[lx.src[lx.off:lx.off+3]]; ok {
+			lx.advanceN(3)
+			return Token{Kind: k, Pos: p}
+		}
+	}
+	if lx.off+2 <= len(lx.src) {
+		if k, ok := punct2[lx.src[lx.off:lx.off+2]]; ok {
+			lx.advanceN(2)
+			return Token{Kind: k, Pos: p}
+		}
+	}
+	if k, ok := punct1[lx.cur()]; ok {
+		lx.advance()
+		return Token{Kind: k, Pos: p}
+	}
+	lx.errorf(p, "unexpected character %q", string(rune(lx.cur())))
+	lx.advance()
+	return lx.scan()
+}

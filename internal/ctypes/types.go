@@ -1,0 +1,381 @@
+// Package ctypes models the C type system for the checker: primitive types,
+// pointers, arrays, struct/union/enum types, function types, and named
+// (typedef) types. Annotation sets attach to types so a typedef can
+// constrain all instances of a type, as in the paper's list example
+// (typedef /*@null@*/ struct _list ... *list).
+package ctypes
+
+import (
+	"fmt"
+	"strings"
+
+	"golclint/internal/annot"
+)
+
+// Kind discriminates the type representations.
+type Kind int
+
+// Type kinds.
+const (
+	Invalid Kind = iota
+	Void
+	Bool // checker-internal; C subset treats int as boolean
+	Char
+	Short
+	Int
+	Long
+	UChar
+	UShort
+	UInt
+	ULong
+	Float
+	Double
+	Pointer
+	Array
+	Struct
+	Union
+	Enum
+	Func
+	Named // typedef reference
+)
+
+var kindNames = map[Kind]string{
+	Invalid: "<invalid>", Void: "void", Bool: "bool", Char: "char",
+	Short: "short", Int: "int", Long: "long", UChar: "unsigned char",
+	UShort: "unsigned short", UInt: "unsigned int", ULong: "unsigned long",
+	Float: "float", Double: "double", Pointer: "pointer", Array: "array",
+	Struct: "struct", Union: "union", Enum: "enum", Func: "function",
+	Named: "named",
+}
+
+// String returns the kind's C-ish name.
+func (k Kind) String() string { return kindNames[k] }
+
+// Field is a struct or union member.
+type Field struct {
+	Name   string
+	Type   *Type
+	Annots annot.Set // annotations written on the field declaration
+}
+
+// EnumConst is one enumerator of an enum type.
+type EnumConst struct {
+	Name  string
+	Value int64
+}
+
+// Param is a function parameter.
+type Param struct {
+	Name   string
+	Type   *Type
+	Annots annot.Set // annotations written on the parameter declaration
+}
+
+// Type is a C type. Types are compared structurally except for
+// struct/union/enum, which compare by identity (tag), following C.
+type Type struct {
+	Kind Kind
+
+	// Pointer and Array.
+	Elem *Type
+	Len  int // array length; -1 if unspecified
+
+	// Struct, Union, Enum.
+	Tag         string
+	Fields      []Field     // struct/union members (nil while incomplete)
+	Enumerators []EnumConst // enum constants
+	Incomplete  bool        // declared but not yet defined
+
+	// Func.
+	Params   []Param
+	Return   *Type
+	Variadic bool
+
+	// Named (typedef).
+	Name       string
+	Underlying *Type
+
+	// Annots are annotations attached to this type at its outer level
+	// (from a typedef declaration). Per the paper, "an annotation applies
+	// only to the outer level of a declaration".
+	Annots annot.Set
+}
+
+// Basic singleton types. These are shared; never mutate them.
+var (
+	VoidType   = &Type{Kind: Void}
+	BoolType   = &Type{Kind: Bool}
+	CharType   = &Type{Kind: Char}
+	ShortType  = &Type{Kind: Short}
+	IntType    = &Type{Kind: Int}
+	LongType   = &Type{Kind: Long}
+	UCharType  = &Type{Kind: UChar}
+	UShortType = &Type{Kind: UShort}
+	UIntType   = &Type{Kind: UInt}
+	ULongType  = &Type{Kind: ULong}
+	FloatType  = &Type{Kind: Float}
+	DoubleType = &Type{Kind: Double}
+)
+
+// PointerTo returns a pointer type to elem.
+func PointerTo(elem *Type) *Type { return &Type{Kind: Pointer, Elem: elem} }
+
+// ArrayOf returns an array type of n elems (n < 0 for unknown size).
+func ArrayOf(elem *Type, n int) *Type { return &Type{Kind: Array, Elem: elem, Len: n} }
+
+// FuncOf returns a function type.
+func FuncOf(ret *Type, params []Param, variadic bool) *Type {
+	return &Type{Kind: Func, Return: ret, Params: params, Variadic: variadic}
+}
+
+// NamedOf returns a typedef reference named name with the given underlying
+// type and outer-level annotations.
+func NamedOf(name string, under *Type, as annot.Set) *Type {
+	return &Type{Kind: Named, Name: name, Underlying: under, Annots: as}
+}
+
+// Resolve follows Named links to the underlying representation type.
+// It returns t itself for non-named types. Annotations accumulated on the
+// chain are NOT merged here; use EffectiveAnnots for that.
+func (t *Type) Resolve() *Type {
+	for t != nil && t.Kind == Named {
+		t = t.Underlying
+	}
+	return t
+}
+
+// EffectiveAnnots returns the annotations in force for a declaration of type
+// t with explicit declaration annotations declAs: declaration-level
+// annotations override type-level ones within the same category (the paper:
+// "the type's null annotation may be overridden for specific declarations
+// of the type using the notnull annotation").
+func (t *Type) EffectiveAnnots(declAs annot.Set) annot.Set {
+	eff := declAs
+	seen := map[annot.Category]bool{}
+	for _, a := range declAs.List() {
+		seen[annot.CategoryOf(a)] = true
+	}
+	for u := t; u != nil; u = u.Underlying {
+		for _, a := range u.Annots.List() {
+			c := annot.CategoryOf(a)
+			if !seen[c] {
+				eff = eff.With(a)
+				seen[c] = true
+			}
+		}
+		if u.Kind != Named {
+			break
+		}
+	}
+	return eff
+}
+
+// IsInteger reports whether t resolves to an integer type (including char
+// and enum).
+func (t *Type) IsInteger() bool {
+	switch t.Resolve().Kind {
+	case Bool, Char, Short, Int, Long, UChar, UShort, UInt, ULong, Enum:
+		return true
+	}
+	return false
+}
+
+// IsFloat reports whether t resolves to a floating type.
+func (t *Type) IsFloat() bool {
+	k := t.Resolve().Kind
+	return k == Float || k == Double
+}
+
+// IsArithmetic reports whether t is integer or floating.
+func (t *Type) IsArithmetic() bool { return t.IsInteger() || t.IsFloat() }
+
+// IsPointer reports whether t resolves to a pointer type.
+func (t *Type) IsPointer() bool { return t.Resolve().Kind == Pointer }
+
+// IsPointerLike reports whether t resolves to a pointer or array type
+// (both can be dereferenced/indexed).
+func (t *Type) IsPointerLike() bool {
+	k := t.Resolve().Kind
+	return k == Pointer || k == Array
+}
+
+// IsVoid reports whether t resolves to void.
+func (t *Type) IsVoid() bool { return t.Resolve().Kind == Void }
+
+// IsVoidPointer reports whether t resolves to void*.
+func (t *Type) IsVoidPointer() bool {
+	r := t.Resolve()
+	return r.Kind == Pointer && r.Elem != nil && r.Elem.IsVoid()
+}
+
+// IsFunc reports whether t resolves to a function type.
+func (t *Type) IsFunc() bool { return t.Resolve().Kind == Func }
+
+// IsStructUnion reports whether t resolves to a struct or union type.
+func (t *Type) IsStructUnion() bool {
+	k := t.Resolve().Kind
+	return k == Struct || k == Union
+}
+
+// IsScalar reports whether t is arithmetic or pointer-like.
+func (t *Type) IsScalar() bool { return t.IsArithmetic() || t.IsPointerLike() }
+
+// PointeeOrElem returns the pointed-to or element type for pointer/array
+// types, nil otherwise.
+func (t *Type) PointeeOrElem() *Type {
+	r := t.Resolve()
+	if r.Kind == Pointer || r.Kind == Array {
+		return r.Elem
+	}
+	return nil
+}
+
+// FieldByName returns the field of a struct/union type, if present.
+func (t *Type) FieldByName(name string) (*Field, bool) {
+	r := t.Resolve()
+	if r.Kind != Struct && r.Kind != Union {
+		return nil, false
+	}
+	for i := range r.Fields {
+		if r.Fields[i].Name == name {
+			return &r.Fields[i], true
+		}
+	}
+	return nil, false
+}
+
+// String renders the type in readable C-like syntax.
+func (t *Type) String() string {
+	if t == nil {
+		return "<nil>"
+	}
+	switch t.Kind {
+	case Pointer:
+		return t.Elem.String() + " *"
+	case Array:
+		if t.Len < 0 {
+			return t.Elem.String() + " []"
+		}
+		return fmt.Sprintf("%s [%d]", t.Elem, t.Len)
+	case Struct, Union, Enum:
+		if t.Tag != "" {
+			return fmt.Sprintf("%s %s", t.Kind, t.Tag)
+		}
+		return fmt.Sprintf("%s <anonymous>", t.Kind)
+	case Func:
+		var ps []string
+		for _, p := range t.Params {
+			ps = append(ps, p.Type.String())
+		}
+		if t.Variadic {
+			ps = append(ps, "...")
+		}
+		return fmt.Sprintf("%s (%s)", t.Return, strings.Join(ps, ", "))
+	case Named:
+		return t.Name
+	default:
+		return t.Kind.String()
+	}
+}
+
+// Equal reports type compatibility for assignment diagnostics: structural
+// for scalars/pointers/functions, by tag name for tagged struct/union/enum
+// (same-named tags from different translation units are compatible), and
+// field-structural for anonymous structs (with cycle protection for
+// recursive types). void* is compatible with any pointer.
+func Equal(a, b *Type) bool {
+	return equal(a, b, map[[2]*Type]bool{})
+}
+
+func equal(a, b *Type, seen map[[2]*Type]bool) bool {
+	a, b = a.Resolve(), b.Resolve()
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a == b {
+		return true
+	}
+	key := [2]*Type{a, b}
+	if seen[key] {
+		return true // assume equal on cycles
+	}
+	seen[key] = true
+	if a.Kind != b.Kind {
+		// Arrays decay to pointers.
+		if a.Kind == Array && b.Kind == Pointer {
+			return equal(PointerTo(a.Elem), b, seen)
+		}
+		if a.Kind == Pointer && b.Kind == Array {
+			return equal(a, PointerTo(b.Elem), seen)
+		}
+		// Integer types are mutually assignable in our subset.
+		if a.IsArithmetic() && b.IsArithmetic() {
+			return true
+		}
+		return false
+	}
+	switch a.Kind {
+	case Pointer:
+		if a.Elem.IsVoid() || b.Elem.IsVoid() {
+			return true
+		}
+		return equal(a.Elem, b.Elem, seen)
+	case Array:
+		return equal(a.Elem, b.Elem, seen)
+	case Struct, Union:
+		if a.Tag != "" || b.Tag != "" {
+			return a.Tag == b.Tag
+		}
+		if len(a.Fields) != len(b.Fields) {
+			return false
+		}
+		for i := range a.Fields {
+			if a.Fields[i].Name != b.Fields[i].Name ||
+				!equal(a.Fields[i].Type, b.Fields[i].Type, seen) {
+				return false
+			}
+		}
+		return true
+	case Enum:
+		if a.Tag != "" || b.Tag != "" {
+			return a.Tag == b.Tag
+		}
+		if len(a.Enumerators) != len(b.Enumerators) {
+			return false
+		}
+		for i := range a.Enumerators {
+			if a.Enumerators[i] != b.Enumerators[i] {
+				return false
+			}
+		}
+		return true
+	case Func:
+		if !equal(a.Return, b.Return, seen) || len(a.Params) != len(b.Params) || a.Variadic != b.Variadic {
+			return false
+		}
+		for i := range a.Params {
+			if !equal(a.Params[i].Type, b.Params[i].Type, seen) {
+				return false
+			}
+		}
+		return true
+	default:
+		return true
+	}
+}
+
+// Assignable reports whether a value of type src may be assigned to a
+// location of type dst in our C subset (permissive: arithmetic conversions,
+// void* wildcards, null-pointer-constant handled by the caller).
+func Assignable(dst, src *Type) bool {
+	d, s := dst.Resolve(), src.Resolve()
+	if d == nil || s == nil {
+		return false
+	}
+	if d.IsArithmetic() && s.IsArithmetic() {
+		return true
+	}
+	// Integer-to-pointer only via explicit cast; the literal 0 is handled
+	// by callers as the null pointer constant.
+	return Equal(d, s)
+}

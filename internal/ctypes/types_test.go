@@ -1,0 +1,204 @@
+package ctypes
+
+import (
+	"testing"
+
+	"golclint/internal/annot"
+)
+
+func TestPredicates(t *testing.T) {
+	if !IntType.IsInteger() || !IntType.IsArithmetic() || !IntType.IsScalar() {
+		t.Error("int predicates")
+	}
+	if !CharType.IsInteger() || !ULongType.IsInteger() || !ShortType.IsInteger() {
+		t.Error("char/ulong/short integer")
+	}
+	if !DoubleType.IsFloat() || !FloatType.IsArithmetic() || DoubleType.IsInteger() {
+		t.Error("float predicates")
+	}
+	p := PointerTo(CharType)
+	if !p.IsPointer() || !p.IsPointerLike() || !p.IsScalar() || p.IsArithmetic() {
+		t.Error("pointer predicates")
+	}
+	a := ArrayOf(IntType, 4)
+	if a.IsPointer() || !a.IsPointerLike() {
+		t.Error("array predicates")
+	}
+	if !VoidType.IsVoid() || !PointerTo(VoidType).IsVoidPointer() || p.IsVoidPointer() {
+		t.Error("void predicates")
+	}
+	f := FuncOf(IntType, nil, false)
+	if !f.IsFunc() {
+		t.Error("func predicate")
+	}
+	e := &Type{Kind: Enum, Tag: "color"}
+	if !e.IsInteger() {
+		t.Error("enum is integer")
+	}
+}
+
+func TestPointeeAndFields(t *testing.T) {
+	st := &Type{Kind: Struct, Tag: "s", Fields: []Field{
+		{Name: "x", Type: IntType},
+		{Name: "next", Type: PointerTo(CharType)},
+	}}
+	if !st.IsStructUnion() {
+		t.Error("struct predicate")
+	}
+	if f, ok := st.FieldByName("next"); !ok || f.Type.Resolve().Kind != Pointer {
+		t.Error("FieldByName next")
+	}
+	if _, ok := st.FieldByName("nope"); ok {
+		t.Error("FieldByName nope")
+	}
+	if PointerTo(st).PointeeOrElem() != st {
+		t.Error("PointeeOrElem")
+	}
+	if IntType.PointeeOrElem() != nil {
+		t.Error("PointeeOrElem on int")
+	}
+}
+
+func TestNamedResolve(t *testing.T) {
+	under := PointerTo(&Type{Kind: Struct, Tag: "_list"})
+	list := NamedOf("list", under, annot.Make(annot.Null))
+	if list.Resolve() != under {
+		t.Error("Resolve through one level")
+	}
+	list2 := NamedOf("list2", list, annot.Make())
+	if list2.Resolve() != under {
+		t.Error("Resolve through two levels")
+	}
+}
+
+func TestEffectiveAnnots(t *testing.T) {
+	under := PointerTo(CharType)
+	list := NamedOf("list", under, annot.Make(annot.Null, annot.Only))
+	// Declaration with no annots inherits both.
+	eff := list.EffectiveAnnots(annot.Make())
+	if !eff.Has(annot.Null) || !eff.Has(annot.Only) {
+		t.Fatalf("eff = %v", eff)
+	}
+	// notnull on the declaration overrides the type's null (same category).
+	eff = list.EffectiveAnnots(annot.Make(annot.NotNull))
+	if eff.Has(annot.Null) || !eff.Has(annot.NotNull) || !eff.Has(annot.Only) {
+		t.Fatalf("override eff = %v", eff)
+	}
+	// temp on the declaration overrides the type's only.
+	eff = list.EffectiveAnnots(annot.Make(annot.Temp))
+	if eff.Has(annot.Only) || !eff.Has(annot.Temp) || !eff.Has(annot.Null) {
+		t.Fatalf("temp eff = %v", eff)
+	}
+	// Chained typedefs: outer level wins over inner.
+	inner := NamedOf("inner", under, annot.Make(annot.Null))
+	outer := NamedOf("outer", inner, annot.Make(annot.NotNull))
+	eff = outer.EffectiveAnnots(annot.Make())
+	if !eff.Has(annot.NotNull) || eff.Has(annot.Null) {
+		t.Fatalf("chain eff = %v", eff)
+	}
+}
+
+func TestString(t *testing.T) {
+	cases := []struct {
+		t    *Type
+		want string
+	}{
+		{IntType, "int"},
+		{PointerTo(CharType), "char *"},
+		{ArrayOf(IntType, 3), "int [3]"},
+		{ArrayOf(IntType, -1), "int []"},
+		{&Type{Kind: Struct, Tag: "s"}, "struct s"},
+		{&Type{Kind: Union}, "union <anonymous>"},
+		{FuncOf(VoidType, []Param{{Name: "p", Type: PointerTo(VoidType)}}, false), "void (void *)"},
+		{FuncOf(IntType, nil, true), "int (...)"},
+		{NamedOf("size_t", ULongType, 0), "size_t"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+	var nilT *Type
+	if nilT.String() != "<nil>" {
+		t.Error("nil String")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	if !Equal(IntType, IntType) || !Equal(IntType, LongType) || !Equal(CharType, IntType) {
+		t.Error("arithmetic equal")
+	}
+	if Equal(IntType, PointerTo(IntType)) {
+		t.Error("int != int*")
+	}
+	if !Equal(PointerTo(IntType), PointerTo(IntType)) {
+		t.Error("int* == int*")
+	}
+	if Equal(PointerTo(IntType), PointerTo(PointerTo(IntType))) {
+		t.Error("int* != int**")
+	}
+	if !Equal(PointerTo(VoidType), PointerTo(&Type{Kind: Struct, Tag: "x"})) {
+		t.Error("void* wildcard")
+	}
+	s1 := &Type{Kind: Struct, Tag: "a"}
+	s2 := &Type{Kind: Struct, Tag: "b"}
+	if Equal(s1, s2) || !Equal(s1, s1) {
+		t.Error("struct tags")
+	}
+	anon1 := &Type{Kind: Struct, Fields: []Field{{Name: "x", Type: IntType}}}
+	anon2 := &Type{Kind: Struct, Fields: []Field{{Name: "x", Type: IntType}}}
+	anon3 := &Type{Kind: Struct, Fields: []Field{{Name: "y", Type: IntType}}}
+	if !Equal(anon1, anon2) || Equal(anon1, anon3) {
+		t.Error("anonymous structs compare structurally")
+	}
+	// Recursive anonymous types terminate.
+	r1 := &Type{Kind: Struct}
+	r1.Fields = []Field{{Name: "next", Type: PointerTo(r1)}}
+	r2 := &Type{Kind: Struct}
+	r2.Fields = []Field{{Name: "next", Type: PointerTo(r2)}}
+	if !Equal(r1, r2) {
+		t.Error("recursive anonymous structs")
+	}
+	// Array decay.
+	if !Equal(ArrayOf(CharType, 10), PointerTo(CharType)) || !Equal(PointerTo(CharType), ArrayOf(CharType, -1)) {
+		t.Error("array decay")
+	}
+	// Functions.
+	f1 := FuncOf(IntType, []Param{{Type: PointerTo(CharType)}}, false)
+	f2 := FuncOf(IntType, []Param{{Type: PointerTo(CharType)}}, false)
+	f3 := FuncOf(IntType, []Param{{Type: PointerTo(CharType)}}, true)
+	f4 := FuncOf(VoidType, []Param{{Type: PointerTo(CharType)}}, false)
+	if !Equal(f1, f2) || Equal(f1, f3) || Equal(f1, f4) {
+		t.Error("function equality")
+	}
+	// Named resolution.
+	n := NamedOf("T", PointerTo(CharType), 0)
+	if !Equal(n, PointerTo(CharType)) {
+		t.Error("named resolves for equality")
+	}
+}
+
+func TestAssignable(t *testing.T) {
+	if !Assignable(IntType, CharType) || !Assignable(DoubleType, IntType) {
+		t.Error("arithmetic assign")
+	}
+	if Assignable(PointerTo(IntType), IntType) {
+		t.Error("int to pointer without cast")
+	}
+	if !Assignable(PointerTo(IntType), PointerTo(VoidType)) {
+		t.Error("void* to T*")
+	}
+	if !Assignable(PointerTo(VoidType), PointerTo(IntType)) {
+		t.Error("T* to void*")
+	}
+	var nilT *Type
+	if Assignable(nilT, IntType) || Assignable(IntType, nilT) {
+		t.Error("nil assignability")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Struct.String() != "struct" || Pointer.String() != "pointer" || Invalid.String() != "<invalid>" {
+		t.Error("Kind.String")
+	}
+}

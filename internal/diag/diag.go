@@ -1,0 +1,309 @@
+// Package diag collects, suppresses, sorts, and formats the checker's
+// diagnostics. Messages follow the paper's two-level format: a primary
+// line locating the anomaly, plus indented secondary notes explaining how
+// the offending state arose, e.g.
+//
+//	sample.c:6: Function returns with non-null global gname referencing null storage
+//	   sample.c:5: Storage gname may become null
+//
+// Suppression uses the paper's stylized comments: /*@i@*/ suppresses the
+// next message on or after that line; /*@ignore@*/ ... /*@end@*/ suppresses
+// every message in the region.
+package diag
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"golclint/internal/ctoken"
+)
+
+// Code classifies a diagnostic. Codes are stable and name the anomaly
+// classes from the paper.
+type Code int
+
+// Diagnostic codes.
+const (
+	// Null pointer anomalies (§4.1).
+	NullDeref  Code = iota // dereference of possibly-null pointer
+	NullPass               // possibly-null passed where non-null expected
+	NullAssign             // possibly-null assigned to non-null reference
+	NullReturn             // function may return null / exit with null global
+
+	// Definition anomalies (§4.2).
+	UseUndef      // undefined storage used as an rvalue
+	IncompleteDef // storage not completely defined at interface point
+
+	// Allocation anomalies (§4.3).
+	Leak          // only storage not released before reference lost
+	UseDead       // use of storage after obligation transferred (dead pointer)
+	DoubleRelease // release obligation discharged twice
+	AliasTransfer // temp/dependent storage transferred as only (paper's second sample.c message)
+	Confluence    // inconsistent allocation states at a merge point
+	LeakReturn    // fresh storage returned without only annotation
+
+	// Aliasing and exposure anomalies (§4.4).
+	UniqueAliased // unique parameter aliased by another parameter/global
+	ObserverMod   // observer storage modified
+	Exposure      // internal state exposed
+
+	// Annotation/semantic problems.
+	AnnotConflict  // incompatible annotations
+	AnnotPlacement // annotation in an invalid position
+	TypeError      // type mismatch
+	UnknownName    // reference to undeclared identifier
+	DeadCode       // statements not reachable from the function entry
+
+	numCodes
+)
+
+var codeNames = map[Code]string{
+	NullDeref: "nullderef", NullPass: "nullpass", NullAssign: "nullassign",
+	NullReturn: "nullreturn", UseUndef: "usedef", IncompleteDef: "compdef",
+	Leak: "mustfree", UseDead: "usereleased", DoubleRelease: "doublerelease",
+	AliasTransfer: "aliastransfer", Confluence: "branchstate",
+	LeakReturn: "mustfreereturn", UniqueAliased: "aliasunique",
+	ObserverMod: "observermod", Exposure: "exposure",
+	AnnotConflict: "annotconflict", AnnotPlacement: "annotplace",
+	TypeError: "type", UnknownName: "unknown", DeadCode: "unreachable",
+}
+
+// String returns the code's short name (used in message suffixes and
+// category counts).
+func (c Code) String() string {
+	if s, ok := codeNames[c]; ok {
+		return s
+	}
+	return fmt.Sprintf("code(%d)", int(c))
+}
+
+// Note is a secondary location attached to a diagnostic.
+type Note struct {
+	Pos ctoken.Pos
+	Msg string
+}
+
+// Diagnostic is one reported anomaly.
+type Diagnostic struct {
+	Code  Code
+	Pos   ctoken.Pos
+	Msg   string
+	Notes []Note
+}
+
+// WithNote appends a secondary note and returns d for chaining.
+func (d *Diagnostic) WithNote(pos ctoken.Pos, format string, args ...interface{}) *Diagnostic {
+	if d == nil {
+		return nil
+	}
+	d.Notes = append(d.Notes, Note{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+	return d
+}
+
+// String formats the diagnostic in the paper's style.
+func (d *Diagnostic) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s", d.Pos, d.Msg)
+	for _, n := range d.Notes {
+		fmt.Fprintf(&b, "\n   %s: %s", n.Pos, n.Msg)
+	}
+	return b.String()
+}
+
+// Region is a suppressed source region (from /*@ignore@*/ ... /*@end@*/).
+type Region struct {
+	File     string
+	FromLine int
+	ToLine   int // inclusive; 1<<30 if unterminated
+}
+
+// classOf maps local-flag names to the diagnostic codes they gate (the
+// same classes as the global flags in internal/flags).
+var classOf = map[string][]Code{
+	"null":  {NullDeref, NullPass, NullAssign, NullReturn},
+	"def":   {UseUndef, IncompleteDef},
+	"alloc": {Leak, UseDead, DoubleRelease, AliasTransfer, Confluence, LeakReturn},
+	"alias": {UniqueAliased, ObserverMod, Exposure},
+}
+
+// offSpan is a region of one file where a message class is disabled by a
+// local /*@-name@*/ ... /*@+name@*/ toggle.
+type offSpan struct {
+	file     string
+	fromLine int
+	toLine   int
+	codes    []Code
+}
+
+// Reporter accumulates diagnostics and applies suppression.
+type Reporter struct {
+	diags      []*Diagnostic
+	suppressed int
+	offSpans   []offSpan
+
+	// iLines holds file:line keys carrying an /*@i@*/ marker: the next
+	// message reported for that line or the following one is dropped.
+	iLines map[string]bool
+	// regions holds ignore/end spans.
+	regions []Region
+	// max bounds the number of retained diagnostics (0 = unbounded).
+	max int
+}
+
+// NewReporter returns an empty reporter. maxMessages bounds retained
+// diagnostics (0 for unbounded).
+func NewReporter(maxMessages int) *Reporter {
+	return &Reporter{iLines: map[string]bool{}, max: maxMessages}
+}
+
+// Control mirrors a parsed checker-control comment ("i", "ignore", "end",
+// or a flag toggle) with its position.
+type Control struct {
+	Pos  ctoken.Pos
+	Text string
+}
+
+// AddSuppressions installs the control comments collected by the parser:
+// message suppression ("i", "ignore"/"end") and local flag toggles
+// ("-name" disables a message class from its line until a matching
+// "+name" in the same file, per §2's "an LCLint flag that may be set
+// locally").
+func (r *Reporter) AddSuppressions(controls []Control) {
+	var open []Region
+	openFlags := map[string]*offSpan{} // keyed file+"|"+name
+	for _, c := range controls {
+		switch {
+		case c.Text == "i":
+			r.iLines[fmt.Sprintf("%s:%d", c.Pos.File, c.Pos.Line)] = true
+		case c.Text == "ignore":
+			open = append(open, Region{File: c.Pos.File, FromLine: c.Pos.Line, ToLine: 1 << 30})
+		case c.Text == "end":
+			if len(open) > 0 {
+				open[len(open)-1].ToLine = c.Pos.Line
+				r.regions = append(r.regions, open[len(open)-1])
+				open = open[:len(open)-1]
+			}
+		case len(c.Text) > 1 && c.Text[0] == '-':
+			name := c.Text[1:]
+			if codes, ok := classOf[name]; ok {
+				sp := &offSpan{file: c.Pos.File, fromLine: c.Pos.Line, toLine: 1 << 30, codes: codes}
+				openFlags[c.Pos.File+"\x00"+name] = sp
+				r.offSpans = append(r.offSpans, *sp)
+			}
+		case len(c.Text) > 1 && c.Text[0] == '+':
+			name := c.Text[1:]
+			if _, ok := classOf[name]; ok {
+				key := c.Pos.File + "\x00" + name
+				if sp, isOpen := openFlags[key]; isOpen {
+					// Close the most recent span for this flag/file.
+					for i := len(r.offSpans) - 1; i >= 0; i-- {
+						if r.offSpans[i].file == sp.file && r.offSpans[i].fromLine == sp.fromLine &&
+							r.offSpans[i].toLine == 1<<30 {
+							r.offSpans[i].toLine = c.Pos.Line
+							break
+						}
+					}
+					delete(openFlags, key)
+				}
+			}
+		}
+	}
+	r.regions = append(r.regions, open...)
+}
+
+// MarkILine registers an /*@i@*/ marker directly (used by tests).
+func (r *Reporter) MarkILine(file string, line int) {
+	r.iLines[fmt.Sprintf("%s:%d", file, line)] = true
+}
+
+// AddRegion registers an ignore region directly.
+func (r *Reporter) AddRegion(reg Region) { r.regions = append(r.regions, reg) }
+
+// classOff reports whether code is disabled at pos by a local flag toggle.
+func (r *Reporter) classOff(code Code, pos ctoken.Pos) bool {
+	for _, sp := range r.offSpans {
+		if sp.file != pos.File || pos.Line < sp.fromLine || pos.Line > sp.toLine {
+			continue
+		}
+		for _, c := range sp.codes {
+			if c == code {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isSuppressed reports whether a message at pos should be dropped, and
+// consumes one-shot /*@i@*/ markers.
+func (r *Reporter) isSuppressed(pos ctoken.Pos) bool {
+	for _, reg := range r.regions {
+		if reg.File == pos.File && pos.Line >= reg.FromLine && pos.Line <= reg.ToLine {
+			return true
+		}
+	}
+	// /*@i@*/ on the same line or the line before the anomaly.
+	for _, ln := range []int{pos.Line, pos.Line - 1} {
+		key := fmt.Sprintf("%s:%d", pos.File, ln)
+		if r.iLines[key] {
+			delete(r.iLines, key)
+			return true
+		}
+	}
+	return false
+}
+
+// Report files a diagnostic unless suppressed; it returns the diagnostic
+// (nil if suppressed or over the message bound) for attaching notes.
+func (r *Reporter) Report(code Code, pos ctoken.Pos, format string, args ...interface{}) *Diagnostic {
+	if r.isSuppressed(pos) || r.classOff(code, pos) {
+		r.suppressed++
+		return nil
+	}
+	if r.max > 0 && len(r.diags) >= r.max {
+		r.suppressed++
+		return nil
+	}
+	d := &Diagnostic{Code: code, Pos: pos, Msg: fmt.Sprintf(format, args...)}
+	r.diags = append(r.diags, d)
+	return d
+}
+
+// Diags returns the retained diagnostics sorted by position then code.
+func (r *Reporter) Diags() []*Diagnostic {
+	sort.SliceStable(r.diags, func(i, j int) bool {
+		a, b := r.diags[i], r.diags[j]
+		if a.Pos != b.Pos {
+			return a.Pos.Before(b.Pos)
+		}
+		return a.Code < b.Code
+	})
+	return r.diags
+}
+
+// Len returns the number of retained diagnostics.
+func (r *Reporter) Len() int { return len(r.diags) }
+
+// Suppressed returns the number of messages dropped by suppression or the
+// message bound.
+func (r *Reporter) Suppressed() int { return r.suppressed }
+
+// CountByCode tallies retained diagnostics per code.
+func (r *Reporter) CountByCode() map[Code]int {
+	m := map[Code]int{}
+	for _, d := range r.diags {
+		m[d.Code]++
+	}
+	return m
+}
+
+// Format renders all diagnostics, one per paragraph, in source order.
+func (r *Reporter) Format() string {
+	var b strings.Builder
+	for _, d := range r.Diags() {
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,184 @@
+package diag
+
+import (
+	"strings"
+	"testing"
+
+	"golclint/internal/ctoken"
+)
+
+func pos(file string, line int) ctoken.Pos { return ctoken.Pos{File: file, Line: line, Col: 1} }
+
+func TestReportAndFormat(t *testing.T) {
+	r := NewReporter(0)
+	d := r.Report(NullReturn, pos("sample.c", 6),
+		"Function returns with non-null global %s referencing null storage", "gname")
+	d.WithNote(pos("sample.c", 5), "Storage %s may become null", "gname")
+	want := "sample.c:6: Function returns with non-null global gname referencing null storage\n" +
+		"   sample.c:5: Storage gname may become null\n"
+	if got := r.Format(); got != want {
+		t.Fatalf("Format:\n%q\nwant:\n%q", got, want)
+	}
+}
+
+func TestSortOrder(t *testing.T) {
+	r := NewReporter(0)
+	r.Report(Leak, pos("b.c", 2), "second")
+	r.Report(NullDeref, pos("a.c", 9), "first-file")
+	r.Report(NullDeref, pos("b.c", 1), "first-line")
+	ds := r.Diags()
+	if ds[0].Msg != "first-file" || ds[1].Msg != "first-line" || ds[2].Msg != "second" {
+		t.Fatalf("order: %v %v %v", ds[0].Msg, ds[1].Msg, ds[2].Msg)
+	}
+}
+
+func TestILineSuppression(t *testing.T) {
+	r := NewReporter(0)
+	r.MarkILine("x.c", 4)
+	if d := r.Report(Leak, pos("x.c", 4), "suppressed same line"); d != nil {
+		t.Fatal("not suppressed on same line")
+	}
+	// Marker is one-shot.
+	if d := r.Report(Leak, pos("x.c", 4), "second"); d == nil {
+		t.Fatal("marker should be consumed")
+	}
+	// Marker on preceding line.
+	r.MarkILine("x.c", 7)
+	if d := r.Report(Leak, pos("x.c", 8), "suppressed next line"); d != nil {
+		t.Fatal("not suppressed on following line")
+	}
+	if r.Suppressed() != 2 {
+		t.Fatalf("suppressed = %d", r.Suppressed())
+	}
+}
+
+func TestRegionSuppression(t *testing.T) {
+	r := NewReporter(0)
+	r.AddSuppressions([]Control{
+		{Pos: pos("y.c", 10), Text: "ignore"},
+		{Pos: pos("y.c", 20), Text: "end"},
+	})
+	if r.Report(UseDead, pos("y.c", 15), "inside") != nil {
+		t.Fatal("inside region not suppressed")
+	}
+	if r.Report(UseDead, pos("y.c", 21), "after") == nil {
+		t.Fatal("after region suppressed")
+	}
+	if r.Report(UseDead, pos("z.c", 15), "other file") == nil {
+		t.Fatal("other file suppressed")
+	}
+}
+
+func TestUnterminatedRegion(t *testing.T) {
+	r := NewReporter(0)
+	r.AddSuppressions([]Control{{Pos: pos("y.c", 3), Text: "ignore"}})
+	if r.Report(Leak, pos("y.c", 9999), "way later") != nil {
+		t.Fatal("unterminated region should suppress to EOF")
+	}
+}
+
+func TestNestedRegions(t *testing.T) {
+	r := NewReporter(0)
+	r.AddSuppressions([]Control{
+		{Pos: pos("n.c", 1), Text: "ignore"},
+		{Pos: pos("n.c", 3), Text: "ignore"},
+		{Pos: pos("n.c", 5), Text: "end"},
+		{Pos: pos("n.c", 9), Text: "end"},
+	})
+	for _, ln := range []int{2, 4, 6, 8} {
+		if r.Report(Leak, pos("n.c", ln), "in") != nil {
+			t.Errorf("line %d not suppressed", ln)
+		}
+	}
+	if r.Report(Leak, pos("n.c", 10), "out") == nil {
+		t.Error("line 10 suppressed")
+	}
+}
+
+func TestISuppressionViaControls(t *testing.T) {
+	r := NewReporter(0)
+	r.AddSuppressions([]Control{{Pos: pos("i.c", 5), Text: "i"}})
+	if r.Report(Leak, pos("i.c", 5), "x") != nil {
+		t.Fatal("i control ineffective")
+	}
+}
+
+func TestMaxMessages(t *testing.T) {
+	r := NewReporter(2)
+	r.Report(Leak, pos("m.c", 1), "a")
+	r.Report(Leak, pos("m.c", 2), "b")
+	if r.Report(Leak, pos("m.c", 3), "c") != nil {
+		t.Fatal("over-limit message retained")
+	}
+	if r.Len() != 2 || r.Suppressed() != 1 {
+		t.Fatalf("len=%d suppressed=%d", r.Len(), r.Suppressed())
+	}
+}
+
+func TestCountByCode(t *testing.T) {
+	r := NewReporter(0)
+	r.Report(Leak, pos("c.c", 1), "l1")
+	r.Report(Leak, pos("c.c", 2), "l2")
+	r.Report(NullDeref, pos("c.c", 3), "n")
+	m := r.CountByCode()
+	if m[Leak] != 2 || m[NullDeref] != 1 {
+		t.Fatalf("counts = %v", m)
+	}
+}
+
+func TestCodeString(t *testing.T) {
+	if NullDeref.String() != "nullderef" || Leak.String() != "mustfree" {
+		t.Fatal("code names")
+	}
+	if Code(999).String() != "code(999)" {
+		t.Fatal("unknown code name")
+	}
+	for c := Code(0); c < numCodes; c++ {
+		if strings.HasPrefix(c.String(), "code(") {
+			t.Errorf("code %d unnamed", c)
+		}
+	}
+}
+
+func TestNilDiagnosticWithNote(t *testing.T) {
+	var d *Diagnostic
+	if d.WithNote(pos("x.c", 1), "note") != nil {
+		t.Fatal("nil WithNote should return nil")
+	}
+}
+
+func TestLocalFlagToggle(t *testing.T) {
+	r := NewReporter(0)
+	r.AddSuppressions([]Control{
+		{Pos: pos("f.c", 10), Text: "-alloc"},
+		{Pos: pos("f.c", 20), Text: "+alloc"},
+	})
+	if r.Report(Leak, pos("f.c", 15), "inside") != nil {
+		t.Fatal("alloc message inside off-span retained")
+	}
+	if r.Report(NullDeref, pos("f.c", 15), "other class") == nil {
+		t.Fatal("unrelated class suppressed")
+	}
+	if r.Report(Leak, pos("f.c", 25), "after") == nil {
+		t.Fatal("message after re-enable suppressed")
+	}
+	if r.Report(Leak, pos("g.c", 15), "other file") == nil {
+		t.Fatal("other file suppressed")
+	}
+}
+
+func TestLocalFlagUnclosed(t *testing.T) {
+	r := NewReporter(0)
+	r.AddSuppressions([]Control{{Pos: pos("f.c", 3), Text: "-null"}})
+	if r.Report(NullDeref, pos("f.c", 999), "way later") != nil {
+		t.Fatal("unclosed toggle should run to EOF")
+	}
+}
+
+func TestUnknownLocalFlagIgnored(t *testing.T) {
+	r := NewReporter(0)
+	r.AddSuppressions([]Control{{Pos: pos("f.c", 1), Text: "-wibble"}})
+	if r.Report(Leak, pos("f.c", 5), "x") == nil {
+		t.Fatal("unknown flag suppressed messages")
+	}
+}

@@ -1,0 +1,703 @@
+// Package ercdb provides the toy employee database program from Section 6
+// of the paper (originally from Guttag & Horning's Larch book), staged
+// through the annotation iterations the paper walks through:
+//
+//	Bare           no annotations anywhere (the §6 starting point)
+//	NullField      after adding /*@null@*/ to the vals field of erc
+//	Asserted       after adding the defensive assertions the arrow-access
+//	               anomalies point at
+//	AllocAnnotated after adding the only/dependent annotations the
+//	               allocation pass demands (returns, pool fields, free
+//	               parameters) and the out annotation found by completion
+//	               checking
+//	Final          after fixing the six driver leaks and documenting the
+//	               unique constraint on employee_setName's parameter
+//
+// Tests and benchmarks check each stage against the anomaly classes the
+// paper reports (experiments E5-E8 in DESIGN.md).
+package ercdb
+
+import "strings"
+
+// Stage selects an annotation iteration.
+type Stage int
+
+// Stages, in the order the paper adds annotations.
+const (
+	Bare Stage = iota
+	NullField
+	Asserted
+	AllocAnnotated
+	Final
+)
+
+var stageNames = map[Stage]string{
+	Bare: "bare", NullField: "nullfield", Asserted: "asserted",
+	AllocAnnotated: "allocannotated", Final: "final",
+}
+
+// String names the stage.
+func (s Stage) String() string { return stageNames[s] }
+
+// Stages lists all stages in order.
+func Stages() []Stage { return []Stage{Bare, NullField, Asserted, AllocAnnotated, Final} }
+
+// marker replacement table: each marker expands to "" below its stage and
+// to the replacement text at or above it.
+type marker struct {
+	name  string
+	stage Stage
+	text  string
+}
+
+var markers = []marker{
+	// The single null annotation (§6: "one null annotation on a
+	// structure field").
+	{"@NULL_VALS@", NullField, "/*@null@*/"},
+	// Defensive assertions added after the arrow-access anomalies.
+	{"@ASSERT_VALS@", Asserted, "assert (c->vals != NULL);"},
+	{"@ASSERT_CHOOSE@", Asserted, "assert (s->vals != NULL);"},
+	// The only annotations (§6's allocation pass), the dependent return
+	// of eref_get, and the out parameter found by completion checking.
+	{"@ONLY@", AllocAnnotated, "/*@only@*/"},
+	{"@DEPENDENT@", AllocAnnotated, "/*@dependent@*/"},
+	{"@OUT@", AllocAnnotated, "/*@out@*/"},
+	{"@NULL_DB@", AllocAnnotated, "/*@null@*/"},
+	{"@DB_FINAL@", AllocAnnotated, "if (mgrs != NULL)\n\t{\n\t\tempset_final (mgrs);\n\t\tmgrs = NULL;\n\t}\n\tif (nonMgrs != NULL)\n\t{\n\t\tempset_final (nonMgrs);\n\t\tnonMgrs = NULL;\n\t}"},
+	// Driver fixes: six releases inserted before reassignments.
+	{"@FIX1_ALL@", Final, "empset_final (all);"},
+	{"@FIX1_PRINTED@", Final, "free (printed);"},
+	{"@FIX1_E1@", Final, "free (e1);"},
+	{"@FIX2_ALL@", Final, "empset_final (all);"},
+	{"@FIX2_PRINTED@", Final, "free (printed);"},
+	{"@FIX2_E1@", Final, "free (e1);"},
+	// The unique documentation on employee_setName's parameter.
+	{"@UNIQUE@", Final, "/*@unique@*/"},
+}
+
+// AnnotationCount returns how many distinct annotated declarations are
+// active at the stage (the paper's §6 summary counts 15). An annotation
+// repeated on a function's prototype and its definition is one annotated
+// declaration, so per marker the header/implementation overlap (the
+// pairwise minimum) is subtracted.
+func AnnotationCount(st Stage) int {
+	n := 0
+	for _, m := range markers {
+		if !strings.HasPrefix(m.text, "/*@") {
+			continue
+		}
+		if st < m.stage {
+			continue
+		}
+		for name, src := range templates {
+			occ := strings.Count(src, m.name)
+			n += occ
+			if strings.HasSuffix(name, ".c") {
+				header := strings.TrimSuffix(name, ".c") + ".h"
+				if hsrc, ok := templates[header]; ok {
+					dup := strings.Count(hsrc, m.name)
+					if dup > occ {
+						dup = occ
+					}
+					n -= dup
+				}
+			}
+		}
+	}
+	return n
+}
+
+// expand instantiates a source template for a stage.
+func expand(src string, st Stage) string {
+	for _, m := range markers {
+		if st >= m.stage {
+			src = strings.ReplaceAll(src, m.name, m.text)
+		} else {
+			src = strings.ReplaceAll(src, m.name, "")
+		}
+	}
+	return src
+}
+
+// Sources returns the database program at the given annotation stage as a
+// file-name -> contents map (headers resolved through the same map).
+func Sources(st Stage) map[string]string {
+	out := map[string]string{}
+	for name, src := range templates {
+		out[name] = expand(src, st)
+	}
+	return out
+}
+
+// CSources returns only the .c files (the translation units to check);
+// headers are resolved via Headers through the include mechanism.
+func CSources(st Stage) map[string]string {
+	out := map[string]string{}
+	for name, src := range templates {
+		if strings.HasSuffix(name, ".c") {
+			out[name] = expand(src, st)
+		}
+	}
+	return out
+}
+
+// Headers returns only the header files (for include resolution).
+func Headers(st Stage) map[string]string {
+	out := map[string]string{}
+	for name, src := range templates {
+		if strings.HasSuffix(name, ".h") {
+			out[name] = expand(src, st)
+		}
+	}
+	return out
+}
+
+// TotalLines returns the program's size in source lines at a stage.
+func TotalLines(st Stage) int {
+	n := 0
+	for _, src := range Sources(st) {
+		n += strings.Count(src, "\n")
+	}
+	return n
+}
+
+var templates = map[string]string{
+
+	// ------------------------------------------------------------------
+	"employee.h": `#include <bool.h>
+typedef enum { MALE, FEMALE, gender_ANY } gender;
+typedef enum { MGR, NONMGR, job_ANY } job;
+typedef struct {
+	int ssNum;
+	char name[24];
+	double salary;
+	gender gen;
+	job j;
+} employee;
+
+extern bool employee_setName (employee *e, @UNIQUE@ char *na);
+extern bool employee_equal (employee *e1, employee *e2);
+extern void employee_init (@OUT@ employee *e);
+extern void employee_initMod (void);
+extern @ONLY@ char *employee_sprint (employee *e);
+`,
+
+	// ------------------------------------------------------------------
+	// Figure 8 of the paper: employee_setName copies a name into the
+	// employee's embedded array with strcpy; the unique requirement on
+	// strcpy's first argument surfaces the aliasing anomaly (E7).
+	"employee.c": `#include <stdlib.h>
+#include <string.h>
+#include "employee.h"
+
+bool employee_setName (employee *e, @UNIQUE@ char *na)
+{
+	int i;
+
+	for (i = 0; na[i] != '\0'; i++)
+	{
+		if (i == 23)
+		{
+			return FALSE;
+		}
+	}
+	strcpy (e->name, na);
+	return TRUE;
+}
+
+bool employee_equal (employee *e1, employee *e2)
+{
+	return ((e1->ssNum == e2->ssNum)
+		&& (e1->salary == e2->salary)
+		&& (e1->gen == e2->gen)
+		&& (e1->j == e2->j)
+		&& (strcmp (e1->name, e2->name) == 0));
+}
+
+void employee_init (@OUT@ employee *e)
+{
+	e->ssNum = 0;
+	e->salary = 0.0;
+	e->gen = gender_ANY;
+	e->j = job_ANY;
+	e->name[0] = '\0';
+}
+
+void employee_initMod (void)
+{
+}
+
+@ONLY@ char *employee_sprint (employee *e)
+{
+	char *res;
+
+	res = (char *) malloc (64);
+	if (res == NULL)
+	{
+		exit (EXIT_FAILURE);
+	}
+	sprintf (res, "%d", e->ssNum);
+	strcat (res, e->name);
+	return res;
+}
+`,
+
+	// ------------------------------------------------------------------
+	"eref.h": `#include <bool.h>
+#include "employee.h"
+typedef int eref;
+
+extern void eref_initMod (void);
+extern eref eref_alloc (void);
+extern void eref_free (eref er);
+extern @DEPENDENT@ employee *eref_get (eref er);
+`,
+
+	// ------------------------------------------------------------------
+	// The eref pool: assigning fresh storage to the pool's fields needs
+	// only annotations (the static-variable anomalies of §6's
+	// -allimponly pass), and eref_get hands out an internal pointer that
+	// must not be treated as fresh (dependent).
+	"eref.c": `#include <stdlib.h>
+#include <string.h>
+#include "eref.h"
+
+typedef struct {
+	@ONLY@ employee *conts;
+	@ONLY@ int *status;
+	int size;
+} eref_pool_rec;
+
+static eref_pool_rec eref_pool;
+
+void eref_initMod (void)
+{
+	employee *allocated_conts;
+	int *allocated_status;
+
+	/* The pool may be re-initialized: release the previous arrays. */
+	free (eref_pool.conts);
+	free (eref_pool.status);
+
+	allocated_conts = (employee *) malloc (16 * sizeof (employee));
+	if (allocated_conts == NULL)
+	{
+		exit (EXIT_FAILURE);
+	}
+	allocated_status = (int *) malloc (16 * sizeof (int));
+	if (allocated_status == NULL)
+	{
+		exit (EXIT_FAILURE);
+	}
+	memset (allocated_conts, 0, 16 * sizeof (employee));
+	memset (allocated_status, 0, 16 * sizeof (int));
+	eref_pool.conts = allocated_conts;
+	eref_pool.status = allocated_status;
+	eref_pool.size = 16;
+}
+
+eref eref_alloc (void)
+{
+	return 0;
+}
+
+void eref_free (eref er)
+{
+}
+
+@DEPENDENT@ employee *eref_get (eref er)
+{
+	return &(eref_pool.conts[er]);
+}
+`,
+
+	// ------------------------------------------------------------------
+	// erc.h: the erc_choose macro dereferences c->vals with an arrow
+	// access; with the null annotation on vals this is one of the three
+	// anomalies the paper reports after the first iteration (E5).
+	"erc.h": `#include <bool.h>
+#include "eref.h"
+
+typedef struct _elem {
+	eref val;
+	@NULL_VALS@ @ONLY@ struct _elem *next;
+} ercElem;
+
+typedef struct {
+	@NULL_VALS@ @ONLY@ ercElem *vals;
+	int size;
+} ercInfo;
+
+typedef ercInfo *erc;
+
+#define erc_choose(c) ((c->vals)->val)
+
+extern @ONLY@ erc erc_create (void);
+extern void erc_clear (erc c);
+extern void erc_insert (erc c, eref er);
+extern bool erc_delete (erc c, eref er);
+extern bool erc_member (erc c, eref er);
+extern eref erc_head (erc c);
+extern void erc_join (erc c1, erc c2);
+extern @ONLY@ char *erc_sprint (erc c);
+extern void erc_final (@ONLY@ erc c);
+extern int erc_size (erc c);
+`,
+
+	// ------------------------------------------------------------------
+	// erc.c: erc_create is Figure 7 of the paper, verbatim modulo
+	// formatting. The NULL assignment to c->vals produces the paper's
+	// first anomaly until the field is annotated null. erc_head and
+	// erc_sprint carry requires clauses (size > 0) in the original LCL
+	// specification; the checker directs us to add assertions (§6: "The
+	// checking has directed us to places where adding assertion checks
+	// would be good defensive programming practice").
+	"erc.c": `#include <stdlib.h>
+#include <assert.h>
+#include "erc.h"
+
+@ONLY@ erc erc_create (void)
+{
+	erc c;
+
+	c = (erc) malloc (sizeof (ercInfo));
+	if (c == NULL)
+	{
+		exit (EXIT_FAILURE);
+	}
+	c->vals = NULL;
+	c->size = 0;
+	return c;
+}
+
+void erc_clear (erc c)
+{
+	ercElem *elem;
+	ercElem *nxt;
+
+	/* Detach the list first: it is then owned locally and the paper's
+	   zero-or-one-iteration loop model sees a consistent c->vals on
+	   every path. */
+	elem = c->vals;
+	c->vals = NULL;
+	c->size = 0;
+	while (elem != NULL)
+	{
+		nxt = elem->next;
+		free (elem);
+		elem = nxt;
+	}
+}
+
+void erc_insert (erc c, eref er)
+{
+	ercElem *newElem;
+
+	newElem = (ercElem *) malloc (sizeof (ercElem));
+	if (newElem == NULL)
+	{
+		exit (EXIT_FAILURE);
+	}
+	newElem->val = er;
+	newElem->next = c->vals;
+	c->vals = newElem;
+	c->size = c->size + 1;
+}
+
+bool erc_delete (erc c, eref er)
+{
+	ercElem *elem;
+	ercElem *prev;
+
+	prev = NULL;
+	for (elem = c->vals; elem != NULL; elem = elem->next)
+	{
+		if (elem->val == er)
+		{
+			if (prev == NULL)
+			{
+				c->vals = elem->next;
+			}
+			else
+			{
+				prev->next = elem->next;
+			}
+			c->size = c->size - 1;
+			free (elem);
+			return TRUE;
+		}
+		prev = elem;
+	}
+	return FALSE;
+}
+
+bool erc_member (erc c, eref er)
+{
+	ercElem *elem;
+
+	for (elem = c->vals; elem != NULL; elem = elem->next)
+	{
+		if (elem->val == er)
+		{
+			return TRUE;
+		}
+	}
+	return FALSE;
+}
+
+/* requires erc_size(c) > 0 */
+eref erc_head (erc c)
+{
+	@ASSERT_VALS@
+	return c->vals->val;
+}
+
+void erc_join (erc c1, erc c2)
+{
+	ercElem *elem;
+
+	for (elem = c2->vals; elem != NULL; elem = elem->next)
+	{
+		erc_insert (c1, elem->val);
+	}
+}
+
+/* requires erc_size(c) > 0 */
+@ONLY@ char *erc_sprint (erc c)
+{
+	char *res;
+
+	res = (char *) malloc (256);
+	if (res == NULL)
+	{
+		exit (EXIT_FAILURE);
+	}
+	@ASSERT_VALS@
+	res[0] = (char) c->vals->val;
+	res[1] = '\0';
+	return res;
+}
+
+void erc_final (@ONLY@ erc c)
+{
+	erc_clear (c);
+	free (c);
+}
+
+int erc_size (erc c)
+{
+	return c->size;
+}
+`,
+
+	// ------------------------------------------------------------------
+	"empset.h": `#include <bool.h>
+#include "erc.h"
+typedef erc empset;
+
+extern void empset_clear (empset s);
+extern bool empset_insert (empset s, eref er);
+extern bool empset_delete (empset s, eref er);
+extern @ONLY@ empset empset_create (void);
+extern void empset_final (@ONLY@ empset s);
+extern bool empset_member (eref er, empset s);
+extern eref empset_choose (empset s);
+extern int empset_size (empset s);
+extern @ONLY@ char *empset_sprint (empset s);
+`,
+
+	// ------------------------------------------------------------------
+	"empset.c": `#include <stdlib.h>
+#include <assert.h>
+#include "empset.h"
+
+void empset_clear (empset s)
+{
+	erc_clear (s);
+}
+
+bool empset_insert (empset s, eref er)
+{
+	if (erc_member (s, er))
+	{
+		return FALSE;
+	}
+	erc_insert (s, er);
+	return TRUE;
+}
+
+bool empset_delete (empset s, eref er)
+{
+	return erc_delete (s, er);
+}
+
+@ONLY@ empset empset_create (void)
+{
+	return erc_create ();
+}
+
+void empset_final (@ONLY@ empset s)
+{
+	erc_final (s);
+}
+
+bool empset_member (eref er, empset s)
+{
+	return erc_member (s, er);
+}
+
+/* requires empset_size(s) > 0 */
+eref empset_choose (empset s)
+{
+	@ASSERT_CHOOSE@
+	return erc_choose (s);
+}
+
+int empset_size (empset s)
+{
+	return erc_size (s);
+}
+
+@ONLY@ char *empset_sprint (empset s)
+{
+	return erc_sprint (s);
+}
+`,
+
+	// ------------------------------------------------------------------
+	// dbase: the top-level database module — static mutable sets, the
+	// paper's "storage reachable from global and static variables".
+	"dbase.h": `#include <bool.h>
+#include "empset.h"
+#include "employee.h"
+
+extern void dbase_initMod (void);
+extern bool dbase_hire (eref er, gender g);
+extern int dbase_size (gender g);
+extern void dbase_finalMod (void);
+`,
+
+	"dbase.c": `#include <stdlib.h>
+#include "dbase.h"
+
+static @NULL_DB@ @ONLY@ empset mgrs;
+static @NULL_DB@ @ONLY@ empset nonMgrs;
+
+void dbase_initMod (void)
+{
+	/* The database may be re-initialized: release the previous sets
+	   (and null the references so every path agrees that the obligation
+	   is gone). */
+	if (mgrs != NULL)
+	{
+		empset_final (mgrs);
+		mgrs = NULL;
+	}
+	if (nonMgrs != NULL)
+	{
+		empset_final (nonMgrs);
+		nonMgrs = NULL;
+	}
+	mgrs = empset_create ();
+	nonMgrs = empset_create ();
+}
+
+bool dbase_hire (eref er, gender g)
+{
+	if (mgrs == NULL || nonMgrs == NULL)
+	{
+		return FALSE;
+	}
+	if (g == MALE || g == FEMALE)
+	{
+		return empset_insert (mgrs, er);
+	}
+	return empset_insert (nonMgrs, er);
+}
+
+int dbase_size (gender g)
+{
+	if (mgrs == NULL || nonMgrs == NULL)
+	{
+		return 0;
+	}
+	if (g == gender_ANY)
+	{
+		return empset_size (mgrs) + empset_size (nonMgrs);
+	}
+	return empset_size (mgrs);
+}
+
+void dbase_finalMod (void)
+{
+	@DB_FINAL@
+}
+`,
+
+	// ------------------------------------------------------------------
+	// drive.c: the test driver. Before Final, variables referencing
+	// allocated storage are reassigned before the old storage is
+	// released — the six memory leaks §6 reports.
+	"drive.c": `#include <stdlib.h>
+#include <stdio.h>
+#include "empset.h"
+#include "employee.h"
+
+int main (void)
+{
+	empset all;
+	char *printed;
+	char *e1;
+	eref er;
+	employee *emp;
+
+	employee_initMod ();
+	eref_initMod ();
+
+	emp = (employee *) malloc (sizeof (employee));
+	if (emp == NULL)
+	{
+		exit (EXIT_FAILURE);
+	}
+	employee_init (emp);
+	employee_setName (emp, "Kaufmann");
+
+	all = empset_create ();
+	er = eref_alloc ();
+	empset_insert (all, er);
+
+	printed = empset_sprint (all);
+	printf ("%s", printed);
+
+	e1 = employee_sprint (eref_get (er));
+	printf ("%s", e1);
+
+	/* First rebuild: the originals leak until the releases are added
+	   in the final iteration. */
+	@FIX1_ALL@
+	all = empset_create ();
+	empset_insert (all, er);
+	@FIX1_PRINTED@
+	printed = empset_sprint (all);
+	@FIX1_E1@
+	e1 = employee_sprint (eref_get (er));
+	printf ("%s %s", printed, e1);
+
+	/* Second rebuild. */
+	@FIX2_ALL@
+	all = empset_create ();
+	empset_insert (all, er);
+	@FIX2_PRINTED@
+	printed = empset_sprint (all);
+	@FIX2_E1@
+	e1 = employee_sprint (eref_get (er));
+	printf ("%s %s", printed, e1);
+
+	free (printed);
+	free (e1);
+	free (emp);
+	empset_final (all);
+	return EXIT_SUCCESS;
+}
+`,
+}

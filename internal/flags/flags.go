@@ -1,0 +1,119 @@
+// Package flags holds the checker's configuration, mirroring the flag
+// system the paper describes: per-class check toggles, implicit-annotation
+// defaults (e.g. -allimponly used in Section 6), garbage-collection mode,
+// and local flag toggles written as /*@+flag@*/ or /*@-flag@*/ comments.
+package flags
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Flags is the checker configuration. The zero value is NOT meaningful;
+// use Default.
+type Flags struct {
+	// Check classes.
+	NullChecking  bool // null-pointer dereference/assignment checking
+	DefChecking   bool // definition (use-before-def, completeness) checking
+	AllocChecking bool // allocation (leak, use-after-release) checking
+	AliasChecking bool // unique/exposure aliasing checking
+
+	// Implicit annotations. The paper: "The interpretation of a
+	// declaration with no null pointer or definition annotation is chosen
+	// so that [they] place the strictest constraints on actual
+	// parameters and return values"; unqualified formal parameters are
+	// temp; implicit only applies to return values, globals and fields
+	// unless -allimponly.
+	ImplicitOnly bool // implicit only on returns/globals/struct fields
+
+	// GCMode disables checks that are irrelevant when a garbage collector
+	// reclaims storage (leaks, missing releases).
+	GCMode bool
+
+	// IndependentIndexes treats compile-time-unknown array indexes as
+	// independent elements rather than the same element (paper §2).
+	IndependentIndexes bool
+
+	// MaxMessages bounds the number of reported diagnostics (0 = no
+	// bound).
+	MaxMessages int
+}
+
+// Default returns the paper's default configuration: every check on,
+// implicit only on, GC mode off.
+func Default() *Flags {
+	return &Flags{
+		NullChecking:  true,
+		DefChecking:   true,
+		AllocChecking: true,
+		AliasChecking: true,
+		ImplicitOnly:  true,
+	}
+}
+
+// Clone returns a copy of f.
+func (f *Flags) Clone() *Flags {
+	g := *f
+	return &g
+}
+
+// names maps flag spellings (as used in +name/-name toggles) to setters.
+var names = map[string]func(*Flags, bool){
+	"null":       func(f *Flags, v bool) { f.NullChecking = v },
+	"def":        func(f *Flags, v bool) { f.DefChecking = v },
+	"alloc":      func(f *Flags, v bool) { f.AllocChecking = v },
+	"alias":      func(f *Flags, v bool) { f.AliasChecking = v },
+	"allimponly": func(f *Flags, v bool) { f.ImplicitOnly = v },
+	"gcmode":     func(f *Flags, v bool) { f.GCMode = v },
+	"indepidx":   func(f *Flags, v bool) { f.IndependentIndexes = v },
+}
+
+// Known returns the sorted list of recognized flag names.
+func Known() []string {
+	var ns []string
+	for n := range names {
+		ns = append(ns, n)
+	}
+	sort.Strings(ns)
+	return ns
+}
+
+// Set applies one toggle: "+name" enables, "-name" disables. It returns an
+// error for unknown names or malformed toggles.
+func (f *Flags) Set(toggle string) error {
+	t := strings.TrimSpace(toggle)
+	if len(t) < 2 || (t[0] != '+' && t[0] != '-') {
+		return fmt.Errorf("malformed flag toggle %q (want +name or -name)", toggle)
+	}
+	set, ok := names[t[1:]]
+	if !ok {
+		return fmt.Errorf("unknown flag %q (known: %s)", t[1:], strings.Join(Known(), ", "))
+	}
+	set(f, t[0] == '+')
+	return nil
+}
+
+// SetAll applies a sequence of toggles, stopping at the first error.
+func (f *Flags) SetAll(toggles ...string) error {
+	for _, t := range toggles {
+		if err := f.Set(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String summarizes the configuration.
+func (f *Flags) String() string {
+	onoff := func(b bool) string {
+		if b {
+			return "+"
+		}
+		return "-"
+	}
+	return fmt.Sprintf("%snull %sdef %salloc %salias %sallimponly %sgcmode %sindepidx",
+		onoff(f.NullChecking), onoff(f.DefChecking), onoff(f.AllocChecking),
+		onoff(f.AliasChecking), onoff(f.ImplicitOnly), onoff(f.GCMode),
+		onoff(f.IndependentIndexes))
+}

@@ -1,0 +1,74 @@
+package flags
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDefault(t *testing.T) {
+	f := Default()
+	if !f.NullChecking || !f.DefChecking || !f.AllocChecking || !f.AliasChecking {
+		t.Fatal("default checks should be on")
+	}
+	if !f.ImplicitOnly || f.GCMode || f.IndependentIndexes {
+		t.Fatal("default modes wrong")
+	}
+}
+
+func TestSet(t *testing.T) {
+	f := Default()
+	if err := f.Set("-allimponly"); err != nil {
+		t.Fatal(err)
+	}
+	if f.ImplicitOnly {
+		t.Fatal("allimponly not disabled")
+	}
+	if err := f.Set("+gcmode"); err != nil {
+		t.Fatal(err)
+	}
+	if !f.GCMode {
+		t.Fatal("gcmode not enabled")
+	}
+}
+
+func TestSetErrors(t *testing.T) {
+	f := Default()
+	for _, bad := range []string{"", "x", "allimponly", "+bogus", "~null"} {
+		if err := f.Set(bad); err == nil {
+			t.Errorf("Set(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestSetAll(t *testing.T) {
+	f := Default()
+	if err := f.SetAll("-null", "-def", "+indepidx"); err != nil {
+		t.Fatal(err)
+	}
+	if f.NullChecking || f.DefChecking || !f.IndependentIndexes {
+		t.Fatal("SetAll did not apply")
+	}
+	if err := f.SetAll("-null", "+bogus"); err == nil {
+		t.Fatal("SetAll should fail on bogus")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	f := Default()
+	g := f.Clone()
+	g.NullChecking = false
+	if !f.NullChecking {
+		t.Fatal("Clone aliases")
+	}
+}
+
+func TestKnownAndString(t *testing.T) {
+	ks := Known()
+	if len(ks) != 7 {
+		t.Fatalf("Known = %v", ks)
+	}
+	s := Default().String()
+	if !strings.Contains(s, "+null") || !strings.Contains(s, "-gcmode") {
+		t.Fatalf("String = %q", s)
+	}
+}

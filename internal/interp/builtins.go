@@ -1,0 +1,265 @@
+package interp
+
+import (
+	"golclint/internal/cast"
+	"golclint/internal/ctoken"
+	"golclint/internal/ctypes"
+)
+
+// evalCall dispatches builtin library functions and user functions.
+func (fr *frame) evalCall(v *cast.Call) tv {
+	in := fr.in
+	name := v.FunName()
+	if name == "" {
+		in.errorf(BadProgram, v.P, "indirect calls are not supported by the run-time baseline")
+		in.halted = true
+		return tv{}
+	}
+
+	// sizeof-like builtins evaluate lazily; assert short-circuits on
+	// failure.
+	if name == "assert" && len(v.Args) == 1 {
+		if !fr.eval(v.Args[0]).v.isTrue() {
+			in.errorf(AssertFailed, v.P, "assert(%s)", cast.ExprString(v.Args[0]))
+			in.halted = true
+		}
+		return tv{cvalue{}, ctypes.VoidType}
+	}
+
+	args := make([]tv, len(v.Args))
+	for i, a := range v.Args {
+		args[i] = fr.eval(a)
+		if in.halted {
+			return tv{}
+		}
+	}
+
+	switch name {
+	case "malloc":
+		return fr.doMalloc(args, v.P, false)
+	case "calloc":
+		return fr.doCalloc(args, v.P)
+	case "realloc":
+		return fr.doRealloc(args, v.P)
+	case "free":
+		fr.doFree(args, v.P)
+		return tv{cvalue{}, ctypes.VoidType}
+	case "exit":
+		if len(args) > 0 {
+			in.exit = int(args[0].v.asInt())
+		}
+		in.halted = true
+		return tv{cvalue{}, ctypes.VoidType}
+	case "abort":
+		in.exit = 134
+		in.halted = true
+		return tv{cvalue{}, ctypes.VoidType}
+	case "strlen":
+		s, _ := fr.readCString(arg(args, 0).v, v.P)
+		return tv{intVal(int64(len(s))), ctypes.ULongType}
+	case "strcmp":
+		a, _ := fr.readCString(arg(args, 0).v, v.P)
+		b, _ := fr.readCString(arg(args, 1).v, v.P)
+		switch {
+		case a < b:
+			return tv{intVal(-1), ctypes.IntType}
+		case a > b:
+			return tv{intVal(1), ctypes.IntType}
+		}
+		return tv{intVal(0), ctypes.IntType}
+	case "strcpy", "strncpy":
+		src, _ := fr.readCString(arg(args, 1).v, v.P)
+		if name == "strncpy" && len(args) > 2 {
+			n := int(args[2].v.asInt())
+			if len(src) > n {
+				src = src[:n]
+			}
+		}
+		fr.writeCString(arg(args, 0).v, src, v.P)
+		return tv{arg(args, 0).v, ctypes.PointerTo(ctypes.CharType)}
+	case "strcat":
+		dst, _ := fr.readCString(arg(args, 0).v, v.P)
+		src, _ := fr.readCString(arg(args, 1).v, v.P)
+		fr.writeCString(arg(args, 0).v, dst+src, v.P)
+		return tv{arg(args, 0).v, ctypes.PointerTo(ctypes.CharType)}
+	case "strdup":
+		s, ok := fr.readCString(arg(args, 0).v, v.P)
+		if !ok {
+			return tv{nullPtr, ctypes.PointerTo(ctypes.CharType)}
+		}
+		obj := in.newObject(len(s)+1, true, "strdup", v.P)
+		for i := 0; i < len(s); i++ {
+			obj.slots[i] = intVal(int64(s[i]))
+			obj.defined[i] = true
+		}
+		obj.slots[len(s)] = intVal(0)
+		obj.defined[len(s)] = true
+		return tv{ptrVal(obj, 0), ctypes.PointerTo(ctypes.CharType)}
+	case "strchr":
+		s, _ := fr.readCString(arg(args, 0).v, v.P)
+		ch := byte(arg(args, 1).v.asInt())
+		p := arg(args, 0).v
+		for i := 0; i < len(s); i++ {
+			if s[i] == ch {
+				return tv{ptrVal(p.obj, p.off+i), ctypes.PointerTo(ctypes.CharType)}
+			}
+		}
+		return tv{nullPtr, ctypes.PointerTo(ctypes.CharType)}
+	case "memset":
+		p := arg(args, 0).v
+		val := arg(args, 1).v.asInt()
+		n := int(arg(args, 2).v.asInt())
+		if fr.checkPointer(p, v.P, "memset") {
+			for i := 0; i < n; i++ {
+				fr.writeLoc(location{obj: p.obj, off: p.off + i}, intVal(val), v.P)
+				if in.halted {
+					break
+				}
+			}
+		}
+		return tv{p, ctypes.PointerTo(ctypes.VoidType)}
+	case "memcpy":
+		dst, src := arg(args, 0).v, arg(args, 1).v
+		n := int(arg(args, 2).v.asInt())
+		if fr.checkPointer(dst, v.P, "memcpy dst") && fr.checkPointer(src, v.P, "memcpy src") {
+			for i := 0; i < n; i++ {
+				val := fr.readLoc(location{obj: src.obj, off: src.off + i}, nil, v.P)
+				fr.writeLoc(location{obj: dst.obj, off: dst.off + i}, val, v.P)
+				if in.halted {
+					break
+				}
+			}
+		}
+		return tv{dst, ctypes.PointerTo(ctypes.VoidType)}
+	case "printf":
+		format, _ := fr.readCString(arg(args, 0).v, v.P)
+		in.out.WriteString(fr.formatC(format, args[1:], v.P))
+		return tv{intVal(0), ctypes.IntType}
+	case "fprintf":
+		if len(args) >= 2 {
+			format, _ := fr.readCString(args[1].v, v.P)
+			in.out.WriteString(fr.formatC(format, args[2:], v.P))
+		}
+		return tv{intVal(0), ctypes.IntType}
+	case "sprintf":
+		if len(args) >= 2 {
+			format, _ := fr.readCString(args[1].v, v.P)
+			fr.writeCString(args[0].v, fr.formatC(format, args[2:], v.P), v.P)
+		}
+		return tv{intVal(0), ctypes.IntType}
+	}
+
+	// User-defined function.
+	if f, ok := in.funcs[name]; ok {
+		vals := make([]cvalue, len(args))
+		for i := range args {
+			vals[i] = args[i].v
+		}
+		ret := in.callFunction(f, vals, v.P)
+		var rt *ctypes.Type
+		if sig, ok := in.prog.Lookup(name); ok {
+			rt = sig.Result
+		}
+		return tv{ret, rt}
+	}
+	in.errorf(BadProgram, v.P, "call to undefined function %s", name)
+	in.halted = true
+	return tv{}
+}
+
+func arg(args []tv, i int) tv {
+	if i < len(args) {
+		return args[i]
+	}
+	return tv{}
+}
+
+func (fr *frame) doMalloc(args []tv, pos ctoken.Pos, zero bool) tv {
+	in := fr.in
+	n := int(arg(args, 0).v.asInt())
+	if n <= 0 {
+		n = 1
+	}
+	obj := in.newObject(n, true, "malloc", pos)
+	if zero {
+		for i := range obj.slots {
+			obj.slots[i] = intVal(0)
+			obj.defined[i] = true
+		}
+	}
+	return tv{ptrVal(obj, 0), ctypes.PointerTo(ctypes.VoidType)}
+}
+
+func (fr *frame) doCalloc(args []tv, pos ctoken.Pos) tv {
+	n := int(arg(args, 0).v.asInt()) * int(arg(args, 1).v.asInt())
+	return fr.doMalloc([]tv{{intVal(int64(n)), ctypes.ULongType}}, pos, true)
+}
+
+func (fr *frame) doRealloc(args []tv, pos ctoken.Pos) tv {
+	in := fr.in
+	p := arg(args, 0).v
+	n := int(arg(args, 1).v.asInt())
+	if n <= 0 {
+		n = 1
+	}
+	obj := in.newObject(n, true, "realloc", pos)
+	if p.kind == vPtr && p.obj != nil {
+		if p.obj.freed {
+			in.errorf(UseAfterFree, pos, "realloc of freed storage")
+			return tv{nullPtr, ctypes.PointerTo(ctypes.VoidType)}
+		}
+		for i := 0; i < n && p.off+i < len(p.obj.slots); i++ {
+			obj.slots[i] = p.obj.slots[p.off+i]
+			obj.defined[i] = p.obj.defined[p.off+i]
+		}
+		p.obj.freed = true
+		p.obj.freedAt = pos
+	}
+	return tv{ptrVal(obj, 0), ctypes.PointerTo(ctypes.VoidType)}
+}
+
+// doFree implements free with the full dmalloc-style check set, including
+// the offset-pointer and static-storage errors the paper's run-time pass
+// caught after static checking (§7).
+func (fr *frame) doFree(args []tv, pos ctoken.Pos) {
+	in := fr.in
+	p := arg(args, 0).v
+	if p.kind != vPtr {
+		if p.asInt() == 0 {
+			return // free(NULL) is allowed
+		}
+		in.errorf(BadProgram, pos, "free of non-pointer value")
+		return
+	}
+	if p.obj == nil {
+		return // free(NULL)
+	}
+	if p.obj.freed {
+		in.errorf(DoubleFree, pos, "double free (first freed at %s)", p.obj.freedAt)
+		return
+	}
+	if !p.obj.heap {
+		in.errorf(FreeNonHeap, pos, "free of non-heap storage %s", p.obj.name)
+		return
+	}
+	if p.off != 0 {
+		in.errorf(FreeOffset, pos, "free of pointer %d slots into a block", p.off)
+		return
+	}
+	p.obj.freed = true
+	p.obj.freedAt = pos
+}
+
+// writeCString stores a NUL-terminated string.
+func (fr *frame) writeCString(p cvalue, s string, pos ctoken.Pos) {
+	if !fr.checkPointer(p, pos, "string write") {
+		return
+	}
+	for i := 0; i < len(s); i++ {
+		fr.writeLoc(location{obj: p.obj, off: p.off + i}, intVal(int64(s[i])), pos)
+		if fr.in.halted {
+			return
+		}
+	}
+	fr.writeLoc(location{obj: p.obj, off: p.off + len(s)}, intVal(0), pos)
+}

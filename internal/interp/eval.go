@@ -1,0 +1,857 @@
+package interp
+
+import (
+	"fmt"
+	"strings"
+
+	"golclint/internal/cast"
+	"golclint/internal/ctoken"
+	"golclint/internal/ctypes"
+)
+
+// tv is a typed runtime value.
+type tv struct {
+	v cvalue
+	t *ctypes.Type
+}
+
+// varInfo binds a name to storage and its declared type.
+type varInfo struct {
+	loc location
+	typ *ctypes.Type
+}
+
+// frame is one function activation.
+type frame struct {
+	in   *Interp
+	vars map[string]varInfo
+}
+
+func (fr *frame) step(pos ctoken.Pos) bool {
+	in := fr.in
+	if in.halted {
+		return false
+	}
+	in.steps++
+	if in.steps > in.opts.MaxSteps {
+		in.errorf(StepLimit, pos, "execution exceeded %d steps", in.opts.MaxSteps)
+		in.halted = true
+		return false
+	}
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+
+func (fr *frame) exec(s cast.Stmt) control {
+	in := fr.in
+	if in.halted {
+		return ctlExit
+	}
+	if !fr.step(s.Pos()) {
+		return ctlExit
+	}
+	switch v := s.(type) {
+	case *cast.Block:
+		for _, item := range v.Items {
+			if c := fr.exec(item); c != ctlNext {
+				return c
+			}
+		}
+		return ctlNext
+	case *cast.Empty, *cast.Label, *cast.Case:
+		return ctlNext
+	case *cast.DeclStmt:
+		for _, d := range v.Decls {
+			if vd, ok := d.(*cast.VarDecl); ok && vd.Storage != cast.StorageTypedef {
+				fr.declare(vd)
+			}
+		}
+		return ctlNext
+	case *cast.ExprStmt:
+		fr.eval(v.X)
+		return ctlNext
+	case *cast.If:
+		if fr.eval(v.Cond).v.isTrue() {
+			return fr.exec(v.Then)
+		}
+		if v.Else != nil {
+			return fr.exec(v.Else)
+		}
+		return ctlNext
+	case *cast.While:
+		for !in.halted && fr.eval(v.Cond).v.isTrue() {
+			if !fr.step(v.P) {
+				return ctlExit
+			}
+			switch fr.exec(v.Body) {
+			case ctlBreak:
+				return ctlNext
+			case ctlReturn:
+				return ctlReturn
+			case ctlExit:
+				return ctlExit
+			}
+		}
+		return ctlNext
+	case *cast.DoWhile:
+		for !in.halted {
+			if !fr.step(v.P) {
+				return ctlExit
+			}
+			switch fr.exec(v.Body) {
+			case ctlBreak:
+				return ctlNext
+			case ctlReturn:
+				return ctlReturn
+			case ctlExit:
+				return ctlExit
+			}
+			if !fr.eval(v.Cond).v.isTrue() {
+				return ctlNext
+			}
+		}
+		return ctlExit
+	case *cast.For:
+		if v.Init != nil {
+			if c := fr.exec(v.Init); c != ctlNext {
+				return c
+			}
+		}
+		for !in.halted {
+			if v.Cond != nil && !fr.eval(v.Cond).v.isTrue() {
+				return ctlNext
+			}
+			if !fr.step(v.P) {
+				return ctlExit
+			}
+			switch fr.exec(v.Body) {
+			case ctlBreak:
+				return ctlNext
+			case ctlReturn:
+				return ctlReturn
+			case ctlExit:
+				return ctlExit
+			}
+			if v.Post != nil {
+				fr.eval(v.Post)
+			}
+		}
+		return ctlExit
+	case *cast.Switch:
+		return fr.execSwitch(v)
+	case *cast.Break:
+		return ctlBreak
+	case *cast.Continue:
+		return ctlContinue
+	case *cast.Return:
+		if v.X != nil {
+			in.retVal = fr.eval(v.X).v
+		} else {
+			in.retVal = cvalue{}
+		}
+		return ctlReturn
+	case *cast.Goto:
+		in.errorf(BadProgram, v.P, "goto is not supported by the run-time baseline")
+		in.halted = true
+		return ctlExit
+	}
+	return ctlNext
+}
+
+func (fr *frame) execSwitch(v *cast.Switch) control {
+	in := fr.in
+	tag := fr.eval(v.Tag).v.asInt()
+	body, ok := v.Body.(*cast.Block)
+	if !ok {
+		return fr.exec(v.Body)
+	}
+	start := -1
+	defaultIdx := -1
+	for i, item := range body.Items {
+		cs, isCase := item.(*cast.Case)
+		if !isCase {
+			continue
+		}
+		if cs.Value == nil {
+			defaultIdx = i
+			continue
+		}
+		if fr.eval(cs.Value).v.asInt() == tag && start < 0 {
+			start = i
+		}
+	}
+	if start < 0 {
+		start = defaultIdx
+	}
+	if start < 0 {
+		return ctlNext
+	}
+	for _, item := range body.Items[start:] {
+		if in.halted {
+			return ctlExit
+		}
+		switch fr.exec(item) {
+		case ctlBreak:
+			return ctlNext
+		case ctlReturn:
+			return ctlReturn
+		case ctlContinue:
+			return ctlContinue
+		case ctlExit:
+			return ctlExit
+		}
+	}
+	return ctlNext
+}
+
+func (fr *frame) declare(vd *cast.VarDecl) {
+	in := fr.in
+	obj := in.newObject(slotCount(vd.Type), false, vd.Name, vd.Pos())
+	if vd.Storage == cast.StorageStatic {
+		for i := range obj.slots {
+			obj.slots[i] = zeroFor(vd.Type)
+			obj.defined[i] = true
+		}
+	}
+	fr.vars[vd.Name] = varInfo{loc: location{obj: obj, off: 0}, typ: vd.Type}
+	if vd.Init != nil {
+		if il, ok := vd.Init.(*cast.InitList); ok {
+			elem := vd.Type.PointeeOrElem()
+			step := slotCount(elem)
+			for i, e := range il.Elems {
+				val := fr.eval(e).v
+				off := i * step
+				if off < len(obj.slots) {
+					obj.slots[off] = val
+					obj.defined[off] = true
+				}
+			}
+			return
+		}
+		val := fr.eval(vd.Init).v
+		obj.slots[0] = val
+		obj.defined[0] = true
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Lvalues
+
+// evalLoc resolves an expression to a storage location and its type.
+func (fr *frame) evalLoc(e cast.Expr) (location, *ctypes.Type, bool) {
+	in := fr.in
+	switch v := e.(type) {
+	case *cast.Ident:
+		if vi, ok := fr.vars[v.Name]; ok {
+			return vi.loc, vi.typ, true
+		}
+		if loc, ok := in.globals[v.Name]; ok {
+			if g, ok2 := in.prog.Global(v.Name); ok2 {
+				return loc, g.Type, true
+			}
+			return loc, nil, true
+		}
+		return location{}, nil, false
+	case *cast.FieldSel:
+		if v.Arrow {
+			base := fr.eval(v.X)
+			if !fr.checkPointer(base.v, v.P, "arrow access") {
+				return location{}, nil, false
+			}
+			pt := base.t.PointeeOrElem()
+			off, ft, ok := fieldOffset(pt, v.Name)
+			if !ok {
+				return location{}, nil, false
+			}
+			return location{obj: base.v.obj, off: base.v.off + off}, ft, true
+		}
+		loc, t, ok := fr.evalLoc(v.X)
+		if !ok {
+			return location{}, nil, false
+		}
+		off, ft, ok := fieldOffset(t, v.Name)
+		if !ok {
+			return location{}, nil, false
+		}
+		loc.off += off
+		return loc, ft, true
+	case *cast.Index:
+		base := fr.eval(v.X)
+		idx := fr.eval(v.Idx).v.asInt()
+		if !fr.checkPointer(base.v, v.P, "index") {
+			return location{}, nil, false
+		}
+		elem := base.t.PointeeOrElem()
+		return location{obj: base.v.obj, off: base.v.off + int(idx)*slotCount(elem)}, elem, true
+	case *cast.Unary:
+		if v.Op == cast.Deref {
+			base := fr.eval(v.X)
+			if !fr.checkPointer(base.v, v.P, "dereference") {
+				return location{}, nil, false
+			}
+			return location{obj: base.v.obj, off: base.v.off}, base.t.PointeeOrElem(), true
+		}
+	case *cast.Cast:
+		loc, _, ok := fr.evalLoc(v.X)
+		return loc, v.To, ok
+	}
+	return location{}, nil, false
+}
+
+// checkPointer validates a pointer before dereference.
+func (fr *frame) checkPointer(v cvalue, pos ctoken.Pos, what string) bool {
+	in := fr.in
+	if v.kind != vPtr || v.obj == nil {
+		in.errorf(NullDeref, pos, "%s of null pointer", what)
+		in.halted = true // a real program would crash here
+		return false
+	}
+	if v.obj.freed {
+		d := in.errs
+		_ = d
+		in.errorf(UseAfterFree, pos, "%s of freed storage (allocated at %s, freed at %s)",
+			what, v.obj.allocAt, v.obj.freedAt)
+		return false
+	}
+	return true
+}
+
+// readLoc reads a slot with instrumentation.
+func (fr *frame) readLoc(loc location, t *ctypes.Type, pos ctoken.Pos) cvalue {
+	in := fr.in
+	if loc.obj == nil {
+		return cvalue{}
+	}
+	if loc.obj.freed {
+		in.errorf(UseAfterFree, pos, "read of freed storage %s", loc.obj.name)
+		return cvalue{}
+	}
+	if loc.off < 0 || loc.off >= len(loc.obj.slots) {
+		in.errorf(OutOfBounds, pos, "read at offset %d of %d-slot block", loc.off, len(loc.obj.slots))
+		return cvalue{}
+	}
+	// Aggregates read as a pointer to their storage (array decay /
+	// struct value handle).
+	if t != nil {
+		switch t.Resolve().Kind {
+		case ctypes.Array, ctypes.Struct, ctypes.Union:
+			return ptrVal(loc.obj, loc.off)
+		}
+	}
+	if !loc.obj.defined[loc.off] {
+		in.errorf(UninitRead, pos, "read of uninitialized storage %s", loc.obj.name)
+		// Define it to suppress cascades.
+		loc.obj.defined[loc.off] = true
+		loc.obj.slots[loc.off] = zeroFor(t)
+	}
+	return loc.obj.slots[loc.off]
+}
+
+// writeLoc writes a slot with instrumentation.
+func (fr *frame) writeLoc(loc location, v cvalue, pos ctoken.Pos) {
+	in := fr.in
+	if loc.obj == nil {
+		return
+	}
+	if loc.obj.freed {
+		in.errorf(UseAfterFree, pos, "write to freed storage %s", loc.obj.name)
+		return
+	}
+	if loc.off < 0 || loc.off >= len(loc.obj.slots) {
+		in.errorf(OutOfBounds, pos, "write at offset %d of %d-slot block", loc.off, len(loc.obj.slots))
+		return
+	}
+	loc.obj.slots[loc.off] = v
+	loc.obj.defined[loc.off] = true
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+func (fr *frame) eval(e cast.Expr) tv {
+	in := fr.in
+	if in.halted {
+		return tv{}
+	}
+	switch v := e.(type) {
+	case *cast.IntLit:
+		return tv{intVal(v.Value), ctypes.IntType}
+	case *cast.CharLit:
+		return tv{intVal(v.Value), ctypes.CharType}
+	case *cast.FloatLit:
+		return tv{floatVal(v.Value), ctypes.DoubleType}
+	case *cast.StringLit:
+		obj := in.newObject(len(v.Value)+1, false, "\"...\"", v.P)
+		for i := 0; i < len(v.Value); i++ {
+			obj.slots[i] = intVal(int64(v.Value[i]))
+			obj.defined[i] = true
+		}
+		obj.slots[len(v.Value)] = intVal(0)
+		obj.defined[len(v.Value)] = true
+		return tv{ptrVal(obj, 0), ctypes.PointerTo(ctypes.CharType)}
+	case *cast.Ident:
+		if ev, ok := in.enums[v.Name]; ok {
+			if _, shadowed := fr.vars[v.Name]; !shadowed {
+				if _, g := in.globals[v.Name]; !g {
+					return tv{intVal(ev), ctypes.IntType}
+				}
+			}
+		}
+		loc, t, ok := fr.evalLoc(v)
+		if !ok {
+			in.errorf(BadProgram, v.P, "unknown identifier %s", v.Name)
+			in.halted = true
+			return tv{}
+		}
+		return tv{fr.readLoc(loc, t, v.P), t}
+	case *cast.FieldSel, *cast.Index:
+		loc, t, ok := fr.evalLoc(e)
+		if !ok {
+			return tv{}
+		}
+		return tv{fr.readLoc(loc, t, e.Pos()), t}
+	case *cast.Unary:
+		return fr.evalUnary(v)
+	case *cast.Binary:
+		return fr.evalBinary(v)
+	case *cast.Assign:
+		return fr.evalAssign(v)
+	case *cast.Cond:
+		if fr.eval(v.C).v.isTrue() {
+			return fr.eval(v.Then)
+		}
+		return fr.eval(v.Else)
+	case *cast.Comma:
+		fr.eval(v.X)
+		return fr.eval(v.Y)
+	case *cast.Cast:
+		inner := fr.eval(v.X)
+		out := inner
+		out.t = v.To
+		// int<->float conversions.
+		if v.To.IsFloat() && inner.v.kind == vInt {
+			out.v = floatVal(float64(inner.v.i))
+		} else if v.To.IsInteger() && inner.v.kind == vFloat {
+			out.v = intVal(int64(inner.v.f))
+		}
+		return out
+	case *cast.SizeofType:
+		return tv{intVal(int64(slotCount(v.Of))), ctypes.ULongType}
+	case *cast.SizeofExpr:
+		// sizeof does not evaluate its operand; compute from the static
+		// type when available, else 1.
+		if v.X.Type() != nil {
+			return tv{intVal(int64(slotCount(v.X.Type()))), ctypes.ULongType}
+		}
+		return tv{intVal(1), ctypes.ULongType}
+	case *cast.Call:
+		return fr.evalCall(v)
+	case *cast.InitList:
+		in.errorf(BadProgram, v.P, "initializer list in expression position")
+		return tv{}
+	}
+	return tv{}
+}
+
+func (fr *frame) evalUnary(v *cast.Unary) tv {
+	switch v.Op {
+	case cast.Deref:
+		loc, t, ok := fr.evalLoc(v)
+		if !ok {
+			return tv{}
+		}
+		return tv{fr.readLoc(loc, t, v.P), t}
+	case cast.AddrOf:
+		loc, t, ok := fr.evalLoc(v.X)
+		if !ok {
+			return tv{}
+		}
+		var pt *ctypes.Type
+		if t != nil {
+			pt = ctypes.PointerTo(t)
+		}
+		return tv{ptrVal(loc.obj, loc.off), pt}
+	case cast.Neg:
+		x := fr.eval(v.X)
+		if x.v.kind == vFloat {
+			return tv{floatVal(-x.v.f), x.t}
+		}
+		return tv{intVal(-x.v.asInt()), x.t}
+	case cast.Pos:
+		return fr.eval(v.X)
+	case cast.LogNot:
+		x := fr.eval(v.X)
+		if x.v.isTrue() {
+			return tv{intVal(0), ctypes.IntType}
+		}
+		return tv{intVal(1), ctypes.IntType}
+	case cast.BitNot:
+		x := fr.eval(v.X)
+		return tv{intVal(^x.v.asInt()), x.t}
+	case cast.PreInc, cast.PreDec, cast.PostInc, cast.PostDec:
+		loc, t, ok := fr.evalLoc(v.X)
+		if !ok {
+			return tv{}
+		}
+		old := fr.readLoc(loc, t, v.P)
+		delta := int64(1)
+		if v.Op == cast.PreDec || v.Op == cast.PostDec {
+			delta = -1
+		}
+		var nv cvalue
+		switch old.kind {
+		case vPtr:
+			step := 1
+			if t != nil && t.PointeeOrElem() != nil {
+				step = slotCount(t.PointeeOrElem())
+			}
+			nv = ptrVal(old.obj, old.off+int(delta)*step)
+		case vFloat:
+			nv = floatVal(old.f + float64(delta))
+		default:
+			nv = intVal(old.asInt() + delta)
+		}
+		fr.writeLoc(loc, nv, v.P)
+		if v.Op == cast.PostInc || v.Op == cast.PostDec {
+			return tv{old, t}
+		}
+		return tv{nv, t}
+	}
+	return tv{}
+}
+
+func (fr *frame) evalBinary(v *cast.Binary) tv {
+	// Short-circuit operators.
+	if v.Op == cast.LogAnd {
+		if !fr.eval(v.X).v.isTrue() {
+			return tv{intVal(0), ctypes.IntType}
+		}
+		if fr.eval(v.Y).v.isTrue() {
+			return tv{intVal(1), ctypes.IntType}
+		}
+		return tv{intVal(0), ctypes.IntType}
+	}
+	if v.Op == cast.LogOr {
+		if fr.eval(v.X).v.isTrue() {
+			return tv{intVal(1), ctypes.IntType}
+		}
+		if fr.eval(v.Y).v.isTrue() {
+			return tv{intVal(1), ctypes.IntType}
+		}
+		return tv{intVal(0), ctypes.IntType}
+	}
+	x := fr.eval(v.X)
+	y := fr.eval(v.Y)
+
+	// Pointer arithmetic and comparisons.
+	if x.v.kind == vPtr || y.v.kind == vPtr {
+		return fr.evalPtrBinary(v, x, y)
+	}
+	if x.v.kind == vFloat || y.v.kind == vFloat {
+		a, b := x.v.asFloat(), y.v.asFloat()
+		switch v.Op {
+		case cast.Add:
+			return tv{floatVal(a + b), ctypes.DoubleType}
+		case cast.Sub:
+			return tv{floatVal(a - b), ctypes.DoubleType}
+		case cast.Mul:
+			return tv{floatVal(a * b), ctypes.DoubleType}
+		case cast.Div:
+			if b == 0 {
+				return tv{floatVal(0), ctypes.DoubleType}
+			}
+			return tv{floatVal(a / b), ctypes.DoubleType}
+		case cast.EqOp:
+			return boolTV(a == b)
+		case cast.NeOp:
+			return boolTV(a != b)
+		case cast.LtOp:
+			return boolTV(a < b)
+		case cast.GtOp:
+			return boolTV(a > b)
+		case cast.LeOp:
+			return boolTV(a <= b)
+		case cast.GeOp:
+			return boolTV(a >= b)
+		}
+		return tv{}
+	}
+	a, b := x.v.asInt(), y.v.asInt()
+	switch v.Op {
+	case cast.Add:
+		return tv{intVal(a + b), x.t}
+	case cast.Sub:
+		return tv{intVal(a - b), x.t}
+	case cast.Mul:
+		return tv{intVal(a * b), x.t}
+	case cast.Div:
+		if b == 0 {
+			fr.in.errorf(BadProgram, v.P, "division by zero")
+			return tv{intVal(0), x.t}
+		}
+		return tv{intVal(a / b), x.t}
+	case cast.Mod:
+		if b == 0 {
+			fr.in.errorf(BadProgram, v.P, "modulo by zero")
+			return tv{intVal(0), x.t}
+		}
+		return tv{intVal(a % b), x.t}
+	case cast.ShlOp:
+		return tv{intVal(a << uint(b&63)), x.t}
+	case cast.ShrOp:
+		return tv{intVal(a >> uint(b&63)), x.t}
+	case cast.BitAnd:
+		return tv{intVal(a & b), x.t}
+	case cast.BitOr:
+		return tv{intVal(a | b), x.t}
+	case cast.BitXor:
+		return tv{intVal(a ^ b), x.t}
+	case cast.EqOp:
+		return boolTV(a == b)
+	case cast.NeOp:
+		return boolTV(a != b)
+	case cast.LtOp:
+		return boolTV(a < b)
+	case cast.GtOp:
+		return boolTV(a > b)
+	case cast.LeOp:
+		return boolTV(a <= b)
+	case cast.GeOp:
+		return boolTV(a >= b)
+	}
+	return tv{}
+}
+
+func (fr *frame) evalPtrBinary(v *cast.Binary, x, y tv) tv {
+	switch v.Op {
+	case cast.EqOp:
+		return boolTV(samePtr(x.v, y.v))
+	case cast.NeOp:
+		return boolTV(!samePtr(x.v, y.v))
+	case cast.LtOp, cast.GtOp, cast.LeOp, cast.GeOp:
+		a, b := x.v.off, y.v.off
+		switch v.Op {
+		case cast.LtOp:
+			return boolTV(a < b)
+		case cast.GtOp:
+			return boolTV(a > b)
+		case cast.LeOp:
+			return boolTV(a <= b)
+		default:
+			return boolTV(a >= b)
+		}
+	case cast.Add, cast.Sub:
+		ptr, idx := x, y
+		if ptr.v.kind != vPtr {
+			ptr, idx = y, x
+		}
+		if ptr.v.kind == vPtr && idx.v.kind == vPtr && v.Op == cast.Sub {
+			return tv{intVal(int64(x.v.off - y.v.off)), ctypes.LongType}
+		}
+		step := 1
+		if ptr.t != nil && ptr.t.PointeeOrElem() != nil {
+			step = slotCount(ptr.t.PointeeOrElem())
+		}
+		delta := int(idx.v.asInt()) * step
+		if v.Op == cast.Sub {
+			delta = -delta
+		}
+		if ptr.v.obj == nil {
+			return tv{nullPtr, ptr.t}
+		}
+		return tv{ptrVal(ptr.v.obj, ptr.v.off+delta), ptr.t}
+	}
+	return tv{}
+}
+
+func samePtr(a, b cvalue) bool {
+	ao, bo := a.obj, b.obj
+	if a.kind != vPtr {
+		return b.kind == vPtr && bo == nil && a.asInt() == 0
+	}
+	if b.kind != vPtr {
+		return ao == nil && b.asInt() == 0
+	}
+	return ao == bo && (ao == nil || a.off == b.off)
+}
+
+func boolTV(b bool) tv {
+	if b {
+		return tv{intVal(1), ctypes.IntType}
+	}
+	return tv{intVal(0), ctypes.IntType}
+}
+
+func (fr *frame) evalAssign(v *cast.Assign) tv {
+	loc, t, ok := fr.evalLoc(v.LHS)
+	if !ok {
+		fr.eval(v.RHS)
+		return tv{}
+	}
+	if v.Op == cast.AssignEq {
+		rhs := fr.eval(v.RHS)
+		// Struct assignment copies all slots.
+		if t != nil && t.IsStructUnion() && rhs.v.kind == vPtr && rhs.v.obj != nil {
+			n := slotCount(t)
+			for i := 0; i < n; i++ {
+				src := location{obj: rhs.v.obj, off: rhs.v.off + i}
+				val := fr.readLoc(src, nil, v.P)
+				fr.writeLoc(location{obj: loc.obj, off: loc.off + i}, val, v.P)
+			}
+			return rhs
+		}
+		fr.writeLoc(loc, rhs.v, v.P)
+		return tv{rhs.v, t}
+	}
+	// Compound assignment.
+	old := fr.readLoc(loc, t, v.P)
+	rhs := fr.eval(v.RHS)
+	var binOp cast.BinaryOp
+	switch v.Op {
+	case cast.AssignAdd:
+		binOp = cast.Add
+	case cast.AssignSub:
+		binOp = cast.Sub
+	case cast.AssignMul:
+		binOp = cast.Mul
+	case cast.AssignDiv:
+		binOp = cast.Div
+	case cast.AssignMod:
+		binOp = cast.Mod
+	case cast.AssignShl:
+		binOp = cast.ShlOp
+	case cast.AssignShr:
+		binOp = cast.ShrOp
+	case cast.AssignAnd:
+		binOp = cast.BitAnd
+	case cast.AssignXor:
+		binOp = cast.BitXor
+	case cast.AssignOr:
+		binOp = cast.BitOr
+	}
+	synth := &cast.Binary{P: v.P, Op: binOp}
+	res := fr.applyBin(synth, tv{old, t}, rhs)
+	fr.writeLoc(loc, res.v, v.P)
+	return tv{res.v, t}
+}
+
+// applyBin applies a binary operator to already-evaluated operands.
+func (fr *frame) applyBin(v *cast.Binary, x, y tv) tv {
+	if x.v.kind == vPtr || y.v.kind == vPtr {
+		return fr.evalPtrBinary(v, x, y)
+	}
+	if x.v.kind == vFloat || y.v.kind == vFloat {
+		a, b := x.v.asFloat(), y.v.asFloat()
+		switch v.Op {
+		case cast.Add:
+			return tv{floatVal(a + b), x.t}
+		case cast.Sub:
+			return tv{floatVal(a - b), x.t}
+		case cast.Mul:
+			return tv{floatVal(a * b), x.t}
+		case cast.Div:
+			if b != 0 {
+				return tv{floatVal(a / b), x.t}
+			}
+			return tv{floatVal(0), x.t}
+		}
+	}
+	a, b := x.v.asInt(), y.v.asInt()
+	var r int64
+	switch v.Op {
+	case cast.Add:
+		r = a + b
+	case cast.Sub:
+		r = a - b
+	case cast.Mul:
+		r = a * b
+	case cast.Div:
+		if b == 0 {
+			fr.in.errorf(BadProgram, v.P, "division by zero")
+		} else {
+			r = a / b
+		}
+	case cast.Mod:
+		if b == 0 {
+			fr.in.errorf(BadProgram, v.P, "modulo by zero")
+		} else {
+			r = a % b
+		}
+	case cast.ShlOp:
+		r = a << uint(b&63)
+	case cast.ShrOp:
+		r = a >> uint(b&63)
+	case cast.BitAnd:
+		r = a & b
+	case cast.BitOr:
+		r = a | b
+	case cast.BitXor:
+		r = a ^ b
+	}
+	return tv{intVal(r), x.t}
+}
+
+// readCString reads a NUL-terminated string.
+func (fr *frame) readCString(p cvalue, pos ctoken.Pos) (string, bool) {
+	if p.kind != vPtr || p.obj == nil {
+		fr.in.errorf(NullDeref, pos, "string read from null pointer")
+		return "", false
+	}
+	if p.obj.freed {
+		fr.in.errorf(UseAfterFree, pos, "string read from freed storage")
+		return "", false
+	}
+	var b strings.Builder
+	for off := p.off; ; off++ {
+		if off < 0 || off >= len(p.obj.slots) {
+			fr.in.errorf(OutOfBounds, pos, "unterminated string read")
+			return b.String(), false
+		}
+		ch := p.obj.slots[off].asInt()
+		if ch == 0 {
+			return b.String(), true
+		}
+		b.WriteByte(byte(ch))
+	}
+}
+
+// formatC implements a small printf subset (%d %s %c %f %%).
+func (fr *frame) formatC(format string, args []tv, pos ctoken.Pos) string {
+	var b strings.Builder
+	ai := 0
+	next := func() tv {
+		if ai < len(args) {
+			v := args[ai]
+			ai++
+			return v
+		}
+		return tv{}
+	}
+	for i := 0; i < len(format); i++ {
+		c := format[i]
+		if c != '%' || i+1 >= len(format) {
+			b.WriteByte(c)
+			continue
+		}
+		i++
+		switch format[i] {
+		case 'd', 'i', 'u', 'x':
+			fmt.Fprintf(&b, "%d", next().v.asInt())
+		case 'c':
+			b.WriteByte(byte(next().v.asInt()))
+		case 'f', 'g', 'e':
+			fmt.Fprintf(&b, "%g", next().v.asFloat())
+		case 's':
+			s, _ := fr.readCString(next().v, pos)
+			b.WriteString(s)
+		case '%':
+			b.WriteByte('%')
+		default:
+			b.WriteByte('%')
+			b.WriteByte(format[i])
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,400 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+
+	"golclint/internal/core"
+	"golclint/internal/sema"
+)
+
+// load builds a program for execution (reusing the checker's frontend).
+func load(t *testing.T, src string) *sema.Program {
+	t.Helper()
+	res := core.CheckSource("t.c", src, core.Options{})
+	for _, e := range res.ParseErrors {
+		t.Fatalf("parse: %v", e)
+	}
+	return res.Program
+}
+
+func run(t *testing.T, src string) *Result {
+	t.Helper()
+	prog := load(t, src)
+	return New(prog, Options{}).Run("main")
+}
+
+func TestHelloOutput(t *testing.T) {
+	res := run(t, `#include <stdio.h>
+int main(void) { printf("hello %d %s%c", 42, "world", '!'); return 0; }`)
+	if res.Output != "hello 42 world!" {
+		t.Fatalf("output = %q", res.Output)
+	}
+	if len(res.Errors) != 0 || len(res.Leaks) != 0 {
+		t.Fatalf("unexpected errors/leaks: %v %v", res.Errors, res.Leaks)
+	}
+}
+
+func TestArithmeticAndControl(t *testing.T) {
+	res := run(t, `#include <stdio.h>
+int fib(int n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }
+int main(void) {
+	int i;
+	int sum;
+	sum = 0;
+	for (i = 0; i < 10; i++) { sum += fib(i); }
+	printf("%d", sum);
+	return 0;
+}`)
+	if res.Output != "88" {
+		t.Fatalf("output = %q (errors %v)", res.Output, res.Errors)
+	}
+}
+
+func TestWhileDoSwitch(t *testing.T) {
+	res := run(t, `#include <stdio.h>
+int main(void) {
+	int n; int out;
+	n = 5; out = 0;
+	while (n > 0) { out = out * 10 + n; n--; }
+	do { out++; } while (out < 0);
+	switch (out % 10) {
+	case 1: printf("one"); break;
+	case 2: printf("two"); break;
+	default: printf("other"); break;
+	}
+	printf(" %d", out);
+	return 0;
+}`)
+	if res.Output != "two 54322" {
+		t.Fatalf("output = %q (errors %v)", res.Output, res.Errors)
+	}
+}
+
+func TestMallocFreeClean(t *testing.T) {
+	res := run(t, `#include <stdlib.h>
+int main(void) {
+	int *p;
+	p = (int *) malloc (4 * sizeof(int));
+	if (p == NULL) { return 1; }
+	p[0] = 7; p[3] = 9;
+	free (p);
+	return 0;
+}`)
+	if len(res.Errors) != 0 || len(res.Leaks) != 0 {
+		t.Fatalf("errors %v leaks %v", res.Errors, res.Leaks)
+	}
+}
+
+func TestLeakDetectedAtExit(t *testing.T) {
+	res := run(t, `#include <stdlib.h>
+int main(void) {
+	char *p;
+	p = (char *) malloc (10);
+	if (p == NULL) { return 1; }
+	*p = 'x';
+	return 0;
+}`)
+	if len(res.Leaks) != 1 {
+		t.Fatalf("leaks = %v", res.Leaks)
+	}
+}
+
+func TestUseAfterFree(t *testing.T) {
+	res := run(t, `#include <stdlib.h>
+int main(void) {
+	int *p;
+	p = (int *) malloc (sizeof(int));
+	if (p == NULL) { return 1; }
+	*p = 3;
+	free (p);
+	return *p;
+}`)
+	if !res.ErrorKinds()[UseAfterFree] {
+		t.Fatalf("errors = %v", res.Errors)
+	}
+}
+
+func TestDoubleFree(t *testing.T) {
+	res := run(t, `#include <stdlib.h>
+int main(void) {
+	int *p;
+	p = (int *) malloc (sizeof(int));
+	free (p);
+	free (p);
+	return 0;
+}`)
+	if !res.ErrorKinds()[DoubleFree] {
+		t.Fatalf("errors = %v", res.Errors)
+	}
+}
+
+func TestNullDerefHalts(t *testing.T) {
+	res := run(t, `#include <stdlib.h>
+int main(void) {
+	int *p;
+	p = NULL;
+	return *p;
+}`)
+	if !res.ErrorKinds()[NullDeref] || !res.Halted {
+		t.Fatalf("errors = %v halted=%v", res.Errors, res.Halted)
+	}
+}
+
+func TestUninitRead(t *testing.T) {
+	res := run(t, `int main(void) { int x; return x; }`)
+	if !res.ErrorKinds()[UninitRead] {
+		t.Fatalf("errors = %v", res.Errors)
+	}
+}
+
+// The two residual bug classes the paper's run-time pass caught after
+// static checking (§7): freeing an offset pointer and freeing static
+// storage.
+func TestFreeOffsetPointer(t *testing.T) {
+	res := run(t, `#include <stdlib.h>
+int main(void) {
+	char *p;
+	p = (char *) malloc (8);
+	if (p == NULL) { return 1; }
+	p = p + 2;
+	free (p);
+	return 0;
+}`)
+	if !res.ErrorKinds()[FreeOffset] {
+		t.Fatalf("errors = %v", res.Errors)
+	}
+}
+
+func TestFreeStaticStorage(t *testing.T) {
+	res := run(t, `#include <stdlib.h>
+int main(void) {
+	int x;
+	int *p;
+	x = 1;
+	p = &x;
+	free (p);
+	return 0;
+}`)
+	if !res.ErrorKinds()[FreeNonHeap] {
+		t.Fatalf("errors = %v", res.Errors)
+	}
+}
+
+func TestOutOfBounds(t *testing.T) {
+	res := run(t, `#include <stdlib.h>
+int main(void) {
+	int *p;
+	p = (int *) malloc (2 * sizeof(int));
+	if (p == NULL) { return 1; }
+	p[5] = 1;
+	free (p);
+	return 0;
+}`)
+	if !res.ErrorKinds()[OutOfBounds] {
+		t.Fatalf("errors = %v", res.Errors)
+	}
+}
+
+func TestStructsAndLists(t *testing.T) {
+	res := run(t, `#include <stdlib.h>
+#include <stdio.h>
+typedef struct _node { int val; struct _node *next; } node;
+int main(void) {
+	node *head; node *n; int i; int sum;
+	head = NULL;
+	for (i = 1; i <= 4; i++) {
+		n = (node *) malloc (sizeof(node));
+		if (n == NULL) { return 1; }
+		n->val = i;
+		n->next = head;
+		head = n;
+	}
+	sum = 0;
+	for (n = head; n != NULL; n = n->next) { sum += n->val; }
+	printf("%d", sum);
+	while (head != NULL) {
+		n = head->next;
+		free (head);
+		head = n;
+	}
+	return 0;
+}`)
+	if res.Output != "10" {
+		t.Fatalf("output = %q errors %v", res.Output, res.Errors)
+	}
+	if len(res.Leaks) != 0 || len(res.Errors) != 0 {
+		t.Fatalf("leaks %v errors %v", res.Leaks, res.Errors)
+	}
+}
+
+func TestStringsAndArrays(t *testing.T) {
+	res := run(t, `#include <string.h>
+#include <stdio.h>
+int main(void) {
+	char buf[32];
+	strcpy (buf, "abc");
+	strcat (buf, "def");
+	printf("%s %d %d", buf, (int) strlen(buf), strcmp(buf, "abcdef"));
+	return 0;
+}`)
+	if res.Output != "abcdef 6 0" {
+		t.Fatalf("output = %q errors %v", res.Output, res.Errors)
+	}
+}
+
+func TestStrdupAndRealloc(t *testing.T) {
+	res := run(t, `#include <stdlib.h>
+#include <string.h>
+#include <stdio.h>
+int main(void) {
+	char *a; char *b;
+	a = strdup ("hi");
+	if (a == NULL) { return 1; }
+	b = (char *) realloc (a, 10);
+	if (b == NULL) { return 1; }
+	strcat (b, "!!");
+	printf ("%s", b);
+	free (b);
+	return 0;
+}`)
+	if res.Output != "hi!!" || len(res.Errors) != 0 || len(res.Leaks) != 0 {
+		t.Fatalf("output=%q errors=%v leaks=%v", res.Output, res.Errors, res.Leaks)
+	}
+}
+
+func TestGlobalsZeroInitialized(t *testing.T) {
+	res := run(t, `#include <stdio.h>
+int counter;
+char *gname;
+int main(void) {
+	if (gname == 0) { printf("null"); }
+	printf(" %d", counter);
+	counter = 5;
+	printf(" %d", counter);
+	return 0;
+}`)
+	if res.Output != "null 0 5" {
+		t.Fatalf("output = %q errors=%v", res.Output, res.Errors)
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	prog := load(t, `int main(void) { for (;;) { } return 0; }`)
+	res := New(prog, Options{MaxSteps: 1000}).Run("main")
+	if !res.ErrorKinds()[StepLimit] {
+		t.Fatalf("errors = %v", res.Errors)
+	}
+}
+
+func TestExitHalts(t *testing.T) {
+	res := run(t, `#include <stdlib.h>
+#include <stdio.h>
+int main(void) { printf("a"); exit(3); printf("b"); return 0; }`)
+	if res.Output != "a" || res.ExitCode != 3 {
+		t.Fatalf("output=%q exit=%d", res.Output, res.ExitCode)
+	}
+}
+
+func TestAssertFailure(t *testing.T) {
+	res := run(t, `#include <assert.h>
+int main(void) { assert (1 == 2); return 0; }`)
+	if !res.ErrorKinds()[AssertFailed] {
+		t.Fatalf("errors = %v", res.Errors)
+	}
+}
+
+func TestEnumsAndTernary(t *testing.T) {
+	res := run(t, `#include <stdio.h>
+enum color { RED, GREEN = 5, BLUE };
+int main(void) {
+	enum color c;
+	c = BLUE;
+	printf("%d %d", c, c == BLUE ? 1 : 0);
+	return 0;
+}`)
+	if res.Output != "6 1" {
+		t.Fatalf("output = %q", res.Output)
+	}
+}
+
+func TestPointerParams(t *testing.T) {
+	res := run(t, `#include <stdio.h>
+void bump(int *x) { *x = *x + 1; }
+int main(void) {
+	int v;
+	v = 41;
+	bump (&v);
+	printf("%d", v);
+	return 0;
+}`)
+	if res.Output != "42" {
+		t.Fatalf("output = %q errors=%v", res.Output, res.Errors)
+	}
+}
+
+// The coverage-gap property behind E13: the same buggy program leaks only
+// on the path a test input exercises. Statically the checker flags it
+// regardless; dynamically it depends on the input.
+func TestPathCoverageGap(t *testing.T) {
+	mk := func(flag int) string {
+		return `#include <stdlib.h>
+int flag;
+int main(void) {
+	char *p;
+	flag = ` + string(rune('0'+flag)) + `;
+	p = (char *) malloc (8);
+	if (p == NULL) { return 1; }
+	*p = 'x';
+	if (flag) {
+		return 1;  /* leaks p on this path only */
+	}
+	free (p);
+	return 0;
+}`
+	}
+	good := run(t, mk(0))
+	if len(good.Leaks) != 0 {
+		t.Fatalf("flag=0 leaks: %v", good.Leaks)
+	}
+	bad := run(t, mk(1))
+	if len(bad.Leaks) != 1 {
+		t.Fatalf("flag=1 leaks: %v", bad.Leaks)
+	}
+	// The static checker reports the leak without any input at all.
+	res := core.CheckSource("t.c", mk(0), core.Options{})
+	foundStatic := false
+	for _, d := range res.Diags {
+		if strings.Contains(d.Msg, "not released") {
+			foundStatic = true
+		}
+	}
+	if !foundStatic {
+		t.Fatalf("static checker missed the conditional leak:\n%s", res.Messages())
+	}
+}
+
+// Determinism: running twice produces identical results.
+func TestDeterministic(t *testing.T) {
+	src := `#include <stdlib.h>
+#include <stdio.h>
+int main(void) {
+	int i; int *p;
+	for (i = 0; i < 5; i++) {
+		p = (int *) malloc (sizeof(int));
+		if (p == NULL) { return 1; }
+		*p = i;
+		printf("%d", *p);
+		free (p);
+	}
+	return 0;
+}`
+	a := run(t, src)
+	b := run(t, src)
+	if a.Output != b.Output || len(a.Errors) != len(b.Errors) || a.Steps != b.Steps {
+		t.Fatal("nondeterministic execution")
+	}
+	if a.Output != "01234" {
+		t.Fatalf("output = %q", a.Output)
+	}
+}

@@ -1,0 +1,49 @@
+package library_test
+
+import (
+	"bytes"
+	"fmt"
+
+	"golclint/internal/core"
+	"golclint/internal/library"
+)
+
+// ExampleCheckModule shows the modular re-checking loop: build an
+// interface library from the whole program once, then re-check a single
+// module against it.
+func ExampleCheckModule() {
+	whole := core.CheckSources(map[string]string{
+		"util.c": "/*@only@*/ char *mkbuf (void);\n" +
+			"/*@only@*/ char *mkbuf (void) {\n" +
+			"\tchar *p;\n" +
+			"\tp = (char *) malloc (16);\n" +
+			"\tif (p == NULL) { exit (1); }\n" +
+			"\tp[0] = '\\0';\n" +
+			"\treturn p;\n}\n",
+	}, core.Options{})
+	lib := library.Build(whole.Program)
+
+	var buf bytes.Buffer
+	if err := lib.Encode(&buf); err != nil {
+		panic(err)
+	}
+	loaded, err := library.Decode(&buf)
+	if err != nil {
+		panic(err)
+	}
+
+	// Re-check only the client module; mkbuf's interface comes from the
+	// library. The client forgets to release the only result.
+	res := library.CheckModule(map[string]string{
+		"client.c": "extern /*@only@*/ char *mkbuf (void);\n" +
+			"void use (void) {\n" +
+			"\tchar *b;\n" +
+			"\tb = mkbuf ();\n" +
+			"\tb[0] = 'x';\n" +
+			"}\n",
+	}, loaded, core.Options{})
+	fmt.Print(res.Messages())
+	// Output:
+	// client.c:6: Only storage b not released before return
+	//    client.c:4: Storage b becomes only
+}

@@ -1,0 +1,19 @@
+package library
+
+import (
+	"golclint/internal/core"
+	"golclint/internal/sema"
+)
+
+// CheckModule checks one module's source files against the interface
+// library: the module is parsed and analyzed alone, the library supplies
+// every other module's signatures and globals, and only the module's own
+// functions are checked. This is the paper's fast development loop (§7:
+// "During the later phases, checking became more modular as I focused on
+// subtle problems in a single file").
+func CheckModule(files map[string]string, lib *Library, opt core.Options) *core.Result {
+	opt.PreCheck = func(prog *sema.Program) error {
+		return lib.Install(prog)
+	}
+	return core.CheckSources(files, opt)
+}

@@ -1,0 +1,247 @@
+package sema
+
+import (
+	"strings"
+	"testing"
+
+	"golclint/internal/annot"
+	"golclint/internal/cast"
+	"golclint/internal/cparse"
+	"golclint/internal/flags"
+)
+
+func analyze(t *testing.T, srcs ...string) *Program {
+	t.Helper()
+	var units []*cast.Unit
+	for i, src := range srcs {
+		r := cparse.Parse("t.c", src)
+		if len(r.Errors) > 0 {
+			t.Fatalf("parse errors in src %d: %v", i, r.Errors)
+		}
+		units = append(units, r.Unit)
+	}
+	return Analyze(units)
+}
+
+func TestStdlibRegistered(t *testing.T) {
+	p := analyze(t)
+	m, ok := p.Lookup("malloc")
+	if !ok || !m.Builtin {
+		t.Fatal("malloc missing")
+	}
+	res := m.EffectiveResult(flags.Default())
+	if !res.Has(annot.Null) || !res.Has(annot.Out) || !res.Has(annot.Only) {
+		t.Fatalf("malloc result = %v", res)
+	}
+	f, _ := p.Lookup("free")
+	pa := f.EffectiveParam(0)
+	if !pa.Has(annot.Null) || !pa.Has(annot.Out) || !pa.Has(annot.Only) {
+		t.Fatalf("free param = %v", pa)
+	}
+	sc, _ := p.Lookup("strcpy")
+	p0 := sc.EffectiveParam(0)
+	if !p0.Has(annot.Out) || !p0.Has(annot.Returned) || !p0.Has(annot.Unique) {
+		t.Fatalf("strcpy s1 = %v", p0)
+	}
+	// Unannotated param defaults: temp, notnull, in.
+	p1 := sc.EffectiveParam(1)
+	if !p1.Has(annot.Temp) || !p1.Has(annot.NotNull) || !p1.Has(annot.In) {
+		t.Fatalf("strcpy s2 = %v", p1)
+	}
+	e, _ := p.Lookup("exit")
+	if !e.NoReturn {
+		t.Fatal("exit not noreturn")
+	}
+}
+
+func TestGlobalRegistration(t *testing.T) {
+	p := analyze(t, "extern char *gname;\nstatic int counter;\nint answer = 42;\n")
+	g, ok := p.Global("gname")
+	if !ok || g.Static || g.HasInit {
+		t.Fatalf("gname = %+v", g)
+	}
+	c, _ := p.Global("counter")
+	if !c.Static {
+		t.Fatal("counter not static")
+	}
+	a, _ := p.Global("answer")
+	if !a.HasInit {
+		t.Fatal("answer has init")
+	}
+}
+
+func TestGlobalEffectiveAnnots(t *testing.T) {
+	p := analyze(t, "extern /*@null@*/ /*@only@*/ char *gname;\nextern char *plain;\nextern int scalar;\n")
+	fl := flags.Default()
+	g, _ := p.Global("gname")
+	eff := g.Effective(fl)
+	if !eff.Has(annot.Null) || !eff.Has(annot.Only) {
+		t.Fatalf("gname eff = %v", eff)
+	}
+	// Unannotated pointer globals are shared (no implicit only; the
+	// paper's Figure 2 reports exactly the null anomaly).
+	plain, _ := p.Global("plain")
+	eff = plain.Effective(fl)
+	if eff.Has(annot.Only) || !eff.Has(annot.Shared) || !eff.Has(annot.NotNull) {
+		t.Fatalf("plain eff = %v", eff)
+	}
+}
+
+func TestPrototypeThenDefinition(t *testing.T) {
+	src := `extern /*@only@*/ char *mkname(/*@temp@*/ char *base);
+char *mkname(char *base) { return base; }
+`
+	p := analyze(t, src)
+	sig, _ := p.Lookup("mkname")
+	if !sig.HasBody {
+		t.Fatal("definition lost")
+	}
+	if !sig.ResultAnnots.Has(annot.Only) {
+		t.Fatalf("result annots not merged: %v", sig.ResultAnnots)
+	}
+	if !sig.Params[0].Annots.Has(annot.Temp) {
+		t.Fatalf("param annots not merged: %v", sig.Params[0].Annots)
+	}
+}
+
+func TestDefinitionThenPrototype(t *testing.T) {
+	src := `char *mkname(char *base) { return base; }
+extern /*@only@*/ char *mkname(/*@temp@*/ char *base);
+`
+	p := analyze(t, src)
+	sig, _ := p.Lookup("mkname")
+	if !sig.HasBody || !sig.ResultAnnots.Has(annot.Only) {
+		t.Fatalf("sig = %+v", sig)
+	}
+}
+
+func TestSignatureConflict(t *testing.T) {
+	p := analyze(t, "int f(int a);\nint f(int a, int b);\n")
+	if len(p.Errors) == 0 {
+		t.Fatal("want conflicting-declaration error")
+	}
+	if !strings.Contains(p.Errors[0].Msg, "conflicting") {
+		t.Fatalf("msg = %q", p.Errors[0].Msg)
+	}
+}
+
+func TestReturnTypeConflict(t *testing.T) {
+	p := analyze(t, "int f(int a);\nchar *f(int a);\n")
+	if len(p.Errors) == 0 {
+		t.Fatal("want return-type conflict")
+	}
+}
+
+func TestRedefinition(t *testing.T) {
+	p := analyze(t, "int f(void) { return 1; }\nint f(void) { return 2; }\n")
+	if len(p.Errors) == 0 {
+		t.Fatal("want redefinition error")
+	}
+}
+
+func TestPlacementErrors(t *testing.T) {
+	// temp is parameters-only; using it on a global is an error.
+	p := analyze(t, "extern /*@temp@*/ char *g;\n")
+	if len(p.Errors) == 0 {
+		t.Fatal("want placement error")
+	}
+	// observer is results-only; on a parameter it is an error.
+	p = analyze(t, "void f(/*@observer@*/ char *p);\n")
+	if len(p.Errors) == 0 {
+		t.Fatal("want observer placement error")
+	}
+}
+
+func TestTrueNullFalseNull(t *testing.T) {
+	p := analyze(t, "extern /*@truenull@*/ int isNull(/*@null@*/ char *x);\nextern /*@falsenull@*/ int nonNull(/*@null@*/ char *x);\n")
+	a, _ := p.Lookup("isNull")
+	b, _ := p.Lookup("nonNull")
+	if !a.IsTrueNull() || a.IsFalseNull() || !b.IsFalseNull() || b.IsTrueNull() {
+		t.Fatal("truenull/falsenull wrong")
+	}
+}
+
+func TestGlobalsUsed(t *testing.T) {
+	src := `extern char *gname;
+extern int count;
+void touch(char *pname) { gname = pname; }
+void local(void) { int gname; gname = 1; }
+void both(void) { count++; gname = 0; }
+`
+	p := analyze(t, src)
+	tch, _ := p.Lookup("touch")
+	if len(tch.GlobalsUsed) != 1 || tch.GlobalsUsed[0] != "gname" {
+		t.Fatalf("touch globals = %v", tch.GlobalsUsed)
+	}
+	loc, _ := p.Lookup("local")
+	if len(loc.GlobalsUsed) != 0 {
+		t.Fatalf("local globals = %v (shadowed)", loc.GlobalsUsed)
+	}
+	b, _ := p.Lookup("both")
+	if len(b.GlobalsUsed) != 2 {
+		t.Fatalf("both globals = %v", b.GlobalsUsed)
+	}
+}
+
+func TestEnumsCollected(t *testing.T) {
+	p := analyze(t, "enum color { RED, GREEN = 5 };\ntypedef enum { A = 1, B } letter;\n")
+	if p.Enums["GREEN"] != 5 || p.Enums["RED"] != 0 || p.Enums["B"] != 2 {
+		t.Fatalf("enums = %v", p.Enums)
+	}
+}
+
+func TestUserOverridesBuiltin(t *testing.T) {
+	// A user prototype for malloc replaces the builtin (no conflict
+	// errors against builtins).
+	p := analyze(t, "/*@only@*/ void *malloc(unsigned long size);\n")
+	if len(p.Errors) != 0 {
+		t.Fatalf("errors: %v", p.Errors)
+	}
+	m, _ := p.Lookup("malloc")
+	if m.Builtin {
+		t.Fatal("user decl should replace builtin")
+	}
+	res := m.EffectiveResult(flags.Default())
+	if res.Has(annot.Null) || !res.Has(annot.Only) {
+		t.Fatalf("overridden malloc result = %v", res)
+	}
+}
+
+func TestFuncNames(t *testing.T) {
+	p := analyze(t, "void zzz(void){}\nvoid aaa(void){}\n")
+	ns := p.FuncNames()
+	// Sorted, and includes builtins.
+	found := map[string]bool{}
+	for i := 1; i < len(ns); i++ {
+		if ns[i-1] > ns[i] {
+			t.Fatal("not sorted")
+		}
+	}
+	for _, n := range ns {
+		found[n] = true
+	}
+	if !found["aaa"] || !found["zzz"] || !found["malloc"] {
+		t.Fatalf("names = %v", ns)
+	}
+}
+
+func TestEffectiveParamOutOfRange(t *testing.T) {
+	p := analyze(t)
+	m, _ := p.Lookup("malloc")
+	eff := m.EffectiveParam(5)
+	if !eff.Has(annot.Temp) || !eff.Has(annot.NotNull) {
+		t.Fatalf("fallback param = %v", eff)
+	}
+}
+
+func TestTypedefAnnotsReachParams(t *testing.T) {
+	src := `typedef /*@null@*/ struct _l { int v; } *list;
+void f(/*@temp@*/ list l) { }
+`
+	p := analyze(t, src)
+	sig, _ := p.Lookup("f")
+	eff := sig.EffectiveParam(0)
+	if !eff.Has(annot.Null) || !eff.Has(annot.Temp) {
+		t.Fatalf("eff = %v", eff)
+	}
+}

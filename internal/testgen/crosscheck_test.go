@@ -1,0 +1,65 @@
+package testgen
+
+// Cross-validation between the static checker and the run-time baseline
+// over many generated programs: clean programs are clean both ways, and
+// every covered seeded bug that manifests dynamically is also reported
+// statically (static ⊇ dynamic on this corpus).
+
+import (
+	"fmt"
+	"testing"
+
+	"golclint/internal/core"
+	"golclint/internal/cpp"
+	"golclint/internal/interp"
+)
+
+func TestCleanCorpusBothWays(t *testing.T) {
+	for seed := int64(100); seed < 110; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			p := Generate(Config{Seed: seed, Modules: 3, FuncsPer: 5, Annotate: true, WithDriver: true})
+			res := core.CheckSources(p.Files, core.Options{Includes: cpp.MapIncluder(p.Headers)})
+			if len(res.ParseErrors) > 0 || len(res.SemaErrors) > 0 {
+				t.Fatalf("frontend errors: %v %v", res.ParseErrors, res.SemaErrors)
+			}
+			if len(res.Diags) != 0 {
+				t.Fatalf("static messages on clean program:\n%s", res.Messages())
+			}
+			run := interp.New(res.Program, interp.Options{}).Run("main")
+			if len(run.Errors) != 0 || len(run.Leaks) != 0 {
+				t.Fatalf("runtime errors %v leaks %v", run.Errors, run.Leaks)
+			}
+		})
+	}
+}
+
+func TestStaticCoversDynamic(t *testing.T) {
+	for seed := int64(200); seed < 206; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			bugs := map[BugKind]int{
+				BugLeak: 1, BugCondLeak: 1, BugUseAfterFree: 1, BugDoubleFree: 1,
+			}
+			p := Generate(Config{Seed: seed, Modules: 2, FuncsPer: 3, Annotate: true,
+				WithDriver: true, Bugs: bugs})
+			// Cover everything so the interpreter sees every bug.
+			var all []int
+			for i := range p.Bugs {
+				all = append(all, i)
+			}
+			pc := p.SetCoverage(all)
+			res := core.CheckSources(pc.Files, core.Options{Includes: cpp.MapIncluder(pc.Headers)})
+			run := interp.New(res.Program, interp.Options{}).Run("main")
+
+			dynamic := len(run.Errors) + len(run.Leaks)
+			static := len(res.Diags)
+			if dynamic == 0 {
+				t.Fatal("expected dynamic detections with full coverage")
+			}
+			if static < len(p.Bugs) {
+				t.Fatalf("static found %d < %d seeded bugs:\n%s", static, len(p.Bugs), res.Messages())
+			}
+		})
+	}
+}

@@ -1,0 +1,64 @@
+#include <stdlib.h>
+#include "dbase.h"
+
+static /*@null@*/ /*@only@*/ empset mgrs;
+static /*@null@*/ /*@only@*/ empset nonMgrs;
+
+void dbase_initMod (void)
+{
+	/* The database may be re-initialized: release the previous sets
+	   (and null the references so every path agrees that the obligation
+	   is gone). */
+	if (mgrs != NULL)
+	{
+		empset_final (mgrs);
+		mgrs = NULL;
+	}
+	if (nonMgrs != NULL)
+	{
+		empset_final (nonMgrs);
+		nonMgrs = NULL;
+	}
+	mgrs = empset_create ();
+	nonMgrs = empset_create ();
+}
+
+bool dbase_hire (eref er, gender g)
+{
+	if (mgrs == NULL || nonMgrs == NULL)
+	{
+		return FALSE;
+	}
+	if (g == MALE || g == FEMALE)
+	{
+		return empset_insert (mgrs, er);
+	}
+	return empset_insert (nonMgrs, er);
+}
+
+int dbase_size (gender g)
+{
+	if (mgrs == NULL || nonMgrs == NULL)
+	{
+		return 0;
+	}
+	if (g == gender_ANY)
+	{
+		return empset_size (mgrs) + empset_size (nonMgrs);
+	}
+	return empset_size (mgrs);
+}
+
+void dbase_finalMod (void)
+{
+	if (mgrs != NULL)
+	{
+		empset_final (mgrs);
+		mgrs = NULL;
+	}
+	if (nonMgrs != NULL)
+	{
+		empset_final (nonMgrs);
+		nonMgrs = NULL;
+	}
+}

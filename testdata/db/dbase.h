@@ -1,0 +1,8 @@
+#include <bool.h>
+#include "empset.h"
+#include "employee.h"
+
+extern void dbase_initMod (void);
+extern bool dbase_hire (eref er, gender g);
+extern int dbase_size (gender g);
+extern void dbase_finalMod (void);

@@ -1,0 +1,61 @@
+#include <stdlib.h>
+#include <stdio.h>
+#include "empset.h"
+#include "employee.h"
+
+int main (void)
+{
+	empset all;
+	char *printed;
+	char *e1;
+	eref er;
+	employee *emp;
+
+	employee_initMod ();
+	eref_initMod ();
+
+	emp = (employee *) malloc (sizeof (employee));
+	if (emp == NULL)
+	{
+		exit (EXIT_FAILURE);
+	}
+	employee_init (emp);
+	employee_setName (emp, "Kaufmann");
+
+	all = empset_create ();
+	er = eref_alloc ();
+	empset_insert (all, er);
+
+	printed = empset_sprint (all);
+	printf ("%s", printed);
+
+	e1 = employee_sprint (eref_get (er));
+	printf ("%s", e1);
+
+	/* First rebuild: the originals leak until the releases are added
+	   in the final iteration. */
+	empset_final (all);
+	all = empset_create ();
+	empset_insert (all, er);
+	free (printed);
+	printed = empset_sprint (all);
+	free (e1);
+	e1 = employee_sprint (eref_get (er));
+	printf ("%s %s", printed, e1);
+
+	/* Second rebuild. */
+	empset_final (all);
+	all = empset_create ();
+	empset_insert (all, er);
+	free (printed);
+	printed = empset_sprint (all);
+	free (e1);
+	e1 = employee_sprint (eref_get (er));
+	printf ("%s %s", printed, e1);
+
+	free (printed);
+	free (e1);
+	free (emp);
+	empset_final (all);
+	return EXIT_SUCCESS;
+}

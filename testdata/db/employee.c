@@ -1,0 +1,54 @@
+#include <stdlib.h>
+#include <string.h>
+#include "employee.h"
+
+bool employee_setName (employee *e, /*@unique@*/ char *na)
+{
+	int i;
+
+	for (i = 0; na[i] != '\0'; i++)
+	{
+		if (i == 23)
+		{
+			return FALSE;
+		}
+	}
+	strcpy (e->name, na);
+	return TRUE;
+}
+
+bool employee_equal (employee *e1, employee *e2)
+{
+	return ((e1->ssNum == e2->ssNum)
+		&& (e1->salary == e2->salary)
+		&& (e1->gen == e2->gen)
+		&& (e1->j == e2->j)
+		&& (strcmp (e1->name, e2->name) == 0));
+}
+
+void employee_init (/*@out@*/ employee *e)
+{
+	e->ssNum = 0;
+	e->salary = 0.0;
+	e->gen = gender_ANY;
+	e->j = job_ANY;
+	e->name[0] = '\0';
+}
+
+void employee_initMod (void)
+{
+}
+
+/*@only@*/ char *employee_sprint (employee *e)
+{
+	char *res;
+
+	res = (char *) malloc (64);
+	if (res == NULL)
+	{
+		exit (EXIT_FAILURE);
+	}
+	sprintf (res, "%d", e->ssNum);
+	strcat (res, e->name);
+	return res;
+}

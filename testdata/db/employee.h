@@ -1,0 +1,16 @@
+#include <bool.h>
+typedef enum { MALE, FEMALE, gender_ANY } gender;
+typedef enum { MGR, NONMGR, job_ANY } job;
+typedef struct {
+	int ssNum;
+	char name[24];
+	double salary;
+	gender gen;
+	job j;
+} employee;
+
+extern bool employee_setName (employee *e, /*@unique@*/ char *na);
+extern bool employee_equal (employee *e1, employee *e2);
+extern void employee_init (/*@out@*/ employee *e);
+extern void employee_initMod (void);
+extern /*@only@*/ char *employee_sprint (employee *e);

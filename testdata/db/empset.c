@@ -1,0 +1,55 @@
+#include <stdlib.h>
+#include <assert.h>
+#include "empset.h"
+
+void empset_clear (empset s)
+{
+	erc_clear (s);
+}
+
+bool empset_insert (empset s, eref er)
+{
+	if (erc_member (s, er))
+	{
+		return FALSE;
+	}
+	erc_insert (s, er);
+	return TRUE;
+}
+
+bool empset_delete (empset s, eref er)
+{
+	return erc_delete (s, er);
+}
+
+/*@only@*/ empset empset_create (void)
+{
+	return erc_create ();
+}
+
+void empset_final (/*@only@*/ empset s)
+{
+	erc_final (s);
+}
+
+bool empset_member (eref er, empset s)
+{
+	return erc_member (s, er);
+}
+
+/* requires empset_size(s) > 0 */
+eref empset_choose (empset s)
+{
+	assert (s->vals != NULL);
+	return erc_choose (s);
+}
+
+int empset_size (empset s)
+{
+	return erc_size (s);
+}
+
+/*@only@*/ char *empset_sprint (empset s)
+{
+	return erc_sprint (s);
+}

@@ -1,0 +1,13 @@
+#include <bool.h>
+#include "erc.h"
+typedef erc empset;
+
+extern void empset_clear (empset s);
+extern bool empset_insert (empset s, eref er);
+extern bool empset_delete (empset s, eref er);
+extern /*@only@*/ empset empset_create (void);
+extern void empset_final (/*@only@*/ empset s);
+extern bool empset_member (eref er, empset s);
+extern eref empset_choose (empset s);
+extern int empset_size (empset s);
+extern /*@only@*/ char *empset_sprint (empset s);

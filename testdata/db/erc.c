@@ -1,0 +1,136 @@
+#include <stdlib.h>
+#include <assert.h>
+#include "erc.h"
+
+/*@only@*/ erc erc_create (void)
+{
+	erc c;
+
+	c = (erc) malloc (sizeof (ercInfo));
+	if (c == NULL)
+	{
+		exit (EXIT_FAILURE);
+	}
+	c->vals = NULL;
+	c->size = 0;
+	return c;
+}
+
+void erc_clear (erc c)
+{
+	ercElem *elem;
+	ercElem *nxt;
+
+	/* Detach the list first: it is then owned locally and the paper's
+	   zero-or-one-iteration loop model sees a consistent c->vals on
+	   every path. */
+	elem = c->vals;
+	c->vals = NULL;
+	c->size = 0;
+	while (elem != NULL)
+	{
+		nxt = elem->next;
+		free (elem);
+		elem = nxt;
+	}
+}
+
+void erc_insert (erc c, eref er)
+{
+	ercElem *newElem;
+
+	newElem = (ercElem *) malloc (sizeof (ercElem));
+	if (newElem == NULL)
+	{
+		exit (EXIT_FAILURE);
+	}
+	newElem->val = er;
+	newElem->next = c->vals;
+	c->vals = newElem;
+	c->size = c->size + 1;
+}
+
+bool erc_delete (erc c, eref er)
+{
+	ercElem *elem;
+	ercElem *prev;
+
+	prev = NULL;
+	for (elem = c->vals; elem != NULL; elem = elem->next)
+	{
+		if (elem->val == er)
+		{
+			if (prev == NULL)
+			{
+				c->vals = elem->next;
+			}
+			else
+			{
+				prev->next = elem->next;
+			}
+			c->size = c->size - 1;
+			free (elem);
+			return TRUE;
+		}
+		prev = elem;
+	}
+	return FALSE;
+}
+
+bool erc_member (erc c, eref er)
+{
+	ercElem *elem;
+
+	for (elem = c->vals; elem != NULL; elem = elem->next)
+	{
+		if (elem->val == er)
+		{
+			return TRUE;
+		}
+	}
+	return FALSE;
+}
+
+/* requires erc_size(c) > 0 */
+eref erc_head (erc c)
+{
+	assert (c->vals != NULL);
+	return c->vals->val;
+}
+
+void erc_join (erc c1, erc c2)
+{
+	ercElem *elem;
+
+	for (elem = c2->vals; elem != NULL; elem = elem->next)
+	{
+		erc_insert (c1, elem->val);
+	}
+}
+
+/* requires erc_size(c) > 0 */
+/*@only@*/ char *erc_sprint (erc c)
+{
+	char *res;
+
+	res = (char *) malloc (256);
+	if (res == NULL)
+	{
+		exit (EXIT_FAILURE);
+	}
+	assert (c->vals != NULL);
+	res[0] = (char) c->vals->val;
+	res[1] = '\0';
+	return res;
+}
+
+void erc_final (/*@only@*/ erc c)
+{
+	erc_clear (c);
+	free (c);
+}
+
+int erc_size (erc c)
+{
+	return c->size;
+}

@@ -1,0 +1,27 @@
+#include <bool.h>
+#include "eref.h"
+
+typedef struct _elem {
+	eref val;
+	/*@null@*/ /*@only@*/ struct _elem *next;
+} ercElem;
+
+typedef struct {
+	/*@null@*/ /*@only@*/ ercElem *vals;
+	int size;
+} ercInfo;
+
+typedef ercInfo *erc;
+
+#define erc_choose(c) ((c->vals)->val)
+
+extern /*@only@*/ erc erc_create (void);
+extern void erc_clear (erc c);
+extern void erc_insert (erc c, eref er);
+extern bool erc_delete (erc c, eref er);
+extern bool erc_member (erc c, eref er);
+extern eref erc_head (erc c);
+extern void erc_join (erc c1, erc c2);
+extern /*@only@*/ char *erc_sprint (erc c);
+extern void erc_final (/*@only@*/ erc c);
+extern int erc_size (erc c);

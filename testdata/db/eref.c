@@ -1,0 +1,51 @@
+#include <stdlib.h>
+#include <string.h>
+#include "eref.h"
+
+typedef struct {
+	/*@only@*/ employee *conts;
+	/*@only@*/ int *status;
+	int size;
+} eref_pool_rec;
+
+static eref_pool_rec eref_pool;
+
+void eref_initMod (void)
+{
+	employee *allocated_conts;
+	int *allocated_status;
+
+	/* The pool may be re-initialized: release the previous arrays. */
+	free (eref_pool.conts);
+	free (eref_pool.status);
+
+	allocated_conts = (employee *) malloc (16 * sizeof (employee));
+	if (allocated_conts == NULL)
+	{
+		exit (EXIT_FAILURE);
+	}
+	allocated_status = (int *) malloc (16 * sizeof (int));
+	if (allocated_status == NULL)
+	{
+		exit (EXIT_FAILURE);
+	}
+	memset (allocated_conts, 0, 16 * sizeof (employee));
+	memset (allocated_status, 0, 16 * sizeof (int));
+	eref_pool.conts = allocated_conts;
+	eref_pool.status = allocated_status;
+	eref_pool.size = 16;
+}
+
+eref eref_alloc (void)
+{
+	return 0;
+}
+
+void eref_free (eref er)
+{
+}
+
+/*@dependent@*/ employee *eref_get (eref er)
+{
+	return &(eref_pool.conts[er]);
+}

@@ -1,0 +1,8 @@
+#include <bool.h>
+#include "employee.h"
+typedef int eref;
+
+extern void eref_initMod (void);
+extern eref eref_alloc (void);
+extern void eref_free (eref er);
+extern /*@dependent@*/ employee *eref_get (eref er);

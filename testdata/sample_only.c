@@ -1,0 +1,7 @@
+/* Figure 4 of the paper: inconsistent only and temp annotations. */
+extern /*@only@*/ char *gname;
+
+void setName (/*@temp@*/ char *pname)
+{
+	gname = pname;
+}
