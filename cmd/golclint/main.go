@@ -13,16 +13,24 @@
 //	                           (modular re-checking of the given files)
 //	-cfg function              print the function's control-flow graph
 //	-stats                     print summary statistics
+//	-stats-json file           write run metrics + message counts as JSON
+//	-trace file                write per-function JSONL trace events
+//	-cpuprofile file           write a pprof CPU profile
+//	-memprofile file           write a pprof heap profile
 //	-max n                     cap the number of reported messages
 //
 // Exit status is 1 when anomalies were reported, 2 on usage or I/O errors.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"sort"
 	"strings"
 
 	"golclint/internal/cfg"
@@ -30,6 +38,7 @@ import (
 	"golclint/internal/diag"
 	"golclint/internal/flags"
 	"golclint/internal/library"
+	"golclint/internal/obs"
 )
 
 // dirIncluder resolves #include files against a list of directories.
@@ -66,6 +75,10 @@ func run(args []string) int {
 		loadLib     = fs.String("lib", "", "load an interface library from this file")
 		showCFG     = fs.String("cfg", "", "print the named function's control-flow graph")
 		stats       = fs.Bool("stats", false, "print summary statistics")
+		statsJSON   = fs.String("stats-json", "", "write run metrics and message counts as JSON to this file")
+		tracePath   = fs.String("trace", "", "write per-function trace events (JSONL) to this file")
+		cpuProfile  = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProfile  = fs.String("memprofile", "", "write a pprof heap profile to this file")
 		maxMsgs     = fs.Int("max", 0, "maximum number of messages (0 = unlimited)")
 		incDirs     multiFlag
 	)
@@ -107,7 +120,55 @@ func run(args []string) int {
 		dirs = append(dirs, d)
 	}
 
-	opt := core.Options{Flags: fl, Includes: dirIncluder{dirs: dirs}}
+	var metrics *obs.Metrics
+	if *stats || *statsJSON != "" || *tracePath != "" {
+		metrics = obs.New()
+	}
+	if *tracePath != "" {
+		tf, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "golclint: %v\n", err)
+			return 2
+		}
+		defer tf.Close()
+		tracer := obs.NewJSONLTracer(tf)
+		metrics.SetTracer(tracer)
+		defer func() {
+			if err := tracer.Err(); err != nil {
+				fmt.Fprintf(os.Stderr, "golclint: trace: %v\n", err)
+			}
+		}()
+	}
+	if *cpuProfile != "" {
+		pf, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "golclint: %v\n", err)
+			return 2
+		}
+		defer pf.Close()
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			fmt.Fprintf(os.Stderr, "golclint: %v\n", err)
+			return 2
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		mp := *memProfile
+		defer func() {
+			mf, err := os.Create(mp)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "golclint: %v\n", err)
+				return
+			}
+			defer mf.Close()
+			runtime.GC() // settle the heap so the profile reflects live objects
+			if err := pprof.WriteHeapProfile(mf); err != nil {
+				fmt.Fprintf(os.Stderr, "golclint: %v\n", err)
+			}
+		}()
+	}
+
+	opt := core.Options{Flags: fl, Includes: dirIncluder{dirs: dirs}, Metrics: metrics}
 
 	var res *core.Result
 	if *loadLib != "" {
@@ -170,13 +231,21 @@ func run(args []string) int {
 
 	if *stats {
 		counts := res.CountByCode()
-		var keys []diag.Code
+		keys := make([]diag.Code, 0, len(counts))
 		for c := range counts {
 			keys = append(keys, c)
 		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
 		fmt.Printf("%d message(s), %d suppressed\n", len(res.Diags), res.Suppressed)
 		for _, c := range keys {
 			fmt.Printf("  %-16s %d\n", c, counts[c])
+		}
+	}
+
+	if *statsJSON != "" {
+		if err := writeStatsJSON(*statsJSON, fs.Args(), fl, metrics, res); err != nil {
+			fmt.Fprintf(os.Stderr, "golclint: %v\n", err)
+			return 2
 		}
 	}
 
@@ -184,4 +253,51 @@ func run(args []string) int {
 		return 1
 	}
 	return 0
+}
+
+// runStats is the -stats-json document. The schema field names the format
+// so downstream tooling can detect incompatible changes.
+type runStats struct {
+	Schema      string           `json:"schema"`
+	Files       []string         `json:"files"`
+	Flags       map[string]bool  `json:"flags"`
+	TotalNS     int64            `json:"total_ns"`
+	PhasesNS    map[string]int64 `json:"phases_ns"`
+	Counters    map[string]int64 `json:"counters"`
+	Messages    int              `json:"messages"`
+	Suppressed  int              `json:"suppressed"`
+	ByCode      map[string]int   `json:"messages_by_code"`
+	ParseErrors int              `json:"parse_errors"`
+	SemaErrors  int              `json:"sema_errors"`
+}
+
+// writeStatsJSON renders the run's metrics and per-code message counts.
+// Map keys serialize in sorted order, so the output is deterministic up to
+// the (intentionally volatile) duration fields.
+func writeStatsJSON(path string, files []string, fl *flags.Flags, m *obs.Metrics, res *core.Result) error {
+	snap := m.Snapshot()
+	byCode := map[string]int{}
+	for c, n := range res.CountByCode() {
+		byCode[c.String()] = n
+	}
+	sortedFiles := append([]string(nil), files...)
+	sort.Strings(sortedFiles)
+	doc := runStats{
+		Schema:      "golclint-stats/v1",
+		Files:       sortedFiles,
+		Flags:       fl.Map(),
+		TotalNS:     snap.TotalNS,
+		PhasesNS:    snap.PhasesNS,
+		Counters:    snap.Counters,
+		Messages:    len(res.Diags),
+		Suppressed:  res.Suppressed,
+		ByCode:      byCode,
+		ParseErrors: len(res.ParseErrors),
+		SemaErrors:  len(res.SemaErrors),
+	}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
 }

@@ -3,14 +3,22 @@
 // EXPERIMENTS.md). Each subcommand prints one experiment; "all" runs the
 // full set.
 //
+// The perf experiments also emit machine-readable companions alongside the
+// prose tables — BENCH_scaling.json (E9) and BENCH_modular.json (E10) in
+// the current directory — each stamped with the experiment's elapsed time
+// and allocation totals so the numbers are diffable across changes.
+//
 // Usage:
 //
 //	lclbench [samples|listaddh|ercdb|scaling|modular|economy|staticvsdynamic|nofixpoint|all]
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -23,8 +31,67 @@ import (
 	"golclint/internal/flags"
 	"golclint/internal/interp"
 	"golclint/internal/library"
+	"golclint/internal/obs"
 	"golclint/internal/testgen"
 )
+
+// outDir is where BENCH_*.json files land; tests redirect it.
+var outDir = "."
+
+// benchMeta stamps every BENCH file with enough context to compare runs.
+type benchMeta struct {
+	Schema     string `json:"schema"`
+	Experiment string `json:"experiment"`
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	// ElapsedNS is the experiment's end-to-end wall-clock time.
+	ElapsedNS int64 `json:"elapsed_ns"`
+	// AllocBytes is the total heap allocated during the experiment
+	// (runtime.MemStats.TotalAlloc delta).
+	AllocBytes uint64 `json:"alloc_bytes"`
+	// PeakHeapBytes is the heap footprint obtained from the OS by the end
+	// of the experiment (runtime.MemStats.HeapSys), an upper bound on the
+	// peak live heap.
+	PeakHeapBytes uint64 `json:"peak_heap_bytes"`
+}
+
+// measure runs f, returning meta filled with elapsed time and allocation
+// deltas for the given schema/experiment identifiers.
+func measure(schema, experiment string, f func()) benchMeta {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	f()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return benchMeta{
+		Schema:        schema,
+		Experiment:    experiment,
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		ElapsedNS:     elapsed.Nanoseconds(),
+		AllocBytes:    after.TotalAlloc - before.TotalAlloc,
+		PeakHeapBytes: after.HeapSys,
+	}
+}
+
+// writeBenchJSON writes v to outDir/name, reporting the path so runs are
+// self-describing.
+func writeBenchJSON(name string, v interface{}) {
+	path := filepath.Join(outDir, name)
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lclbench: %v\n", err)
+		return
+	}
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "lclbench: %v\n", err)
+		return
+	}
+	fmt.Printf("wrote %s\n", path)
+}
 
 var experiments = []struct {
 	name string
@@ -176,49 +243,113 @@ func runErcDB() {
 // E9: checking time scales ~linearly with program size (§7: 100k lines in
 // under four minutes on a DEC 3000/500).
 
-func runScaling() {
+// scalingRow is one program size in BENCH_scaling.json. Phase durations and
+// counters come from the instrumented run (internal/obs).
+type scalingRow struct {
+	Lines     int              `json:"lines"`
+	Modules   int              `json:"modules"`
+	CheckMS   float64          `json:"check_ms"`
+	MSPerKLOC float64          `json:"ms_per_kloc"`
+	Messages  int              `json:"messages"`
+	PhasesNS  map[string]int64 `json:"phases_ns"`
+	Counters  map[string]int64 `json:"counters"`
+}
+
+type scalingDoc struct {
+	benchMeta
+	Rows []scalingRow `json:"rows"`
+}
+
+func runScaling() { runScalingSizes([]int{2, 8, 32, 64, 128}) }
+
+// runScalingSizes is runScaling over a configurable module-count set (tests
+// use a small one).
+func runScalingSizes(sizes []int) {
 	header("E9 (Section 7)", "checking time vs program size")
 	fmt.Printf("%10s %8s %12s %12s %10s\n", "lines", "modules", "check(ms)", "ms/kloc", "messages")
-	for _, modules := range []int{2, 8, 32, 64, 128} {
-		p := testgen.Generate(testgen.Config{
-			Seed: 42, Modules: modules, FuncsPer: 10, Annotate: true,
-			Bugs: map[testgen.BugKind]int{testgen.BugLeak: modules / 2},
-		})
-		start := time.Now()
-		res := core.CheckSources(p.Files, core.Options{Includes: cpp.MapIncluder(p.Headers)})
-		elapsed := time.Since(start)
-		ms := float64(elapsed.Microseconds()) / 1000
-		fmt.Printf("%10d %8d %12.1f %12.2f %10d\n",
-			p.Lines, modules, ms, ms/(float64(p.Lines)/1000), len(res.Diags))
-	}
+	var rows []scalingRow
+	meta := measure("golclint-bench-scaling/v1", "E9", func() {
+		for _, modules := range sizes {
+			p := testgen.Generate(testgen.Config{
+				Seed: 42, Modules: modules, FuncsPer: 10, Annotate: true,
+				Bugs: map[testgen.BugKind]int{testgen.BugLeak: modules / 2},
+			})
+			m := obs.New()
+			start := time.Now()
+			res := core.CheckSources(p.Files, core.Options{Includes: cpp.MapIncluder(p.Headers), Metrics: m})
+			elapsed := time.Since(start)
+			ms := float64(elapsed.Microseconds()) / 1000
+			fmt.Printf("%10d %8d %12.1f %12.2f %10d\n",
+				p.Lines, modules, ms, ms/(float64(p.Lines)/1000), len(res.Diags))
+			snap := m.Snapshot()
+			rows = append(rows, scalingRow{
+				Lines: p.Lines, Modules: modules, CheckMS: ms,
+				MSPerKLOC: ms / (float64(p.Lines) / 1000), Messages: len(res.Diags),
+				PhasesNS: snap.PhasesNS, Counters: snap.Counters,
+			})
+		}
+	})
 	fmt.Println("paper shape: time grows ~linearly; ms/kloc stays ~flat")
+	writeBenchJSON("BENCH_scaling.json", scalingDoc{benchMeta: meta, Rows: rows})
 }
 
 // ---------------------------------------------------------------------------
 // E10: modular re-checking with interface libraries (§7: a 5000-line
 // module re-checks in seconds versus minutes for the whole program).
 
-func runModular() {
+// modularDoc is BENCH_modular.json: whole-program vs one-module timings.
+type modularDoc struct {
+	benchMeta
+	WholeLines     int              `json:"whole_lines"`
+	WholeNS        int64            `json:"whole_ns"`
+	ModuleLines    int              `json:"module_lines"`
+	ModuleNS       int64            `json:"module_ns"`
+	Speedup        float64          `json:"speedup"`
+	LibraryEntries int              `json:"library_entries"`
+	ModulePhasesNS map[string]int64 `json:"module_phases_ns"`
+	ModuleCounters map[string]int64 `json:"module_counters"`
+}
+
+func runModular() { runModularModules(64) }
+
+// runModularModules is runModular with a configurable corpus size (tests
+// use a small one).
+func runModularModules(modules int) {
 	header("E10 (Section 7)", "whole-program vs modular re-check")
-	p := testgen.Generate(testgen.Config{
-		Seed: 43, Modules: 64, FuncsPer: 10, Annotate: true,
+	var doc modularDoc
+	meta := measure("golclint-bench-modular/v1", "E10", func() {
+		p := testgen.Generate(testgen.Config{
+			Seed: 43, Modules: modules, FuncsPer: 10, Annotate: true,
+		})
+		start := time.Now()
+		whole := core.CheckSources(p.Files, core.Options{Includes: cpp.MapIncluder(p.Headers)})
+		wholeTime := time.Since(start)
+
+		lib := library.Build(whole.Program)
+		mod := map[string]string{"mod0.c": p.Files["mod0.c"]}
+		m := obs.New()
+		start = time.Now()
+		library.CheckModule(mod, lib, core.Options{Includes: cpp.MapIncluder(p.Headers), Metrics: m})
+		modTime := time.Since(start)
+
+		fmt.Printf("whole program (%d lines): %v\n", p.Lines, wholeTime)
+		fmt.Printf("one module with library (%d lines): %v\n",
+			strings.Count(p.Files["mod0.c"], "\n"), modTime)
+		fmt.Printf("speedup: %.1fx (library: %s)\n",
+			float64(wholeTime)/float64(modTime), lib.Stats())
+		snap := m.Snapshot()
+		doc = modularDoc{
+			WholeLines: p.Lines, WholeNS: wholeTime.Nanoseconds(),
+			ModuleLines:    strings.Count(p.Files["mod0.c"], "\n"),
+			ModuleNS:       modTime.Nanoseconds(),
+			Speedup:        float64(wholeTime) / float64(modTime),
+			LibraryEntries: lib.EntryCount(),
+			ModulePhasesNS: snap.PhasesNS, ModuleCounters: snap.Counters,
+		}
 	})
-	start := time.Now()
-	whole := core.CheckSources(p.Files, core.Options{Includes: cpp.MapIncluder(p.Headers)})
-	wholeTime := time.Since(start)
-
-	lib := library.Build(whole.Program)
-	mod := map[string]string{"mod0.c": p.Files["mod0.c"]}
-	start = time.Now()
-	library.CheckModule(mod, lib, core.Options{Includes: cpp.MapIncluder(p.Headers)})
-	modTime := time.Since(start)
-
-	fmt.Printf("whole program (%d lines): %v\n", p.Lines, wholeTime)
-	fmt.Printf("one module with library (%d lines): %v\n",
-		strings.Count(p.Files["mod0.c"], "\n"), modTime)
-	fmt.Printf("speedup: %.1fx (library: %s)\n",
-		float64(wholeTime)/float64(modTime), lib.Stats())
 	fmt.Println("paper shape: module re-check is an order of magnitude faster")
+	doc.benchMeta = meta
+	writeBenchJSON("BENCH_modular.json", doc)
 }
 
 // ---------------------------------------------------------------------------

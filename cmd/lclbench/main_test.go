@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 // Each experiment driver must run to completion (output goes to stdout;
 // correctness of the numbers is asserted by the package tests — this guards
@@ -17,5 +22,62 @@ func TestExperimentsRun(t *testing.T) {
 		t.Run(e.name, func(t *testing.T) {
 			e.run()
 		})
+	}
+}
+
+// The perf experiments must emit valid, populated BENCH_*.json companions.
+func TestBenchJSONEmission(t *testing.T) {
+	old := outDir
+	outDir = t.TempDir()
+	defer func() { outDir = old }()
+
+	runScalingSizes([]int{2, 4})
+	b, err := os.ReadFile(filepath.Join(outDir, "BENCH_scaling.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sd scalingDoc
+	if err := json.Unmarshal(b, &sd); err != nil {
+		t.Fatalf("BENCH_scaling.json invalid: %v", err)
+	}
+	if sd.Schema != "golclint-bench-scaling/v1" || sd.Experiment != "E9" {
+		t.Errorf("meta = %q %q", sd.Schema, sd.Experiment)
+	}
+	if sd.ElapsedNS <= 0 || sd.AllocBytes == 0 || sd.PeakHeapBytes == 0 {
+		t.Errorf("perf stamps missing: %+v", sd.benchMeta)
+	}
+	if len(sd.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(sd.Rows))
+	}
+	for _, r := range sd.Rows {
+		if r.Lines <= 0 || r.CheckMS <= 0 || r.MSPerKLOC <= 0 {
+			t.Errorf("row not populated: %+v", r)
+		}
+		if r.Counters["functions_checked"] <= 0 || r.PhasesNS["check"] < 0 {
+			t.Errorf("row metrics missing: %+v", r)
+		}
+	}
+	if sd.Rows[1].Lines <= sd.Rows[0].Lines {
+		t.Errorf("rows not increasing in size: %d then %d", sd.Rows[0].Lines, sd.Rows[1].Lines)
+	}
+
+	runModularModules(8)
+	b, err = os.ReadFile(filepath.Join(outDir, "BENCH_modular.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var md modularDoc
+	if err := json.Unmarshal(b, &md); err != nil {
+		t.Fatalf("BENCH_modular.json invalid: %v", err)
+	}
+	if md.Schema != "golclint-bench-modular/v1" || md.Experiment != "E10" {
+		t.Errorf("meta = %q %q", md.Schema, md.Experiment)
+	}
+	if md.WholeNS <= 0 || md.ModuleNS <= 0 || md.Speedup <= 0 || md.LibraryEntries <= 0 {
+		t.Errorf("modular doc not populated: %+v", md)
+	}
+	if md.ModuleCounters["library_entries_loaded"] != int64(md.LibraryEntries) {
+		t.Errorf("library_entries_loaded = %d, want %d",
+			md.ModuleCounters["library_entries_loaded"], md.LibraryEntries)
 	}
 }

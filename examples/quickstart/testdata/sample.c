@@ -1,0 +1,12 @@
+/* The paper's Figure 2 program: a possibly-null parameter assigned to a
+ * non-null global. Check it (and collect machine-readable run metrics)
+ * with:
+ *
+ *	go run ./cmd/golclint -stats -stats-json out.json examples/quickstart/testdata/sample.c
+ */
+extern char *gname;
+
+void setName (/*@null@*/ char *pname)
+{
+	gname = pname;
+}

@@ -2,12 +2,14 @@ package core
 
 import (
 	"sort"
+	"time"
 
 	"golclint/internal/cast"
 	"golclint/internal/cparse"
 	"golclint/internal/cpp"
 	"golclint/internal/diag"
 	"golclint/internal/flags"
+	"golclint/internal/obs"
 	"golclint/internal/sema"
 )
 
@@ -24,6 +26,10 @@ type Options struct {
 	// the modular-checking path uses it to install an interface library
 	// (see internal/library).
 	PreCheck func(*sema.Program) error
+	// Metrics receives phase timings, analysis counters, and per-function
+	// trace events when non-nil. A nil Metrics disables instrumentation;
+	// hooks then cost one pointer test (see internal/obs).
+	Metrics *obs.Metrics
 }
 
 // Result is the outcome of a checking run.
@@ -103,6 +109,11 @@ func CheckSources(files map[string]string, opt Options) *Result {
 	if fl == nil {
 		fl = flags.Default()
 	}
+	m := opt.Metrics
+	var runStart time.Time
+	if m.Enabled() {
+		runStart = time.Now()
+	}
 	res := &Result{}
 	rep := diag.NewReporter(fl.MaxMessages)
 
@@ -119,11 +130,20 @@ func CheckSources(files map[string]string, opt Options) *Result {
 		for k, v := range opt.Defines {
 			pp.Define(k, v)
 		}
+		stopPre := m.StartPhase(obs.PhasePreprocess)
 		expanded := pp.Process(name, files[name])
+		stopPre()
 		for _, e := range pp.Errors() {
 			res.ParseErrors = append(res.ParseErrors, e.Error())
 		}
+		stopParse := m.StartPhase(obs.PhaseParse)
 		pr := cparse.Parse(name, expanded)
+		stopParse()
+		if m.Enabled() {
+			m.Add(obs.TokensLexed, int64(pr.Tokens))
+			m.Add(obs.AnnotationsConsumed, int64(pr.Annots))
+			m.Add(obs.ASTNodes, int64(cast.CountNodes(pr.Unit)))
+		}
 		for _, e := range pr.Errors {
 			res.ParseErrors = append(res.ParseErrors, e.Error())
 		}
@@ -135,6 +155,7 @@ func CheckSources(files map[string]string, opt Options) *Result {
 		units = append(units, pr.Unit)
 	}
 
+	stopSema := m.StartPhase(obs.PhaseSema)
 	prog := sema.Analyze(units)
 	for _, e := range prog.Errors {
 		res.SemaErrors = append(res.SemaErrors, e.Error())
@@ -144,12 +165,18 @@ func CheckSources(files map[string]string, opt Options) *Result {
 			res.SemaErrors = append(res.SemaErrors, err.Error())
 		}
 	}
-	CheckProgram(prog, fl, rep)
+	stopSema()
+	checkProgram(prog, fl, rep, m)
 
 	res.Diags = rep.Diags()
 	res.Suppressed = rep.Suppressed()
 	res.Program = prog
 	res.Units = units
+	if m.Enabled() {
+		m.Add(obs.DiagnosticsEmitted, int64(len(res.Diags)))
+		m.Add(obs.DiagnosticsSuppressed, int64(res.Suppressed))
+		m.AddTotal(time.Since(runStart))
+	}
 	return res
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"sort"
 	"strings"
+	"time"
 
 	"golclint/internal/annot"
 	"golclint/internal/cast"
@@ -11,6 +12,7 @@ import (
 	"golclint/internal/ctypes"
 	"golclint/internal/diag"
 	"golclint/internal/flags"
+	"golclint/internal/obs"
 	"golclint/internal/sema"
 )
 
@@ -19,6 +21,7 @@ type checker struct {
 	prog *sema.Program
 	fl   *flags.Flags
 	rep  *diag.Reporter
+	m    *obs.Metrics // nil disables instrumentation
 
 	// Current function under analysis.
 	fn  *cast.FuncDef
@@ -29,6 +32,12 @@ type checker struct {
 	unknown    map[string]bool
 	topBlock   *cast.Block
 
+	// Per-function instrumentation (reset by checkFunctionTimed).
+	fnMerges int
+	fnBlocks int
+	fnEdges  int
+	fnCFG    time.Duration
+
 	// breakStates/continueStates collect the stores flowing to the
 	// innermost enclosing loop/switch exit and loop head.
 	breakStates    []*[]*store
@@ -38,10 +47,15 @@ type checker struct {
 // CheckProgram checks every function definition in the program, filing
 // diagnostics with the reporter.
 func CheckProgram(prog *sema.Program, fl *flags.Flags, rep *diag.Reporter) {
-	c := &checker{prog: prog, fl: fl, rep: rep, unknown: map[string]bool{}}
+	checkProgram(prog, fl, rep, nil)
+}
+
+// checkProgram is CheckProgram with instrumentation (m may be nil).
+func checkProgram(prog *sema.Program, fl *flags.Flags, rep *diag.Reporter, m *obs.Metrics) {
+	c := &checker{prog: prog, fl: fl, rep: rep, m: m, unknown: map[string]bool{}}
 	for _, u := range prog.Units {
 		for _, f := range u.Funcs() {
-			c.checkFunction(f)
+			c.checkFunctionTimed(f)
 		}
 	}
 }
@@ -51,6 +65,33 @@ func CheckProgram(prog *sema.Program, fl *flags.Flags, rep *diag.Reporter) {
 func CheckFunction(prog *sema.Program, fl *flags.Flags, rep *diag.Reporter, f *cast.FuncDef) {
 	c := &checker{prog: prog, fl: fl, rep: rep, unknown: map[string]bool{}}
 	c.checkFunction(f)
+}
+
+// checkFunctionTimed wraps checkFunction with the per-function timer,
+// counters, and trace event. Dataflow time is attributed to PhaseCheck net
+// of CFG construction (recorded by checkFunction into fnCFG), so the phase
+// durations stay disjoint and sum to ~the end-to-end total.
+func (c *checker) checkFunctionTimed(f *cast.FuncDef) {
+	if !c.m.Enabled() {
+		c.checkFunction(f)
+		return
+	}
+	c.fnMerges, c.fnBlocks, c.fnEdges, c.fnCFG = 0, 0, 0, 0
+	start := time.Now()
+	c.checkFunction(f)
+	elapsed := time.Since(start)
+	c.m.AddPhase(obs.PhaseCheck, elapsed-c.fnCFG)
+	c.m.Add(obs.FunctionsChecked, 1)
+	pos := f.Pos()
+	c.m.TraceFunc(obs.FuncEvent{
+		Func:       f.Name,
+		File:       pos.File,
+		Line:       pos.Line,
+		Blocks:     c.fnBlocks,
+		Edges:      c.fnEdges,
+		Merges:     c.fnMerges,
+		DurationNS: elapsed.Nanoseconds(),
+	})
 }
 
 // checkFunction analyzes one function body in a single forward pass.
@@ -88,7 +129,21 @@ func (c *checker) checkFunction(f *cast.FuncDef) {
 	// Unreachable statements (code after a return/break on every path)
 	// are anomalies in their own right; the acyclic CFG makes them easy
 	// to find. One message per contiguous dead region.
-	g := cfg.Build(f)
+	var g *cfg.Graph
+	if c.m.Enabled() {
+		cfgStart := time.Now()
+		g = cfg.Build(f)
+		c.fnCFG = time.Since(cfgStart)
+		c.m.AddPhase(obs.PhaseCFG, c.fnCFG)
+		c.fnBlocks = len(g.Nodes)
+		for _, n := range g.Nodes {
+			c.fnEdges += len(n.Succs)
+		}
+		c.m.Add(obs.CFGBlocks, int64(c.fnBlocks))
+		c.m.Add(obs.CFGEdges, int64(c.fnEdges))
+	} else {
+		g = cfg.Build(f)
+	}
 	var lastDead int
 	for _, n := range g.Unreachable() {
 		if n.Pos.IsValid() && n.Pos.Line != lastDead+1 {
@@ -147,6 +202,10 @@ func (c *checker) report(code diag.Code, pos ctoken.Pos, format string, args ...
 // pos (§5: "This is a confluence error since there is no sensible way to
 // combine the allocation states").
 func (c *checker) mergeReport(a, b *store, pos ctoken.Pos) *store {
+	if c.m != nil {
+		c.m.Add(obs.ConfluenceMerges, 1)
+		c.fnMerges++
+	}
 	out, conflicts := mergeStores(a, b)
 	// One anomaly per storage object: aliased spellings (e and arge) and
 	// mirror keys report once, preferring the body-visible name.

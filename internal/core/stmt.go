@@ -7,6 +7,7 @@ import (
 	"golclint/internal/cast"
 	"golclint/internal/ctoken"
 	"golclint/internal/diag"
+	"golclint/internal/obs"
 )
 
 // checkStmt analyzes one statement, returning the outgoing store. The
@@ -179,6 +180,7 @@ func (c *checker) declareLocal(st *store, vd *cast.VarDecl) {
 // "the effects of any while or for loop are identical to those for
 // executing the loop zero or one times"; §5: "there is no back edge").
 func (c *checker) checkLoop(st *store, _ cast.Stmt, cond cast.Expr, post cast.Expr, body cast.Stmt, pos ctoken.Pos) *store {
+	c.m.Add(obs.LoopUnrollings, 1)
 	var stT, stF *store
 	if cond != nil {
 		stT, stF = c.checkCond(st, cond)
@@ -217,6 +219,7 @@ func (c *checker) checkLoop(st *store, _ cast.Stmt, cond cast.Expr, post cast.Ex
 // checkDoWhile analyzes a do-while loop: the body executes exactly once in
 // the paper's model.
 func (c *checker) checkDoWhile(st *store, v *cast.DoWhile) *store {
+	c.m.Add(obs.LoopUnrollings, 1)
 	var breaks []*store
 	var continues []*store
 	c.breakStates = append(c.breakStates, &breaks)

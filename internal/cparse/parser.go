@@ -36,6 +36,11 @@ type Result struct {
 	Unit     *cast.Unit
 	Controls []Control
 	Errors   []*ParseError
+	// Tokens is the number of tokens the lexer produced for this unit
+	// (annotation comments included, terminating EOF excluded).
+	Tokens int
+	// Annots is the number of /*@...@*/ annotation comments among them.
+	Annots int
 }
 
 // Parse parses preprocessed C source. The file name is used only as a
@@ -53,7 +58,17 @@ func Parse(file, src string) *Result {
 		p.errs = append(p.errs, &ParseError{Pos: le.Pos, Msg: le.Msg})
 	}
 	p.parseUnit()
-	return &Result{Unit: p.unit, Controls: p.controls, Errors: p.errs}
+	nAnnots := 0
+	for _, t := range toks {
+		if t.Kind == ctoken.Annot {
+			nAnnots++
+		}
+	}
+	return &Result{
+		Unit: p.unit, Controls: p.controls, Errors: p.errs,
+		Tokens: len(toks) - 1, // exclude the terminating EOF
+		Annots: nAnnots,
+	}
 }
 
 type parser struct {

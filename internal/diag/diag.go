@@ -78,6 +78,48 @@ func (c Code) String() string {
 	return fmt.Sprintf("code(%d)", int(c))
 }
 
+// codeByName is the reverse of codeNames, for parsing machine-readable
+// output back into Codes.
+var codeByName = func() map[string]Code {
+	m := make(map[string]Code, len(codeNames))
+	for c, n := range codeNames {
+		m[n] = c
+	}
+	return m
+}()
+
+// Codes returns every diagnostic code in declaration order. The -stats,
+// -stats-json, and trace surfaces all key on these codes' String() names,
+// which are stable and unique (asserted by TestCodeNamesRoundTrip).
+func Codes() []Code {
+	cs := make([]Code, 0, int(numCodes))
+	for c := Code(0); c < numCodes; c++ {
+		cs = append(cs, c)
+	}
+	return cs
+}
+
+// ParseCode resolves a short name (as printed by String and used as a JSON
+// key) back to its Code.
+func ParseCode(name string) (Code, bool) {
+	c, ok := codeByName[name]
+	return c, ok
+}
+
+// MarshalText implements encoding.TextMarshaler so Codes serialize by name
+// (including as JSON map keys).
+func (c Code) MarshalText() ([]byte, error) { return []byte(c.String()), nil }
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (c *Code) UnmarshalText(b []byte) error {
+	parsed, ok := ParseCode(string(b))
+	if !ok {
+		return fmt.Errorf("unknown diagnostic code %q", b)
+	}
+	*c = parsed
+	return nil
+}
+
 // Note is a secondary location attached to a diagnostic.
 type Note struct {
 	Pos ctoken.Pos

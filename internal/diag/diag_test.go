@@ -182,3 +182,42 @@ func TestUnknownLocalFlagIgnored(t *testing.T) {
 		t.Fatal("unknown flag suppressed messages")
 	}
 }
+
+// Every diagnostic code must have an explicit, unique, parseable name:
+// these names key the -stats, -stats-json, and trace surfaces, so a
+// collision or fallback spelling would silently merge categories.
+func TestCodeNamesRoundTrip(t *testing.T) {
+	seen := map[string]Code{}
+	for _, c := range Codes() {
+		name := c.String()
+		if strings.HasPrefix(name, "code(") {
+			t.Errorf("code %d has no explicit name", int(c))
+		}
+		if prev, dup := seen[name]; dup {
+			t.Errorf("codes %d and %d share the name %q", int(prev), int(c), name)
+		}
+		seen[name] = c
+		parsed, ok := ParseCode(name)
+		if !ok || parsed != c {
+			t.Errorf("ParseCode(%q) = %v, %v; want %v, true", name, parsed, ok, c)
+		}
+		txt, err := c.MarshalText()
+		if err != nil || string(txt) != name {
+			t.Errorf("MarshalText(%v) = %q, %v", c, txt, err)
+		}
+		var back Code
+		if err := back.UnmarshalText(txt); err != nil || back != c {
+			t.Errorf("UnmarshalText(%q) = %v, %v", txt, back, err)
+		}
+	}
+	if len(seen) != int(numCodes) {
+		t.Fatalf("Codes() covered %d names, want %d", len(seen), int(numCodes))
+	}
+	if _, ok := ParseCode("no-such-code"); ok {
+		t.Error("ParseCode accepted an unknown name")
+	}
+	var c Code
+	if err := c.UnmarshalText([]byte("no-such-code")); err == nil {
+		t.Error("UnmarshalText accepted an unknown name")
+	}
+}

@@ -104,6 +104,20 @@ func (f *Flags) SetAll(toggles ...string) error {
 	return nil
 }
 
+// Map returns the current toggle values keyed by flag name (the same names
+// Set accepts), for machine-readable stats output.
+func (f *Flags) Map() map[string]bool {
+	return map[string]bool{
+		"null":       f.NullChecking,
+		"def":        f.DefChecking,
+		"alloc":      f.AllocChecking,
+		"alias":      f.AliasChecking,
+		"allimponly": f.ImplicitOnly,
+		"gcmode":     f.GCMode,
+		"indepidx":   f.IndependentIndexes,
+	}
+}
+
 // String summarizes the configuration.
 func (f *Flags) String() string {
 	onoff := func(b bool) string {

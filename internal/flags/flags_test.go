@@ -72,3 +72,27 @@ func TestKnownAndString(t *testing.T) {
 		t.Fatalf("String = %q", s)
 	}
 }
+
+// Map must cover exactly the names Set accepts and reflect toggles.
+func TestMapMirrorsSet(t *testing.T) {
+	f := Default()
+	m := f.Map()
+	if len(m) != len(Known()) {
+		t.Fatalf("Map has %d entries, Known has %d", len(m), len(Known()))
+	}
+	for _, name := range Known() {
+		if _, ok := m[name]; !ok {
+			t.Fatalf("Map missing flag %q", name)
+		}
+	}
+	if !m["null"] || m["gcmode"] {
+		t.Fatalf("defaults wrong: %v", m)
+	}
+	if err := f.SetAll("-null", "+gcmode"); err != nil {
+		t.Fatal(err)
+	}
+	m = f.Map()
+	if m["null"] || !m["gcmode"] {
+		t.Fatalf("Map did not track Set: %v", m)
+	}
+}

@@ -259,3 +259,9 @@ func (l *Library) Stats() string {
 	return fmt.Sprintf("%d functions, %d globals, %d types, %d enum constants",
 		len(l.Funcs), len(l.Globals), len(l.Types), len(l.Enums))
 }
+
+// EntryCount returns the total number of interface entries (functions,
+// globals, types, enum constants) the library supplies.
+func (l *Library) EntryCount() int {
+	return len(l.Funcs) + len(l.Globals) + len(l.Types) + len(l.Enums)
+}

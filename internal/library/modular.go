@@ -2,6 +2,7 @@ package library
 
 import (
 	"golclint/internal/core"
+	"golclint/internal/obs"
 	"golclint/internal/sema"
 )
 
@@ -13,6 +14,7 @@ import (
 // subtle problems in a single file").
 func CheckModule(files map[string]string, lib *Library, opt core.Options) *core.Result {
 	opt.PreCheck = func(prog *sema.Program) error {
+		opt.Metrics.Add(obs.LibraryEntriesLoaded, int64(lib.EntryCount()))
 		return lib.Install(prog)
 	}
 	return core.CheckSources(files, opt)

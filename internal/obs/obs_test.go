@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// A nil *Metrics must accept every call without panicking and report zeros.
+func TestNilMetricsNoOp(t *testing.T) {
+	var m *Metrics
+	if m.Enabled() {
+		t.Fatal("nil Metrics reports Enabled")
+	}
+	m.Add(TokensLexed, 5)
+	m.AddPhase(PhaseParse, time.Second)
+	m.AddTotal(time.Second)
+	m.SetTracer(NewJSONLTracer(&bytes.Buffer{}))
+	m.TraceFunc(FuncEvent{Func: "f"})
+	stop := m.StartPhase(PhaseCheck)
+	stop()
+	if got := m.Get(TokensLexed); got != 0 {
+		t.Fatalf("nil Get = %d, want 0", got)
+	}
+	if got := m.PhaseDuration(PhaseParse); got != 0 {
+		t.Fatalf("nil PhaseDuration = %v, want 0", got)
+	}
+	if got := m.Total(); got != 0 {
+		t.Fatalf("nil Total = %v, want 0", got)
+	}
+	s := m.Snapshot()
+	if s.TotalNS != 0 || len(s.PhasesNS) != int(NumPhases) || len(s.Counters) != int(NumCounters) {
+		t.Fatalf("nil Snapshot = %+v", s)
+	}
+	for name, v := range s.Counters {
+		if v != 0 {
+			t.Fatalf("nil snapshot counter %s = %d", name, v)
+		}
+	}
+}
+
+// Out-of-range phases and counters are ignored, not a panic or a write
+// past the array.
+func TestOutOfRangeIgnored(t *testing.T) {
+	m := New()
+	m.Add(Counter(-1), 1)
+	m.Add(NumCounters, 1)
+	m.AddPhase(Phase(-1), time.Second)
+	m.AddPhase(NumPhases, time.Second)
+	if m.Get(Counter(-1)) != 0 || m.Get(NumCounters) != 0 {
+		t.Fatal("out-of-range Get nonzero")
+	}
+	if got := Counter(99).String(); got != "counter(99)" {
+		t.Fatalf("Counter(99).String() = %q", got)
+	}
+	if got := Phase(99).String(); got != "phase(99)" {
+		t.Fatalf("Phase(99).String() = %q", got)
+	}
+}
+
+// Concurrent increments must not lose updates.
+func TestConcurrentAdd(t *testing.T) {
+	m := New()
+	const goroutines, perG = 16, 1000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perG; j++ {
+				m.Add(ConfluenceMerges, 1)
+				m.AddPhase(PhaseCheck, time.Nanosecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.Get(ConfluenceMerges); got != goroutines*perG {
+		t.Fatalf("merges = %d, want %d", got, goroutines*perG)
+	}
+	if got := m.PhaseDuration(PhaseCheck); got != goroutines*perG {
+		t.Fatalf("check phase = %d ns, want %d", got, goroutines*perG)
+	}
+}
+
+func TestStartPhaseAccumulates(t *testing.T) {
+	m := New()
+	stop := m.StartPhase(PhaseParse)
+	time.Sleep(time.Millisecond)
+	stop()
+	first := m.PhaseDuration(PhaseParse)
+	if first <= 0 {
+		t.Fatalf("phase duration = %v, want > 0", first)
+	}
+	stop = m.StartPhase(PhaseParse)
+	stop()
+	if m.PhaseDuration(PhaseParse) < first {
+		t.Fatal("second interval did not accumulate")
+	}
+}
+
+func TestSnapshotNames(t *testing.T) {
+	m := New()
+	m.Add(TokensLexed, 7)
+	m.AddPhase(PhaseSema, 3*time.Millisecond)
+	m.AddTotal(10 * time.Millisecond)
+	s := m.Snapshot()
+	if s.Counters["tokens_lexed"] != 7 {
+		t.Fatalf("tokens_lexed = %d", s.Counters["tokens_lexed"])
+	}
+	if s.PhasesNS["sema"] != int64(3*time.Millisecond) {
+		t.Fatalf("sema = %d", s.PhasesNS["sema"])
+	}
+	if s.TotalNS != int64(10*time.Millisecond) {
+		t.Fatalf("total = %d", s.TotalNS)
+	}
+	// The snapshot must serialize cleanly.
+	if _, err := json.Marshal(s); err != nil {
+		t.Fatalf("marshal snapshot: %v", err)
+	}
+}
+
+func TestJSONLTracer(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewJSONLTracer(&buf)
+	m := New()
+	m.SetTracer(tr)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m.TraceFunc(FuncEvent{Func: "f", File: "a.c", Blocks: 3, Merges: 1, DurationNS: 42})
+		}()
+	}
+	wg.Wait()
+	if err := tr.Err(); err != nil {
+		t.Fatalf("tracer error: %v", err)
+	}
+	sc := bufio.NewScanner(&buf)
+	lines := 0
+	for sc.Scan() {
+		lines++
+		var ev FuncEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("line %d not JSON: %v", lines, err)
+		}
+		if ev.Func != "f" || ev.Blocks != 3 || ev.DurationNS != 42 {
+			t.Fatalf("bad event: %+v", ev)
+		}
+	}
+	if lines != 8 {
+		t.Fatalf("lines = %d, want 8", lines)
+	}
+}
+
+// errWriter fails after the first write.
+type errWriter struct{ n int }
+
+func (w *errWriter) Write(p []byte) (int, error) {
+	w.n++
+	if w.n > 1 {
+		return 0, &json.UnsupportedValueError{Str: "sink failed"}
+	}
+	return len(p), nil
+}
+
+func TestJSONLTracerRetainsFirstError(t *testing.T) {
+	tr := NewJSONLTracer(&errWriter{})
+	tr.TraceFunc(FuncEvent{Func: "a"})
+	tr.TraceFunc(FuncEvent{Func: "b"})
+	tr.TraceFunc(FuncEvent{Func: "c"}) // dropped silently
+	if tr.Err() == nil {
+		t.Fatal("expected retained error")
+	}
+	if !strings.Contains(tr.Err().Error(), "sink failed") {
+		t.Fatalf("unexpected error: %v", tr.Err())
+	}
+}

@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// FuncEvent describes the analysis of one function definition.
+type FuncEvent struct {
+	Func       string `json:"func"`
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Blocks     int    `json:"blocks"` // CFG nodes
+	Edges      int    `json:"edges"`  // CFG edges
+	Merges     int    `json:"merges"` // confluence merges during the pass
+	DurationNS int64  `json:"duration_ns"`
+}
+
+// Tracer receives one event per function checked. Implementations must be
+// safe for concurrent use.
+type Tracer interface {
+	TraceFunc(FuncEvent)
+}
+
+// JSONLTracer writes one JSON object per line to an io.Writer. The first
+// write error is retained (see Err) and subsequent events are dropped, so a
+// failing sink cannot wedge the analysis.
+type JSONLTracer struct {
+	mu  sync.Mutex
+	w   io.Writer
+	err error
+}
+
+// NewJSONLTracer returns a tracer writing JSONL events to w.
+func NewJSONLTracer(w io.Writer) *JSONLTracer {
+	return &JSONLTracer{w: w}
+}
+
+// TraceFunc implements Tracer.
+func (t *JSONLTracer) TraceFunc(ev FuncEvent) {
+	b, err := json.Marshal(ev)
+	if err != nil {
+		return
+	}
+	b = append(b, '\n')
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
+	}
+	_, t.err = t.w.Write(b)
+}
+
+// Err returns the first write error encountered, if any.
+func (t *JSONLTracer) Err() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
