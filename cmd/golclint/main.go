@@ -12,6 +12,9 @@
 //	-lib file                  load an interface library before checking
 //	                           (modular re-checking of the given files)
 //	-cfg function              print the function's control-flow graph
+//	-jobs n                    number of concurrent checking workers
+//	                           (0 = GOMAXPROCS, 1 = serial; output is
+//	                           byte-identical at every worker count)
 //	-stats                     print summary statistics
 //	-stats-json file           write run metrics + message counts as JSON
 //	-trace file                write per-function JSONL trace events
@@ -80,6 +83,7 @@ func run(args []string) int {
 		cpuProfile  = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProfile  = fs.String("memprofile", "", "write a pprof heap profile to this file")
 		maxMsgs     = fs.Int("max", 0, "maximum number of messages (0 = unlimited)")
+		jobs        = fs.Int("jobs", 0, "concurrent checking workers (0 = GOMAXPROCS, 1 = serial)")
 		incDirs     multiFlag
 	)
 	fs.Var(&incDirs, "I", "include directory (repeatable)")
@@ -168,7 +172,7 @@ func run(args []string) int {
 		}()
 	}
 
-	opt := core.Options{Flags: fl, Includes: dirIncluder{dirs: dirs}, Metrics: metrics}
+	opt := core.Options{Flags: fl, Includes: dirIncluder{dirs: dirs}, Metrics: metrics, Jobs: *jobs}
 
 	var res *core.Result
 	if *loadLib != "" {
@@ -258,11 +262,16 @@ func run(args []string) int {
 // runStats is the -stats-json document. The schema field names the format
 // so downstream tooling can detect incompatible changes.
 type runStats struct {
-	Schema      string           `json:"schema"`
-	Files       []string         `json:"files"`
-	Flags       map[string]bool  `json:"flags"`
-	TotalNS     int64            `json:"total_ns"`
+	Schema  string          `json:"schema"`
+	Files   []string        `json:"files"`
+	Flags   map[string]bool `json:"flags"`
+	TotalNS int64           `json:"total_ns"`
+	// PhasesNS sum per-worker time (CPU-like totals under -jobs > 1);
+	// CheckWallNS is the wall-clock time of the cfg+check fan-out and Jobs
+	// the worker count, so wall-vs-CPU speedup is Phases(cfg+check)/wall.
 	PhasesNS    map[string]int64 `json:"phases_ns"`
+	CheckWallNS int64            `json:"check_wall_ns"`
+	Jobs        int              `json:"jobs"`
 	Counters    map[string]int64 `json:"counters"`
 	Messages    int              `json:"messages"`
 	Suppressed  int              `json:"suppressed"`
@@ -288,6 +297,8 @@ func writeStatsJSON(path string, files []string, fl *flags.Flags, m *obs.Metrics
 		Flags:       fl.Map(),
 		TotalNS:     snap.TotalNS,
 		PhasesNS:    snap.PhasesNS,
+		CheckWallNS: snap.CheckWallNS,
+		Jobs:        snap.Jobs,
 		Counters:    snap.Counters,
 		Messages:    len(res.Diags),
 		Suppressed:  res.Suppressed,

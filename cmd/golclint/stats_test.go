@@ -273,3 +273,51 @@ func TestProfiles(t *testing.T) {
 		}
 	}
 }
+
+// -jobs: the CLI output (diagnostic stream and exit code) is byte-identical
+// at every worker count, and the stats JSON records the jobs and
+// wall-vs-CPU split.
+func TestJobsFlagDeterministicOutput(t *testing.T) {
+	src := writeFixture(t)
+	outs := map[int]string{}
+	for _, jobs := range []int{1, 2, 8} {
+		jobs := jobs
+		outs[jobs] = capture(t, func() {
+			if code := run([]string{"-jobs", strconv.Itoa(jobs), src}); code != 1 {
+				t.Errorf("jobs=%d exit = %d, want 1", jobs, code)
+			}
+		})
+	}
+	if outs[1] == "" {
+		t.Fatal("no diagnostics; test is vacuous")
+	}
+	if outs[2] != outs[1] || outs[8] != outs[1] {
+		t.Fatalf("output differs across -jobs:\n--- 1 ---\n%s--- 2 ---\n%s--- 8 ---\n%s",
+			outs[1], outs[2], outs[8])
+	}
+}
+
+func TestStatsJSONJobsFields(t *testing.T) {
+	src := writeFixture(t)
+	jsonPath := filepath.Join(t.TempDir(), "stats.json")
+	if code := run([]string{"-jobs", "2", "-stats-json", jsonPath, src}); code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	b, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Jobs        int   `json:"jobs"`
+		CheckWallNS int64 `json:"check_wall_ns"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Jobs != 2 {
+		t.Errorf("jobs = %d, want 2", doc.Jobs)
+	}
+	if doc.CheckWallNS <= 0 {
+		t.Errorf("check_wall_ns = %d, want > 0", doc.CheckWallNS)
+	}
+}

@@ -4,17 +4,25 @@
 // full set.
 //
 // The perf experiments also emit machine-readable companions alongside the
-// prose tables — BENCH_scaling.json (E9) and BENCH_modular.json (E10) in
-// the current directory — each stamped with the experiment's elapsed time
-// and allocation totals so the numbers are diffable across changes.
+// prose tables — BENCH_scaling.json (E9), BENCH_modular.json (E10), and
+// BENCH_parallel.json (E15) in the current directory — each stamped with the
+// experiment's elapsed time and allocation totals (measured per benchmark
+// row, so alloc figures are attributable) so the numbers are diffable
+// across changes.
 //
 // Usage:
 //
-//	lclbench [samples|listaddh|ercdb|scaling|modular|economy|staticvsdynamic|nofixpoint|all]
+//	lclbench [-jobs n] [-quick] [samples|listaddh|ercdb|scaling|modular|economy|staticvsdynamic|nofixpoint|parallel|all]
+//
+//	-jobs n   highest worker count the parallel experiment sweeps to
+//	          (0 = GOMAXPROCS)
+//	-quick    run only the three BENCH-emitting experiments on small
+//	          corpora (the CI smoke mode)
 package main
 
 import (
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -77,6 +85,20 @@ func measure(schema, experiment string, f func()) benchMeta {
 	}
 }
 
+// measureRow runs one benchmark row, returning its wall-clock time and the
+// heap allocated during the call. Each row takes its own before/after
+// MemStats readings so alloc totals are attributable per row rather than
+// smeared across a whole experiment.
+func measureRow(f func()) (time.Duration, uint64) {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	f()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return elapsed, after.TotalAlloc - before.TotalAlloc
+}
+
 // writeBenchJSON writes v to outDir/name, reporting the path so runs are
 // self-describing.
 func writeBenchJSON(name string, v interface{}) {
@@ -105,12 +127,28 @@ var experiments = []struct {
 	{"economy", runEconomy},
 	{"staticvsdynamic", runStaticVsDynamic},
 	{"nofixpoint", runNoFixpoint},
+	{"parallel", runParallel},
 }
 
+// maxJobs is the highest worker count the parallel experiment sweeps to
+// (set by -jobs; 0 means GOMAXPROCS).
+var maxJobs = 0
+
 func main() {
+	fs := flag.NewFlagSet("lclbench", flag.ExitOnError)
+	jobs := fs.Int("jobs", 0, "highest worker count for the parallel experiment (0 = GOMAXPROCS)")
+	quick := fs.Bool("quick", false, "run the BENCH-emitting experiments on small corpora (CI smoke)")
+	_ = fs.Parse(os.Args[1:])
+	maxJobs = *jobs
+	if *quick {
+		runScalingSizes([]int{2, 4})
+		runModularModules(8)
+		runParallelConfig(8, 6, maxJobs)
+		return
+	}
 	cmd := "all"
-	if len(os.Args) > 1 {
-		cmd = os.Args[1]
+	if fs.NArg() > 0 {
+		cmd = fs.Arg(0)
 	}
 	if cmd == "all" {
 		for _, e := range experiments {
@@ -246,13 +284,16 @@ func runErcDB() {
 // scalingRow is one program size in BENCH_scaling.json. Phase durations and
 // counters come from the instrumented run (internal/obs).
 type scalingRow struct {
-	Lines     int              `json:"lines"`
-	Modules   int              `json:"modules"`
-	CheckMS   float64          `json:"check_ms"`
-	MSPerKLOC float64          `json:"ms_per_kloc"`
-	Messages  int              `json:"messages"`
-	PhasesNS  map[string]int64 `json:"phases_ns"`
-	Counters  map[string]int64 `json:"counters"`
+	Lines     int     `json:"lines"`
+	Modules   int     `json:"modules"`
+	CheckMS   float64 `json:"check_ms"`
+	MSPerKLOC float64 `json:"ms_per_kloc"`
+	Messages  int     `json:"messages"`
+	// AllocBytes is the heap allocated checking this row alone (per-row
+	// MemStats delta).
+	AllocBytes uint64           `json:"alloc_bytes"`
+	PhasesNS   map[string]int64 `json:"phases_ns"`
+	Counters   map[string]int64 `json:"counters"`
 }
 
 type scalingDoc struct {
@@ -275,9 +316,10 @@ func runScalingSizes(sizes []int) {
 				Bugs: map[testgen.BugKind]int{testgen.BugLeak: modules / 2},
 			})
 			m := obs.New()
-			start := time.Now()
-			res := core.CheckSources(p.Files, core.Options{Includes: cpp.MapIncluder(p.Headers), Metrics: m})
-			elapsed := time.Since(start)
+			var res *core.Result
+			elapsed, alloc := measureRow(func() {
+				res = core.CheckSources(p.Files, core.Options{Includes: cpp.MapIncluder(p.Headers), Metrics: m})
+			})
 			ms := float64(elapsed.Microseconds()) / 1000
 			fmt.Printf("%10d %8d %12.1f %12.2f %10d\n",
 				p.Lines, modules, ms, ms/(float64(p.Lines)/1000), len(res.Diags))
@@ -285,7 +327,8 @@ func runScalingSizes(sizes []int) {
 			rows = append(rows, scalingRow{
 				Lines: p.Lines, Modules: modules, CheckMS: ms,
 				MSPerKLOC: ms / (float64(p.Lines) / 1000), Messages: len(res.Diags),
-				PhasesNS: snap.PhasesNS, Counters: snap.Counters,
+				AllocBytes: alloc,
+				PhasesNS:   snap.PhasesNS, Counters: snap.Counters,
 			})
 		}
 	})
@@ -300,14 +343,18 @@ func runScalingSizes(sizes []int) {
 // modularDoc is BENCH_modular.json: whole-program vs one-module timings.
 type modularDoc struct {
 	benchMeta
-	WholeLines     int              `json:"whole_lines"`
-	WholeNS        int64            `json:"whole_ns"`
-	ModuleLines    int              `json:"module_lines"`
-	ModuleNS       int64            `json:"module_ns"`
-	Speedup        float64          `json:"speedup"`
-	LibraryEntries int              `json:"library_entries"`
-	ModulePhasesNS map[string]int64 `json:"module_phases_ns"`
-	ModuleCounters map[string]int64 `json:"module_counters"`
+	WholeLines int   `json:"whole_lines"`
+	WholeNS    int64 `json:"whole_ns"`
+	// WholeAllocBytes / ModuleAllocBytes are per-measurement MemStats
+	// deltas, so each figure is attributable to its own check.
+	WholeAllocBytes  uint64           `json:"whole_alloc_bytes"`
+	ModuleLines      int              `json:"module_lines"`
+	ModuleNS         int64            `json:"module_ns"`
+	ModuleAllocBytes uint64           `json:"module_alloc_bytes"`
+	Speedup          float64          `json:"speedup"`
+	LibraryEntries   int              `json:"library_entries"`
+	ModulePhasesNS   map[string]int64 `json:"module_phases_ns"`
+	ModuleCounters   map[string]int64 `json:"module_counters"`
 }
 
 func runModular() { runModularModules(64) }
@@ -321,16 +368,17 @@ func runModularModules(modules int) {
 		p := testgen.Generate(testgen.Config{
 			Seed: 43, Modules: modules, FuncsPer: 10, Annotate: true,
 		})
-		start := time.Now()
-		whole := core.CheckSources(p.Files, core.Options{Includes: cpp.MapIncluder(p.Headers)})
-		wholeTime := time.Since(start)
+		var whole *core.Result
+		wholeTime, wholeAlloc := measureRow(func() {
+			whole = core.CheckSources(p.Files, core.Options{Includes: cpp.MapIncluder(p.Headers)})
+		})
 
 		lib := library.Build(whole.Program)
 		mod := map[string]string{"mod0.c": p.Files["mod0.c"]}
 		m := obs.New()
-		start = time.Now()
-		library.CheckModule(mod, lib, core.Options{Includes: cpp.MapIncluder(p.Headers), Metrics: m})
-		modTime := time.Since(start)
+		modTime, modAlloc := measureRow(func() {
+			library.CheckModule(mod, lib, core.Options{Includes: cpp.MapIncluder(p.Headers), Metrics: m})
+		})
 
 		fmt.Printf("whole program (%d lines): %v\n", p.Lines, wholeTime)
 		fmt.Printf("one module with library (%d lines): %v\n",
@@ -340,11 +388,13 @@ func runModularModules(modules int) {
 		snap := m.Snapshot()
 		doc = modularDoc{
 			WholeLines: p.Lines, WholeNS: wholeTime.Nanoseconds(),
-			ModuleLines:    strings.Count(p.Files["mod0.c"], "\n"),
-			ModuleNS:       modTime.Nanoseconds(),
-			Speedup:        float64(wholeTime) / float64(modTime),
-			LibraryEntries: lib.EntryCount(),
-			ModulePhasesNS: snap.PhasesNS, ModuleCounters: snap.Counters,
+			WholeAllocBytes:  wholeAlloc,
+			ModuleLines:      strings.Count(p.Files["mod0.c"], "\n"),
+			ModuleNS:         modTime.Nanoseconds(),
+			ModuleAllocBytes: modAlloc,
+			Speedup:          float64(wholeTime) / float64(modTime),
+			LibraryEntries:   lib.EntryCount(),
+			ModulePhasesNS:   snap.PhasesNS, ModuleCounters: snap.Counters,
 		}
 	})
 	fmt.Println("paper shape: module re-check is an order of magnitude faster")
@@ -464,4 +514,107 @@ func runNoFixpoint() {
 			depth, nested, flat, float64(nested)/float64(flat))
 	}
 	fmt.Println("paper shape: an iterative fixpoint would be superlinear in depth; a single pass is not")
+}
+
+// ---------------------------------------------------------------------------
+// E15: parallel per-function checking. The paper's modularity argument (§7:
+// each function checked independently from interface annotations) means the
+// checking phase parallelizes; this experiment sweeps worker counts over
+// the largest E9 corpus and records the wall-vs-CPU split.
+
+// parallelRow is one worker count in BENCH_parallel.json.
+type parallelRow struct {
+	Jobs int `json:"jobs"`
+	// WallMS is the end-to-end run time (includes the serial preprocess/
+	// parse/sema front end); CheckWallMS is the cfg+check fan-out alone,
+	// and CheckCPUMS the per-worker sum over the same region.
+	WallMS      float64 `json:"wall_ms"`
+	CheckWallMS float64 `json:"check_wall_ms"`
+	CheckCPUMS  float64 `json:"check_cpu_ms"`
+	// Speedup and CheckSpeedup are against the jobs=1 row (wall and
+	// check-phase wall respectively).
+	Speedup      float64 `json:"speedup"`
+	CheckSpeedup float64 `json:"check_speedup"`
+	AllocBytes   uint64  `json:"alloc_bytes"`
+	Messages     int     `json:"messages"`
+}
+
+type parallelDoc struct {
+	benchMeta
+	Lines     int           `json:"lines"`
+	Modules   int           `json:"modules"`
+	Functions int64         `json:"functions"`
+	MaxJobs   int           `json:"max_jobs"`
+	Rows      []parallelRow `json:"rows"`
+}
+
+func runParallel() { runParallelConfig(128, 10, maxJobs) }
+
+// runParallelConfig is runParallel over a configurable corpus (modules ×
+// funcsPer, matching E9's largest configuration by default) and worker
+// ceiling (0 = GOMAXPROCS). Worker counts sweep powers of two up to the
+// ceiling, always including the ceiling itself.
+func runParallelConfig(modules, funcsPer, ceiling int) {
+	header("E15 (Section 7)", "parallel per-function checking: wall-clock vs workers")
+	if ceiling <= 0 {
+		ceiling = runtime.GOMAXPROCS(0)
+		// Always sweep at least to 4 workers so the jobs=4 row exists for
+		// cross-machine comparison; on fewer cores it shows (honestly) that
+		// speedup is core-bound.
+		if ceiling < 4 {
+			ceiling = 4
+		}
+	}
+	var sweep []int
+	for j := 1; j < ceiling; j *= 2 {
+		sweep = append(sweep, j)
+	}
+	sweep = append(sweep, ceiling)
+
+	p := testgen.Generate(testgen.Config{
+		Seed: 42, Modules: modules, FuncsPer: funcsPer, Annotate: true,
+		Bugs: map[testgen.BugKind]int{testgen.BugLeak: modules / 2},
+	})
+	fmt.Printf("corpus: %d lines, %d modules\n", p.Lines, modules)
+	fmt.Printf("%6s %10s %14s %14s %9s %9s %10s\n",
+		"jobs", "wall(ms)", "check.wall(ms)", "check.cpu(ms)", "speedup", "chk.spd", "messages")
+
+	var rows []parallelRow
+	var funcs int64
+	var doc parallelDoc
+	meta := measure("golclint-bench-parallel/v1", "E15", func() {
+		var baseWall, baseCheckWall float64
+		for _, jobs := range sweep {
+			m := obs.New()
+			var res *core.Result
+			elapsed, alloc := measureRow(func() {
+				res = core.CheckSources(p.Files, core.Options{
+					Includes: cpp.MapIncluder(p.Headers), Metrics: m, Jobs: jobs,
+				})
+			})
+			snap := m.Snapshot()
+			wallMS := float64(elapsed.Microseconds()) / 1000
+			checkWallMS := float64(snap.CheckWallNS) / 1e6
+			checkCPUMS := float64(snap.PhasesNS["cfg"]+snap.PhasesNS["check"]) / 1e6
+			if jobs == 1 {
+				baseWall, baseCheckWall = wallMS, checkWallMS
+			}
+			row := parallelRow{
+				Jobs: jobs, WallMS: wallMS, CheckWallMS: checkWallMS,
+				CheckCPUMS: checkCPUMS,
+				Speedup:    baseWall / wallMS, CheckSpeedup: baseCheckWall / checkWallMS,
+				AllocBytes: alloc, Messages: len(res.Diags),
+			}
+			funcs = snap.Counters["functions_checked"]
+			fmt.Printf("%6d %10.1f %14.1f %14.1f %8.2fx %8.2fx %10d\n",
+				jobs, wallMS, checkWallMS, checkCPUMS, row.Speedup, row.CheckSpeedup, row.Messages)
+			rows = append(rows, row)
+		}
+	})
+	fmt.Println("paper shape: per-function independence turns modularity into wall-clock speedup")
+	doc = parallelDoc{
+		benchMeta: meta, Lines: p.Lines, Modules: modules,
+		Functions: funcs, MaxJobs: ceiling, Rows: rows,
+	}
+	writeBenchJSON("BENCH_parallel.json", doc)
 }

@@ -15,7 +15,7 @@ func TestExperimentsRun(t *testing.T) {
 		t.Skip("experiment drivers are slow")
 	}
 	for _, e := range experiments {
-		if e.name == "scaling" || e.name == "modular" || e.name == "economy" {
+		if e.name == "scaling" || e.name == "modular" || e.name == "economy" || e.name == "parallel" {
 			continue // minutes-scale corpora; exercised by benchmarks
 		}
 		e := e
@@ -56,6 +56,9 @@ func TestBenchJSONEmission(t *testing.T) {
 		if r.Counters["functions_checked"] <= 0 || r.PhasesNS["check"] < 0 {
 			t.Errorf("row metrics missing: %+v", r)
 		}
+		if r.AllocBytes == 0 {
+			t.Errorf("row alloc_bytes missing: %+v", r)
+		}
 	}
 	if sd.Rows[1].Lines <= sd.Rows[0].Lines {
 		t.Errorf("rows not increasing in size: %d then %d", sd.Rows[0].Lines, sd.Rows[1].Lines)
@@ -79,5 +82,59 @@ func TestBenchJSONEmission(t *testing.T) {
 	if md.ModuleCounters["library_entries_loaded"] != int64(md.LibraryEntries) {
 		t.Errorf("library_entries_loaded = %d, want %d",
 			md.ModuleCounters["library_entries_loaded"], md.LibraryEntries)
+	}
+	if md.WholeAllocBytes == 0 || md.ModuleAllocBytes == 0 {
+		t.Errorf("modular alloc stamps missing: whole=%d module=%d",
+			md.WholeAllocBytes, md.ModuleAllocBytes)
+	}
+}
+
+// The parallel-speedup experiment (E15) emits a valid BENCH_parallel.json:
+// a jobs sweep whose rows are populated, whose message counts agree across
+// worker counts (the determinism contract restated as data), and whose
+// jobs column is the expected power-of-two ladder. Speedup magnitudes are
+// NOT asserted — they depend on the host's core count (a 1-CPU machine
+// legitimately measures ~1x).
+func TestBenchParallelJSONEmission(t *testing.T) {
+	old := outDir
+	outDir = t.TempDir()
+	defer func() { outDir = old }()
+
+	runParallelConfig(8, 6, 4)
+	b, err := os.ReadFile(filepath.Join(outDir, "BENCH_parallel.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pd parallelDoc
+	if err := json.Unmarshal(b, &pd); err != nil {
+		t.Fatalf("BENCH_parallel.json invalid: %v", err)
+	}
+	if pd.Schema != "golclint-bench-parallel/v1" || pd.Experiment != "E15" {
+		t.Errorf("meta = %q %q", pd.Schema, pd.Experiment)
+	}
+	if pd.Lines <= 0 || pd.Modules != 8 || pd.Functions <= 0 || pd.MaxJobs != 4 {
+		t.Errorf("corpus stamps missing: %+v", pd)
+	}
+	wantJobs := []int{1, 2, 4}
+	if len(pd.Rows) != len(wantJobs) {
+		t.Fatalf("rows = %d, want %d", len(pd.Rows), len(wantJobs))
+	}
+	for i, r := range pd.Rows {
+		if r.Jobs != wantJobs[i] {
+			t.Errorf("row %d jobs = %d, want %d", i, r.Jobs, wantJobs[i])
+		}
+		if r.WallMS <= 0 || r.CheckWallMS <= 0 || r.CheckCPUMS <= 0 || r.AllocBytes == 0 {
+			t.Errorf("row %d not populated: %+v", i, r)
+		}
+		if r.Speedup <= 0 || r.CheckSpeedup <= 0 {
+			t.Errorf("row %d speedups missing: %+v", i, r)
+		}
+		if r.Messages != pd.Rows[0].Messages {
+			t.Errorf("row %d messages = %d, differs from jobs=1 row's %d (determinism broken)",
+				i, r.Messages, pd.Rows[0].Messages)
+		}
+	}
+	if pd.Rows[0].Messages == 0 {
+		t.Error("corpus produced no messages; sweep is vacuous")
 	}
 }

@@ -30,6 +30,12 @@ type Options struct {
 	// trace events when non-nil. A nil Metrics disables instrumentation;
 	// hooks then cost one pointer test (see internal/obs).
 	Metrics *obs.Metrics
+	// Jobs bounds the number of concurrent function-checking workers:
+	// 0 means runtime.GOMAXPROCS(0), 1 forces serial checking. Function
+	// bodies are analyzed independently (the paper's modularity argument,
+	// §7) and diagnostics merge back in a deterministic order, so output is
+	// byte-identical at every worker count.
+	Jobs int
 }
 
 // Result is the outcome of a checking run.
@@ -166,7 +172,7 @@ func CheckSources(files map[string]string, opt Options) *Result {
 		}
 	}
 	stopSema()
-	checkProgram(prog, fl, rep, m)
+	checkProgram(prog, fl, rep, m, opt.Jobs)
 
 	res.Diags = rep.Diags()
 	res.Suppressed = rep.Suppressed()

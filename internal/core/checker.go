@@ -1,8 +1,10 @@
 package core
 
 import (
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"golclint/internal/annot"
@@ -47,15 +49,92 @@ type checker struct {
 // CheckProgram checks every function definition in the program, filing
 // diagnostics with the reporter.
 func CheckProgram(prog *sema.Program, fl *flags.Flags, rep *diag.Reporter) {
-	checkProgram(prog, fl, rep, nil)
+	checkProgram(prog, fl, rep, nil, 1)
 }
 
-// checkProgram is CheckProgram with instrumentation (m may be nil).
-func checkProgram(prog *sema.Program, fl *flags.Flags, rep *diag.Reporter, m *obs.Metrics) {
-	c := &checker{prog: prog, fl: fl, rep: rep, m: m, unknown: map[string]bool{}}
+// checkProgram fans the program's function definitions out to jobs
+// concurrent workers (0 = GOMAXPROCS, 1 = in-line serial). Each function is
+// checked independently against the read-only environment — its own checker,
+// store, and diagnostic buffer — which is exactly the modularity the paper's
+// annotation-based interfaces buy (§7): no state flows between function
+// bodies, so they can be analyzed in any order, including at once.
+// Diagnostics are replayed into rep in serial function order, so output is
+// byte-identical at every worker count.
+func checkProgram(prog *sema.Program, fl *flags.Flags, rep *diag.Reporter, m *obs.Metrics, jobs int) {
+	var fns []*cast.FuncDef
 	for _, u := range prog.Units {
-		for _, f := range u.Funcs() {
-			c.checkFunctionTimed(f)
+		fns = append(fns, u.Funcs()...)
+	}
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if jobs > len(fns) {
+		jobs = len(fns)
+	}
+	m.SetJobs(jobs)
+	stopWall := m.StartCheckWall()
+	// results[i] is function i's ordered diagnostic buffer; workers write
+	// disjoint slots, so no lock is needed.
+	results := make([][]*diag.Diagnostic, len(fns))
+	if jobs <= 1 {
+		for i, f := range fns {
+			results[i] = checkFunctionUnit(prog, fl, m, f)
+		}
+	} else {
+		work := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < jobs; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range work {
+					results[i] = checkFunctionUnit(prog, fl, m, fns[i])
+				}
+			}()
+		}
+		for i := range fns {
+			work <- i
+		}
+		close(work)
+		wg.Wait()
+	}
+	stopWall()
+	mergeDiags(rep, results)
+}
+
+// checkFunctionUnit is the pure per-function checking unit: it analyzes one
+// function body with a private checker and diagnostic buffer, touching the
+// program environment only through reads. Suppression, message caps, and
+// cross-function deduplication are deliberately NOT applied here — the
+// buffer records everything in report order and mergeDiags replays it
+// through the run's reporter, which applies them in serial order.
+func checkFunctionUnit(prog *sema.Program, fl *flags.Flags, m *obs.Metrics, f *cast.FuncDef) []*diag.Diagnostic {
+	buf := diag.NewReporter(0)
+	c := &checker{prog: prog, fl: fl, rep: buf, m: m, unknown: map[string]bool{}}
+	c.checkFunctionTimed(f)
+	return buf.Buffered()
+}
+
+// mergeDiags replays per-function diagnostic buffers into the run's
+// reporter in serial function order. The reporter applies stylized-comment
+// suppression, local flag toggles, and the message bound exactly as a
+// serial run would; unknown-identifier messages additionally deduplicate
+// across functions (one report per name per run), keyed on the rendered
+// message so the first function in serial order wins.
+func mergeDiags(rep *diag.Reporter, results [][]*diag.Diagnostic) {
+	seenUnknown := map[string]bool{}
+	for _, ds := range results {
+		for _, d := range ds {
+			if d.Code == diag.UnknownName {
+				if seenUnknown[d.Msg] {
+					continue
+				}
+				seenUnknown[d.Msg] = true
+			}
+			nd := rep.Report(d.Code, d.Pos, "%s", d.Msg)
+			for _, n := range d.Notes {
+				nd.WithNote(n.Pos, "%s", n.Msg)
+			}
 		}
 	}
 }

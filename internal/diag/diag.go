@@ -312,17 +312,41 @@ func (r *Reporter) Report(code Code, pos ctoken.Pos, format string, args ...inte
 	return d
 }
 
+// Compare orders diagnostics by the stable sort key (file, line, column,
+// code, message). It is the single ordering used everywhere diagnostics are
+// sorted or merged, so serial and parallel runs render byte-identical
+// output.
+func Compare(a, b *Diagnostic) int {
+	if a.Pos != b.Pos {
+		if a.Pos.Before(b.Pos) {
+			return -1
+		}
+		return 1
+	}
+	if a.Code != b.Code {
+		if a.Code < b.Code {
+			return -1
+		}
+		return 1
+	}
+	return strings.Compare(a.Msg, b.Msg)
+}
+
+// Sort stably sorts diagnostics by the Compare key.
+func Sort(ds []*Diagnostic) {
+	sort.SliceStable(ds, func(i, j int) bool { return Compare(ds[i], ds[j]) < 0 })
+}
+
 // Diags returns the retained diagnostics sorted by position then code.
 func (r *Reporter) Diags() []*Diagnostic {
-	sort.SliceStable(r.diags, func(i, j int) bool {
-		a, b := r.diags[i], r.diags[j]
-		if a.Pos != b.Pos {
-			return a.Pos.Before(b.Pos)
-		}
-		return a.Code < b.Code
-	})
+	Sort(r.diags)
 	return r.diags
 }
+
+// Buffered returns the retained diagnostics in report (arrival) order,
+// without sorting. The parallel checking engine uses per-worker reporters
+// as ordered buffers and replays them into the run's main reporter.
+func (r *Reporter) Buffered() []*Diagnostic { return r.diags }
 
 // Len returns the number of retained diagnostics.
 func (r *Reporter) Len() int { return len(r.diags) }

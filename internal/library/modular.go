@@ -1,6 +1,10 @@
 package library
 
 import (
+	"runtime"
+	"sort"
+	"sync"
+
 	"golclint/internal/core"
 	"golclint/internal/obs"
 	"golclint/internal/sema"
@@ -18,4 +22,58 @@ func CheckModule(files map[string]string, lib *Library, opt core.Options) *core.
 		return lib.Install(prog)
 	}
 	return core.CheckSources(files, opt)
+}
+
+// CheckModules re-checks several modules against one shared interface
+// library, fanning the modules out to opt.Jobs concurrent workers (0 =
+// GOMAXPROCS). Each module gets its own program environment; the library is
+// read-only during Install, so a single Library safely serves every worker.
+// Results are keyed by module name, and modules are dispatched in sorted
+// name order, so the aggregate outcome is deterministic.
+//
+// Note the two levels of parallelism compose: each per-module CheckSources
+// call also fans its functions out per opt.Jobs. Callers checking many
+// small modules may prefer to leave opt.Jobs at 1 inside modules by
+// setting it before the call; the default (0) is a reasonable blend.
+func CheckModules(modules map[string]map[string]string, lib *Library, opt core.Options) map[string]*core.Result {
+	names := make([]string, 0, len(modules))
+	for n := range modules {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	jobs := opt.Jobs
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if jobs > len(names) {
+		jobs = len(names)
+	}
+	results := make([]*core.Result, len(names))
+	if jobs <= 1 {
+		for i, n := range names {
+			results[i] = CheckModule(modules[n], lib, opt)
+		}
+	} else {
+		work := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < jobs; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range work {
+					results[i] = CheckModule(modules[names[i]], lib, opt)
+				}
+			}()
+		}
+		for i := range names {
+			work <- i
+		}
+		close(work)
+		wg.Wait()
+	}
+	out := make(map[string]*core.Result, len(names))
+	for i, n := range names {
+		out[n] = results[i]
+	}
+	return out
 }

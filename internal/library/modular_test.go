@@ -1,0 +1,94 @@
+package library
+
+// Tests for module-level parallel re-checking: many modules checked
+// concurrently against one shared, read-only interface library.
+
+import (
+	"sync"
+	"testing"
+
+	"golclint/internal/core"
+	"golclint/internal/cpp"
+	"golclint/internal/obs"
+	"golclint/internal/testgen"
+)
+
+// buildCorpus generates a multi-module program, whole-program-checks it to
+// get the environment, and returns the per-module source sets plus the
+// interface library built from the whole program.
+func buildCorpus(t *testing.T, modules int) (map[string]map[string]string, *Library, *testgen.Program) {
+	t.Helper()
+	p := testgen.Generate(testgen.Config{
+		Seed: 600, Modules: modules, FuncsPer: 4, Annotate: true,
+		Bugs: map[testgen.BugKind]int{testgen.BugLeak: modules},
+	})
+	whole := core.CheckSources(p.Files, core.Options{Includes: cpp.MapIncluder(p.Headers)})
+	if len(whole.ParseErrors) > 0 || len(whole.SemaErrors) > 0 {
+		t.Fatalf("frontend errors: %v %v", whole.ParseErrors, whole.SemaErrors)
+	}
+	lib := Build(whole.Program)
+	mods := map[string]map[string]string{}
+	for name, src := range p.Files {
+		mods[name] = map[string]string{name: src}
+	}
+	return mods, lib, p
+}
+
+// CheckModules produces the same per-module diagnostics at every worker
+// count, and the same messages as checking each module alone.
+func TestCheckModulesDeterministic(t *testing.T) {
+	mods, lib, p := buildCorpus(t, 6)
+	opt := core.Options{Includes: cpp.MapIncluder(p.Headers)}
+
+	render := func(results map[string]*core.Result) map[string]string {
+		out := map[string]string{}
+		for name, res := range results {
+			out[name] = res.Messages()
+		}
+		return out
+	}
+	optSerial := opt
+	optSerial.Jobs = 1
+	serial := render(CheckModules(mods, lib, optSerial))
+	optPar := opt
+	optPar.Jobs = 8
+	parallel := render(CheckModules(mods, lib, optPar))
+
+	if len(serial) != len(mods) {
+		t.Fatalf("results for %d modules, want %d", len(serial), len(mods))
+	}
+	for name := range mods {
+		if serial[name] != parallel[name] {
+			t.Errorf("module %s differs:\n--- serial ---\n%s--- parallel ---\n%s",
+				name, serial[name], parallel[name])
+		}
+		single := CheckModule(mods[name], lib, optSerial)
+		if single.Messages() != serial[name] {
+			t.Errorf("module %s: CheckModules differs from CheckModule:\n%s\nvs\n%s",
+				name, serial[name], single.Messages())
+		}
+	}
+}
+
+// One Library serving many concurrent module checks (with per-module
+// function fan-out on top) is race-free: Install only reads the library,
+// and each module gets its own program environment. Run under -race.
+func TestSharedLibraryConcurrentRace(t *testing.T) {
+	mods, lib, p := buildCorpus(t, 4)
+	m := obs.New()
+	opt := core.Options{Includes: cpp.MapIncluder(p.Headers), Metrics: m, Jobs: 4}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			CheckModules(mods, lib, opt)
+		}()
+	}
+	wg.Wait()
+	// 4 concurrent sweeps, each loading the library once per module.
+	want := int64(4 * len(mods) * lib.EntryCount())
+	if got := m.Get(obs.LibraryEntriesLoaded); got != want {
+		t.Errorf("library_entries_loaded = %d, want %d", got, want)
+	}
+}

@@ -97,7 +97,13 @@ type Metrics struct {
 	phases   [NumPhases]int64   // nanoseconds, atomic
 	counters [NumCounters]int64 // atomic
 	totalNS  int64              // atomic
-	tracer   Tracer
+	// checkWallNS is the wall-clock time of the CFG+check fan-out region.
+	// Under parallel checking the per-phase cfg/check durations sum each
+	// worker's time (CPU-like totals), so wall and CPU diverge; their ratio
+	// is the effective parallel speedup of the checking phase.
+	checkWallNS int64 // atomic
+	jobs        int64 // atomic; worker count of the most recent run
+	tracer      Tracer
 }
 
 // New returns an empty Metrics.
@@ -161,6 +167,51 @@ func (m *Metrics) StartPhase(p Phase) (stop func()) {
 	return func() { m.AddPhase(p, time.Since(start)) }
 }
 
+// AddCheckWall adds d to the wall-clock duration of the checking fan-out
+// (the region covering CFG construction and the dataflow pass across all
+// workers). Compare with PhaseDuration(PhaseCFG)+PhaseDuration(PhaseCheck),
+// which sum per-worker time.
+func (m *Metrics) AddCheckWall(d time.Duration) {
+	if m == nil {
+		return
+	}
+	atomic.AddInt64(&m.checkWallNS, int64(d))
+}
+
+// CheckWall returns the accumulated wall-clock checking duration.
+func (m *Metrics) CheckWall() time.Duration {
+	if m == nil {
+		return 0
+	}
+	return time.Duration(atomic.LoadInt64(&m.checkWallNS))
+}
+
+// StartCheckWall begins timing the checking fan-out; the returned stop
+// function adds the elapsed wall-clock time.
+func (m *Metrics) StartCheckWall() (stop func()) {
+	if m == nil {
+		return noopStop
+	}
+	start := time.Now()
+	return func() { m.AddCheckWall(time.Since(start)) }
+}
+
+// SetJobs records the worker count used by the checking fan-out.
+func (m *Metrics) SetJobs(n int) {
+	if m == nil {
+		return
+	}
+	atomic.StoreInt64(&m.jobs, int64(n))
+}
+
+// Jobs returns the recorded worker count (0 if never set).
+func (m *Metrics) Jobs() int {
+	if m == nil {
+		return 0
+	}
+	return int(atomic.LoadInt64(&m.jobs))
+}
+
 // AddTotal adds d to the end-to-end wall-clock total.
 func (m *Metrics) AddTotal(d time.Duration) {
 	if m == nil {
@@ -189,9 +240,14 @@ func (m *Metrics) TraceFunc(ev FuncEvent) {
 // Phase and counter names are the stable String() spellings, so consumers
 // can diff snapshots across runs and versions.
 type Snapshot struct {
-	TotalNS  int64            `json:"total_ns"`
-	PhasesNS map[string]int64 `json:"phases_ns"`
-	Counters map[string]int64 `json:"counters"`
+	TotalNS int64 `json:"total_ns"`
+	// PhasesNS sum per-worker time for cfg/check (CPU-like totals under
+	// parallel checking); CheckWallNS is the wall-clock time of the same
+	// fan-out region, and Jobs the worker count that produced it.
+	PhasesNS    map[string]int64 `json:"phases_ns"`
+	CheckWallNS int64            `json:"check_wall_ns"`
+	Jobs        int              `json:"jobs"`
+	Counters    map[string]int64 `json:"counters"`
 }
 
 // Snapshot captures the current state. On a nil Metrics it returns a zero
@@ -208,5 +264,7 @@ func (m *Metrics) Snapshot() Snapshot {
 		s.Counters[c.String()] = m.Get(c)
 	}
 	s.TotalNS = int64(m.Total())
+	s.CheckWallNS = int64(m.CheckWall())
+	s.Jobs = m.Jobs()
 	return s
 }

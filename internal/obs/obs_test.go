@@ -180,3 +180,60 @@ func TestJSONLTracerRetainsFirstError(t *testing.T) {
 		t.Fatalf("unexpected error: %v", tr.Err())
 	}
 }
+
+// The check-wall clock and jobs gauge: nil-safe, atomic, and visible in
+// snapshots (the wall-vs-CPU split the parallel engine reports).
+func TestCheckWallAndJobs(t *testing.T) {
+	var nilM *Metrics
+	nilM.AddCheckWall(time.Second) // no-op, no panic
+	nilM.SetJobs(4)
+	nilM.StartCheckWall()()
+	if nilM.CheckWall() != 0 || nilM.Jobs() != 0 {
+		t.Fatal("nil metrics not zero")
+	}
+
+	m := New()
+	m.AddCheckWall(3 * time.Millisecond)
+	m.AddCheckWall(2 * time.Millisecond)
+	if got := m.CheckWall(); got != 5*time.Millisecond {
+		t.Fatalf("check wall = %v, want 5ms", got)
+	}
+	m.SetJobs(8)
+	if m.Jobs() != 8 {
+		t.Fatalf("jobs = %d", m.Jobs())
+	}
+	stop := m.StartCheckWall()
+	stop()
+	if m.CheckWall() < 5*time.Millisecond {
+		t.Fatal("StartCheckWall lost accumulated time")
+	}
+	snap := m.Snapshot()
+	if snap.CheckWallNS < int64(5*time.Millisecond) || snap.Jobs != 8 {
+		t.Fatalf("snapshot: check_wall_ns=%d jobs=%d", snap.CheckWallNS, snap.Jobs)
+	}
+}
+
+// Concurrent workers hammering the wall clock alongside phase timers and
+// counters (run under -race).
+func TestConcurrentCheckWall(t *testing.T) {
+	m := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				m.AddCheckWall(time.Microsecond)
+				m.AddPhase(PhaseCheck, time.Microsecond)
+				m.Add(FunctionsChecked, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.CheckWall(); got != 1600*time.Microsecond {
+		t.Fatalf("check wall = %v, want 1.6ms", got)
+	}
+	if got := m.Get(FunctionsChecked); got != 1600 {
+		t.Fatalf("functions = %d, want 1600", got)
+	}
+}

@@ -51,6 +51,24 @@ type SeededBug struct {
 	Kind BugKind
 	File string
 	Func string
+	// Line is where the checker is expected to report the anomaly (the
+	// bug template's manifestation line: the leaking return, the second
+	// free, the unchecked dereference, ...).
+	Line int
+}
+
+// anomalyLineOffset is, per bug kind, the line distance from the
+// "/* seeded: ... */" comment opening the bug template to the statement
+// where the anomaly manifests. The recall/precision harness
+// (recall_test.go) asserts the checker reports exactly there, so template
+// edits that move the anomaly must update this table.
+var anomalyLineOffset = map[BugKind]int{
+	BugLeak:         11, // return n + p[0];   (p leaks at return)
+	BugCondLeak:     13, // return n;          (the uncovered-path leak)
+	BugUseAfterFree: 12, // return *p;
+	BugDoubleFree:   12, // second free (p);
+	BugNullDeref:    6,  // *p = n;            (unchecked malloc result)
+	BugUninit:       9,  // return v;
 }
 
 // Config parameterizes generation.
@@ -229,10 +247,14 @@ func (g *generator) emitModule(m int, plants []plant) {
 
 	// Planted bugs.
 	for _, p := range plants {
+		// The template's first line (the "/* seeded */" comment) lands one
+		// past the lines already emitted; the anomaly is a fixed offset in.
+		commentLine := strings.Count(c.String(), "\n") + 1
 		g.emitBug(&h, &c, m, p.idx, p.kind, rec)
 		g.prog.Bugs = append(g.prog.Bugs, SeededBug{
 			Kind: p.kind, File: fmt.Sprintf("mod%d.c", m),
 			Func: fmt.Sprintf("bug_%d", p.idx),
+			Line: commentLine + anomalyLineOffset[p.kind],
 		})
 	}
 
