@@ -12,6 +12,8 @@
 //	-lib file                  load an interface library before checking
 //	                           (modular re-checking of the given files)
 //	-cfg function              print the function's control-flow graph
+//	-cache-dir dir             persist analysis results under dir and
+//	                           replay them for unchanged inputs
 //	-jobs n                    number of concurrent checking workers
 //	                           (0 = GOMAXPROCS, 1 = serial; output is
 //	                           byte-identical at every worker count)
@@ -23,292 +25,23 @@
 //	-max n                     cap the number of reported messages
 //
 // Exit status is 1 when anomalies were reported, 2 on usage or I/O errors.
+//
+// The implementation lives in internal/cli so tests (and the golden-corpus
+// runner) can invoke the same code path in-process.
 package main
 
 import (
-	"encoding/json"
-	"flag"
-	"fmt"
 	"os"
-	"path/filepath"
-	"runtime"
-	"runtime/pprof"
-	"sort"
-	"strings"
 
-	"golclint/internal/cfg"
-	"golclint/internal/core"
-	"golclint/internal/diag"
-	"golclint/internal/flags"
-	"golclint/internal/library"
-	"golclint/internal/obs"
+	"golclint/internal/cli"
 )
-
-// dirIncluder resolves #include files against a list of directories.
-type dirIncluder struct {
-	dirs []string
-}
-
-// Include implements cpp.Includer.
-func (d dirIncluder) Include(name string) (string, error) {
-	for _, dir := range d.dirs {
-		b, err := os.ReadFile(filepath.Join(dir, name))
-		if err == nil {
-			return string(b), nil
-		}
-	}
-	return "", fmt.Errorf("include file %q not found", name)
-}
-
-// multiFlag collects repeated -I options.
-type multiFlag []string
-
-func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
-func (m *multiFlag) Set(s string) error { *m = append(*m, s); return nil }
 
 func main() {
 	os.Exit(run(os.Args[1:]))
 }
 
+// run reads os.Stdout/os.Stderr at call time so tests that redirect them
+// before calling still capture the output.
 func run(args []string) int {
-	fs := flag.NewFlagSet("golclint", flag.ContinueOnError)
-	var (
-		flagToggles = fs.String("flags", "", "space-separated checker flag toggles (+name / -name)")
-		dumpLib     = fs.String("dump-lib", "", "write an interface library to this file")
-		loadLib     = fs.String("lib", "", "load an interface library from this file")
-		showCFG     = fs.String("cfg", "", "print the named function's control-flow graph")
-		stats       = fs.Bool("stats", false, "print summary statistics")
-		statsJSON   = fs.String("stats-json", "", "write run metrics and message counts as JSON to this file")
-		tracePath   = fs.String("trace", "", "write per-function trace events (JSONL) to this file")
-		cpuProfile  = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
-		memProfile  = fs.String("memprofile", "", "write a pprof heap profile to this file")
-		maxMsgs     = fs.Int("max", 0, "maximum number of messages (0 = unlimited)")
-		jobs        = fs.Int("jobs", 0, "concurrent checking workers (0 = GOMAXPROCS, 1 = serial)")
-		incDirs     multiFlag
-	)
-	fs.Var(&incDirs, "I", "include directory (repeatable)")
-	if err := fs.Parse(args); err != nil {
-		return 2
-	}
-	if fs.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "golclint: no input files")
-		fs.Usage()
-		return 2
-	}
-
-	fl := flags.Default()
-	fl.MaxMessages = *maxMsgs
-	for _, tog := range strings.Fields(*flagToggles) {
-		if err := fl.Set(tog); err != nil {
-			fmt.Fprintf(os.Stderr, "golclint: %v\n", err)
-			return 2
-		}
-	}
-
-	files := map[string]string{}
-	dirSet := map[string]bool{}
-	for _, path := range fs.Args() {
-		b, err := os.ReadFile(path)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "golclint: %v\n", err)
-			return 2
-		}
-		files[filepath.Base(path)] = string(b)
-		dirSet[filepath.Dir(path)] = true
-	}
-	for _, d := range incDirs {
-		dirSet[d] = true
-	}
-	var dirs []string
-	for d := range dirSet {
-		dirs = append(dirs, d)
-	}
-
-	var metrics *obs.Metrics
-	if *stats || *statsJSON != "" || *tracePath != "" {
-		metrics = obs.New()
-	}
-	if *tracePath != "" {
-		tf, err := os.Create(*tracePath)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "golclint: %v\n", err)
-			return 2
-		}
-		defer tf.Close()
-		tracer := obs.NewJSONLTracer(tf)
-		metrics.SetTracer(tracer)
-		defer func() {
-			if err := tracer.Err(); err != nil {
-				fmt.Fprintf(os.Stderr, "golclint: trace: %v\n", err)
-			}
-		}()
-	}
-	if *cpuProfile != "" {
-		pf, err := os.Create(*cpuProfile)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "golclint: %v\n", err)
-			return 2
-		}
-		defer pf.Close()
-		if err := pprof.StartCPUProfile(pf); err != nil {
-			fmt.Fprintf(os.Stderr, "golclint: %v\n", err)
-			return 2
-		}
-		defer pprof.StopCPUProfile()
-	}
-	if *memProfile != "" {
-		mp := *memProfile
-		defer func() {
-			mf, err := os.Create(mp)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "golclint: %v\n", err)
-				return
-			}
-			defer mf.Close()
-			runtime.GC() // settle the heap so the profile reflects live objects
-			if err := pprof.WriteHeapProfile(mf); err != nil {
-				fmt.Fprintf(os.Stderr, "golclint: %v\n", err)
-			}
-		}()
-	}
-
-	opt := core.Options{Flags: fl, Includes: dirIncluder{dirs: dirs}, Metrics: metrics, Jobs: *jobs}
-
-	var res *core.Result
-	if *loadLib != "" {
-		f, err := os.Open(*loadLib)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "golclint: %v\n", err)
-			return 2
-		}
-		lib, err := library.Decode(f)
-		f.Close()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "golclint: %v\n", err)
-			return 2
-		}
-		res = library.CheckModule(files, lib, opt)
-	} else {
-		res = core.CheckSources(files, opt)
-	}
-
-	for _, e := range res.ParseErrors {
-		fmt.Fprintf(os.Stderr, "%v\n", e)
-	}
-	for _, e := range res.SemaErrors {
-		fmt.Fprintf(os.Stderr, "%v\n", e)
-	}
-	fmt.Print(res.Messages())
-
-	if *showCFG != "" {
-		printed := false
-		for _, u := range res.Units {
-			for _, f := range u.Funcs() {
-				if f.Name == *showCFG {
-					fmt.Print(cfg.Build(f).Dump())
-					printed = true
-				}
-			}
-		}
-		if !printed {
-			fmt.Fprintf(os.Stderr, "golclint: function %q not found\n", *showCFG)
-		}
-	}
-
-	if *dumpLib != "" && res.Program != nil {
-		lib := library.Build(res.Program)
-		f, err := os.Create(*dumpLib)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "golclint: %v\n", err)
-			return 2
-		}
-		if err := lib.Encode(f); err != nil {
-			f.Close()
-			fmt.Fprintf(os.Stderr, "golclint: %v\n", err)
-			return 2
-		}
-		f.Close()
-		if *stats {
-			fmt.Printf("interface library: %s\n", lib.Stats())
-		}
-	}
-
-	if *stats {
-		counts := res.CountByCode()
-		keys := make([]diag.Code, 0, len(counts))
-		for c := range counts {
-			keys = append(keys, c)
-		}
-		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-		fmt.Printf("%d message(s), %d suppressed\n", len(res.Diags), res.Suppressed)
-		for _, c := range keys {
-			fmt.Printf("  %-16s %d\n", c, counts[c])
-		}
-	}
-
-	if *statsJSON != "" {
-		if err := writeStatsJSON(*statsJSON, fs.Args(), fl, metrics, res); err != nil {
-			fmt.Fprintf(os.Stderr, "golclint: %v\n", err)
-			return 2
-		}
-	}
-
-	if len(res.Diags) > 0 || len(res.ParseErrors) > 0 {
-		return 1
-	}
-	return 0
-}
-
-// runStats is the -stats-json document. The schema field names the format
-// so downstream tooling can detect incompatible changes.
-type runStats struct {
-	Schema  string          `json:"schema"`
-	Files   []string        `json:"files"`
-	Flags   map[string]bool `json:"flags"`
-	TotalNS int64           `json:"total_ns"`
-	// PhasesNS sum per-worker time (CPU-like totals under -jobs > 1);
-	// CheckWallNS is the wall-clock time of the cfg+check fan-out and Jobs
-	// the worker count, so wall-vs-CPU speedup is Phases(cfg+check)/wall.
-	PhasesNS    map[string]int64 `json:"phases_ns"`
-	CheckWallNS int64            `json:"check_wall_ns"`
-	Jobs        int              `json:"jobs"`
-	Counters    map[string]int64 `json:"counters"`
-	Messages    int              `json:"messages"`
-	Suppressed  int              `json:"suppressed"`
-	ByCode      map[string]int   `json:"messages_by_code"`
-	ParseErrors int              `json:"parse_errors"`
-	SemaErrors  int              `json:"sema_errors"`
-}
-
-// writeStatsJSON renders the run's metrics and per-code message counts.
-// Map keys serialize in sorted order, so the output is deterministic up to
-// the (intentionally volatile) duration fields.
-func writeStatsJSON(path string, files []string, fl *flags.Flags, m *obs.Metrics, res *core.Result) error {
-	snap := m.Snapshot()
-	byCode := map[string]int{}
-	for c, n := range res.CountByCode() {
-		byCode[c.String()] = n
-	}
-	sortedFiles := append([]string(nil), files...)
-	sort.Strings(sortedFiles)
-	doc := runStats{
-		Schema:      "golclint-stats/v1",
-		Files:       sortedFiles,
-		Flags:       fl.Map(),
-		TotalNS:     snap.TotalNS,
-		PhasesNS:    snap.PhasesNS,
-		CheckWallNS: snap.CheckWallNS,
-		Jobs:        snap.Jobs,
-		Counters:    snap.Counters,
-		Messages:    len(res.Diags),
-		Suppressed:  res.Suppressed,
-		ByCode:      byCode,
-		ParseErrors: len(res.ParseErrors),
-		SemaErrors:  len(res.SemaErrors),
-	}
-	b, err := json.MarshalIndent(doc, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(b, '\n'), 0o644)
+	return cli.Run(args, os.Stdout, os.Stderr)
 }

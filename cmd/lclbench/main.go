@@ -31,6 +31,7 @@ import (
 	"strings"
 	"time"
 
+	"golclint/internal/cache"
 	"golclint/internal/cfg"
 	"golclint/internal/core"
 	"golclint/internal/cpp"
@@ -128,6 +129,7 @@ var experiments = []struct {
 	{"staticvsdynamic", runStaticVsDynamic},
 	{"nofixpoint", runNoFixpoint},
 	{"parallel", runParallel},
+	{"incremental", runIncremental},
 }
 
 // maxJobs is the highest worker count the parallel experiment sweeps to
@@ -144,6 +146,7 @@ func main() {
 		runScalingSizes([]int{2, 4})
 		runModularModules(8)
 		runParallelConfig(8, 6, maxJobs)
+		runIncrementalModules(8)
 		return
 	}
 	cmd := "all"
@@ -617,4 +620,120 @@ func runParallelConfig(modules, funcsPer, ceiling int) {
 		Functions: funcs, MaxJobs: ceiling, Rows: rows,
 	}
 	writeBenchJSON("BENCH_parallel.json", doc)
+}
+
+// ---------------------------------------------------------------------------
+// E16: incremental re-checking with the persistent analysis cache. An
+// unchanged module replays its stored diagnostics without re-analysis, so a
+// warm run costs only preprocessing + hashing; editing one module re-checks
+// that module alone. This is the development-loop complement to E10's
+// interface libraries.
+
+// incrementalRow is one pass (cold / warm / dirty) in
+// BENCH_incremental.json.
+type incrementalRow struct {
+	Pass        string  `json:"pass"`
+	WallMS      float64 `json:"wall_ms"`
+	CacheHits   int64   `json:"cache_hits"`
+	CacheMisses int64   `json:"cache_misses"`
+	CacheBytes  int64   `json:"cache_bytes"`
+	Messages    int     `json:"messages"`
+	AllocBytes  uint64  `json:"alloc_bytes"`
+}
+
+type incrementalDoc struct {
+	benchMeta
+	Modules int `json:"modules"`
+	Lines   int `json:"lines"`
+	// Jobs is fixed at 1 so pass-to-pass wall-time ratios measure the
+	// cache alone, not scheduler noise; cached output is byte-identical at
+	// every worker count (see internal/goldentest).
+	Jobs int              `json:"jobs"`
+	Rows []incrementalRow `json:"rows"`
+	// SpeedupWarm / SpeedupDirty are cold wall time over the warm and
+	// one-module-dirty passes.
+	SpeedupWarm  float64 `json:"speedup_warm"`
+	SpeedupDirty float64 `json:"speedup_dirty"`
+}
+
+func runIncremental() { runIncrementalModules(50) }
+
+// runIncrementalModules is runIncremental over a configurable corpus size
+// (the -quick smoke uses a small one).
+func runIncrementalModules(modules int) {
+	header("E16", "incremental re-checking with the persistent analysis cache")
+	cacheDir, err := os.MkdirTemp("", "golclint-bench-cache-")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lclbench: %v\n", err)
+		return
+	}
+	defer os.RemoveAll(cacheDir)
+	c, err := cache.Open(cacheDir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lclbench: %v\n", err)
+		return
+	}
+
+	p := testgen.Generate(testgen.Config{
+		Seed: 46, Modules: modules, FuncsPer: 10, Annotate: true,
+		Bugs: map[testgen.BugKind]int{testgen.BugLeak: modules / 2},
+	})
+	// Interface facts come from the annotated headers, as in a real
+	// incremental build: the library is built once and shared.
+	hdr := core.CheckSources(p.Headers, core.Options{})
+	lib := library.Build(hdr.Program)
+	mods := map[string]map[string]string{}
+	for name, src := range p.Files {
+		mods[name] = map[string]string{name: src}
+	}
+
+	fmt.Printf("corpus: %d lines, %d modules\n", p.Lines, modules)
+	fmt.Printf("%8s %10s %8s %8s %12s %10s\n",
+		"pass", "wall(ms)", "hits", "misses", "cache(B)", "messages")
+
+	var rows []incrementalRow
+	runPass := func(name string) incrementalRow {
+		m := obs.New()
+		opt := core.Options{
+			Includes: cpp.MapIncluder(p.Headers), Cache: c, Metrics: m, Jobs: 1,
+		}
+		var results map[string]*core.Result
+		elapsed, alloc := measureRow(func() {
+			results = library.CheckModules(mods, lib, opt)
+		})
+		messages := 0
+		for _, res := range results {
+			messages += len(res.Diags)
+		}
+		row := incrementalRow{
+			Pass:        name,
+			WallMS:      float64(elapsed.Microseconds()) / 1000,
+			CacheHits:   m.Get(obs.CacheHits),
+			CacheMisses: m.Get(obs.CacheMisses),
+			CacheBytes:  m.Get(obs.CacheBytes),
+			Messages:    messages,
+			AllocBytes:  alloc,
+		}
+		fmt.Printf("%8s %10.1f %8d %8d %12d %10d\n",
+			name, row.WallMS, row.CacheHits, row.CacheMisses, row.CacheBytes, row.Messages)
+		return row
+	}
+
+	var doc incrementalDoc
+	meta := measure("golclint-bench-incremental/v1", "E16", func() {
+		rows = append(rows, runPass("cold"))
+		rows = append(rows, runPass("warm"))
+		// Implementation-only edit to one module: exactly one re-check.
+		mods["mod0.c"] = map[string]string{"mod0.c": p.Files["mod0.c"] + "\nint e16_dirty_marker;\n"}
+		rows = append(rows, runPass("dirty"))
+	})
+	doc = incrementalDoc{
+		benchMeta: meta, Modules: modules, Lines: p.Lines, Jobs: 1, Rows: rows,
+		SpeedupWarm:  rows[0].WallMS / rows[1].WallMS,
+		SpeedupDirty: rows[0].WallMS / rows[2].WallMS,
+	}
+	fmt.Printf("warm %.1fx, one-module-dirty %.1fx faster than cold\n",
+		doc.SpeedupWarm, doc.SpeedupDirty)
+	fmt.Println("paper shape: unchanged modules replay from the cache; editing touches only what changed")
+	writeBenchJSON("BENCH_incremental.json", doc)
 }

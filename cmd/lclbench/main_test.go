@@ -138,3 +138,64 @@ func TestBenchParallelJSONEmission(t *testing.T) {
 		t.Error("corpus produced no messages; sweep is vacuous")
 	}
 }
+
+// The incremental experiment (E16) emits a valid BENCH_incremental.json:
+// a cold pass that misses for every module, a warm pass that hits for every
+// module, and a dirty pass that re-checks exactly the edited module — all
+// three reporting identical message totals. Speedup magnitudes are asserted
+// only loosely (> 1x); the committed full-size run is where the >= 5x
+// acceptance figure lives.
+func TestBenchIncrementalJSONEmission(t *testing.T) {
+	old := outDir
+	outDir = t.TempDir()
+	defer func() { outDir = old }()
+
+	const modules = 8
+	runIncrementalModules(modules)
+	b, err := os.ReadFile(filepath.Join(outDir, "BENCH_incremental.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var id incrementalDoc
+	if err := json.Unmarshal(b, &id); err != nil {
+		t.Fatalf("BENCH_incremental.json invalid: %v", err)
+	}
+	if id.Schema != "golclint-bench-incremental/v1" || id.Experiment != "E16" {
+		t.Errorf("meta = %q %q", id.Schema, id.Experiment)
+	}
+	if id.Modules != modules || id.Lines <= 0 || id.Jobs != 1 {
+		t.Errorf("corpus stamps missing: %+v", id)
+	}
+	wantPasses := []string{"cold", "warm", "dirty"}
+	if len(id.Rows) != len(wantPasses) {
+		t.Fatalf("rows = %d, want %d", len(id.Rows), len(wantPasses))
+	}
+	for i, r := range id.Rows {
+		if r.Pass != wantPasses[i] {
+			t.Errorf("row %d pass = %q, want %q", i, r.Pass, wantPasses[i])
+		}
+		if r.WallMS <= 0 || r.AllocBytes == 0 || r.CacheBytes <= 0 {
+			t.Errorf("row %q not populated: %+v", r.Pass, r)
+		}
+		if r.Messages != id.Rows[0].Messages {
+			t.Errorf("pass %q messages = %d, differs from cold's %d (replay broken)",
+				r.Pass, r.Messages, id.Rows[0].Messages)
+		}
+	}
+	if id.Rows[0].Messages == 0 {
+		t.Error("corpus produced no messages; experiment is vacuous")
+	}
+	cold, warm, dirty := id.Rows[0], id.Rows[1], id.Rows[2]
+	if cold.CacheHits != 0 || cold.CacheMisses != modules {
+		t.Errorf("cold pass hits/misses = %d/%d, want 0/%d", cold.CacheHits, cold.CacheMisses, modules)
+	}
+	if warm.CacheHits != modules || warm.CacheMisses != 0 {
+		t.Errorf("warm pass hits/misses = %d/%d, want %d/0", warm.CacheHits, warm.CacheMisses, modules)
+	}
+	if dirty.CacheHits != modules-1 || dirty.CacheMisses != 1 {
+		t.Errorf("dirty pass hits/misses = %d/%d, want %d/1", dirty.CacheHits, dirty.CacheMisses, modules-1)
+	}
+	if id.SpeedupWarm <= 1 || id.SpeedupDirty <= 1 {
+		t.Errorf("speedups = %.2f / %.2f, want > 1", id.SpeedupWarm, id.SpeedupDirty)
+	}
+}

@@ -1,0 +1,252 @@
+// Package cache implements the persistent, content-addressed analysis
+// cache behind incremental re-checking. One entry stores the complete
+// observable outcome of checking one module (its retained diagnostics,
+// suppression count, parse/sema errors, and serialized interface library),
+// keyed by a hash of the preprocessed module source plus the checker
+// version and flag fingerprint. A module whose key is present and whose
+// recorded interface dependencies still match the current interface
+// library replays the stored outcome without lexing, parsing, or checking
+// — the production form of the paper's §7 argument that modular,
+// annotation-driven analysis makes re-checks cost only what changed.
+//
+// Robustness contract: the cache can only ever make a run faster, never
+// wrong. Any missing, truncated, corrupted, or version-mismatched entry
+// reads as a miss and the caller falls back to a cold check; entry writes
+// are atomic (write-to-temp then rename), so concurrent module workers
+// sharing one cache directory cannot observe torn entries.
+package cache
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"golclint/internal/ctoken"
+	"golclint/internal/diag"
+)
+
+// entrySchema names the on-disk entry format; entries written under any
+// other schema are treated as misses.
+const entrySchema = "golclint-cache/v1"
+
+// Cache is a handle on one cache directory. The zero value is not usable;
+// call Open. A nil *Cache is valid and behaves as an always-miss,
+// discard-writes cache, so callers can thread it unconditionally.
+type Cache struct {
+	dir string
+}
+
+// Open prepares a cache rooted at dir, creating it if needed.
+func Open(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("opening analysis cache: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache's root directory ("" on a nil cache).
+func (c *Cache) Dir() string {
+	if c == nil {
+		return ""
+	}
+	return c.dir
+}
+
+// Entry is one module's cached analysis outcome.
+type Entry struct {
+	// Diags are the retained diagnostics exactly as a cold run reported
+	// them (post-suppression, source order).
+	Diags []*diag.Diagnostic
+	// Suppressed is the cold run's suppressed-message count.
+	Suppressed int
+	// ParseErrors and SemaErrors are the cold run's rendered errors, in
+	// emission order.
+	ParseErrors []string
+	SemaErrors  []string
+	// Deps maps every identifier the module mentions to the interface
+	// fingerprint that symbol had in the library the module was checked
+	// against ("" when the symbol was absent). A hit is valid only while
+	// every recorded fingerprint still matches (DepsMatch), which is what
+	// invalidates dependents transitively when a module's interface
+	// changes.
+	Deps map[string]string
+	// Library is the module's own serialized interface library (gob, see
+	// internal/library), so dependents of a cached module still have its
+	// interface facts without re-analyzing it.
+	Library []byte
+	// Size is the entry's on-disk size in bytes, set by Get and Put (not
+	// stored).
+	Size int64
+}
+
+// wireEntry is the on-disk JSON form of an Entry. Diagnostics use the
+// stable wire format from diag.Marshal; Library ([]byte) serializes as
+// base64 per encoding/json.
+type wireEntry struct {
+	Schema      string            `json:"schema"`
+	Key         string            `json:"key"`
+	Diags       json.RawMessage   `json:"diags"`
+	Suppressed  int               `json:"suppressed"`
+	ParseErrors []string          `json:"parse_errors,omitempty"`
+	SemaErrors  []string          `json:"sema_errors,omitempty"`
+	Deps        map[string]string `json:"deps,omitempty"`
+	Library     []byte            `json:"library,omitempty"`
+}
+
+// Key computes the content-addressed entry key: a hash over the checker
+// version, the flag fingerprint, and each (name, preprocessed source) pair
+// in sorted name order. Every component is length-prefixed so distinct
+// inputs cannot collide by concatenation. Anything that can change a
+// module's diagnostics must flow into one of the three inputs — version
+// for the checker itself, flagsFP for configuration, files for source and
+// (via preprocessing) headers, defines, and includes. Worker counts are
+// deliberately excluded: output is byte-identical at every -jobs value, so
+// runs at different parallelism share entries.
+func Key(version, flagsFP string, files map[string]string) string {
+	h := sha256.New()
+	write := func(s string) {
+		var n [8]byte
+		binary.LittleEndian.PutUint64(n[:], uint64(len(s)))
+		h.Write(n[:])
+		h.Write([]byte(s))
+	}
+	write(version)
+	write(flagsFP)
+	names := make([]string, 0, len(files))
+	for n := range files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		write(n)
+		write(files[n])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// path shards entries by the key's first byte to keep directories small.
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key[:2], key+".json")
+}
+
+// Get loads the entry for key. The second result is false on a miss — which
+// includes absent, unreadable, truncated, corrupted, schema-mismatched, and
+// wrong-key entries: a bad cache file is indistinguishable from no cache
+// file, by design.
+func (c *Cache) Get(key string) (*Entry, bool) {
+	if c == nil || len(key) < 2 {
+		return nil, false
+	}
+	b, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return nil, false
+	}
+	var w wireEntry
+	if err := json.Unmarshal(b, &w); err != nil {
+		return nil, false
+	}
+	if w.Schema != entrySchema || w.Key != key {
+		return nil, false
+	}
+	ds, err := diag.Unmarshal(w.Diags)
+	if err != nil {
+		return nil, false
+	}
+	return &Entry{
+		Diags:      ds,
+		Suppressed: w.Suppressed, ParseErrors: w.ParseErrors, SemaErrors: w.SemaErrors,
+		Deps: w.Deps, Library: w.Library,
+		Size: int64(len(b)),
+	}, true
+}
+
+// Put stores e under key, atomically. It returns the bytes written (also
+// recorded in e.Size). A nil cache discards the write.
+func (c *Cache) Put(key string, e *Entry) (int64, error) {
+	if c == nil {
+		return 0, nil
+	}
+	if len(key) < 2 {
+		return 0, fmt.Errorf("cache put: malformed key %q", key)
+	}
+	raw, err := diag.Marshal(e.Diags)
+	if err != nil {
+		return 0, fmt.Errorf("cache put: %w", err)
+	}
+	b, err := json.Marshal(wireEntry{
+		Schema: entrySchema, Key: key,
+		Diags:      raw,
+		Suppressed: e.Suppressed, ParseErrors: e.ParseErrors, SemaErrors: e.SemaErrors,
+		Deps: e.Deps, Library: e.Library,
+	})
+	if err != nil {
+		return 0, fmt.Errorf("cache put: %w", err)
+	}
+	b = append(b, '\n')
+	dst := c.path(key)
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		return 0, fmt.Errorf("cache put: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(dst), "entry-*.tmp")
+	if err != nil {
+		return 0, fmt.Errorf("cache put: %w", err)
+	}
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return 0, fmt.Errorf("cache put: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return 0, fmt.Errorf("cache put: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), dst); err != nil {
+		os.Remove(tmp.Name())
+		return 0, fmt.Errorf("cache put: %w", err)
+	}
+	e.Size = int64(len(b))
+	return e.Size, nil
+}
+
+// DepsMatch reports whether every dependency fingerprint recorded in an
+// entry still holds against the current interface fingerprints. Symbols
+// absent from current read as "", so a symbol appearing in — or vanishing
+// from — the library invalidates exactly the entries that mention it.
+func DepsMatch(recorded, current map[string]string) bool {
+	for name, fp := range recorded {
+		if current[name] != fp {
+			return false
+		}
+	}
+	return true
+}
+
+// Identifiers extracts the deduplicated, sorted identifier set of a
+// preprocessed source text. The set over-approximates the module's
+// interface references (it includes locals and the module's own names,
+// whose fingerprints are stable whenever the source hash is), which keeps
+// dependency recording sound without an AST walk.
+func Identifiers(src string) []string {
+	lx := ctoken.NewLexer("", src)
+	seen := map[string]bool{}
+	for {
+		t := lx.Next()
+		if t.Kind == ctoken.EOF {
+			break
+		}
+		if t.Kind == ctoken.Ident {
+			seen[t.Text] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,195 @@
+package cache
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"golclint/internal/ctoken"
+	"golclint/internal/diag"
+)
+
+func testEntry() *Entry {
+	return &Entry{
+		Diags: []*diag.Diagnostic{
+			{Code: diag.Leak, Pos: ctoken.Pos{File: "m.c", Line: 9, Col: 2, Off: 88},
+				Msg: "Only storage p not released",
+				Notes: []diag.Note{{Pos: ctoken.Pos{File: "m.c", Line: 4, Col: 6, Off: 30},
+					Msg: "Storage p allocated"}}},
+			{Code: diag.NullDeref, Pos: ctoken.Pos{File: "m.c", Line: 12}, Msg: "Dereference of possibly null p"},
+		},
+		Suppressed:  3,
+		ParseErrors: []string{"m.c:2: stray token"},
+		SemaErrors:  []string{"m.c:3: redefinition of f"},
+		Deps:        map[string]string{"helper": "fp1", "gone": ""},
+		Library:     []byte{0x01, 0x02, 0xfe},
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key("v1", "+null", map[string]string{"m.c": "int x;"})
+	want := testEntry()
+	n, err := c.Put(key, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n <= 0 || want.Size != n {
+		t.Errorf("Put size = %d (entry %d)", n, want.Size)
+	}
+	got, ok := c.Get(key)
+	if !ok {
+		t.Fatal("entry missing after Put")
+	}
+	if !diag.EqualAll(want.Diags, got.Diags) {
+		t.Errorf("diags changed: %+v vs %+v", want.Diags, got.Diags)
+	}
+	if got.Suppressed != want.Suppressed {
+		t.Errorf("suppressed = %d, want %d", got.Suppressed, want.Suppressed)
+	}
+	if len(got.ParseErrors) != 1 || got.ParseErrors[0] != want.ParseErrors[0] {
+		t.Errorf("parse errors = %v", got.ParseErrors)
+	}
+	if len(got.SemaErrors) != 1 || got.SemaErrors[0] != want.SemaErrors[0] {
+		t.Errorf("sema errors = %v", got.SemaErrors)
+	}
+	if got.Deps["helper"] != "fp1" || got.Deps["gone"] != "" {
+		t.Errorf("deps = %v", got.Deps)
+	}
+	if string(got.Library) != string(want.Library) {
+		t.Errorf("library bytes = %v", got.Library)
+	}
+	if got.Size != n {
+		t.Errorf("Get size = %d, want %d", got.Size, n)
+	}
+}
+
+func TestGetMiss(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(Key("v1", "", map[string]string{"a.c": "x"})); ok {
+		t.Fatal("hit on empty cache")
+	}
+}
+
+// A corrupted, truncated, or wrong-format entry must read as a miss — the
+// cache degrades to a cold check, never a wrong answer.
+func TestCorruptEntriesAreMisses(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key("v1", "", map[string]string{"a.c": "int x;"})
+	if _, err := c.Put(key, testEntry()); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, key[:2], key+".json")
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	corrupt := func(name string, b []byte) {
+		t.Run(name, func(t *testing.T) {
+			if err := os.WriteFile(path, b, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := c.Get(key); ok {
+				t.Fatalf("%s entry produced a hit", name)
+			}
+		})
+	}
+	corrupt("truncated", good[:len(good)/2])
+	corrupt("garbage", []byte("\x00\xffnot json"))
+	corrupt("empty", nil)
+	corrupt("schema-mismatch", []byte(strings.Replace(string(good), entrySchema, "golclint-cache/v0", 1)))
+	corrupt("key-mismatch", []byte(strings.Replace(string(good), key, strings.Repeat("ab", 32), 2)))
+
+	// Restore the good bytes: the entry must hit again.
+	if err := os.WriteFile(path, good, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(key); !ok {
+		t.Fatal("restored entry missed")
+	}
+}
+
+func TestNilCache(t *testing.T) {
+	var c *Cache
+	if _, ok := c.Get("abcd"); ok {
+		t.Error("nil cache hit")
+	}
+	if n, err := c.Put("abcd", testEntry()); err != nil || n != 0 {
+		t.Errorf("nil cache Put = %d, %v", n, err)
+	}
+	if c.Dir() != "" {
+		t.Errorf("nil cache Dir = %q", c.Dir())
+	}
+}
+
+// The key must separate every input: version, flags, file names, file
+// contents — and must not depend on map insertion order.
+func TestKeyDiscrimination(t *testing.T) {
+	base := Key("v1", "+null", map[string]string{"a.c": "int x;", "b.c": "int y;"})
+	if Key("v1", "+null", map[string]string{"b.c": "int y;", "a.c": "int x;"}) != base {
+		t.Error("key depends on map order")
+	}
+	variants := []string{
+		Key("v2", "+null", map[string]string{"a.c": "int x;", "b.c": "int y;"}),
+		Key("v1", "-null", map[string]string{"a.c": "int x;", "b.c": "int y;"}),
+		Key("v1", "+null", map[string]string{"a.c": "int x;", "b.c": "int z;"}),
+		Key("v1", "+null", map[string]string{"a.c": "int x;", "c.c": "int y;"}),
+		Key("v1", "+null", map[string]string{"a.c": "int x;"}),
+		// Length-prefixing: moving a byte across a component boundary must
+		// change the key even though the concatenation is identical.
+		Key("v1", "+nullx", map[string]string{"a.c": "int x;", "b.c": "int y;"}),
+		Key("v1x", "+null", map[string]string{"a.c": "int x;", "b.c": "int y;"}),
+	}
+	seen := map[string]bool{base: true}
+	for i, k := range variants {
+		if seen[k] {
+			t.Errorf("variant %d collides", i)
+		}
+		seen[k] = true
+	}
+}
+
+func TestDepsMatch(t *testing.T) {
+	rec := map[string]string{"f": "h1", "g": ""}
+	if !DepsMatch(rec, map[string]string{"f": "h1"}) {
+		t.Error("matching deps rejected")
+	}
+	if DepsMatch(rec, map[string]string{"f": "h2"}) {
+		t.Error("changed fingerprint accepted")
+	}
+	if DepsMatch(rec, map[string]string{"f": "h1", "g": "new"}) {
+		t.Error("newly appearing symbol accepted")
+	}
+	if DepsMatch(map[string]string{"f": "h1"}, nil) {
+		t.Error("vanished symbol accepted")
+	}
+	if !DepsMatch(nil, map[string]string{"x": "y"}) {
+		t.Error("empty recorded deps must always match")
+	}
+}
+
+func TestIdentifiers(t *testing.T) {
+	ids := Identifiers("int f (int n) { return g (n) + g (n) + NULL_ish; } /* h */ \"str i\"")
+	want := []string{"NULL_ish", "f", "g", "n"}
+	if strings.Join(ids, ",") != strings.Join(want, ",") {
+		t.Errorf("identifiers = %v, want %v", ids, want)
+	}
+	// Keywords are not identifiers; comments and strings contribute none.
+	for _, id := range ids {
+		if id == "int" || id == "return" || id == "h" || id == "i" {
+			t.Errorf("non-identifier %q extracted", id)
+		}
+	}
+}

@@ -2,8 +2,10 @@ package core
 
 import (
 	"sort"
+	"strings"
 	"time"
 
+	"golclint/internal/cache"
 	"golclint/internal/cast"
 	"golclint/internal/cparse"
 	"golclint/internal/cpp"
@@ -12,6 +14,12 @@ import (
 	"golclint/internal/obs"
 	"golclint/internal/sema"
 )
+
+// Version fingerprints the analysis implementation for cache keying. Bump
+// it whenever a change can alter diagnostics for unchanged input (checker
+// rules, message wording, suppression semantics, preprocessing): stale
+// cache entries then simply never hit again.
+const Version = "golclint-core/v1"
 
 // Options configures a checking run.
 type Options struct {
@@ -36,6 +44,24 @@ type Options struct {
 	// §7) and diagnostics merge back in a deterministic order, so output is
 	// byte-identical at every worker count.
 	Jobs int
+	// Cache, when non-nil, consults the persistent analysis cache before
+	// checking and stores the outcome after: an unchanged input replays its
+	// stored diagnostics without lexing, parsing, or checking (the Result
+	// then has CacheHit set and carries no Program or Units). Caching is
+	// bypassed when PreCheck is set but CacheDeps is nil, because an opaque
+	// PreCheck can change results invisibly to the cache key.
+	Cache *cache.Cache
+	// CacheDeps are the per-symbol interface fingerprints of the installed
+	// library (library.CheckModule supplies them via Fingerprints). They
+	// make PreCheck's effect visible to the cache: an entry hits only while
+	// every interface fact it was checked against is unchanged, so an
+	// interface change in one module transitively invalidates exactly its
+	// dependents.
+	CacheDeps map[string]string
+	// CacheExport serializes the checked program's interface facts for
+	// storage in the cache entry (library.ExportProgram is the standard
+	// implementation); nil stores no interface bytes.
+	CacheExport func(*sema.Program) ([]byte, error)
 }
 
 // Result is the outcome of a checking run.
@@ -48,10 +74,16 @@ type Result struct {
 	ParseErrors []string
 	// SemaErrors are environment-construction errors.
 	SemaErrors []string
-	// Program is the analyzed environment.
+	// Program is the analyzed environment (nil on a cache hit).
 	Program *sema.Program
-	// Units are the parsed translation units.
+	// Units are the parsed translation units (nil on a cache hit).
 	Units []*cast.Unit
+	// CacheHit reports that the run was replayed from the analysis cache.
+	CacheHit bool
+	// CachedLibrary is the serialized interface library stored with a hit
+	// entry (nil on cold runs), so callers like golclint -dump-lib still
+	// have the module's interface facts without a Program.
+	CachedLibrary []byte
 }
 
 // Messages renders the diagnostics in the paper's format.
@@ -129,7 +161,11 @@ func CheckSources(files map[string]string, opt Options) *Result {
 	}
 	sort.Strings(names)
 
-	var units []*cast.Unit
+	// Preprocess every file first: the expanded text (headers, defines, and
+	// includes inlined) is both the parser input and the content the cache
+	// key addresses.
+	expanded := make(map[string]string, len(names))
+	ppErrors := make(map[string][]string, len(names))
 	for _, name := range names {
 		pp := cpp.New(stackedIncluder{primary: opt.Includes})
 		pp.Define("NULL", "((void*)0)")
@@ -137,13 +173,52 @@ func CheckSources(files map[string]string, opt Options) *Result {
 			pp.Define(k, v)
 		}
 		stopPre := m.StartPhase(obs.PhasePreprocess)
-		expanded := pp.Process(name, files[name])
+		expanded[name] = pp.Process(name, files[name])
 		stopPre()
 		for _, e := range pp.Errors() {
-			res.ParseErrors = append(res.ParseErrors, e.Error())
+			ppErrors[name] = append(ppErrors[name], e.Error())
 		}
+	}
+
+	// Caching is sound only when everything that can influence the outcome
+	// is in the key (version, flags, expanded sources) or in the recorded
+	// dependency fingerprints (the installed library). An opaque PreCheck
+	// without CacheDeps fails that, so such runs bypass the cache.
+	cacheable := opt.Cache != nil && (opt.PreCheck == nil || opt.CacheDeps != nil)
+	var key string
+	if cacheable {
+		hashed := make(map[string]string, len(names))
+		for _, name := range names {
+			// Preprocessing errors ride along in the hashed content so two
+			// includers yielding identical text but different errors cannot
+			// share an entry.
+			hashed[name] = expanded[name] + "\x00" + strings.Join(ppErrors[name], "\n")
+		}
+		key = cache.Key(Version, fl.Fingerprint(), hashed)
+		if e, ok := opt.Cache.Get(key); ok && cache.DepsMatch(e.Deps, opt.CacheDeps) {
+			res.Diags = e.Diags
+			res.Suppressed = e.Suppressed
+			res.ParseErrors = e.ParseErrors
+			res.SemaErrors = e.SemaErrors
+			res.CacheHit = true
+			res.CachedLibrary = e.Library
+			if m.Enabled() {
+				m.Add(obs.CacheHits, 1)
+				m.Add(obs.CacheBytes, e.Size)
+				m.Add(obs.DiagnosticsEmitted, int64(len(res.Diags)))
+				m.Add(obs.DiagnosticsSuppressed, int64(res.Suppressed))
+				m.AddTotal(time.Since(runStart))
+			}
+			return res
+		}
+		m.Add(obs.CacheMisses, 1)
+	}
+
+	var units []*cast.Unit
+	for _, name := range names {
+		res.ParseErrors = append(res.ParseErrors, ppErrors[name]...)
 		stopParse := m.StartPhase(obs.PhaseParse)
-		pr := cparse.Parse(name, expanded)
+		pr := cparse.Parse(name, expanded[name])
 		stopParse()
 		if m.Enabled() {
 			m.Add(obs.TokensLexed, int64(pr.Tokens))
@@ -178,6 +253,32 @@ func CheckSources(files map[string]string, opt Options) *Result {
 	res.Suppressed = rep.Suppressed()
 	res.Program = prog
 	res.Units = units
+	if cacheable {
+		entry := &cache.Entry{
+			Diags:      res.Diags,
+			Suppressed: res.Suppressed, ParseErrors: res.ParseErrors, SemaErrors: res.SemaErrors,
+		}
+		// Record the interface fingerprint of every identifier the module
+		// mentions ("" for symbols the library does not supply): the entry
+		// stays valid exactly until one of those facts changes.
+		deps := map[string]string{}
+		for _, name := range names {
+			for _, id := range cache.Identifiers(expanded[name]) {
+				deps[id] = opt.CacheDeps[id]
+			}
+		}
+		entry.Deps = deps
+		if opt.CacheExport != nil && prog != nil {
+			if b, err := opt.CacheExport(prog); err == nil {
+				entry.Library = b
+			}
+		}
+		// A failed write is a lost optimization, not an error: the run's
+		// own result is already computed.
+		if n, err := opt.Cache.Put(key, entry); err == nil {
+			m.Add(obs.CacheBytes, n)
+		}
+	}
 	if m.Enabled() {
 		m.Add(obs.DiagnosticsEmitted, int64(len(res.Diags)))
 		m.Add(obs.DiagnosticsSuppressed, int64(res.Suppressed))

@@ -1,0 +1,44 @@
+package cparse
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzParse asserts the parser never panics or hangs on arbitrary bytes:
+// malformed programs come back as Result.Errors, well-formed ones as
+// declarations. The parser sits directly behind the CLI (after the
+// preprocessor, which passes unknown text through), so this is the
+// checker's robustness boundary for hostile input.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"int main (void) { return 0; }\n",
+		"typedef struct _l { /*@only@*/ char *s; struct _l *next; } *list;\n",
+		"extern /*@only@*/ void *malloc(unsigned long);\nvoid f(void){char*p;p=(char*)malloc(1);}\n",
+		"int f (int a[), char { = ;\n",
+		"enum e { A = 1, B }; union u { int i; };\n",
+		"void g (void) { for (;;) if (1) while (0) do ; while (1); }\n",
+		"x = #include ??? \x00\xfe",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	corpus, _ := filepath.Glob("../../testdata/corpus/*.c")
+	for _, path := range corpus {
+		if b, err := os.ReadFile(path); err == nil {
+			f.Add(string(b))
+		}
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		res := Parse("fuzz.c", src)
+		if res == nil {
+			t.Fatal("Parse returned nil result")
+		}
+		// Errors must be usable (the CLI prints them).
+		for _, e := range res.Errors {
+			_ = e.Error()
+		}
+	})
+}

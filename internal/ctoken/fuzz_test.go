@@ -1,0 +1,54 @@
+package ctoken
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzLex asserts the lexer's robustness contract on arbitrary bytes: it
+// must terminate without panicking, produce monotonically advancing
+// offsets, and end every stream with EOF. Malformed input is reported via
+// Errors(), never by crashing — the checker runs on whatever bytes a user
+// hands it.
+func FuzzLex(f *testing.F) {
+	seeds := []string{
+		"",
+		"int main (void) { return 0; }\n",
+		"/*@only@*/ char *p; /* unterminated",
+		"\"string with \\\" escape\n'c' 0x1f 1e9 .5 ...",
+		"#line 3 \"x.c\"\nid->field >>= 1;",
+		"/*@null@*/ /*@i@*/ /*@ignore@*/ /*@end@*/",
+		"\x00\xff\x80junk\r\n\t",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	corpus, _ := filepath.Glob("../../testdata/corpus/*.c")
+	for _, path := range corpus {
+		if b, err := os.ReadFile(path); err == nil {
+			f.Add(string(b))
+		}
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		lx := NewLexer("fuzz.c", src)
+		prevOff := -1
+		for i := 0; ; i++ {
+			tok := lx.Next()
+			if tok.Kind == EOF {
+				break
+			}
+			if tok.Pos.Off < prevOff {
+				t.Fatalf("token %d offset went backwards: %d after %d", i, tok.Pos.Off, prevOff)
+			}
+			prevOff = tok.Pos.Off
+			if i > len(src)+16 {
+				t.Fatalf("lexer produced more tokens than input bytes (%d); not terminating?", i)
+			}
+		}
+		// EOF must be sticky.
+		if tok := lx.Next(); tok.Kind != EOF {
+			t.Fatalf("token after EOF: %v", tok)
+		}
+	})
+}

@@ -1,0 +1,111 @@
+package diag
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"golclint/internal/ctoken"
+)
+
+// The serialized diagnostic format. Cached analysis results (internal/cache)
+// replay stored diagnostics instead of re-running the checker, so the wire
+// form must round-trip exactly: Unmarshal(Marshal(ds)) compares equal under
+// Compare and renders byte-identical String() output. The wire structs
+// mirror Diagnostic/Note field-for-field with explicit JSON names so the
+// format cannot drift silently when the in-memory structs grow fields — any
+// new field must be added here (and to Equal) deliberately.
+
+// wirePos is the serialized ctoken.Pos.
+type wirePos struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	Off  int    `json:"off"`
+}
+
+func toWirePos(p ctoken.Pos) wirePos {
+	return wirePos{File: p.File, Line: p.Line, Col: p.Col, Off: p.Off}
+}
+func fromWirePos(p wirePos) ctoken.Pos {
+	return ctoken.Pos{File: p.File, Line: p.Line, Col: p.Col, Off: p.Off}
+}
+
+// wireNote is the serialized Note.
+type wireNote struct {
+	Pos wirePos `json:"pos"`
+	Msg string  `json:"msg"`
+}
+
+// wireDiag is the serialized Diagnostic. Code serializes by its stable
+// short name (MarshalText), so entries survive code renumbering.
+type wireDiag struct {
+	Code  Code       `json:"code"`
+	Pos   wirePos    `json:"pos"`
+	Msg   string     `json:"msg"`
+	Notes []wireNote `json:"notes,omitempty"`
+}
+
+// Marshal serializes diagnostics to JSON in slice order.
+func Marshal(ds []*Diagnostic) ([]byte, error) {
+	wire := make([]wireDiag, 0, len(ds))
+	for i, d := range ds {
+		if d == nil {
+			return nil, fmt.Errorf("marshal diagnostics: nil entry at %d", i)
+		}
+		w := wireDiag{Code: d.Code, Pos: toWirePos(d.Pos), Msg: d.Msg}
+		for _, n := range d.Notes {
+			w.Notes = append(w.Notes, wireNote{Pos: toWirePos(n.Pos), Msg: n.Msg})
+		}
+		wire = append(wire, w)
+	}
+	return json.Marshal(wire)
+}
+
+// Unmarshal reverses Marshal. Unknown diagnostic codes are an error (a
+// cache entry written by an incompatible checker must not half-load).
+func Unmarshal(b []byte) ([]*Diagnostic, error) {
+	var wire []wireDiag
+	if err := json.Unmarshal(b, &wire); err != nil {
+		return nil, fmt.Errorf("unmarshal diagnostics: %w", err)
+	}
+	ds := make([]*Diagnostic, 0, len(wire))
+	for _, w := range wire {
+		d := &Diagnostic{Code: w.Code, Pos: fromWirePos(w.Pos), Msg: w.Msg}
+		for _, n := range w.Notes {
+			d.Notes = append(d.Notes, Note{Pos: fromWirePos(n.Pos), Msg: n.Msg})
+		}
+		ds = append(ds, d)
+	}
+	return ds, nil
+}
+
+// Equal reports whether two diagnostics are identical, notes included.
+// Compare only orders by (pos, code, msg); Equal is the full-field check the
+// serialization round-trip and cache-replay tests rely on.
+func Equal(a, b *Diagnostic) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.Code != b.Code || a.Pos != b.Pos || a.Msg != b.Msg || len(a.Notes) != len(b.Notes) {
+		return false
+	}
+	for i := range a.Notes {
+		if a.Notes[i] != b.Notes[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// EqualAll reports whether two diagnostic slices are element-wise Equal.
+func EqualAll(a, b []*Diagnostic) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !Equal(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}

@@ -118,6 +118,14 @@ func (f *Flags) Map() map[string]bool {
 	}
 }
 
+// Fingerprint returns the complete configuration identity: the String()
+// toggles plus the message bound, which String omits. The analysis cache
+// keys on it, so every field that can change a run's diagnostics must
+// appear here.
+func (f *Flags) Fingerprint() string {
+	return fmt.Sprintf("%s max=%d", f.String(), f.MaxMessages)
+}
+
 // String summarizes the configuration.
 func (f *Flags) String() string {
 	onoff := func(b bool) string {

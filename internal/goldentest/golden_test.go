@@ -1,0 +1,166 @@
+// Package goldentest pins the checker's end-to-end CLI output over a
+// corpus of C programs. Each testdata/corpus/*.c file has a matching
+// .golden file holding the exact stdout+stderr+exit transcript of a
+// golclint run; any drift in message text, ordering, positions, or exit
+// codes fails the test. Regenerate with:
+//
+//	go test ./internal/goldentest -run TestGoldenCorpus -update
+//
+// The same corpus also proves the persistent cache replays byte-identical
+// output: every file is re-checked warm (at -jobs 1 and 8) against its
+// golden transcript.
+package goldentest
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"golclint/internal/cli"
+)
+
+var update = flag.Bool("update", false, "rewrite the .golden files")
+
+const corpusDir = "../../testdata/corpus"
+
+// fileArgs builds the CLI arguments for one corpus file. A first-line
+// directive of the form
+//
+//	/*golden:flags -allimponly +gcmode*/
+//
+// checks the file under non-default flag toggles.
+func fileArgs(t *testing.T, src string, extra ...string) []string {
+	t.Helper()
+	b, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var args []string
+	first, _, _ := strings.Cut(string(b), "\n")
+	if rest, ok := strings.CutPrefix(first, "/*golden:flags "); ok {
+		toggles, ok := strings.CutSuffix(rest, "*/")
+		if !ok {
+			t.Fatalf("%s: malformed golden:flags directive %q", src, first)
+		}
+		args = append(args, "-flags", strings.TrimSpace(toggles))
+	}
+	args = append(args, extra...)
+	return append(args, src)
+}
+
+// transcript renders one CLI run in the stable golden format.
+func transcript(args ...string) string {
+	var stdout, stderr bytes.Buffer
+	code := cli.Run(args, &stdout, &stderr)
+	var b strings.Builder
+	fmt.Fprintf(&b, "exit %d\n", code)
+	b.WriteString("-- stdout --\n")
+	b.WriteString(stdout.String())
+	b.WriteString("-- stderr --\n")
+	b.WriteString(stderr.String())
+	return b.String()
+}
+
+func corpusFiles(t *testing.T) []string {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join(corpusDir, "*.c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 15 {
+		t.Fatalf("corpus has %d files, want >= 15", len(files))
+	}
+	return files
+}
+
+func TestGoldenCorpus(t *testing.T) {
+	sawMessages := false
+	for _, src := range corpusFiles(t) {
+		src := src
+		name := strings.TrimSuffix(filepath.Base(src), ".c")
+		t.Run(name, func(t *testing.T) {
+			got := transcript(fileArgs(t, src)...)
+			golden := strings.TrimSuffix(src, ".c") + ".golden"
+			if *update {
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("output drifted from %s:\n--- got ---\n%s--- want ---\n%s", golden, got, want)
+			}
+			if strings.Contains(got, ".c:") {
+				sawMessages = true
+			}
+		})
+	}
+	if !*update && !sawMessages {
+		t.Error("no corpus file produced a diagnostic; the corpus is vacuous")
+	}
+}
+
+// Warm cache replays must match the goldens byte for byte at every worker
+// count — the central correctness claim of the persistent cache.
+func TestGoldenCorpusWarmCache(t *testing.T) {
+	if *update {
+		t.Skip("golden update run")
+	}
+	for _, jobs := range []int{1, 8} {
+		jobs := jobs
+		t.Run(fmt.Sprintf("jobs=%d", jobs), func(t *testing.T) {
+			cacheDir := filepath.Join(t.TempDir(), "cache")
+			for _, src := range corpusFiles(t) {
+				name := strings.TrimSuffix(filepath.Base(src), ".c")
+				golden := strings.TrimSuffix(src, ".c") + ".golden"
+				want, err := os.ReadFile(golden)
+				if err != nil {
+					t.Fatalf("missing golden file (run with -update): %v", err)
+				}
+				args := fileArgs(t, src, "-cache-dir", cacheDir, "-jobs", strconv.Itoa(jobs))
+				cold := transcript(args...)
+				if cold != string(want) {
+					t.Errorf("%s: cold cached run drifted from golden:\n%s", name, cold)
+					continue
+				}
+				warm := transcript(args...)
+				if warm != string(want) {
+					t.Errorf("%s: warm replay differs from golden:\n--- warm ---\n%s--- want ---\n%s",
+						name, warm, want)
+				}
+			}
+		})
+	}
+}
+
+// The suppression corpus entry must demonstrate both suppression forms:
+// messages silenced inside it, the trailing leak still reported.
+func TestSuppressionEntryNonVacuous(t *testing.T) {
+	if *update {
+		t.Skip("golden update run")
+	}
+	b, err := os.ReadFile(filepath.Join(corpusDir, "suppression.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(b)
+	// quiet() and the ignore/end region span lines 7-17; noisy()'s leak is
+	// reported at lines 23-24.
+	for line := 1; line <= 17; line++ {
+		if strings.Contains(out, fmt.Sprintf("suppression.c:%d:", line)) {
+			t.Errorf("message from suppressed region (line %d) leaked:\n%s", line, out)
+		}
+	}
+	if !strings.Contains(out, "suppression.c:23:") {
+		t.Errorf("unsuppressed leak in noisy() missing:\n%s", out)
+	}
+}

@@ -1,0 +1,185 @@
+package library
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"golclint/internal/core"
+)
+
+func bytesReader(b []byte) io.Reader { return bytes.NewReader(b) }
+
+// buildLib analyzes decl-only source text and summarizes it.
+func buildLib(t *testing.T, src string) *Library {
+	t.Helper()
+	res := core.CheckSource("iface.h", src, core.Options{})
+	if res.Program == nil {
+		t.Fatal("no program")
+	}
+	return Build(res.Program)
+}
+
+const ifaceV1 = `typedef struct _node {
+	int id;
+	/*@null@*/ /*@only@*/ struct _node *next;
+} node;
+extern /*@only@*/ char *a_make (int n);
+extern int a_weigh (/*@temp@*/ node *p);
+extern int a_limit;
+enum color { RED = 1, BLUE = 2 };
+`
+
+func TestFingerprintsStable(t *testing.T) {
+	fp1 := buildLib(t, ifaceV1).Fingerprints()
+	fp2 := buildLib(t, ifaceV1).Fingerprints()
+	if len(fp1) == 0 {
+		t.Fatal("no fingerprints computed")
+	}
+	for _, name := range []string{"a_make", "a_weigh", "a_limit", "RED", "BLUE"} {
+		if fp1[name] == "" {
+			t.Errorf("symbol %q has no fingerprint: %v", name, fp1)
+		}
+	}
+	if len(fp1) != len(fp2) {
+		t.Fatalf("fingerprint counts differ: %d vs %d", len(fp1), len(fp2))
+	}
+	for name, h := range fp1 {
+		if fp2[name] != h {
+			t.Errorf("fingerprint of %q not stable: %q vs %q", name, h, fp2[name])
+		}
+	}
+}
+
+// An interface change must move exactly the changed symbol's fingerprint.
+func TestFingerprintsIsolateChanges(t *testing.T) {
+	base := buildLib(t, ifaceV1).Fingerprints()
+	cases := []struct {
+		name    string
+		src     string
+		changed map[string]bool
+	}{
+		{"annotation change on a_make",
+			// /*@only@*/ removed from the return value.
+			`typedef struct _node {
+	int id;
+	/*@null@*/ /*@only@*/ struct _node *next;
+} node;
+extern char *a_make (int n);
+extern int a_weigh (/*@temp@*/ node *p);
+extern int a_limit;
+enum color { RED = 1, BLUE = 2 };
+`,
+			map[string]bool{"a_make": true}},
+		{"field annotation change propagates through the type",
+			// next loses /*@null@*/: every symbol whose signature reaches
+			// the node type moves; a_make and the enum do not.
+			`typedef struct _node {
+	int id;
+	/*@only@*/ struct _node *next;
+} node;
+extern /*@only@*/ char *a_make (int n);
+extern int a_weigh (/*@temp@*/ node *p);
+extern int a_limit;
+enum color { RED = 1, BLUE = 2 };
+`,
+			map[string]bool{"a_weigh": true}},
+		{"enum value change",
+			`typedef struct _node {
+	int id;
+	/*@null@*/ /*@only@*/ struct _node *next;
+} node;
+extern /*@only@*/ char *a_make (int n);
+extern int a_weigh (/*@temp@*/ node *p);
+extern int a_limit;
+enum color { RED = 1, BLUE = 3 };
+`,
+			map[string]bool{"BLUE": true}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := buildLib(t, tc.src).Fingerprints()
+			for name := range base {
+				_, inGot := got[name]
+				if !inGot {
+					continue // declaration shifted out in this variant
+				}
+				same := got[name] == base[name]
+				if tc.changed[name] && same {
+					t.Errorf("symbol %q: fingerprint unchanged despite interface change", name)
+				}
+				if !tc.changed[name] && !same {
+					t.Errorf("symbol %q: fingerprint moved without an interface change", name)
+				}
+			}
+		})
+	}
+}
+
+// Recursive types (the node list above links to itself) must terminate and
+// fingerprint deterministically regardless of table layout.
+func TestFingerprintsCycleSafe(t *testing.T) {
+	// Reversing declaration order shuffles the type-table indices; shapes
+	// must not change for symbols whose reachable structure is identical.
+	reordered := `enum color { RED = 1, BLUE = 2 };
+typedef struct _node {
+	int id;
+	/*@null@*/ /*@only@*/ struct _node *next;
+} node;
+extern int a_limit;
+extern int a_weigh (/*@temp@*/ node *p);
+extern /*@only@*/ char *a_make (int n);
+`
+	base := buildLib(t, ifaceV1).Fingerprints()
+	got := buildLib(t, reordered).Fingerprints()
+	// Positions are part of the fingerprint (diagnostics quote them), so
+	// only same-line symbols are comparable across the reorder; the type
+	// shape itself is exercised via a direct typeShape comparison.
+	libA, libB := buildLib(t, ifaceV1), buildLib(t, reordered)
+	var shapeA, shapeB string
+	for _, f := range libA.Funcs {
+		if f.Name == "a_weigh" {
+			shapeA = libA.typeShape(f.Params[0].Type, map[int32]string{})
+		}
+	}
+	for _, f := range libB.Funcs {
+		if f.Name == "a_weigh" {
+			shapeB = libB.typeShape(f.Params[0].Type, map[int32]string{})
+		}
+	}
+	if shapeA == "" || shapeA != shapeB {
+		t.Errorf("recursive type shape depends on table layout:\n%q\nvs\n%q", shapeA, shapeB)
+	}
+	if base["RED"] == "" || base["RED"] != got["RED"] {
+		t.Errorf("enum fingerprint moved across reorder: %q vs %q", base["RED"], got["RED"])
+	}
+}
+
+func TestFingerprintsNilLibrary(t *testing.T) {
+	var l *Library
+	if fp := l.Fingerprints(); len(fp) != 0 {
+		t.Errorf("nil library fingerprints = %v", fp)
+	}
+}
+
+func TestExportProgramRoundTrip(t *testing.T) {
+	res := core.CheckSource("iface.h", ifaceV1, core.Options{})
+	b, err := ExportProgram(res.Program)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib, err := Decode(bytesReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Build(res.Program)
+	if lib.EntryCount() != want.EntryCount() {
+		t.Errorf("entry count = %d, want %d", lib.EntryCount(), want.EntryCount())
+	}
+	fpA, fpB := lib.Fingerprints(), want.Fingerprints()
+	for name, h := range fpB {
+		if fpA[name] != h {
+			t.Errorf("fingerprint of %q changed across export: %q vs %q", name, fpA[name], h)
+		}
+	}
+}

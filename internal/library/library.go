@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 
 	"golclint/internal/annot"
 	"golclint/internal/ctoken"
@@ -74,12 +75,19 @@ type globalRec struct {
 	Line    int
 }
 
-// Library is the serializable interface summary of a program.
+// Library is the serializable interface summary of a program. It is
+// immutable once built or decoded; the fingerprint memo below relies on
+// that.
 type Library struct {
 	Types   []typeRec
 	Funcs   []funcRec
 	Globals []globalRec
 	Enums   map[string]int64
+
+	// fp memoizes Fingerprints (not serialized; gob ignores unexported
+	// fields).
+	fpOnce sync.Once
+	fp     map[string]string
 }
 
 // ---------------------------------------------------------------------------

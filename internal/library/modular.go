@@ -21,6 +21,18 @@ func CheckModule(files map[string]string, lib *Library, opt core.Options) *core.
 		opt.Metrics.Add(obs.LibraryEntriesLoaded, int64(lib.EntryCount()))
 		return lib.Install(prog)
 	}
+	if opt.Cache != nil {
+		// Make the library's effect visible to the cache: entries record
+		// the fingerprint of every interface fact the module references,
+		// and hit only while those facts are unchanged. Without this,
+		// core.CheckSources would refuse to cache a PreCheck run.
+		if opt.CacheDeps == nil {
+			opt.CacheDeps = lib.Fingerprints()
+		}
+		if opt.CacheExport == nil {
+			opt.CacheExport = ExportProgram
+		}
+	}
 	return core.CheckSources(files, opt)
 }
 

@@ -65,6 +65,9 @@ const (
 	DiagnosticsSuppressed                // diagnostics dropped by suppression or the message bound
 	LibraryEntriesLoaded                 // interface-library entries installed (modular checking)
 	FunctionsChecked                     // function definitions analyzed
+	CacheHits                            // modules replayed from the persistent analysis cache
+	CacheMisses                          // modules checked cold with caching enabled
+	CacheBytes                           // cache entry bytes read on hits plus written on misses
 	NumCounters
 )
 
@@ -80,6 +83,9 @@ var counterNames = [NumCounters]string{
 	DiagnosticsSuppressed: "diagnostics_suppressed",
 	LibraryEntriesLoaded:  "library_entries_loaded",
 	FunctionsChecked:      "functions_checked",
+	CacheHits:             "cache_hits",
+	CacheMisses:           "cache_misses",
+	CacheBytes:            "cache_bytes",
 }
 
 // String returns the counter's stable name (used as a JSON key).

@@ -1,6 +1,6 @@
 #!/bin/sh
 # Bench smoke: run the lclbench perf experiments in -quick mode and verify
-# that all three BENCH_*.json artifacts are produced and parse as JSON.
+# that all four BENCH_*.json artifacts are produced and parse as JSON.
 # Exercised by CI; also useful locally before comparing numbers across
 # machines. Keep it cheap — -quick uses small corpora, so this is a
 # does-the-harness-work check, not a measurement.
@@ -10,7 +10,7 @@ cd "$(dirname "$0")/.."
 
 go run ./cmd/lclbench -quick
 
-for f in BENCH_scaling.json BENCH_modular.json BENCH_parallel.json; do
+for f in BENCH_scaling.json BENCH_modular.json BENCH_parallel.json BENCH_incremental.json; do
     test -s "$f" || { echo "missing or empty: $f" >&2; exit 1; }
     python3 -m json.tool "$f" > /dev/null || { echo "invalid JSON: $f" >&2; exit 1; }
     echo "ok: $f"

@@ -1,0 +1,22 @@
+/* Figure 5 of the paper: the buggy list_addh. The checker reports the
+   confluence anomaly for e and the incomplete definition of the new
+   node's next field. */
+typedef /*@null@*/ struct _list {
+	/*@only@*/ char *this;
+	/*@null@*/ /*@only@*/ struct _list *next;
+} *list;
+
+extern /*@out@*/ /*@only@*/ void *smalloc(unsigned long);
+
+void list_addh(/*@temp@*/ list l, /*@only@*/ char *e)
+{
+	if (l != NULL)
+	{
+		while (l->next != NULL)
+		{
+			l = l->next;
+		}
+		l->next = (list) smalloc(sizeof(*l->next));
+		l->next->this = e;
+	}
+}

@@ -1,0 +1,6 @@
+/* Statements not reachable from the function entry. */
+int answer (void)
+{
+	return 42;
+	return 0;
+}

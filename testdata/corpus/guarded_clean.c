@@ -1,0 +1,17 @@
+/* A correct allocate/use/release sequence with null guards: the checker
+   must report nothing (exit status 0). */
+#include <stdlib.h>
+
+int roundTrip (int n)
+{
+	char *p;
+	p = (char *) malloc (8);
+	if (p == NULL)
+	{
+		return -1;
+	}
+	*p = (char) n;
+	n = *p;
+	free (p);
+	return n;
+}

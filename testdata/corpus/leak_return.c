@@ -1,0 +1,14 @@
+/*golden:flags -allimponly*/
+/* Fresh storage returned through an unannotated result (checked with
+   implicit only off, as in the paper's Section 6 run): the obligation
+   escapes without an only annotation. */
+#include <stdlib.h>
+
+char *makeBuf (void)
+{
+	char *p;
+	p = (char *) malloc (16);
+	if (p == NULL) { exit (1); }
+	*p = 'x';
+	return p;
+}

@@ -1,0 +1,20 @@
+/* A correct recursive-list push plus a caller that loses the result: the
+   leak is reported in the caller only. */
+#include <stdlib.h>
+typedef struct _n { int v; /*@null@*/ /*@only@*/ struct _n *next; } node;
+
+/*@only@*/ node *push (/*@null@*/ /*@only@*/ node *head, int v)
+{
+	node *n;
+	n = (node *) malloc (sizeof (node));
+	if (n == NULL) { exit (1); }
+	n->v = v;
+	n->next = head;
+	return n;
+}
+
+void drop (int v)
+{
+	node *head;
+	head = push ((node *) 0, v);
+}

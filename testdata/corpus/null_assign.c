@@ -1,0 +1,8 @@
+/* Figure 2 of the paper: a possibly-null parameter assigned to a non-null
+   global. The checker reports the anomaly at the function exit. */
+extern char *gname;
+
+void setName (/*@null@*/ char *pname)
+{
+	gname = pname;
+}

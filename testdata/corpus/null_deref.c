@@ -1,0 +1,15 @@
+/* Dereference of a possibly-null pointer without a guard, plus the
+   guarded form that must stay quiet. */
+char first (/*@null@*/ char *s)
+{
+	return *s;
+}
+
+char firstOrZero (/*@null@*/ char *s)
+{
+	if (s == 0)
+	{
+		return 0;
+	}
+	return *s;
+}

@@ -1,0 +1,7 @@
+/* A possibly-null value passed where the callee expects non-null. */
+extern int count (char *s);
+
+int tally (/*@null@*/ char *s)
+{
+	return count (s);
+}

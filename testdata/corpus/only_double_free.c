@@ -1,0 +1,11 @@
+/* The release obligation discharged twice. */
+#include <stdlib.h>
+
+void twice (void)
+{
+	char *p;
+	p = (char *) malloc (8);
+	if (p == NULL) { exit (1); }
+	free (p);
+	free (p);
+}

@@ -1,0 +1,10 @@
+/* Allocated only storage whose last reference is overwritten: the classic
+   leak (§4.3). */
+#include <stdlib.h>
+
+void leaky (int n)
+{
+	char *p;
+	p = (char *) malloc (10);
+	if (n > 0) { p = (char *) 0; }
+}

@@ -1,0 +1,11 @@
+/* out parameters: the callee must define them; reading one before that is
+   a use of undefined storage. */
+void fill (/*@out@*/ int *slot)
+{
+	*slot = 42;
+}
+
+int readsBeforeWrite (/*@out@*/ int *slot)
+{
+	return *slot;
+}

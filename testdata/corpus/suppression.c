@@ -1,0 +1,24 @@
+/* The paper's stylized suppression comments: an "i" comment silences the
+   next message; an ignore/end region silences all messages inside it.
+   The unsuppressed leak in noisy() must still be reported. */
+#include <stdlib.h>
+extern char *gname;
+
+void quiet (/*@null@*/ char *pname)
+{
+	/*@i@*/ gname = pname;
+}
+
+/*@ignore@*/
+void region (/*@null@*/ char *pname)
+{
+	gname = pname;
+}
+/*@end@*/
+
+void noisy (int n)
+{
+	char *p;
+	p = (char *) malloc (10);
+	if (n > 0) { p = (char *) 0; }
+}

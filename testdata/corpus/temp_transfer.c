@@ -1,0 +1,8 @@
+/* Figure 4 of the paper: a temp parameter stored in an only global —
+   transferring storage the function does not own. */
+extern /*@only@*/ char *gname;
+
+void setName (/*@temp@*/ char *pname)
+{
+	gname = pname;
+}

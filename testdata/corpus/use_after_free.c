@@ -1,0 +1,13 @@
+/* Use of storage after its obligation was transferred to free: a dead
+   pointer dereference. */
+#include <stdlib.h>
+
+char useAfterFree (void)
+{
+	char *p;
+	p = (char *) malloc (8);
+	if (p == NULL) { exit (1); }
+	*p = 'x';
+	free (p);
+	return *p;
+}

@@ -1,0 +1,10 @@
+/* A local used as an rvalue before any definition reaches it (§4.2). */
+int sumFirst (int n)
+{
+	int total;
+	if (n > 0)
+	{
+		total = n;
+	}
+	return total;
+}
