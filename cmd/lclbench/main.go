@@ -4,19 +4,20 @@
 // full set.
 //
 // The perf experiments also emit machine-readable companions alongside the
-// prose tables — BENCH_scaling.json (E9), BENCH_modular.json (E10), and
-// BENCH_parallel.json (E15) in the current directory — each stamped with the
+// prose tables — BENCH_scaling.json (E9), BENCH_modular.json (E10),
+// BENCH_parallel.json (E15), BENCH_incremental.json (E16), and
+// BENCH_state.json (E17) in the current directory — each stamped with the
 // experiment's elapsed time and allocation totals (measured per benchmark
 // row, so alloc figures are attributable) so the numbers are diffable
 // across changes.
 //
 // Usage:
 //
-//	lclbench [-jobs n] [-quick] [samples|listaddh|ercdb|scaling|modular|economy|staticvsdynamic|nofixpoint|parallel|all]
+//	lclbench [-jobs n] [-quick] [samples|listaddh|ercdb|scaling|modular|economy|staticvsdynamic|nofixpoint|parallel|incremental|state|all]
 //
 //	-jobs n   highest worker count the parallel experiment sweeps to
 //	          (0 = GOMAXPROCS)
-//	-quick    run only the three BENCH-emitting experiments on small
+//	-quick    run only the BENCH-emitting experiments on small
 //	          corpora (the CI smoke mode)
 package main
 
@@ -130,6 +131,7 @@ var experiments = []struct {
 	{"nofixpoint", runNoFixpoint},
 	{"parallel", runParallel},
 	{"incremental", runIncremental},
+	{"state", runState},
 }
 
 // maxJobs is the highest worker count the parallel experiment sweeps to
@@ -147,6 +149,7 @@ func main() {
 		runModularModules(8)
 		runParallelConfig(8, 6, maxJobs)
 		runIncrementalModules(8)
+		runStateIters(3)
 		return
 	}
 	cmd := "all"
@@ -736,4 +739,109 @@ func runIncrementalModules(modules int) {
 		doc.SpeedupWarm, doc.SpeedupDirty)
 	fmt.Println("paper shape: unchanged modules replay from the cache; editing touches only what changed")
 	writeBenchJSON("BENCH_incremental.json", doc)
+}
+
+// ---------------------------------------------------------------------------
+// E17: the interned-reference dense store. Measures the check phase alone
+// (parsing and environment construction hoisted out, serial workers) over
+// the E9 reference corpus: ns per whole-corpus pass, allocations per pass,
+// and the copy-on-write counters. The emitted BENCH_state.json also carries
+// the committed allocation budget that scripts/bench.sh enforces, plus the
+// map-keyed store's numbers from the commit that replaced it, so the file
+// is a self-contained before/after record.
+
+const (
+	// stateBudgetAllocsPerOp is the committed check-phase allocation budget
+	// on the E17 workload; scripts/bench.sh fails its smoke run when a build
+	// exceeds it by more than 20% (the regression guard).
+	stateBudgetAllocsPerOp = 17000
+
+	// stateBaseline* record the string-keyed map store's cost on the same
+	// workload and machine class, measured at the commit that replaced it
+	// (the "before" column of EXPERIMENTS.md E17).
+	stateBaselineCheckNSPerOp = 19938660
+	stateBaselineAllocsPerOp  = 135659
+)
+
+// stateDoc is BENCH_state.json.
+type stateDoc struct {
+	benchMeta
+	Lines   int `json:"lines"`
+	Modules int `json:"modules"`
+	Iters   int `json:"iters"`
+	// CheckNSPerOp / Alloc*PerOp are per whole-corpus CheckProgram pass,
+	// averaged over Iters passes.
+	CheckNSPerOp    int64  `json:"check_ns_per_op"`
+	AllocBytesPerOp uint64 `json:"alloc_bytes_per_op"`
+	AllocsPerOp     uint64 `json:"allocs_per_op"`
+	// Copy-on-write counters from one instrumented pass.
+	StoreClones     int64 `json:"store_clones"`
+	RefStatesCopied int64 `json:"refstates_copied"`
+	MergeNS         int64 `json:"merge_ns"`
+	// The committed guard and the before-rewrite reference numbers.
+	BudgetAllocsPerOp    uint64 `json:"budget_allocs_per_op"`
+	BaselineCheckNSPerOp int64  `json:"baseline_check_ns_per_op"`
+	BaselineAllocsPerOp  uint64 `json:"baseline_allocs_per_op"`
+}
+
+func runState() { runStateIters(10) }
+
+// runStateIters is runState with a configurable pass count (the -quick
+// smoke uses fewer). The corpus is always E9's 32-module configuration so
+// the committed allocation budget means the same thing in every mode.
+func runStateIters(iters int) {
+	header("E17", "interned-reference dense store: check-phase cost")
+	p := testgen.Generate(testgen.Config{
+		Seed: 42, Modules: 32, FuncsPer: 10, Annotate: true,
+		Bugs: map[testgen.BugKind]int{testgen.BugLeak: 16},
+	})
+	m := obs.New()
+	res := core.CheckSources(p.Files, core.Options{Includes: cpp.MapIncluder(p.Headers), Metrics: m})
+	if res.Program == nil {
+		fmt.Fprintln(os.Stderr, "lclbench: E17 corpus failed to parse")
+		return
+	}
+	fl := flags.Default()
+	check := func() {
+		rep := diag.NewReporter(fl.MaxMessages)
+		core.CheckProgram(res.Program, fl, rep)
+	}
+	check() // warm code paths before measuring
+	var doc stateDoc
+	meta := measure("golclint-bench-state/v1", "E17", func() {
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			check()
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		doc.CheckNSPerOp = elapsed.Nanoseconds() / int64(iters)
+		doc.AllocBytesPerOp = (after.TotalAlloc - before.TotalAlloc) / uint64(iters)
+		doc.AllocsPerOp = (after.Mallocs - before.Mallocs) / uint64(iters)
+	})
+	snap := m.Snapshot()
+	doc.benchMeta = meta
+	doc.Lines, doc.Modules, doc.Iters = p.Lines, 32, iters
+	doc.StoreClones = snap.Counters["store_clones"]
+	doc.RefStatesCopied = snap.Counters["refstates_copied"]
+	doc.MergeNS = snap.Counters["merge_ns"]
+	doc.BudgetAllocsPerOp = stateBudgetAllocsPerOp
+	doc.BaselineCheckNSPerOp = stateBaselineCheckNSPerOp
+	doc.BaselineAllocsPerOp = stateBaselineAllocsPerOp
+
+	fmt.Printf("corpus: %d lines, %d modules; %d check passes\n", p.Lines, 32, iters)
+	fmt.Printf("%-16s %14s %14s %9s\n", "", "map store", "dense store", "ratio")
+	fmt.Printf("%-16s %14d %14d %8.1fx\n", "check ns/op",
+		int64(stateBaselineCheckNSPerOp), doc.CheckNSPerOp,
+		float64(stateBaselineCheckNSPerOp)/float64(doc.CheckNSPerOp))
+	fmt.Printf("%-16s %14d %14d %8.1fx\n", "allocs/op",
+		uint64(stateBaselineAllocsPerOp), doc.AllocsPerOp,
+		float64(stateBaselineAllocsPerOp)/float64(doc.AllocsPerOp))
+	fmt.Printf("cow: %d clones, %d copies faulted, %.1f ms merging\n",
+		doc.StoreClones, doc.RefStatesCopied, float64(doc.MergeNS)/1e6)
+	fmt.Printf("committed budget: %d allocs/op (smoke fails above +20%%)\n",
+		uint64(stateBudgetAllocsPerOp))
+	writeBenchJSON("BENCH_state.json", doc)
 }

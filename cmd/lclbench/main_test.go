@@ -15,8 +15,9 @@ func TestExperimentsRun(t *testing.T) {
 		t.Skip("experiment drivers are slow")
 	}
 	for _, e := range experiments {
-		if e.name == "scaling" || e.name == "modular" || e.name == "economy" || e.name == "parallel" {
-			continue // minutes-scale corpora; exercised by benchmarks
+		if e.name == "scaling" || e.name == "modular" || e.name == "economy" ||
+			e.name == "parallel" || e.name == "state" {
+			continue // minutes-scale corpora; exercised by benchmarks or the emission tests
 		}
 		e := e
 		t.Run(e.name, func(t *testing.T) {
@@ -197,5 +198,55 @@ func TestBenchIncrementalJSONEmission(t *testing.T) {
 	}
 	if id.SpeedupWarm <= 1 || id.SpeedupDirty <= 1 {
 		t.Errorf("speedups = %.2f / %.2f, want > 1", id.SpeedupWarm, id.SpeedupDirty)
+	}
+}
+
+// The dense-store experiment (E17) emits a valid BENCH_state.json whose
+// per-pass figures are populated and whose measured allocs/op respects the
+// committed budget — the same gate scripts/bench.sh applies, asserted here
+// so a regression fails `go test` too, not only the smoke script.
+func TestBenchStateJSONEmission(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E17 parses the full E9 corpus")
+	}
+	old := outDir
+	outDir = t.TempDir()
+	defer func() { outDir = old }()
+
+	runStateIters(2)
+	b, err := os.ReadFile(filepath.Join(outDir, "BENCH_state.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sd stateDoc
+	if err := json.Unmarshal(b, &sd); err != nil {
+		t.Fatalf("BENCH_state.json invalid: %v", err)
+	}
+	if sd.Schema != "golclint-bench-state/v1" || sd.Experiment != "E17" {
+		t.Errorf("meta = %q %q", sd.Schema, sd.Experiment)
+	}
+	if sd.Lines <= 0 || sd.Modules != 32 || sd.Iters != 2 {
+		t.Errorf("corpus stamps missing: %+v", sd)
+	}
+	if sd.CheckNSPerOp <= 0 || sd.AllocBytesPerOp == 0 || sd.AllocsPerOp == 0 {
+		t.Errorf("per-op figures missing: %+v", sd)
+	}
+	if sd.StoreClones <= 0 || sd.RefStatesCopied <= 0 {
+		t.Errorf("cow counters missing: clones=%d copied=%d", sd.StoreClones, sd.RefStatesCopied)
+	}
+	if sd.BudgetAllocsPerOp != stateBudgetAllocsPerOp || sd.BaselineAllocsPerOp != stateBaselineAllocsPerOp {
+		t.Errorf("committed constants not stamped: %+v", sd)
+	}
+	if float64(sd.AllocsPerOp) > float64(sd.BudgetAllocsPerOp)*1.2 {
+		t.Errorf("check-phase allocs/op regressed: %d > 1.2 * %d budget",
+			sd.AllocsPerOp, sd.BudgetAllocsPerOp)
+	}
+	// The acceptance targets: >= 2x fewer ns and >= 5x fewer allocations
+	// than the retained map-store baseline. ns/op is machine dependent, so
+	// only the allocation claim is asserted (the committed full run records
+	// both).
+	if sd.AllocsPerOp*5 > sd.BaselineAllocsPerOp {
+		t.Errorf("allocs/op %d is not >= 5x under the %d baseline",
+			sd.AllocsPerOp, sd.BaselineAllocsPerOp)
 	}
 }

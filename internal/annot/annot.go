@@ -6,6 +6,7 @@ package annot
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 	"strings"
 )
@@ -149,6 +150,34 @@ func CategoryOf(a Annot) Category {
 // Set is a set of annotations, implemented as a bitset.
 type Set uint32
 
+// catMasks[c] is the set of all annotations whose category is c, so
+// category queries on a Set are single mask operations.
+var catMasks = func() [CatFuncNull + 1]Set {
+	var m [CatFuncNull + 1]Set
+	for a := Null; a < numAnnots; a++ {
+		m[CategoryOf(a)] = m[CategoryOf(a)].With(a)
+	}
+	return m
+}()
+
+// CategoryMask returns the set of every annotation in category c.
+func CategoryMask(c Category) Set {
+	if c >= 0 && int(c) < len(catMasks) {
+		return catMasks[c]
+	}
+	return 0
+}
+
+// CategoryCover returns the union of the category masks of the annotations
+// in s: the annotations category exclusivity rules out once s is in force.
+func (s Set) CategoryCover() Set {
+	var cover Set
+	for b := s; b != 0; b &= b - 1 {
+		cover |= catMasks[CategoryOf(Annot(bits.TrailingZeros32(uint32(b))))]
+	}
+	return cover
+}
+
 // Make builds a set from the given annotations.
 func Make(as ...Annot) Set {
 	var s Set
@@ -185,7 +214,7 @@ func (s Set) List() []Annot {
 }
 
 // Len returns the number of annotations in s.
-func (s Set) Len() int { return len(s.List()) }
+func (s Set) Len() int { return bits.OnesCount32(uint32(s)) }
 
 // String renders the set as space-separated keywords in a stable order.
 func (s Set) String() string {
@@ -197,12 +226,11 @@ func (s Set) String() string {
 }
 
 // InCategory returns the annotation of s in category c, if exactly one
-// present; ok is false when the category is unconstrained.
+// present (the first in declaration order when s is ill-formed); ok is
+// false when the category is unconstrained. Allocation-free.
 func (s Set) InCategory(c Category) (Annot, bool) {
-	for _, a := range s.List() {
-		if CategoryOf(a) == c {
-			return a, true
-		}
+	if m := s & CategoryMask(c); m != 0 {
+		return Annot(bits.TrailingZeros32(uint32(m))), true
 	}
 	return invalid, false
 }

@@ -38,7 +38,7 @@ func (k NodeKind) String() string { return kindNames[k] }
 type Node struct {
 	ID    int
 	Kind  NodeKind
-	Label string // source text or description
+	Label string // source text or description ("" when built without labels)
 	Pos   ctoken.Pos
 	Succs []*Node
 	Preds []*Node
@@ -52,15 +52,70 @@ type Graph struct {
 	Exit     *Node
 }
 
-// newNode appends a node to the graph.
-func (g *Graph) newNode(kind NodeKind, label string, pos ctoken.Pos) *Node {
-	n := &Node{ID: len(g.Nodes) + 1, Kind: kind, Label: label, Pos: pos}
-	g.Nodes = append(g.Nodes, n)
+// Builder constructs CFGs repeatedly, recycling node storage between calls.
+// A graph returned by (*Builder).Build is valid only until the next Build on
+// the same Builder, and its nodes carry no labels — the checker never reads
+// them; callers that render graphs (-cfg dumps) use the package-level Build,
+// which keeps labels and allocates fresh nodes.
+type Builder struct {
+	g          Graph
+	breakTo    []*Node
+	continueTo []*Node
+	labels     bool
+
+	pool []*Node
+	used int
+}
+
+// NewBuilder returns a Builder that recycles node storage and skips label
+// rendering.
+func NewBuilder() *Builder { return &Builder{} }
+
+// Build constructs the acyclic CFG of a function definition with labeled,
+// freshly allocated nodes (safe to retain).
+func Build(f *cast.FuncDef) *Graph {
+	b := &Builder{labels: true}
+	g := b.Build(f)
+	return g
+}
+
+// Build constructs the acyclic CFG of f, reusing the Builder's node storage.
+func (b *Builder) Build(f *cast.FuncDef) *Graph {
+	b.used = 0
+	b.breakTo = b.breakTo[:0]
+	b.continueTo = b.continueTo[:0]
+	g := &b.g
+	*g = Graph{FuncName: f.Name, Nodes: g.Nodes[:0]}
+	g.Entry = b.newNode(Entry, f.Pos())
+	g.Exit = b.newNode(Exit, f.Pos())
+	if b.labels {
+		g.Entry.Label = "Function Entrance"
+		g.Exit.Label = "Function Exit"
+	}
+	last := b.stmt(g.Entry, f.Body)
+	edge(last, g.Exit)
+	return g
+}
+
+// newNode appends a node to the graph, recycling a pooled node when one is
+// available.
+func (b *Builder) newNode(kind NodeKind, pos ctoken.Pos) *Node {
+	var n *Node
+	if b.used < len(b.pool) {
+		n = b.pool[b.used]
+		*n = Node{Kind: kind, Pos: pos, Succs: n.Succs[:0], Preds: n.Preds[:0]}
+	} else {
+		n = &Node{Kind: kind, Pos: pos}
+		b.pool = append(b.pool, n)
+	}
+	b.used++
+	n.ID = len(b.g.Nodes) + 1
+	b.g.Nodes = append(b.g.Nodes, n)
 	return n
 }
 
 // edge links from -> to.
-func (g *Graph) edge(from, to *Node) {
+func edge(from, to *Node) {
 	if from == nil || to == nil {
 		return
 	}
@@ -68,30 +123,12 @@ func (g *Graph) edge(from, to *Node) {
 	to.Preds = append(to.Preds, from)
 }
 
-// builder holds loop/switch context during construction.
-type builder struct {
-	g          *Graph
-	breakTo    []*Node
-	continueTo []*Node
-}
-
-// Build constructs the acyclic CFG of a function definition.
-func Build(f *cast.FuncDef) *Graph {
-	g := &Graph{FuncName: f.Name}
-	g.Entry = g.newNode(Entry, "Function Entrance", f.Pos())
-	g.Exit = g.newNode(Exit, "Function Exit", f.Pos())
-	b := &builder{g: g}
-	last := b.stmt(g.Entry, f.Body)
-	g.edge(last, g.Exit)
-	return g
-}
-
 // stmt wires the statement s after node cur and returns the node that
 // control flows out of (nil if the path ends, e.g. after return).
-func (b *builder) stmt(cur *Node, s cast.Stmt) *Node {
+func (b *Builder) stmt(cur *Node, s cast.Stmt) *Node {
 	// A nil cur means the path already terminated; nodes are still
 	// created (with no incoming edges) so Unreachable can report them.
-	g := b.g
+	g := &b.g
 	switch v := s.(type) {
 	case *cast.Block:
 		terminated := false
@@ -110,45 +147,63 @@ func (b *builder) stmt(cur *Node, s cast.Stmt) *Node {
 	case *cast.Empty, *cast.Label, *cast.Case:
 		return cur
 	case *cast.DeclStmt:
-		n := g.newNode(Stmt, declLabel(v), v.P)
-		g.edge(cur, n)
+		n := b.newNode(Stmt, v.P)
+		if b.labels {
+			n.Label = declLabel(v)
+		}
+		edge(cur, n)
 		return n
 	case *cast.ExprStmt:
-		n := g.newNode(Stmt, fmt.Sprintf("%d: %s", v.P.Line, cast.ExprString(v.X)), v.P)
-		g.edge(cur, n)
+		n := b.newNode(Stmt, v.P)
+		if b.labels {
+			n.Label = fmt.Sprintf("%d: %s", v.P.Line, cast.ExprString(v.X))
+		}
+		edge(cur, n)
 		return n
 	case *cast.Return:
-		n := g.newNode(Stmt, fmt.Sprintf("%d: return %s", v.P.Line, cast.ExprString(v.X)), v.P)
-		g.edge(cur, n)
-		g.edge(n, g.Exit)
+		n := b.newNode(Stmt, v.P)
+		if b.labels {
+			n.Label = fmt.Sprintf("%d: return %s", v.P.Line, cast.ExprString(v.X))
+		}
+		edge(cur, n)
+		edge(n, g.Exit)
 		return nil
 	case *cast.Goto:
 		// Forward gotos exit the path in the paper's structured model.
-		n := g.newNode(Stmt, fmt.Sprintf("%d: goto %s", v.P.Line, v.Label), v.P)
-		g.edge(cur, n)
-		g.edge(n, g.Exit)
+		n := b.newNode(Stmt, v.P)
+		if b.labels {
+			n.Label = fmt.Sprintf("%d: goto %s", v.P.Line, v.Label)
+		}
+		edge(cur, n)
+		edge(n, g.Exit)
 		return nil
 	case *cast.Break:
 		if len(b.breakTo) > 0 {
-			g.edge(cur, b.breakTo[len(b.breakTo)-1])
+			edge(cur, b.breakTo[len(b.breakTo)-1])
 		}
 		return nil
 	case *cast.Continue:
 		if len(b.continueTo) > 0 {
-			g.edge(cur, b.continueTo[len(b.continueTo)-1])
+			edge(cur, b.continueTo[len(b.continueTo)-1])
 		}
 		return nil
 	case *cast.If:
-		br := g.newNode(Branch, fmt.Sprintf("%d: if (%s)", v.P.Line, cast.ExprString(v.Cond)), v.P)
-		g.edge(cur, br)
-		m := g.newNode(Merge, "merge", v.P)
+		br := b.newNode(Branch, v.P)
+		if b.labels {
+			br.Label = fmt.Sprintf("%d: if (%s)", v.P.Line, cast.ExprString(v.Cond))
+		}
+		edge(cur, br)
+		m := b.newNode(Merge, v.P)
+		if b.labels {
+			m.Label = "merge"
+		}
 		thenEnd := b.stmt(br, v.Then)
-		g.edge(thenEnd, m)
+		edge(thenEnd, m)
 		if v.Else != nil {
 			elseEnd := b.stmt(br, v.Else)
-			g.edge(elseEnd, m)
+			edge(elseEnd, m)
 		} else {
-			g.edge(br, m)
+			edge(br, m)
 		}
 		if len(m.Preds) == 0 {
 			return nil
@@ -158,61 +213,88 @@ func (b *builder) stmt(cur *Node, s cast.Stmt) *Node {
 		// No back edge: the loop body flows forward into the merge, which
 		// also receives the zero-iteration path (§5: "The while loop is
 		// treated identically to an if statement — there is no back edge").
-		br := g.newNode(Branch, fmt.Sprintf("%d: while (%s)", v.P.Line, cast.ExprString(v.Cond)), v.P)
-		g.edge(cur, br)
-		m := g.newNode(Merge, "merge", v.P)
+		br := b.newNode(Branch, v.P)
+		if b.labels {
+			br.Label = fmt.Sprintf("%d: while (%s)", v.P.Line, cast.ExprString(v.Cond))
+		}
+		edge(cur, br)
+		m := b.newNode(Merge, v.P)
+		if b.labels {
+			m.Label = "merge"
+		}
 		b.breakTo = append(b.breakTo, m)
 		b.continueTo = append(b.continueTo, m)
 		bodyEnd := b.stmt(br, v.Body)
 		b.breakTo = b.breakTo[:len(b.breakTo)-1]
 		b.continueTo = b.continueTo[:len(b.continueTo)-1]
-		g.edge(bodyEnd, m)
-		g.edge(br, m) // zero-iteration path
+		edge(bodyEnd, m)
+		edge(br, m) // zero-iteration path
 		return m
 	case *cast.DoWhile:
-		m := g.newNode(Merge, "merge", v.P)
+		m := b.newNode(Merge, v.P)
+		if b.labels {
+			m.Label = "merge"
+		}
 		b.breakTo = append(b.breakTo, m)
 		b.continueTo = append(b.continueTo, m)
 		bodyEnd := b.stmt(cur, v.Body)
 		b.breakTo = b.breakTo[:len(b.breakTo)-1]
 		b.continueTo = b.continueTo[:len(b.continueTo)-1]
-		br := g.newNode(Branch, fmt.Sprintf("%d: do-while (%s)", v.P.Line, cast.ExprString(v.Cond)), v.P)
-		g.edge(bodyEnd, br)
-		g.edge(br, m)
+		br := b.newNode(Branch, v.P)
+		if b.labels {
+			br.Label = fmt.Sprintf("%d: do-while (%s)", v.P.Line, cast.ExprString(v.Cond))
+		}
+		edge(bodyEnd, br)
+		edge(br, m)
 		return m
 	case *cast.For:
 		if v.Init != nil {
 			cur = b.stmt(cur, v.Init)
 		}
-		label := "for (;;)"
-		if v.Cond != nil {
-			label = fmt.Sprintf("for (%s)", cast.ExprString(v.Cond))
+		br := b.newNode(Branch, v.P)
+		if b.labels {
+			label := "for (;;)"
+			if v.Cond != nil {
+				label = fmt.Sprintf("for (%s)", cast.ExprString(v.Cond))
+			}
+			br.Label = fmt.Sprintf("%d: %s", v.P.Line, label)
 		}
-		br := g.newNode(Branch, fmt.Sprintf("%d: %s", v.P.Line, label), v.P)
-		g.edge(cur, br)
-		m := g.newNode(Merge, "merge", v.P)
+		edge(cur, br)
+		m := b.newNode(Merge, v.P)
+		if b.labels {
+			m.Label = "merge"
+		}
 		b.breakTo = append(b.breakTo, m)
 		b.continueTo = append(b.continueTo, m)
 		bodyEnd := b.stmt(br, v.Body)
 		b.breakTo = b.breakTo[:len(b.breakTo)-1]
 		b.continueTo = b.continueTo[:len(b.continueTo)-1]
 		if v.Post != nil && bodyEnd != nil {
-			p := g.newNode(Stmt, fmt.Sprintf("%d: %s", v.P.Line, cast.ExprString(v.Post)), v.P)
-			g.edge(bodyEnd, p)
+			p := b.newNode(Stmt, v.P)
+			if b.labels {
+				p.Label = fmt.Sprintf("%d: %s", v.P.Line, cast.ExprString(v.Post))
+			}
+			edge(bodyEnd, p)
 			bodyEnd = p
 		}
-		g.edge(bodyEnd, m)
+		edge(bodyEnd, m)
 		if v.Cond != nil {
-			g.edge(br, m) // zero-iteration path
+			edge(br, m) // zero-iteration path
 		}
 		if len(m.Preds) == 0 {
 			return nil
 		}
 		return m
 	case *cast.Switch:
-		br := g.newNode(Branch, fmt.Sprintf("%d: switch (%s)", v.P.Line, cast.ExprString(v.Tag)), v.P)
-		g.edge(cur, br)
-		m := g.newNode(Merge, "merge", v.P)
+		br := b.newNode(Branch, v.P)
+		if b.labels {
+			br.Label = fmt.Sprintf("%d: switch (%s)", v.P.Line, cast.ExprString(v.Tag))
+		}
+		edge(cur, br)
+		m := b.newNode(Merge, v.P)
+		if b.labels {
+			m.Label = "merge"
+		}
 		b.breakTo = append(b.breakTo, m)
 		hasDefault := false
 		if body, ok := v.Body.(*cast.Block); ok {
@@ -222,21 +304,24 @@ func (b *builder) stmt(cur *Node, s cast.Stmt) *Node {
 					if cs.Value == nil {
 						hasDefault = true
 					}
-					armStart := g.newNode(Merge, caseLabel(cs), cs.P)
-					g.edge(br, armStart)
-					g.edge(armEnd, armStart) // fallthrough
+					armStart := b.newNode(Merge, cs.P)
+					if b.labels {
+						armStart.Label = caseLabel(cs)
+					}
+					edge(br, armStart)
+					edge(armEnd, armStart) // fallthrough
 					armEnd = armStart
 					continue
 				}
 				armEnd = b.stmt(armEnd, item)
 			}
-			g.edge(armEnd, m)
+			edge(armEnd, m)
 		} else {
-			g.edge(b.stmt(br, v.Body), m)
+			edge(b.stmt(br, v.Body), m)
 		}
 		b.breakTo = b.breakTo[:len(b.breakTo)-1]
 		if !hasDefault {
-			g.edge(br, m) // no-match path
+			edge(br, m) // no-match path
 		}
 		if len(m.Preds) == 0 {
 			return nil
@@ -309,28 +394,42 @@ func (g *Graph) Topo() []*Node {
 	return order
 }
 
-// Reachable returns the set of nodes reachable from Entry.
-func (g *Graph) Reachable() map[*Node]bool {
-	seen := map[*Node]bool{}
-	stack := []*Node{g.Entry}
+// reachable marks node IDs reachable from Entry in a dense slice (IDs are
+// 1..len(Nodes)).
+func (g *Graph) reachable() []bool {
+	seen := make([]bool, len(g.Nodes)+1)
+	stack := make([]*Node, 0, 16)
+	stack = append(stack, g.Entry)
 	for len(stack) > 0 {
 		n := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		if seen[n] {
+		if seen[n.ID] {
 			continue
 		}
-		seen[n] = true
+		seen[n.ID] = true
 		stack = append(stack, n.Succs...)
 	}
 	return seen
 }
 
+// Reachable returns the set of nodes reachable from Entry.
+func (g *Graph) Reachable() map[*Node]bool {
+	seen := g.reachable()
+	out := make(map[*Node]bool, len(g.Nodes))
+	for _, n := range g.Nodes {
+		if seen[n.ID] {
+			out[n] = true
+		}
+	}
+	return out
+}
+
 // Unreachable returns statement nodes not reachable from Entry (dead code).
 func (g *Graph) Unreachable() []*Node {
-	reach := g.Reachable()
+	reach := g.reachable()
 	var out []*Node
 	for _, n := range g.Nodes {
-		if !reach[n] && (n.Kind == Stmt || n.Kind == Branch) {
+		if !reach[n.ID] && (n.Kind == Stmt || n.Kind == Branch) {
 			out = append(out, n)
 		}
 	}

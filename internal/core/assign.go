@@ -7,6 +7,26 @@ import (
 	"golclint/internal/diag"
 )
 
+// assignDesc lazily describes an assignment for diagnostic text. Rendering
+// an expression is comparatively expensive, and the overwhelming majority of
+// assignments produce no message, so the text is built only inside report
+// branches.
+type assignDesc struct {
+	name string    // declarator name for "x = init" renderings ("" otherwise)
+	expr cast.Expr // the assignment (or initializer) expression; nil = none
+}
+
+// text renders the assignment for a message.
+func (d assignDesc) text() string {
+	if d.expr == nil {
+		return ""
+	}
+	if d.name != "" {
+		return d.name + " = " + cast.ExprString(d.expr)
+	}
+	return cast.ExprString(d.expr)
+}
+
 // evalAssign checks and applies an assignment expression.
 func (c *checker) evalAssign(st *store, a *cast.Assign) value {
 	if a.Op != cast.AssignEq {
@@ -14,8 +34,8 @@ func (c *checker) evalAssign(st *store, a *cast.Assign) value {
 		// target are unchanged apart from becoming defined.
 		lhs := c.evalExpr(st, a.LHS, true)
 		c.evalExpr(st, a.RHS, true)
-		if lhs.key != "" {
-			st.applyToAliases(lhs.key, func(r *refState) {
+		if lhs.ref != noRef {
+			st.applyToAliases(lhs.ref, func(r *refState) {
 				if r.def == DefUndefined {
 					r.def = DefDefined
 				}
@@ -26,37 +46,39 @@ func (c *checker) evalAssign(st *store, a *cast.Assign) value {
 	}
 	rhs := c.evalExpr(st, a.RHS, true)
 	lhs := c.evalExpr(st, a.LHS, false)
-	if lhs.key == "" {
+	if lhs.ref == noRef {
 		a.SetType(lhs.typ)
 		return rhs
 	}
-	c.assignTo(st, lhs.key, rhs, a.P, cast.ExprString(a))
+	c.assignTo(st, lhs.ref, rhs, a.P, assignDesc{expr: a})
 	a.SetType(lhs.typ)
-	if rs, ok := st.refs[lhs.key]; ok {
-		return valueOf(lhs.key, rs)
+	if rs := st.ref(lhs.ref); rs != nil {
+		return valueOf(lhs.ref, rs)
 	}
 	return rhs
 }
 
-// assignTo binds the value rhs to the reference lkey, performing the
+// assignTo binds the value rhs to the reference lid, performing the
 // paper's checks: loss of a release obligation (leak), transfer-of-
 // obligation rules for only/owned sinks, alias recording, and state
 // propagation.
-func (c *checker) assignTo(st *store, lkey string, rhs value, pos ctoken.Pos, exprText string) {
-	lrs, ok := st.refs[lkey]
-	if !ok {
+func (c *checker) assignTo(st *store, lid RefID, rhs value, pos ctoken.Pos, desc assignDesc) {
+	lrs := st.ref(lid)
+	if lrs == nil {
 		return
 	}
+	in := c.fs.in
 
 	// Observer storage must not be modified by the caller (§4.4 /
 	// Appendix B). Writing through a derived reference of an observer
 	// result modifies the observed object; rebinding a local that merely
 	// holds the observer pointer is fine.
-	if lrs.observer && isDerivedKey(lkey) {
+	derived := in.derived(lid)
+	if lrs.observer && derived {
 		d := c.report(diag.ObserverMod, pos,
-			"Observer storage %s may not be modified: %s", display(lkey), exprText)
+			"Observer storage %s may not be modified: %s", c.disp(lid), desc.text())
 		if d != nil && lrs.declPos.IsValid() {
-			d.WithNote(lrs.declPos, "Storage %s becomes observer", display(lkey))
+			d.WithNote(lrs.declPos, "Storage %s becomes observer", c.disp(lid))
 		}
 	}
 
@@ -65,20 +87,28 @@ func (c *checker) assignTo(st *store, lkey string, rhs value, pos ctoken.Pos, ex
 	// spell the path through an alias of the parent (argl->next for
 	// l->next). Value aliases (a local that happens to point to the same
 	// node) are NOT mirrors — they keep their own binding.
-	derived := isDerivedKey(lkey)
-	var structural []string
+	var structural []RefID
 	if derived {
-		parent := baseOf(lkey)
-		mirror := map[string]bool{}
-		for _, ap := range st.aliasesOf(parent) {
-			if len(lkey) > 0 && lkey[0] == '*' && lkey == "*"+parent {
-				mirror["*"+ap] = true // deref selectors prefix the base
-			} else {
-				mirror[ap+lkey[len(parent):]] = true
-			}
+		parent := in.parentOf(lid)
+		lkey := in.keys[lid]
+		parentKey := in.keys[parent]
+		isDeref := len(lkey) > 0 && lkey[0] == '*'
+		suffix := ""
+		if !isDeref {
+			suffix = lkey[len(parentKey):]
 		}
-		for _, al := range st.aliasesOf(lkey) {
-			if mirror[al] {
+		parentAliases := st.aliasSet(parent)
+		for _, al := range st.aliasSet(lid) {
+			p2 := in.parentOf(al)
+			if p2 == noRef || !containsRef(parentAliases, p2) {
+				continue
+			}
+			alKey := in.keys[al]
+			if isDeref {
+				if len(alKey) > 0 && alKey[0] == '*' { // deref selectors prefix the base
+					structural = append(structural, al)
+				}
+			} else if len(alKey) == len(in.keys[p2])+len(suffix) && alKey[len(in.keys[p2]):] == suffix {
 				structural = append(structural, al)
 			}
 		}
@@ -89,9 +119,10 @@ func (c *checker) assignTo(st *store, lkey string, rhs value, pos ctoken.Pos, ex
 	// name the same path, so they do not keep the storage reachable; a
 	// source that already shares the target's storage is being re-stored,
 	// not lost.
-	sameObject := rhs.key != "" && (rhs.key == lkey || st.aliases[lkey][rhs.key])
+	sameObject := rhs.ref != noRef && (rhs.ref == lid || st.aliased(lid, rhs.ref))
 	if !sameObject {
-		c.checkLoss(st, lkey, lrs, pos, "assignment: "+exprText, structural)
+		c.checkLoss(st, lid, lrs, pos, "assignment", desc, structural)
+		lrs = st.ref(lid)
 	}
 
 	// 2. Transfer rules. The sink's governing allocation annotation
@@ -111,8 +142,8 @@ func (c *checker) assignTo(st *store, lkey string, rhs value, pos ctoken.Pos, ex
 			// (which kills the reference), a transferring assignment
 			// leaves the source usable: "the allocation state of e
 			// becomes kept ... it can still be safely used" (§5).
-			if rhs.key != "" && rhs.key != lkey {
-				st.applyToAliases(rhs.key, func(r *refState) {
+			if rhs.ref != noRef && rhs.ref != lid {
+				st.applyToAliases(rhs.ref, func(r *refState) {
 					if r.alloc.Owning() {
 						r.alloc = AllocKept
 					}
@@ -121,9 +152,9 @@ func (c *checker) assignTo(st *store, lkey string, rhs value, pos ctoken.Pos, ex
 		default:
 			d := c.report(diag.AliasTransfer, pos,
 				"%s storage %s assigned to %s %s: %s",
-				titleAlloc(rhs.alloc), sourceName(rhs), sinkAnn, display(lkey), exprText)
+				titleAlloc(rhs.alloc), c.sourceName(rhs), sinkAnn, c.disp(lid), desc.text())
 			if d != nil && rhs.declPos.IsValid() {
-				d.WithNote(rhs.declPos, "Storage %s becomes %s", sourceName(rhs), describeValAlloc(rhs))
+				d.WithNote(rhs.declPos, "Storage %s becomes %s", c.sourceName(rhs), describeValAlloc(rhs))
 			}
 		}
 	default:
@@ -133,66 +164,79 @@ func (c *checker) assignTo(st *store, lkey string, rhs value, pos ctoken.Pos, ex
 		// "missing only" anomaly the paper's -allimponly pass surfaces
 		// (§6).
 		if rhsOwned && lrs.external && !rhs.isNullConst &&
-			(isDerivedKey(lkey) || len(lkey) > 2 && lkey[:2] == "g:") {
+			(derived || in.global(lid)) {
 			d := c.report(diag.Leak, pos,
 				"Only storage %s assigned to unannotated external reference %s (release obligation lost; annotate with only): %s",
-				sourceName(rhs), display(lkey), exprText)
+				c.sourceName(rhs), c.disp(lid), desc.text())
 			if d != nil && rhs.declPos.IsValid() {
-				d.WithNote(rhs.declPos, "Storage %s becomes only", sourceName(rhs))
+				d.WithNote(rhs.declPos, "Storage %s becomes only", c.sourceName(rhs))
 			}
 		}
 	}
 
 	// Capture the source's alias closure before the rebind invalidates
-	// keys derived from the target (l = l->next: the key "l->next" will
-	// no longer denote the assigned object, but argl->next still does).
-	var rhsAliases []string
-	if rhs.key != "" {
-		rhsAliases = st.aliasesOf(rhs.key)
+	// references derived from the target (l = l->next: the id for
+	// "l->next" will no longer denote the assigned object, but argl->next
+	// still does). Alias slices are immutable, so this is a snapshot.
+	var rhsAliases []RefID
+	if rhs.ref != noRef {
+		rhsAliases = st.aliasSet(rhs.ref)
 	}
 
 	// 3. Rebind: drop stale derived references of the target (and of its
 	// structural aliases); base references also unbind from their old
 	// alias set, while derived targets keep their structural aliases.
-	st.dropChildren(lkey)
+	st.dropChildren(lid)
 	for _, al := range structural {
 		st.dropChildren(al)
 	}
 	if !derived {
-		st.dropAliases(lkey)
+		st.dropAliases(lid)
 	} else {
 		// Keep structural mirrors; drop value aliases — the rebound path
 		// (and its mirrors, which spell the same path) no longer shares
 		// storage with them.
-		keep := map[string]bool{lkey: true}
-		for _, al := range structural {
-			keep[al] = true
-		}
-		for _, member := range append([]string{lkey}, structural...) {
-			for _, al := range st.aliasesOf(member) {
-				if !keep[al] {
-					delete(st.aliases[member], al)
-					delete(st.aliases[al], member)
+		inKeep := func(x RefID) bool {
+			if x == lid {
+				return true
+			}
+			for _, s := range structural {
+				if s == x {
+					return true
 				}
 			}
+			return false
+		}
+		dropValueAliases := func(member RefID) {
+			for _, al := range st.aliasSet(member) {
+				if !inKeep(al) {
+					st.removeAlias(member, al)
+				}
+			}
+		}
+		dropValueAliases(lid)
+		for _, member := range structural {
+			dropValueAliases(member)
 		}
 	}
 
 	// 4. Record the new aliases (the target and source now share
-	// storage). Keys derived from the target itself are excluded: after
-	// the rebind they denote different storage.
-	if rhs.key != "" && rhs.key != lkey {
-		if !hasBase(rhs.key, lkey) {
-			st.addAlias(lkey, rhs.key)
+	// storage). References derived from the target itself are excluded:
+	// after the rebind they denote different storage.
+	if rhs.ref != noRef && rhs.ref != lid {
+		if !in.hasBaseID(rhs.ref, lid) {
+			st.addAlias(lid, rhs.ref)
 		}
 		for _, al := range rhsAliases {
-			if al != lkey && !hasBase(al, lkey) {
-				st.addAlias(lkey, al)
+			if al != lid && !in.hasBaseID(al, lid) {
+				st.addAlias(lid, al)
 			}
 		}
 	}
 
-	// 5. New states for the target.
+	// 5. New states for the target (fault a writable copy first: the
+	// checks above may have replaced the state lrs pointed at).
+	lrs = st.mut(lid)
 	if rhs.isNullConst {
 		lrs.null = NullYes
 		lrs.nullPos = pos
@@ -239,59 +283,74 @@ func (c *checker) assignTo(st *store, lkey string, rhs value, pos ctoken.Pos, ex
 	// 6. Mirror the new state onto the surviving structural aliases and
 	// adjust ancestors on every spelling of this storage. Aliases removed
 	// by the rebind (children of a structural alias) are skipped entirely
-	// — propagating from a dropped key would weaken the fresh target.
+	// — propagating from a dropped reference would weaken the fresh
+	// target.
 	newDef := lrs.def
 	lrs.baseline = newDef
+	newNull, newNullPos := lrs.null, lrs.nullPos
+	newAlloc, newAllocPos := lrs.alloc, lrs.allocPos
 	for _, al := range structural {
-		ars, ok := st.refs[al]
-		if !ok {
+		ars := st.mut(al)
+		if ars == nil {
 			continue
 		}
 		ars.def = newDef
 		ars.baseline = newDef
-		ars.null = lrs.null
-		ars.nullPos = lrs.nullPos
-		ars.alloc = lrs.alloc
-		ars.allocPos = lrs.allocPos
+		ars.null = newNull
+		ars.nullPos = newNullPos
+		ars.alloc = newAlloc
+		ars.allocPos = newAllocPos
 		st.propagateDefUp(al, newDef)
 	}
-	st.propagateDefUp(lkey, newDef)
+	st.propagateDefUp(lid, newDef)
 }
 
 // checkLoss reports a leak when the last live reference to storage with an
-// unmet release obligation is overwritten or lost. Keys in exclude (and
-// anonymous heap references, which are not program references) do not keep
-// storage reachable.
-func (c *checker) checkLoss(st *store, key string, rs *refState, pos ctoken.Pos, how string, exclude []string) {
+// unmet release obligation is overwritten or lost. References in exclude
+// (and anonymous heap references, which are not program references) do not
+// keep storage reachable. The message is "... not released before
+// <howPrefix>" with the assignment text appended when desc names one.
+func (c *checker) checkLoss(st *store, id RefID, rs *refState, pos ctoken.Pos, howPrefix string, desc assignDesc, exclude []RefID) {
 	if !rs.alloc.Owning() {
 		return
 	}
 	if rs.def == DefUndefined || rs.null == NullYes {
 		return // never held storage / holds NULL
 	}
-	excluded := map[string]bool{}
-	for _, e := range exclude {
-		excluded[e] = true
-	}
+	in := c.fs.in
 	// Another live reference to the same storage keeps it reachable.
-	for _, al := range st.aliasesOf(key) {
-		if excluded[al] || isHeapKey(al) {
+	for _, al := range st.aliasSet(id) {
+		if in.heap(al) || refIn(exclude, al) {
 			continue
 		}
-		if ars, ok := st.refs[al]; ok && ars.alloc.Live() {
+		if ars := st.ref(al); ars != nil && ars.alloc.Live() {
 			return
 		}
 	}
-	d := c.report(diag.Leak, pos, "Only storage %s not released before %s", display(key), how)
+	how := howPrefix
+	if desc.expr != nil {
+		how = howPrefix + ": " + desc.text()
+	}
+	d := c.report(diag.Leak, pos, "Only storage %s not released before %s", c.disp(id), how)
 	if d != nil {
 		if rs.allocPos.IsValid() {
-			d.WithNote(rs.allocPos, "Storage %s becomes only", display(key))
+			d.WithNote(rs.allocPos, "Storage %s becomes only", c.disp(id))
 		} else if rs.declPos.IsValid() {
-			d.WithNote(rs.declPos, "Storage %s becomes only", display(key))
+			d.WithNote(rs.declPos, "Storage %s becomes only", c.disp(id))
 		}
 	}
 	// Poison the whole closure so the loss is reported once.
-	st.applyToAliases(key, func(r *refState) { r.alloc = AllocError })
+	st.applyToAliases(id, func(r *refState) { r.alloc = AllocError })
+}
+
+// refIn reports whether set (small, unsorted) contains x.
+func refIn(set []RefID, x RefID) bool {
+	for _, v := range set {
+		if v == x {
+			return true
+		}
+	}
+	return false
 }
 
 // titleAlloc renders an allocation state capitalized for message starts.
@@ -313,12 +372,4 @@ func describeValAlloc(v value) string {
 		return a.String()
 	}
 	return v.alloc.String()
-}
-
-// sourceName names the source of a value for messages.
-func sourceName(v value) string {
-	if v.key != "" {
-		return display(v.key)
-	}
-	return "<expression>"
 }

@@ -74,19 +74,19 @@ func (c *checker) evalCall(st *store, call *cast.Call) value {
 		}
 		eff := sig.EffectiveParam(i)
 		v := vals[i]
-		if v.key == "" && v.pointee == "" {
+		if v.ref == noRef && v.pointee == noRef {
 			continue
 		}
 		switch a, _ := eff.InCategory(annot.CatAllocation); a {
 		case annot.Only, annot.KillRef:
 			if v.alloc == AllocOnly || v.alloc == AllocOwned {
-				st.applyToAliases(v.key, func(r *refState) {
+				st.applyToAliases(v.ref, func(r *refState) {
 					r.alloc = AllocDead
 					r.deadPos = call.P
 				})
 			}
 		case annot.Keep:
-			st.applyToAliases(v.key, func(r *refState) {
+			st.applyToAliases(v.ref, func(r *refState) {
 				if r.alloc.Owning() {
 					r.alloc = AllocKept
 				}
@@ -96,11 +96,11 @@ func (c *checker) evalCall(st *store, call *cast.Call) value {
 			// "After the call, storage that was passed as an out
 			// parameter is assumed to be completely defined." For an
 			// &local argument the defined storage is the local itself.
-			tgt := v.key
-			if tgt == "" {
+			tgt := v.ref
+			if tgt == noRef {
 				tgt = v.pointee
 			}
-			if tgt != "" {
+			if tgt != noRef {
 				st.dropChildren(tgt)
 				st.applyToAliases(tgt, func(r *refState) {
 					if r.alloc != AllocDead {
@@ -122,8 +122,8 @@ func (c *checker) evalCall(st *store, call *cast.Call) value {
 // checkArg checks one actual argument against the formal's annotations.
 func (c *checker) checkArg(st *store, fname string, sig *sema.FuncSig, i int, argE cast.Expr, v value, eff annot.Set, pos ctoken.Pos) {
 	paramName := sig.Params[i].Name
-	if paramName == "" {
-		paramName = display(v.key)
+	if paramName == "" && v.ref != noRef {
+		paramName = c.disp(v.ref)
 	}
 	ptrParam := sig.Params[i].Type != nil && sig.Params[i].Type.IsPointerLike()
 
@@ -133,12 +133,12 @@ func (c *checker) checkArg(st *store, fname string, sig *sema.FuncSig, i int, ar
 		if v.null == NullMaybe || v.null == NullYes {
 			d := c.report(diag.NullPass, pos,
 				"Possibly null storage %s passed as non-null param %s of %s",
-				sourceName(v), paramName, fname)
+				c.sourceName(v), paramName, fname)
 			if d != nil && v.nullPos.IsValid() {
-				d.WithNote(v.nullPos, "Storage %s may become null", sourceName(v))
+				d.WithNote(v.nullPos, "Storage %s may become null", c.sourceName(v))
 			}
-			if v.key != "" {
-				st.applyToAliases(v.key, func(r *refState) { r.null = NullNo })
+			if v.ref != noRef {
+				st.applyToAliases(v.ref, func(r *refState) { r.null = NullNo })
 			}
 		}
 	}
@@ -148,15 +148,15 @@ func (c *checker) checkArg(st *store, fname string, sig *sema.FuncSig, i int, ar
 	if ptrParam && !v.isNullConst {
 		if eff.Has(annot.Out) || eff.Has(annot.Partial) || eff.Has(annot.RelDef) {
 			// Allocated / partially defined storage is acceptable.
-		} else if v.key != "" || v.pointee != "" {
-			tgt := v.key
-			if tgt == "" {
+		} else if v.ref != noRef || v.pointee != noRef {
+			tgt := v.ref
+			if tgt == noRef {
 				tgt = v.pointee
 			}
 			if ok, bad := c.completeness(st, tgt, 0); !ok {
 				c.report(diag.IncompleteDef, pos,
 					"Storage %s passed as completely defined param %s of %s is not completely defined (%s may be undefined)",
-					sourceName(v), paramName, fname, display(bad))
+					c.sourceName(v), paramName, fname, c.disp(bad))
 				st.applyToAliases(tgt, func(r *refState) { r.def = DefDefined })
 				st.dropChildren(tgt)
 			}
@@ -176,16 +176,16 @@ func (c *checker) checkArg(st *store, fname string, sig *sema.FuncSig, i int, ar
 			// Complete-destruction check (§4.3 footnote): passing an
 			// out-only void* (a deallocator) must not lose live unshared
 			// derived storage.
-			if eff.Has(annot.Out) && sig.Params[i].Type.IsVoidPointer() && v.key != "" {
-				c.checkCompleteDestruction(st, v.key, fname, pos)
+			if eff.Has(annot.Out) && sig.Params[i].Type.IsVoidPointer() && v.ref != noRef {
+				c.checkCompleteDestruction(st, v.ref, fname, pos)
 			}
 		case v.alloc == AllocKept || v.alloc == AllocDead:
 			d := c.report(diag.DoubleRelease, pos,
 				"Storage %s passed as only param %s of %s after its release obligation was already satisfied",
-				sourceName(v), paramName, fname)
-			if v.key != "" {
-				if rs, ok := st.refs[v.key]; ok && d != nil && rs.deadPos.IsValid() {
-					d.WithNote(rs.deadPos, "Storage %s is released", sourceName(v))
+				c.sourceName(v), paramName, fname)
+			if v.ref != noRef {
+				if rs := st.ref(v.ref); rs != nil && d != nil && rs.deadPos.IsValid() {
+					d.WithNote(rs.deadPos, "Storage %s is released", c.sourceName(v))
 				}
 			}
 		case v.alloc == AllocError || v.alloc == AllocUnknown:
@@ -193,9 +193,9 @@ func (c *checker) checkArg(st *store, fname string, sig *sema.FuncSig, i int, ar
 		default:
 			d := c.report(diag.AliasTransfer, pos,
 				"%s storage %s passed as only param: %s(%s)",
-				implicitly(v), sourceName(v), fname, cast.ExprString(argE))
+				implicitly(v), c.sourceName(v), fname, cast.ExprString(argE))
 			if d != nil && v.declPos.IsValid() {
-				d.WithNote(v.declPos, "Storage %s becomes %s", sourceName(v), describeValAlloc(v))
+				d.WithNote(v.declPos, "Storage %s becomes %s", c.sourceName(v), describeValAlloc(v))
 			}
 		}
 	case annot.Temp, annot.Keep, 0:
@@ -217,10 +217,11 @@ func implicitly(v value) string {
 // reference being passed to a deallocator (§4.3 footnote: "LCLint checks
 // that any parameter passed as an out only void * does not contain
 // references to live, unshared objects").
-func (c *checker) checkCompleteDestruction(st *store, key string, fname string, pos ctoken.Pos) {
+func (c *checker) checkCompleteDestruction(st *store, id RefID, fname string, pos ctoken.Pos) {
+	in := c.fs.in
 	// Untouched fields that are declared only and non-null are guaranteed
 	// live storage the deallocation loses.
-	if rs, ok := st.refs[key]; ok && rs.typ != nil {
+	if rs := st.ref(id); rs != nil && rs.typ != nil {
 		r := rs.typ.Resolve()
 		if r.Kind == ctypes.Pointer && r.Elem != nil && r.Elem.IsStructUnion() {
 			for _, f := range r.Elem.Resolve().Fields {
@@ -232,25 +233,31 @@ func (c *checker) checkCompleteDestruction(st *store, key string, fname string, 
 				if fEff.Has(annot.Null) || fEff.Has(annot.RelNull) {
 					continue // may legitimately hold NULL
 				}
-				ck := childKey(key, selector{kind: selArrow, name: f.Name})
-				if _, stored := st.refs[ck]; !stored {
+				// Probe by key string: the child may never have been
+				// interned, and probing must not intern it.
+				ck := childKey(in.keys[id], selector{kind: selArrow, name: f.Name})
+				cid := in.lookup(ck)
+				if cid == noRef || st.ref(cid) == nil {
 					c.report(diag.Leak, pos,
 						"Only storage %s derivable from %s is not released before %s destroys its base",
-						display(ck), display(key), fname)
+						display(ck), c.disp(id), fname)
 				}
 			}
 		}
 	}
-	for _, k := range st.sortedKeys() {
-		if !hasBase(k, key) {
+	for _, k := range in.sortedIDs() {
+		if !in.hasBaseID(k, id) {
 			continue
 		}
-		rs := st.refs[k]
+		rs := st.ref(k)
+		if rs == nil {
+			continue
+		}
 		if rs.alloc.Owning() && rs.def != DefUndefined && rs.null != NullYes {
 			aliasLive := false
-			for _, al := range st.aliasesOf(k) {
-				if !hasBase(al, key) && al != key {
-					if ars, ok := st.refs[al]; ok && ars.alloc.Live() {
+			for _, al := range st.aliasSet(k) {
+				if !in.hasBaseID(al, id) && al != id {
+					if ars := st.ref(al); ars != nil && ars.alloc.Live() {
 						aliasLive = true
 					}
 				}
@@ -258,9 +265,9 @@ func (c *checker) checkCompleteDestruction(st *store, key string, fname string, 
 			if !aliasLive {
 				d := c.report(diag.Leak, pos,
 					"Only storage %s derivable from %s is not released before %s destroys its base",
-					display(k), display(key), fname)
+					c.disp(k), c.disp(id), fname)
 				if d != nil && rs.allocPos.IsValid() {
-					d.WithNote(rs.allocPos, "Storage %s becomes only", display(k))
+					d.WithNote(rs.allocPos, "Storage %s becomes only", c.disp(k))
 				}
 			}
 		}
@@ -271,7 +278,7 @@ func (c *checker) checkCompleteDestruction(st *store, key string, fname string, 
 // with another argument or an accessible global (§4.4).
 func (c *checker) checkUnique(st *store, fname string, call *cast.Call, vals []value, i int) {
 	vi := vals[i]
-	if vi.key == "" {
+	if vi.ref == noRef {
 		return
 	}
 	if !externallyShared(st, vi) {
@@ -286,11 +293,11 @@ func (c *checker) checkUnique(st *store, fname string, call *cast.Call, vals []v
 			continue
 		}
 		// Direct may-alias information.
-		direct := vj.key != "" && (vj.key == vi.key || st.aliases[vi.key][vj.key])
+		direct := vj.ref != noRef && (vj.ref == vi.ref || st.aliased(vi.ref, vj.ref))
 		if direct || externallyShared(st, vj) {
 			c.report(diag.UniqueAliased, call.P,
 				"Parameter %d (%s) to function %s is declared unique but may be aliased externally by parameter %d (%s)",
-				i+1, sourceName(vi), fname, j+1, sourceName(vj))
+				i+1, c.sourceName(vi), fname, j+1, c.sourceName(vj))
 			return
 		}
 	}
@@ -300,11 +307,11 @@ func (c *checker) checkUnique(st *store, fname string, call *cast.Call, vals []v
 // from outside the current function (parameter- or global-derived, without
 // an unshared guarantee).
 func externallyShared(st *store, v value) bool {
-	if v.key == "" {
+	if v.ref == noRef {
 		return false
 	}
-	rs, ok := st.refs[v.key]
-	if !ok {
+	rs := st.ref(v.ref)
+	if rs == nil {
 		return false
 	}
 	if v.alloc == AllocOnly || v.alloc == AllocOwned {
@@ -320,15 +327,19 @@ func externallyShared(st *store, v value) bool {
 // annotated state at the call, then re-assumes the annotated state (the
 // callee may modify them).
 func (c *checker) checkCallGlobals(st *store, fname string, sig *sema.FuncSig, pos ctoken.Pos) {
+	in := c.fs.in
 	for _, gname := range sig.GlobalsUsed {
 		g, ok := c.prog.Global(gname)
 		if !ok {
 			continue
 		}
-		key := globalKey(gname)
-		rs, present := st.refs[key]
-		if !present {
+		id := in.lookup(globalKey(gname))
+		if id == noRef {
 			continue // never touched: still in its assumed state
+		}
+		rs := st.ref(id)
+		if rs == nil {
+			continue
 		}
 		eff := g.Effective(c.fl)
 		if !eff.Has(annot.Null) && !eff.Has(annot.RelNull) && (rs.null == NullMaybe || rs.null == NullYes) {
@@ -346,22 +357,25 @@ func (c *checker) checkCallGlobals(st *store, fname string, sig *sema.FuncSig, p
 			}
 		}
 		if !eff.Has(annot.Undef) && !rs.relDef {
-			if ok, bad := c.completeness(st, key, 0); !ok {
+			if ok, bad := c.completeness(st, id, 0); !ok {
 				c.report(diag.IncompleteDef, pos,
 					"Global %s is not completely defined when %s (which uses it) is called (%s may be undefined)",
-					gname, fname, display(bad))
+					gname, fname, c.disp(bad))
 			}
 		}
 		// Re-assume the declared state after the call.
-		st.dropChildren(key)
-		st.dropAliases(key)
-		fresh := &refState{
-			typ: g.Type, declAnn: eff, declPos: g.Pos, external: true,
-			def: defFromAnnots(eff), null: nullFromAnnots(eff),
-			alloc:   allocFromAnnots(eff),
-			relNull: eff.Has(annot.RelNull),
-			relDef:  eff.Has(annot.RelDef) || eff.Has(annot.Partial),
-		}
+		st.dropChildren(id)
+		st.dropAliases(id)
+		fresh := st.newRef(id)
+		fresh.typ = g.Type
+		fresh.declAnn = eff
+		fresh.declPos = g.Pos
+		fresh.external = true
+		fresh.def = defFromAnnots(eff)
+		fresh.null = nullFromAnnots(eff)
+		fresh.alloc = allocFromAnnots(eff)
+		fresh.relNull = eff.Has(annot.RelNull)
+		fresh.relDef = eff.Has(annot.RelDef) || eff.Has(annot.Partial)
 		if fresh.alloc == AllocUnknown {
 			if g.Type != nil && g.Type.IsPointerLike() && c.fl.ImplicitOnly {
 				fresh.alloc = AllocOnly
@@ -373,7 +387,6 @@ func (c *checker) checkCallGlobals(st *store, fname string, sig *sema.FuncSig, p
 		if fresh.null == NullMaybe {
 			fresh.nullPos = pos
 		}
-		st.refs[key] = fresh
 	}
 }
 
@@ -392,7 +405,7 @@ func (c *checker) callResult(st *store, call *cast.Call, sig *sema.FuncSig, vals
 		if i >= len(vals) {
 			break
 		}
-		if sig.EffectiveParam(i).Has(annot.Returned) && vals[i].key != "" {
+		if sig.EffectiveParam(i).Has(annot.Returned) && vals[i].ref != noRef {
 			v := vals[i]
 			v.typ = rt
 			return v
@@ -405,7 +418,7 @@ func (c *checker) callResult(st *store, call *cast.Call, sig *sema.FuncSig, vals
 
 	// Fresh storage result: track it as an anonymous heap reference so
 	// obligations and nullness follow it.
-	key, rs := c.freshHeapRef(st, rt, res, call.P)
+	id, rs := c.freshHeapRef(st, rt, res, call.P)
 	if a, _ := res.InCategory(annot.CatAllocation); a != annot.Only && a != annot.Owned && a != annot.NewRef {
 		// Non-owning result: no obligation attaches.
 		switch a {
@@ -426,5 +439,5 @@ func (c *checker) callResult(st *store, call *cast.Call, sig *sema.FuncSig, vals
 		// (Appendix B).
 		rs.alloc = AllocDependent
 	}
-	return valueOf(key, rs)
+	return valueOf(id, rs)
 }

@@ -3,7 +3,6 @@ package core
 import (
 	"runtime"
 	"sort"
-	"strings"
 	"sync"
 	"time"
 
@@ -25,6 +24,10 @@ type checker struct {
 	rep  *diag.Reporter
 	m    *obs.Metrics // nil disables instrumentation
 
+	// fs is the worker-scoped state machinery (interner, arena, CFG
+	// builder); reset per function, reused across functions.
+	fs *fnState
+
 	// Current function under analysis.
 	fn  *cast.FuncDef
 	sig *sema.FuncSig
@@ -35,16 +38,23 @@ type checker struct {
 	topBlock   *cast.Block
 
 	// Per-function instrumentation (reset by checkFunctionTimed).
-	fnMerges int
-	fnBlocks int
-	fnEdges  int
-	fnCFG    time.Duration
+	fnMerges  int
+	fnBlocks  int
+	fnEdges   int
+	fnCFG     time.Duration
+	fnMergeNS time.Duration
 
 	// breakStates/continueStates collect the stores flowing to the
 	// innermost enclosing loop/switch exit and loop head.
 	breakStates    []*[]*store
 	continueStates []*[]*store
 }
+
+// key returns the canonical key string for id.
+func (c *checker) key(id RefID) string { return c.fs.in.keys[id] }
+
+// disp returns the user-facing spelling for id (cached).
+func (c *checker) disp(id RefID) string { return c.fs.in.displayOf(id) }
 
 // CheckProgram checks every function definition in the program, filing
 // diagnostics with the reporter.
@@ -59,7 +69,9 @@ func CheckProgram(prog *sema.Program, fl *flags.Flags, rep *diag.Reporter) {
 // annotation-based interfaces buy (§7): no state flows between function
 // bodies, so they can be analyzed in any order, including at once.
 // Diagnostics are replayed into rep in serial function order, so output is
-// byte-identical at every worker count.
+// byte-identical at every worker count. Each worker owns one fnState
+// (interner + arena + CFG builder), so per-function allocations amortize
+// across its whole share of the run.
 func checkProgram(prog *sema.Program, fl *flags.Flags, rep *diag.Reporter, m *obs.Metrics, jobs int) {
 	var fns []*cast.FuncDef
 	for _, u := range prog.Units {
@@ -77,8 +89,9 @@ func checkProgram(prog *sema.Program, fl *flags.Flags, rep *diag.Reporter, m *ob
 	// disjoint slots, so no lock is needed.
 	results := make([][]*diag.Diagnostic, len(fns))
 	if jobs <= 1 {
+		fs := newFnState()
 		for i, f := range fns {
-			results[i] = checkFunctionUnit(prog, fl, m, f)
+			results[i] = checkFunctionUnit(prog, fl, m, f, fs)
 		}
 	} else {
 		work := make(chan int)
@@ -87,8 +100,9 @@ func checkProgram(prog *sema.Program, fl *flags.Flags, rep *diag.Reporter, m *ob
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				fs := newFnState()
 				for i := range work {
-					results[i] = checkFunctionUnit(prog, fl, m, fns[i])
+					results[i] = checkFunctionUnit(prog, fl, m, fns[i], fs)
 				}
 			}()
 		}
@@ -108,9 +122,9 @@ func checkProgram(prog *sema.Program, fl *flags.Flags, rep *diag.Reporter, m *ob
 // cross-function deduplication are deliberately NOT applied here — the
 // buffer records everything in report order and mergeDiags replays it
 // through the run's reporter, which applies them in serial order.
-func checkFunctionUnit(prog *sema.Program, fl *flags.Flags, m *obs.Metrics, f *cast.FuncDef) []*diag.Diagnostic {
+func checkFunctionUnit(prog *sema.Program, fl *flags.Flags, m *obs.Metrics, f *cast.FuncDef, fs *fnState) []*diag.Diagnostic {
 	buf := diag.NewReporter(0)
-	c := &checker{prog: prog, fl: fl, rep: buf, m: m, unknown: map[string]bool{}}
+	c := &checker{prog: prog, fl: fl, rep: buf, m: m, fs: fs, unknown: map[string]bool{}}
 	c.checkFunctionTimed(f)
 	return buf.Buffered()
 }
@@ -142,7 +156,7 @@ func mergeDiags(rep *diag.Reporter, results [][]*diag.Diagnostic) {
 // CheckFunction checks a single function definition (used by tests and
 // the modular-checking library path).
 func CheckFunction(prog *sema.Program, fl *flags.Flags, rep *diag.Reporter, f *cast.FuncDef) {
-	c := &checker{prog: prog, fl: fl, rep: rep, unknown: map[string]bool{}}
+	c := &checker{prog: prog, fl: fl, rep: rep, fs: newFnState(), unknown: map[string]bool{}}
 	c.checkFunction(f)
 }
 
@@ -155,12 +169,15 @@ func (c *checker) checkFunctionTimed(f *cast.FuncDef) {
 		c.checkFunction(f)
 		return
 	}
-	c.fnMerges, c.fnBlocks, c.fnEdges, c.fnCFG = 0, 0, 0, 0
+	c.fnMerges, c.fnBlocks, c.fnEdges, c.fnCFG, c.fnMergeNS = 0, 0, 0, 0, 0
 	start := time.Now()
 	c.checkFunction(f)
 	elapsed := time.Since(start)
 	c.m.AddPhase(obs.PhaseCheck, elapsed-c.fnCFG)
 	c.m.Add(obs.FunctionsChecked, 1)
+	c.m.Add(obs.StoreClones, c.fs.clones)
+	c.m.Add(obs.RefStatesCopied, c.fs.copied)
+	c.m.Add(obs.MergeNS, c.fnMergeNS.Nanoseconds())
 	pos := f.Pos()
 	c.m.TraceFunc(obs.FuncEvent{
 		Func:       f.Name,
@@ -181,7 +198,9 @@ func (c *checker) checkFunction(f *cast.FuncDef) {
 		return
 	}
 	c.sig = sig
-	st := newStore()
+	c.fs.reset()
+	in := c.fs.in
+	st := c.fs.newStore()
 
 	// Entry state: parameters are assumed to satisfy their annotations
 	// (§2). Each parameter gets a body-visible reference and a
@@ -191,27 +210,29 @@ func (c *checker) checkFunction(f *cast.FuncDef) {
 			continue
 		}
 		eff := sig.EffectiveParam(i)
-		local := c.ensureRef(st, prm.Name, prm.Type, eff, prm.Pos(), true)
-		mirror := c.ensureRef(st, argKey(prm.Name), prm.Type, eff, prm.Pos(), true)
-		_ = local
-		_ = mirror
-		st.addAlias(prm.Name, argKey(prm.Name))
+		lid := in.intern(prm.Name)
+		aid := in.intern(argKey(prm.Name))
+		c.ensureRef(st, lid, prm.Type, eff, prm.Pos(), true)
+		c.ensureRef(st, aid, prm.Type, eff, prm.Pos(), true)
+		st.addAlias(lid, aid)
 	}
 	// Globals used by the function are assumed to satisfy their
 	// annotations on entry.
 	for _, gname := range sig.GlobalsUsed {
 		if g, ok := c.prog.Global(gname); ok {
-			c.ensureRef(st, globalKey(gname), g.Type, g.Effective(c.fl), g.Pos, true)
+			c.ensureRef(st, in.intern(globalKey(gname)), g.Type, g.Effective(c.fl), g.Pos, true)
 		}
 	}
 
 	// Unreachable statements (code after a return/break on every path)
 	// are anomalies in their own right; the acyclic CFG makes them easy
-	// to find. One message per contiguous dead region.
+	// to find. One message per contiguous dead region. The worker-scoped
+	// builder recycles nodes and skips label rendering (the checker never
+	// reads labels; -cfg dumps use cfg.Build, which keeps them).
 	var g *cfg.Graph
 	if c.m.Enabled() {
 		cfgStart := time.Now()
-		g = cfg.Build(f)
+		g = c.fs.cfg.Build(f)
 		c.fnCFG = time.Since(cfgStart)
 		c.m.AddPhase(obs.PhaseCFG, c.fnCFG)
 		c.fnBlocks = len(g.Nodes)
@@ -221,7 +242,7 @@ func (c *checker) checkFunction(f *cast.FuncDef) {
 		c.m.Add(obs.CFGBlocks, int64(c.fnBlocks))
 		c.m.Add(obs.CFGEdges, int64(c.fnEdges))
 	} else {
-		g = cfg.Build(f)
+		g = c.fs.cfg.Build(f)
 	}
 	var lastDead int
 	for _, n := range g.Unreachable() {
@@ -281,43 +302,53 @@ func (c *checker) report(code diag.Code, pos ctoken.Pos, format string, args ...
 // pos (§5: "This is a confluence error since there is no sensible way to
 // combine the allocation states").
 func (c *checker) mergeReport(a, b *store, pos ctoken.Pos) *store {
-	if c.m != nil {
+	enabled := c.m.Enabled()
+	var t0 time.Time
+	if enabled {
 		c.m.Add(obs.ConfluenceMerges, 1)
 		c.fnMerges++
+		t0 = time.Now()
 	}
 	out, conflicts := mergeStores(a, b)
+	if enabled {
+		c.fnMergeNS += time.Since(t0)
+	}
+	if len(conflicts) == 0 {
+		return out
+	}
+	in := c.fs.in
 	// One anomaly per storage object: aliased spellings (e and arge) and
 	// mirror keys report once, preferring the body-visible name.
-	sort.SliceStable(conflicts, func(i, j int) bool {
-		rank := func(k string) int {
-			switch {
-			case strings.HasPrefix(k, "arg:"):
-				return 2
-			case isHeapKey(k):
-				return 1
-			}
-			return 0
+	rank := func(id RefID) int {
+		switch {
+		case in.arg(id):
+			return 2
+		case in.heap(id):
+			return 1
 		}
-		ri, rj := rank(conflicts[i].key), rank(conflicts[j].key)
+		return 0
+	}
+	sort.SliceStable(conflicts, func(i, j int) bool {
+		ri, rj := rank(conflicts[i].id), rank(conflicts[j].id)
 		if ri != rj {
 			return ri < rj
 		}
-		return conflicts[i].key < conflicts[j].key
+		return in.keys[conflicts[i].id] < in.keys[conflicts[j].id]
 	})
-	reported := map[string]bool{}
+	reported := map[RefID]bool{}
 	for _, cf := range conflicts {
-		if reported[cf.key] {
+		if reported[cf.id] {
 			continue
 		}
-		reported[cf.key] = true
-		for _, al := range out.aliasesOf(cf.key) {
+		reported[cf.id] = true
+		for _, al := range out.aliasSet(cf.id) {
 			reported[al] = true
 		}
 		d := c.report(diag.Confluence, pos,
 			"Storage %s is inconsistently %s on one path and %s on another (branches cannot be merged)",
-			display(cf.key), describeAlloc(cf.a), describeAlloc(cf.b))
+			c.disp(cf.id), describeAlloc(cf.a), describeAlloc(cf.b))
 		if d != nil && cf.aState != nil && cf.aState.deadPos.IsValid() {
-			d.WithNote(cf.aState.deadPos, "Storage %s is released", display(cf.key))
+			d.WithNote(cf.aState.deadPos, "Storage %s is released", c.disp(cf.id))
 		}
 	}
 	return out
@@ -339,17 +370,16 @@ func describeAlloc(a AllocState) string {
 
 // freshHeapRef creates a reference for anonymous fresh storage (an
 // allocation-function result) with states from its result annotations.
-func (c *checker) freshHeapRef(st *store, resType *ctypes.Type, res annot.Set, pos ctoken.Pos) (string, *refState) {
+func (c *checker) freshHeapRef(st *store, resType *ctypes.Type, res annot.Set, pos ctoken.Pos) (RefID, *refState) {
 	c.heapCount++
-	key := heapKey(c.heapCount)
-	rs := &refState{
-		typ:     resType,
-		declAnn: res,
-		declPos: pos,
-		def:     defFromAnnots(res),
-		null:    nullFromAnnots(res),
-		alloc:   allocFromAnnots(res),
-	}
+	id := c.fs.in.intern(heapKey(c.heapCount))
+	rs := st.newRef(id)
+	rs.typ = resType
+	rs.declAnn = res
+	rs.declPos = pos
+	rs.def = defFromAnnots(res)
+	rs.null = nullFromAnnots(res)
+	rs.alloc = allocFromAnnots(res)
 	rs.baseline = rs.def
 	if rs.null == NullMaybe {
 		rs.nullPos = pos
@@ -358,46 +388,48 @@ func (c *checker) freshHeapRef(st *store, resType *ctypes.Type, res annot.Set, p
 		rs.alloc = AllocOnly
 	}
 	rs.allocPos = pos
-	st.refs[key] = rs
-	return key, rs
+	return id, rs
 }
 
-// completeness checks whether the reference rooted at key is completely
+// completeness checks whether the reference rooted at id is completely
 // defined, returning the deepest offending derived reference when not.
-// Depth is bounded to keep the analysis linear.
-func (c *checker) completeness(st *store, key string, depth int) (bool, string) {
-	rs, ok := st.refs[key]
-	if !ok || depth > 6 {
-		return true, ""
+// Depth is bounded to keep the analysis linear. Iteration runs in
+// lexicographic key order so the named offender matches the old
+// string-keyed store byte for byte.
+func (c *checker) completeness(st *store, id RefID, depth int) (bool, RefID) {
+	rs := st.ref(id)
+	if rs == nil || depth > 6 {
+		return true, noRef
 	}
 	if rs.relDef {
-		return true, ""
+		return true, noRef
 	}
+	in := c.fs.in
 	switch rs.def {
 	case DefUndefined, DefAllocated:
-		return false, key
+		return false, id
 	case DefDefined:
 		// Children recorded with weaker states still count.
-		for _, k := range st.sortedKeys() {
-			if baseOf(k) == key {
+		for _, k := range in.sortedIDs() {
+			if in.parentOf(k) == id && st.ref(k) != nil {
 				if ok2, bad := c.completeness(st, k, depth+1); !ok2 {
 					return false, bad
 				}
 			}
 		}
-		return true, ""
+		return true, noRef
 	case DefPartial:
 		// Some reachable storage may be undefined: find it among stored
 		// children (of this spelling or of any alias), or materialize
 		// struct fields to name it.
-		for _, k := range st.sortedKeys() {
-			if baseOf(k) == key {
+		for _, k := range in.sortedIDs() {
+			if in.parentOf(k) == id && st.ref(k) != nil {
 				if ok2, bad := c.completeness(st, k, depth+1); !ok2 {
 					return false, bad
 				}
 			}
 		}
-		for _, al := range st.aliasesOf(key) {
+		for _, al := range st.sortedAliases(id) {
 			if ok2, bad := c.completeness(st, al, depth+1); !ok2 {
 				return false, bad
 			}
@@ -422,15 +454,15 @@ func (c *checker) completeness(st *store, key string, depth int) (bool, string) 
 					if fEff.Has(annot.RelDef) || fEff.Has(annot.Partial) || fEff.Has(annot.Out) {
 						continue
 					}
-					ck := childKey(key, selector{kind: sel, name: f.Name})
-					if _, stored := st.refs[ck]; !stored {
+					ck := in.child(id, selector{kind: sel, name: f.Name})
+					if st.ref(ck) == nil {
 						return false, ck
 					}
 				}
 			}
 		}
 		// Every reachable piece checks out: the object is complete.
-		return true, ""
+		return true, noRef
 	}
-	return true, ""
+	return true, noRef
 }

@@ -36,15 +36,15 @@ func (c *checker) checkCond(st *store, e cast.Expr) (*store, *store) {
 			}
 			if refE != nil {
 				val := c.evalExpr(st, refE, true)
-				if val.key != "" {
+				if val.ref != noRef {
 					stT := st
 					stF := st.clone()
 					if v.Op == cast.EqOp {
-						refineNull(stT, val.key, NullYes, v.P)
-						refineNull(stF, val.key, NullNo, v.P)
+						refineNull(stT, val.ref, NullYes, v.P)
+						refineNull(stF, val.ref, NullNo, v.P)
 					} else {
-						refineNull(stT, val.key, NullNo, v.P)
-						refineNull(stF, val.key, NullYes, v.P)
+						refineNull(stT, val.ref, NullNo, v.P)
+						refineNull(stF, val.ref, NullYes, v.P)
 					}
 					return stT, stF
 				}
@@ -55,17 +55,17 @@ func (c *checker) checkCond(st *store, e cast.Expr) (*store, *store) {
 		if sig, ok := c.prog.Lookup(v.FunName()); ok && len(v.Args) >= 1 {
 			if sig.IsTrueNull() || sig.IsFalseNull() {
 				val := c.evalExpr(st, v.Args[0], true)
-				if val.key != "" {
+				if val.ref != noRef {
 					stT := st
 					stF := st.clone()
 					if sig.IsTrueNull() {
 						// Returns true iff the argument is null.
-						refineNull(stT, val.key, NullYes, v.P)
-						refineNull(stF, val.key, NullNo, v.P)
+						refineNull(stT, val.ref, NullYes, v.P)
+						refineNull(stF, val.ref, NullNo, v.P)
 					} else {
 						// Returns true only if the argument is not null
 						// (false says nothing).
-						refineNull(stT, val.key, NullNo, v.P)
+						refineNull(stT, val.ref, NullNo, v.P)
 					}
 					return stT, stF
 				}
@@ -76,27 +76,27 @@ func (c *checker) checkCond(st *store, e cast.Expr) (*store, *store) {
 	// General case: evaluate for effect; a pointer-valued condition
 	// refines like (e != NULL).
 	val := c.evalExpr(st, e, true)
-	if val.key != "" && val.typ != nil && val.typ.IsPointerLike() {
+	if val.ref != noRef && val.typ != nil && val.typ.IsPointerLike() {
 		stT := st
 		stF := st.clone()
-		refineNull(stT, val.key, NullNo, e.Pos())
-		refineNull(stF, val.key, NullYes, e.Pos())
+		refineNull(stT, val.ref, NullNo, e.Pos())
+		refineNull(stF, val.ref, NullYes, e.Pos())
 		return stT, stF
 	}
 	return st, st.clone()
 }
 
-// refineNull sets the null state of key and its aliases. Refining a
+// refineNull sets the null state of id and its aliases. Refining a
 // definitely-null reference to non-null (or the reverse) is a
 // contradiction: the branch cannot execute, so the store is marked
 // unreachable and no anomalies are reported along it.
-func refineNull(st *store, key string, ns NullState, pos ctoken.Pos) {
-	if rs, ok := st.refs[key]; ok {
+func refineNull(st *store, id RefID, ns NullState, pos ctoken.Pos) {
+	if rs := st.ref(id); rs != nil {
 		if (rs.null == NullYes && ns == NullNo) || (rs.null == NullNo && ns == NullYes) {
 			st.unreachable = true
 		}
 	}
-	st.applyToAliases(key, func(r *refState) {
+	st.applyToAliases(id, func(r *refState) {
 		if r.null == NullError {
 			return
 		}
@@ -107,53 +107,52 @@ func refineNull(st *store, key string, ns NullState, pos ctoken.Pos) {
 	})
 }
 
-// refKeyOf resolves an expression to an existing reference key without
-// evaluating it (no materialization, no reports). Returns "" when the
-// expression does not name a known reference.
-func refKeyOf(st *store, e cast.Expr) string {
+// refIDOf resolves an expression to an existing reference without
+// evaluating it (no materialization, no reports). Returns noRef when the
+// expression does not name a known reference. Interning a key here is
+// harmless — it assigns an id without creating a store entry.
+func (c *checker) refIDOf(st *store, e cast.Expr) RefID {
+	in := c.fs.in
 	switch v := e.(type) {
 	case *cast.Ident:
-		if _, ok := st.refs[v.Name]; ok {
-			return v.Name
+		if id := in.lookup(v.Name); id != noRef && st.ref(id) != nil {
+			return id
 		}
-		if _, ok := st.refs[globalKey(v.Name)]; ok {
-			return globalKey(v.Name)
+		if id := in.lookup(globalKey(v.Name)); id != noRef && st.ref(id) != nil {
+			return id
 		}
 	case *cast.FieldSel:
-		base := refKeyOf(st, v.X)
-		if base == "" {
-			return ""
+		base := c.refIDOf(st, v.X)
+		if base == noRef {
+			return noRef
 		}
 		kind := selDot
 		if v.Arrow {
 			kind = selArrow
 		}
-		key := childKey(base, selector{kind: kind, name: v.Name})
-		if _, ok := st.refs[key]; ok {
-			return key
+		if id := in.child(base, selector{kind: kind, name: v.Name}); st.ref(id) != nil {
+			return id
 		}
 	case *cast.Index:
-		base := refKeyOf(st, v.X)
-		if base != "" {
-			key := childKey(base, selector{kind: selIndex})
-			if _, ok := st.refs[key]; ok {
-				return key
+		base := c.refIDOf(st, v.X)
+		if base != noRef {
+			if id := in.child(base, selector{kind: selIndex}); st.ref(id) != nil {
+				return id
 			}
 		}
 	case *cast.Unary:
 		if v.Op == cast.Deref {
-			base := refKeyOf(st, v.X)
-			if base != "" {
-				key := childKey(base, selector{kind: selDeref})
-				if _, ok := st.refs[key]; ok {
-					return key
+			base := c.refIDOf(st, v.X)
+			if base != noRef {
+				if id := in.child(base, selector{kind: selDeref}); st.ref(id) != nil {
+					return id
 				}
 			}
 		}
 	case *cast.Cast:
-		return refKeyOf(st, v.X)
+		return c.refIDOf(st, v.X)
 	}
-	return ""
+	return noRef
 }
 
 // quietRefine applies the null refinement implied by assuming cond is
@@ -196,39 +195,39 @@ func (c *checker) quietRefine(st *store, e cast.Expr, want bool) {
 				return
 			}
 			isNull := want == (v.Op == cast.EqOp)
-			if key := refKeyOf(st, refE); key != "" {
+			if id := c.refIDOf(st, refE); id != noRef {
 				ns := NullNo
 				if isNull {
 					ns = NullYes
 				}
-				refineNull(st, key, ns, e.Pos())
+				refineNull(st, id, ns, e.Pos())
 			}
 			return
 		}
 	case *cast.Call:
 		if sig, ok := c.prog.Lookup(v.FunName()); ok && len(v.Args) >= 1 {
-			if key := refKeyOf(st, v.Args[0]); key != "" {
+			if id := c.refIDOf(st, v.Args[0]); id != noRef {
 				if sig.IsTrueNull() {
 					ns := NullNo
 					if want {
 						ns = NullYes
 					}
-					refineNull(st, key, ns, e.Pos())
+					refineNull(st, id, ns, e.Pos())
 				} else if sig.IsFalseNull() && want {
-					refineNull(st, key, NullNo, e.Pos())
+					refineNull(st, id, NullNo, e.Pos())
 				}
 			}
 		}
 		return
 	}
 	// Bare pointer condition.
-	if key := refKeyOf(st, e); key != "" {
-		if rs, ok := st.refs[key]; ok && rs.typ != nil && rs.typ.IsPointerLike() {
+	if id := c.refIDOf(st, e); id != noRef {
+		if rs := st.ref(id); rs != nil && rs.typ != nil && rs.typ.IsPointerLike() {
 			ns := NullNo
 			if !want {
 				ns = NullYes
 			}
-			refineNull(st, key, ns, e.Pos())
+			refineNull(st, id, ns, e.Pos())
 		}
 	}
 }

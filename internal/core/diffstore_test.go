@@ -1,0 +1,364 @@
+package core
+
+// Differential property tests for the interned-reference dense store: a
+// retained reference implementation of the old string-keyed map store is
+// driven through the same randomized operation sequences (with clone and
+// merge branching) as the dense store, and the two must agree on every
+// diagnostics-relevant observable. A second test checks the end-to-end
+// property on generated corpora: diagnostics are diag.Equal across seeds
+// and across every -jobs level.
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"golclint/internal/cpp"
+	"golclint/internal/diag"
+	"golclint/internal/testgen"
+)
+
+// mapStore is the old map-keyed store, retained verbatim (minus the parts
+// the checker no longer calls) as the differential oracle.
+type mapStore struct {
+	refs        map[string]*refState
+	aliases     map[string]map[string]bool
+	unreachable bool
+}
+
+func newMapStore() *mapStore {
+	return &mapStore{refs: map[string]*refState{}, aliases: map[string]map[string]bool{}}
+}
+
+func (st *mapStore) clone() *mapStore {
+	c := newMapStore()
+	c.unreachable = st.unreachable
+	for k, v := range st.refs {
+		cp := *v
+		c.refs[k] = &cp
+	}
+	for k, set := range st.aliases {
+		m := make(map[string]bool, len(set))
+		for a := range set {
+			m[a] = true
+		}
+		c.aliases[k] = m
+	}
+	return c
+}
+
+func (st *mapStore) addAlias(a, b string) {
+	if a == b {
+		return
+	}
+	if st.aliases[a] == nil {
+		st.aliases[a] = map[string]bool{}
+	}
+	if st.aliases[b] == nil {
+		st.aliases[b] = map[string]bool{}
+	}
+	st.aliases[a][b] = true
+	st.aliases[b][a] = true
+}
+
+func (st *mapStore) removeAlias(a, b string) {
+	delete(st.aliases[a], b)
+	delete(st.aliases[b], a)
+}
+
+func (st *mapStore) dropAliases(key string) {
+	for a := range st.aliases[key] {
+		delete(st.aliases[a], key)
+	}
+	delete(st.aliases, key)
+}
+
+func (st *mapStore) aliasesOf(key string) []string {
+	set := st.aliases[key]
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// mergeMapStores is the old mergeStores, with conflicts keyed by string.
+func mergeMapStores(a, b *mapStore) (*mapStore, []string) {
+	if a.unreachable {
+		return b.clone(), nil
+	}
+	if b.unreachable {
+		return a.clone(), nil
+	}
+	out := newMapStore()
+	var conflicts []string
+	keys := map[string]bool{}
+	for k := range a.refs {
+		keys[k] = true
+	}
+	for k := range b.refs {
+		keys[k] = true
+	}
+	sorted := make([]string, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+	for _, k := range sorted {
+		ra, okA := a.refs[k]
+		rb, okB := b.refs[k]
+		switch {
+		case okA && okB:
+			cp := *ra
+			m := &cp
+			m.def = MergeDef(ra.def, rb.def)
+			m.baseline = MergeDef(ra.baseline, rb.baseline)
+			m.null = MergeNull(ra.null, rb.null)
+			switch {
+			case ra.null == NullYes && rb.null != NullYes:
+				m.alloc = rb.alloc
+			case rb.null == NullYes && ra.null != NullYes:
+				m.alloc = ra.alloc
+			default:
+				merged, ok := MergeAlloc(ra.alloc, rb.alloc)
+				if !ok {
+					conflicts = append(conflicts, fmt.Sprintf("%s:%v/%v", k, ra.alloc, rb.alloc))
+				}
+				m.alloc = merged
+			}
+			if m.null == NullMaybe {
+				if ra.null == NullMaybe || ra.null == NullYes {
+					m.nullPos = ra.nullPos
+				} else {
+					m.nullPos = rb.nullPos
+				}
+			}
+			if rb.alloc == AllocDead && ra.alloc != AllocDead {
+				m.deadPos = rb.deadPos
+			}
+			m.relNull = ra.relNull || rb.relNull
+			m.relDef = ra.relDef || rb.relDef
+			out.refs[k] = m
+		case okA:
+			cp := *ra
+			out.refs[k] = &cp
+		default:
+			cp := *rb
+			out.refs[k] = &cp
+		}
+	}
+	for _, src := range []*mapStore{a, b} {
+		for k, set := range src.aliases {
+			for al := range set {
+				out.addAlias(k, al)
+			}
+		}
+	}
+	return out, conflicts
+}
+
+// diffPair is one live (dense, reference) store pair under the driver.
+type diffPair struct {
+	ds *store
+	ms *mapStore
+}
+
+var diffKeys = []string{
+	"p", "q", "r", "arg:p", "g:v", "g:w", "p->f", "p->f->g", "*q", "r[]", "heap#1",
+}
+
+// requireEqualStores compares every diagnostics-relevant observable.
+func requireEqualStores(t *testing.T, seed int64, step int, p diffPair) {
+	t.Helper()
+	fs := p.ds.fs
+	if p.ds.unreachable != p.ms.unreachable {
+		t.Fatalf("seed %d step %d: unreachable %v vs %v", seed, step, p.ds.unreachable, p.ms.unreachable)
+	}
+	for _, k := range diffKeys {
+		id := fs.in.lookup(k)
+		var dr *refState
+		if id != noRef {
+			dr = p.ds.ref(id)
+		}
+		mr := p.ms.refs[k]
+		if (dr == nil) != (mr == nil) {
+			t.Fatalf("seed %d step %d: key %q presence %v vs %v", seed, step, k, dr != nil, mr != nil)
+		}
+		if dr == nil {
+			continue
+		}
+		if dr.def != mr.def || dr.null != mr.null || dr.alloc != mr.alloc ||
+			dr.baseline != mr.baseline || dr.relNull != mr.relNull || dr.relDef != mr.relDef ||
+			dr.nullPos != mr.nullPos || dr.deadPos != mr.deadPos {
+			t.Fatalf("seed %d step %d: key %q state diverged:\ndense: %+v\nmap:   %+v", seed, step, k, *dr, *mr)
+		}
+		// Alias sets as sorted key strings.
+		var das []string
+		for _, al := range p.ds.aliasSet(id) {
+			das = append(das, fs.in.keys[al])
+		}
+		sort.Strings(das)
+		mas := p.ms.aliasesOf(k)
+		if len(das) != len(mas) {
+			t.Fatalf("seed %d step %d: key %q aliases %v vs %v", seed, step, k, das, mas)
+		}
+		for i := range das {
+			if das[i] != mas[i] {
+				t.Fatalf("seed %d step %d: key %q aliases %v vs %v", seed, step, k, das, mas)
+			}
+		}
+	}
+}
+
+// TestDifferentialStoreOps drives the dense store and the map-store oracle
+// through the same randomized op sequences — including clone branching and
+// store merges — and requires identical observable state throughout.
+func TestDifferentialStoreOps(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		fs := newFnState()
+		rng := rand.New(rand.NewSource(seed))
+		live := []diffPair{{ds: fs.newStore(), ms: newMapStore()}}
+		pick := func() int { return rng.Intn(len(live)) }
+		key := func() string { return diffKeys[rng.Intn(len(diffKeys))] }
+		for step := 0; step < 120; step++ {
+			switch op := rng.Intn(10); op {
+			case 0, 1: // install (or overwrite) a reference with random state
+				p := live[pick()]
+				k := key()
+				id := fs.in.intern(k)
+				rs := p.ds.mut(id)
+				if rs == nil {
+					rs = p.ds.newRef(id)
+				}
+				mr := &refState{}
+				rs.def = DefState(rng.Intn(4))
+				rs.null = NullState(rng.Intn(5))
+				rs.alloc = AllocState(rng.Intn(11))
+				rs.baseline = DefState(rng.Intn(4))
+				rs.relNull = rng.Intn(4) == 0
+				mr.def, mr.null, mr.alloc, mr.baseline, mr.relNull = rs.def, rs.null, rs.alloc, rs.baseline, rs.relNull
+				p.ms.refs[k] = mr
+			case 2: // mutate one field through the copy-on-write fault path
+				p := live[pick()]
+				k := key()
+				id := fs.in.intern(k)
+				if rs := p.ds.mut(id); rs != nil {
+					rs.alloc = AllocState(rng.Intn(11))
+					p.ms.refs[k].alloc = rs.alloc
+				} else if p.ms.refs[k] != nil {
+					t.Fatalf("seed %d step %d: presence diverged at %q", seed, step, k)
+				}
+			case 3: // delete
+				p := live[pick()]
+				k := key()
+				if id := fs.in.lookup(k); id != noRef {
+					p.ds.delRef(id)
+				}
+				delete(p.ms.refs, k)
+			case 4: // add alias
+				p := live[pick()]
+				k1, k2 := key(), key()
+				p.ds.addAlias(fs.in.intern(k1), fs.in.intern(k2))
+				p.ms.addAlias(k1, k2)
+			case 5: // remove alias
+				p := live[pick()]
+				k1, k2 := key(), key()
+				p.ds.removeAlias(fs.in.intern(k1), fs.in.intern(k2))
+				p.ms.removeAlias(k1, k2)
+			case 6: // drop aliases
+				p := live[pick()]
+				k := key()
+				p.ds.dropAliases(fs.in.intern(k))
+				p.ms.dropAliases(k)
+			case 7: // clone: branch a new live pair
+				if len(live) < 6 {
+					p := live[pick()]
+					live = append(live, diffPair{ds: p.ds.clone(), ms: p.ms.clone()})
+				}
+			case 8: // merge two pairs (consumes both inputs)
+				if len(live) >= 2 {
+					i := pick()
+					j := pick()
+					if i == j {
+						break
+					}
+					a, b := live[i], live[j]
+					dm, dConf := mergeStores(a.ds, b.ds)
+					mm, mConf := mergeMapStores(a.ms, b.ms)
+					if len(dConf) != len(mConf) {
+						t.Fatalf("seed %d step %d: conflict count %d vs %d", seed, step, len(dConf), len(mConf))
+					}
+					var dcs []string
+					for _, cf := range dConf {
+						dcs = append(dcs, fmt.Sprintf("%s:%v/%v", fs.in.keys[cf.id], cf.a, cf.b))
+					}
+					sort.Strings(dcs)
+					sort.Strings(mConf)
+					for x := range dcs {
+						if dcs[x] != mConf[x] {
+							t.Fatalf("seed %d step %d: conflicts %v vs %v", seed, step, dcs, mConf)
+						}
+					}
+					// mergeStores consumes its inputs: retire both pairs.
+					if i < j {
+						i, j = j, i
+					}
+					live = append(live[:i], live[i+1:]...)
+					live = append(live[:j], live[j+1:]...)
+					live = append(live, diffPair{ds: dm, ms: mm})
+				}
+			case 9: // mark a branch dead
+				if len(live) >= 2 && rng.Intn(4) == 0 {
+					p := live[pick()]
+					p.ds.unreachable = true
+					p.ms.unreachable = true
+				}
+			}
+			// Compare one random live pair each step, and all at the end.
+			requireEqualStores(t, seed, step, live[pick()])
+		}
+		for _, p := range live {
+			requireEqualStores(t, seed, -1, p)
+		}
+	}
+}
+
+// TestDifferentialTestgenJobs checks the end-to-end contract on generated
+// corpora: for several seeds, the diagnostics produced at -jobs 1, 4, and 8
+// are diag.Equal (and the rendered output is byte-identical).
+func TestDifferentialTestgenJobs(t *testing.T) {
+	for _, seed := range []int64{3, 17, 99} {
+		p := testgen.Generate(testgen.Config{
+			Seed: seed, Modules: 6, FuncsPer: 4, Annotate: true,
+			Bugs: map[testgen.BugKind]int{
+				testgen.BugLeak: 3, testgen.BugCondLeak: 2, testgen.BugUseAfterFree: 2,
+				testgen.BugDoubleFree: 2, testgen.BugNullDeref: 2, testgen.BugUninit: 2,
+			},
+		})
+		opt := Options{Includes: cpp.MapIncluder(p.Headers)}
+		opt.Jobs = 1
+		base := CheckSources(p.Files, opt)
+		if len(base.ParseErrors) > 0 {
+			t.Fatalf("seed %d: parse errors: %v", seed, base.ParseErrors)
+		}
+		if len(base.Diags) == 0 {
+			t.Fatalf("seed %d: no diagnostics; test is vacuous", seed)
+		}
+		for _, jobs := range []int{4, 8} {
+			opt.Jobs = jobs
+			r := CheckSources(p.Files, opt)
+			if !diag.EqualAll(base.Diags, r.Diags) {
+				t.Errorf("seed %d: diagnostics differ at jobs=%d", seed, jobs)
+			}
+			if base.Messages() != r.Messages() {
+				t.Errorf("seed %d: rendered output differs at jobs=%d:\n--- jobs=1 ---\n%s--- jobs=%d ---\n%s",
+					seed, jobs, base.Messages(), jobs, r.Messages())
+			}
+		}
+	}
+}

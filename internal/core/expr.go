@@ -14,16 +14,16 @@ import (
 // (if any) plus the dataflow states of the value itself.
 type value struct {
 	typ         *ctypes.Type
-	key         string // reference key, or "" when the value is anonymous
+	ref         RefID // reference id, or noRef when the value is anonymous
 	null        NullState
 	def         DefState
 	alloc       AllocState
 	isNullConst bool
 	observer    bool
 
-	// pointee is the key of the object this value points AT when the
-	// value itself is anonymous (&x): used so out-parameters define x.
-	pointee string
+	// pointee is the reference this value points AT when the value itself
+	// is anonymous (&x): used so out-parameters define x.
+	pointee RefID
 
 	// declAnn/declPos describe the governing annotation of the source
 	// reference for transfer messages.
@@ -33,9 +33,10 @@ type value struct {
 }
 
 // valueOf builds a value from a reference's state.
-func valueOf(key string, rs *refState) value {
+func valueOf(id RefID, rs *refState) value {
 	return value{
-		typ: rs.typ, key: key, null: rs.null, def: rs.def, alloc: rs.alloc,
+		typ: rs.typ, ref: id, pointee: noRef,
+		null: rs.null, def: rs.def, alloc: rs.alloc,
 		observer: rs.observer,
 		declAnn:  rs.declAnn, declPos: rs.declPos, nullPos: rs.nullPos,
 	}
@@ -43,7 +44,15 @@ func valueOf(key string, rs *refState) value {
 
 // anonValue builds an anonymous (non-reference) value.
 func anonValue(typ *ctypes.Type) value {
-	return value{typ: typ, null: NullNo, def: DefDefined, alloc: AllocStatic}
+	return value{typ: typ, ref: noRef, pointee: noRef, null: NullNo, def: DefDefined, alloc: AllocStatic}
+}
+
+// sourceName names the source of a value for messages.
+func (c *checker) sourceName(v value) string {
+	if v.ref != noRef {
+		return c.disp(v.ref)
+	}
+	return "<expression>"
 }
 
 // evalExpr evaluates e for side effects and abstract value. When rvalue is
@@ -121,22 +130,28 @@ func (c *checker) evalExpr(st *store, e cast.Expr, rvalue bool) value {
 // evalIdent resolves a name against locals (already in the store), globals,
 // enum constants, and functions.
 func (c *checker) evalIdent(st *store, id *cast.Ident, rvalue bool) value {
+	in := c.fs.in
 	// Local or parameter reference.
-	if rs, ok := st.refs[id.Name]; ok {
-		id.SetType(rs.typ)
-		if rvalue {
-			c.checkRead(st, id.Name, rs, id.P)
+	if lid := in.lookup(id.Name); lid != noRef {
+		if rs := st.ref(lid); rs != nil {
+			id.SetType(rs.typ)
+			if rvalue {
+				c.checkRead(st, lid, rs, id.P)
+				rs = st.ref(lid) // checkRead may have refined the state
+			}
+			return valueOf(lid, rs)
 		}
-		return valueOf(id.Name, rs)
 	}
 	// Global variable.
 	if g, ok := c.prog.Global(id.Name); ok {
-		rs := c.ensureRef(st, globalKey(id.Name), g.Type, g.Effective(c.fl), g.Pos, true)
+		gid := in.intern(globalKey(id.Name))
+		rs := c.ensureRef(st, gid, g.Type, g.Effective(c.fl), g.Pos, true)
 		id.SetType(g.Type)
 		if rvalue {
-			c.checkRead(st, globalKey(id.Name), rs, id.P)
+			c.checkRead(st, gid, rs, id.P)
+			rs = st.ref(gid)
 		}
-		return valueOf(globalKey(id.Name), rs)
+		return valueOf(gid, rs)
 	}
 	// Enum constant.
 	if ev, ok := c.prog.Enums[id.Name]; ok {
@@ -158,15 +173,17 @@ func (c *checker) evalIdent(st *store, id *cast.Ident, rvalue bool) value {
 	return anonValue(nil)
 }
 
-// checkRead reports anomalies for using a reference as an rvalue.
-func (c *checker) checkRead(st *store, key string, rs *refState, pos ctoken.Pos) {
+// checkRead reports anomalies for using a reference as an rvalue. The
+// reference's state may be refined (to suppress cascades); callers must
+// re-fetch rs afterwards.
+func (c *checker) checkRead(st *store, id RefID, rs *refState, pos ctoken.Pos) {
 	if rs.alloc == AllocDead {
-		d := c.report(diag.UseDead, pos, "Storage %s used after release (dead pointer)", display(key))
+		d := c.report(diag.UseDead, pos, "Storage %s used after release (dead pointer)", c.disp(id))
 		if d != nil && rs.deadPos.IsValid() {
-			d.WithNote(rs.deadPos, "Storage %s is released", display(key))
+			d.WithNote(rs.deadPos, "Storage %s is released", c.disp(id))
 		}
 		// Avoid cascades.
-		st.applyToAliases(key, func(r *refState) { r.alloc = AllocError })
+		st.applyToAliases(id, func(r *refState) { r.alloc = AllocError })
 		return
 	}
 	if rs.def == DefUndefined && !rs.relDef {
@@ -175,8 +192,8 @@ func (c *checker) checkRead(st *store, key string, rs *refState, pos ctoken.Pos)
 		if rs.typ != nil && rs.typ.Resolve() != nil && rs.typ.Resolve().Kind == ctypes.Array {
 			return
 		}
-		c.report(diag.UseUndef, pos, "Storage %s used before definition", display(key))
-		st.applyToAliases(key, func(r *refState) {
+		c.report(diag.UseUndef, pos, "Storage %s used before definition", c.disp(id))
+		st.applyToAliases(id, func(r *refState) {
 			if r.def == DefUndefined {
 				r.def = DefDefined
 			}
@@ -186,41 +203,44 @@ func (c *checker) checkRead(st *store, key string, rs *refState, pos ctoken.Pos)
 
 // checkDerefBase reports anomalies for dereferencing base (->, [], *) and
 // refines its state to suppress cascades. how names the access for the
-// message ("Arrow access from", "Dereference of", "Index of").
-func (c *checker) checkDerefBase(st *store, base value, how string, pos ctoken.Pos, exprText string) {
-	if base.key == "" {
+// message ("Arrow access from", "Dereference of", "Index of"); whole is the
+// expression being checked, rendered only when a message is issued.
+func (c *checker) checkDerefBase(st *store, base value, how string, pos ctoken.Pos, whole cast.Expr) {
+	if base.ref == noRef {
 		if base.null == NullMaybe || base.null == NullYes {
-			c.report(diag.NullDeref, pos, "%s possibly null pointer: %s", how, exprText)
+			c.report(diag.NullDeref, pos, "%s possibly null pointer: %s", how, cast.ExprString(whole))
 		}
 		return
 	}
-	rs, ok := st.refs[base.key]
-	if !ok {
+	rs := st.ref(base.ref)
+	if rs == nil {
 		return
 	}
 	if rs.alloc == AllocDead {
-		d := c.report(diag.UseDead, pos, "Storage %s used after release (dead pointer): %s", display(base.key), exprText)
+		d := c.report(diag.UseDead, pos, "Storage %s used after release (dead pointer): %s", c.disp(base.ref), cast.ExprString(whole))
 		if d != nil && rs.deadPos.IsValid() {
-			d.WithNote(rs.deadPos, "Storage %s is released", display(base.key))
+			d.WithNote(rs.deadPos, "Storage %s is released", c.disp(base.ref))
 		}
-		st.applyToAliases(base.key, func(r *refState) { r.alloc = AllocError })
+		st.applyToAliases(base.ref, func(r *refState) { r.alloc = AllocError })
 		return
 	}
 	switch rs.null {
 	case NullMaybe:
 		if !rs.relNull {
-			d := c.report(diag.NullDeref, pos, "%s possibly null pointer %s: %s", how, display(base.key), exprText)
+			d := c.report(diag.NullDeref, pos, "%s possibly null pointer %s: %s", how, c.disp(base.ref), cast.ExprString(whole))
 			if d != nil && rs.nullPos.IsValid() {
-				d.WithNote(rs.nullPos, "Storage %s may become null", display(base.key))
+				d.WithNote(rs.nullPos, "Storage %s may become null", c.disp(base.ref))
 			}
 		}
-		st.applyToAliases(base.key, func(r *refState) { r.null = NullNo })
+		st.applyToAliases(base.ref, func(r *refState) { r.null = NullNo })
+		rs = st.ref(base.ref)
 	case NullYes:
-		d := c.report(diag.NullDeref, pos, "%s null pointer %s: %s", how, display(base.key), exprText)
+		d := c.report(diag.NullDeref, pos, "%s null pointer %s: %s", how, c.disp(base.ref), cast.ExprString(whole))
 		if d != nil && rs.nullPos.IsValid() {
-			d.WithNote(rs.nullPos, "Storage %s becomes null", display(base.key))
+			d.WithNote(rs.nullPos, "Storage %s becomes null", c.disp(base.ref))
 		}
-		st.applyToAliases(base.key, func(r *refState) { r.null = NullNo })
+		st.applyToAliases(base.ref, func(r *refState) { r.null = NullNo })
+		rs = st.ref(base.ref)
 	}
 	if rs.def == DefUndefined && !rs.relDef {
 		// Indexing/deref through an array reference uses its address, not
@@ -228,8 +248,8 @@ func (c *checker) checkDerefBase(st *store, base value, how string, pos ctoken.P
 		if rs.typ != nil && rs.typ.Resolve() != nil && rs.typ.Resolve().Kind == ctypes.Array {
 			return
 		}
-		c.report(diag.UseUndef, pos, "Storage %s used before definition: %s", display(base.key), exprText)
-		st.applyToAliases(base.key, func(r *refState) { r.def = DefAllocated })
+		c.report(diag.UseUndef, pos, "Storage %s used before definition: %s", c.disp(base.ref), cast.ExprString(whole))
+		st.applyToAliases(base.ref, func(r *refState) { r.def = DefAllocated })
 	}
 }
 
@@ -242,27 +262,30 @@ func (c *checker) evalFieldSel(st *store, fs *cast.FieldSel, rvalue bool) value 
 	return c.evalDerived(st, fs.X, selector{kind: kind, name: fs.Name}, fs.P, rvalue, fs)
 }
 
+// howNames names each selection kind for dereference messages.
+var howNames = [...]string{
+	selArrow: "Arrow access from", selDot: "Field access from",
+	selIndex: "Index of", selDeref: "Dereference of",
+}
+
 // evalDerived evaluates a selection (field, index, deref) from base
 // expression x.
 func (c *checker) evalDerived(st *store, x cast.Expr, s selector, pos ctoken.Pos, rvalue bool, whole cast.Expr) value {
 	base := c.evalExpr(st, x, true)
-	how := map[selKind]string{
-		selArrow: "Arrow access from", selDot: "Field access from",
-		selIndex: "Index of", selDeref: "Dereference of",
-	}[s.kind]
+	how := howNames[s.kind]
 	if s.kind != selDot { // dot does not dereference
-		c.checkDerefBase(st, base, how, pos, cast.ExprString(whole))
+		c.checkDerefBase(st, base, how, pos, whole)
 		// A poisoned base (just reported dead) yields an anonymous value
 		// rather than cascading through derived references.
-		if base.key != "" {
-			if brs, ok := st.refs[base.key]; ok && brs.alloc == AllocError {
+		if base.ref != noRef {
+			if brs := st.ref(base.ref); brs != nil && brs.alloc == AllocError {
 				typ, _ := c.childTypeAnnots(base.typ, s)
 				whole.SetType(typ)
 				return anonValue(typ)
 			}
 		}
 	}
-	if base.key == "" {
+	if base.ref == noRef {
 		// Selection from an anonymous value: derive the type only.
 		typ, declAnn := c.childTypeAnnots(base.typ, s)
 		whole.SetType(typ)
@@ -271,16 +294,17 @@ func (c *checker) evalDerived(st *store, x cast.Expr, s selector, pos ctoken.Pos
 		v.declAnn = declAnn
 		return v
 	}
-	parent := st.refs[base.key]
+	parent := st.ref(base.ref)
 	if parent == nil {
 		return anonValue(nil)
 	}
-	key, rs := c.deriveChild(st, base.key, parent, s, pos)
+	id, rs := c.deriveChild(st, base.ref, parent, s, pos)
 	whole.SetType(rs.typ)
 	if rvalue {
-		c.checkRead(st, key, rs, pos)
+		c.checkRead(st, id, rs, pos)
+		rs = st.ref(id)
 	}
-	return valueOf(key, rs)
+	return valueOf(id, rs)
 }
 
 // evalUnary evaluates unary operators.
@@ -297,7 +321,7 @@ func (c *checker) evalUnary(st *store, u *cast.Unary, rvalue bool) value {
 		u.SetType(t)
 		val := anonValue(t)
 		val.alloc = AllocStatic // address of existing storage must not be freed
-		val.pointee = inner.key
+		val.pointee = inner.ref
 		return val
 	case cast.LogNot:
 		c.evalExpr(st, u.X, true)
@@ -360,7 +384,7 @@ func (c *checker) evalCondExpr(st *store, ce *cast.Cond) value {
 	vF := c.evalExpr(stF, ce.Else, true)
 	merged := c.mergeReport(stT, stF, ce.P)
 	*st = *merged
-	out := value{typ: vT.typ}
+	out := value{typ: vT.typ, ref: noRef, pointee: noRef}
 	if out.typ == nil {
 		out.typ = vF.typ
 	}
@@ -372,8 +396,8 @@ func (c *checker) evalCondExpr(st *store, ce *cast.Cond) value {
 	out.def = MergeDef(vT.def, vF.def)
 	a, _ := MergeAlloc(vT.alloc, vF.alloc)
 	out.alloc = a
-	if vT.key != "" && vT.key == vF.key {
-		out.key = vT.key
+	if vT.ref != noRef && vT.ref == vF.ref {
+		out.ref = vT.ref
 	}
 	ce.SetType(out.typ)
 	return out

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"sort"
+	"strings"
+)
+
+// RefID is a dense, per-function index for a canonical reference key.
+// Ids are assigned in first-touch order while a function body is checked;
+// the interner keeps an O(1) id->key table so diagnostics (and anything
+// else that renders a reference) recover the exact canonical spelling, and
+// a lazily maintained lexicographic ordering so the few order-sensitive
+// iteration sites produce byte-identical output to the old string-keyed
+// store.
+type RefID int32
+
+// noRef is the id of "no reference" (an anonymous value).
+const noRef RefID = -1
+
+// refFlags caches per-key string predicates so hot paths never re-scan the
+// key text.
+type refFlags uint8
+
+const (
+	refDerived refFlags = 1 << iota // key contains a selection step
+	refHeap                         // key begins "heap#"
+	refArg                          // key begins "arg:"
+	refGlobal                       // key begins "g:"
+)
+
+// childRef identifies one derivation step from an interned parent, used to
+// memoize child-key construction (no string concatenation after the first
+// touch of a path).
+type childRef struct {
+	parent RefID
+	kind   selKind
+	name   string
+}
+
+// interner maps canonical reference keys to dense RefIDs for one function
+// body. It is reused across functions within a worker (reset clears it
+// without releasing the backing storage).
+type interner struct {
+	ids        map[string]RefID
+	keys       []string  // id -> canonical key
+	parent     []RefID   // id -> parent reference (noRef for base refs)
+	flags      []refFlags
+	disp       []string // id -> display form, computed lazily ("" = not yet)
+	childCache map[childRef]RefID
+
+	// sorted caches all ids in lexicographic key order; it is valid while
+	// sortedN == len(keys) and rebuilt into a fresh slice otherwise, so a
+	// snapshot obtained before new keys were interned stays iterable.
+	sorted  []RefID
+	sortedN int
+}
+
+func newInterner() *interner {
+	return &interner{
+		ids:        make(map[string]RefID, 64),
+		childCache: make(map[childRef]RefID, 64),
+		sortedN:    -1,
+	}
+}
+
+// reset clears the interner for the next function, keeping capacity.
+func (in *interner) reset() {
+	clear(in.ids)
+	clear(in.childCache)
+	in.keys = in.keys[:0]
+	in.parent = in.parent[:0]
+	in.flags = in.flags[:0]
+	in.disp = in.disp[:0]
+	in.sorted = nil
+	in.sortedN = -1
+}
+
+// intern returns the id for key, assigning the next dense id (and interning
+// the whole parent chain) on first touch.
+func (in *interner) intern(key string) RefID {
+	if id, ok := in.ids[key]; ok {
+		return id
+	}
+	id := RefID(len(in.keys))
+	in.ids[key] = id
+	in.keys = append(in.keys, key)
+	in.disp = append(in.disp, "")
+	var fl refFlags
+	if isDerivedKey(key) {
+		fl |= refDerived
+	}
+	if isHeapKey(key) {
+		fl |= refHeap
+	}
+	if strings.HasPrefix(key, "arg:") {
+		fl |= refArg
+	}
+	if strings.HasPrefix(key, "g:") {
+		fl |= refGlobal
+	}
+	in.flags = append(in.flags, fl)
+	in.parent = append(in.parent, noRef)
+	if p := baseOf(key); p != "" {
+		// Recursion appends the ancestors after id; indices already handed
+		// out stay stable because the tables only grow.
+		in.parent[id] = in.intern(p)
+	}
+	return id
+}
+
+// lookup returns the id for key without interning, or noRef.
+func (in *interner) lookup(key string) RefID {
+	if id, ok := in.ids[key]; ok {
+		return id
+	}
+	return noRef
+}
+
+// child returns the id for the selection s from parent, memoized so the
+// canonical key string is built at most once per (parent, selector).
+func (in *interner) child(parent RefID, s selector) RefID {
+	ck := childRef{parent: parent, kind: s.kind, name: s.name}
+	if id, ok := in.childCache[ck]; ok {
+		return id
+	}
+	id := in.intern(childKey(in.keys[parent], s))
+	in.childCache[ck] = id
+	return id
+}
+
+// displayOf returns the user-facing form of id's key, cached.
+func (in *interner) displayOf(id RefID) string {
+	if d := in.disp[id]; d != "" {
+		return d
+	}
+	d := display(in.keys[id])
+	in.disp[id] = d
+	return d
+}
+
+func (in *interner) derived(id RefID) bool { return in.flags[id]&refDerived != 0 }
+func (in *interner) heap(id RefID) bool    { return in.flags[id]&refHeap != 0 }
+func (in *interner) arg(id RefID) bool     { return in.flags[id]&refArg != 0 }
+func (in *interner) global(id RefID) bool  { return in.flags[id]&refGlobal != 0 }
+
+func (in *interner) parentOf(id RefID) RefID { return in.parent[id] }
+
+// hasBaseID reports whether id is derived (transitively) from base.
+func (in *interner) hasBaseID(id, base RefID) bool {
+	for p := in.parent[id]; p != noRef; p = in.parent[p] {
+		if p == base {
+			return true
+		}
+	}
+	return false
+}
+
+// rootOf returns the base reference id is ultimately derived from (id
+// itself for base references).
+func (in *interner) rootOf(id RefID) RefID {
+	r := id
+	for p := in.parent[r]; p != noRef; p = in.parent[p] {
+		r = p
+	}
+	return r
+}
+
+// sortedIDs returns every interned id in lexicographic key order — the
+// iteration order the old string-keyed store produced with sortedKeys, so
+// diagnostics that name "the first offending reference" are unchanged. The
+// result is a snapshot: interning more keys leaves it valid (it simply does
+// not include them, exactly like a key-set snapshot of the old map).
+func (in *interner) sortedIDs() []RefID {
+	if in.sortedN != len(in.keys) {
+		s := make([]RefID, len(in.keys))
+		for i := range s {
+			s[i] = RefID(i)
+		}
+		sort.Slice(s, func(i, j int) bool { return in.keys[s[i]] < in.keys[s[j]] })
+		in.sorted = s
+		in.sortedN = len(in.keys)
+	}
+	return in.sorted
+}

@@ -21,6 +21,9 @@ import (
 //
 // Each key has a display form used in messages (mirrors print as the paper's
 // "argx"; globals print bare).
+//
+// The checker works on interned RefIDs (see intern.go); the string helpers
+// below are used at intern time and by the order-preserving diagnostics.
 
 func globalKey(name string) string { return "g:" + name }
 func argKey(name string) string    { return "arg:" + name }
@@ -135,20 +138,29 @@ func baseOf(key string) string {
 	return ""
 }
 
-// ensureRef returns the state for key, materializing it from its parent
-// reference and the governing field annotations if it has not been touched
-// yet (§5: annotations and type definitions determine the initial dataflow
-// values).
-func (c *checker) ensureRef(st *store, key string, typ *ctypes.Type, declAnn annot.Set, declPos ctoken.Pos, external bool) *refState {
-	if rs, ok := st.refs[key]; ok {
+// hasBase reports whether key is derived (transitively) from base.
+func hasBase(key, base string) bool {
+	for b := baseOf(key); b != ""; b = baseOf(b) {
+		if b == base {
+			return true
+		}
+	}
+	return false
+}
+
+// ensureRef returns the state for id, materializing it from the governing
+// annotations if it has not been touched yet (§5: annotations and type
+// definitions determine the initial dataflow values). The result is
+// read-only unless newly created.
+func (c *checker) ensureRef(st *store, id RefID, typ *ctypes.Type, declAnn annot.Set, declPos ctoken.Pos, external bool) *refState {
+	if rs := st.ref(id); rs != nil {
 		return rs
 	}
-	rs := &refState{
-		typ:      typ,
-		declAnn:  declAnn,
-		declPos:  declPos,
-		external: external,
-	}
+	rs := st.newRef(id)
+	rs.typ = typ
+	rs.declAnn = declAnn
+	rs.declPos = declPos
+	rs.external = external
 	rs.null = nullFromAnnots(declAnn)
 	rs.relNull = declAnn.Has(annot.RelNull)
 	rs.relDef = declAnn.Has(annot.RelDef) || declAnn.Has(annot.Partial)
@@ -175,27 +187,25 @@ func (c *checker) ensureRef(st *store, key string, typ *ctypes.Type, declAnn ann
 	if rs.alloc == AllocOnly || rs.alloc == AllocOwned {
 		rs.allocPos = declPos
 	}
-	st.refs[key] = rs
 	return rs
 }
 
 // deriveChild materializes (or fetches) the child of parent under selector
 // s, inheriting parent definition state and external visibility, and
 // creates alias edges between the children of parent's aliases.
-func (c *checker) deriveChild(st *store, parentKey string, parent *refState, s selector, pos ctoken.Pos) (string, *refState) {
-	key := childKey(parentKey, s)
-	if rs, ok := st.refs[key]; ok {
-		c.linkAliasChildren(st, parentKey, s, key)
-		return key, rs
+func (c *checker) deriveChild(st *store, parentID RefID, parent *refState, s selector, pos ctoken.Pos) (RefID, *refState) {
+	id := c.fs.in.child(parentID, s)
+	if rs := st.ref(id); rs != nil {
+		c.linkAliasChildren(st, parentID, s, id)
+		return id, rs
 	}
 	typ, declAnn := c.childTypeAnnots(parent.typ, s)
-	rs := &refState{
-		typ:      typ,
-		declAnn:  declAnn,
-		declPos:  parent.declPos,
-		external: parent.external,
-		observer: parent.observer,
-	}
+	rs := st.newRef(id)
+	rs.typ = typ
+	rs.declAnn = declAnn
+	rs.declPos = parent.declPos
+	rs.external = parent.external
+	rs.observer = parent.observer
 	rs.relNull = declAnn.Has(annot.RelNull)
 	rs.relDef = declAnn.Has(annot.RelDef) || declAnn.Has(annot.Partial)
 	// Definition state from the parent: a completely defined object has
@@ -245,27 +255,28 @@ func (c *checker) deriveChild(st *store, parentKey string, parent *refState, s s
 	if rs.alloc == AllocOnly || rs.alloc == AllocOwned {
 		rs.allocPos = pos
 	}
-	st.refs[key] = rs
-	c.linkAliasChildren(st, parentKey, s, key)
-	return key, rs
+	c.linkAliasChildren(st, parentID, s, id)
+	return id, rs
 }
 
 // linkAliasChildren creates the corresponding child references for every
-// alias of parentKey and links them as aliases of childKey (§5: since
+// alias of parentID and links them as aliases of childID (§5: since
 // l->next may alias argl->next, updates apply to both).
-func (c *checker) linkAliasChildren(st *store, parentKey string, s selector, child string) {
-	for _, al := range st.aliasesOf(parentKey) {
-		alChild := childKey(al, s)
-		if _, ok := st.refs[alChild]; !ok {
-			if base, okBase := st.refs[child]; okBase {
-				cp := base.clone()
-				if alState, okAl := st.refs[al]; okAl {
+func (c *checker) linkAliasChildren(st *store, parentID RefID, s selector, childID RefID) {
+	for _, al := range st.aliasSet(parentID) {
+		alChild := c.fs.in.child(al, s)
+		if st.ref(alChild) == nil {
+			if base := st.ref(childID); base != nil {
+				cp := st.fs.ar.allocRef()
+				*cp = *base
+				cp.owner = st.owner
+				if alState := st.ref(al); alState != nil {
 					cp.external = alState.external
 				}
-				st.refs[alChild] = cp
+				st.setRef(alChild, cp)
 			}
 		}
-		st.addAlias(child, alChild)
+		st.addAlias(childID, alChild)
 	}
 }
 
@@ -298,14 +309,16 @@ func (c *checker) childTypeAnnots(parent *ctypes.Type, s selector) (*ctypes.Type
 	return nil, 0
 }
 
-// applyToAliases applies mutate to the state of key and every alias of key
-// (aliased references share storage, so state changes mirror).
-func (st *store) applyToAliases(key string, mutate func(*refState)) {
-	if rs, ok := st.refs[key]; ok {
+// applyToAliases applies mutate to the state of id and every alias of id
+// (aliased references share storage, so state changes mirror). States are
+// faulted to writable copies first, so pointers fetched before the call
+// are stale afterwards.
+func (st *store) applyToAliases(id RefID, mutate func(*refState)) {
+	if rs := st.mut(id); rs != nil {
 		mutate(rs)
 	}
-	for _, al := range st.aliasesOf(key) {
-		if rs, ok := st.refs[al]; ok {
+	for _, al := range st.aliasSet(id) {
+		if rs := st.mut(al); rs != nil {
 			mutate(rs)
 		}
 	}
@@ -316,57 +329,62 @@ func (st *store) applyToAliases(key string, mutate func(*refState)) {
 // reference"): an incompletely defined child weakens defined ancestors to
 // partially-defined; a completely defined child promotes allocated
 // ancestors to partially-defined (progress, not regress).
-func (st *store) propagateDefUp(key string, childDef DefState) {
+func (st *store) propagateDefUp(id RefID, childDef DefState) {
+	in := st.fs.in
 	// The collapsed-loop alias sets can relate a reference to its own
 	// ancestors (l->next may alias both argl->next and argl->next->next);
 	// the origin's own alias closure must not be weakened by itself.
-	skip := map[string]bool{key: true}
-	for _, al := range st.aliasesOf(key) {
-		skip[al] = true
+	var skipBuf [16]RefID
+	skip := append(skipBuf[:0], id)
+	skip = append(skip, st.aliasSet(id)...)
+	inSkip := func(x RefID) bool {
+		for _, s := range skip {
+			if s == x {
+				return true
+			}
+		}
+		return false
 	}
-	adjust := func(rs *refState) {
+	adjust := func(x RefID) {
+		rs := st.ref(x)
+		if rs == nil {
+			return
+		}
 		if childDef < DefDefined {
 			if rs.def == DefDefined || rs.def == DefAllocated {
-				rs.def = DefPartial
+				st.mut(x).def = DefPartial
 			}
 		} else if rs.def == DefAllocated || rs.def == DefUndefined {
-			rs.def = DefPartial
+			st.mut(x).def = DefPartial
 		}
 	}
-	for b := baseOf(key); b != ""; b = baseOf(b) {
-		if rs, ok := st.refs[b]; ok {
-			if !skip[b] {
-				adjust(rs)
+	for b := in.parentOf(id); b != noRef; b = in.parentOf(b) {
+		if st.ref(b) != nil {
+			if !inSkip(b) {
+				adjust(b)
 			}
-			for _, al := range st.aliasesOf(b) {
-				if skip[al] {
+			for _, al := range st.aliasSet(b) {
+				if inSkip(al) {
 					continue
 				}
-				if as, ok := st.refs[al]; ok {
-					adjust(as)
-				}
+				adjust(al)
 			}
 		}
 	}
 }
 
-// dropChildren removes all stored references derived from key (used when
-// key is rebound to a new value).
-func (st *store) dropChildren(key string) {
-	for _, k := range st.sortedKeys() {
-		if k != key && hasBase(k, key) {
+// dropChildren removes all stored references derived from id (used when
+// id is rebound to a new value).
+func (st *store) dropChildren(id RefID) {
+	in := st.fs.in
+	for i := 0; i < len(st.refs); i++ {
+		k := RefID(i)
+		if k == id || st.refs[i] == nil {
+			continue
+		}
+		if in.hasBaseID(k, id) {
 			st.dropAliases(k)
-			delete(st.refs, k)
+			st.delRef(k)
 		}
 	}
-}
-
-// hasBase reports whether key is derived (transitively) from base.
-func hasBase(key, base string) bool {
-	for b := baseOf(key); b != ""; b = baseOf(b) {
-		if b == base {
-			return true
-		}
-	}
-	return false
 }

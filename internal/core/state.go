@@ -9,8 +9,6 @@
 package core
 
 import (
-	"sort"
-
 	"golclint/internal/annot"
 	"golclint/internal/ctoken"
 	"golclint/internal/ctypes"
@@ -29,13 +27,18 @@ const (
 	DefDefined                   // completely defined
 )
 
-var defNames = map[DefState]string{
+var defNames = [...]string{
 	DefUndefined: "undefined", DefAllocated: "allocated",
 	DefPartial: "partially-defined", DefDefined: "defined",
 }
 
 // String returns the paper's name for the state.
-func (d DefState) String() string { return defNames[d] }
+func (d DefState) String() string {
+	if d < 0 || int(d) >= len(defNames) {
+		return ""
+	}
+	return defNames[d]
+}
 
 // MergeDef combines definition states at a confluence point.
 func MergeDef(a, b DefState) DefState {
@@ -57,13 +60,18 @@ const (
 	NullError             // error marker (suppresses cascades)
 )
 
-var nullNames = map[NullState]string{
+var nullNames = [...]string{
 	NullUnknown: "unknown", NullNo: "not-null", NullMaybe: "possibly-null",
 	NullYes: "definitely-null", NullError: "error",
 }
 
 // String returns a readable name for the state.
-func (n NullState) String() string { return nullNames[n] }
+func (n NullState) String() string {
+	if n < 0 || int(n) >= len(nullNames) {
+		return ""
+	}
+	return nullNames[n]
+}
 
 // MergeNull combines null states at a confluence point.
 func MergeNull(a, b NullState) NullState {
@@ -102,7 +110,7 @@ const (
 	AllocError                // error marker after a confluence anomaly
 )
 
-var allocNames = map[AllocState]string{
+var allocNames = [...]string{
 	AllocUnknown: "unknown", AllocOnly: "only", AllocOwned: "owned",
 	AllocKeep: "keep", AllocKept: "kept", AllocTemp: "temp",
 	AllocDependent: "dependent", AllocShared: "shared",
@@ -110,7 +118,12 @@ var allocNames = map[AllocState]string{
 }
 
 // String returns the paper's name for the state.
-func (a AllocState) String() string { return allocNames[a] }
+func (a AllocState) String() string {
+	if a < 0 || int(a) >= len(allocNames) {
+		return ""
+	}
+	return allocNames[a]
+}
 
 // Owning reports whether the state carries an obligation to release.
 func (a AllocState) Owning() bool { return a == AllocOnly || a == AllocOwned }
@@ -119,10 +132,10 @@ func (a AllocState) Owning() bool { return a == AllocOnly || a == AllocOwned }
 func (a AllocState) Live() bool { return a != AllocDead && a != AllocError && a != AllocUnknown }
 
 // allocRank orders non-owning live states from most to least constrained
-// for silent same-group merging.
-var allocRank = map[AllocState]int{
+// for silent same-group merging; zero means the state is not in the group.
+var allocRank = [...]int8{
 	AllocKeep: 1, AllocKept: 2, AllocTemp: 3, AllocStatic: 4,
-	AllocDependent: 5, AllocShared: 6,
+	AllocDependent: 5, AllocShared: 6, AllocError: 0,
 }
 
 // MergeAlloc combines allocation states at a confluence point. ok is false
@@ -146,9 +159,8 @@ func MergeAlloc(a, b AllocState) (AllocState, bool) {
 	if a.Owning() && b.Owning() {
 		return AllocOwned, true
 	}
-	ra, okA := allocRank[a]
-	rb, okB := allocRank[b]
-	if okA && okB {
+	ra, rb := allocRank[a], allocRank[b]
+	if ra != 0 && rb != 0 {
 		if ra > rb {
 			return a, true
 		}
@@ -242,6 +254,10 @@ type refState struct {
 	// storage) or defined (baseline defined — weakened by one child).
 	baseline DefState
 
+	// owner is the ownership generation of the store that may mutate this
+	// state in place; every other store must copy it first (copy-on-write).
+	owner uint32
+
 	// declAnn and declPos record the governing annotations and where they
 	// were declared (used in messages like "Storage gname becomes only").
 	declAnn annot.Set
@@ -274,126 +290,319 @@ type refState struct {
 	deadPos  ctoken.Pos // where the reference died (release/transfer)
 }
 
-func (rs *refState) clone() *refState {
-	c := *rs
-	return &c
-}
-
-// store is the abstract state at a program point: a map from reference
-// keys to their dataflow values plus a symmetric may-alias relation.
+// store is the abstract state at a program point: a dense slice of
+// dataflow values indexed by RefID plus a symmetric may-alias relation as
+// per-ref sorted RefID sets.
+//
+// Stores are copy-on-write: clone() copies only the header, marking the
+// backing arrays shared and revoking both stores' rights to mutate the
+// refStates they point at (see clone). Writes privatize the backing array
+// once (refsShared/aliasShared) and individual refStates on first touch
+// (mut). Alias sets ([]RefID slices) are immutable once installed — every
+// change builds a new slice — so they are shared freely between clones.
 type store struct {
-	refs    map[string]*refState
-	aliases map[string]map[string]bool
+	fs      *fnState
+	refs    []*refState // indexed by RefID; nil = absent
+	aliases [][]RefID   // indexed by RefID; sorted; nil = none
+
+	// refsShared/aliasShared mark the backing arrays as shared with
+	// another store (set by clone, cleared by privatization).
+	refsShared  bool
+	aliasShared bool
+
+	// owner is this store's current ownership generation: a refState with
+	// a matching owner tag may be written in place.
+	owner uint32
+
 	// unreachable marks dead paths (after return/exit); merging with an
-	// unreachable store yields the other store unchanged.
+	// unreachable store yields (a clone of) the other store.
 	unreachable bool
 }
 
-func newStore() *store {
-	return &store{refs: map[string]*refState{}, aliases: map[string]map[string]bool{}}
-}
-
+// clone returns an O(1) copy-on-write snapshot. Both the clone and the
+// original receive fresh ownership generations: the refStates they now
+// share carry the old tag, so the first write to any of them — from either
+// store — copies it.
 func (st *store) clone() *store {
-	c := newStore()
-	c.unreachable = st.unreachable
-	for k, v := range st.refs {
-		c.refs[k] = v.clone()
-	}
-	for k, set := range st.aliases {
-		m := make(map[string]bool, len(set))
-		for a := range set {
-			m[a] = true
-		}
-		c.aliases[k] = m
-	}
+	fs := st.fs
+	fs.clones++
+	c := fs.ar.allocStore()
+	*c = *st
+	c.owner = fs.newOwner()
+	st.owner = fs.newOwner()
+	c.refsShared, c.aliasShared = true, true
+	st.refsShared, st.aliasShared = true, true
 	return c
 }
 
-// addAlias records that a and b may refer to the same storage.
-func (st *store) addAlias(a, b string) {
-	if a == b {
-		return
+// ref returns the state for id, or nil when absent. The result must be
+// treated as read-only unless it was just created by newRef or returned by
+// mut on this store.
+func (st *store) ref(id RefID) *refState {
+	if id >= 0 && int(id) < len(st.refs) {
+		return st.refs[id]
 	}
-	if st.aliases[a] == nil {
-		st.aliases[a] = map[string]bool{}
-	}
-	if st.aliases[b] == nil {
-		st.aliases[b] = map[string]bool{}
-	}
-	st.aliases[a][b] = true
-	st.aliases[b][a] = true
+	return nil
 }
 
-// aliasesOf returns the sorted may-alias set of key (not including key).
-func (st *store) aliasesOf(key string) []string {
-	set := st.aliases[key]
-	if len(set) == 0 {
+// growRefs privatizes (and, if needed, grows) the refs array so index id
+// is writable.
+func (st *store) growRefs(id RefID) {
+	n := int(id) + 1
+	if st.refsShared || n > cap(st.refs) {
+		newCap := 2 * cap(st.refs)
+		if newCap < n {
+			newCap = n
+		}
+		if k := len(st.fs.in.keys); newCap < k {
+			newCap = k
+		}
+		ln := len(st.refs)
+		if ln < n {
+			ln = n
+		}
+		nr := make([]*refState, ln, newCap)
+		copy(nr, st.refs)
+		st.refs = nr
+		st.refsShared = false
+	} else if n > len(st.refs) {
+		// Owned array with spare capacity: the tail beyond len is still
+		// zero (make zeroes to capacity and slots are only written below
+		// len), so reslicing exposes only nils.
+		st.refs = st.refs[:n]
+	}
+}
+
+// setRef installs rs as the state for id.
+func (st *store) setRef(id RefID, rs *refState) {
+	if st.refsShared || int(id) >= len(st.refs) {
+		st.growRefs(id)
+	}
+	st.refs[id] = rs
+}
+
+// newRef creates a fresh zeroed state for id, owned by this store (in-place
+// writes are allowed until the store is cloned).
+func (st *store) newRef(id RefID) *refState {
+	rs := st.fs.ar.allocRef()
+	rs.owner = st.owner
+	st.setRef(id, rs)
+	return rs
+}
+
+// mut returns a writable state for id, copying it first if this store does
+// not own it (the copy-on-write fault path). Returns nil when id is absent.
+// Any refState pointer fetched before a mutating call may be stale — use
+// the pointer mut returns.
+func (st *store) mut(id RefID) *refState {
+	rs := st.ref(id)
+	if rs == nil {
 		return nil
 	}
-	out := make([]string, 0, len(set))
-	for a := range set {
-		out = append(out, a)
+	if rs.owner == st.owner {
+		return rs
 	}
-	sort.Strings(out)
+	st.fs.copied++
+	n := st.fs.ar.allocRef()
+	*n = *rs
+	n.owner = st.owner
+	st.setRef(id, n)
+	return n
+}
+
+// delRef removes id's state.
+func (st *store) delRef(id RefID) {
+	if st.ref(id) == nil {
+		return
+	}
+	if st.refsShared {
+		st.growRefs(RefID(len(st.refs) - 1))
+	}
+	st.refs[id] = nil
+}
+
+// aliasSet returns the sorted may-alias set of id (not including id). The
+// slice is immutable — callers must never modify it.
+func (st *store) aliasSet(id RefID) []RefID {
+	if id >= 0 && int(id) < len(st.aliases) {
+		return st.aliases[id]
+	}
+	return nil
+}
+
+// setAliasSet installs set as id's alias set, privatizing the outer array.
+func (st *store) setAliasSet(id RefID, set []RefID) {
+	n := int(id) + 1
+	if st.aliasShared || n > cap(st.aliases) {
+		newCap := 2 * cap(st.aliases)
+		if newCap < n {
+			newCap = n
+		}
+		ln := len(st.aliases)
+		if ln < n {
+			ln = n
+		}
+		na := make([][]RefID, ln, newCap)
+		copy(na, st.aliases)
+		st.aliases = na
+		st.aliasShared = false
+	} else if n > len(st.aliases) {
+		st.aliases = st.aliases[:n]
+	}
+	st.aliases[id] = set
+}
+
+// containsRef reports whether sorted set contains x.
+func containsRef(set []RefID, x RefID) bool {
+	for _, v := range set {
+		if v == x {
+			return true
+		}
+		if v > x {
+			return false
+		}
+	}
+	return false
+}
+
+// insertSorted returns a new sorted slice with x inserted (set itself is
+// never modified: alias slices are shared between stores).
+func insertSorted(set []RefID, x RefID) []RefID {
+	out := make([]RefID, 0, len(set)+1)
+	i := 0
+	for ; i < len(set) && set[i] < x; i++ {
+		out = append(out, set[i])
+	}
+	out = append(out, x)
+	out = append(out, set[i:]...)
 	return out
 }
 
-// dropAliases unbinds key from the alias relation (used when a reference
-// is assigned a new value).
-func (st *store) dropAliases(key string) {
-	for a := range st.aliases[key] {
-		delete(st.aliases[a], key)
+// removeSorted returns set without x (set itself is never modified);
+// returns set unchanged when x is absent and nil when the result is empty.
+func removeSorted(set []RefID, x RefID) []RefID {
+	if !containsRef(set, x) {
+		return set
 	}
-	delete(st.aliases, key)
+	if len(set) == 1 {
+		return nil
+	}
+	out := make([]RefID, 0, len(set)-1)
+	for _, v := range set {
+		if v != x {
+			out = append(out, v)
+		}
+	}
+	return out
 }
 
-// sortedKeys returns the reference keys in deterministic order.
-func (st *store) sortedKeys() []string {
-	ks := make([]string, 0, len(st.refs))
-	for k := range st.refs {
-		ks = append(ks, k)
+// addAlias records that a and b may refer to the same storage.
+func (st *store) addAlias(a, b RefID) {
+	if a == b || a == noRef || b == noRef {
+		return
 	}
-	sort.Strings(ks)
-	return ks
+	if !containsRef(st.aliasSet(a), b) {
+		st.setAliasSet(a, insertSorted(st.aliasSet(a), b))
+	}
+	if !containsRef(st.aliasSet(b), a) {
+		st.setAliasSet(b, insertSorted(st.aliasSet(b), a))
+	}
+}
+
+// aliased reports whether a and b are recorded as may-aliases.
+func (st *store) aliased(a, b RefID) bool {
+	return containsRef(st.aliasSet(a), b)
+}
+
+// removeAlias removes the a–b edge.
+func (st *store) removeAlias(a, b RefID) {
+	st.setAliasSet(a, removeSorted(st.aliasSet(a), b))
+	st.setAliasSet(b, removeSorted(st.aliasSet(b), a))
+}
+
+// dropAliases unbinds id from the alias relation (used when a reference
+// is assigned a new value).
+func (st *store) dropAliases(id RefID) {
+	set := st.aliasSet(id)
+	if set == nil {
+		return
+	}
+	for _, x := range set {
+		st.setAliasSet(x, removeSorted(st.aliasSet(x), id))
+	}
+	st.setAliasSet(id, nil)
+}
+
+// sortedAliases returns id's aliases ordered by key string (the order the
+// old string-keyed store iterated them in); used only where the order is
+// diagnostic-visible.
+func (st *store) sortedAliases(id RefID) []RefID {
+	set := st.aliasSet(id)
+	if len(set) <= 1 {
+		return set
+	}
+	in := st.fs.in
+	out := make([]RefID, len(set))
+	copy(out, set)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && in.keys[out[j]] < in.keys[out[j-1]]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
 }
 
 // confluence describes an allocation-state conflict found during a merge.
 type confluence struct {
-	key    string
+	id     RefID
 	a, b   AllocState
 	aState *refState
 }
 
-// mergeStores combines two branch states. Conflicting allocation states
-// are returned for the caller to report (the paper's confluence anomaly);
-// the merged reference gets the error marker.
+// mergeStores combines two branch states, consuming both: a and b lose
+// their in-place-write rights (states they own may now be shared into the
+// result), so callers must not keep using them except through the returned
+// store. Conflicting allocation states are returned for the caller to
+// report (the paper's confluence anomaly); the merged reference gets the
+// error marker.
 func mergeStores(a, b *store) (*store, []confluence) {
+	// An unreachable input contributes nothing; the result is a clone (an
+	// O(1) snapshot) of the other store, never the store itself — returning
+	// it unchanged would alias a live branch store, and a later mutation
+	// through the merge result would silently corrupt the branch.
 	if a.unreachable {
-		return b, nil
+		return b.clone(), nil
 	}
 	if b.unreachable {
-		return a, nil
+		return a.clone(), nil
 	}
-	out := newStore()
+	fs := a.fs
+	// Revoke in-place-write rights from the inputs: one-sided refStates are
+	// shared into out below, and a stale write through a or b must fault
+	// into a copy rather than mutate what out sees.
+	a.owner = fs.newOwner()
+	b.owner = fs.newOwner()
+	out := fs.ar.allocStore()
+	out.fs = fs
+	out.owner = fs.newOwner()
 	var conflicts []confluence
-	keys := map[string]bool{}
-	for k := range a.refs {
-		keys[k] = true
+
+	n := len(a.refs)
+	if len(b.refs) > n {
+		n = len(b.refs)
 	}
-	for k := range b.refs {
-		keys[k] = true
+	if n > 0 {
+		out.growRefs(RefID(n - 1))
 	}
-	sorted := make([]string, 0, len(keys))
-	for k := range keys {
-		sorted = append(sorted, k)
-	}
-	sort.Strings(sorted)
-	for _, k := range sorted {
-		ra, okA := a.refs[k]
-		rb, okB := b.refs[k]
+	for i := 0; i < n; i++ {
+		id := RefID(i)
+		ra := a.ref(id)
+		rb := b.ref(id)
 		switch {
-		case okA && okB:
-			m := ra.clone()
+		case ra != nil && rb != nil:
+			m := fs.ar.allocRef()
+			*m = *ra
+			m.owner = out.owner
 			m.def = MergeDef(ra.def, rb.def)
 			m.baseline = MergeDef(ra.baseline, rb.baseline)
 			m.null = MergeNull(ra.null, rb.null)
@@ -407,7 +616,7 @@ func mergeStores(a, b *store) (*store, []confluence) {
 			default:
 				merged, ok := MergeAlloc(ra.alloc, rb.alloc)
 				if !ok {
-					conflicts = append(conflicts, confluence{key: k, a: ra.alloc, b: rb.alloc, aState: m})
+					conflicts = append(conflicts, confluence{id: id, a: ra.alloc, b: rb.alloc, aState: m})
 				}
 				m.alloc = merged
 			}
@@ -423,21 +632,71 @@ func mergeStores(a, b *store) (*store, []confluence) {
 			}
 			m.relNull = ra.relNull || rb.relNull
 			m.relDef = ra.relDef || rb.relDef
-			out.refs[k] = m
-		case okA:
-			out.refs[k] = ra.clone()
-		default:
-			out.refs[k] = rb.clone()
+			out.refs[id] = m
+		case ra != nil:
+			// Present on one path only: share the state (copy-on-write
+			// protects it; the ownership revocation above protects us).
+			out.refs[id] = ra
+		case rb != nil:
+			out.refs[id] = rb
 		}
 	}
+
 	// May-alias union (§5: "The possible aliases at confluence points is
-	// the union of the possible aliases on each branch").
-	for _, src := range []*store{a, b} {
-		for k, set := range src.aliases {
-			for al := range set {
-				out.addAlias(k, al)
-			}
+	// the union of the possible aliases on each branch"). The relation is
+	// symmetric in both inputs, so a per-id union preserves symmetry.
+	an := len(a.aliases)
+	if len(b.aliases) > an {
+		an = len(b.aliases)
+	}
+	if an > 0 {
+		out.aliases = make([][]RefID, an)
+		for i := 0; i < an; i++ {
+			out.aliases[i] = unionSorted(a.aliasSet(RefID(i)), b.aliasSet(RefID(i)))
 		}
 	}
 	return out, conflicts
+}
+
+// unionSorted returns the sorted union of two sorted sets, sharing an input
+// slice when it already is the union.
+func unionSorted(a, b []RefID) []RefID {
+	if len(b) == 0 {
+		return a
+	}
+	if len(a) == 0 {
+		return b
+	}
+	// Common case after a clone: identical sets.
+	if len(a) == len(b) {
+		same := true
+		for i := range a {
+			if a[i] != b[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return a
+		}
+	}
+	out := make([]RefID, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case b[j] < a[i]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
 }

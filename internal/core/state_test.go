@@ -109,22 +109,22 @@ func TestMergeAllocLaws(t *testing.T) {
 
 // Property: mergeStores is commutative in the diagnostics-relevant fields.
 func TestMergeStoresCommutative(t *testing.T) {
+	fs := newFnState()
+	keys := []string{"a", "b", "g:x", "arg:p", "a->f"}
 	mk := func(seed int64) *store {
 		rng := rand.New(rand.NewSource(seed))
-		st := newStore()
-		keys := []string{"a", "b", "g:x", "arg:p", "a->f"}
+		st := fs.newStore()
 		for _, k := range keys {
 			if rng.Intn(3) == 0 {
 				continue // leave some keys absent
 			}
-			st.refs[k] = &refState{
-				def:   allDefs()[rng.Intn(4)],
-				null:  allNulls()[rng.Intn(5)],
-				alloc: allAllocs()[rng.Intn(11)],
-			}
+			rs := st.newRef(fs.in.intern(k))
+			rs.def = allDefs()[rng.Intn(4)]
+			rs.null = allNulls()[rng.Intn(5)]
+			rs.alloc = allAllocs()[rng.Intn(11)]
 		}
 		if rng.Intn(2) == 0 {
-			st.addAlias("a", "arg:p")
+			st.addAlias(fs.in.intern("a"), fs.in.intern("arg:p"))
 		}
 		return st
 	}
@@ -136,12 +136,13 @@ func TestMergeStoresCommutative(t *testing.T) {
 		if len(c1) != len(c2) {
 			return false
 		}
-		if len(m1.refs) != len(m2.refs) {
-			return false
-		}
-		for k, r1 := range m1.refs {
-			r2, ok := m2.refs[k]
-			if !ok || r1.def != r2.def || r1.null != r2.null || r1.alloc != r2.alloc {
+		for _, k := range keys {
+			id := fs.in.lookup(k)
+			r1, r2 := m1.ref(id), m2.ref(id)
+			if (r1 == nil) != (r2 == nil) {
+				return false
+			}
+			if r1 != nil && (r1.def != r2.def || r1.null != r2.null || r1.alloc != r2.alloc) {
 				return false
 			}
 		}
@@ -153,54 +154,180 @@ func TestMergeStoresCommutative(t *testing.T) {
 	}
 }
 
-// Property: merging with an unreachable store is the identity.
-func TestMergeUnreachableIdentity(t *testing.T) {
-	st := newStore()
-	st.refs["x"] = &refState{def: DefDefined, alloc: AllocOnly}
-	dead := newStore()
+// Regression: merging with an unreachable store must return a *clone* of the
+// live store, never the live store itself. The old fast path returned the
+// input unchanged, so a later mutation through the merge result silently
+// corrupted the surviving branch state it aliased.
+func TestMergeUnreachableClones(t *testing.T) {
+	fs := newFnState()
+	x, y := fs.in.intern("x"), fs.in.intern("y")
+	mk := func() *store {
+		st := fs.newStore()
+		rs := st.newRef(x)
+		rs.def, rs.alloc = DefDefined, AllocOnly
+		st.addAlias(x, y)
+		return st
+	}
+	st := mk()
+	dead := fs.newStore()
 	dead.unreachable = true
 	m, conflicts := mergeStores(st, dead)
-	if m != st || len(conflicts) != 0 {
-		t.Fatal("merge with unreachable should return the live store")
+	if len(conflicts) != 0 {
+		t.Fatal("merge with unreachable reported conflicts")
 	}
-	m, _ = mergeStores(dead, st)
-	if m != st {
-		t.Fatal("merge is symmetric for unreachable")
+	if m == st {
+		t.Fatal("merge with unreachable returned the live store, not a clone")
+	}
+	if rs := m.ref(x); rs == nil || rs.def != DefDefined || rs.alloc != AllocOnly {
+		t.Fatal("clone content differs from the live store")
+	}
+	// Mutating the merge result must not leak into the branch store.
+	m.mut(x).alloc = AllocDead
+	m.dropAliases(x)
+	if st.ref(x).alloc != AllocOnly {
+		t.Fatal("mutation through the merge result corrupted the branch store")
+	}
+	if !st.aliased(x, y) {
+		t.Fatal("alias mutation through the merge result corrupted the branch store")
+	}
+	// Symmetric case.
+	st2 := mk()
+	dead2 := fs.newStore()
+	dead2.unreachable = true
+	m2, _ := mergeStores(dead2, st2)
+	if m2 == st2 {
+		t.Fatal("merge is symmetric for unreachable: must clone")
+	}
+	m2.mut(x).def = DefUndefined
+	if st2.ref(x).def != DefDefined {
+		t.Fatal("symmetric case: mutation corrupted the branch store")
 	}
 }
 
 func TestCloneIndependence(t *testing.T) {
-	st := newStore()
-	st.refs["x"] = &refState{def: DefDefined, alloc: AllocOnly}
-	st.addAlias("x", "y")
+	fs := newFnState()
+	x, y, z := fs.in.intern("x"), fs.in.intern("y"), fs.in.intern("z")
+	st := fs.newStore()
+	rs := st.newRef(x)
+	rs.def, rs.alloc = DefDefined, AllocOnly
+	st.addAlias(x, y)
 	c := st.clone()
-	c.refs["x"].def = DefUndefined
-	c.addAlias("x", "z")
-	if st.refs["x"].def != DefDefined {
+	c.mut(x).def = DefUndefined
+	c.addAlias(x, z)
+	if st.ref(x).def != DefDefined {
 		t.Fatal("clone shares refState")
 	}
-	if st.aliases["x"]["z"] {
+	if st.aliased(x, z) {
 		t.Fatal("clone shares alias sets")
+	}
+	// The original is equally copy-on-write after the clone: writing through
+	// it must not disturb the clone either.
+	st.mut(x).alloc = AllocDead
+	if c.ref(x).alloc != AllocOnly {
+		t.Fatal("original write leaked into clone")
 	}
 }
 
 func TestAliasOps(t *testing.T) {
-	st := newStore()
-	st.addAlias("a", "b")
-	st.addAlias("a", "c")
-	if got := st.aliasesOf("a"); len(got) != 2 || got[0] != "b" || got[1] != "c" {
-		t.Fatalf("aliasesOf = %v", got)
+	fs := newFnState()
+	a, b, c := fs.in.intern("a"), fs.in.intern("b"), fs.in.intern("c")
+	st := fs.newStore()
+	st.addAlias(a, b)
+	st.addAlias(a, c)
+	if got := st.aliasSet(a); len(got) != 2 || got[0] != b || got[1] != c {
+		t.Fatalf("aliasSet = %v", got)
 	}
-	if got := st.aliasesOf("b"); len(got) != 1 || got[0] != "a" {
+	if got := st.aliasSet(b); len(got) != 1 || got[0] != a {
 		t.Fatalf("symmetry: %v", got)
 	}
-	st.dropAliases("a")
-	if len(st.aliasesOf("b")) != 0 || len(st.aliasesOf("a")) != 0 {
+	st.dropAliases(a)
+	if len(st.aliasSet(b)) != 0 || len(st.aliasSet(a)) != 0 {
 		t.Fatal("dropAliases incomplete")
 	}
-	st.addAlias("x", "x") // self-alias is a no-op
-	if len(st.aliasesOf("x")) != 0 {
+	x := fs.in.intern("x")
+	st.addAlias(x, x) // self-alias is a no-op
+	if len(st.aliasSet(x)) != 0 {
 		t.Fatal("self alias recorded")
+	}
+}
+
+// Alias slices are immutable once installed: snapshots and clones must not
+// observe later edits.
+func TestAliasSlicesImmutable(t *testing.T) {
+	fs := newFnState()
+	a, b, c := fs.in.intern("a"), fs.in.intern("b"), fs.in.intern("c")
+	st := fs.newStore()
+	st.addAlias(a, b)
+	snap := st.aliasSet(a)
+	cl := st.clone()
+	cl.addAlias(a, c)
+	st.removeAlias(a, b)
+	if len(snap) != 1 || snap[0] != b {
+		t.Fatalf("alias slice mutated in place: %v", snap)
+	}
+	if got := cl.aliasSet(a); len(got) != 2 || got[0] != b || got[1] != c {
+		t.Fatalf("clone alias set disturbed: %v", got)
+	}
+}
+
+func TestInterner(t *testing.T) {
+	fs := newFnState()
+	in := fs.in
+	// Ids are dense and first-touch ordered; interning a derived key interns
+	// the whole parent chain.
+	lf := in.intern("l->next->this")
+	if in.keys[lf] != "l->next->this" || in.lookup("l->next") == noRef || in.lookup("l") == noRef {
+		t.Fatal("parent chain not interned")
+	}
+	if in.parentOf(lf) != in.lookup("l->next") || in.rootOf(lf) != in.lookup("l") {
+		t.Fatal("parent/root tracking")
+	}
+	if !in.hasBaseID(lf, in.lookup("l")) || in.hasBaseID(in.lookup("l"), lf) {
+		t.Fatal("hasBaseID")
+	}
+	if in.intern("l->next->this") != lf {
+		t.Fatal("intern not idempotent")
+	}
+	g := in.intern(globalKey("gname"))
+	if !in.global(g) || in.displayOf(g) != "gname" {
+		t.Fatal("global flag/display")
+	}
+	h := in.intern(heapKey(3))
+	if !in.heap(h) || in.displayOf(h) != "(fresh storage)" {
+		t.Fatal("heap flag/display")
+	}
+	if !in.derived(lf) || in.derived(g) {
+		t.Fatal("derived flag")
+	}
+	// child memoizes and matches the childKey spelling.
+	p := in.intern("p")
+	d := in.child(p, selector{kind: selDeref})
+	if in.keys[d] != "*p" || in.child(p, selector{kind: selDeref}) != d {
+		t.Fatal("child memoization")
+	}
+	// sortedIDs is a stable snapshot in key order; interning more keys
+	// rebuilds a fresh slice and leaves old snapshots intact.
+	s1 := in.sortedIDs()
+	for i := 1; i < len(s1); i++ {
+		if in.keys[s1[i-1]] >= in.keys[s1[i]] {
+			t.Fatal("sortedIDs out of order")
+		}
+	}
+	n1 := len(s1)
+	in.intern("zzz")
+	if len(in.sortedIDs()) != n1+1 {
+		t.Fatal("sortedIDs not rebuilt after intern")
+	}
+	if len(s1) != n1 {
+		t.Fatal("old snapshot resized")
+	}
+	// reset clears ids but keeps the interner usable.
+	fs.reset()
+	if in.lookup("l") != noRef || len(in.keys) != 0 {
+		t.Fatal("reset incomplete")
+	}
+	if in.intern("fresh") != 0 {
+		t.Fatal("ids not dense after reset")
 	}
 }
 

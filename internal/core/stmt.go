@@ -105,16 +105,24 @@ func (c *checker) checkBlock(st *store, b *cast.Block) *store {
 	}
 	if !st.unreachable {
 		for _, name := range declared {
-			if rs, ok := st.refs[name]; ok {
-				c.checkLoss(st, name, rs, endPos, "scope exit", nil)
+			id := c.fs.in.lookup(name)
+			if id == noRef {
+				continue
+			}
+			if rs := st.ref(id); rs != nil {
+				c.checkLoss(st, id, rs, endPos, "scope exit", assignDesc{}, nil)
 			}
 		}
 	}
 	// Locals go out of scope: remove them so outer code cannot see them.
 	for _, name := range declared {
-		st.dropChildren(name)
-		st.dropAliases(name)
-		delete(st.refs, name)
+		id := c.fs.in.lookup(name)
+		if id == noRef {
+			continue
+		}
+		st.dropChildren(id)
+		st.dropAliases(id)
+		st.delRef(id)
 	}
 	return st
 }
@@ -130,13 +138,15 @@ func (c *checker) declareLocal(st *store, vd *cast.VarDecl) {
 	} else {
 		eff = vd.Annots
 	}
-	rs := &refState{
-		typ:     vd.Type,
-		declAnn: eff,
-		declPos: vd.Pos(),
-		relNull: eff.Has(annot.RelNull),
-		relDef:  eff.Has(annot.RelDef) || eff.Has(annot.Partial),
-	}
+	id := c.fs.in.intern(vd.Name)
+	st.dropChildren(id)
+	st.dropAliases(id)
+	rs := st.newRef(id)
+	rs.typ = vd.Type
+	rs.declAnn = eff
+	rs.declPos = vd.Pos()
+	rs.relNull = eff.Has(annot.RelNull)
+	rs.relDef = eff.Has(annot.RelDef) || eff.Has(annot.Partial)
 	rs.alloc = allocFromAnnots(eff)
 	if rs.alloc == AllocUnknown && vd.Type != nil && !vd.Type.IsPointerLike() {
 		rs.alloc = AllocStatic
@@ -156,9 +166,6 @@ func (c *checker) declareLocal(st *store, vd *cast.VarDecl) {
 	// Aggregates (arrays, structs) are storage, not pointers: they are
 	// allocated, with undefined contents.
 	if vd.Type != nil {
-		switch vd.Type.Resolve().Kind {
-		default:
-		}
 		r := vd.Type.Resolve()
 		if r != nil && (r.Kind.String() == "array" || r.IsStructUnion()) {
 			rs.def = DefAllocated
@@ -167,12 +174,9 @@ func (c *checker) declareLocal(st *store, vd *cast.VarDecl) {
 		}
 	}
 	rs.baseline = rs.def
-	st.dropChildren(vd.Name)
-	st.dropAliases(vd.Name)
-	st.refs[vd.Name] = rs
 	if vd.Init != nil {
 		val := c.evalExpr(st, vd.Init, true)
-		c.assignTo(st, vd.Name, val, vd.Pos(), vd.Name+" = "+cast.ExprString(vd.Init))
+		c.assignTo(st, id, val, vd.Pos(), assignDesc{name: vd.Name, expr: vd.Init})
 	}
 }
 
@@ -253,7 +257,7 @@ func (c *checker) checkSwitch(st *store, v *cast.Switch) *store {
 	var breaks []*store
 	c.breakStates = append(c.breakStates, &breaks)
 	hasDefault := false
-	cur := newStore()
+	cur := c.fs.newStore()
 	cur.unreachable = true
 	for _, item := range body.Items {
 		if cs, isCase := item.(*cast.Case); isCase {
@@ -288,9 +292,9 @@ func (c *checker) checkReturn(st *store, r *cast.Return) {
 		if ptr && !val.isNullConst && !res.Has(annot.Null) && !res.Has(annot.RelNull) {
 			if val.null == NullMaybe || val.null == NullYes {
 				d := c.report(diag.NullReturn, r.P,
-					"Possibly null storage %s returned as non-null result", sourceName(val))
+					"Possibly null storage %s returned as non-null result", c.sourceName(val))
 				if d != nil && val.nullPos.IsValid() {
-					d.WithNote(val.nullPos, "Storage %s may become null", sourceName(val))
+					d.WithNote(val.nullPos, "Storage %s may become null", c.sourceName(val))
 				}
 			}
 		}
@@ -298,11 +302,11 @@ func (c *checker) checkReturn(st *store, r *cast.Return) {
 			c.report(diag.NullReturn, r.P, "Null value returned as non-null result")
 		}
 		// Completeness of the returned object (unless the result is out).
-		if ptr && !res.Has(annot.Out) && val.key != "" && c.fl.DefChecking {
-			if ok, bad := c.completeness(st, val.key, 0); !ok {
+		if ptr && !res.Has(annot.Out) && val.ref != noRef && c.fl.DefChecking {
+			if ok, bad := c.completeness(st, val.ref, 0); !ok {
 				c.report(diag.IncompleteDef, r.P,
 					"Returned storage %s is not completely defined (%s may be undefined)",
-					sourceName(val), display(bad))
+					c.sourceName(val), c.disp(bad))
 			}
 			// Derived null states: a non-null-annotated field holding
 			// null escapes through the return value (§6: "Null storage
@@ -318,14 +322,14 @@ func (c *checker) checkReturn(st *store, r *cast.Return) {
 			case val.isNullConst:
 			case resOnly && (val.alloc == AllocOnly || val.alloc == AllocOwned):
 				// Obligation transfers to the caller.
-				if val.key != "" {
-					st.applyToAliases(val.key, func(rs *refState) { rs.alloc = AllocKept })
+				if val.ref != noRef {
+					st.applyToAliases(val.ref, func(rs *refState) { rs.alloc = AllocKept })
 				}
 			case resOnly && val.alloc == AllocDead:
-				c.report(diag.UseDead, r.P, "Released storage %s returned", sourceName(val))
+				c.report(diag.UseDead, r.P, "Released storage %s returned", c.sourceName(val))
 			case resOnly && (val.alloc == AllocStatic || val.alloc == AllocTemp ||
 				val.alloc == AllocDependent || val.alloc == AllocShared || val.alloc == AllocKept):
-				retName := sourceName(val)
+				retName := c.sourceName(val)
 				if retName == "<expression>" {
 					retName = cast.ExprString(r.X)
 				}
@@ -333,17 +337,17 @@ func (c *checker) checkReturn(st *store, r *cast.Return) {
 					"%s storage %s returned as only result (caller would wrongly own it)",
 					titleAlloc(val.alloc), retName)
 				if d != nil && val.declPos.IsValid() {
-					d.WithNote(val.declPos, "Storage %s becomes %s", sourceName(val), describeValAlloc(val))
+					d.WithNote(val.declPos, "Storage %s becomes %s", c.sourceName(val), describeValAlloc(val))
 				}
 			case !resOnly && (val.alloc == AllocOnly || val.alloc == AllocOwned):
 				d := c.report(diag.LeakReturn, r.P,
 					"Fresh storage %s returned as %s result (memory leak suspected): add /*@only@*/ to the result declaration or release the storage",
-					sourceName(val), describeResultAlloc(a))
+					c.sourceName(val), describeResultAlloc(a))
 				if d != nil && val.declPos.IsValid() {
-					d.WithNote(val.declPos, "Storage %s becomes only", sourceName(val))
+					d.WithNote(val.declPos, "Storage %s becomes only", c.sourceName(val))
 				}
-				if val.key != "" {
-					st.applyToAliases(val.key, func(rs *refState) { rs.alloc = AllocError })
+				if val.ref != noRef {
+					st.applyToAliases(val.ref, func(rs *refState) { rs.alloc = AllocError })
 				}
 			}
 		}
@@ -368,15 +372,19 @@ func (c *checker) checkExitState(st *store, pos ctoken.Pos) {
 	if st.unreachable {
 		return
 	}
+	in := c.fs.in
 	// Globals must satisfy their annotations.
 	for _, gname := range c.sig.GlobalsUsed {
 		g, ok := c.prog.Global(gname)
 		if !ok {
 			continue
 		}
-		key := globalKey(gname)
-		rs, present := st.refs[key]
-		if !present {
+		id := in.lookup(globalKey(gname))
+		if id == noRef {
+			continue
+		}
+		rs := st.ref(id)
+		if rs == nil {
 			continue
 		}
 		eff := g.Effective(c.fl)
@@ -386,7 +394,8 @@ func (c *checker) checkExitState(st *store, pos ctoken.Pos) {
 			if d != nil && rs.nullPos.IsValid() {
 				d.WithNote(rs.nullPos, "Storage %s may become null", gname)
 			}
-			st.applyToAliases(key, func(r *refState) { r.null = NullError })
+			st.applyToAliases(id, func(r *refState) { r.null = NullError })
+			rs = st.ref(id)
 		}
 		if rs.alloc == AllocDead {
 			d := c.report(diag.UseDead, pos,
@@ -396,15 +405,15 @@ func (c *checker) checkExitState(st *store, pos ctoken.Pos) {
 			}
 		}
 		if !eff.Has(annot.Undef) && !rs.relDef && c.fl.DefChecking {
-			if ok, bad := c.completeness(st, key, 0); !ok {
+			if ok, bad := c.completeness(st, id, 0); !ok {
 				c.report(diag.IncompleteDef, pos,
 					"Function returns with global %s not completely defined (%s may be undefined)",
-					gname, display(bad))
+					gname, c.disp(bad))
 			}
 		}
 		// Derived null escape for globals (a null field behind a
 		// non-null-annotated field declaration).
-		c.checkDerivedNullEscapeKey(st, key, gname, pos)
+		c.checkDerivedNullEscapeKey(st, id, gname, pos)
 	}
 
 	// Parameters: implicit constraint of complete definition at exit,
@@ -414,15 +423,19 @@ func (c *checker) checkExitState(st *store, pos ctoken.Pos) {
 			continue
 		}
 		eff := c.sig.EffectiveParam(i)
-		key := argKey(prm.Name)
-		rs, present := st.refs[key]
-		if !present {
+		id := in.lookup(argKey(prm.Name))
+		if id == noRef {
+			continue
+		}
+		rs := st.ref(id)
+		if rs == nil {
 			continue
 		}
 		if c.fl.DefChecking && !rs.relDef && rs.alloc != AllocDead {
-			if ok, bad := c.completeness(st, key, 0); !ok {
+			if ok, badID := c.completeness(st, id, 0); !ok {
 				// Report in the caller-visible spelling (the paper's
 				// "argl->next->next").
+				bad := in.keys[badID]
 				if bad == prm.Name || strings.HasPrefix(bad, prm.Name+"->") ||
 					strings.HasPrefix(bad, prm.Name+".") || strings.HasPrefix(bad, prm.Name+"[") {
 					bad = argKey(prm.Name) + bad[len(prm.Name):]
@@ -446,18 +459,15 @@ func (c *checker) checkExitState(st *store, pos ctoken.Pos) {
 	// Locals and anonymous heap storage still holding obligations leak,
 	// including owned fields of local aggregates (b.buf): derived keys
 	// participate when their root is a plain local.
-	for _, key := range st.sortedKeys() {
-		rs := st.refs[key]
-		if rs.external {
+	for _, id := range in.sortedIDs() {
+		rs := st.ref(id)
+		if rs == nil || rs.external {
 			continue
 		}
-		if isDerivedKey(key) {
-			root := key
-			for b := baseOf(root); b != ""; b = baseOf(b) {
-				root = b
-			}
-			rrs, ok := st.refs[root]
-			if !ok || rrs.external || isHeapKey(root) {
+		if in.derived(id) {
+			root := in.rootOf(id)
+			rrs := st.ref(root)
+			if rrs == nil || rrs.external || in.heap(root) {
 				continue
 			}
 			// If the root object escaped (obligation transferred) or is
@@ -467,8 +477,8 @@ func (c *checker) checkExitState(st *store, pos ctoken.Pos) {
 				continue
 			}
 			escaped := false
-			for _, al := range st.aliasesOf(root) {
-				if ars, ok := st.refs[al]; ok && ars.external && ars.alloc.Live() {
+			for _, al := range st.aliasSet(root) {
+				if ars := st.ref(al); ars != nil && ars.external && ars.alloc.Live() {
 					escaped = true
 					break
 				}
@@ -482,8 +492,8 @@ func (c *checker) checkExitState(st *store, pos ctoken.Pos) {
 		}
 		// Reachable through a surviving external alias?
 		reachable := false
-		for _, al := range st.aliasesOf(key) {
-			if ars, ok := st.refs[al]; ok && ars.external && ars.alloc.Live() {
+		for _, al := range st.aliasSet(id) {
+			if ars := st.ref(al); ars != nil && ars.external && ars.alloc.Live() {
 				reachable = true
 				break
 			}
@@ -494,16 +504,16 @@ func (c *checker) checkExitState(st *store, pos ctoken.Pos) {
 		// Only report each object once, preferring a named program
 		// reference over the anonymous heap reference.
 		first := true
-		for _, al := range st.aliasesOf(key) {
-			if ars, ok := st.refs[al]; !ok || ars.external || isDerivedKey(al) || !ars.alloc.Owning() {
-				_ = ars
+		for _, al := range st.aliasSet(id) {
+			ars := st.ref(al)
+			if ars == nil || ars.external || in.derived(al) || !ars.alloc.Owning() {
 				continue
 			}
-			if isHeapKey(key) && !isHeapKey(al) {
+			if in.heap(id) && !in.heap(al) {
 				first = false // the named alias will carry the report
 				break
 			}
-			if !isHeapKey(al) && al < key {
+			if !in.heap(al) && in.keys[al] < in.keys[id] {
 				first = false
 				break
 			}
@@ -512,34 +522,34 @@ func (c *checker) checkExitState(st *store, pos ctoken.Pos) {
 			continue
 		}
 		d := c.report(diag.Leak, pos,
-			"Only storage %s not released before return", display(key))
+			"Only storage %s not released before return", c.disp(id))
 		if d != nil && rs.allocPos.IsValid() {
-			d.WithNote(rs.allocPos, "Storage %s becomes only", display(key))
+			d.WithNote(rs.allocPos, "Storage %s becomes only", c.disp(id))
 		}
-		st.applyToAliases(key, func(r *refState) { r.alloc = AllocError })
-		rs.alloc = AllocError
+		st.applyToAliases(id, func(r *refState) { r.alloc = AllocError })
 	}
 }
 
 // checkDerivedNullEscape reports derived references of a returned value
 // whose declared annotations do not admit null but whose state is null.
 func (c *checker) checkDerivedNullEscape(st *store, val value, pos ctoken.Pos) {
-	if val.key == "" {
+	if val.ref == noRef {
 		return
 	}
-	c.checkDerivedNullEscapeKey(st, val.key, display(val.key), pos)
+	c.checkDerivedNullEscapeKey(st, val.ref, c.disp(val.ref), pos)
 }
 
-func (c *checker) checkDerivedNullEscapeKey(st *store, key, name string, pos ctoken.Pos) {
+func (c *checker) checkDerivedNullEscapeKey(st *store, id RefID, name string, pos ctoken.Pos) {
 	if !c.fl.NullChecking {
 		return
 	}
-	for _, k := range st.sortedKeys() {
-		if !hasBase(k, key) {
+	in := c.fs.in
+	for _, k := range in.sortedIDs() {
+		if !in.hasBaseID(k, id) {
 			continue
 		}
-		rs := st.refs[k]
-		if rs.typ == nil || !rs.typ.IsPointerLike() {
+		rs := st.ref(k)
+		if rs == nil || rs.typ == nil || !rs.typ.IsPointerLike() {
 			continue
 		}
 		if rs.declAnn.Has(annot.Null) || rs.declAnn.Has(annot.RelNull) || rs.relNull {
@@ -547,12 +557,11 @@ func (c *checker) checkDerivedNullEscapeKey(st *store, key, name string, pos cto
 		}
 		if rs.null == NullYes || rs.null == NullMaybe {
 			d := c.report(diag.NullReturn, pos,
-				"Null storage %s derivable from return value: %s", display(k), name)
+				"Null storage %s derivable from return value: %s", c.disp(k), name)
 			if d != nil && rs.nullPos.IsValid() {
-				d.WithNote(rs.nullPos, "Storage %s becomes null", display(k))
+				d.WithNote(rs.nullPos, "Storage %s becomes null", c.disp(k))
 			}
 			st.applyToAliases(k, func(r *refState) { r.null = NullError })
-			rs.null = NullError
 		}
 	}
 }

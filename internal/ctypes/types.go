@@ -7,6 +7,7 @@ package ctypes
 
 import (
 	"fmt"
+	"math/bits"
 	"strings"
 
 	"golclint/internal/annot"
@@ -151,17 +152,15 @@ func (t *Type) Resolve() *Type {
 // of the type using the notnull annotation").
 func (t *Type) EffectiveAnnots(declAs annot.Set) annot.Set {
 	eff := declAs
-	seen := map[annot.Category]bool{}
-	for _, a := range declAs.List() {
-		seen[annot.CategoryOf(a)] = true
-	}
+	// seen is the set of annotations already excluded by category: within a
+	// category the outermost (then first-declared) annotation wins.
+	seen := declAs.CategoryCover()
 	for u := t; u != nil; u = u.Underlying {
-		for _, a := range u.Annots.List() {
-			c := annot.CategoryOf(a)
-			if !seen[c] {
-				eff = eff.With(a)
-				seen[c] = true
-			}
+		for b := u.Annots &^ seen; b != 0; b = b &^ seen {
+			a := annot.Annot(bits.TrailingZeros32(uint32(b)))
+			eff = eff.With(a)
+			seen |= annot.CategoryMask(annot.CategoryOf(a))
+			b = b.Without(a)
 		}
 		if u.Kind != Named {
 			break

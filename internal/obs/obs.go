@@ -68,6 +68,9 @@ const (
 	CacheHits                            // modules replayed from the persistent analysis cache
 	CacheMisses                          // modules checked cold with caching enabled
 	CacheBytes                           // cache entry bytes read on hits plus written on misses
+	StoreClones                          // O(1) copy-on-write store clones
+	RefStatesCopied                      // refStates copied by the copy-on-write fault path
+	MergeNS                              // nanoseconds spent in mergeStores
 	NumCounters
 )
 
@@ -86,6 +89,9 @@ var counterNames = [NumCounters]string{
 	CacheHits:             "cache_hits",
 	CacheMisses:           "cache_misses",
 	CacheBytes:            "cache_bytes",
+	StoreClones:           "store_clones",
+	RefStatesCopied:       "refstates_copied",
+	MergeNS:               "merge_ns",
 }
 
 // String returns the counter's stable name (used as a JSON key).
