@@ -132,6 +132,7 @@ var experiments = []struct {
 	{"parallel", runParallel},
 	{"incremental", runIncremental},
 	{"state", runState},
+	{"frontend", runFrontend},
 }
 
 // maxJobs is the highest worker count the parallel experiment sweeps to
@@ -150,6 +151,7 @@ func main() {
 		runParallelConfig(8, 6, maxJobs)
 		runIncrementalModules(8)
 		runStateIters(3)
+		runFrontendIters(3)
 		return
 	}
 	cmd := "all"
@@ -844,4 +846,123 @@ func runStateIters(iters int) {
 	fmt.Printf("committed budget: %d allocs/op (smoke fails above +20%%)\n",
 		uint64(stateBudgetAllocsPerOp))
 	writeBenchJSON("BENCH_state.json", doc)
+}
+
+// ---------------------------------------------------------------------------
+// E18: the parallel zero-copy frontend. Measures preprocess+parse alone
+// (core.Frontend, no analysis) over the E9 reference corpus: ns per
+// whole-corpus pass and allocations per pass at jobs=1, plus the wall time
+// of the same pass at jobs=4 so the fan-out's effect on the host machine is
+// on record. The emitted BENCH_frontend.json carries the committed
+// allocation budget that scripts/bench.sh enforces and the pre-rewrite
+// per-file frontend's numbers, so the file is a self-contained
+// before/after record.
+
+const (
+	// frontendBudgetAllocsPerOp is the committed frontend allocation budget
+	// on the E18 workload; scripts/bench.sh fails its smoke run when a
+	// build exceeds it by more than 20% (the regression guard).
+	frontendBudgetAllocsPerOp = 6500
+
+	// frontendBaseline* record the serial copying frontend's cost on the
+	// same workload and machine class, measured at the commit that replaced
+	// it (the "before" column of EXPERIMENTS.md E18): one Preprocessor and
+	// parser per file, string-concatenating macro expansion, and a lexer
+	// allocating each token's text.
+	frontendBaselineNSPerOp     = 9929679
+	frontendBaselineAllocsPerOp = 48797
+	frontendBaselineBytesPerOp  = 9200635
+)
+
+// frontendDoc is BENCH_frontend.json.
+type frontendDoc struct {
+	benchMeta
+	Lines   int `json:"lines"`
+	Modules int `json:"modules"`
+	Iters   int `json:"iters"`
+	// *PerOp figures are per whole-corpus Frontend pass at jobs=1,
+	// averaged over Iters passes.
+	FrontendNSPerOp int64  `json:"frontend_ns_per_op"`
+	AllocBytesPerOp uint64 `json:"alloc_bytes_per_op"`
+	AllocsPerOp     uint64 `json:"allocs_per_op"`
+	// Jobs4NSPerOp is the same pass fanned out to four workers. On a
+	// single-CPU host this approximates the jobs=1 figure.
+	Jobs4NSPerOp int64 `json:"jobs4_ns_per_op"`
+	// Phase wall from one instrumented jobs=1 pass.
+	PreprocessWallNS int64 `json:"preprocess_wall_ns"`
+	ParseWallNS      int64 `json:"parse_wall_ns"`
+	// The committed guard and the before-rewrite reference numbers.
+	BudgetAllocsPerOp   uint64 `json:"budget_allocs_per_op"`
+	BaselineNSPerOp     int64  `json:"baseline_ns_per_op"`
+	BaselineAllocsPerOp uint64 `json:"baseline_allocs_per_op"`
+	BaselineBytesPerOp  uint64 `json:"baseline_bytes_per_op"`
+}
+
+func runFrontend() { runFrontendIters(20) }
+
+// runFrontendIters is runFrontend with a configurable pass count (the
+// -quick smoke uses fewer). The corpus is always E9's 32-module
+// configuration so the committed allocation budget means the same thing in
+// every mode.
+func runFrontendIters(iters int) {
+	header("E18", "parallel zero-copy frontend: preprocess+parse cost")
+	p := testgen.Generate(testgen.Config{
+		Seed: 42, Modules: 32, FuncsPer: 10, Annotate: true,
+		Bugs: map[testgen.BugKind]int{testgen.BugLeak: 16},
+	})
+	opts := func(jobs int) core.Options {
+		return core.Options{Includes: cpp.MapIncluder(p.Headers), Jobs: jobs}
+	}
+	front := func(jobs int) { core.Frontend(p.Files, opts(jobs)) }
+	front(1) // warm code paths before measuring
+	var doc frontendDoc
+	meta := measure("golclint-bench-frontend/v1", "E18", func() {
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			front(1)
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		doc.FrontendNSPerOp = elapsed.Nanoseconds() / int64(iters)
+		doc.AllocBytesPerOp = (after.TotalAlloc - before.TotalAlloc) / uint64(iters)
+		doc.AllocsPerOp = (after.Mallocs - before.Mallocs) / uint64(iters)
+
+		start = time.Now()
+		for i := 0; i < iters; i++ {
+			front(4)
+		}
+		doc.Jobs4NSPerOp = time.Since(start).Nanoseconds() / int64(iters)
+	})
+	m := obs.New()
+	o := opts(1)
+	o.Metrics = m
+	core.Frontend(p.Files, o)
+	snap := m.Snapshot()
+	doc.benchMeta = meta
+	doc.Lines, doc.Modules, doc.Iters = p.Lines, 32, iters
+	doc.PreprocessWallNS = snap.PreprocessWallNS
+	doc.ParseWallNS = snap.ParseWallNS
+	doc.BudgetAllocsPerOp = frontendBudgetAllocsPerOp
+	doc.BaselineNSPerOp = frontendBaselineNSPerOp
+	doc.BaselineAllocsPerOp = frontendBaselineAllocsPerOp
+	doc.BaselineBytesPerOp = frontendBaselineBytesPerOp
+
+	fmt.Printf("corpus: %d lines, %d modules; %d frontend passes\n", p.Lines, 32, iters)
+	fmt.Printf("%-16s %14s %14s %9s\n", "", "copying", "zero-copy", "ratio")
+	fmt.Printf("%-16s %14d %14d %8.1fx\n", "frontend ns/op",
+		int64(frontendBaselineNSPerOp), doc.FrontendNSPerOp,
+		float64(frontendBaselineNSPerOp)/float64(doc.FrontendNSPerOp))
+	fmt.Printf("%-16s %14d %14d %8.1fx\n", "allocs/op",
+		uint64(frontendBaselineAllocsPerOp), doc.AllocsPerOp,
+		float64(frontendBaselineAllocsPerOp)/float64(doc.AllocsPerOp))
+	fmt.Printf("%-16s %14d %14d %8.1fx\n", "bytes/op",
+		uint64(frontendBaselineBytesPerOp), doc.AllocBytesPerOp,
+		float64(frontendBaselineBytesPerOp)/float64(doc.AllocBytesPerOp))
+	fmt.Printf("jobs=4 wall: %d ns/op; phase wall: preprocess %.2f ms, parse %.2f ms\n",
+		doc.Jobs4NSPerOp, float64(doc.PreprocessWallNS)/1e6, float64(doc.ParseWallNS)/1e6)
+	fmt.Printf("committed budget: %d allocs/op (smoke fails above +20%%)\n",
+		uint64(frontendBudgetAllocsPerOp))
+	writeBenchJSON("BENCH_frontend.json", doc)
 }

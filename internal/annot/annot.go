@@ -236,8 +236,20 @@ func (s Set) InCategory(c Category) (Annot, bool) {
 }
 
 // Conflicts returns the pairs of annotations in s that violate category
-// exclusivity (two annotations from the same category).
+// exclusivity (two annotations from the same category). Conflict-free sets
+// — the overwhelmingly common case, checked per declaration — return nil
+// without allocating.
 func (s Set) Conflicts() [][2]Annot {
+	clean := true
+	for c := CatNone; int(c) < len(catMasks); c++ {
+		if (s & catMasks[c]).Len() > 1 {
+			clean = false
+			break
+		}
+	}
+	if clean {
+		return nil
+	}
 	var out [][2]Annot
 	byCat := map[Category][]Annot{}
 	for _, a := range s.List() {

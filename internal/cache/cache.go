@@ -22,6 +22,8 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"hash"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -108,25 +110,61 @@ type wireEntry struct {
 // deliberately excluded: output is byte-identical at every -jobs value, so
 // runs at different parallelism share entries.
 func Key(version, flagsFP string, files map[string]string) string {
-	h := sha256.New()
-	write := func(s string) {
-		var n [8]byte
-		binary.LittleEndian.PutUint64(n[:], uint64(len(s)))
-		h.Write(n[:])
-		h.Write([]byte(s))
-	}
-	write(version)
-	write(flagsFP)
+	h := NewKeyHasher(version, flagsFP)
 	names := make([]string, 0, len(files))
 	for n := range files {
 		names = append(names, n)
 	}
 	sort.Strings(names)
 	for _, n := range names {
-		write(n)
-		write(files[n])
+		h.Component(n)
+		h.Component(files[n])
 	}
-	return hex.EncodeToString(h.Sum(nil))
+	return h.Sum()
+}
+
+// KeyHasher streams cache-key components straight into the hash, so
+// callers holding per-file pieces (preprocessed text here, error strings
+// there) need not concatenate them into throwaway key strings first. Every
+// component is length-prefixed exactly as Key does, and callers must feed
+// files in sorted name order to get order-independent keys.
+type KeyHasher struct {
+	h   hash.Hash
+	len [8]byte
+}
+
+// NewKeyHasher starts a key over the checker version and flag fingerprint.
+func NewKeyHasher(version, flagsFP string) *KeyHasher {
+	k := &KeyHasher{h: sha256.New()}
+	k.Component(version)
+	k.Component(flagsFP)
+	return k
+}
+
+// Component feeds one length-prefixed string into the key.
+func (k *KeyHasher) Component(s string) {
+	binary.LittleEndian.PutUint64(k.len[:], uint64(len(s)))
+	k.h.Write(k.len[:])
+	io.WriteString(k.h, s)
+}
+
+// File feeds one module file: its name, preprocessed text, and preprocess
+// errors (count-prefixed so zero errors and empty-string errors stay
+// distinct). This replaces hashing "expanded + \x00 + join(errors)" concat
+// strings built only to be hashed.
+func (k *KeyHasher) File(name, expanded string, ppErrors []string) {
+	k.Component(name)
+	k.Component(expanded)
+	binary.LittleEndian.PutUint64(k.len[:], uint64(len(ppErrors)))
+	k.h.Write(k.len[:])
+	for _, e := range ppErrors {
+		k.Component(e)
+	}
+}
+
+// Sum finalizes and returns the hex key.
+func (k *KeyHasher) Sum() string {
+	return hex.EncodeToString(k.h.Sum(nil))
 }
 
 // path shards entries by the key's first byte to keep directories small.

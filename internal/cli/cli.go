@@ -21,6 +21,7 @@ import (
 	"golclint/internal/cache"
 	"golclint/internal/cfg"
 	"golclint/internal/core"
+	"golclint/internal/cpp"
 	"golclint/internal/diag"
 	"golclint/internal/flags"
 	"golclint/internal/library"
@@ -32,15 +33,24 @@ type dirIncluder struct {
 	dirs []string
 }
 
-// Include implements cpp.Includer.
+// Include implements cpp.Includer. A file that exists but cannot be read
+// (permissions, I/O) reports that error instead of pretending the file is
+// absent — otherwise the builtin-header fallback could silently mask it.
 func (d dirIncluder) Include(name string) (string, error) {
+	var firstErr error
 	for _, dir := range d.dirs {
 		b, err := os.ReadFile(filepath.Join(dir, name))
 		if err == nil {
 			return string(b), nil
 		}
+		if !os.IsNotExist(err) && firstErr == nil {
+			firstErr = err
+		}
 	}
-	return "", fmt.Errorf("include file %q not found", name)
+	if firstErr != nil {
+		return "", firstErr
+	}
+	return "", &cpp.NotFoundError{Name: name}
 }
 
 // multiFlag collects repeated -I options.
@@ -286,18 +296,21 @@ type runStats struct {
 	Files   []string        `json:"files"`
 	Flags   map[string]bool `json:"flags"`
 	TotalNS int64           `json:"total_ns"`
-	// PhasesNS sum per-worker time (CPU-like totals under -jobs > 1);
-	// CheckWallNS is the wall-clock time of the cfg+check fan-out and Jobs
-	// the worker count, so wall-vs-CPU speedup is Phases(cfg+check)/wall.
-	PhasesNS    map[string]int64 `json:"phases_ns"`
-	CheckWallNS int64            `json:"check_wall_ns"`
-	Jobs        int              `json:"jobs"`
-	Counters    map[string]int64 `json:"counters"`
-	Messages    int              `json:"messages"`
-	Suppressed  int              `json:"suppressed"`
-	ByCode      map[string]int   `json:"messages_by_code"`
-	ParseErrors int              `json:"parse_errors"`
-	SemaErrors  int              `json:"sema_errors"`
+	// PhasesNS sum per-worker time (CPU-like totals under -jobs > 1); the
+	// *WallNS fields are the wall-clock times of the per-file preprocess
+	// and parse fan-outs and the cfg+check fan-out, and Jobs the worker
+	// count, so wall-vs-CPU speedup per region is PhasesNS[region]/wall.
+	PhasesNS         map[string]int64 `json:"phases_ns"`
+	PreprocessWallNS int64            `json:"preprocess_wall_ns"`
+	ParseWallNS      int64            `json:"parse_wall_ns"`
+	CheckWallNS      int64            `json:"check_wall_ns"`
+	Jobs             int              `json:"jobs"`
+	Counters         map[string]int64 `json:"counters"`
+	Messages         int              `json:"messages"`
+	Suppressed       int              `json:"suppressed"`
+	ByCode           map[string]int   `json:"messages_by_code"`
+	ParseErrors      int              `json:"parse_errors"`
+	SemaErrors       int              `json:"sema_errors"`
 }
 
 // writeStatsJSON renders the run's metrics and per-code message counts.
@@ -312,19 +325,21 @@ func writeStatsJSON(path string, files []string, fl *flags.Flags, m *obs.Metrics
 	sortedFiles := append([]string(nil), files...)
 	sort.Strings(sortedFiles)
 	doc := runStats{
-		Schema:      "golclint-stats/v1",
-		Files:       sortedFiles,
-		Flags:       fl.Map(),
-		TotalNS:     snap.TotalNS,
-		PhasesNS:    snap.PhasesNS,
-		CheckWallNS: snap.CheckWallNS,
-		Jobs:        snap.Jobs,
-		Counters:    snap.Counters,
-		Messages:    len(res.Diags),
-		Suppressed:  res.Suppressed,
-		ByCode:      byCode,
-		ParseErrors: len(res.ParseErrors),
-		SemaErrors:  len(res.SemaErrors),
+		Schema:           "golclint-stats/v1",
+		Files:            sortedFiles,
+		Flags:            fl.Map(),
+		TotalNS:          snap.TotalNS,
+		PhasesNS:         snap.PhasesNS,
+		PreprocessWallNS: snap.PreprocessWallNS,
+		ParseWallNS:      snap.ParseWallNS,
+		CheckWallNS:      snap.CheckWallNS,
+		Jobs:             snap.Jobs,
+		Counters:         snap.Counters,
+		Messages:         len(res.Diags),
+		Suppressed:       res.Suppressed,
+		ByCode:           byCode,
+		ParseErrors:      len(res.ParseErrors),
+		SemaErrors:       len(res.SemaErrors),
 	}
 	b, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {

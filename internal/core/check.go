@@ -1,14 +1,16 @@
 package core
 
 import (
+	"runtime"
 	"sort"
-	"strings"
+	"sync"
 	"time"
 
 	"golclint/internal/cache"
 	"golclint/internal/cast"
 	"golclint/internal/cparse"
 	"golclint/internal/cpp"
+	"golclint/internal/ctoken"
 	"golclint/internal/diag"
 	"golclint/internal/flags"
 	"golclint/internal/obs"
@@ -38,11 +40,12 @@ type Options struct {
 	// trace events when non-nil. A nil Metrics disables instrumentation;
 	// hooks then cost one pointer test (see internal/obs).
 	Metrics *obs.Metrics
-	// Jobs bounds the number of concurrent function-checking workers:
-	// 0 means runtime.GOMAXPROCS(0), 1 forces serial checking. Function
-	// bodies are analyzed independently (the paper's modularity argument,
-	// §7) and diagnostics merge back in a deterministic order, so output is
-	// byte-identical at every worker count.
+	// Jobs bounds the number of concurrent workers, for both the per-file
+	// frontend fan-out (preprocess, parse) and the per-function checking
+	// fan-out: 0 means runtime.GOMAXPROCS(0), 1 forces serial. Files and
+	// function bodies are analyzed independently (the paper's modularity
+	// argument, §7) and results merge back in a deterministic order, so
+	// output is byte-identical at every worker count.
 	Jobs int
 	// Cache, when non-nil, consults the persistent analysis cache before
 	// checking and stores the outcome after: an unchanged input replays its
@@ -123,20 +126,154 @@ var builtinHeaders = map[string]string{
 		"#define FALSE 0\n",
 }
 
+var builtinInc = cpp.MapIncluder(builtinHeaders)
+
 // stackedIncluder resolves from the primary includer first, then the
 // builtin headers.
 type stackedIncluder struct {
 	primary cpp.Includer
 }
 
-// Include implements cpp.Includer.
+// Include implements cpp.Includer. The builtin fallback applies only when
+// the primary does not have the file; any other primary error (an I/O
+// failure, say) surfaces as-is rather than being masked by a builtin with
+// the same name or converted into "not found".
 func (s stackedIncluder) Include(name string) (string, error) {
 	if s.primary != nil {
-		if src, err := s.primary.Include(name); err == nil {
+		src, err := s.primary.Include(name)
+		if err == nil {
 			return src, nil
 		}
+		if !cpp.IsNotFound(err) {
+			return "", err
+		}
 	}
-	return cpp.MapIncluder(builtinHeaders).Include(name)
+	return builtinInc.Include(name)
+}
+
+// fileFront is one file's frontend outcome, filled into index-ordered
+// slots by the preprocess and parse fan-outs. Workers write disjoint
+// slots, so no lock is needed, and replaying the slots in name order keeps
+// every downstream consumer (cache keys, ParseErrors, suppressions)
+// byte-identical at any worker count — the same replay discipline the
+// per-function checking fan-out uses.
+type fileFront struct {
+	expanded string
+	ppErrs   []string
+	pr       *cparse.Result
+}
+
+// frontendJobs resolves the worker count for a fan-out over n files.
+func frontendJobs(jobs, n int) int {
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if jobs > n {
+		jobs = n
+	}
+	return jobs
+}
+
+// baseDefines builds the run's shared immutable predefinition table
+// (builtin NULL plus opt.Defines, which may override it).
+func baseDefines(opt Options) *cpp.BaseDefines {
+	defs := make(map[string]string, len(opt.Defines)+1)
+	defs["NULL"] = "((void*)0)"
+	for k, v := range opt.Defines {
+		defs[k] = v
+	}
+	return cpp.NewBaseDefines(defs)
+}
+
+// preprocessFiles expands every file on up to jobs workers, each owning
+// one reusable Preprocessor over the run's shared base-define table. The
+// expanded text (headers, defines, and includes inlined) is both the
+// parser input and the content the cache key addresses.
+func preprocessFiles(names []string, files map[string]string, opt Options, m *obs.Metrics, jobs int) []fileFront {
+	fronts := make([]fileFront, len(names))
+	base := baseDefines(opt)
+	inc := stackedIncluder{primary: opt.Includes}
+	doFile := func(pp *cpp.Preprocessor, i int) {
+		pp.Reset()
+		stop := m.StartPhase(obs.PhasePreprocess)
+		fronts[i].expanded = pp.Process(names[i], files[names[i]])
+		stop()
+		for _, e := range pp.Errors() {
+			fronts[i].ppErrs = append(fronts[i].ppErrs, e.Error())
+		}
+	}
+	stopWall := m.StartPhaseWall(obs.PhasePreprocess)
+	if jobs <= 1 {
+		pp := cpp.NewShared(inc, base)
+		for i := range names {
+			doFile(pp, i)
+		}
+	} else {
+		work := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < jobs; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				pp := cpp.NewShared(inc, base)
+				for i := range work {
+					doFile(pp, i)
+				}
+			}()
+		}
+		for i := range names {
+			work <- i
+		}
+		close(work)
+		wg.Wait()
+	}
+	stopWall()
+	return fronts
+}
+
+// parseFiles parses every preprocessed file on up to jobs workers, each
+// owning one parse Session (reused token buffer) over a run-wide shared
+// identifier interner. Counters accumulate atomically, so they are
+// order-independent and identical at every worker count.
+func parseFiles(names []string, fronts []fileFront, m *obs.Metrics, jobs int) {
+	in := ctoken.NewInterner()
+	doFile := func(s *cparse.Session, i int) {
+		stop := m.StartPhase(obs.PhaseParse)
+		pr := s.Parse(names[i], fronts[i].expanded)
+		stop()
+		if m.Enabled() {
+			m.Add(obs.TokensLexed, int64(pr.Tokens))
+			m.Add(obs.AnnotationsConsumed, int64(pr.Annots))
+			m.Add(obs.ASTNodes, int64(cast.CountNodes(pr.Unit)))
+		}
+		fronts[i].pr = pr
+	}
+	stopWall := m.StartPhaseWall(obs.PhaseParse)
+	if jobs <= 1 {
+		s := cparse.NewSession(in)
+		for i := range names {
+			doFile(s, i)
+		}
+	} else {
+		work := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < jobs; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				s := cparse.NewSession(in)
+				for i := range work {
+					doFile(s, i)
+				}
+			}()
+		}
+		for i := range names {
+			work <- i
+		}
+		close(work)
+		wg.Wait()
+	}
+	stopWall()
 }
 
 // CheckSources preprocesses, parses, analyzes, and checks a set of source
@@ -161,24 +298,8 @@ func CheckSources(files map[string]string, opt Options) *Result {
 	}
 	sort.Strings(names)
 
-	// Preprocess every file first: the expanded text (headers, defines, and
-	// includes inlined) is both the parser input and the content the cache
-	// key addresses.
-	expanded := make(map[string]string, len(names))
-	ppErrors := make(map[string][]string, len(names))
-	for _, name := range names {
-		pp := cpp.New(stackedIncluder{primary: opt.Includes})
-		pp.Define("NULL", "((void*)0)")
-		for k, v := range opt.Defines {
-			pp.Define(k, v)
-		}
-		stopPre := m.StartPhase(obs.PhasePreprocess)
-		expanded[name] = pp.Process(name, files[name])
-		stopPre()
-		for _, e := range pp.Errors() {
-			ppErrors[name] = append(ppErrors[name], e.Error())
-		}
-	}
+	jobs := frontendJobs(opt.Jobs, len(names))
+	fronts := preprocessFiles(names, files, opt, m, jobs)
 
 	// Caching is sound only when everything that can influence the outcome
 	// is in the key (version, flags, expanded sources) or in the recorded
@@ -187,14 +308,15 @@ func CheckSources(files map[string]string, opt Options) *Result {
 	cacheable := opt.Cache != nil && (opt.PreCheck == nil || opt.CacheDeps != nil)
 	var key string
 	if cacheable {
-		hashed := make(map[string]string, len(names))
-		for _, name := range names {
-			// Preprocessing errors ride along in the hashed content so two
-			// includers yielding identical text but different errors cannot
-			// share an entry.
-			hashed[name] = expanded[name] + "\x00" + strings.Join(ppErrors[name], "\n")
+		// Preprocessing errors ride along in the hashed content so two
+		// includers yielding identical text but different errors cannot
+		// share an entry. Components stream straight into the hasher;
+		// nothing is concatenated just to be hashed.
+		kh := cache.NewKeyHasher(Version, fl.Fingerprint())
+		for i, name := range names {
+			kh.File(name, fronts[i].expanded, fronts[i].ppErrs)
 		}
-		key = cache.Key(Version, fl.Fingerprint(), hashed)
+		key = kh.Sum()
 		if e, ok := opt.Cache.Get(key); ok && cache.DepsMatch(e.Deps, opt.CacheDeps) {
 			res.Diags = e.Diags
 			res.Suppressed = e.Suppressed
@@ -214,17 +336,14 @@ func CheckSources(files map[string]string, opt Options) *Result {
 		m.Add(obs.CacheMisses, 1)
 	}
 
+	parseFiles(names, fronts, m, jobs)
+
+	// Replay the per-file slots in serial name order: error ordering and
+	// suppression registration are exactly what a serial run produces.
 	var units []*cast.Unit
-	for _, name := range names {
-		res.ParseErrors = append(res.ParseErrors, ppErrors[name]...)
-		stopParse := m.StartPhase(obs.PhaseParse)
-		pr := cparse.Parse(name, expanded[name])
-		stopParse()
-		if m.Enabled() {
-			m.Add(obs.TokensLexed, int64(pr.Tokens))
-			m.Add(obs.AnnotationsConsumed, int64(pr.Annots))
-			m.Add(obs.ASTNodes, int64(cast.CountNodes(pr.Unit)))
-		}
+	for i := range names {
+		res.ParseErrors = append(res.ParseErrors, fronts[i].ppErrs...)
+		pr := fronts[i].pr
 		for _, e := range pr.Errors {
 			res.ParseErrors = append(res.ParseErrors, e.Error())
 		}
@@ -262,8 +381,8 @@ func CheckSources(files map[string]string, opt Options) *Result {
 		// mentions ("" for symbols the library does not supply): the entry
 		// stays valid exactly until one of those facts changes.
 		deps := map[string]string{}
-		for _, name := range names {
-			for _, id := range cache.Identifiers(expanded[name]) {
+		for i := range names {
+			for _, id := range cache.Identifiers(fronts[i].expanded) {
 				deps[id] = opt.CacheDeps[id]
 			}
 		}
@@ -285,6 +404,44 @@ func CheckSources(files map[string]string, opt Options) *Result {
 		m.AddTotal(time.Since(runStart))
 	}
 	return res
+}
+
+// FrontendResult is the outcome of running only the frontend (preprocess
+// and parse) over a set of files.
+type FrontendResult struct {
+	// Units are the parsed translation units in sorted file-name order.
+	Units []*cast.Unit
+	// ParseErrors are preprocessing and syntax errors in the same order a
+	// full CheckSources run reports them.
+	ParseErrors []string
+}
+
+// Frontend preprocesses and parses files without analyzing or checking
+// them, using the same per-file fan-out as CheckSources (Jobs, Metrics,
+// Includes, and Defines from opt apply; caching and checking options are
+// ignored). It exists so benchmarks and tools can measure or reuse the
+// frontend in isolation.
+func Frontend(files map[string]string, opt Options) *FrontendResult {
+	m := opt.Metrics
+	names := make([]string, 0, len(files))
+	for n := range files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	jobs := frontendJobs(opt.Jobs, len(names))
+	fronts := preprocessFiles(names, files, opt, m, jobs)
+	parseFiles(names, fronts, m, jobs)
+
+	fr := &FrontendResult{Units: make([]*cast.Unit, 0, len(names))}
+	for i := range names {
+		fr.ParseErrors = append(fr.ParseErrors, fronts[i].ppErrs...)
+		for _, e := range fronts[i].pr.Errors {
+			fr.ParseErrors = append(fr.ParseErrors, e.Error())
+		}
+		fr.Units = append(fr.Units, fronts[i].pr.Unit)
+	}
+	return fr
 }
 
 // CheckSource checks a single source file.

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"golclint/internal/cpp"
+)
+
+// failingIncluder simulates an includer whose lookup itself breaks (an I/O
+// error, say) for one name, while knowing a second name and lacking a third.
+type failingIncluder struct {
+	fail error
+}
+
+func (f failingIncluder) Include(name string) (string, error) {
+	switch name {
+	case "broken.h":
+		return "", f.fail
+	case "ok.h":
+		return "extern int fromOK;\n", nil
+	}
+	return "", &cpp.NotFoundError{Name: name}
+}
+
+// A primary includer error that is not "file not found" must surface to the
+// diagnostics verbatim — the builtin-header fallback must not mask it (here
+// "broken.h" shadows no builtin, but the same bug class would silently
+// resolve "stdlib.h" from the builtins after the user's include tree
+// failed to read).
+func TestIncluderErrorSurfaces(t *testing.T) {
+	ioErr := errors.New("open broken.h: input/output error")
+	res := CheckSource("f.c", "#include \"broken.h\"\nint x;\n",
+		Options{Includes: failingIncluder{fail: ioErr}})
+	found := false
+	for _, e := range res.ParseErrors {
+		if strings.Contains(e, "input/output error") {
+			found = true
+		}
+		if strings.Contains(e, "not found") {
+			t.Errorf("I/O error degraded to not-found: %q", e)
+		}
+	}
+	if !found {
+		t.Errorf("includer I/O error not surfaced; parse errors: %v", res.ParseErrors)
+	}
+}
+
+// Not-found from the primary still falls through: builtin headers resolve,
+// and genuinely unknown names report not-found once, not twice.
+func TestIncluderNotFoundFallsThrough(t *testing.T) {
+	src := "#include <stdlib.h>\n#include \"ok.h\"\nint y;\n"
+	res := CheckSource("f.c", src, Options{Includes: failingIncluder{}})
+	if len(res.ParseErrors) > 0 {
+		t.Errorf("builtin fallback failed: %v", res.ParseErrors)
+	}
+
+	res = CheckSource("g.c", "#include \"missing.h\"\nint z;\n",
+		Options{Includes: failingIncluder{}})
+	n := 0
+	for _, e := range res.ParseErrors {
+		if strings.Contains(e, "not found") {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Errorf("want exactly one not-found error, got %d: %v", n, res.ParseErrors)
+	}
+}

@@ -1,0 +1,89 @@
+package cparse
+
+import "golclint/internal/cast"
+
+// slabChunk is the number of nodes allocated per slab chunk. AST nodes are
+// retained for the life of the Result, so chunks are never rewound — the
+// win is amortizing ~slabChunk node allocations into one make.
+const slabChunk = 64
+
+// slab hands out *T pointers carved from chunked backing arrays. When a
+// chunk fills, the slab starts a fresh one; pointers into full chunks stay
+// valid because those arrays remain reachable through the returned *Ts.
+type slab[T any] struct {
+	buf []T
+}
+
+func (s *slab[T]) alloc(v T) *T {
+	if len(s.buf) == cap(s.buf) {
+		s.buf = make([]T, 0, slabChunk)
+	}
+	s.buf = append(s.buf, v)
+	return &s.buf[len(s.buf)-1]
+}
+
+// sliceStack builds retained slices without a per-slice allocation.
+// Builders push elements between mark() and take(); nesting works because
+// an inner builder marks above the outer's pushes and takes back down to
+// its own mark before the outer resumes. The backing buffer is scratch
+// reused across every slice built (and, via Session, across files); taken
+// slices are carved from shared chunks, amortizing many small makes into
+// one per heapChunk elements.
+type sliceStack[T any] struct {
+	buf  []T
+	heap []T
+}
+
+// heapChunk is the element count of each carve chunk backing taken slices.
+const heapChunk = 1024
+
+func (s *sliceStack[T]) mark() int  { return len(s.buf) }
+func (s *sliceStack[T]) len() int   { return len(s.buf) }
+func (s *sliceStack[T]) push(v T)   { s.buf = append(s.buf, v) }
+func (s *sliceStack[T]) drop(m int) { s.buf = s.buf[:m] }
+
+// take pops everything above m into a slice carved from the chunk heap
+// (nil if empty). The result's capacity equals its length, so a caller
+// that appends reallocates rather than clobbering the next carve.
+func (s *sliceStack[T]) take(m int) []T {
+	n := len(s.buf) - m
+	if n == 0 {
+		return nil
+	}
+	if n > len(s.heap) {
+		c := heapChunk
+		if n > c {
+			c = n
+		}
+		s.heap = make([]T, c)
+	}
+	out := s.heap[:n:n]
+	s.heap = s.heap[n:]
+	copy(out, s.buf[m:])
+	s.buf = s.buf[:m]
+	return out
+}
+
+// nodeArena bulk-allocates the AST node types that dominate the frontend
+// allocation profile (expression leaves and the common statement forms).
+// Rare node kinds (tags, typedefs, switch machinery, float/char/string
+// literals) keep plain allocation — slabbing them buys nothing.
+type nodeArena struct {
+	ident    slab[cast.Ident]
+	intLit   slab[cast.IntLit]
+	binary   slab[cast.Binary]
+	unary    slab[cast.Unary]
+	call     slab[cast.Call]
+	index    slab[cast.Index]
+	fieldSel slab[cast.FieldSel]
+	assign   slab[cast.Assign]
+	block    slab[cast.Block]
+	exprStmt slab[cast.ExprStmt]
+	declStmt slab[cast.DeclStmt]
+	ifStmt   slab[cast.If]
+	while    slab[cast.While]
+	forStmt  slab[cast.For]
+	ret      slab[cast.Return]
+	varDecl  slab[cast.VarDecl]
+	param    slab[cast.ParamDecl]
+}

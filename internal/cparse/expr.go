@@ -34,7 +34,7 @@ func (p *parser) parseAssignExpr() cast.Expr {
 	if op, ok := assignOps[p.cur().Kind]; ok {
 		pos := p.next().Pos
 		rhs := p.parseAssignExpr()
-		return &cast.Assign{P: pos, Op: op, LHS: lhs, RHS: rhs}
+		return p.ar.assign.alloc(cast.Assign{P: pos, Op: op, LHS: lhs, RHS: rhs})
 	}
 	return lhs
 }
@@ -82,7 +82,7 @@ func (p *parser) parseBinaryExpr(minPrec int) cast.Expr {
 		op := binOps[p.cur().Kind]
 		pos := p.next().Pos
 		rhs := p.parseBinaryExpr(prec + 1)
-		lhs = &cast.Binary{P: pos, Op: op, X: lhs, Y: rhs}
+		lhs = p.ar.binary.alloc(cast.Binary{P: pos, Op: op, X: lhs, Y: rhs})
 	}
 }
 
@@ -97,25 +97,25 @@ func (p *parser) parseUnaryExpr() cast.Expr {
 		if t.Kind == ctoken.Dec {
 			op = cast.PreDec
 		}
-		return &cast.Unary{P: t.Pos, Op: op, X: x}
+		return p.ar.unary.alloc(cast.Unary{P: t.Pos, Op: op, X: x})
 	case ctoken.Star:
 		p.next()
-		return &cast.Unary{P: t.Pos, Op: cast.Deref, X: p.parseUnaryExpr()}
+		return p.ar.unary.alloc(cast.Unary{P: t.Pos, Op: cast.Deref, X: p.parseUnaryExpr()})
 	case ctoken.Amp:
 		p.next()
-		return &cast.Unary{P: t.Pos, Op: cast.AddrOf, X: p.parseUnaryExpr()}
+		return p.ar.unary.alloc(cast.Unary{P: t.Pos, Op: cast.AddrOf, X: p.parseUnaryExpr()})
 	case ctoken.Plus:
 		p.next()
-		return &cast.Unary{P: t.Pos, Op: cast.Pos, X: p.parseUnaryExpr()}
+		return p.ar.unary.alloc(cast.Unary{P: t.Pos, Op: cast.Pos, X: p.parseUnaryExpr()})
 	case ctoken.Minus:
 		p.next()
-		return &cast.Unary{P: t.Pos, Op: cast.Neg, X: p.parseUnaryExpr()}
+		return p.ar.unary.alloc(cast.Unary{P: t.Pos, Op: cast.Neg, X: p.parseUnaryExpr()})
 	case ctoken.Not:
 		p.next()
-		return &cast.Unary{P: t.Pos, Op: cast.LogNot, X: p.parseUnaryExpr()}
+		return p.ar.unary.alloc(cast.Unary{P: t.Pos, Op: cast.LogNot, X: p.parseUnaryExpr()})
 	case ctoken.Tilde:
 		p.next()
-		return &cast.Unary{P: t.Pos, Op: cast.BitNot, X: p.parseUnaryExpr()}
+		return p.ar.unary.alloc(cast.Unary{P: t.Pos, Op: cast.BitNot, X: p.parseUnaryExpr()})
 	case ctoken.KwSizeof:
 		p.next()
 		if p.at(ctoken.LParen) && p.typeAheadInParens() {
@@ -164,30 +164,32 @@ func (p *parser) parsePostfixExpr() cast.Expr {
 		switch t.Kind {
 		case ctoken.LParen:
 			p.next()
-			call := &cast.Call{P: t.Pos, Fun: e}
+			call := p.ar.call.alloc(cast.Call{P: t.Pos, Fun: e})
+			mark := p.exprStack.mark()
 			for !p.at(ctoken.RParen) && !p.at(ctoken.EOF) {
-				call.Args = append(call.Args, p.parseAssignExpr())
+				p.exprStack.push(p.parseAssignExpr())
 				if !p.accept(ctoken.Comma) {
 					break
 				}
 			}
 			p.expect(ctoken.RParen)
+			call.Args = p.exprStack.take(mark)
 			e = call
 		case ctoken.LBracket:
 			p.next()
 			idx := p.parseExpr()
 			p.expect(ctoken.RBracket)
-			e = &cast.Index{P: t.Pos, X: e, Idx: idx}
+			e = p.ar.index.alloc(cast.Index{P: t.Pos, X: e, Idx: idx})
 		case ctoken.Dot, ctoken.Arrow:
 			p.next()
 			name := p.expect(ctoken.Ident)
-			e = &cast.FieldSel{P: t.Pos, X: e, Name: name.Text, Arrow: t.Kind == ctoken.Arrow}
+			e = p.ar.fieldSel.alloc(cast.FieldSel{P: t.Pos, X: e, Name: name.Text, Arrow: t.Kind == ctoken.Arrow})
 		case ctoken.Inc:
 			p.next()
-			e = &cast.Unary{P: t.Pos, Op: cast.PostInc, X: e}
+			e = p.ar.unary.alloc(cast.Unary{P: t.Pos, Op: cast.PostInc, X: e})
 		case ctoken.Dec:
 			p.next()
-			e = &cast.Unary{P: t.Pos, Op: cast.PostDec, X: e}
+			e = p.ar.unary.alloc(cast.Unary{P: t.Pos, Op: cast.PostDec, X: e})
 		default:
 			return e
 		}
@@ -201,7 +203,7 @@ func (p *parser) parsePrimaryExpr() cast.Expr {
 	switch t.Kind {
 	case ctoken.Ident:
 		p.next()
-		return &cast.Ident{P: t.Pos, Name: t.Text}
+		return p.ar.ident.alloc(cast.Ident{P: t.Pos, Name: t.Text})
 	case ctoken.IntLit:
 		p.next()
 		text := strings.TrimRight(t.Text, "uUlL")
@@ -215,7 +217,7 @@ func (p *parser) parsePrimaryExpr() cast.Expr {
 			}
 			v = int64(u)
 		}
-		return &cast.IntLit{P: t.Pos, Text: t.Text, Value: v}
+		return p.ar.intLit.alloc(cast.IntLit{P: t.Pos, Text: t.Text, Value: v})
 	case ctoken.FloatLit:
 		p.next()
 		text := strings.TrimRight(t.Text, "fFlL")
@@ -246,7 +248,7 @@ func (p *parser) parsePrimaryExpr() cast.Expr {
 	default:
 		p.errorf(t.Pos, "expected expression, found %s", t)
 		p.next()
-		return &cast.IntLit{P: t.Pos, Text: "0", Value: 0}
+		return p.ar.intLit.alloc(cast.IntLit{P: t.Pos, Text: "0", Value: 0})
 	}
 }
 

@@ -21,6 +21,16 @@ func FuzzParse(f *testing.F) {
 		"enum e { A = 1, B }; union u { int i; };\n",
 		"void g (void) { for (;;) if (1) while (0) do ; while (1); }\n",
 		"x = #include ??? \x00\xfe",
+		// Zero-copy frontend edge cases: declarations truncated exactly at
+		// the buffer end, unterminated annotation opens, CRLF line endings,
+		// and multi-byte UTF-8 inside string literals.
+		"int x",
+		"int f(",
+		"/*@only",
+		"/*@only@*/ char *p = /*@",
+		"int a;\r\nint b;\r\n",
+		"char *s = \"héllo\r\n日本語\";",
+		"struct s { int i; } v = {",
 	}
 	for _, s := range seeds {
 		f.Add(s)
@@ -39,6 +49,17 @@ func FuzzParse(f *testing.F) {
 		// Errors must be usable (the CLI prints them).
 		for _, e := range res.Errors {
 			_ = e.Error()
+		}
+		// A reused Session must accept the same input and agree with the
+		// one-shot path on error and declaration counts (the buffer- and
+		// arena-reuse contract).
+		s := NewSession(nil)
+		for i := 0; i < 2; i++ {
+			sres := s.Parse("fuzz.c", src)
+			if len(sres.Errors) != len(res.Errors) || len(sres.Unit.Decls) != len(res.Unit.Decls) {
+				t.Fatalf("session pass %d diverged: %d errors / %d decls vs %d / %d",
+					i, len(sres.Errors), len(sres.Unit.Decls), len(res.Errors), len(res.Unit.Decls))
+			}
 		}
 	})
 }

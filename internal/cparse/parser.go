@@ -47,14 +47,29 @@ type Result struct {
 // fallback; positions inside src follow its line markers.
 func Parse(file, src string) *Result {
 	lx := ctoken.NewLexer(file, src)
-	toks := lx.All()
 	p := &parser{
-		toks:     toks,
-		unit:     &cast.Unit{File: file},
 		typedefs: map[string]*ctypes.Type{},
 		tags:     map[string]*ctypes.Type{},
 	}
-	for _, le := range lx.Errors() {
+	return p.parseFile(file, lx.All(), lx.Errors())
+}
+
+// parseFile parses an already-lexed token stream (shared by Parse and
+// Session.Parse). The parser may be reused across files: per-file state
+// resets here while the node arena, scratch stacks, and map capacity carry
+// over. It must not retain toks: Session reuses the buffer.
+func (p *parser) parseFile(file string, toks []ctoken.Token, lexErrs []*ctoken.LexError) *Result {
+	p.toks = toks
+	p.i = 0
+	p.errs = nil
+	p.controls = nil
+	p.unit = &cast.Unit{File: file}
+	clear(p.typedefs)
+	clear(p.tags)
+	if p.enums != nil {
+		clear(p.enums)
+	}
+	for _, le := range lexErrs {
 		p.errs = append(p.errs, &ParseError{Pos: le.Pos, Msg: le.Msg})
 	}
 	p.parseUnit()
@@ -64,6 +79,7 @@ func Parse(file, src string) *Result {
 			nAnnots++
 		}
 	}
+	p.toks = nil
 	return &Result{
 		Unit: p.unit, Controls: p.controls, Errors: p.errs,
 		Tokens: len(toks) - 1, // exclude the terminating EOF
@@ -77,6 +93,16 @@ type parser struct {
 	errs     []*ParseError
 	unit     *cast.Unit
 	controls []Control
+	ar       nodeArena
+
+	// Scratch stacks for building retained slices with one exact-size
+	// allocation each (see sliceStack).
+	stmtStack   sliceStack[cast.Stmt]
+	declStack   sliceStack[cast.Decl]
+	exprStack   sliceStack[cast.Expr]
+	paramStack  sliceStack[ctypes.Param]
+	pdeclStack  sliceStack[*cast.ParamDecl]
+	suffixStack sliceStack[declSuffix]
 
 	// typedefs maps typedef names to their Named types. Block-scoped
 	// typedefs are rare in our subset; a single namespace suffices.
@@ -256,7 +282,7 @@ func (p *parser) parseExternalDecl() []cast.Decl {
 		return nil
 	}
 
-	var decls []cast.Decl
+	mark := p.declStack.mark()
 	for {
 		declPos := p.cur().Pos
 		as = p.collectAnnots(as)
@@ -269,20 +295,21 @@ func (p *parser) parseExternalDecl() []cast.Decl {
 			} else {
 				named := ctypes.NamedOf(name, typ, as)
 				p.typedefs[name] = named
-				decls = append(decls, &cast.TypedefDecl{P: declPos, Name: name, Type: named})
+				p.declStack.push(&cast.TypedefDecl{P: declPos, Name: name, Type: named})
 			}
 			as = 0
 			if p.accept(ctoken.Comma) {
 				continue
 			}
 			p.expect(ctoken.Semi)
-			return decls
+			return p.declStack.take(mark)
 		}
 
 		// Function definition: function declarator followed by '{'.
 		if typ != nil && typ.Kind == ctypes.Func && p.at(ctoken.LBrace) {
-			if len(decls) > 0 {
+			if p.declStack.len() > mark {
 				p.errorf(declPos, "function definition cannot follow other declarators")
+				p.declStack.drop(mark)
 			}
 			fd := &cast.FuncDef{
 				P: declPos, Name: name, Result: typ.Return,
@@ -292,27 +319,27 @@ func (p *parser) parseExternalDecl() []cast.Decl {
 				fd.Params = paramDecls
 			} else {
 				for _, prm := range typ.Params {
-					fd.Params = append(fd.Params, &cast.ParamDecl{P: declPos, Name: prm.Name, Type: prm.Type, Annots: prm.Annots})
+					fd.Params = append(fd.Params, p.ar.param.alloc(cast.ParamDecl{P: declPos, Name: prm.Name, Type: prm.Type, Annots: prm.Annots}))
 				}
 			}
 			fd.Body = p.parseBlock()
 			return []cast.Decl{fd}
 		}
 
-		d := &cast.VarDecl{P: declPos, Name: name, Type: typ, Annots: as, Storage: storage}
+		d := p.ar.varDecl.alloc(cast.VarDecl{P: declPos, Name: name, Type: typ, Annots: as, Storage: storage})
 		if name == "" {
 			p.errorf(declPos, "expected declarator name")
 		}
 		if p.accept(ctoken.Assign) {
 			d.Init = p.parseInitializer()
 		}
-		decls = append(decls, d)
+		p.declStack.push(d)
 		as = 0
 		if p.accept(ctoken.Comma) {
 			continue
 		}
 		p.expect(ctoken.Semi)
-		return decls
+		return p.declStack.take(mark)
 	}
 }
 

@@ -1,0 +1,43 @@
+package cparse
+
+import (
+	"golclint/internal/ctoken"
+	"golclint/internal/ctypes"
+)
+
+// Session carries reusable parsing state across the files one frontend
+// worker handles: an identifier interner (so every file's tokens spell
+// identifiers with the same canonical atoms — wrapped in a lock-free
+// per-worker cache when shared), a token buffer reused between files, and
+// a parser whose node arena, scratch stacks, and symbol-table capacity
+// carry over. A Session is not safe for concurrent use; give each worker
+// its own and share only the Interner.
+type Session struct {
+	in   ctoken.InternTable
+	toks []ctoken.Token
+	p    parser
+}
+
+// NewSession returns a Session lexing through in (which may be shared
+// with other Sessions; pass nil to intern nothing).
+func NewSession(in *ctoken.Interner) *Session {
+	s := &Session{}
+	if in != nil {
+		s.in = ctoken.NewLocalInterner(in)
+	}
+	s.p.typedefs = map[string]*ctypes.Type{}
+	s.p.tags = map[string]*ctypes.Type{}
+	return s
+}
+
+// Parse parses one preprocessed file, reusing the Session's token buffer.
+// The returned Result retains AST nodes but no Token structs, so the
+// buffer is free for the next call.
+func (s *Session) Parse(file, src string) *Result {
+	lx := ctoken.NewLexer(file, src)
+	if s.in != nil {
+		lx.SetInterner(s.in)
+	}
+	s.toks = lx.AllInto(s.toks[:0])
+	return s.p.parseFile(file, s.toks, lx.Errors())
+}

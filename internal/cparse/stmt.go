@@ -8,16 +8,18 @@ import (
 // parseBlock parses a brace-delimited compound statement.
 func (p *parser) parseBlock() *cast.Block {
 	pos := p.expect(ctoken.LBrace).Pos
-	b := &cast.Block{P: pos}
+	b := p.ar.block.alloc(cast.Block{P: pos})
+	mark := p.stmtStack.mark()
 	for !p.at(ctoken.RBrace) && !p.at(ctoken.EOF) {
 		before := p.i
-		b.Items = append(b.Items, p.parseStmt())
+		p.stmtStack.push(p.parseStmt())
 		if p.i == before {
 			p.errorf(p.cur().Pos, "unexpected %s in block", p.cur())
 			p.next()
 		}
 	}
 	p.expect(ctoken.RBrace)
+	b.Items = p.stmtStack.take(mark)
 	return b
 }
 
@@ -35,7 +37,7 @@ func (p *parser) parseStmt() cast.Stmt {
 		p.expect(ctoken.LParen)
 		cond := p.parseExpr()
 		p.expect(ctoken.RParen)
-		s := &cast.If{P: t.Pos, Cond: cond, Then: p.parseStmt()}
+		s := p.ar.ifStmt.alloc(cast.If{P: t.Pos, Cond: cond, Then: p.parseStmt()})
 		if p.accept(ctoken.KwElse) {
 			s.Else = p.parseStmt()
 		}
@@ -45,7 +47,7 @@ func (p *parser) parseStmt() cast.Stmt {
 		p.expect(ctoken.LParen)
 		cond := p.parseExpr()
 		p.expect(ctoken.RParen)
-		return &cast.While{P: t.Pos, Cond: cond, Body: p.parseStmt()}
+		return p.ar.while.alloc(cast.While{P: t.Pos, Cond: cond, Body: p.parseStmt()})
 	case ctoken.KwDo:
 		p.next()
 		body := p.parseStmt()
@@ -58,13 +60,13 @@ func (p *parser) parseStmt() cast.Stmt {
 	case ctoken.KwFor:
 		p.next()
 		p.expect(ctoken.LParen)
-		s := &cast.For{P: t.Pos}
+		s := p.ar.forStmt.alloc(cast.For{P: t.Pos})
 		if !p.at(ctoken.Semi) {
 			if p.isDeclStart() {
 				s.Init = p.parseDeclStmt()
 			} else {
 				e := p.parseExpr()
-				s.Init = &cast.ExprStmt{P: e.Pos(), X: e}
+				s.Init = p.ar.exprStmt.alloc(cast.ExprStmt{P: e.Pos(), X: e})
 				p.expect(ctoken.Semi)
 			}
 		} else {
@@ -105,7 +107,7 @@ func (p *parser) parseStmt() cast.Stmt {
 		return &cast.Continue{P: t.Pos}
 	case ctoken.KwReturn:
 		p.next()
-		s := &cast.Return{P: t.Pos}
+		s := p.ar.ret.alloc(cast.Return{P: t.Pos})
 		if !p.at(ctoken.Semi) {
 			s.X = p.parseExpr()
 		}
@@ -129,7 +131,7 @@ func (p *parser) parseStmt() cast.Stmt {
 	}
 	e := p.parseExpr()
 	p.expect(ctoken.Semi)
-	return &cast.ExprStmt{P: e.Pos(), X: e}
+	return p.ar.exprStmt.alloc(cast.ExprStmt{P: e.Pos(), X: e})
 }
 
 // peekAfterIdentIsColon reports whether the current Ident is immediately
@@ -146,14 +148,18 @@ func (p *parser) peekAfterIdentIsColon() bool {
 func (p *parser) parseDeclStmt() cast.Stmt {
 	pos := p.cur().Pos
 	decls := p.parseExternalDecl()
-	ds := &cast.DeclStmt{P: pos}
+	ds := p.ar.declStmt.alloc(cast.DeclStmt{P: pos})
+	// The decls slice is freshly built for this call, so filter it in
+	// place rather than copying into a second slice.
+	keep := decls[:0]
 	for _, d := range decls {
 		switch d.(type) {
 		case *cast.FuncDef:
 			p.errorf(d.Pos(), "nested function definitions are not allowed")
 		default:
-			ds.Decls = append(ds.Decls, d)
+			keep = append(keep, d)
 		}
 	}
+	ds.Decls = keep
 	return ds
 }

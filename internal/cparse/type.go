@@ -347,18 +347,21 @@ func (p *parser) skipBalancedParens() {
 	p.expect(ctoken.RParen)
 }
 
+// declSuffix is one array or function suffix of a declarator, staged on
+// the parser's suffix scratch stack while the declarator is assembled.
+type declSuffix struct {
+	isArray  bool
+	n        int
+	params   []ctypes.Param
+	variadic bool
+	decls    []*cast.ParamDecl
+}
+
 // parseDeclSuffixes parses array and function suffixes, returning the
 // completed type and, if the first suffix was a parameter list, its
 // parameter declarations.
 func (p *parser) parseDeclSuffixes(base *ctypes.Type) (*ctypes.Type, []*cast.ParamDecl) {
-	type suffix struct {
-		isArray  bool
-		n        int
-		params   []ctypes.Param
-		variadic bool
-		decls    []*cast.ParamDecl
-	}
-	var ss []suffix
+	mark := p.suffixStack.mark()
 	for {
 		if p.accept(ctoken.LBracket) {
 			n := -1
@@ -371,18 +374,19 @@ func (p *parser) parseDeclSuffixes(base *ctypes.Type) (*ctypes.Type, []*cast.Par
 				}
 			}
 			p.expect(ctoken.RBracket)
-			ss = append(ss, suffix{isArray: true, n: n})
+			p.suffixStack.push(declSuffix{isArray: true, n: n})
 			continue
 		}
 		if p.at(ctoken.LParen) && !p.nestedDeclaratorAhead() {
 			p.next() // (
 			params, variadic, decls := p.parseParamList()
-			ss = append(ss, suffix{params: params, variadic: variadic, decls: decls})
+			p.suffixStack.push(declSuffix{params: params, variadic: variadic, decls: decls})
 			continue
 		}
 		break
 	}
 	// Rightmost suffix binds closest to the base type.
+	ss := p.suffixStack.buf[mark:]
 	t := base
 	for i := len(ss) - 1; i >= 0; i-- {
 		s := ss[i]
@@ -396,6 +400,7 @@ func (p *parser) parseDeclSuffixes(base *ctypes.Type) (*ctypes.Type, []*cast.Par
 	if len(ss) > 0 && !ss[0].isArray {
 		decls = ss[0].decls
 	}
+	p.suffixStack.drop(mark)
 	return t, decls
 }
 
@@ -415,8 +420,8 @@ func (p *parser) parseParamList() ([]ctypes.Param, bool, []*cast.ParamDecl) {
 		}
 		p.i = save
 	}
-	var params []ctypes.Param
-	var decls []*cast.ParamDecl
+	pmark := p.paramStack.mark()
+	dmark := p.pdeclStack.mark()
 	variadic := false
 	for {
 		if p.accept(ctoken.Ellipsis) {
@@ -440,14 +445,14 @@ func (p *parser) parseParamList() ([]ctypes.Param, bool, []*cast.ParamDecl) {
 		if r := typ.Resolve(); r != nil && r.Kind == ctypes.Array {
 			typ = ctypes.PointerTo(r.Elem)
 		}
-		params = append(params, ctypes.Param{Name: name, Type: typ, Annots: as})
-		decls = append(decls, &cast.ParamDecl{P: pos, Name: name, Type: typ, Annots: as})
+		p.paramStack.push(ctypes.Param{Name: name, Type: typ, Annots: as})
+		p.pdeclStack.push(p.ar.param.alloc(cast.ParamDecl{P: pos, Name: name, Type: typ, Annots: as}))
 		if !p.accept(ctoken.Comma) {
 			break
 		}
 	}
 	p.expect(ctoken.RParen)
-	return params, variadic, decls
+	return p.paramStack.take(pmark), variadic, p.pdeclStack.take(dmark)
 }
 
 // parseTypeName parses a type-name (specifiers plus abstract declarator),

@@ -7,9 +7,16 @@
 //
 // The real LCLint used the system preprocessor; this one exists so the
 // reproduction is self-contained (DESIGN.md, substitutions table).
+//
+// A Preprocessor is built for reuse across the files of one run: expansion
+// appends into a reusable byte buffer (one string copy per file, at the
+// end), predefined macros live in a shared immutable BaseDefines layer
+// consulted beneath the per-file overlay, and Reset rewinds the overlay so
+// one Preprocessor per worker serves every file that worker touches.
 package cpp
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strconv"
@@ -18,8 +25,25 @@ import (
 
 // Includer resolves #include "name" to file contents.
 type Includer interface {
-	// Include returns the contents of the named file, or an error.
+	// Include returns the contents of the named file, or an error. A file
+	// that simply does not exist should be reported as a *NotFoundError so
+	// layered includers can distinguish "try the next layer" from real I/O
+	// failures (see IsNotFound).
 	Include(name string) (string, error)
+}
+
+// NotFoundError reports that an includer has no file by the given name.
+type NotFoundError struct {
+	Name string
+}
+
+// Error implements the error interface.
+func (e *NotFoundError) Error() string { return fmt.Sprintf("include file %q not found", e.Name) }
+
+// IsNotFound reports whether err is (or wraps) a NotFoundError.
+func IsNotFound(err error) bool {
+	var nf *NotFoundError
+	return errors.As(err, &nf)
 }
 
 // MapIncluder resolves includes from an in-memory map.
@@ -30,7 +54,7 @@ func (m MapIncluder) Include(name string) (string, error) {
 	if s, ok := m[name]; ok {
 		return s, nil
 	}
-	return "", fmt.Errorf("include file %q not found", name)
+	return "", &NotFoundError{Name: name}
 }
 
 // Error is a preprocessing error with its source location.
@@ -52,12 +76,37 @@ type Macro struct {
 	Variadic bool
 }
 
-// Preprocessor holds macro state across files.
+// BaseDefines is an immutable table of predefined object-like macros,
+// built once per run and shared (read-only, so safely concurrently) by
+// every Preprocessor in that run. It replaces re-installing the same
+// predefinitions from scratch for each file.
+type BaseDefines struct {
+	macros map[string]*Macro
+}
+
+// NewBaseDefines builds a shared base layer from name -> body pairs.
+func NewBaseDefines(defs map[string]string) *BaseDefines {
+	b := &BaseDefines{macros: make(map[string]*Macro, len(defs))}
+	for k, v := range defs {
+		b.macros[k] = &Macro{Name: k, Body: v}
+	}
+	return b
+}
+
+// Preprocessor holds macro state across files. Macro definitions from
+// directives land in a per-run overlay consulted before the shared base
+// layer; #undef writes a nil tombstone so a base macro can be undefined
+// without mutating the shared table.
 type Preprocessor struct {
 	inc    Includer
-	macros map[string]*Macro
+	base   *BaseDefines      // shared immutable layer; may be nil
+	macros map[string]*Macro // overlay; nil value = #undef tombstone
 	errs   []*Error
 	depth  int
+
+	buf      []byte          // reusable expansion output buffer
+	busy     map[string]bool // reusable recursion guard (empty between lines)
+	linePool [][]logicalLine // reusable logical-line scratch, one per include depth
 }
 
 // maxIncludeDepth bounds nested/recursive inclusion.
@@ -67,6 +116,33 @@ const maxIncludeDepth = 40
 // A nil inc rejects all includes.
 func New(inc Includer) *Preprocessor {
 	return &Preprocessor{inc: inc, macros: map[string]*Macro{}}
+}
+
+// NewShared is New with a shared immutable base-define layer underneath
+// the per-run macro table.
+func NewShared(inc Includer, base *BaseDefines) *Preprocessor {
+	return &Preprocessor{inc: inc, base: base, macros: map[string]*Macro{}}
+}
+
+// Reset clears per-file state — overlay macro definitions, errors, include
+// depth — while keeping the shared base layer and the reusable buffers, so
+// one Preprocessor serves many files in sequence.
+func (pp *Preprocessor) Reset() {
+	clear(pp.macros)
+	pp.errs = nil
+	pp.depth = 0
+}
+
+// lookup resolves a macro name through the overlay, then the base layer.
+// A tombstoned (#undef) name resolves to nil even when the base defines it.
+func (pp *Preprocessor) lookup(name string) *Macro {
+	if m, ok := pp.macros[name]; ok {
+		return m
+	}
+	if pp.base != nil {
+		return pp.base.macros[name]
+	}
+	return nil
 }
 
 // Define installs an object-like macro (e.g. predefining NULL).
@@ -81,14 +157,26 @@ func (pp *Preprocessor) DefineFunc(name string, params []string, body string) {
 
 // IsDefined reports whether the named macro is currently defined.
 func (pp *Preprocessor) IsDefined(name string) bool {
-	_, ok := pp.macros[name]
-	return ok
+	return pp.lookup(name) != nil
 }
 
 // Macros returns the names of all currently defined macros, sorted.
 func (pp *Preprocessor) Macros() []string {
-	var ns []string
-	for n := range pp.macros {
+	seen := map[string]bool{}
+	if pp.base != nil {
+		for n := range pp.base.macros {
+			seen[n] = true
+		}
+	}
+	for n, m := range pp.macros {
+		if m == nil {
+			delete(seen, n)
+		} else {
+			seen[n] = true
+		}
+	}
+	ns := make([]string, 0, len(seen))
+	for n := range seen {
 		ns = append(ns, n)
 	}
 	sort.Strings(ns)
@@ -111,17 +199,44 @@ type condState struct {
 	startLine  int
 }
 
-// Process preprocesses src (logical name file) and returns the expanded text
-// with line markers.
-func (pp *Preprocessor) Process(file, src string) string {
-	var out strings.Builder
-	fmt.Fprintf(&out, "# %d %q\n", 1, file)
-	pp.processInto(&out, file, src)
-	return out.String()
+// appendLineMarker writes "# <line> \"<file>\"\n" (byte-identical to the
+// fmt.Fprintf("# %d %q\n", ...) form it replaces).
+func appendLineMarker(b []byte, line int, file string) []byte {
+	b = append(b, '#', ' ')
+	b = strconv.AppendInt(b, int64(line), 10)
+	b = append(b, ' ')
+	b = strconv.AppendQuote(b, file)
+	return append(b, '\n')
 }
 
-func (pp *Preprocessor) processInto(out *strings.Builder, file, src string) {
-	lines := splitLogicalLines(src)
+// Process preprocesses src (logical name file) and returns the expanded text
+// with line markers. The expansion builds in the Preprocessor's reusable
+// buffer; the returned string is the single copy made per file.
+func (pp *Preprocessor) Process(file, src string) string {
+	pp.buf = pp.buf[:0]
+	pp.buf = appendLineMarker(pp.buf, 1, file)
+	pp.processInto(file, src)
+	return string(pp.buf)
+}
+
+// getLines checks a logical-line scratch slice out of the pool (one is in
+// use per active include level, so recursion cannot clobber a caller's).
+func (pp *Preprocessor) getLines() []logicalLine {
+	if n := len(pp.linePool); n > 0 {
+		s := pp.linePool[n-1]
+		pp.linePool = pp.linePool[:n-1]
+		return s[:0]
+	}
+	return nil
+}
+
+func (pp *Preprocessor) putLines(s []logicalLine) {
+	pp.linePool = append(pp.linePool, s)
+}
+
+func (pp *Preprocessor) processInto(file, src string) {
+	lines := splitLogicalLinesInto(pp.getLines(), src)
+	defer pp.putLines(lines)
 	var conds []condState
 
 	live := func() bool {
@@ -131,6 +246,10 @@ func (pp *Preprocessor) processInto(out *strings.Builder, file, src string) {
 			}
 		}
 		return true
+	}
+
+	if pp.busy == nil {
+		pp.busy = map[string]bool{}
 	}
 
 	for _, ll := range lines {
@@ -195,11 +314,13 @@ func (pp *Preprocessor) processInto(out *strings.Builder, file, src string) {
 				}
 			case "undef":
 				if live() {
-					delete(pp.macros, strings.TrimSpace(rest))
+					// Tombstone, not delete: the name may be defined in the
+					// shared base layer, which must stay untouched.
+					pp.macros[strings.TrimSpace(rest)] = nil
 				}
 			case "include":
 				if live() {
-					pp.include(out, file, lineNo, rest)
+					pp.include(file, lineNo, rest)
 				}
 			case "pragma", "error", "line":
 				// #pragma ignored; #error reported only when live.
@@ -213,23 +334,22 @@ func (pp *Preprocessor) processInto(out *strings.Builder, file, src string) {
 			}
 			// Keep line numbering aligned (including joined continuations).
 			for i := 0; i <= ll.extra; i++ {
-				out.WriteByte('\n')
+				pp.buf = append(pp.buf, '\n')
 			}
 			continue
 		}
 		if !live() {
 			for i := 0; i <= ll.extra; i++ {
-				out.WriteByte('\n')
+				pp.buf = append(pp.buf, '\n')
 			}
 			continue
 		}
-		expanded := pp.expand(text, map[string]bool{}, file, lineNo)
-		out.WriteString(expanded)
-		out.WriteByte('\n')
+		pp.expandInto(text, pp.busy, file, lineNo)
+		pp.buf = append(pp.buf, '\n')
 		// Logical lines that consumed continuations must re-pad so that
 		// subsequent lines keep their original numbers.
 		for i := 0; i < ll.extra; i++ {
-			out.WriteByte('\n')
+			pp.buf = append(pp.buf, '\n')
 		}
 	}
 	for _, c := range conds {
@@ -244,23 +364,48 @@ type logicalLine struct {
 	extra int // how many physical lines were joined beyond the first
 }
 
-func splitLogicalLines(src string) []logicalLine {
-	physical := strings.Split(src, "\n")
-	var out []logicalLine
-	for i := 0; i < len(physical); i++ {
-		start := i
-		text := physical[i]
-		for strings.HasSuffix(text, "\\") && i+1 < len(physical) {
-			text = text[:len(text)-1] + " " + physical[i+1]
-			i++
+// splitLogicalLinesInto splits src into logical lines, appending into dst
+// (reusing its capacity). Line text is zero-copy except when backslash
+// continuations force a join.
+func splitLogicalLinesInto(dst []logicalLine, src string) []logicalLine {
+	dst = dst[:0]
+	lineNo := 1
+	start := 0
+	for {
+		rel := strings.IndexByte(src[start:], '\n')
+		isLast := rel < 0
+		end := len(src)
+		if !isLast {
+			end = start + rel
 		}
-		out = append(out, logicalLine{text: text, line: start + 1, extra: i - start})
+		text := src[start:end]
+		startLine := lineNo
+		extra := 0
+		for strings.HasSuffix(text, "\\") && !isLast {
+			nstart := end + 1
+			nrel := strings.IndexByte(src[nstart:], '\n')
+			isLast = nrel < 0
+			nend := len(src)
+			if !isLast {
+				nend = nstart + nrel
+			}
+			text = text[:len(text)-1] + " " + src[nstart:nend]
+			end = nend
+			extra++
+			lineNo++
+		}
+		dst = append(dst, logicalLine{text: text, line: startLine, extra: extra})
+		if isLast {
+			break
+		}
+		start = end + 1
+		lineNo++
 	}
 	// Drop the phantom line after a trailing newline.
-	if n := len(out); n > 0 && out[n-1].text == "" && strings.HasSuffix(src, "\n") {
-		out = out[:n-1]
+	if n := len(dst); n > 0 && dst[n-1].text == "" && strings.HasSuffix(src, "\n") {
+		dst = dst[:n-1]
 	}
-	return out
+	return dst
 }
 
 func splitDirective(trimmed string) (dir, rest string) {
@@ -311,7 +456,7 @@ func (pp *Preprocessor) define(file string, line int, rest string) {
 	pp.macros[name] = &Macro{Name: name, Body: strings.TrimSpace(rest[i:])}
 }
 
-func (pp *Preprocessor) include(out *strings.Builder, file string, line int, rest string) {
+func (pp *Preprocessor) include(file string, line int, rest string) {
 	rest = strings.TrimSpace(rest)
 	var name string
 	switch {
@@ -347,12 +492,12 @@ func (pp *Preprocessor) include(out *strings.Builder, file string, line int, res
 		return
 	}
 	pp.depth++
-	fmt.Fprintf(out, "# %d %q\n", 1, name)
-	pp.processInto(out, name, src)
+	pp.buf = appendLineMarker(pp.buf, 1, name)
+	pp.processInto(name, src)
 	pp.depth--
 	// Resume at the directive's own line: the caller emits the padding
 	// newline for the #include line itself, which advances to line+1.
-	fmt.Fprintf(out, "# %d %q\n", line, file)
+	pp.buf = appendLineMarker(pp.buf, line, file)
 }
 
 func isIdentChar(c byte) bool {
@@ -363,29 +508,41 @@ func isIdentStart(c byte) bool {
 	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
 }
 
-// expand performs macro expansion on one logical line of ordinary text.
-// busy guards against recursive self-expansion.
+// expand performs macro expansion on one logical line and returns the
+// result as a string (used by the #if evaluator). The hot path is
+// expandInto, which appends to the output buffer without intermediate
+// strings; this wrapper borrows the tail of that buffer as scratch.
 func (pp *Preprocessor) expand(text string, busy map[string]bool, file string, line int) string {
-	var out strings.Builder
+	save := len(pp.buf)
+	pp.expandInto(text, busy, file, line)
+	s := string(pp.buf[save:])
+	pp.buf = pp.buf[:save]
+	return s
+}
+
+// expandInto performs macro expansion on one logical line of ordinary
+// text, appending to pp.buf. Non-macro spans copy in bulk; only macro
+// invocations recurse. busy guards against recursive self-expansion.
+func (pp *Preprocessor) expandInto(text string, busy map[string]bool, file string, line int) {
 	i := 0
 	for i < len(text) {
 		c := text[i]
 		switch {
 		case c == '"' || c == '\'':
 			j := skipLiteral(text, i)
-			out.WriteString(text[i:j])
+			pp.buf = append(pp.buf, text[i:j]...)
 			i = j
 		case c == '/' && i+1 < len(text) && text[i+1] == '/':
-			out.WriteString(text[i:])
+			pp.buf = append(pp.buf, text[i:]...)
 			i = len(text)
 		case c == '/' && i+1 < len(text) && text[i+1] == '*':
 			// Copy comment verbatim (annotations live in comments!).
 			j := strings.Index(text[i+2:], "*/")
 			if j < 0 {
-				out.WriteString(text[i:])
+				pp.buf = append(pp.buf, text[i:]...)
 				i = len(text)
 			} else {
-				out.WriteString(text[i : i+2+j+2])
+				pp.buf = append(pp.buf, text[i:i+2+j+2]...)
 				i += 2 + j + 2
 			}
 		case isIdentStart(c):
@@ -394,9 +551,9 @@ func (pp *Preprocessor) expand(text string, busy map[string]bool, file string, l
 				j++
 			}
 			word := text[i:j]
-			m, ok := pp.macros[word]
-			if !ok || busy[word] {
-				out.WriteString(word)
+			m := pp.lookup(word)
+			if m == nil || busy[word] {
+				pp.buf = append(pp.buf, word...)
 				i = j
 				break
 			}
@@ -407,14 +564,14 @@ func (pp *Preprocessor) expand(text string, busy map[string]bool, file string, l
 					k++
 				}
 				if k >= len(text) || text[k] != '(' {
-					out.WriteString(word)
+					pp.buf = append(pp.buf, word...)
 					i = j
 					break
 				}
 				args, end, err := parseMacroArgs(text, k)
 				if err != nil {
 					pp.errorf(file, line, "macro %s: %v", word, err)
-					out.WriteString(word)
+					pp.buf = append(pp.buf, word...)
 					i = j
 					break
 				}
@@ -426,21 +583,30 @@ func (pp *Preprocessor) expand(text string, busy map[string]bool, file string, l
 				}
 				body := substituteParams(m, args)
 				busy[word] = true
-				out.WriteString(pp.expand(body, busy, file, line))
+				pp.expandInto(body, busy, file, line)
 				delete(busy, word)
 				i = end
 			} else {
 				busy[word] = true
-				out.WriteString(pp.expand(m.Body, busy, file, line))
+				pp.expandInto(m.Body, busy, file, line)
 				delete(busy, word)
 				i = j
 			}
 		default:
-			out.WriteByte(c)
-			i++
+			// Bulk-copy up to the next byte that could start a literal,
+			// comment, or macro name.
+			j := i + 1
+			for j < len(text) {
+				d := text[j]
+				if d == '"' || d == '\'' || d == '/' || isIdentStart(d) {
+					break
+				}
+				j++
+			}
+			pp.buf = append(pp.buf, text[i:j]...)
+			i = j
 		}
 	}
-	return out.String()
 }
 
 // skipLiteral returns the index just past the string or char literal

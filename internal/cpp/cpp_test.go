@@ -332,3 +332,78 @@ func TestProcessDeterministic(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// A reused shared-base Preprocessor behaves exactly like a fresh one:
+// Reset clears the per-file macro overlay and error list, and the reused
+// expansion buffer produces byte-identical output.
+func TestResetReuse(t *testing.T) {
+	base := NewBaseDefines(map[string]string{"BASE": "7"})
+	pp := NewShared(nil, base)
+
+	first := "#define LOCAL 1\nint a = LOCAL + BASE;\n#include \"gone.h\"\n"
+	got1 := pp.Process("a.c", first)
+	if !strings.Contains(got1, "int a = 1 + 7;") {
+		t.Errorf("first file expanded wrong:\n%s", got1)
+	}
+	if len(pp.Errors()) != 1 {
+		t.Fatalf("want 1 include error, got %v", pp.Errors())
+	}
+
+	pp.Reset()
+	second := "int b = LOCAL;\nint c = BASE;\n"
+	got2 := pp.Process("b.c", second)
+	if len(pp.Errors()) != 0 {
+		t.Errorf("errors survived Reset: %v", pp.Errors())
+	}
+	if !strings.Contains(got2, "int b = LOCAL;") {
+		t.Errorf("first file's #define leaked across Reset:\n%s", got2)
+	}
+	if !strings.Contains(got2, "int c = 7;") {
+		t.Errorf("base define lost after Reset:\n%s", got2)
+	}
+
+	fresh := NewShared(nil, base).Process("b.c", second)
+	if got2 != fresh {
+		t.Errorf("reused preprocessor output differs from fresh:\n--- reused ---\n%s--- fresh ---\n%s", got2, fresh)
+	}
+}
+
+// The shared base table is immutable through the overlay: #define shadows
+// and #undef tombstones a base macro for the current file only.
+func TestBaseDefinesOverlay(t *testing.T) {
+	base := NewBaseDefines(map[string]string{"N": "1"})
+	pp := NewShared(nil, base)
+	out := pp.Process("a.c", "#define N 2\nint a = N;\n#undef N\nint b = N;\n")
+	if !strings.Contains(out, "int a = 2;") || !strings.Contains(out, "int b = N;") {
+		t.Errorf("overlay shadow/undef wrong:\n%s", out)
+	}
+	pp.Reset()
+	out = pp.Process("b.c", "int c = N;\n")
+	if !strings.Contains(out, "int c = 1;") {
+		t.Errorf("base define not restored after Reset:\n%s", out)
+	}
+	if !pp.IsDefined("N") {
+		t.Error("IsDefined(N) = false for a base define")
+	}
+}
+
+// MapIncluder misses are typed: IsNotFound distinguishes them from other
+// includer failures so fallback logic never masks real errors.
+func TestNotFoundError(t *testing.T) {
+	_, err := MapIncluder(nil).Include("x.h")
+	if err == nil || !IsNotFound(err) {
+		t.Fatalf("MapIncluder miss = %v, want NotFoundError", err)
+	}
+	if want := `include file "x.h" not found`; err.Error() != want {
+		t.Errorf("error text = %q, want %q", err.Error(), want)
+	}
+	if IsNotFound(errIO) {
+		t.Error("IsNotFound(io error) = true")
+	}
+}
+
+var errIO = &stubErr{}
+
+type stubErr struct{}
+
+func (*stubErr) Error() string { return "disk on fire" }

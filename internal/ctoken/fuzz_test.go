@@ -20,6 +20,18 @@ func FuzzLex(f *testing.F) {
 		"#line 3 \"x.c\"\nid->field >>= 1;",
 		"/*@null@*/ /*@i@*/ /*@ignore@*/ /*@end@*/",
 		"\x00\xff\x80junk\r\n\t",
+		// Zero-copy cursor edge cases: tokens ending exactly at the buffer
+		// end, so any past-the-end slice aliasing would show immediately.
+		"x", "42", "a+b", "p->q", "0x", "1e", "'",
+		"/*@only",           // unterminated annotation open at EOF
+		"/*@only@*",         // annotation missing the final '/'
+		"ab\r\ncd\r\n",      // CRLF line endings between tokens
+		"\"\r\n\"",          // CRLF inside a string literal
+		"\"héllo wörld\"",   // multi-byte UTF-8 inside a string
+		"\"日本語\" ident日本", // multi-byte UTF-8 at token boundaries
+		"# 12 \"a\r\nb.c\"", // CRLF splitting a line marker
+		"int x/*",           // block comment open at buffer end
+		"//",                // line comment at buffer end
 	}
 	for _, s := range seeds {
 		f.Add(s)
@@ -42,6 +54,15 @@ func FuzzLex(f *testing.F) {
 				t.Fatalf("token %d offset went backwards: %d after %d", i, tok.Pos.Off, prevOff)
 			}
 			prevOff = tok.Pos.Off
+			// The zero-copy lexer slices token text out of src; no token
+			// may claim bytes past the end of the buffer.
+			if tok.Pos.Off > len(src) {
+				t.Fatalf("token %d offset %d past end of %d-byte input", i, tok.Pos.Off, len(src))
+			}
+			if tok.Pos.Off+len(tok.Text) > len(src) {
+				t.Fatalf("token %d %v text %q overruns input (off=%d len=%d src=%d)",
+					i, tok.Kind, tok.Text, tok.Pos.Off, len(tok.Text), len(src))
+			}
 			if i > len(src)+16 {
 				t.Fatalf("lexer produced more tokens than input bytes (%d); not terminating?", i)
 			}

@@ -115,7 +115,7 @@ func TestGoldenCorpusWarmCache(t *testing.T) {
 	if *update {
 		t.Skip("golden update run")
 	}
-	for _, jobs := range []int{1, 8} {
+	for _, jobs := range []int{1, 4, 8} {
 		jobs := jobs
 		t.Run(fmt.Sprintf("jobs=%d", jobs), func(t *testing.T) {
 			cacheDir := filepath.Join(t.TempDir(), "cache")

@@ -109,13 +109,14 @@ type Metrics struct {
 	phases   [NumPhases]int64   // nanoseconds, atomic
 	counters [NumCounters]int64 // atomic
 	totalNS  int64              // atomic
-	// checkWallNS is the wall-clock time of the CFG+check fan-out region.
-	// Under parallel checking the per-phase cfg/check durations sum each
-	// worker's time (CPU-like totals), so wall and CPU diverge; their ratio
-	// is the effective parallel speedup of the checking phase.
-	checkWallNS int64 // atomic
-	jobs        int64 // atomic; worker count of the most recent run
-	tracer      Tracer
+	// wall holds per-phase wall-clock times for the phases that run as
+	// fan-out regions (preprocess, parse, check). Under parallel execution
+	// the per-phase durations in phases sum each worker's time (CPU-like
+	// totals), so wall and CPU diverge; their ratio is the effective
+	// parallel speedup of that region.
+	wall   [NumPhases]int64 // nanoseconds, atomic
+	jobs   int64            // atomic; worker count of the most recent run
+	tracer Tracer
 }
 
 // New returns an empty Metrics.
@@ -179,34 +180,45 @@ func (m *Metrics) StartPhase(p Phase) (stop func()) {
 	return func() { m.AddPhase(p, time.Since(start)) }
 }
 
-// AddCheckWall adds d to the wall-clock duration of the checking fan-out
-// (the region covering CFG construction and the dataflow pass across all
-// workers). Compare with PhaseDuration(PhaseCFG)+PhaseDuration(PhaseCheck),
-// which sum per-worker time.
-func (m *Metrics) AddCheckWall(d time.Duration) {
-	if m == nil {
+// AddPhaseWall adds d to the wall-clock duration of phase p's fan-out
+// region. Compare with PhaseDuration(p), which sums per-worker time.
+func (m *Metrics) AddPhaseWall(p Phase, d time.Duration) {
+	if m == nil || p < 0 || p >= NumPhases {
 		return
 	}
-	atomic.AddInt64(&m.checkWallNS, int64(d))
+	atomic.AddInt64(&m.wall[p], int64(d))
 }
 
-// CheckWall returns the accumulated wall-clock checking duration.
-func (m *Metrics) CheckWall() time.Duration {
-	if m == nil {
+// PhaseWall returns phase p's accumulated wall-clock fan-out duration
+// (zero for phases that never ran as a fan-out region).
+func (m *Metrics) PhaseWall(p Phase) time.Duration {
+	if m == nil || p < 0 || p >= NumPhases {
 		return 0
 	}
-	return time.Duration(atomic.LoadInt64(&m.checkWallNS))
+	return time.Duration(atomic.LoadInt64(&m.wall[p]))
 }
 
-// StartCheckWall begins timing the checking fan-out; the returned stop
-// function adds the elapsed wall-clock time.
-func (m *Metrics) StartCheckWall() (stop func()) {
+// StartPhaseWall begins wall-timing phase p's fan-out region; the returned
+// stop function adds the elapsed wall-clock time.
+func (m *Metrics) StartPhaseWall(p Phase) (stop func()) {
 	if m == nil {
 		return noopStop
 	}
 	start := time.Now()
-	return func() { m.AddCheckWall(time.Since(start)) }
+	return func() { m.AddPhaseWall(p, time.Since(start)) }
 }
+
+// AddCheckWall adds d to the wall-clock duration of the checking fan-out
+// (the region covering CFG construction and the dataflow pass across all
+// workers). Equivalent to AddPhaseWall(PhaseCheck, d).
+func (m *Metrics) AddCheckWall(d time.Duration) { m.AddPhaseWall(PhaseCheck, d) }
+
+// CheckWall returns the accumulated wall-clock checking duration.
+func (m *Metrics) CheckWall() time.Duration { return m.PhaseWall(PhaseCheck) }
+
+// StartCheckWall begins timing the checking fan-out; the returned stop
+// function adds the elapsed wall-clock time.
+func (m *Metrics) StartCheckWall() (stop func()) { return m.StartPhaseWall(PhaseCheck) }
 
 // SetJobs records the worker count used by the checking fan-out.
 func (m *Metrics) SetJobs(n int) {
@@ -253,13 +265,16 @@ func (m *Metrics) TraceFunc(ev FuncEvent) {
 // can diff snapshots across runs and versions.
 type Snapshot struct {
 	TotalNS int64 `json:"total_ns"`
-	// PhasesNS sum per-worker time for cfg/check (CPU-like totals under
-	// parallel checking); CheckWallNS is the wall-clock time of the same
-	// fan-out region, and Jobs the worker count that produced it.
-	PhasesNS    map[string]int64 `json:"phases_ns"`
-	CheckWallNS int64            `json:"check_wall_ns"`
-	Jobs        int              `json:"jobs"`
-	Counters    map[string]int64 `json:"counters"`
+	// PhasesNS sum per-worker time for the fan-out phases (CPU-like totals
+	// under parallel execution); PreprocessWallNS/ParseWallNS/CheckWallNS
+	// are the wall-clock times of the corresponding fan-out regions, and
+	// Jobs the worker count that produced them.
+	PhasesNS         map[string]int64 `json:"phases_ns"`
+	PreprocessWallNS int64            `json:"preprocess_wall_ns"`
+	ParseWallNS      int64            `json:"parse_wall_ns"`
+	CheckWallNS      int64            `json:"check_wall_ns"`
+	Jobs             int              `json:"jobs"`
+	Counters         map[string]int64 `json:"counters"`
 }
 
 // Snapshot captures the current state. On a nil Metrics it returns a zero
@@ -276,7 +291,9 @@ func (m *Metrics) Snapshot() Snapshot {
 		s.Counters[c.String()] = m.Get(c)
 	}
 	s.TotalNS = int64(m.Total())
-	s.CheckWallNS = int64(m.CheckWall())
+	s.PreprocessWallNS = int64(m.PhaseWall(PhasePreprocess))
+	s.ParseWallNS = int64(m.PhaseWall(PhaseParse))
+	s.CheckWallNS = int64(m.PhaseWall(PhaseCheck))
 	s.Jobs = m.Jobs()
 	return s
 }

@@ -237,3 +237,47 @@ func TestConcurrentCheckWall(t *testing.T) {
 		t.Fatalf("functions = %d, want 1600", got)
 	}
 }
+
+// Per-phase wall timers: each fan-out region accumulates independently,
+// the legacy check-wall accessors alias the PhaseCheck slot, and the
+// frontend slots surface in the snapshot as preprocess_wall_ns and
+// parse_wall_ns.
+func TestPhaseWall(t *testing.T) {
+	var nilM *Metrics
+	nilM.AddPhaseWall(PhasePreprocess, time.Second) // no-op, no panic
+	nilM.StartPhaseWall(PhaseParse)()
+	if nilM.PhaseWall(PhasePreprocess) != 0 {
+		t.Fatal("nil metrics not zero")
+	}
+
+	m := New()
+	m.AddPhaseWall(Phase(-1), time.Second) // out of range: ignored
+	m.AddPhaseWall(NumPhases, time.Second)
+	m.AddPhaseWall(PhasePreprocess, 2*time.Millisecond)
+	m.AddPhaseWall(PhaseParse, 3*time.Millisecond)
+	m.AddCheckWall(5 * time.Millisecond)
+	if got := m.PhaseWall(PhasePreprocess); got != 2*time.Millisecond {
+		t.Errorf("preprocess wall = %v, want 2ms", got)
+	}
+	if got := m.PhaseWall(PhaseParse); got != 3*time.Millisecond {
+		t.Errorf("parse wall = %v, want 3ms", got)
+	}
+	if got, legacy := m.PhaseWall(PhaseCheck), m.CheckWall(); got != 5*time.Millisecond || legacy != got {
+		t.Errorf("check wall = %v / %v, want 5ms via both accessors", got, legacy)
+	}
+	stop := m.StartPhaseWall(PhaseParse)
+	stop()
+	if m.PhaseWall(PhaseParse) < 3*time.Millisecond {
+		t.Error("StartPhaseWall lost accumulated time")
+	}
+	snap := m.Snapshot()
+	if snap.PreprocessWallNS != int64(2*time.Millisecond) {
+		t.Errorf("preprocess_wall_ns = %d", snap.PreprocessWallNS)
+	}
+	if snap.ParseWallNS < int64(3*time.Millisecond) {
+		t.Errorf("parse_wall_ns = %d", snap.ParseWallNS)
+	}
+	if snap.CheckWallNS != int64(5*time.Millisecond) {
+		t.Errorf("check_wall_ns = %d", snap.CheckWallNS)
+	}
+}

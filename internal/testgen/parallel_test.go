@@ -8,8 +8,10 @@ import (
 	"fmt"
 	"testing"
 
+	"golclint/internal/cache"
 	"golclint/internal/core"
 	"golclint/internal/cpp"
+	"golclint/internal/diag"
 	"golclint/internal/obs"
 )
 
@@ -84,6 +86,100 @@ func TestParallelCountersMatchSerial(t *testing.T) {
 	}
 	if s8.CheckWallNS <= 0 {
 		t.Errorf("check_wall_ns = %d, want > 0", s8.CheckWallNS)
+	}
+}
+
+// The frontend fan-out contract: with preprocess and parse running on the
+// worker pool, diagnostics must compare element-wise Equal and cache keys
+// must be byte-identical at every worker count. Cold runs at jobs 1/4/8
+// (fresh cache each) must agree, and a cache populated at jobs=1 must hit
+// at jobs 4 and 8 — a miss would mean the fan-out perturbed the expanded
+// text or preprocessor-error stream feeding the key.
+func TestFrontendFanoutDeterministic(t *testing.T) {
+	p := Generate(Config{
+		Seed: 503, Modules: 8, FuncsPer: 6, Annotate: true,
+		Bugs: map[BugKind]int{BugLeak: 3, BugUseAfterFree: 2, BugNullDeref: 2},
+	})
+	run := func(c *cache.Cache, jobs int) *core.Result {
+		return core.CheckSources(p.Files, core.Options{
+			Includes: cpp.MapIncluder(p.Headers), Jobs: jobs, Cache: c,
+		})
+	}
+	c, err := cache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := run(c, 1)
+	if cold.CacheHit {
+		t.Fatal("first run claims a cache hit")
+	}
+	if len(cold.Diags) == 0 {
+		t.Fatal("corpus produced no diagnostics; determinism test is vacuous")
+	}
+	for _, jobs := range []int{4, 8} {
+		fresh, err := cache.Open(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := run(fresh, jobs)
+		if r.CacheHit {
+			t.Fatalf("jobs=%d cold run claims a cache hit", jobs)
+		}
+		if !diag.EqualAll(cold.Diags, r.Diags) {
+			t.Errorf("jobs=%d cold diagnostics differ from jobs=1", jobs)
+		}
+		warm := run(c, jobs)
+		if !warm.CacheHit {
+			t.Errorf("jobs=%d missed the jobs=1 cache: frontend key differs across worker counts", jobs)
+		}
+		if !diag.EqualAll(cold.Diags, warm.Diags) {
+			t.Errorf("jobs=%d warm diagnostics differ from jobs=1", jobs)
+		}
+	}
+}
+
+// Frontend in isolation (core.Frontend) is equally scheduling-independent:
+// the same units (by file), the same parse-error stream, and the same
+// frontend counters at every worker count.
+func TestFrontendResultSchedulingIndependent(t *testing.T) {
+	p := Generate(Config{Seed: 504, Modules: 6, FuncsPer: 5, Annotate: true,
+		Bugs: map[BugKind]int{BugLeak: 2}})
+	front := func(jobs int) (*core.FrontendResult, obs.Snapshot) {
+		m := obs.New()
+		fr := core.Frontend(p.Files, core.Options{
+			Includes: cpp.MapIncluder(p.Headers), Jobs: jobs, Metrics: m,
+		})
+		return fr, m.Snapshot()
+	}
+	fr1, s1 := front(1)
+	if len(fr1.Units) == 0 {
+		t.Fatal("frontend produced no units")
+	}
+	for _, jobs := range []int{4, 8} {
+		fr, s := front(jobs)
+		if len(fr.Units) != len(fr1.Units) {
+			t.Fatalf("jobs=%d units = %d, jobs=1 %d", jobs, len(fr.Units), len(fr1.Units))
+		}
+		for i := range fr.Units {
+			if fr.Units[i].File != fr1.Units[i].File {
+				t.Errorf("jobs=%d unit %d file = %q, jobs=1 %q", jobs, i, fr.Units[i].File, fr1.Units[i].File)
+			}
+		}
+		if fmt.Sprint(fr.ParseErrors) != fmt.Sprint(fr1.ParseErrors) {
+			t.Errorf("jobs=%d parse errors differ: %v vs %v", jobs, fr.ParseErrors, fr1.ParseErrors)
+		}
+		for _, name := range []string{"tokens_lexed", "ast_nodes", "annotations_consumed"} {
+			if s.Counters[name] != s1.Counters[name] {
+				t.Errorf("counter %s: jobs=%d %d, jobs=1 %d", name, jobs, s.Counters[name], s1.Counters[name])
+			}
+		}
+		if s.PreprocessWallNS <= 0 || s.ParseWallNS <= 0 {
+			t.Errorf("jobs=%d phase wall missing: preprocess=%d parse=%d",
+				jobs, s.PreprocessWallNS, s.ParseWallNS)
+		}
+	}
+	if s1.Counters["tokens_lexed"] == 0 || s1.Counters["ast_nodes"] == 0 {
+		t.Error("frontend counters empty at jobs=1; test is vacuous")
 	}
 }
 

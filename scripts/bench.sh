@@ -1,18 +1,19 @@
 #!/bin/sh
 # Bench smoke: run the lclbench perf experiments in -quick mode and verify
-# that all five BENCH_*.json artifacts are produced and parse as JSON.
+# that all six BENCH_*.json artifacts are produced and parse as JSON.
 # Exercised by CI; also useful locally before comparing numbers across
 # machines. Keep it cheap — -quick uses small corpora, so this is a
-# does-the-harness-work check, not a measurement. The one number it does
-# gate is BENCH_state.json's check-phase allocs/op, which is machine
-# independent: exceeding the committed budget by more than 20% fails.
+# does-the-harness-work check, not a measurement. The numbers it does gate
+# are BENCH_state.json's check-phase allocs/op and BENCH_frontend.json's
+# frontend allocs/op, which are machine independent: exceeding a committed
+# budget by more than 20% fails.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 go run ./cmd/lclbench -quick
 
-for f in BENCH_scaling.json BENCH_modular.json BENCH_parallel.json BENCH_incremental.json BENCH_state.json; do
+for f in BENCH_scaling.json BENCH_modular.json BENCH_parallel.json BENCH_incremental.json BENCH_state.json BENCH_frontend.json; do
     test -s "$f" || { echo "missing or empty: $f" >&2; exit 1; }
     python3 -m json.tool "$f" > /dev/null || { echo "invalid JSON: $f" >&2; exit 1; }
     echo "ok: $f"
@@ -23,9 +24,10 @@ done
 # committed in cmd/lclbench means the abstract-state core regressed.
 python3 - <<'EOF'
 import json, sys
-d = json.load(open("BENCH_state.json"))
-allocs, budget = d["allocs_per_op"], d["budget_allocs_per_op"]
-if allocs > budget * 1.2:
-    sys.exit("check-phase allocs/op regressed: %d > 1.2 * %d budget" % (allocs, budget))
-print("ok: check-phase allocs/op %d within budget %d" % (allocs, budget))
+for path, label in (("BENCH_state.json", "check-phase"), ("BENCH_frontend.json", "frontend")):
+    d = json.load(open(path))
+    allocs, budget = d["allocs_per_op"], d["budget_allocs_per_op"]
+    if allocs > budget * 1.2:
+        sys.exit("%s allocs/op regressed: %d > 1.2 * %d budget" % (label, allocs, budget))
+    print("ok: %s allocs/op %d within budget %d" % (label, allocs, budget))
 EOF
