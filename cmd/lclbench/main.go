@@ -1,19 +1,20 @@
 // Command lclbench regenerates every table and figure reproduction from
-// the paper's evaluation (experiments E1-E14 in DESIGN.md and
+// the paper's evaluation (experiments E1-E19 in DESIGN.md and
 // EXPERIMENTS.md). Each subcommand prints one experiment; "all" runs the
 // full set.
 //
 // The perf experiments also emit machine-readable companions alongside the
 // prose tables — BENCH_scaling.json (E9), BENCH_modular.json (E10),
-// BENCH_parallel.json (E15), BENCH_incremental.json (E16), and
-// BENCH_state.json (E17) in the current directory — each stamped with the
+// BENCH_parallel.json (E15), BENCH_incremental.json (E16),
+// BENCH_state.json (E17), BENCH_frontend.json (E18), and
+// BENCH_provenance.json (E19) in the current directory — each stamped with the
 // experiment's elapsed time and allocation totals (measured per benchmark
 // row, so alloc figures are attributable) so the numbers are diffable
 // across changes.
 //
 // Usage:
 //
-//	lclbench [-jobs n] [-quick] [samples|listaddh|ercdb|scaling|modular|economy|staticvsdynamic|nofixpoint|parallel|incremental|state|all]
+//	lclbench [-jobs n] [-quick] [samples|listaddh|ercdb|scaling|modular|economy|staticvsdynamic|nofixpoint|parallel|incremental|state|frontend|provenance|all]
 //
 //	-jobs n   highest worker count the parallel experiment sweeps to
 //	          (0 = GOMAXPROCS)
@@ -32,6 +33,7 @@ import (
 	"strings"
 	"time"
 
+	"golclint/internal/atomicio"
 	"golclint/internal/cache"
 	"golclint/internal/cfg"
 	"golclint/internal/core"
@@ -110,7 +112,7 @@ func writeBenchJSON(name string, v interface{}) {
 		fmt.Fprintf(os.Stderr, "lclbench: %v\n", err)
 		return
 	}
-	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+	if err := atomicio.WriteFile(path, append(b, '\n'), 0o644); err != nil {
 		fmt.Fprintf(os.Stderr, "lclbench: %v\n", err)
 		return
 	}
@@ -133,6 +135,7 @@ var experiments = []struct {
 	{"incremental", runIncremental},
 	{"state", runState},
 	{"frontend", runFrontend},
+	{"provenance", runProvenance},
 }
 
 // maxJobs is the highest worker count the parallel experiment sweeps to
@@ -152,6 +155,7 @@ func main() {
 		runIncrementalModules(8)
 		runStateIters(3)
 		runFrontendIters(3)
+		runProvenanceIters(10)
 		return
 	}
 	cmd := "all"
@@ -434,14 +438,20 @@ func runEconomy() {
 // ---------------------------------------------------------------------------
 // E13: static vs run-time detection under partial test coverage.
 
-func runStaticVsDynamic() {
+func runStaticVsDynamic() { runStaticVsDynamicConfig(6, 4, 4, []int{0, 25, 50, 100}) }
+
+// runStaticVsDynamicConfig is runStaticVsDynamic with a configurable corpus
+// and coverage sweep. The interpreter baseline is minutes-scale at the full
+// configuration on small machines, so the package test exercises a reduced
+// one (the committed full run records the headline table).
+func runStaticVsDynamicConfig(modules, funcsPer, bugsEach int, fracs []int) {
 	header("E13 (Section 1/7)", "seeded-bug recall: static checker vs run-time baseline")
 	bugMix := map[testgen.BugKind]int{
-		testgen.BugLeak: 4, testgen.BugCondLeak: 4, testgen.BugUseAfterFree: 4,
-		testgen.BugDoubleFree: 4, testgen.BugNullDeref: 4, testgen.BugUninit: 4,
+		testgen.BugLeak: bugsEach, testgen.BugCondLeak: bugsEach, testgen.BugUseAfterFree: bugsEach,
+		testgen.BugDoubleFree: bugsEach, testgen.BugNullDeref: bugsEach, testgen.BugUninit: bugsEach,
 	}
 	p := testgen.Generate(testgen.Config{
-		Seed: 45, Modules: 6, FuncsPer: 4, Annotate: true, WithDriver: true, Bugs: bugMix,
+		Seed: 45, Modules: modules, FuncsPer: funcsPer, Annotate: true, WithDriver: true, Bugs: bugMix,
 	})
 	total := len(p.Bugs)
 
@@ -456,10 +466,10 @@ func runStaticVsDynamic() {
 		}
 	}
 
-	fmt.Printf("%d seeded bugs across %d modules (%d lines)\n", total, 6, p.Lines)
+	fmt.Printf("%d seeded bugs across %d modules (%d lines)\n", total, modules, p.Lines)
 	fmt.Printf("%-28s %8s\n", "detector", "found")
 	fmt.Printf("%-28s %5d/%d\n", "static (no test cases)", staticFound, total)
-	for _, frac := range []int{0, 25, 50, 100} {
+	for _, frac := range fracs {
 		n := total * frac / 100
 		var covered []int
 		for i := 0; i < n; i++ {
@@ -965,4 +975,136 @@ func runFrontendIters(iters int) {
 	fmt.Printf("committed budget: %d allocs/op (smoke fails above +20%%)\n",
 		uint64(frontendBudgetAllocsPerOp))
 	writeBenchJSON("BENCH_frontend.json", doc)
+}
+
+// ---------------------------------------------------------------------------
+// E19: diagnostic provenance. Measures the check phase over the E17 corpus
+// in three modes — the plain CheckProgram entry point, the provenance-
+// capable path with recording off, and with recording on — interleaved so
+// machine drift hits all three equally. The off-vs-baseline delta is the
+// cost the provenance hooks impose on every default run (the ≤2% wall /
+// zero-extra-allocs contract scripts/bench.sh enforces); the on-vs-off
+// delta is the price of actually recording witnesses under -explain.
+
+// provenanceDoc is BENCH_provenance.json.
+type provenanceDoc struct {
+	benchMeta
+	Lines   int `json:"lines"`
+	Modules int `json:"modules"`
+	Iters   int `json:"iters"`
+	// *NSPerOp are per whole-corpus check pass: the fastest pass of each
+	// mode (minimums are robust against scheduler noise); Alloc* figures
+	// are averages (allocation counts are effectively deterministic).
+	BaselineCheckNSPerOp int64  `json:"baseline_check_ns_per_op"`
+	OffCheckNSPerOp      int64  `json:"off_check_ns_per_op"`
+	OnCheckNSPerOp       int64  `json:"on_check_ns_per_op"`
+	BaselineAllocsPerOp  uint64 `json:"baseline_allocs_per_op"`
+	OffAllocsPerOp       uint64 `json:"off_allocs_per_op"`
+	OnAllocsPerOp        uint64 `json:"on_allocs_per_op"`
+	OffAllocBytesPerOp   uint64 `json:"off_alloc_bytes_per_op"`
+	OnAllocBytesPerOp    uint64 `json:"on_alloc_bytes_per_op"`
+	// OverheadOffPct compares the provenance-off path against the plain
+	// entry point (the guarded figure); OverheadOnPct compares recording
+	// on against off (the -explain price tag).
+	OverheadOffPct      float64 `json:"overhead_off_pct"`
+	OverheadOnPct       float64 `json:"overhead_on_pct"`
+	ExtraAllocsOffPerOp int64   `json:"extra_allocs_off_per_op"`
+	// Witnessed / Diags from one recording pass: every retained diagnostic
+	// must carry a non-empty witness.
+	Witnessed int `json:"witnessed"`
+	Diags     int `json:"diags"`
+	// The committed E17 budget the off path is held to.
+	BudgetAllocsPerOp uint64 `json:"budget_allocs_per_op"`
+}
+
+func runProvenance() { runProvenanceIters(10) }
+
+// runProvenanceIters is runProvenance with a configurable pass count (the
+// -quick smoke uses fewer). The corpus matches E17 exactly so the committed
+// allocation budget carries over.
+func runProvenanceIters(iters int) {
+	header("E19", "diagnostic provenance: recording overhead")
+	p := testgen.Generate(testgen.Config{
+		Seed: 42, Modules: 32, FuncsPer: 10, Annotate: true,
+		Bugs: map[testgen.BugKind]int{testgen.BugLeak: 16},
+	})
+	res := core.CheckSources(p.Files, core.Options{Includes: cpp.MapIncluder(p.Headers)})
+	if res.Program == nil {
+		fmt.Fprintln(os.Stderr, "lclbench: E19 corpus failed to parse")
+		return
+	}
+	fl := flags.Default()
+	baseline := func() {
+		rep := diag.NewReporter(fl.MaxMessages)
+		core.CheckProgram(res.Program, fl, rep)
+	}
+	pass := func(explain bool) func() {
+		return func() {
+			rep := diag.NewReporter(fl.MaxMessages)
+			core.CheckProgramExplain(res.Program, fl, rep, explain)
+		}
+	}
+	modes := []func(){baseline, pass(false), pass(true)}
+	for _, f := range modes {
+		f() // warm code paths before measuring
+	}
+	minNS := [3]int64{1 << 62, 1 << 62, 1 << 62}
+	var mallocs, bytes [3]uint64
+	var doc provenanceDoc
+	meta := measure("golclint-bench-provenance/v1", "E19", func() {
+		var before, after runtime.MemStats
+		for i := 0; i < iters; i++ {
+			for j, f := range modes {
+				// Settle the heap so a collection triggered by earlier
+				// experiments' garbage cannot land inside one mode's pass
+				// and skew the three-way comparison.
+				runtime.GC()
+				runtime.ReadMemStats(&before)
+				start := time.Now()
+				f()
+				elapsed := time.Since(start).Nanoseconds()
+				runtime.ReadMemStats(&after)
+				if elapsed < minNS[j] {
+					minNS[j] = elapsed
+				}
+				mallocs[j] += after.Mallocs - before.Mallocs
+				bytes[j] += after.TotalAlloc - before.TotalAlloc
+			}
+		}
+	})
+	doc.benchMeta = meta
+	doc.Lines, doc.Modules, doc.Iters = p.Lines, 32, iters
+	doc.BaselineCheckNSPerOp, doc.OffCheckNSPerOp, doc.OnCheckNSPerOp = minNS[0], minNS[1], minNS[2]
+	doc.BaselineAllocsPerOp = mallocs[0] / uint64(iters)
+	doc.OffAllocsPerOp = mallocs[1] / uint64(iters)
+	doc.OnAllocsPerOp = mallocs[2] / uint64(iters)
+	doc.OffAllocBytesPerOp = bytes[1] / uint64(iters)
+	doc.OnAllocBytesPerOp = bytes[2] / uint64(iters)
+	doc.OverheadOffPct = 100 * (float64(doc.OffCheckNSPerOp) - float64(doc.BaselineCheckNSPerOp)) /
+		float64(doc.BaselineCheckNSPerOp)
+	doc.OverheadOnPct = 100 * (float64(doc.OnCheckNSPerOp) - float64(doc.OffCheckNSPerOp)) /
+		float64(doc.OffCheckNSPerOp)
+	doc.ExtraAllocsOffPerOp = int64(doc.OffAllocsPerOp) - int64(doc.BaselineAllocsPerOp)
+	doc.BudgetAllocsPerOp = stateBudgetAllocsPerOp
+
+	rep := diag.NewReporter(fl.MaxMessages)
+	core.CheckProgramExplain(res.Program, fl, rep, true)
+	for _, d := range rep.Diags() {
+		doc.Diags++
+		if d.Prov != nil && len(d.Prov.Steps) > 0 {
+			doc.Witnessed++
+		}
+	}
+
+	fmt.Printf("corpus: %d lines, %d modules; %d passes per mode (interleaved)\n", p.Lines, 32, iters)
+	fmt.Printf("%-16s %14s %14s %14s\n", "", "baseline", "prov off", "prov on")
+	fmt.Printf("%-16s %14d %14d %14d\n", "check ns/op",
+		doc.BaselineCheckNSPerOp, doc.OffCheckNSPerOp, doc.OnCheckNSPerOp)
+	fmt.Printf("%-16s %14d %14d %14d\n", "allocs/op",
+		doc.BaselineAllocsPerOp, doc.OffAllocsPerOp, doc.OnAllocsPerOp)
+	fmt.Printf("hooks overhead (off vs baseline): %+.2f%% wall, %+d allocs/op\n",
+		doc.OverheadOffPct, doc.ExtraAllocsOffPerOp)
+	fmt.Printf("recording overhead (on vs off): %+.2f%% wall\n", doc.OverheadOnPct)
+	fmt.Printf("witnesses: %d/%d diagnostics carry a non-empty path\n", doc.Witnessed, doc.Diags)
+	writeBenchJSON("BENCH_provenance.json", doc)
 }

@@ -16,14 +16,25 @@ func TestExperimentsRun(t *testing.T) {
 	}
 	for _, e := range experiments {
 		if e.name == "scaling" || e.name == "modular" || e.name == "economy" ||
-			e.name == "parallel" || e.name == "state" || e.name == "frontend" {
-			continue // minutes-scale corpora; exercised by benchmarks or the emission tests
+			e.name == "parallel" || e.name == "state" || e.name == "frontend" ||
+			e.name == "staticvsdynamic" {
+			continue // minutes-scale corpora; exercised by benchmarks or the emission/smoke tests
 		}
 		e := e
 		t.Run(e.name, func(t *testing.T) {
 			e.run()
 		})
 	}
+}
+
+// The static-vs-dynamic driver (E13) is interpreter-bound and minutes-scale
+// at its full configuration on small machines, so TestExperimentsRun skips
+// it; this reduced corpus keeps the driver exercised by `go test`.
+func TestStaticVsDynamicSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the concrete interpreter")
+	}
+	runStaticVsDynamicConfig(2, 2, 1, []int{0, 100})
 }
 
 // The perf experiments must emit valid, populated BENCH_*.json companions.
@@ -303,5 +314,58 @@ func TestBenchFrontendJSONEmission(t *testing.T) {
 	if fd.AllocsPerOp*5 > fd.BaselineAllocsPerOp {
 		t.Errorf("allocs/op %d is not >= 5x under the %d baseline",
 			fd.AllocsPerOp, fd.BaselineAllocsPerOp)
+	}
+}
+
+// The provenance experiment (E19) emits a valid BENCH_provenance.json whose
+// three-way comparison (plain entry point / recorder off / recorder on) is
+// populated and whose witness coverage is total — the same invariants
+// scripts/bench.sh gates on, asserted here so a regression fails `go test`
+// too, not only the smoke script. Wall overhead is machine dependent, so the
+// percentage gates live in the smoke script alone.
+func TestBenchProvenanceJSONEmission(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E19 parses the full E17 corpus")
+	}
+	old := outDir
+	outDir = t.TempDir()
+	defer func() { outDir = old }()
+
+	runProvenanceIters(2)
+	b, err := os.ReadFile(filepath.Join(outDir, "BENCH_provenance.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pd provenanceDoc
+	if err := json.Unmarshal(b, &pd); err != nil {
+		t.Fatalf("BENCH_provenance.json invalid: %v", err)
+	}
+	if pd.Schema != "golclint-bench-provenance/v1" || pd.Experiment != "E19" {
+		t.Errorf("meta = %q %q", pd.Schema, pd.Experiment)
+	}
+	if pd.Lines <= 0 || pd.Modules != 32 || pd.Iters != 2 {
+		t.Errorf("corpus stamps missing: %+v", pd)
+	}
+	if pd.BaselineCheckNSPerOp <= 0 || pd.OffCheckNSPerOp <= 0 || pd.OnCheckNSPerOp <= 0 {
+		t.Errorf("per-mode wall figures missing: %+v", pd)
+	}
+	if pd.BaselineAllocsPerOp == 0 || pd.OffAllocsPerOp == 0 || pd.OnAllocsPerOp == 0 {
+		t.Errorf("per-mode alloc figures missing: %+v", pd)
+	}
+	// The hooks contract: provenance off costs at most a handful of extra
+	// allocations per whole-corpus pass (the gate allows max(50, 0.5%)).
+	if extra := int64(pd.OffAllocsPerOp) - int64(pd.BaselineAllocsPerOp); extra > 50 {
+		t.Errorf("provenance-off adds %d allocs/op over baseline, want <= 50", extra)
+	}
+	// Recording on must actually record (witness storage allocates).
+	if pd.OnAllocsPerOp <= pd.OffAllocsPerOp {
+		t.Errorf("recording pass allocs/op %d not above off pass %d — recorder inert?",
+			pd.OnAllocsPerOp, pd.OffAllocsPerOp)
+	}
+	if pd.BudgetAllocsPerOp != stateBudgetAllocsPerOp {
+		t.Errorf("committed budget not stamped: %+v", pd)
+	}
+	if pd.Diags == 0 || pd.Witnessed != pd.Diags {
+		t.Errorf("witness coverage = %d/%d, want total and non-zero", pd.Witnessed, pd.Diags)
 	}
 }

@@ -1,0 +1,42 @@
+// Package atomicio provides crash-safe file writes: data lands in a
+// temporary file in the destination directory and is renamed into place,
+// so readers never observe a truncated artifact. The cache, -stats-json,
+// and the benchmark JSON emitters all share this helper.
+package atomicio
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// WriteFile writes data to path atomically: it creates a temporary file in
+// path's directory, writes data, syncs nothing (the rename is the atomicity
+// boundary we care about — a crashed run leaves either the old file or the
+// new one, never a prefix), chmods to perm, and renames over path. On any
+// error the temporary file is removed.
+func WriteFile(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Chmod(tmpName, perm); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return nil
+}

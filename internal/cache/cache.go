@@ -28,6 +28,7 @@ import (
 	"path/filepath"
 	"sort"
 
+	"golclint/internal/atomicio"
 	"golclint/internal/ctoken"
 	"golclint/internal/diag"
 )
@@ -230,21 +231,7 @@ func (c *Cache) Put(key string, e *Entry) (int64, error) {
 	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
 		return 0, fmt.Errorf("cache put: %w", err)
 	}
-	tmp, err := os.CreateTemp(filepath.Dir(dst), "entry-*.tmp")
-	if err != nil {
-		return 0, fmt.Errorf("cache put: %w", err)
-	}
-	if _, err := tmp.Write(b); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return 0, fmt.Errorf("cache put: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return 0, fmt.Errorf("cache put: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), dst); err != nil {
-		os.Remove(tmp.Name())
+	if err := atomicio.WriteFile(dst, b, 0o644); err != nil {
 		return 0, fmt.Errorf("cache put: %w", err)
 	}
 	e.Size = int64(len(b))

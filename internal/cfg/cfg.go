@@ -436,6 +436,45 @@ func (g *Graph) Unreachable() []*Node {
 	return out
 }
 
+// PathToLine returns a shortest block path from Entry to the first
+// reachable statement or branch node on the given source line, or nil if no
+// node matches. The checker uses it under -explain to show which execution
+// points a diagnostic's witness traverses. Deterministic: BFS visits
+// successors in build order, so equal-length paths resolve to the
+// first-built one.
+func (g *Graph) PathToLine(line int) []*Node {
+	if g == nil || g.Entry == nil {
+		return nil
+	}
+	prev := make([]*Node, len(g.Nodes)+1)
+	seen := make([]bool, len(g.Nodes)+1)
+	queue := make([]*Node, 0, 16)
+	queue = append(queue, g.Entry)
+	seen[g.Entry.ID] = true
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if n.Pos.Line == line && (n.Kind == Stmt || n.Kind == Branch) {
+			var path []*Node
+			for cur := n; cur != nil; cur = prev[cur.ID] {
+				path = append(path, cur)
+			}
+			for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+				path[i], path[j] = path[j], path[i]
+			}
+			return path
+		}
+		for _, s := range n.Succs {
+			if !seen[s.ID] {
+				seen[s.ID] = true
+				prev[s.ID] = n
+				queue = append(queue, s)
+			}
+		}
+	}
+	return nil
+}
+
 // Dump renders the graph in the style of the paper's Figure 6: numbered
 // execution points with their successor lists.
 func (g *Graph) Dump() string {

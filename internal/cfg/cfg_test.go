@@ -294,3 +294,46 @@ func TestEmptyFunction(t *testing.T) {
 }
 
 var _ = cast.ExprString // keep import for label helpers used indirectly
+
+func TestPathToLine(t *testing.T) {
+	g := buildFor(t, `void f(int a) {
+int x;
+if (a) {
+x = 1;
+} else {
+x = 2;
+}
+x = 3;
+}`)
+	// Line 4 ("x = 1") sits inside the then-arm: the path must start at
+	// Entry, pass through the branch, and end on the line-4 node.
+	path := g.PathToLine(4)
+	if len(path) < 3 {
+		t.Fatalf("path = %v", path)
+	}
+	if path[0] != g.Entry {
+		t.Error("path does not start at entry")
+	}
+	last := path[len(path)-1]
+	if last.Pos.Line != 4 || last.Kind != Stmt {
+		t.Errorf("path ends at %+v, want the line-4 statement", last)
+	}
+	for _, n := range path[:len(path)-1] {
+		if n.Pos.Line == 4 {
+			t.Error("interior node already on target line; path not minimal")
+		}
+	}
+	if g.PathToLine(999) != nil {
+		t.Error("nonexistent line produced a path")
+	}
+	// Determinism: repeated queries return the identical node sequence.
+	again := g.PathToLine(4)
+	if len(again) != len(path) {
+		t.Fatalf("path length changed across calls: %d vs %d", len(again), len(path))
+	}
+	for i := range path {
+		if path[i] != again[i] {
+			t.Errorf("path step %d differs across calls", i)
+		}
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"sort"
 	"strings"
 
+	"golclint/internal/atomicio"
 	"golclint/internal/cache"
 	"golclint/internal/cfg"
 	"golclint/internal/core"
@@ -74,6 +75,9 @@ func Run(args []string, stdout, stderr io.Writer) int {
 		stats       = fs.Bool("stats", false, "print summary statistics")
 		statsJSON   = fs.String("stats-json", "", "write run metrics and message counts as JSON to this file")
 		tracePath   = fs.String("trace", "", "write per-function trace events (JSONL) to this file")
+		explain     = fs.Bool("explain", false, "print the witness path (branch decisions and state transitions) under each warning")
+		traceOut    = fs.String("trace-out", "", "write hierarchical spans as Chrome trace_event JSON to this file (Perfetto-loadable)")
+		hotN        = fs.Int("hot", 0, "print the N slowest functions by check wall time")
 		cpuProfile  = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProfile  = fs.String("memprofile", "", "write a pprof heap profile to this file")
 		maxMsgs     = fs.Int("max", 0, "maximum number of messages (0 = unlimited)")
@@ -119,8 +123,12 @@ func Run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	var metrics *obs.Metrics
-	if *stats || *statsJSON != "" || *tracePath != "" {
+	if *stats || *statsJSON != "" || *tracePath != "" || *traceOut != "" || *hotN > 0 {
 		metrics = obs.New()
+	}
+	if *traceOut != "" || *hotN > 0 {
+		metrics.EnableSpans()
+		metrics.BeginRunSpan("golclint")
 	}
 	if *tracePath != "" {
 		tf, err := os.Create(*tracePath)
@@ -166,7 +174,7 @@ func Run(args []string, stdout, stderr io.Writer) int {
 		}()
 	}
 
-	opt := core.Options{Flags: fl, Includes: dirIncluder{dirs: dirs}, Metrics: metrics, Jobs: *jobs}
+	opt := core.Options{Flags: fl, Includes: dirIncluder{dirs: dirs}, Metrics: metrics, Jobs: *jobs, Explain: *explain}
 	// -cfg needs the parsed units, which a cache hit skips building, so it
 	// disables the cache for this run rather than printing nothing.
 	if *cacheDir != "" && *showCFG == "" {
@@ -197,13 +205,34 @@ func Run(args []string, stdout, stderr io.Writer) int {
 		res = core.CheckSources(files, opt)
 	}
 
+	metrics.EndSpan(metrics.RunSpan())
+
 	for _, e := range res.ParseErrors {
 		fmt.Fprintf(stderr, "%v\n", e)
 	}
 	for _, e := range res.SemaErrors {
 		fmt.Fprintf(stderr, "%v\n", e)
 	}
-	fmt.Fprint(stdout, res.Messages())
+	if *explain {
+		fmt.Fprint(stdout, res.ExplainedMessages())
+	} else {
+		fmt.Fprint(stdout, res.Messages())
+	}
+
+	if *traceOut != "" {
+		var buf bytes.Buffer
+		err := obs.WriteTraceEvents(&buf, metrics.Spans())
+		if err == nil {
+			err = atomicio.WriteFile(*traceOut, buf.Bytes(), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "golclint: %v\n", err)
+			return 2
+		}
+	}
+	if *hotN > 0 {
+		fmt.Fprint(stdout, obs.FormatHotTable(metrics.Spans(), *hotN))
+	}
 
 	if *showCFG != "" {
 		printed := false
@@ -240,7 +269,7 @@ func Run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *statsJSON != "" {
-		if err := writeStatsJSON(*statsJSON, fs.Args(), fl, metrics, res); err != nil {
+		if err := writeStatsJSON(*statsJSON, fs.Args(), fl, metrics, res, *explain); err != nil {
 			fmt.Fprintf(stderr, "golclint: %v\n", err)
 			return 2
 		}
@@ -311,12 +340,25 @@ type runStats struct {
 	ByCode           map[string]int   `json:"messages_by_code"`
 	ParseErrors      int              `json:"parse_errors"`
 	SemaErrors       int              `json:"sema_errors"`
+	// Diagnostics is populated only under -explain: each message with its
+	// machine-readable witness path. Absent otherwise, so default stats
+	// output is unchanged.
+	Diagnostics []statsDiag `json:"diagnostics,omitempty"`
+}
+
+// statsDiag is one diagnostic with its provenance in the -stats-json doc.
+type statsDiag struct {
+	Pos     string   `json:"pos"`
+	Code    string   `json:"code"`
+	Msg     string   `json:"msg"`
+	Ref     string   `json:"ref,omitempty"`
+	Witness []string `json:"witness,omitempty"`
 }
 
 // writeStatsJSON renders the run's metrics and per-code message counts.
 // Map keys serialize in sorted order, so the output is deterministic up to
 // the (intentionally volatile) duration fields.
-func writeStatsJSON(path string, files []string, fl *flags.Flags, m *obs.Metrics, res *core.Result) error {
+func writeStatsJSON(path string, files []string, fl *flags.Flags, m *obs.Metrics, res *core.Result, explain bool) error {
 	snap := m.Snapshot()
 	byCode := map[string]int{}
 	for c, n := range res.CountByCode() {
@@ -341,9 +383,21 @@ func writeStatsJSON(path string, files []string, fl *flags.Flags, m *obs.Metrics
 		ParseErrors:      len(res.ParseErrors),
 		SemaErrors:       len(res.SemaErrors),
 	}
+	if explain {
+		for _, d := range res.Diags {
+			sd := statsDiag{Pos: d.Pos.String(), Code: d.Code.String(), Msg: d.Msg}
+			if d.Prov != nil {
+				sd.Ref = d.Prov.Ref
+				for _, s := range d.Prov.Steps {
+					sd.Witness = append(sd.Witness, s.StepString())
+				}
+			}
+			doc.Diagnostics = append(doc.Diagnostics, sd)
+		}
+	}
 	b, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(b, '\n'), 0o644)
+	return atomicio.WriteFile(path, append(b, '\n'), 0o644)
 }

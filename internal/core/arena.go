@@ -1,6 +1,9 @@
 package core
 
-import "golclint/internal/cfg"
+import (
+	"golclint/internal/cfg"
+	"golclint/internal/obs"
+)
 
 // arenaChunk is the number of objects per arena chunk. Chunks are fixed
 // arrays so handed-out pointers stay stable while the arena grows.
@@ -79,6 +82,15 @@ type fnState struct {
 	// within a worker, so plain ints).
 	clones int64 // store clones (O(1) header copies)
 	copied int64 // refStates copied by the copy-on-write fault path
+
+	// worker is this fnState's index in the checking fan-out (0 when
+	// serial); spanRoot is the span the worker's function spans attach to.
+	worker   int
+	spanRoot obs.SpanID
+
+	// prov is the provenance recorder, allocated once per worker when
+	// -explain is on and nil otherwise (the hot path tests one pointer).
+	prov *provRec
 }
 
 func newFnState() *fnState {

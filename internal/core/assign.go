@@ -75,6 +75,7 @@ func (c *checker) assignTo(st *store, lid RefID, rhs value, pos ctoken.Pos, desc
 	// holds the observer pointer is fine.
 	derived := in.derived(lid)
 	if lrs.observer && derived {
+		c.provFor(st, lid)
 		d := c.report(diag.ObserverMod, pos,
 			"Observer storage %s may not be modified: %s", c.disp(lid), desc.text())
 		if d != nil && lrs.declPos.IsValid() {
@@ -150,6 +151,7 @@ func (c *checker) assignTo(st *store, lid RefID, rhs value, pos ctoken.Pos, desc
 				})
 			}
 		default:
+			c.provFor(st, rhs.ref)
 			d := c.report(diag.AliasTransfer, pos,
 				"%s storage %s assigned to %s %s: %s",
 				titleAlloc(rhs.alloc), c.sourceName(rhs), sinkAnn, c.disp(lid), desc.text())
@@ -165,6 +167,7 @@ func (c *checker) assignTo(st *store, lid RefID, rhs value, pos ctoken.Pos, desc
 		// (§6).
 		if rhsOwned && lrs.external && !rhs.isNullConst &&
 			(derived || in.global(lid)) {
+			c.provFor(st, rhs.ref)
 			d := c.report(diag.Leak, pos,
 				"Only storage %s assigned to unannotated external reference %s (release obligation lost; annotate with only): %s",
 				c.sourceName(rhs), c.disp(lid), desc.text())
@@ -331,6 +334,7 @@ func (c *checker) checkLoss(st *store, id RefID, rs *refState, pos ctoken.Pos, h
 	if desc.expr != nil {
 		how = howPrefix + ": " + desc.text()
 	}
+	c.provFor(st, id)
 	d := c.report(diag.Leak, pos, "Only storage %s not released before %s", c.disp(id), how)
 	if d != nil {
 		if rs.allocPos.IsValid() {

@@ -80,6 +80,8 @@ func (c *checker) evalCall(st *store, call *cast.Call) value {
 		switch a, _ := eff.InCategory(annot.CatAllocation); a {
 		case annot.Only, annot.KillRef:
 			if v.alloc == AllocOnly || v.alloc == AllocOwned {
+				c.provEvent(v.ref, call.P, "release",
+					"released by call to %s (obligation transferred to only param)", name)
 				st.applyToAliases(v.ref, func(r *refState) {
 					r.alloc = AllocDead
 					r.deadPos = call.P
@@ -131,6 +133,7 @@ func (c *checker) checkArg(st *store, fname string, sig *sema.FuncSig, i int, ar
 	// non-null formal is expected.
 	if ptrParam && !eff.Has(annot.Null) && !eff.Has(annot.RelNull) && !v.isNullConst {
 		if v.null == NullMaybe || v.null == NullYes {
+			c.provFor(st, v.ref)
 			d := c.report(diag.NullPass, pos,
 				"Possibly null storage %s passed as non-null param %s of %s",
 				c.sourceName(v), paramName, fname)
@@ -154,6 +157,7 @@ func (c *checker) checkArg(st *store, fname string, sig *sema.FuncSig, i int, ar
 				tgt = v.pointee
 			}
 			if ok, bad := c.completeness(st, tgt, 0); !ok {
+				c.provFor(st, tgt)
 				c.report(diag.IncompleteDef, pos,
 					"Storage %s passed as completely defined param %s of %s is not completely defined (%s may be undefined)",
 					c.sourceName(v), paramName, fname, c.disp(bad))
@@ -180,6 +184,7 @@ func (c *checker) checkArg(st *store, fname string, sig *sema.FuncSig, i int, ar
 				c.checkCompleteDestruction(st, v.ref, fname, pos)
 			}
 		case v.alloc == AllocKept || v.alloc == AllocDead:
+			c.provFor(st, v.ref)
 			d := c.report(diag.DoubleRelease, pos,
 				"Storage %s passed as only param %s of %s after its release obligation was already satisfied",
 				c.sourceName(v), paramName, fname)
@@ -191,6 +196,7 @@ func (c *checker) checkArg(st *store, fname string, sig *sema.FuncSig, i int, ar
 		case v.alloc == AllocError || v.alloc == AllocUnknown:
 			// Poisoned by an earlier anomaly: stay quiet.
 		default:
+			c.provFor(st, v.ref)
 			d := c.report(diag.AliasTransfer, pos,
 				"%s storage %s passed as only param: %s(%s)",
 				implicitly(v), c.sourceName(v), fname, cast.ExprString(argE))
@@ -238,6 +244,7 @@ func (c *checker) checkCompleteDestruction(st *store, id RefID, fname string, po
 				ck := childKey(in.keys[id], selector{kind: selArrow, name: f.Name})
 				cid := in.lookup(ck)
 				if cid == noRef || st.ref(cid) == nil {
+					c.provFor(st, id)
 					c.report(diag.Leak, pos,
 						"Only storage %s derivable from %s is not released before %s destroys its base",
 						display(ck), c.disp(id), fname)
@@ -263,6 +270,7 @@ func (c *checker) checkCompleteDestruction(st *store, id RefID, fname string, po
 				}
 			}
 			if !aliasLive {
+				c.provFor(st, k)
 				d := c.report(diag.Leak, pos,
 					"Only storage %s derivable from %s is not released before %s destroys its base",
 					c.disp(k), c.disp(id), fname)
@@ -295,6 +303,7 @@ func (c *checker) checkUnique(st *store, fname string, call *cast.Call, vals []v
 		// Direct may-alias information.
 		direct := vj.ref != noRef && (vj.ref == vi.ref || st.aliased(vi.ref, vj.ref))
 		if direct || externallyShared(st, vj) {
+			c.provFor(st, vi.ref)
 			c.report(diag.UniqueAliased, call.P,
 				"Parameter %d (%s) to function %s is declared unique but may be aliased externally by parameter %d (%s)",
 				i+1, c.sourceName(vi), fname, j+1, c.sourceName(vj))
@@ -343,6 +352,7 @@ func (c *checker) checkCallGlobals(st *store, fname string, sig *sema.FuncSig, p
 		}
 		eff := g.Effective(c.fl)
 		if !eff.Has(annot.Null) && !eff.Has(annot.RelNull) && (rs.null == NullMaybe || rs.null == NullYes) {
+			c.provFor(st, id)
 			d := c.report(diag.NullPass, pos,
 				"Non-null global %s may be null when %s (which uses it) is called", gname, fname)
 			if d != nil && rs.nullPos.IsValid() {
@@ -350,6 +360,7 @@ func (c *checker) checkCallGlobals(st *store, fname string, sig *sema.FuncSig, p
 			}
 		}
 		if rs.alloc == AllocDead {
+			c.provFor(st, id)
 			d := c.report(diag.UseDead, pos,
 				"Global %s has been released when %s (which uses it) is called", gname, fname)
 			if d != nil && rs.deadPos.IsValid() {
@@ -358,6 +369,7 @@ func (c *checker) checkCallGlobals(st *store, fname string, sig *sema.FuncSig, p
 		}
 		if !eff.Has(annot.Undef) && !rs.relDef {
 			if ok, bad := c.completeness(st, id, 0); !ok {
+				c.provFor(st, id)
 				c.report(diag.IncompleteDef, pos,
 					"Global %s is not completely defined when %s (which uses it) is called (%s may be undefined)",
 					gname, fname, c.disp(bad))

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"runtime"
 	"sort"
 	"sync"
@@ -65,6 +66,15 @@ type Options struct {
 	// storage in the cache entry (library.ExportProgram is the standard
 	// implementation); nil stores no interface bytes.
 	CacheExport func(*sema.Program) ([]byte, error)
+	// Explain switches on provenance recording: every diagnostic carries a
+	// witness path (diag.Provenance) describing the CFG blocks, branch
+	// decisions, and ref state transitions the checker followed. Default
+	// output is unchanged (String ignores provenance); witnesses surface
+	// via -explain, -stats-json, and the JSONL trace. Explain runs address
+	// distinct cache entries (the key gains an "explain" component) so
+	// provenance round-trips through the cache without ever appearing in
+	// default-mode entries.
+	Explain bool
 }
 
 // Result is the outcome of a checking run.
@@ -94,6 +104,18 @@ func (r *Result) Messages() string {
 	var b []byte
 	for _, d := range r.Diags {
 		b = append(b, d.String()...)
+		b = append(b, '\n')
+	}
+	return string(b)
+}
+
+// ExplainedMessages renders the diagnostics with their witness paths
+// appended (the -explain surface). Identical to Messages when no
+// provenance was recorded.
+func (r *Result) ExplainedMessages() string {
+	var b []byte
+	for _, d := range r.Diags {
+		b = append(b, d.Explain()...)
 		b = append(b, '\n')
 	}
 	return string(b)
@@ -189,15 +211,18 @@ func baseDefines(opt Options) *cpp.BaseDefines {
 // one reusable Preprocessor over the run's shared base-define table. The
 // expanded text (headers, defines, and includes inlined) is both the
 // parser input and the content the cache key addresses.
-func preprocessFiles(names []string, files map[string]string, opt Options, m *obs.Metrics, jobs int) []fileFront {
+func preprocessFiles(names []string, files map[string]string, opt Options, m *obs.Metrics, jobs int, parent obs.SpanID) []fileFront {
 	fronts := make([]fileFront, len(names))
 	base := baseDefines(opt)
 	inc := stackedIncluder{primary: opt.Includes}
-	doFile := func(pp *cpp.Preprocessor, i int) {
+	phaseSpan := m.StartSpan(obs.SpanPhase, "preprocess", parent, 0)
+	doFile := func(pp *cpp.Preprocessor, i, w int) {
 		pp.Reset()
+		fileSpan := m.StartSpan(obs.SpanFile, names[i], phaseSpan, w)
 		stop := m.StartPhase(obs.PhasePreprocess)
 		fronts[i].expanded = pp.Process(names[i], files[names[i]])
 		stop()
+		m.EndSpan(fileSpan)
 		for _, e := range pp.Errors() {
 			fronts[i].ppErrs = append(fronts[i].ppErrs, e.Error())
 		}
@@ -206,18 +231,19 @@ func preprocessFiles(names []string, files map[string]string, opt Options, m *ob
 	if jobs <= 1 {
 		pp := cpp.NewShared(inc, base)
 		for i := range names {
-			doFile(pp, i)
+			doFile(pp, i, 0)
 		}
 	} else {
 		work := make(chan int)
 		var wg sync.WaitGroup
 		for w := 0; w < jobs; w++ {
+			w := w
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
 				pp := cpp.NewShared(inc, base)
 				for i := range work {
-					doFile(pp, i)
+					doFile(pp, i, w)
 				}
 			}()
 		}
@@ -228,6 +254,7 @@ func preprocessFiles(names []string, files map[string]string, opt Options, m *ob
 		wg.Wait()
 	}
 	stopWall()
+	m.EndSpan(phaseSpan)
 	return fronts
 }
 
@@ -235,12 +262,15 @@ func preprocessFiles(names []string, files map[string]string, opt Options, m *ob
 // owning one parse Session (reused token buffer) over a run-wide shared
 // identifier interner. Counters accumulate atomically, so they are
 // order-independent and identical at every worker count.
-func parseFiles(names []string, fronts []fileFront, m *obs.Metrics, jobs int) {
+func parseFiles(names []string, fronts []fileFront, m *obs.Metrics, jobs int, parent obs.SpanID) {
 	in := ctoken.NewInterner()
-	doFile := func(s *cparse.Session, i int) {
+	phaseSpan := m.StartSpan(obs.SpanPhase, "parse", parent, 0)
+	doFile := func(s *cparse.Session, i, w int) {
+		fileSpan := m.StartSpan(obs.SpanFile, names[i], phaseSpan, w)
 		stop := m.StartPhase(obs.PhaseParse)
 		pr := s.Parse(names[i], fronts[i].expanded)
 		stop()
+		m.EndSpan(fileSpan)
 		if m.Enabled() {
 			m.Add(obs.TokensLexed, int64(pr.Tokens))
 			m.Add(obs.AnnotationsConsumed, int64(pr.Annots))
@@ -252,18 +282,19 @@ func parseFiles(names []string, fronts []fileFront, m *obs.Metrics, jobs int) {
 	if jobs <= 1 {
 		s := cparse.NewSession(in)
 		for i := range names {
-			doFile(s, i)
+			doFile(s, i, 0)
 		}
 	} else {
 		work := make(chan int)
 		var wg sync.WaitGroup
 		for w := 0; w < jobs; w++ {
+			w := w
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
 				s := cparse.NewSession(in)
 				for i := range work {
-					doFile(s, i)
+					doFile(s, i, w)
 				}
 			}()
 		}
@@ -274,6 +305,7 @@ func parseFiles(names []string, fronts []fileFront, m *obs.Metrics, jobs int) {
 		wg.Wait()
 	}
 	stopWall()
+	m.EndSpan(phaseSpan)
 }
 
 // CheckSources preprocesses, parses, analyzes, and checks a set of source
@@ -298,8 +330,11 @@ func CheckSources(files map[string]string, opt Options) *Result {
 	}
 	sort.Strings(names)
 
+	modSpan := m.StartSpan(obs.SpanModule, moduleName(names), m.RunSpan(), 0)
+	defer m.EndSpan(modSpan)
+
 	jobs := frontendJobs(opt.Jobs, len(names))
-	fronts := preprocessFiles(names, files, opt, m, jobs)
+	fronts := preprocessFiles(names, files, opt, m, jobs, modSpan)
 
 	// Caching is sound only when everything that can influence the outcome
 	// is in the key (version, flags, expanded sources) or in the recorded
@@ -313,6 +348,12 @@ func CheckSources(files map[string]string, opt Options) *Result {
 		// share an entry. Components stream straight into the hasher;
 		// nothing is concatenated just to be hashed.
 		kh := cache.NewKeyHasher(Version, fl.Fingerprint())
+		if opt.Explain {
+			// Explain entries carry witnesses, so they address a distinct
+			// key: default runs never load provenance-bearing entries, and
+			// warm -explain runs replay cold witnesses byte for byte.
+			kh.Component("explain")
+		}
 		for i, name := range names {
 			kh.File(name, fronts[i].expanded, fronts[i].ppErrs)
 		}
@@ -331,12 +372,13 @@ func CheckSources(files map[string]string, opt Options) *Result {
 				m.Add(obs.DiagnosticsSuppressed, int64(res.Suppressed))
 				m.AddTotal(time.Since(runStart))
 			}
+			traceDiags(m, opt.Explain, res.Diags)
 			return res
 		}
 		m.Add(obs.CacheMisses, 1)
 	}
 
-	parseFiles(names, fronts, m, jobs)
+	parseFiles(names, fronts, m, jobs, modSpan)
 
 	// Replay the per-file slots in serial name order: error ordering and
 	// suppression registration are exactly what a serial run produces.
@@ -355,6 +397,7 @@ func CheckSources(files map[string]string, opt Options) *Result {
 		units = append(units, pr.Unit)
 	}
 
+	semaSpan := m.StartSpan(obs.SpanPhase, "sema", modSpan, 0)
 	stopSema := m.StartPhase(obs.PhaseSema)
 	prog := sema.Analyze(units)
 	for _, e := range prog.Errors {
@@ -366,7 +409,8 @@ func CheckSources(files map[string]string, opt Options) *Result {
 		}
 	}
 	stopSema()
-	checkProgram(prog, fl, rep, m, opt.Jobs)
+	m.EndSpan(semaSpan)
+	checkProgram(prog, fl, rep, m, opt.Jobs, opt.Explain, modSpan)
 
 	res.Diags = rep.Diags()
 	res.Suppressed = rep.Suppressed()
@@ -403,7 +447,38 @@ func CheckSources(files map[string]string, opt Options) *Result {
 		m.Add(obs.DiagnosticsSuppressed, int64(res.Suppressed))
 		m.AddTotal(time.Since(runStart))
 	}
+	traceDiags(m, opt.Explain, res.Diags)
 	return res
+}
+
+// moduleName labels a module span by its files.
+func moduleName(names []string) string {
+	switch len(names) {
+	case 0:
+		return "(no files)"
+	case 1:
+		return names[0]
+	}
+	return fmt.Sprintf("%s (+%d files)", names[0], len(names)-1)
+}
+
+// traceDiags emits one JSONL event per finalized diagnostic, witness
+// included. Only -explain runs emit them (after sorting, so the stream is
+// deterministic at every worker count, cold or cached).
+func traceDiags(m *obs.Metrics, explain bool, ds []*diag.Diagnostic) {
+	if !explain || !m.Enabled() {
+		return
+	}
+	for _, d := range ds {
+		ev := obs.DiagEvent{Code: d.Code.String(), File: d.Pos.File, Line: d.Pos.Line, Msg: d.Msg}
+		if d.Prov != nil {
+			ev.Ref = d.Prov.Ref
+			for _, s := range d.Prov.Steps {
+				ev.Witness = append(ev.Witness, s.StepString())
+			}
+		}
+		m.TraceDiag(ev)
+	}
 }
 
 // FrontendResult is the outcome of running only the frontend (preprocess
@@ -430,8 +505,8 @@ func Frontend(files map[string]string, opt Options) *FrontendResult {
 	sort.Strings(names)
 
 	jobs := frontendJobs(opt.Jobs, len(names))
-	fronts := preprocessFiles(names, files, opt, m, jobs)
-	parseFiles(names, fronts, m, jobs)
+	fronts := preprocessFiles(names, files, opt, m, jobs, m.RunSpan())
+	parseFiles(names, fronts, m, jobs, m.RunSpan())
 
 	fr := &FrontendResult{Units: make([]*cast.Unit, 0, len(names))}
 	for i := range names {

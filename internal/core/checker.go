@@ -44,6 +44,16 @@ type checker struct {
 	fnCFG     time.Duration
 	fnMergeNS time.Duration
 
+	// prov is the provenance recorder (-explain); nil when recording is
+	// off, so hooks cost one pointer test. Aliases fs.prov.
+	prov *provRec
+	// traceEv, when non-nil, receives this function's FuncEvent instead of
+	// the tracer being called directly from the worker; checkProgram
+	// replays the buffered events in deterministic serial order.
+	traceEv *obs.FuncEvent
+	// fnSpan is the current function's span (0 when spans are off).
+	fnSpan obs.SpanID
+
 	// breakStates/continueStates collect the stores flowing to the
 	// innermost enclosing loop/switch exit and loop head.
 	breakStates    []*[]*store
@@ -59,7 +69,14 @@ func (c *checker) disp(id RefID) string { return c.fs.in.displayOf(id) }
 // CheckProgram checks every function definition in the program, filing
 // diagnostics with the reporter.
 func CheckProgram(prog *sema.Program, fl *flags.Flags, rep *diag.Reporter) {
-	checkProgram(prog, fl, rep, nil, 1)
+	checkProgram(prog, fl, rep, nil, 1, false, 0)
+}
+
+// CheckProgramExplain is CheckProgram with provenance recording switched on
+// or off explicitly; the E19 benchmark uses it to measure the overhead of
+// the recorder in both states over an otherwise identical pass.
+func CheckProgramExplain(prog *sema.Program, fl *flags.Flags, rep *diag.Reporter, explain bool) {
+	checkProgram(prog, fl, rep, nil, 1, explain, 0)
 }
 
 // checkProgram fans the program's function definitions out to jobs
@@ -72,7 +89,7 @@ func CheckProgram(prog *sema.Program, fl *flags.Flags, rep *diag.Reporter) {
 // byte-identical at every worker count. Each worker owns one fnState
 // (interner + arena + CFG builder), so per-function allocations amortize
 // across its whole share of the run.
-func checkProgram(prog *sema.Program, fl *flags.Flags, rep *diag.Reporter, m *obs.Metrics, jobs int) {
+func checkProgram(prog *sema.Program, fl *flags.Flags, rep *diag.Reporter, m *obs.Metrics, jobs int, explain bool, parent obs.SpanID) {
 	var fns []*cast.FuncDef
 	for _, u := range prog.Units {
 		fns = append(fns, u.Funcs()...)
@@ -84,25 +101,49 @@ func checkProgram(prog *sema.Program, fl *flags.Flags, rep *diag.Reporter, m *ob
 		jobs = len(fns)
 	}
 	m.SetJobs(jobs)
+	checkSpan := m.StartSpan(obs.SpanPhase, "check", parent, 0)
 	stopWall := m.StartCheckWall()
 	// results[i] is function i's ordered diagnostic buffer; workers write
-	// disjoint slots, so no lock is needed.
+	// disjoint slots, so no lock is needed. events[i] likewise buffers
+	// function i's trace event so the tracer sees them in serial order
+	// (byte-identical JSONL at every worker count), matching how the diag
+	// buffers are replayed.
 	results := make([][]*diag.Diagnostic, len(fns))
+	var events []obs.FuncEvent
+	if m.Enabled() {
+		events = make([]obs.FuncEvent, len(fns))
+	}
+	evPtr := func(i int) *obs.FuncEvent {
+		if events == nil {
+			return nil
+		}
+		return &events[i]
+	}
 	if jobs <= 1 {
 		fs := newFnState()
+		fs.spanRoot = checkSpan
+		if explain {
+			fs.prov = &provRec{}
+		}
 		for i, f := range fns {
-			results[i] = checkFunctionUnit(prog, fl, m, f, fs)
+			results[i] = checkFunctionUnit(prog, fl, m, f, fs, evPtr(i))
 		}
 	} else {
 		work := make(chan int)
 		var wg sync.WaitGroup
 		for w := 0; w < jobs; w++ {
+			w := w
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
 				fs := newFnState()
+				fs.worker = w
+				fs.spanRoot = checkSpan
+				if explain {
+					fs.prov = &provRec{}
+				}
 				for i := range work {
-					results[i] = checkFunctionUnit(prog, fl, m, fns[i], fs)
+					results[i] = checkFunctionUnit(prog, fl, m, fns[i], fs, evPtr(i))
 				}
 			}()
 		}
@@ -113,6 +154,12 @@ func checkProgram(prog *sema.Program, fl *flags.Flags, rep *diag.Reporter, m *ob
 		wg.Wait()
 	}
 	stopWall()
+	m.EndSpan(checkSpan)
+	if m.Enabled() {
+		for i := range events {
+			m.TraceFunc(events[i])
+		}
+	}
 	mergeDiags(rep, results)
 }
 
@@ -122,9 +169,10 @@ func checkProgram(prog *sema.Program, fl *flags.Flags, rep *diag.Reporter, m *ob
 // cross-function deduplication are deliberately NOT applied here — the
 // buffer records everything in report order and mergeDiags replays it
 // through the run's reporter, which applies them in serial order.
-func checkFunctionUnit(prog *sema.Program, fl *flags.Flags, m *obs.Metrics, f *cast.FuncDef, fs *fnState) []*diag.Diagnostic {
+func checkFunctionUnit(prog *sema.Program, fl *flags.Flags, m *obs.Metrics, f *cast.FuncDef, fs *fnState, ev *obs.FuncEvent) []*diag.Diagnostic {
 	buf := diag.NewReporter(0)
-	c := &checker{prog: prog, fl: fl, rep: buf, m: m, fs: fs, unknown: map[string]bool{}}
+	c := &checker{prog: prog, fl: fl, rep: buf, m: m, fs: fs,
+		unknown: map[string]bool{}, prov: fs.prov, traceEv: ev}
 	c.checkFunctionTimed(f)
 	return buf.Buffered()
 }
@@ -146,6 +194,9 @@ func mergeDiags(rep *diag.Reporter, results [][]*diag.Diagnostic) {
 				seenUnknown[d.Msg] = true
 			}
 			nd := rep.Report(d.Code, d.Pos, "%s", d.Msg)
+			if nd != nil {
+				nd.Prov = d.Prov
+			}
 			for _, n := range d.Notes {
 				nd.WithNote(n.Pos, "%s", n.Msg)
 			}
@@ -170,6 +221,7 @@ func (c *checker) checkFunctionTimed(f *cast.FuncDef) {
 		return
 	}
 	c.fnMerges, c.fnBlocks, c.fnEdges, c.fnCFG, c.fnMergeNS = 0, 0, 0, 0, 0
+	c.fnSpan = c.m.StartSpan(obs.SpanFunction, f.Name, c.fs.spanRoot, c.fs.worker)
 	start := time.Now()
 	c.checkFunction(f)
 	elapsed := time.Since(start)
@@ -179,15 +231,20 @@ func (c *checker) checkFunctionTimed(f *cast.FuncDef) {
 	c.m.Add(obs.RefStatesCopied, c.fs.copied)
 	c.m.Add(obs.MergeNS, c.fnMergeNS.Nanoseconds())
 	pos := f.Pos()
-	c.m.TraceFunc(obs.FuncEvent{
-		Func:       f.Name,
-		File:       pos.File,
-		Line:       pos.Line,
-		Blocks:     c.fnBlocks,
-		Edges:      c.fnEdges,
-		Merges:     c.fnMerges,
-		DurationNS: elapsed.Nanoseconds(),
-	})
+	c.m.EndFuncSpan(c.fnSpan, pos.File, pos.Line,
+		int64(c.fnBlocks), int64(c.fnMerges), c.fs.clones)
+	c.fnSpan = 0
+	if c.traceEv != nil {
+		*c.traceEv = obs.FuncEvent{
+			Func:       f.Name,
+			File:       pos.File,
+			Line:       pos.Line,
+			Blocks:     c.fnBlocks,
+			Edges:      c.fnEdges,
+			Merges:     c.fnMerges,
+			DurationNS: elapsed.Nanoseconds(),
+		}
+	}
 }
 
 // checkFunction analyzes one function body in a single forward pass.
@@ -199,6 +256,9 @@ func (c *checker) checkFunction(f *cast.FuncDef) {
 	}
 	c.sig = sig
 	c.fs.reset()
+	if c.prov != nil {
+		c.prov.reset(f.Name, f.Pos())
+	}
 	in := c.fs.in
 	st := c.fs.newStore()
 
@@ -231,9 +291,11 @@ func (c *checker) checkFunction(f *cast.FuncDef) {
 	// reads labels; -cfg dumps use cfg.Build, which keeps them).
 	var g *cfg.Graph
 	if c.m.Enabled() {
+		cfgSpan := c.m.StartSpan(obs.SpanPhase, "cfg", c.fnSpan, c.fs.worker)
 		cfgStart := time.Now()
 		g = c.fs.cfg.Build(f)
 		c.fnCFG = time.Since(cfgStart)
+		c.m.EndSpan(cfgSpan)
 		c.m.AddPhase(obs.PhaseCFG, c.fnCFG)
 		c.fnBlocks = len(g.Nodes)
 		for _, n := range g.Nodes {
@@ -243,6 +305,9 @@ func (c *checker) checkFunction(f *cast.FuncDef) {
 		c.m.Add(obs.CFGEdges, int64(c.fnEdges))
 	} else {
 		g = c.fs.cfg.Build(f)
+	}
+	if c.prov != nil {
+		c.prov.g = g
 	}
 	var lastDead int
 	for _, n := range g.Unreachable() {
@@ -271,8 +336,15 @@ func (c *checker) checkFunction(f *cast.FuncDef) {
 	c.fn, c.sig = nil, nil
 }
 
-// report wraps the reporter with per-class flag gating.
+// report wraps the reporter with per-class flag gating. Under -explain it
+// also consumes the witness staged by provFor (building a ref-less one if
+// no site staged any) and attaches it to the emitted diagnostic.
 func (c *checker) report(code diag.Code, pos ctoken.Pos, format string, args ...interface{}) *diag.Diagnostic {
+	var pend *diag.Provenance
+	if c.prov != nil {
+		pend = c.prov.pending
+		c.prov.pending = nil
+	}
 	switch code {
 	case diag.NullDeref, diag.NullPass, diag.NullAssign, diag.NullReturn:
 		if !c.fl.NullChecking {
@@ -295,7 +367,11 @@ func (c *checker) report(code diag.Code, pos ctoken.Pos, format string, args ...
 			return nil
 		}
 	}
-	return c.rep.Report(code, pos, format, args...)
+	d := c.rep.Report(code, pos, format, args...)
+	if d != nil && c.prov != nil {
+		c.attachWitness(d, pend, pos)
+	}
+	return d
 }
 
 // mergeReport merges two stores and reports any confluence anomalies at
@@ -344,6 +420,7 @@ func (c *checker) mergeReport(a, b *store, pos ctoken.Pos) *store {
 		for _, al := range out.aliasSet(cf.id) {
 			reported[al] = true
 		}
+		c.provFor(out, cf.id)
 		d := c.report(diag.Confluence, pos,
 			"Storage %s is inconsistently %s on one path and %s on another (branches cannot be merged)",
 			c.disp(cf.id), describeAlloc(cf.a), describeAlloc(cf.b))
@@ -388,6 +465,7 @@ func (c *checker) freshHeapRef(st *store, resType *ctypes.Type, res annot.Set, p
 		rs.alloc = AllocOnly
 	}
 	rs.allocPos = pos
+	c.provEvent(id, pos, "alloc", "fresh storage allocated (%s)", rs.alloc)
 	return id, rs
 }
 

@@ -178,6 +178,7 @@ func (c *checker) evalIdent(st *store, id *cast.Ident, rvalue bool) value {
 // re-fetch rs afterwards.
 func (c *checker) checkRead(st *store, id RefID, rs *refState, pos ctoken.Pos) {
 	if rs.alloc == AllocDead {
+		c.provFor(st, id)
 		d := c.report(diag.UseDead, pos, "Storage %s used after release (dead pointer)", c.disp(id))
 		if d != nil && rs.deadPos.IsValid() {
 			d.WithNote(rs.deadPos, "Storage %s is released", c.disp(id))
@@ -192,6 +193,7 @@ func (c *checker) checkRead(st *store, id RefID, rs *refState, pos ctoken.Pos) {
 		if rs.typ != nil && rs.typ.Resolve() != nil && rs.typ.Resolve().Kind == ctypes.Array {
 			return
 		}
+		c.provFor(st, id)
 		c.report(diag.UseUndef, pos, "Storage %s used before definition", c.disp(id))
 		st.applyToAliases(id, func(r *refState) {
 			if r.def == DefUndefined {
@@ -217,6 +219,7 @@ func (c *checker) checkDerefBase(st *store, base value, how string, pos ctoken.P
 		return
 	}
 	if rs.alloc == AllocDead {
+		c.provFor(st, base.ref)
 		d := c.report(diag.UseDead, pos, "Storage %s used after release (dead pointer): %s", c.disp(base.ref), cast.ExprString(whole))
 		if d != nil && rs.deadPos.IsValid() {
 			d.WithNote(rs.deadPos, "Storage %s is released", c.disp(base.ref))
@@ -227,6 +230,7 @@ func (c *checker) checkDerefBase(st *store, base value, how string, pos ctoken.P
 	switch rs.null {
 	case NullMaybe:
 		if !rs.relNull {
+			c.provFor(st, base.ref)
 			d := c.report(diag.NullDeref, pos, "%s possibly null pointer %s: %s", how, c.disp(base.ref), cast.ExprString(whole))
 			if d != nil && rs.nullPos.IsValid() {
 				d.WithNote(rs.nullPos, "Storage %s may become null", c.disp(base.ref))
@@ -235,6 +239,7 @@ func (c *checker) checkDerefBase(st *store, base value, how string, pos ctoken.P
 		st.applyToAliases(base.ref, func(r *refState) { r.null = NullNo })
 		rs = st.ref(base.ref)
 	case NullYes:
+		c.provFor(st, base.ref)
 		d := c.report(diag.NullDeref, pos, "%s null pointer %s: %s", how, c.disp(base.ref), cast.ExprString(whole))
 		if d != nil && rs.nullPos.IsValid() {
 			d.WithNote(rs.nullPos, "Storage %s becomes null", c.disp(base.ref))
@@ -248,6 +253,7 @@ func (c *checker) checkDerefBase(st *store, base value, how string, pos ctoken.P
 		if rs.typ != nil && rs.typ.Resolve() != nil && rs.typ.Resolve().Kind == ctypes.Array {
 			return
 		}
+		c.provFor(st, base.ref)
 		c.report(diag.UseUndef, pos, "Storage %s used before definition: %s", c.disp(base.ref), cast.ExprString(whole))
 		st.applyToAliases(base.ref, func(r *refState) { r.def = DefAllocated })
 	}

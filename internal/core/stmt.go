@@ -34,10 +34,14 @@ func (c *checker) checkStmt(st *store, s cast.Stmt) *store {
 		return st
 	case *cast.If:
 		stT, stF := c.checkCond(st, v.Cond)
+		c.provPushCond(v.P, v.Cond, true)
 		outT := c.checkStmt(stT, v.Then)
+		c.provPop()
 		outF := stF
 		if v.Else != nil {
+			c.provPushCond(v.P, v.Cond, false)
 			outF = c.checkStmt(stF, v.Else)
+			c.provPop()
 		}
 		return c.mergeReport(outT, outF, v.P)
 	case *cast.While:
@@ -196,7 +200,9 @@ func (c *checker) checkLoop(st *store, _ cast.Stmt, cond cast.Expr, post cast.Ex
 	var continues []*store
 	c.breakStates = append(c.breakStates, &breaks)
 	c.continueStates = append(c.continueStates, &continues)
+	c.provPushLoop(pos, cond)
 	outBody := c.checkStmt(stT, body)
+	c.provPop()
 	c.breakStates = c.breakStates[:len(c.breakStates)-1]
 	c.continueStates = c.continueStates[:len(c.continueStates)-1]
 	for _, cs := range continues {
@@ -228,7 +234,9 @@ func (c *checker) checkDoWhile(st *store, v *cast.DoWhile) *store {
 	var continues []*store
 	c.breakStates = append(c.breakStates, &breaks)
 	c.continueStates = append(c.continueStates, &continues)
+	c.provPushLoop(v.P, nil)
 	out := c.checkStmt(st, v.Body)
+	c.provPop()
 	c.breakStates = c.breakStates[:len(c.breakStates)-1]
 	c.continueStates = c.continueStates[:len(c.continueStates)-1]
 	for _, cs := range continues {
@@ -291,6 +299,7 @@ func (c *checker) checkReturn(st *store, r *cast.Return) {
 		ptr := rt != nil && rt.IsPointerLike()
 		if ptr && !val.isNullConst && !res.Has(annot.Null) && !res.Has(annot.RelNull) {
 			if val.null == NullMaybe || val.null == NullYes {
+				c.provFor(st, val.ref)
 				d := c.report(diag.NullReturn, r.P,
 					"Possibly null storage %s returned as non-null result", c.sourceName(val))
 				if d != nil && val.nullPos.IsValid() {
@@ -304,6 +313,7 @@ func (c *checker) checkReturn(st *store, r *cast.Return) {
 		// Completeness of the returned object (unless the result is out).
 		if ptr && !res.Has(annot.Out) && val.ref != noRef && c.fl.DefChecking {
 			if ok, bad := c.completeness(st, val.ref, 0); !ok {
+				c.provFor(st, val.ref)
 				c.report(diag.IncompleteDef, r.P,
 					"Returned storage %s is not completely defined (%s may be undefined)",
 					c.sourceName(val), c.disp(bad))
@@ -326,6 +336,7 @@ func (c *checker) checkReturn(st *store, r *cast.Return) {
 					st.applyToAliases(val.ref, func(rs *refState) { rs.alloc = AllocKept })
 				}
 			case resOnly && val.alloc == AllocDead:
+				c.provFor(st, val.ref)
 				c.report(diag.UseDead, r.P, "Released storage %s returned", c.sourceName(val))
 			case resOnly && (val.alloc == AllocStatic || val.alloc == AllocTemp ||
 				val.alloc == AllocDependent || val.alloc == AllocShared || val.alloc == AllocKept):
@@ -333,6 +344,7 @@ func (c *checker) checkReturn(st *store, r *cast.Return) {
 				if retName == "<expression>" {
 					retName = cast.ExprString(r.X)
 				}
+				c.provFor(st, val.ref)
 				d := c.report(diag.AliasTransfer, r.P,
 					"%s storage %s returned as only result (caller would wrongly own it)",
 					titleAlloc(val.alloc), retName)
@@ -340,6 +352,7 @@ func (c *checker) checkReturn(st *store, r *cast.Return) {
 					d.WithNote(val.declPos, "Storage %s becomes %s", c.sourceName(val), describeValAlloc(val))
 				}
 			case !resOnly && (val.alloc == AllocOnly || val.alloc == AllocOwned):
+				c.provFor(st, val.ref)
 				d := c.report(diag.LeakReturn, r.P,
 					"Fresh storage %s returned as %s result (memory leak suspected): add /*@only@*/ to the result declaration or release the storage",
 					c.sourceName(val), describeResultAlloc(a))
@@ -389,6 +402,7 @@ func (c *checker) checkExitState(st *store, pos ctoken.Pos) {
 		}
 		eff := g.Effective(c.fl)
 		if !eff.Has(annot.Null) && !eff.Has(annot.RelNull) && (rs.null == NullMaybe || rs.null == NullYes) {
+			c.provFor(st, id)
 			d := c.report(diag.NullReturn, pos,
 				"Function returns with non-null global %s referencing null storage", gname)
 			if d != nil && rs.nullPos.IsValid() {
@@ -398,6 +412,7 @@ func (c *checker) checkExitState(st *store, pos ctoken.Pos) {
 			rs = st.ref(id)
 		}
 		if rs.alloc == AllocDead {
+			c.provFor(st, id)
 			d := c.report(diag.UseDead, pos,
 				"Function returns with released global %s", gname)
 			if d != nil && rs.deadPos.IsValid() {
@@ -406,6 +421,7 @@ func (c *checker) checkExitState(st *store, pos ctoken.Pos) {
 		}
 		if !eff.Has(annot.Undef) && !rs.relDef && c.fl.DefChecking {
 			if ok, bad := c.completeness(st, id, 0); !ok {
+				c.provFor(st, id)
 				c.report(diag.IncompleteDef, pos,
 					"Function returns with global %s not completely defined (%s may be undefined)",
 					gname, c.disp(bad))
@@ -440,6 +456,7 @@ func (c *checker) checkExitState(st *store, pos ctoken.Pos) {
 					strings.HasPrefix(bad, prm.Name+".") || strings.HasPrefix(bad, prm.Name+"[") {
 					bad = argKey(prm.Name) + bad[len(prm.Name):]
 				}
+				c.provFor(st, id)
 				c.report(diag.IncompleteDef, pos,
 					"Function returns with parameter %s not completely defined (%s may be undefined)",
 					prm.Name, display(bad))
@@ -447,6 +464,7 @@ func (c *checker) checkExitState(st *store, pos ctoken.Pos) {
 		}
 		if a, _ := eff.InCategory(annot.CatAllocation); a == annot.Only || a == annot.NewRef {
 			if (rs.alloc == AllocOnly || rs.alloc == AllocOwned) && rs.null != NullYes {
+				c.provFor(st, id)
 				d := c.report(diag.Leak, pos,
 					"Only storage %s not released before return", prm.Name)
 				if d != nil {
@@ -521,6 +539,7 @@ func (c *checker) checkExitState(st *store, pos ctoken.Pos) {
 		if !first {
 			continue
 		}
+		c.provFor(st, id)
 		d := c.report(diag.Leak, pos,
 			"Only storage %s not released before return", c.disp(id))
 		if d != nil && rs.allocPos.IsValid() {
@@ -556,6 +575,7 @@ func (c *checker) checkDerivedNullEscapeKey(st *store, id RefID, name string, po
 			continue
 		}
 		if rs.null == NullYes || rs.null == NullMaybe {
+			c.provFor(st, k)
 			d := c.report(diag.NullReturn, pos,
 				"Null storage %s derivable from return value: %s", c.disp(k), name)
 			if d != nil && rs.nullPos.IsValid() {

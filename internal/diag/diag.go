@@ -126,12 +126,43 @@ type Note struct {
 	Msg string
 }
 
+// ProvStep is one step of a witness path: a position, a stable step kind,
+// and a human-readable message. The kinds are part of the machine-readable
+// surface (the planned replay engine keys on them), so existing spellings
+// must not change:
+//
+//	entry   — the function whose analysis emitted the diagnostic
+//	path    — the CFG block path from entry to the report site
+//	branch  — a branch decision taken at a split
+//	decl    — declaration of the implicated ref
+//	alloc   — the ref acquired a release obligation (fresh or annotated)
+//	release — the obligation was discharged (ref became dead)
+//	null    — the ref may have become null
+//	bind    — the ref was bound/assigned a new object
+type ProvStep struct {
+	Pos  ctoken.Pos
+	Kind string
+	Msg  string
+}
+
+// Provenance is the witness the checker followed to a diagnostic: the CFG
+// block path, the branch decisions at each split, and the state transitions
+// of the implicated ref. Recorded only under -explain; Diagnostic.String
+// ignores it, so default output is byte-identical with or without it.
+type Provenance struct {
+	Ref   string // display name of the implicated reference ("" if none)
+	Steps []ProvStep
+}
+
 // Diagnostic is one reported anomaly.
 type Diagnostic struct {
 	Code  Code
 	Pos   ctoken.Pos
 	Msg   string
 	Notes []Note
+	// Prov is the optional witness path (-explain). It is excluded from
+	// String, carried through the cache wire format, and compared by Equal.
+	Prov *Provenance
 }
 
 // WithNote appends a secondary note and returns d for chaining.
@@ -149,6 +180,34 @@ func (d *Diagnostic) String() string {
 	fmt.Fprintf(&b, "%s: %s", d.Pos, d.Msg)
 	for _, n := range d.Notes {
 		fmt.Fprintf(&b, "\n   %s: %s", n.Pos, n.Msg)
+	}
+	return b.String()
+}
+
+// StepString renders one witness step in the stable "pos: [kind] msg" form
+// shared by -explain output and the JSONL diag events.
+func (s ProvStep) StepString() string {
+	if !s.Pos.IsValid() {
+		return fmt.Sprintf("[%s] %s", s.Kind, s.Msg)
+	}
+	return fmt.Sprintf("%s: [%s] %s", s.Pos, s.Kind, s.Msg)
+}
+
+// Explain formats the diagnostic with its witness path appended, one
+// indented step per line. Without provenance it is identical to String.
+func (d *Diagnostic) Explain() string {
+	var b strings.Builder
+	b.WriteString(d.String())
+	if d.Prov == nil || len(d.Prov.Steps) == 0 {
+		return b.String()
+	}
+	if d.Prov.Ref != "" {
+		fmt.Fprintf(&b, "\n   witness (%s):", d.Prov.Ref)
+	} else {
+		b.WriteString("\n   witness:")
+	}
+	for _, s := range d.Prov.Steps {
+		fmt.Fprintf(&b, "\n      %s", s.StepString())
 	}
 	return b.String()
 }

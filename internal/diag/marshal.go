@@ -36,6 +36,21 @@ type wireNote struct {
 	Msg string  `json:"msg"`
 }
 
+// wireStep is the serialized ProvStep.
+type wireStep struct {
+	Pos  wirePos `json:"pos"`
+	Kind string  `json:"kind"`
+	Msg  string  `json:"msg"`
+}
+
+// wireProv is the serialized Provenance. Provenance round-trips through
+// cache entries so a warm -explain run replays the same witnesses the cold
+// run computed.
+type wireProv struct {
+	Ref   string     `json:"ref,omitempty"`
+	Steps []wireStep `json:"steps,omitempty"`
+}
+
 // wireDiag is the serialized Diagnostic. Code serializes by its stable
 // short name (MarshalText), so entries survive code renumbering.
 type wireDiag struct {
@@ -43,6 +58,7 @@ type wireDiag struct {
 	Pos   wirePos    `json:"pos"`
 	Msg   string     `json:"msg"`
 	Notes []wireNote `json:"notes,omitempty"`
+	Prov  *wireProv  `json:"prov,omitempty"`
 }
 
 // Marshal serializes diagnostics to JSON in slice order.
@@ -55,6 +71,13 @@ func Marshal(ds []*Diagnostic) ([]byte, error) {
 		w := wireDiag{Code: d.Code, Pos: toWirePos(d.Pos), Msg: d.Msg}
 		for _, n := range d.Notes {
 			w.Notes = append(w.Notes, wireNote{Pos: toWirePos(n.Pos), Msg: n.Msg})
+		}
+		if d.Prov != nil {
+			wp := &wireProv{Ref: d.Prov.Ref}
+			for _, s := range d.Prov.Steps {
+				wp.Steps = append(wp.Steps, wireStep{Pos: toWirePos(s.Pos), Kind: s.Kind, Msg: s.Msg})
+			}
+			w.Prov = wp
 		}
 		wire = append(wire, w)
 	}
@@ -74,6 +97,13 @@ func Unmarshal(b []byte) ([]*Diagnostic, error) {
 		for _, n := range w.Notes {
 			d.Notes = append(d.Notes, Note{Pos: fromWirePos(n.Pos), Msg: n.Msg})
 		}
+		if w.Prov != nil {
+			p := &Provenance{Ref: w.Prov.Ref}
+			for _, s := range w.Prov.Steps {
+				p.Steps = append(p.Steps, ProvStep{Pos: fromWirePos(s.Pos), Kind: s.Kind, Msg: s.Msg})
+			}
+			d.Prov = p
+		}
 		ds = append(ds, d)
 	}
 	return ds, nil
@@ -91,6 +121,22 @@ func Equal(a, b *Diagnostic) bool {
 	}
 	for i := range a.Notes {
 		if a.Notes[i] != b.Notes[i] {
+			return false
+		}
+	}
+	return equalProv(a.Prov, b.Prov)
+}
+
+// equalProv compares two witness paths field-for-field.
+func equalProv(a, b *Provenance) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.Ref != b.Ref || len(a.Steps) != len(b.Steps) {
+		return false
+	}
+	for i := range a.Steps {
+		if a.Steps[i] != b.Steps[i] {
 			return false
 		}
 	}

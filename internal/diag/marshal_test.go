@@ -116,3 +116,53 @@ func TestEqual(t *testing.T) {
 		t.Error("nil handling wrong")
 	}
 }
+
+// Provenance must round-trip through the wire format and be compared by
+// Equal — a warm -explain run replays cached witnesses verbatim.
+func TestMarshalProvenanceRoundTrip(t *testing.T) {
+	d := &Diagnostic{Code: UseDead, Pos: ctoken.Pos{File: "a.c", Line: 14}, Msg: "used after release",
+		Prov: &Provenance{Ref: "p", Steps: []ProvStep{
+			{Pos: ctoken.Pos{File: "a.c", Line: 3}, Kind: "entry", Msg: "checking function f"},
+			{Pos: ctoken.Pos{File: "a.c", Line: 10}, Kind: "alloc", Msg: "fresh storage allocated"},
+			{Pos: ctoken.Pos{File: "a.c", Line: 12}, Kind: "release", Msg: "released by call to free"},
+		}}}
+	b, err := Marshal([]*Diagnostic{d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || !Equal(d, back[0]) {
+		t.Fatalf("provenance did not round-trip:\n got %+v\nwant %+v", back[0].Prov, d.Prov)
+	}
+	if back[0].Explain() != d.Explain() {
+		t.Fatalf("Explain drifted over the wire:\n%s\nvs\n%s", back[0].Explain(), d.Explain())
+	}
+	// Equal must detect witness differences.
+	mut, _ := Unmarshal(b)
+	mut[0].Prov.Steps[1].Kind = "release"
+	if Equal(d, mut[0]) {
+		t.Error("witness step difference not detected by Equal")
+	}
+	none, _ := Unmarshal(b)
+	none[0].Prov = nil
+	if Equal(d, none[0]) {
+		t.Error("missing provenance not detected by Equal")
+	}
+}
+
+// String must ignore provenance: default output is byte-identical whether
+// or not witnesses were recorded.
+func TestStringIgnoresProvenance(t *testing.T) {
+	plain := &Diagnostic{Code: Leak, Pos: ctoken.Pos{File: "a.c", Line: 3}, Msg: "m"}
+	traced := &Diagnostic{Code: Leak, Pos: ctoken.Pos{File: "a.c", Line: 3}, Msg: "m",
+		Prov: &Provenance{Ref: "p", Steps: []ProvStep{{Kind: "entry", Msg: "f"}}}}
+	if plain.String() != traced.String() {
+		t.Errorf("String differs with provenance attached: %q vs %q", plain.String(), traced.String())
+	}
+	if traced.Explain() == traced.String() {
+		t.Error("Explain did not append the witness")
+	}
+}

@@ -142,6 +142,96 @@ func TestGoldenCorpusWarmCache(t *testing.T) {
 	}
 }
 
+// explainCorpus names the corpus entries whose -explain transcripts are
+// pinned as <name>.explain.golden: at least one witness each for
+// use-after-free, leak, null-deref, double-free, leak-on-return,
+// null-pass, undefined-use, and confluence-merge anomalies.
+var explainCorpus = []string{
+	"use_after_free",
+	"only_leak",
+	"null_deref",
+	"only_double_free",
+	"leak_return",
+	"null_pass",
+	"use_undef",
+	"confluence_list",
+}
+
+// TestGoldenCorpusExplain pins the -explain transcripts: the default
+// warning lines plus the indented witness path under each. Regenerate with
+// -update alongside the default goldens.
+func TestGoldenCorpusExplain(t *testing.T) {
+	for _, name := range explainCorpus {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			src := filepath.Join(corpusDir, name+".c")
+			if _, err := os.Stat(src); err != nil {
+				t.Fatalf("explain corpus entry missing: %v", err)
+			}
+			got := transcript(fileArgs(t, src, "-explain")...)
+			golden := filepath.Join(corpusDir, name+".explain.golden")
+			if *update {
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("explained output drifted from %s:\n--- got ---\n%s--- want ---\n%s", golden, got, want)
+			}
+			// Every warning must carry a witness block: warnings start at
+			// column 0, witness/step lines are indented.
+			var warnings, witnesses int
+			for _, ln := range strings.Split(got, "\n") {
+				if strings.HasPrefix(ln, name+".c:") {
+					warnings++
+				}
+				if strings.HasPrefix(strings.TrimSpace(ln), "witness") {
+					witnesses++
+				}
+			}
+			if warnings == 0 || witnesses != warnings {
+				t.Errorf("%d warnings but %d witness blocks:\n%s", warnings, witnesses, got)
+			}
+			if !strings.Contains(got, "[entry]") {
+				t.Errorf("witness lacks the entry step:\n%s", got)
+			}
+		})
+	}
+}
+
+// Explained output must be byte-identical when replayed from a warm cache:
+// provenance round-trips through cache entries.
+func TestGoldenCorpusExplainWarmCache(t *testing.T) {
+	if *update {
+		t.Skip("golden update run")
+	}
+	cacheDir := filepath.Join(t.TempDir(), "cache")
+	for _, name := range explainCorpus {
+		src := filepath.Join(corpusDir, name+".c")
+		golden := filepath.Join(corpusDir, name+".explain.golden")
+		want, err := os.ReadFile(golden)
+		if err != nil {
+			t.Fatalf("missing golden file (run with -update): %v", err)
+		}
+		args := fileArgs(t, src, "-explain", "-cache-dir", cacheDir)
+		cold := transcript(args...)
+		if cold != string(want) {
+			t.Errorf("%s: cold cached explain run drifted from golden:\n%s", name, cold)
+			continue
+		}
+		warm := transcript(args...)
+		if warm != string(want) {
+			t.Errorf("%s: warm explained replay differs:\n--- warm ---\n%s--- want ---\n%s",
+				name, warm, want)
+		}
+	}
+}
+
 // The suppression corpus entry must demonstrate both suppression forms:
 // messages silenced inside it, the trailing leak still reported.
 func TestSuppressionEntryNonVacuous(t *testing.T) {

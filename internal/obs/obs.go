@@ -117,6 +117,9 @@ type Metrics struct {
 	wall   [NumPhases]int64 // nanoseconds, atomic
 	jobs   int64            // atomic; worker count of the most recent run
 	tracer Tracer
+	// spanSt holds the hierarchical span recorder (see span.go); nil unless
+	// EnableSpans was called, so span-instrumented code costs one nil test.
+	spanSt *spanState
 }
 
 // New returns an empty Metrics.
@@ -258,6 +261,17 @@ func (m *Metrics) TraceFunc(ev FuncEvent) {
 		return
 	}
 	m.tracer.TraceFunc(ev)
+}
+
+// TraceDiag forwards a per-diagnostic provenance event to the installed
+// tracer when it implements DiagTracer; otherwise it is dropped.
+func (m *Metrics) TraceDiag(ev DiagEvent) {
+	if m == nil || m.tracer == nil {
+		return
+	}
+	if dt, ok := m.tracer.(DiagTracer); ok {
+		dt.TraceDiag(ev)
+	}
 }
 
 // Snapshot is a point-in-time, JSON-serializable copy of the metrics.

@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// Every new span API must be a no-op on a nil *Metrics — instrumented code
+// calls them unconditionally.
+func TestSpanNilMetricsNoOps(t *testing.T) {
+	var m *Metrics
+	m.EnableSpans()
+	if m.SpansEnabled() {
+		t.Error("nil Metrics reports spans enabled")
+	}
+	if id := m.StartSpan(SpanRun, "x", 0, 0); id != 0 {
+		t.Errorf("StartSpan on nil = %d, want 0", id)
+	}
+	m.EndSpan(1)
+	m.EndFuncSpan(1, "f.c", 1, 0, 0, 0)
+	if id := m.BeginRunSpan("run"); id != 0 {
+		t.Errorf("BeginRunSpan on nil = %d, want 0", id)
+	}
+	if id := m.RunSpan(); id != 0 {
+		t.Errorf("RunSpan on nil = %d, want 0", id)
+	}
+	if sp := m.Spans(); sp != nil {
+		t.Errorf("Spans on nil = %v, want nil", sp)
+	}
+	m.TraceDiag(DiagEvent{})
+}
+
+// A Metrics without EnableSpans must also no-op (that is the provenance-off
+// hot path), and span IDs must stay 0 so callers can thread them blindly.
+func TestSpanDisabledNoOps(t *testing.T) {
+	m := New()
+	if m.SpansEnabled() {
+		t.Error("spans enabled before EnableSpans")
+	}
+	if id := m.StartSpan(SpanPhase, "check", 0, 0); id != 0 {
+		t.Errorf("StartSpan disabled = %d, want 0", id)
+	}
+	m.EndSpan(3)
+	m.EndFuncSpan(3, "f.c", 1, 1, 2, 3)
+	if got := m.Spans(); got != nil {
+		t.Errorf("Spans = %v, want nil", got)
+	}
+}
+
+func TestSpanHierarchyAndExport(t *testing.T) {
+	m := New()
+	m.EnableSpans()
+	run := m.BeginRunSpan("golclint")
+	if run == 0 || m.RunSpan() != run {
+		t.Fatalf("run span = %d, RunSpan = %d", run, m.RunSpan())
+	}
+	mod := m.StartSpan(SpanModule, "mod", run, 0)
+	fn := m.StartSpan(SpanFunction, "f", mod, 2)
+	m.EndFuncSpan(fn, "a.c", 3, 7, 2, 5)
+	m.EndSpan(mod)
+	m.EndSpan(run)
+
+	spans := m.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	f := spans[2]
+	if f.Parent != mod || f.TID != 2 || f.File != "a.c" || f.Line != 3 ||
+		f.Blocks != 7 || f.Merges != 2 || f.Clones != 5 {
+		t.Errorf("function span = %+v", f)
+	}
+	if f.Dur < 0 || spans[0].Dur < f.Dur {
+		t.Errorf("durations not nested: run %d, fn %d", spans[0].Dur, f.Dur)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteTraceEvents(&buf, spans); err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("trace output is not JSON: %v\n%s", err, buf.String())
+	}
+	if len(tf.TraceEvents) != 3 {
+		t.Fatalf("got %d trace events, want 3", len(tf.TraceEvents))
+	}
+	for _, ev := range tf.TraceEvents {
+		if ev["ph"] != "X" {
+			t.Errorf("event ph = %v, want X", ev["ph"])
+		}
+		if _, ok := ev["ts"].(float64); !ok {
+			t.Errorf("event ts missing: %v", ev)
+		}
+	}
+	if tf.TraceEvents[2]["cat"] != "function" {
+		t.Errorf("function event cat = %v", tf.TraceEvents[2]["cat"])
+	}
+}
+
+// Concurrent open/close from worker goroutines — run under -race.
+func TestSpanConcurrent(t *testing.T) {
+	m := New()
+	m.EnableSpans()
+	run := m.BeginRunSpan("golclint")
+	const workers, perWorker = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				id := m.StartSpan(SpanFunction, fmt.Sprintf("w%d_f%d", w, i), run, w)
+				m.EndFuncSpan(id, "x.c", i, int64(i), 1, 2)
+			}
+		}()
+	}
+	wg.Wait()
+	m.EndSpan(run)
+	spans := m.Spans()
+	if len(spans) != workers*perWorker+1 {
+		t.Fatalf("got %d spans, want %d", len(spans), workers*perWorker+1)
+	}
+	for _, sp := range spans[1:] {
+		if sp.Parent != run || sp.Dur < 0 {
+			t.Errorf("bad span %+v", sp)
+		}
+	}
+}
+
+func TestHotTable(t *testing.T) {
+	spans := []Span{
+		{Kind: SpanRun, Name: "run", Dur: 100},
+		{Kind: SpanFunction, Name: "slow", File: "a.c", Line: 1, Dur: 90_000, Merges: 3, Clones: 7},
+		{Kind: SpanFunction, Name: "fast", File: "a.c", Line: 9, Dur: 1_000},
+		{Kind: SpanFunction, Name: "mid", File: "b.c", Line: 4, Dur: 5_000},
+	}
+	hot := HotFunctions(spans, 2)
+	if len(hot) != 2 || hot[0].Name != "slow" || hot[1].Name != "mid" {
+		t.Fatalf("hot = %+v", hot)
+	}
+	table := FormatHotTable(spans, 2)
+	if !strings.Contains(table, "slow") || !strings.Contains(table, "a.c:1") {
+		t.Errorf("table missing entries:\n%s", table)
+	}
+	if strings.Contains(table, "fast") {
+		t.Errorf("table includes beyond top-N:\n%s", table)
+	}
+}
+
+// Ties on duration break deterministically by name.
+func TestHotFunctionsDeterministicTie(t *testing.T) {
+	spans := []Span{
+		{Kind: SpanFunction, Name: "b", Dur: 10},
+		{Kind: SpanFunction, Name: "a", Dur: 10},
+	}
+	hot := HotFunctions(spans, 0)
+	if hot[0].Name != "a" || hot[1].Name != "b" {
+		t.Errorf("tie not broken by name: %+v", hot)
+	}
+}
+
+func TestJSONLTracerDiagEvents(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewJSONLTracer(&buf)
+	m := New()
+	m.SetTracer(tr)
+	m.TraceDiag(DiagEvent{Code: "mustfree", File: "a.c", Line: 4, Msg: "leak",
+		Ref: "p", Witness: []string{"a.c:2: [alloc] fresh storage"}})
+	var ev map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &ev); err != nil {
+		t.Fatalf("diag event not JSON: %v", err)
+	}
+	if ev["type"] != "diag" || ev["code"] != "mustfree" {
+		t.Errorf("event = %v", ev)
+	}
+}

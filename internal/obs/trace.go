@@ -17,10 +17,29 @@ type FuncEvent struct {
 	DurationNS int64  `json:"duration_ns"`
 }
 
+// DiagEvent describes one emitted diagnostic with its witness path. Events
+// are emitted only under -explain, after diagnostics are finalized, in
+// their sorted (deterministic) order.
+type DiagEvent struct {
+	Type    string   `json:"type"` // always "diag", distinguishing from func events
+	Code    string   `json:"code"`
+	File    string   `json:"file"`
+	Line    int      `json:"line"`
+	Msg     string   `json:"msg"`
+	Ref     string   `json:"ref,omitempty"`     // the implicated reference, if any
+	Witness []string `json:"witness,omitempty"` // rendered "file:line: [kind] msg" steps
+}
+
 // Tracer receives one event per function checked. Implementations must be
 // safe for concurrent use.
 type Tracer interface {
 	TraceFunc(FuncEvent)
+}
+
+// DiagTracer is the optional extension a Tracer may implement to receive
+// per-diagnostic provenance events under -explain.
+type DiagTracer interface {
+	TraceDiag(DiagEvent)
 }
 
 // JSONLTracer writes one JSON object per line to an io.Writer. The first
@@ -39,6 +58,22 @@ func NewJSONLTracer(w io.Writer) *JSONLTracer {
 
 // TraceFunc implements Tracer.
 func (t *JSONLTracer) TraceFunc(ev FuncEvent) {
+	b, err := json.Marshal(ev)
+	if err != nil {
+		return
+	}
+	b = append(b, '\n')
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
+	}
+	_, t.err = t.w.Write(b)
+}
+
+// TraceDiag implements DiagTracer, writing one JSON object per diagnostic.
+func (t *JSONLTracer) TraceDiag(ev DiagEvent) {
+	ev.Type = "diag"
 	b, err := json.Marshal(ev)
 	if err != nil {
 		return

@@ -1,19 +1,21 @@
 #!/bin/sh
 # Bench smoke: run the lclbench perf experiments in -quick mode and verify
-# that all six BENCH_*.json artifacts are produced and parse as JSON.
+# that all seven BENCH_*.json artifacts are produced and parse as JSON.
 # Exercised by CI; also useful locally before comparing numbers across
 # machines. Keep it cheap — -quick uses small corpora, so this is a
 # does-the-harness-work check, not a measurement. The numbers it does gate
 # are BENCH_state.json's check-phase allocs/op and BENCH_frontend.json's
 # frontend allocs/op, which are machine independent: exceeding a committed
-# budget by more than 20% fails.
+# budget by more than 20% fails. BENCH_provenance.json (E19) additionally
+# gates the provenance hooks: with -explain off they must cost at most 2%
+# wall over the plain checker and essentially zero extra allocations.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 go run ./cmd/lclbench -quick
 
-for f in BENCH_scaling.json BENCH_modular.json BENCH_parallel.json BENCH_incremental.json BENCH_state.json BENCH_frontend.json; do
+for f in BENCH_scaling.json BENCH_modular.json BENCH_parallel.json BENCH_incremental.json BENCH_state.json BENCH_frontend.json BENCH_provenance.json; do
     test -s "$f" || { echo "missing or empty: $f" >&2; exit 1; }
     python3 -m json.tool "$f" > /dev/null || { echo "invalid JSON: $f" >&2; exit 1; }
     echo "ok: $f"
@@ -30,4 +32,24 @@ for path, label in (("BENCH_state.json", "check-phase"), ("BENCH_frontend.json",
     if allocs > budget * 1.2:
         sys.exit("%s allocs/op regressed: %d > 1.2 * %d budget" % (label, allocs, budget))
     print("ok: %s allocs/op %d within budget %d" % (label, allocs, budget))
+
+# E19 gate: the provenance hooks must be free when -explain is off. Wall
+# overhead vs the plain entry point is bounded at 2% (both figures are
+# fastest-of-N passes from the same interleaved run, so machine noise
+# largely cancels); extra allocations are bounded at 0.5% of a pass (the
+# hooks themselves allocate nothing — the allowance absorbs GC jitter in
+# runtime.MemStats deltas). The off path is also held to the committed E17
+# check-phase budget, and every diagnostic must have carried a witness.
+d = json.load(open("BENCH_provenance.json"))
+if d["overhead_off_pct"] > 2.0:
+    sys.exit("provenance-off wall overhead %.2f%% > 2%%" % d["overhead_off_pct"])
+if d["extra_allocs_off_per_op"] > max(50, d["baseline_allocs_per_op"] * 0.005):
+    sys.exit("provenance-off allocates: %+d allocs/op over baseline" % d["extra_allocs_off_per_op"])
+if d["off_allocs_per_op"] > d["budget_allocs_per_op"] * 1.2:
+    sys.exit("provenance-off allocs/op regressed: %d > 1.2 * %d budget"
+             % (d["off_allocs_per_op"], d["budget_allocs_per_op"]))
+if d["diags"] == 0 or d["witnessed"] != d["diags"]:
+    sys.exit("witness coverage: %d/%d diagnostics" % (d["witnessed"], d["diags"]))
+print("ok: provenance off overhead %+.2f%% wall, %+d allocs/op; witnesses %d/%d"
+      % (d["overhead_off_pct"], d["extra_allocs_off_per_op"], d["witnessed"], d["diags"]))
 EOF
