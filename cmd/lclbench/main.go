@@ -1,20 +1,21 @@
 // Command lclbench regenerates every table and figure reproduction from
-// the paper's evaluation (experiments E1-E19 in DESIGN.md and
+// the paper's evaluation (experiments E1-E20 in DESIGN.md and
 // EXPERIMENTS.md). Each subcommand prints one experiment; "all" runs the
 // full set.
 //
 // The perf experiments also emit machine-readable companions alongside the
 // prose tables — BENCH_scaling.json (E9), BENCH_modular.json (E10),
 // BENCH_parallel.json (E15), BENCH_incremental.json (E16),
-// BENCH_state.json (E17), BENCH_frontend.json (E18), and
-// BENCH_provenance.json (E19) in the current directory — each stamped with the
+// BENCH_state.json (E17), BENCH_frontend.json (E18),
+// BENCH_provenance.json (E19), and BENCH_validate.json (E20) in the current
+// directory — each stamped with the
 // experiment's elapsed time and allocation totals (measured per benchmark
 // row, so alloc figures are attributable) so the numbers are diffable
 // across changes.
 //
 // Usage:
 //
-//	lclbench [-jobs n] [-quick] [samples|listaddh|ercdb|scaling|modular|economy|staticvsdynamic|nofixpoint|parallel|incremental|state|frontend|provenance|all]
+//	lclbench [-jobs n] [-quick] [samples|listaddh|ercdb|scaling|modular|economy|staticvsdynamic|nofixpoint|parallel|incremental|state|frontend|provenance|validate|all]
 //
 //	-jobs n   highest worker count the parallel experiment sweeps to
 //	          (0 = GOMAXPROCS)
@@ -45,6 +46,7 @@ import (
 	"golclint/internal/library"
 	"golclint/internal/obs"
 	"golclint/internal/testgen"
+	"golclint/internal/validate"
 )
 
 // outDir is where BENCH_*.json files land; tests redirect it.
@@ -136,6 +138,7 @@ var experiments = []struct {
 	{"state", runState},
 	{"frontend", runFrontend},
 	{"provenance", runProvenance},
+	{"validate", runValidate},
 }
 
 // maxJobs is the highest worker count the parallel experiment sweeps to
@@ -156,6 +159,7 @@ func main() {
 		runStateIters(3)
 		runFrontendIters(3)
 		runProvenanceIters(10)
+		runValidateIters(3)
 		return
 	}
 	cmd := "all"
@@ -1107,4 +1111,110 @@ func runProvenanceIters(iters int) {
 	fmt.Printf("recording overhead (on vs off): %+.2f%% wall\n", doc.OverheadOnPct)
 	fmt.Printf("witnesses: %d/%d diagnostics carry a non-empty path\n", doc.Witnessed, doc.Diags)
 	writeBenchJSON("BENCH_provenance.json", doc)
+}
+
+// ---------------------------------------------------------------------------
+// E20: counterexample validation. Checks a seeded corpus covering every bug
+// kind with witnesses on, then runs the validation search (internal/validate)
+// over the diagnostics and reports the confirmed rate and per-diagnostic
+// cost. The gates scripts/bench.sh enforces: every seeded bug's diagnostic
+// validates `confirmed` (the static claims are demonstrable), the overall
+// confirmed rate stays >= 0.8, and a whole-corpus validation pass stays
+// inside the committed wall budget.
+
+// validateBudgetNSPerOp is the committed wall budget for one whole-corpus
+// validation pass (generous: the measured figure is ~two orders below).
+const validateBudgetNSPerOp = 5_000_000_000
+
+// validateDoc is BENCH_validate.json.
+type validateDoc struct {
+	benchMeta
+	Lines   int `json:"lines"`
+	Modules int `json:"modules"`
+	Iters   int `json:"iters"`
+	// Seeded ground truth: bugs planted, and how many of them have a
+	// diagnostic at the seeded site tagged confirmed.
+	SeededTotal     int `json:"seeded_total"`
+	SeededConfirmed int `json:"seeded_confirmed"`
+	// Tag tally over all diagnostics of one pass.
+	Diags        int `json:"diags"`
+	Confirmed    int `json:"confirmed"`
+	Infeasible   int `json:"infeasible"`
+	Unreproduced int `json:"unreproduced"`
+	// ConfirmedRate is Confirmed/Diags.
+	ConfirmedRate float64 `json:"confirmed_rate"`
+	// ValidateNSPerOp is the fastest whole-corpus validation pass;
+	// NSPerDiag divides it by the diagnostic count.
+	ValidateNSPerOp int64 `json:"validate_ns_per_op"`
+	NSPerDiag       int64 `json:"ns_per_diag"`
+	BudgetNSPerOp   int64 `json:"budget_ns_per_op"`
+}
+
+func runValidate() { runValidateIters(10) }
+
+// runValidateIters is runValidate with a configurable pass count (the
+// -quick smoke uses fewer).
+func runValidateIters(iters int) {
+	header("E20", "counterexample validation: confirmed rate and cost")
+	bugsEach := 4
+	p := testgen.Generate(testgen.Config{
+		Seed: 42, Modules: 24, FuncsPer: 8, Annotate: true,
+		Bugs: map[testgen.BugKind]int{
+			testgen.BugLeak: bugsEach, testgen.BugCondLeak: bugsEach,
+			testgen.BugUseAfterFree: bugsEach, testgen.BugDoubleFree: bugsEach,
+			testgen.BugNullDeref: bugsEach, testgen.BugUninit: bugsEach,
+		},
+	})
+	res := core.CheckSources(p.Files, core.Options{
+		Includes: cpp.MapIncluder(p.Headers), Explain: true,
+	})
+	if res.Program == nil || len(res.ParseErrors) > 0 {
+		fmt.Fprintln(os.Stderr, "lclbench: E20 corpus failed to parse")
+		return
+	}
+
+	var doc validateDoc
+	var sum validate.Summary
+	minNS := int64(1 << 62)
+	meta := measure("golclint-bench-validate/v1", "E20", func() {
+		for i := 0; i < iters; i++ {
+			start := time.Now()
+			sum = validate.Apply(res.Program, res.Diags, validate.Options{})
+			elapsed := time.Since(start).Nanoseconds()
+			if elapsed < minNS {
+				minNS = elapsed
+			}
+		}
+	})
+	doc.benchMeta = meta
+	doc.Lines, doc.Modules, doc.Iters = p.Lines, 24, iters
+	doc.Diags = sum.Examined
+	doc.Confirmed, doc.Infeasible, doc.Unreproduced = sum.Confirmed, sum.Infeasible, sum.Unreproduced
+	if doc.Diags > 0 {
+		doc.ConfirmedRate = float64(doc.Confirmed) / float64(doc.Diags)
+		doc.NSPerDiag = minNS / int64(doc.Diags)
+	}
+	doc.ValidateNSPerOp = minNS
+	doc.BudgetNSPerOp = validateBudgetNSPerOp
+
+	doc.SeededTotal = len(p.Bugs)
+	for _, b := range p.Bugs {
+		for _, d := range res.Diags {
+			if d.Pos.File == b.File && d.Pos.Line == b.Line &&
+				d.Validation != nil && d.Validation.Tag == diag.Confirmed {
+				doc.SeededConfirmed++
+				break
+			}
+		}
+	}
+
+	fmt.Printf("corpus: %d lines, %d modules, %d seeded bugs; %d validation passes\n",
+		p.Lines, 24, doc.SeededTotal, iters)
+	fmt.Printf("diagnostics: %d (%d confirmed, %d path-infeasible, %d unreproduced)\n",
+		doc.Diags, doc.Confirmed, doc.Infeasible, doc.Unreproduced)
+	fmt.Printf("seeded bugs confirmed: %d/%d\n", doc.SeededConfirmed, doc.SeededTotal)
+	fmt.Printf("confirmed rate: %.3f (gate: >= 0.8)\n", doc.ConfirmedRate)
+	fmt.Printf("validation pass: %d ns/op, %d ns/diag (budget %d ns/op)\n",
+		doc.ValidateNSPerOp, doc.NSPerDiag, doc.BudgetNSPerOp)
+	writeBenchJSON("BENCH_validate.json", doc)
 }

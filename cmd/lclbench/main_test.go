@@ -369,3 +369,52 @@ func TestBenchProvenanceJSONEmission(t *testing.T) {
 		t.Errorf("witness coverage = %d/%d, want total and non-zero", pd.Witnessed, pd.Diags)
 	}
 }
+
+// The counterexample-validation experiment (E20) emits a valid
+// BENCH_validate.json whose numbers hold the documented contract: every
+// seeded bug's diagnostic validates `confirmed`, the confirmed rate meets
+// the 0.8 gate, and a whole-corpus validation pass fits the committed wall
+// budget.
+func TestBenchValidateJSONEmission(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E20 checks and validates a seeded corpus")
+	}
+	old := outDir
+	outDir = t.TempDir()
+	defer func() { outDir = old }()
+
+	runValidateIters(2)
+	b, err := os.ReadFile(filepath.Join(outDir, "BENCH_validate.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vd validateDoc
+	if err := json.Unmarshal(b, &vd); err != nil {
+		t.Fatalf("BENCH_validate.json invalid: %v", err)
+	}
+	if vd.Schema != "golclint-bench-validate/v1" || vd.Experiment != "E20" {
+		t.Errorf("meta = %q %q", vd.Schema, vd.Experiment)
+	}
+	if vd.Lines <= 0 || vd.Modules != 24 || vd.Iters != 2 {
+		t.Errorf("corpus stamps missing: %+v", vd)
+	}
+	if vd.SeededTotal != 24 || vd.SeededConfirmed != vd.SeededTotal {
+		t.Errorf("seeded confirmation = %d/%d, want 24/24", vd.SeededConfirmed, vd.SeededTotal)
+	}
+	if vd.Diags == 0 || vd.Confirmed == 0 || vd.ConfirmedRate < 0.8 {
+		t.Errorf("confirmed rate %f (%d/%d diags) below the documented gate",
+			vd.ConfirmedRate, vd.Confirmed, vd.Diags)
+	}
+	if vd.ValidateNSPerOp <= 0 || vd.NSPerDiag <= 0 {
+		t.Errorf("cost figures missing: %+v", vd)
+	}
+	if vd.BudgetNSPerOp != validateBudgetNSPerOp {
+		t.Errorf("committed budget not stamped: %+v", vd)
+	}
+	// The budget must hold with an order of magnitude of headroom, so the
+	// bench.sh gate only trips on a genuine search-space blowup.
+	if vd.ValidateNSPerOp*10 > vd.BudgetNSPerOp {
+		t.Errorf("validation pass %d ns/op within 10x of the %d ns/op budget",
+			vd.ValidateNSPerOp, vd.BudgetNSPerOp)
+	}
+}

@@ -27,6 +27,8 @@ import (
 	"golclint/internal/flags"
 	"golclint/internal/library"
 	"golclint/internal/obs"
+	"golclint/internal/sema"
+	validatepkg "golclint/internal/validate"
 )
 
 // dirIncluder resolves #include files against a list of directories.
@@ -76,6 +78,7 @@ func Run(args []string, stdout, stderr io.Writer) int {
 		statsJSON   = fs.String("stats-json", "", "write run metrics and message counts as JSON to this file")
 		tracePath   = fs.String("trace", "", "write per-function trace events (JSONL) to this file")
 		explain     = fs.Bool("explain", false, "print the witness path (branch decisions and state transitions) under each warning")
+		validate    = fs.Bool("validate", false, "replay each warning's witness path through the instrumented interpreter and tag it confirmed / unreproduced / path-infeasible")
 		traceOut    = fs.String("trace-out", "", "write hierarchical spans as Chrome trace_event JSON to this file (Perfetto-loadable)")
 		hotN        = fs.Int("hot", 0, "print the N slowest functions by check wall time")
 		cpuProfile  = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
@@ -174,7 +177,14 @@ func Run(args []string, stdout, stderr io.Writer) int {
 		}()
 	}
 
-	opt := core.Options{Flags: fl, Includes: dirIncluder{dirs: dirs}, Metrics: metrics, Jobs: *jobs, Explain: *explain}
+	// -validate needs witness paths to derive harnesses from, so it implies
+	// provenance recording even without -explain.
+	opt := core.Options{Flags: fl, Includes: dirIncluder{dirs: dirs}, Metrics: metrics, Jobs: *jobs, Explain: *explain || *validate}
+	if *validate {
+		opt.Validate = func(prog *sema.Program, diags []*diag.Diagnostic) {
+			validatepkg.Apply(prog, diags, validatepkg.Options{})
+		}
+	}
 	// -cfg needs the parsed units, which a cache hit skips building, so it
 	// disables the cache for this run rather than printing nothing.
 	if *cacheDir != "" && *showCFG == "" {
@@ -213,9 +223,13 @@ func Run(args []string, stdout, stderr io.Writer) int {
 	for _, e := range res.SemaErrors {
 		fmt.Fprintf(stderr, "%v\n", e)
 	}
-	if *explain {
+	switch {
+	case *explain:
+		// Explain output includes the validation line when -validate also ran.
 		fmt.Fprint(stdout, res.ExplainedMessages())
-	} else {
+	case *validate:
+		fmt.Fprint(stdout, res.ValidatedMessages())
+	default:
 		fmt.Fprint(stdout, res.Messages())
 	}
 
@@ -269,7 +283,7 @@ func Run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *statsJSON != "" {
-		if err := writeStatsJSON(*statsJSON, fs.Args(), fl, metrics, res, *explain); err != nil {
+		if err := writeStatsJSON(*statsJSON, fs.Args(), fl, metrics, res, *explain || *validate); err != nil {
 			fmt.Fprintf(stderr, "golclint: %v\n", err)
 			return 2
 		}
@@ -353,6 +367,10 @@ type statsDiag struct {
 	Msg     string   `json:"msg"`
 	Ref     string   `json:"ref,omitempty"`
 	Witness []string `json:"witness,omitempty"`
+	// Validation fields are present only when -validate tagged the
+	// diagnostic: the tag name and the human-readable search outcome.
+	Validation       string `json:"validation,omitempty"`
+	ValidationDetail string `json:"validation_detail,omitempty"`
 }
 
 // writeStatsJSON renders the run's metrics and per-code message counts.
@@ -391,6 +409,10 @@ func writeStatsJSON(path string, files []string, fl *flags.Flags, m *obs.Metrics
 				for _, s := range d.Prov.Steps {
 					sd.Witness = append(sd.Witness, s.StepString())
 				}
+			}
+			if d.Validation != nil && d.Validation.Tag != diag.ValidationNone {
+				sd.Validation = d.Validation.Tag.String()
+				sd.ValidationDetail = d.Validation.Detail
 			}
 			doc.Diagnostics = append(doc.Diagnostics, sd)
 		}

@@ -75,6 +75,15 @@ type Options struct {
 	// provenance round-trips through the cache without ever appearing in
 	// default-mode entries.
 	Explain bool
+	// Validate, when non-nil, runs after checking over the final sorted
+	// diagnostics and may attach a Validation record to each (the
+	// counterexample-validation pass, internal/validate). It runs before
+	// the cache entry is stored, so validation outcomes round-trip through
+	// the cache and warm runs replay them without re-executing anything;
+	// the key gains a "validate" component so unvalidated entries are
+	// never replayed as validated ones. Validate implies witness recording
+	// (callers must also set Explain; internal/cli does this).
+	Validate func(*sema.Program, []*diag.Diagnostic)
 }
 
 // Result is the outcome of a checking run.
@@ -116,6 +125,18 @@ func (r *Result) ExplainedMessages() string {
 	var b []byte
 	for _, d := range r.Diags {
 		b = append(b, d.Explain()...)
+		b = append(b, '\n')
+	}
+	return string(b)
+}
+
+// ValidatedMessages renders the diagnostics with their validation tags
+// appended (the -validate surface, without full witnesses). Identical to
+// Messages when no validation ran.
+func (r *Result) ValidatedMessages() string {
+	var b []byte
+	for _, d := range r.Diags {
+		b = append(b, d.Validated()...)
 		b = append(b, '\n')
 	}
 	return string(b)
@@ -354,6 +375,11 @@ func CheckSources(files map[string]string, opt Options) *Result {
 			// warm -explain runs replay cold witnesses byte for byte.
 			kh.Component("explain")
 		}
+		if opt.Validate != nil {
+			// Validated entries carry validation tags; keep them apart from
+			// plain explain entries for the same reason.
+			kh.Component("validate")
+		}
 		for i, name := range names {
 			kh.File(name, fronts[i].expanded, fronts[i].ppErrs)
 		}
@@ -372,6 +398,10 @@ func CheckSources(files map[string]string, opt Options) *Result {
 				m.Add(obs.DiagnosticsSuppressed, int64(res.Suppressed))
 				m.AddTotal(time.Since(runStart))
 			}
+			// Validation tags replay from the entry; recount them so warm
+			// -stats-json agrees with the cold run (wall time stays zero:
+			// nothing was re-executed).
+			countValidation(m, res.Diags)
 			traceDiags(m, opt.Explain, res.Diags)
 			return res
 		}
@@ -416,6 +446,20 @@ func CheckSources(files map[string]string, opt Options) *Result {
 	res.Suppressed = rep.Suppressed()
 	res.Program = prog
 	res.Units = units
+	if opt.Validate != nil {
+		// Counterexample validation runs over the final sorted diagnostics,
+		// before the cache write, so the tags it attaches are stored and
+		// warm runs replay them byte for byte.
+		var vStart time.Time
+		if m.Enabled() {
+			vStart = time.Now()
+		}
+		opt.Validate(prog, res.Diags)
+		if m.Enabled() {
+			m.Add(obs.ValidateWallNS, time.Since(vStart).Nanoseconds())
+		}
+		countValidation(m, res.Diags)
+	}
 	if cacheable {
 		entry := &cache.Entry{
 			Diags:      res.Diags,
@@ -462,6 +506,26 @@ func moduleName(names []string) string {
 	return fmt.Sprintf("%s (+%d files)", names[0], len(names)-1)
 }
 
+// countValidation tallies validation outcomes into the metrics counters so
+// -stats-json reports them identically on cold and cache-hit runs.
+func countValidation(m *obs.Metrics, ds []*diag.Diagnostic) {
+	if !m.Enabled() {
+		return
+	}
+	for _, d := range ds {
+		if d.Validation == nil || d.Validation.Tag == diag.ValidationNone {
+			continue
+		}
+		m.Add(obs.Validated, 1)
+		switch d.Validation.Tag {
+		case diag.Confirmed:
+			m.Add(obs.ConfirmedDiags, 1)
+		case diag.PathInfeasible:
+			m.Add(obs.InfeasibleDiags, 1)
+		}
+	}
+}
+
 // traceDiags emits one JSONL event per finalized diagnostic, witness
 // included. Only -explain runs emit them (after sorting, so the stream is
 // deterministic at every worker count, cold or cached).
@@ -476,6 +540,9 @@ func traceDiags(m *obs.Metrics, explain bool, ds []*diag.Diagnostic) {
 			for _, s := range d.Prov.Steps {
 				ev.Witness = append(ev.Witness, s.StepString())
 			}
+		}
+		if d.Validation != nil && d.Validation.Tag != diag.ValidationNone {
+			ev.Validation = d.Validation.Tag.String()
 		}
 		m.TraceDiag(ev)
 	}

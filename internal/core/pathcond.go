@@ -1,0 +1,88 @@
+package core
+
+import (
+	"strings"
+
+	"golclint/internal/ctoken"
+	"golclint/internal/diag"
+)
+
+// Path-condition extraction from witness provenance. The checker records
+// each branch assumption on the witness trail with a stable spelling
+// ("condition X assumed true", "loop condition X assumed true (body analyzed
+// as one execution)"); counterexample validation (internal/validate) parses
+// those spellings back into structured conditions to harvest concrete input
+// candidates. The spellings are part of the provenance format: tests in
+// prov_test.go pin them, and PathConds here is the single reverse parser.
+
+// PathCond is one branch condition along a witness path.
+type PathCond struct {
+	// Pos is where the branch was taken.
+	Pos ctoken.Pos
+	// Cond is the source spelling of the condition expression.
+	Cond string
+	// Assumed is the truth value the witness path assumes for Cond.
+	Assumed bool
+	// Loop marks loop-header conditions (the checker analyzes loop bodies
+	// as one execution, so a loop condition is assumed true exactly once).
+	Loop bool
+}
+
+const (
+	condPrefix     = "condition "
+	loopCondPrefix = "loop condition "
+	loopCondSuffix = " (body analyzed as one execution)"
+	entryPrefix    = "in function "
+)
+
+// PathConds extracts the branch conditions along a witness path, in path
+// order. Branch steps whose message does not carry a parsed condition (plain
+// "loop body entered" steps, merge notes) are skipped.
+func PathConds(p *diag.Provenance) []PathCond {
+	if p == nil {
+		return nil
+	}
+	var out []PathCond
+	for _, s := range p.Steps {
+		if s.Kind != "branch" {
+			continue
+		}
+		msg := s.Msg
+		loop := false
+		if strings.HasPrefix(msg, loopCondPrefix) {
+			loop = true
+			msg = condPrefix + strings.TrimSuffix(strings.TrimPrefix(msg, loopCondPrefix), loopCondSuffix)
+		}
+		if !strings.HasPrefix(msg, condPrefix) {
+			continue
+		}
+		rest := strings.TrimPrefix(msg, condPrefix)
+		var cond string
+		var assumed bool
+		switch {
+		case strings.HasSuffix(rest, " assumed true"):
+			cond, assumed = strings.TrimSuffix(rest, " assumed true"), true
+		case strings.HasSuffix(rest, " assumed false"):
+			cond, assumed = strings.TrimSuffix(rest, " assumed false"), false
+		default:
+			continue
+		}
+		out = append(out, PathCond{Pos: s.Pos, Cond: cond, Assumed: assumed, Loop: loop})
+	}
+	return out
+}
+
+// WitnessFunction reports the name of the function a witness path runs
+// through, parsed from the entry step ("in function f"). It returns "" when
+// the provenance has no entry step.
+func WitnessFunction(p *diag.Provenance) string {
+	if p == nil {
+		return ""
+	}
+	for _, s := range p.Steps {
+		if s.Kind == "entry" && strings.HasPrefix(s.Msg, entryPrefix) {
+			return strings.TrimPrefix(s.Msg, entryPrefix)
+		}
+	}
+	return ""
+}

@@ -154,6 +154,72 @@ type Provenance struct {
 	Steps []ProvStep
 }
 
+// ValidationTag classifies the outcome of replaying a diagnostic's witness
+// path through the instrumented interpreter (-validate). The names are part
+// of the machine-readable surface (stats-json, JSONL trace, cache entries),
+// so existing spellings must not change.
+type ValidationTag int
+
+// Validation outcomes.
+const (
+	// ValidationNone marks a diagnostic that was never validated (the
+	// zero value; such diagnostics carry no Validation record at all).
+	ValidationNone ValidationTag = iota
+	// Confirmed: the interpreter reproduced the matching run-time fault at
+	// the witness line from a generated input.
+	Confirmed
+	// Unreproduced: the search budget was exhausted without reproducing
+	// the fault (or the anomaly has no run-time manifestation to replay).
+	Unreproduced
+	// PathInfeasible: no generated input ever reached the fault site, so
+	// the witness path was never driven to completion.
+	PathInfeasible
+)
+
+var validationNames = map[ValidationTag]string{
+	ValidationNone: "none", Confirmed: "confirmed",
+	Unreproduced: "unreproduced", PathInfeasible: "path-infeasible",
+}
+
+// String returns the tag's stable name.
+func (t ValidationTag) String() string {
+	if s, ok := validationNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("validation(%d)", int(t))
+}
+
+// ParseValidationTag resolves a stable tag name back to its value.
+func ParseValidationTag(name string) (ValidationTag, bool) {
+	for t, n := range validationNames {
+		if n == name {
+			return t, true
+		}
+	}
+	return ValidationNone, false
+}
+
+// MarshalText implements encoding.TextMarshaler.
+func (t ValidationTag) MarshalText() ([]byte, error) { return []byte(t.String()), nil }
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (t *ValidationTag) UnmarshalText(b []byte) error {
+	parsed, ok := ParseValidationTag(string(b))
+	if !ok {
+		return fmt.Errorf("unknown validation tag %q", b)
+	}
+	*t = parsed
+	return nil
+}
+
+// Validation records the outcome of counterexample validation for one
+// diagnostic: the tag plus a human-readable detail line (the reproducing
+// harness input, or why no input reproduced the fault).
+type Validation struct {
+	Tag    ValidationTag
+	Detail string
+}
+
 // Diagnostic is one reported anomaly.
 type Diagnostic struct {
 	Code  Code
@@ -163,6 +229,10 @@ type Diagnostic struct {
 	// Prov is the optional witness path (-explain). It is excluded from
 	// String, carried through the cache wire format, and compared by Equal.
 	Prov *Provenance
+	// Validation is the optional counterexample-validation outcome
+	// (-validate). Like Prov it is excluded from String, carried through
+	// the cache wire format, and compared by Equal.
+	Validation *Validation
 }
 
 // WithNote appends a secondary note and returns d for chaining.
@@ -193,21 +263,49 @@ func (s ProvStep) StepString() string {
 	return fmt.Sprintf("%s: [%s] %s", s.Pos, s.Kind, s.Msg)
 }
 
+// ValidationString renders the diagnostic's validation line ("" when the
+// diagnostic was never validated), in the stable form shared by -validate
+// output and Explain.
+func (d *Diagnostic) ValidationString() string {
+	if d.Validation == nil || d.Validation.Tag == ValidationNone {
+		return ""
+	}
+	if d.Validation.Detail == "" {
+		return fmt.Sprintf("validation: %s", d.Validation.Tag)
+	}
+	return fmt.Sprintf("validation: %s — %s", d.Validation.Tag, d.Validation.Detail)
+}
+
+// Validated formats the diagnostic with its validation line appended (the
+// -validate surface). Identical to String when no validation was recorded.
+func (d *Diagnostic) Validated() string {
+	var b strings.Builder
+	b.WriteString(d.String())
+	if v := d.ValidationString(); v != "" {
+		fmt.Fprintf(&b, "\n   %s", v)
+	}
+	return b.String()
+}
+
 // Explain formats the diagnostic with its witness path appended, one
-// indented step per line. Without provenance it is identical to String.
+// indented step per line, followed by the validation line when the
+// diagnostic was validated. Without provenance or validation it is
+// identical to String.
 func (d *Diagnostic) Explain() string {
 	var b strings.Builder
 	b.WriteString(d.String())
-	if d.Prov == nil || len(d.Prov.Steps) == 0 {
-		return b.String()
+	if d.Prov != nil && len(d.Prov.Steps) > 0 {
+		if d.Prov.Ref != "" {
+			fmt.Fprintf(&b, "\n   witness (%s):", d.Prov.Ref)
+		} else {
+			b.WriteString("\n   witness:")
+		}
+		for _, s := range d.Prov.Steps {
+			fmt.Fprintf(&b, "\n      %s", s.StepString())
+		}
 	}
-	if d.Prov.Ref != "" {
-		fmt.Fprintf(&b, "\n   witness (%s):", d.Prov.Ref)
-	} else {
-		b.WriteString("\n   witness:")
-	}
-	for _, s := range d.Prov.Steps {
-		fmt.Fprintf(&b, "\n      %s", s.StepString())
+	if v := d.ValidationString(); v != "" {
+		fmt.Fprintf(&b, "\n   %s", v)
 	}
 	return b.String()
 }

@@ -51,14 +51,23 @@ type wireProv struct {
 	Steps []wireStep `json:"steps,omitempty"`
 }
 
+// wireValidation is the serialized Validation. Validation outcomes
+// round-trip through cache entries so a warm -validate run replays the
+// tags the cold run computed without re-executing any harness.
+type wireValidation struct {
+	Tag    ValidationTag `json:"tag"`
+	Detail string        `json:"detail,omitempty"`
+}
+
 // wireDiag is the serialized Diagnostic. Code serializes by its stable
 // short name (MarshalText), so entries survive code renumbering.
 type wireDiag struct {
-	Code  Code       `json:"code"`
-	Pos   wirePos    `json:"pos"`
-	Msg   string     `json:"msg"`
-	Notes []wireNote `json:"notes,omitempty"`
-	Prov  *wireProv  `json:"prov,omitempty"`
+	Code       Code            `json:"code"`
+	Pos        wirePos         `json:"pos"`
+	Msg        string          `json:"msg"`
+	Notes      []wireNote      `json:"notes,omitempty"`
+	Prov       *wireProv       `json:"prov,omitempty"`
+	Validation *wireValidation `json:"validation,omitempty"`
 }
 
 // Marshal serializes diagnostics to JSON in slice order.
@@ -78,6 +87,9 @@ func Marshal(ds []*Diagnostic) ([]byte, error) {
 				wp.Steps = append(wp.Steps, wireStep{Pos: toWirePos(s.Pos), Kind: s.Kind, Msg: s.Msg})
 			}
 			w.Prov = wp
+		}
+		if d.Validation != nil {
+			w.Validation = &wireValidation{Tag: d.Validation.Tag, Detail: d.Validation.Detail}
 		}
 		wire = append(wire, w)
 	}
@@ -104,6 +116,9 @@ func Unmarshal(b []byte) ([]*Diagnostic, error) {
 			}
 			d.Prov = p
 		}
+		if w.Validation != nil {
+			d.Validation = &Validation{Tag: w.Validation.Tag, Detail: w.Validation.Detail}
+		}
 		ds = append(ds, d)
 	}
 	return ds, nil
@@ -124,7 +139,15 @@ func Equal(a, b *Diagnostic) bool {
 			return false
 		}
 	}
-	return equalProv(a.Prov, b.Prov)
+	return equalProv(a.Prov, b.Prov) && equalValidation(a.Validation, b.Validation)
+}
+
+// equalValidation compares two validation records field-for-field.
+func equalValidation(a, b *Validation) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	return *a == *b
 }
 
 // equalProv compares two witness paths field-for-field.

@@ -232,6 +232,93 @@ func TestGoldenCorpusExplainWarmCache(t *testing.T) {
 	}
 }
 
+// TestGoldenCorpusValidate pins the -validate transcripts as
+// <name>.validate.golden: each warning followed by its validation tag
+// (confirmed / unreproduced / path-infeasible) and the reproducing input or
+// search outcome. The corpus covers confirmed faults of every runtime kind
+// plus the honest failure modes (static-only anomalies, programs the
+// interpreter cannot execute). Regenerate with -update.
+func TestGoldenCorpusValidate(t *testing.T) {
+	sawConfirmed := false
+	for _, name := range explainCorpus {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			src := filepath.Join(corpusDir, name+".c")
+			if _, err := os.Stat(src); err != nil {
+				t.Fatalf("validate corpus entry missing: %v", err)
+			}
+			got := transcript(fileArgs(t, src, "-validate")...)
+			golden := filepath.Join(corpusDir, name+".validate.golden")
+			if *update {
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("validated output drifted from %s:\n--- got ---\n%s--- want ---\n%s", golden, got, want)
+			}
+			// Every warning must carry a validation line.
+			var warnings, validations int
+			for _, ln := range strings.Split(got, "\n") {
+				if strings.HasPrefix(ln, name+".c:") {
+					warnings++
+				}
+				if strings.HasPrefix(strings.TrimSpace(ln), "validation:") {
+					validations++
+				}
+			}
+			if warnings == 0 || validations != warnings {
+				t.Errorf("%d warnings but %d validation lines:\n%s", warnings, validations, got)
+			}
+			if strings.Contains(got, "validation: confirmed") {
+				sawConfirmed = true
+			}
+		})
+	}
+	if !*update && !sawConfirmed {
+		t.Error("no corpus entry produced a confirmed validation; the suite is vacuous")
+	}
+}
+
+// Validated output must replay byte-identically from a warm cache at every
+// worker count: validation tags round-trip through cache entries and the
+// validation search itself is deterministic.
+func TestGoldenCorpusValidateWarmCache(t *testing.T) {
+	if *update {
+		t.Skip("golden update run")
+	}
+	for _, jobs := range []int{1, 4, 8} {
+		jobs := jobs
+		t.Run(fmt.Sprintf("jobs=%d", jobs), func(t *testing.T) {
+			cacheDir := filepath.Join(t.TempDir(), "cache")
+			for _, name := range explainCorpus {
+				src := filepath.Join(corpusDir, name+".c")
+				golden := filepath.Join(corpusDir, name+".validate.golden")
+				want, err := os.ReadFile(golden)
+				if err != nil {
+					t.Fatalf("missing golden file (run with -update): %v", err)
+				}
+				args := fileArgs(t, src, "-validate", "-cache-dir", cacheDir, "-jobs", strconv.Itoa(jobs))
+				cold := transcript(args...)
+				if cold != string(want) {
+					t.Errorf("%s: cold cached validate run drifted from golden:\n%s", name, cold)
+					continue
+				}
+				warm := transcript(args...)
+				if warm != string(want) {
+					t.Errorf("%s: warm validated replay differs:\n--- warm ---\n%s--- want ---\n%s",
+						name, warm, want)
+				}
+			}
+		})
+	}
+}
+
 // The suppression corpus entry must demonstrate both suppression forms:
 // messages silenced inside it, the trailing leak still reported.
 func TestSuppressionEntryNonVacuous(t *testing.T) {

@@ -87,7 +87,10 @@ func (fr *frame) evalCall(v *cast.Call) tv {
 		if !ok {
 			return tv{nullPtr, ctypes.PointerTo(ctypes.CharType)}
 		}
-		obj := in.newObject(len(s)+1, true, "strdup", v.P)
+		obj := in.allocHeap(len(s)+1, "strdup", v.P)
+		if obj == nil {
+			return tv{nullPtr, ctypes.PointerTo(ctypes.CharType)}
+		}
 		for i := 0; i < len(s); i++ {
 			obj.slots[i] = intVal(int64(s[i]))
 			obj.defined[i] = true
@@ -180,7 +183,10 @@ func (fr *frame) doMalloc(args []tv, pos ctoken.Pos, zero bool) tv {
 	if n <= 0 {
 		n = 1
 	}
-	obj := in.newObject(n, true, "malloc", pos)
+	obj := in.allocHeap(n, "malloc", pos)
+	if obj == nil {
+		return tv{nullPtr, ctypes.PointerTo(ctypes.VoidType)}
+	}
 	if zero {
 		for i := range obj.slots {
 			obj.slots[i] = intVal(0)
@@ -202,7 +208,10 @@ func (fr *frame) doRealloc(args []tv, pos ctoken.Pos) tv {
 	if n <= 0 {
 		n = 1
 	}
-	obj := in.newObject(n, true, "realloc", pos)
+	obj := in.allocHeap(n, "realloc", pos)
+	if obj == nil {
+		return tv{nullPtr, ctypes.PointerTo(ctypes.VoidType)}
+	}
 	if p.kind == vPtr && p.obj != nil {
 		if p.obj.freed {
 			in.errorf(UseAfterFree, pos, "realloc of freed storage")

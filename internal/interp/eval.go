@@ -32,6 +32,10 @@ func (fr *frame) step(pos ctoken.Pos) bool {
 	if in.halted {
 		return false
 	}
+	if pos.IsValid() {
+		in.curPos = pos
+		in.noteWatch(pos)
+	}
 	in.steps++
 	if in.steps > in.opts.MaxSteps {
 		in.errorf(StepLimit, pos, "execution exceeded %d steps", in.opts.MaxSteps)

@@ -75,6 +75,9 @@ type Result struct {
 	ExitCode int
 	Steps    int
 	Halted   bool // stopped early (error/exit/step limit)
+	// ReachedWatch reports whether execution touched the watch line set by
+	// RunSpec (always false when no watch was set).
+	ReachedWatch bool
 }
 
 // ErrorKinds returns the set of error kinds observed.
@@ -202,6 +205,24 @@ type Interp struct {
 	exit   int
 	halted bool
 	retVal cvalue
+
+	// curPos is the position of the statement currently executing; errors
+	// raised with an invalid position (notably StepLimit tripping on a
+	// back edge) are attributed to it, so every fault carries the source
+	// line where execution actually was.
+	curPos ctoken.Pos
+	// allocCount numbers heap allocations within one run; when it reaches
+	// failAllocAt the allocation returns NULL (RunSpec fault injection).
+	allocCount  int
+	failAllocAt int
+	// watchFile/watchLine mark the fault site a harness run is trying to
+	// reach; reachedWatch records whether execution touched it.
+	watchFile    string
+	watchLine    int
+	reachedWatch bool
+	// globalVars are the file-scope definitions, kept so Reset can rebuild
+	// the globals exactly as construction did.
+	globalVars []*cast.VarDecl
 }
 
 // New prepares an interpreter over the analyzed program.
@@ -221,9 +242,12 @@ func New(prog *sema.Program, opts Options) *Interp {
 		}
 		for _, d := range u.Decls {
 			if vd, ok := d.(*cast.VarDecl); ok && !vd.IsPrototype() && vd.Storage != cast.StorageTypedef {
-				in.defineGlobal(vd)
+				in.globalVars = append(in.globalVars, vd)
 			}
 		}
+	}
+	for _, vd := range in.globalVars {
+		in.defineGlobal(vd)
 	}
 	return in
 }
@@ -318,10 +342,36 @@ func (in *Interp) newObject(n int, heap bool, name string, pos ctoken.Pos) *obje
 }
 
 func (in *Interp) errorf(kind ErrorKind, pos ctoken.Pos, format string, args ...interface{}) {
+	// Faults raised without a position (a step budget tripping on a loop
+	// back edge, say) land on the statement currently executing, so every
+	// recorded error names the faulting source line.
+	if !pos.IsValid() && in.curPos.IsValid() {
+		pos = in.curPos
+	}
+	in.noteWatch(pos)
 	in.errs = append(in.errs, &RuntimeError{Kind: kind, Pos: pos, Msg: fmt.Sprintf(format, args...)})
 	if in.opts.StopAtFirstError {
 		in.halted = true
 	}
+}
+
+// noteWatch records that execution touched pos, for RunSpec watch lines.
+func (in *Interp) noteWatch(pos ctoken.Pos) {
+	if in.watchLine != 0 && pos.Line == in.watchLine && pos.File == in.watchFile {
+		in.reachedWatch = true
+	}
+}
+
+// allocHeap allocates one instrumented heap object, honoring the per-run
+// allocation fault schedule: the failAllocAt'th allocation returns nil (a
+// modeled out-of-memory failure), which the malloc-family builtins surface
+// as NULL results.
+func (in *Interp) allocHeap(n int, name string, pos ctoken.Pos) *object {
+	in.allocCount++
+	if in.failAllocAt != 0 && in.allocCount == in.failAllocAt {
+		return nil
+	}
+	return in.newObject(n, true, name, pos)
 }
 
 // Run executes the named entry function (typically "main") and returns the
@@ -333,9 +383,15 @@ func (in *Interp) Run(entry string) *Result {
 	} else {
 		in.callFunction(f, nil, f.Pos())
 	}
+	return in.finish()
+}
+
+// finish assembles the Result for the execution so far, including the
+// end-of-execution leak scan.
+func (in *Interp) finish() *Result {
 	res := &Result{
 		Errors: in.errs, Output: in.out.String(), ExitCode: in.exit,
-		Steps: in.steps, Halted: in.halted,
+		Steps: in.steps, Halted: in.halted, ReachedWatch: in.reachedWatch,
 	}
 	for _, o := range in.heap {
 		if !o.freed {

@@ -1,0 +1,177 @@
+package interp
+
+import (
+	"fmt"
+	"strconv"
+
+	"golclint/internal/ctoken"
+	"golclint/internal/ctypes"
+)
+
+// This file is the resumable entry API used by counterexample validation
+// (internal/validate). A validator drives many short executions of single
+// functions over one analyzed program: Reset rewinds the interpreter to its
+// just-constructed state, and RunEntry executes one entry function with
+// concrete argument values, an optional allocation-failure schedule, and a
+// watch line marking the fault site the run is trying to reach.
+
+// Arg is one concrete argument value for RunEntry. The zero Arg is an
+// undefined scalar (the parameter slot stays uninitialized, as if the
+// caller passed garbage).
+type Arg struct {
+	kind argKind
+	i    int64
+	s    string
+	n    int // buffer slot count
+}
+
+type argKind int
+
+const (
+	argUndef argKind = iota
+	argInt
+	argNull
+	argStr
+	argBuf
+)
+
+// IntArg is a concrete integer argument.
+func IntArg(i int64) Arg { return Arg{kind: argInt, i: i} }
+
+// NullArg is a NULL pointer argument.
+func NullArg() Arg { return Arg{kind: argNull} }
+
+// StrArg is a pointer to a fresh NUL-terminated string buffer.
+func StrArg(s string) Arg { return Arg{kind: argStr, s: s} }
+
+// BufArg is a pointer to a fresh zero-initialized buffer of n slots
+// (n < 1 is treated as 1). The buffer is non-heap storage: it models a
+// caller-owned object, is not leak-tracked, and freeing it faults.
+func BufArg(n int) Arg { return Arg{kind: argBuf, n: n} }
+
+// String renders the argument the way a C call site would spell it.
+func (a Arg) String() string {
+	switch a.kind {
+	case argInt:
+		return strconv.FormatInt(a.i, 10)
+	case argNull:
+		return "NULL"
+	case argStr:
+		return strconv.Quote(a.s)
+	case argBuf:
+		return fmt.Sprintf("buf[%d]", a.n)
+	}
+	return "undef"
+}
+
+// materialize builds the run-time value for one argument.
+func (a Arg) materialize(in *Interp, pos ctoken.Pos) (cvalue, bool) {
+	switch a.kind {
+	case argInt:
+		return intVal(a.i), true
+	case argNull:
+		return nullPtr, true
+	case argStr:
+		obj := in.newObject(len(a.s)+1, false, "arg-string", pos)
+		for i := 0; i < len(a.s); i++ {
+			obj.slots[i] = intVal(int64(a.s[i]))
+			obj.defined[i] = true
+		}
+		obj.slots[len(a.s)] = intVal(0)
+		obj.defined[len(a.s)] = true
+		return ptrVal(obj, 0), true
+	case argBuf:
+		n := a.n
+		if n < 1 {
+			n = 1
+		}
+		obj := in.newObject(n, false, "arg-buffer", pos)
+		for i := range obj.slots {
+			obj.slots[i] = intVal(0)
+			obj.defined[i] = true
+		}
+		return ptrVal(obj, 0), true
+	}
+	return cvalue{}, false
+}
+
+// RunSpec configures one RunEntry execution.
+type RunSpec struct {
+	// Entry is the function to execute.
+	Entry string
+	// Args are the concrete argument values, positionally. Missing
+	// trailing arguments leave parameter slots undefined.
+	Args []Arg
+	// MaxSteps, when positive, overrides Options.MaxSteps for this run
+	// only (a per-run step budget).
+	MaxSteps int
+	// FailAllocAt, when positive, makes the FailAllocAt'th heap
+	// allocation of the run return NULL.
+	FailAllocAt int
+	// WatchFile/WatchLine, when WatchLine is nonzero, mark a source line;
+	// Result.ReachedWatch reports whether execution touched it.
+	WatchFile string
+	WatchLine int
+}
+
+// Reset rewinds the interpreter to its just-constructed state: empty heap,
+// zero step count, no errors, and freshly re-initialized globals. It lets a
+// single Interp (and its parsed program) be reused across many harness runs.
+func (in *Interp) Reset() {
+	in.heap = nil
+	in.nextID = 0
+	in.steps = 0
+	in.out.Reset()
+	in.errs = nil
+	in.exit = 0
+	in.halted = false
+	in.retVal = cvalue{}
+	in.curPos = ctoken.Pos{}
+	in.allocCount = 0
+	in.failAllocAt = 0
+	in.watchFile = ""
+	in.watchLine = 0
+	in.reachedWatch = false
+	in.globals = map[string]location{}
+	for _, vd := range in.globalVars {
+		in.defineGlobal(vd)
+	}
+}
+
+// RunEntry resets the interpreter and executes one entry function per the
+// spec, returning the instrumented result (including the end-of-run leak
+// scan and whether the watch line was reached).
+func (in *Interp) RunEntry(spec RunSpec) *Result {
+	in.Reset()
+	in.failAllocAt = spec.FailAllocAt
+	in.watchFile = spec.WatchFile
+	in.watchLine = spec.WatchLine
+	savedMax := in.opts.MaxSteps
+	if spec.MaxSteps > 0 {
+		in.opts.MaxSteps = spec.MaxSteps
+	}
+	defer func() { in.opts.MaxSteps = savedMax }()
+
+	f, ok := in.funcs[spec.Entry]
+	if !ok {
+		in.errorf(BadProgram, ctoken.Pos{}, "entry function %q not defined", spec.Entry)
+		return in.finish()
+	}
+	args := make([]cvalue, 0, len(spec.Args))
+	for _, a := range spec.Args {
+		v, ok := a.materialize(in, f.Pos())
+		if !ok {
+			// Undefined argument: stop the slice here so the parameter
+			// slot stays uninitialized.
+			break
+		}
+		args = append(args, v)
+	}
+	in.callFunction(f, args, f.Pos())
+	return in.finish()
+}
+
+// TypeSlots reports the abstract slot size the interpreter assigns to a
+// type (one slot per scalar, structs flattened, arrays by element count).
+// Validators use it to size BufArg buffers for pointer parameters.
+func TypeSlots(t *ctypes.Type) int { return slotCount(t) }

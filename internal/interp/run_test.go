@@ -1,0 +1,215 @@
+package interp
+
+import (
+	"testing"
+)
+
+// Tests for the resumable entry API (Reset/RunEntry) and for fault position
+// reporting: StepLimit and AssertFailed must name the faulting source line.
+
+func TestStepLimitReportsFaultingLine(t *testing.T) {
+	prog := load(t, `int main(void) {
+	int n;
+	n = 0;
+	while (1) {
+		n = n + 1;
+	}
+	return n;
+}`)
+	res := New(prog, Options{MaxSteps: 100}).Run("main")
+	if len(res.Errors) != 1 || res.Errors[0].Kind != StepLimit {
+		t.Fatalf("errors = %v, want one StepLimit", res.Errors)
+	}
+	pos := res.Errors[0].Pos
+	if !pos.IsValid() {
+		t.Fatalf("StepLimit error has no position: %v", res.Errors[0])
+	}
+	// The limit trips inside the loop: either the while header (line 4) or
+	// the body statement (line 5), never line 0.
+	if pos.Line != 4 && pos.Line != 5 {
+		t.Errorf("StepLimit at line %d, want 4 or 5", pos.Line)
+	}
+}
+
+func TestAssertFailedReportsLine(t *testing.T) {
+	prog := load(t, `#include <assert.h>
+int main(void) {
+	int x;
+	x = 3;
+	assert(x == 4);
+	return 0;
+}`)
+	res := New(prog, Options{}).Run("main")
+	if len(res.Errors) != 1 || res.Errors[0].Kind != AssertFailed {
+		t.Fatalf("errors = %v, want one AssertFailed", res.Errors)
+	}
+	if res.Errors[0].Pos.Line != 5 {
+		t.Errorf("AssertFailed at line %d, want 5", res.Errors[0].Pos.Line)
+	}
+}
+
+func TestRunEntryWithIntArgs(t *testing.T) {
+	prog := load(t, `int add(int a, int b) { return a + b; }`)
+	in := New(prog, Options{})
+	res := in.RunEntry(RunSpec{Entry: "add", Args: []Arg{IntArg(2), IntArg(40)}})
+	if len(res.Errors) != 0 {
+		t.Fatalf("errors = %v", res.Errors)
+	}
+	if in.retVal.asInt() != 42 {
+		t.Errorf("add(2,40) = %d, want 42", in.retVal.asInt())
+	}
+}
+
+func TestRunEntryResetIsolatesRuns(t *testing.T) {
+	prog := load(t, `#include <stdlib.h>
+int leak(int n) {
+	char *p;
+	p = (char *) malloc(8);
+	if (n > 0) { return n; }
+	free(p);
+	return 0;
+}`)
+	in := New(prog, Options{})
+	res := in.RunEntry(RunSpec{Entry: "leak", Args: []Arg{IntArg(1)}})
+	if len(res.Leaks) != 1 {
+		t.Fatalf("first run leaks = %v, want 1", res.Leaks)
+	}
+	// The second run must not see the first run's heap.
+	res = in.RunEntry(RunSpec{Entry: "leak", Args: []Arg{IntArg(0)}})
+	if len(res.Leaks) != 0 {
+		t.Fatalf("second run leaks = %v, want 0", res.Leaks)
+	}
+	if len(res.Errors) != 0 {
+		t.Fatalf("second run errors = %v", res.Errors)
+	}
+}
+
+func TestRunEntryFailAllocAt(t *testing.T) {
+	prog := load(t, `#include <stdlib.h>
+int f(int n) {
+	int *p;
+	p = (int *) malloc(sizeof(int));
+	*p = n;
+	free(p);
+	return 0;
+}`)
+	in := New(prog, Options{})
+	// Without fault injection malloc always succeeds.
+	res := in.RunEntry(RunSpec{Entry: "f", Args: []Arg{IntArg(1)}})
+	if len(res.Errors) != 0 {
+		t.Fatalf("no-fault run errors = %v", res.Errors)
+	}
+	// Failing the first allocation turns *p into a null dereference.
+	res = in.RunEntry(RunSpec{Entry: "f", Args: []Arg{IntArg(1)}, FailAllocAt: 1})
+	if len(res.Errors) == 0 || res.Errors[0].Kind != NullDeref {
+		t.Fatalf("fault run errors = %v, want NullDeref", res.Errors)
+	}
+	if res.Errors[0].Pos.Line != 5 {
+		t.Errorf("NullDeref at line %d, want 5", res.Errors[0].Pos.Line)
+	}
+}
+
+func TestRunEntryWatchLine(t *testing.T) {
+	prog := load(t, `int f(int n) {
+	if (n > 10) {
+		return 1;
+	}
+	return 0;
+}`)
+	in := New(prog, Options{})
+	res := in.RunEntry(RunSpec{Entry: "f", Args: []Arg{IntArg(20)}, WatchFile: "t.c", WatchLine: 3})
+	if !res.ReachedWatch {
+		t.Errorf("f(20) should reach line 3")
+	}
+	res = in.RunEntry(RunSpec{Entry: "f", Args: []Arg{IntArg(0)}, WatchFile: "t.c", WatchLine: 3})
+	if res.ReachedWatch {
+		t.Errorf("f(0) should not reach line 3")
+	}
+}
+
+func TestRunEntryPerRunStepBudget(t *testing.T) {
+	prog := load(t, `int spin(int n) {
+	while (n > 0) { n = n + 0; }
+	return n;
+}
+int quick(void) { return 1; }`)
+	in := New(prog, Options{MaxSteps: 1 << 20})
+	res := in.RunEntry(RunSpec{Entry: "spin", Args: []Arg{IntArg(1)}, MaxSteps: 50})
+	if len(res.Errors) != 1 || res.Errors[0].Kind != StepLimit {
+		t.Fatalf("errors = %v, want StepLimit", res.Errors)
+	}
+	if res.Steps > 100 {
+		t.Errorf("steps = %d, per-run budget of 50 not applied", res.Steps)
+	}
+	// The override is restored: the next run gets the full budget.
+	res = in.RunEntry(RunSpec{Entry: "quick"})
+	if len(res.Errors) != 0 {
+		t.Fatalf("post-override run errors = %v", res.Errors)
+	}
+}
+
+func TestRunEntryStringAndBufferArgs(t *testing.T) {
+	prog := load(t, `#include <string.h>
+int f(char *s, int *out) {
+	*out = (int) strlen(s);
+	return *out;
+}`)
+	in := New(prog, Options{})
+	res := in.RunEntry(RunSpec{Entry: "f", Args: []Arg{StrArg("hello"), BufArg(1)}})
+	if len(res.Errors) != 0 {
+		t.Fatalf("errors = %v", res.Errors)
+	}
+	if in.retVal.asInt() != 5 {
+		t.Errorf("strlen result = %d, want 5", in.retVal.asInt())
+	}
+	// Caller-owned buffers are not leak-tracked.
+	if len(res.Leaks) != 0 {
+		t.Errorf("leaks = %v, want none", res.Leaks)
+	}
+}
+
+func TestRunEntryNullArg(t *testing.T) {
+	prog := load(t, `int f(int *p) {
+	if (p == 0) { return -1; }
+	return *p;
+}`)
+	in := New(prog, Options{})
+	res := in.RunEntry(RunSpec{Entry: "f", Args: []Arg{NullArg()}})
+	if len(res.Errors) != 0 {
+		t.Fatalf("errors = %v", res.Errors)
+	}
+	if in.retVal.asInt() != -1 {
+		t.Errorf("f(NULL) = %d, want -1", in.retVal.asInt())
+	}
+}
+
+func TestArgString(t *testing.T) {
+	cases := []struct {
+		a    Arg
+		want string
+	}{
+		{IntArg(-3), "-3"},
+		{NullArg(), "NULL"},
+		{StrArg("a b"), `"a b"`},
+		{BufArg(4), "buf[4]"},
+		{Arg{}, "undef"},
+	}
+	for _, c := range cases {
+		if got := c.a.String(); got != c.want {
+			t.Errorf("Arg.String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestResetReinitializesGlobals(t *testing.T) {
+	prog := load(t, `int counter;
+int bump(void) { counter = counter + 1; return counter; }`)
+	in := New(prog, Options{})
+	in.RunEntry(RunSpec{Entry: "bump"})
+	first := in.retVal.asInt()
+	in.RunEntry(RunSpec{Entry: "bump"})
+	second := in.retVal.asInt()
+	if first != 1 || second != 1 {
+		t.Errorf("bump() after Reset = %d then %d, want 1 and 1", first, second)
+	}
+}

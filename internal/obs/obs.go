@@ -71,6 +71,10 @@ const (
 	StoreClones                          // O(1) copy-on-write store clones
 	RefStatesCopied                      // refStates copied by the copy-on-write fault path
 	MergeNS                              // nanoseconds spent in mergeStores
+	Validated                            // diagnostics examined by counterexample validation
+	ConfirmedDiags                       // diagnostics whose fault the interpreter reproduced
+	InfeasibleDiags                      // diagnostics whose fault site no generated input reached
+	ValidateWallNS                       // nanoseconds spent in the validation pass
 	NumCounters
 )
 
@@ -92,6 +96,10 @@ var counterNames = [NumCounters]string{
 	StoreClones:           "store_clones",
 	RefStatesCopied:       "refstates_copied",
 	MergeNS:               "merge_ns",
+	Validated:             "validated",
+	ConfirmedDiags:        "confirmed",
+	InfeasibleDiags:       "infeasible",
+	ValidateWallNS:        "validate_wall_ns",
 }
 
 // String returns the counter's stable name (used as a JSON key).

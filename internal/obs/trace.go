@@ -28,6 +28,10 @@ type DiagEvent struct {
 	Msg     string   `json:"msg"`
 	Ref     string   `json:"ref,omitempty"`     // the implicated reference, if any
 	Witness []string `json:"witness,omitempty"` // rendered "file:line: [kind] msg" steps
+	// Validation is the counterexample-validation tag ("confirmed",
+	// "unreproduced", "path-infeasible"); empty when the run did not
+	// validate diagnostics.
+	Validation string `json:"validation,omitempty"`
 }
 
 // Tracer receives one event per function checked. Implementations must be

@@ -14,6 +14,7 @@ import (
 	"golclint/internal/core"
 	"golclint/internal/cpp"
 	"golclint/internal/diag"
+	"golclint/internal/validate"
 )
 
 // expectedCodes maps each bug kind to the diagnostic codes acceptable for
@@ -112,6 +113,62 @@ func TestSeededBugRecallPerKind(t *testing.T) {
 				Bugs: map[BugKind]int{k: 3},
 			})
 			runRecall(t, p)
+		})
+	}
+}
+
+// Confirmed precision: counterexample validation over the seeded corpus.
+// Every diagnostic the checker reports at a seeded bug's site must validate
+// `confirmed` — the interpreter reproduces the fault from a generated input.
+// A `path-infeasible` tag on a seeded line is a validation-search regression
+// (the seeded bugs are all reachable by construction), and an unconfirmed
+// seeded report means the static claim could not be demonstrated.
+func TestSeededBugConfirmedPrecision(t *testing.T) {
+	for seed := int64(330); seed < 333; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			p := Generate(Config{
+				Seed: seed, Modules: 4, FuncsPer: 3, Annotate: true,
+				Bugs: map[BugKind]int{
+					BugLeak: 2, BugCondLeak: 2, BugUseAfterFree: 2,
+					BugDoubleFree: 2, BugNullDeref: 2, BugUninit: 2,
+				},
+			})
+			res := core.CheckSources(p.Files, core.Options{
+				Includes: cpp.MapIncluder(p.Headers), Explain: true,
+			})
+			if len(res.ParseErrors) > 0 || len(res.SemaErrors) > 0 {
+				t.Fatalf("frontend errors: %v %v", res.ParseErrors, res.SemaErrors)
+			}
+			sum := validate.Apply(res.Program, res.Diags, validate.Options{})
+			if sum.Examined != len(res.Diags) {
+				t.Errorf("validated %d of %d diagnostics", sum.Examined, len(res.Diags))
+			}
+			seededSite := func(d *diag.Diagnostic) bool {
+				for _, b := range p.Bugs {
+					if d.Pos.File == b.File && d.Pos.Line == b.Line {
+						return true
+					}
+				}
+				return false
+			}
+			for _, d := range res.Diags {
+				if !seededSite(d) {
+					continue
+				}
+				if d.Validation == nil {
+					t.Errorf("seeded-site diagnostic left untagged: %s", d)
+					continue
+				}
+				if d.Validation.Tag == diag.PathInfeasible {
+					t.Errorf("seeded-site diagnostic tagged path-infeasible (seeded bugs are reachable by construction): %s — %s",
+						d, d.Validation.Detail)
+				}
+				if d.Validation.Tag != diag.Confirmed {
+					t.Errorf("seeded-site diagnostic not confirmed (%s): %s — %s",
+						d.Validation.Tag, d, d.Validation.Detail)
+				}
+			}
 		})
 	}
 }

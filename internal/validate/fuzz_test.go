@@ -1,0 +1,60 @@
+package validate
+
+import (
+	"testing"
+
+	"golclint/internal/core"
+	"golclint/internal/interp"
+	"golclint/internal/testgen"
+)
+
+// FuzzValidateHarness drives the validation harness machinery over
+// generated programs with fuzzed inputs. Invariants: the interpreter never
+// panics, every recorded fault carries a known ErrorKind name, and a
+// checker-accepted program (no parse or sema errors) never produces a
+// BadProgram fault — the run-time baseline understands everything the
+// static checker accepts.
+func FuzzValidateHarness(f *testing.F) {
+	f.Add(int64(1), uint8(0), int64(0), uint8(0))
+	f.Add(int64(42), uint8(3), int64(11), uint8(1))
+	f.Add(int64(7), uint8(5), int64(-9), uint8(2))
+	f.Fuzz(func(t *testing.T, seed int64, kindSel uint8, argVal int64, failAt uint8) {
+		kind := testgen.BugKind(int(kindSel) % len(testgen.AllBugKinds()))
+		p := testgen.Generate(testgen.Config{
+			Seed: seed, Modules: 1, FuncsPer: 2, Annotate: true,
+			Bugs: map[testgen.BugKind]int{kind: 1},
+		})
+		res := core.CheckSources(p.AllSources(), core.Options{Explain: true})
+		if len(res.ParseErrors) > 0 || len(res.SemaErrors) > 0 {
+			t.Skip("generator produced a rejected program; out of scope here")
+		}
+
+		in := interp.New(res.Program, interp.Options{MaxSteps: 50_000})
+		for _, b := range p.Bugs {
+			r := in.RunEntry(interp.RunSpec{
+				Entry:       b.Func,
+				Args:        []interp.Arg{interp.IntArg(argVal)},
+				MaxSteps:    50_000,
+				FailAllocAt: int(failAt % 4),
+				WatchFile:   b.File, WatchLine: b.Line,
+			})
+			for _, e := range r.Errors {
+				if e.Kind.String() == "" {
+					t.Errorf("fault with unknown kind %d: %v", int(e.Kind), e)
+				}
+				if e.Kind == interp.BadProgram {
+					t.Errorf("BadProgram on checker-accepted program: %v", e)
+				}
+			}
+		}
+
+		// The full validation pass over the same program must also hold the
+		// invariants (and never panic).
+		Apply(res.Program, res.Diags, Options{MaxRunsPerDiag: 8, MaxStepsPerRun: 20_000})
+		for _, d := range res.Diags {
+			if d.Validation == nil {
+				t.Errorf("diagnostic left untagged: %s", d.String())
+			}
+		}
+	})
+}

@@ -1,0 +1,209 @@
+package validate
+
+import (
+	"strings"
+	"testing"
+
+	"golclint/internal/core"
+	"golclint/internal/diag"
+)
+
+// check runs the checker with witnesses on and returns the result.
+func check(t *testing.T, files map[string]string) *core.Result {
+	t.Helper()
+	res := core.CheckSources(files, core.Options{Explain: true})
+	if len(res.ParseErrors) > 0 {
+		t.Fatalf("parse errors: %v", res.ParseErrors)
+	}
+	return res
+}
+
+func TestApplyConfirmsUseAfterFree(t *testing.T) {
+	res := check(t, map[string]string{"u.c": `#include <stdlib.h>
+
+int useAfterFree (int n)
+{
+	char *p;
+
+	p = (char *) malloc (8);
+	if (p == NULL)
+	{
+		exit (EXIT_FAILURE);
+	}
+	free (p);
+	p[0] = (char) n;
+	return n;
+}
+`})
+	if len(res.Diags) == 0 {
+		t.Fatal("no diagnostics; test is vacuous")
+	}
+	sum := Apply(res.Program, res.Diags, Options{})
+	if sum.Examined != len(res.Diags) {
+		t.Errorf("examined %d of %d diagnostics", sum.Examined, len(res.Diags))
+	}
+	confirmed := false
+	for _, d := range res.Diags {
+		if d.Code == diag.UseDead {
+			if d.Validation == nil || d.Validation.Tag != diag.Confirmed {
+				t.Errorf("use-after-free not confirmed: %+v", d.Validation)
+			} else {
+				confirmed = true
+				if !strings.Contains(d.Validation.Detail, "reproduced by useAfterFree(") {
+					t.Errorf("detail does not name the input: %q", d.Validation.Detail)
+				}
+			}
+		}
+	}
+	if !confirmed {
+		t.Fatal("no UseDead diagnostic to validate")
+	}
+}
+
+func TestApplyConfirmsConditionalLeak(t *testing.T) {
+	res := check(t, map[string]string{"l.c": `#include <stdlib.h>
+
+int condLeak (int n)
+{
+	char *p;
+
+	p = (char *) malloc (8);
+	if (p == NULL)
+	{
+		exit (EXIT_FAILURE);
+	}
+	if (n > 10)
+	{
+		return n;
+	}
+	free (p);
+	return 0;
+}
+`})
+	Apply(res.Program, res.Diags, Options{})
+	found := false
+	for _, d := range res.Diags {
+		if d.Code == diag.Leak || d.Code == diag.LeakReturn {
+			found = true
+			if d.Validation == nil || d.Validation.Tag != diag.Confirmed {
+				t.Errorf("conditional leak not confirmed: %+v", d.Validation)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no leak diagnostic emitted")
+	}
+}
+
+func TestApplyConfirmsMallocFailureNullDeref(t *testing.T) {
+	res := check(t, map[string]string{"n.c": `#include <stdlib.h>
+
+int nullDeref (int n)
+{
+	int *p;
+
+	p = (int *) malloc (sizeof (int));
+	*p = n;
+	free (p);
+	return 0;
+}
+`})
+	Apply(res.Program, res.Diags, Options{})
+	found := false
+	for _, d := range res.Diags {
+		if d.Code == diag.NullDeref {
+			found = true
+			if d.Validation == nil || d.Validation.Tag != diag.Confirmed {
+				t.Errorf("null deref not confirmed: %+v", d.Validation)
+			} else if !strings.Contains(d.Validation.Detail, "allocation 1 failing") {
+				t.Errorf("detail does not name the failing allocation: %q", d.Validation.Detail)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no NullDeref diagnostic emitted")
+	}
+}
+
+func TestApplyStaticOnlyCodesUnreproduced(t *testing.T) {
+	// An annotation conflict has no run-time manifestation.
+	res := check(t, map[string]string{"a.c": `#include <stdlib.h>
+
+int deadReturn (int n)
+{
+	return n;
+	n = n + 1;
+	return n;
+}
+`})
+	Apply(res.Program, res.Diags, Options{})
+	found := false
+	for _, d := range res.Diags {
+		if d.Code == diag.DeadCode {
+			found = true
+			if d.Validation == nil || d.Validation.Tag != diag.Unreproduced {
+				t.Errorf("static-only code tagged %+v, want unreproduced", d.Validation)
+			}
+			if d.Validation != nil && !strings.Contains(d.Validation.Detail, "no run-time manifestation") {
+				t.Errorf("detail = %q", d.Validation.Detail)
+			}
+		}
+	}
+	if !found {
+		t.Skip("no DeadCode diagnostic emitted by this checker configuration")
+	}
+}
+
+func TestApplyNilProgramIsNoOp(t *testing.T) {
+	d := &diag.Diagnostic{Code: diag.Leak}
+	sum := Apply(nil, []*diag.Diagnostic{d}, Options{})
+	if sum.Examined != 0 || d.Validation != nil {
+		t.Errorf("nil program validated anyway: %+v %+v", sum, d.Validation)
+	}
+}
+
+// Validation must be deterministic: two applications over freshly checked
+// copies of the same program yield identical tags and details.
+func TestApplyDeterministic(t *testing.T) {
+	files := map[string]string{"d.c": `#include <stdlib.h>
+
+int condLeak (int n)
+{
+	char *p;
+
+	p = (char *) malloc (8);
+	if (p == NULL)
+	{
+		exit (EXIT_FAILURE);
+	}
+	if (n > 0)
+	{
+		return n;
+	}
+	free (p);
+	return 0;
+}
+
+int useAfterFree (void)
+{
+	char *q;
+
+	q = (char *) malloc (4);
+	free (q);
+	return (int) q[0];
+}
+`}
+	a := check(t, files)
+	Apply(a.Program, a.Diags, Options{})
+	b := check(t, files)
+	Apply(b.Program, b.Diags, Options{})
+	if len(a.Diags) != len(b.Diags) {
+		t.Fatalf("diag counts differ: %d vs %d", len(a.Diags), len(b.Diags))
+	}
+	for i := range a.Diags {
+		if !diag.Equal(a.Diags[i], b.Diags[i]) {
+			t.Errorf("diag %d differs across applications:\n%+v\n%+v",
+				i, a.Diags[i].Validation, b.Diags[i].Validation)
+		}
+	}
+}

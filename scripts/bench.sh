@@ -1,6 +1,6 @@
 #!/bin/sh
 # Bench smoke: run the lclbench perf experiments in -quick mode and verify
-# that all seven BENCH_*.json artifacts are produced and parse as JSON.
+# that all eight BENCH_*.json artifacts are produced and parse as JSON.
 # Exercised by CI; also useful locally before comparing numbers across
 # machines. Keep it cheap — -quick uses small corpora, so this is a
 # does-the-harness-work check, not a measurement. The numbers it does gate
@@ -9,13 +9,16 @@
 # budget by more than 20% fails. BENCH_provenance.json (E19) additionally
 # gates the provenance hooks: with -explain off they must cost at most 2%
 # wall over the plain checker and essentially zero extra allocations.
+# BENCH_validate.json (E20) gates counterexample validation: every seeded
+# bug must validate `confirmed`, the corpus confirmed rate must stay >= 0.8,
+# and a whole-corpus validation pass must fit the committed wall budget.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 go run ./cmd/lclbench -quick
 
-for f in BENCH_scaling.json BENCH_modular.json BENCH_parallel.json BENCH_incremental.json BENCH_state.json BENCH_frontend.json BENCH_provenance.json; do
+for f in BENCH_scaling.json BENCH_modular.json BENCH_parallel.json BENCH_incremental.json BENCH_state.json BENCH_frontend.json BENCH_provenance.json BENCH_validate.json; do
     test -s "$f" || { echo "missing or empty: $f" >&2; exit 1; }
     python3 -m json.tool "$f" > /dev/null || { echo "invalid JSON: $f" >&2; exit 1; }
     echo "ok: $f"
@@ -52,4 +55,21 @@ if d["diags"] == 0 or d["witnessed"] != d["diags"]:
     sys.exit("witness coverage: %d/%d diagnostics" % (d["witnessed"], d["diags"]))
 print("ok: provenance off overhead %+.2f%% wall, %+d allocs/op; witnesses %d/%d"
       % (d["overhead_off_pct"], d["extra_allocs_off_per_op"], d["witnessed"], d["diags"]))
+
+# E20 gate: counterexample validation over the seeded corpus. Every planted
+# bug's diagnostic must validate `confirmed` (the validation search finds a
+# reproducing input for each — these bugs are reachable by construction),
+# the overall confirmed rate must hold at 0.8, and the fastest whole-corpus
+# validation pass must fit the committed wall budget (set generously; only a
+# pathological search-space blowup trips it).
+d = json.load(open("BENCH_validate.json"))
+if d["seeded_total"] == 0 or d["seeded_confirmed"] != d["seeded_total"]:
+    sys.exit("seeded-bug confirmation: %d/%d" % (d["seeded_confirmed"], d["seeded_total"]))
+if d["confirmed_rate"] < 0.8:
+    sys.exit("confirmed rate %.3f < 0.8" % d["confirmed_rate"])
+if d["validate_ns_per_op"] > d["budget_ns_per_op"]:
+    sys.exit("validation pass %d ns/op over the %d ns/op budget"
+             % (d["validate_ns_per_op"], d["budget_ns_per_op"]))
+print("ok: validation confirmed %d/%d seeded, rate %.3f, %d ns/op within budget"
+      % (d["seeded_confirmed"], d["seeded_total"], d["confirmed_rate"], d["validate_ns_per_op"]))
 EOF
