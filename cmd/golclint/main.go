@@ -24,16 +24,30 @@
 //	-memprofile file           write a pprof heap profile
 //	-max n                     cap the number of reported messages
 //
+// Server mode replaces the one-shot run with a resident daemon (see
+// internal/server for the request/response schema):
+//
+//	-serve host:port           serve POST /check, GET /stats, GET /healthz
+//	                           over HTTP, keeping the analysis cache and
+//	                           interface libraries warm between requests;
+//	                           combine with -cache-dir to persist warm
+//	                           state across restarts
+//	-serve-inflight n          max concurrent check computations
+//	-serve-per-client n        max in-flight requests per client (429 over)
+//
 // Exit status is 1 when anomalies were reported, 2 on usage or I/O errors.
 //
-// The implementation lives in internal/cli so tests (and the golden-corpus
-// runner) can invoke the same code path in-process.
+// The implementation lives in internal/cli and internal/server so tests
+// (and the golden-corpus runner) can invoke the same code path in-process.
 package main
 
 import (
+	"fmt"
+	"net"
 	"os"
 
 	"golclint/internal/cli"
+	"golclint/internal/server"
 )
 
 func main() {
@@ -43,5 +57,37 @@ func main() {
 // run reads os.Stdout/os.Stderr at call time so tests that redirect them
 // before calling still capture the output.
 func run(args []string) int {
-	return cli.Run(args, os.Stdout, os.Stderr)
+	cfg, err := cli.ParseConfig(args, os.Stderr)
+	if err != nil {
+		return 2
+	}
+	if cfg.Serve != "" {
+		return serve(cfg)
+	}
+	return cli.RunConfig(cfg, os.Stdout, os.Stderr)
+}
+
+// serve runs the analysis daemon until the listener fails (or the process
+// is signalled).
+func serve(cfg *cli.Config) int {
+	srv, err := server.New(server.Options{
+		CacheDir:    cfg.CacheDir,
+		MaxInFlight: cfg.ServeInFlight,
+		PerClient:   cfg.ServePerClient,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "golclint: %v\n", err)
+		return 2
+	}
+	ln, err := net.Listen("tcp", cfg.Serve)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "golclint: %v\n", err)
+		return 2
+	}
+	fmt.Fprintf(os.Stderr, "golclint: serving on http://%s\n", ln.Addr())
+	if err := srv.Serve(ln); err != nil {
+		fmt.Fprintf(os.Stderr, "golclint: %v\n", err)
+		return 2
+	}
+	return 0
 }

@@ -1,5 +1,5 @@
 // Command lclbench regenerates every table and figure reproduction from
-// the paper's evaluation (experiments E1-E20 in DESIGN.md and
+// the paper's evaluation (experiments E1-E21 in DESIGN.md and
 // EXPERIMENTS.md). Each subcommand prints one experiment; "all" runs the
 // full set.
 //
@@ -7,7 +7,8 @@
 // prose tables — BENCH_scaling.json (E9), BENCH_modular.json (E10),
 // BENCH_parallel.json (E15), BENCH_incremental.json (E16),
 // BENCH_state.json (E17), BENCH_frontend.json (E18),
-// BENCH_provenance.json (E19), and BENCH_validate.json (E20) in the current
+// BENCH_provenance.json (E19), BENCH_validate.json (E20), and
+// BENCH_serve.json (E21) in the current
 // directory — each stamped with the
 // experiment's elapsed time and allocation totals (measured per benchmark
 // row, so alloc figures are attributable) so the numbers are diffable
@@ -15,7 +16,7 @@
 //
 // Usage:
 //
-//	lclbench [-jobs n] [-quick] [samples|listaddh|ercdb|scaling|modular|economy|staticvsdynamic|nofixpoint|parallel|incremental|state|frontend|provenance|validate|all]
+//	lclbench [-jobs n] [-quick] [samples|listaddh|ercdb|scaling|modular|economy|staticvsdynamic|nofixpoint|parallel|incremental|state|frontend|provenance|validate|serve|all]
 //
 //	-jobs n   highest worker count the parallel experiment sweeps to
 //	          (0 = GOMAXPROCS)
@@ -27,16 +28,21 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"golclint/internal/atomicio"
 	"golclint/internal/cache"
 	"golclint/internal/cfg"
+	"golclint/internal/cli"
 	"golclint/internal/core"
 	"golclint/internal/cpp"
 	"golclint/internal/diag"
@@ -45,6 +51,7 @@ import (
 	"golclint/internal/interp"
 	"golclint/internal/library"
 	"golclint/internal/obs"
+	"golclint/internal/server"
 	"golclint/internal/testgen"
 	"golclint/internal/validate"
 )
@@ -139,6 +146,7 @@ var experiments = []struct {
 	{"frontend", runFrontend},
 	{"provenance", runProvenance},
 	{"validate", runValidate},
+	{"serve", runServe},
 }
 
 // maxJobs is the highest worker count the parallel experiment sweeps to
@@ -160,6 +168,7 @@ func main() {
 		runFrontendIters(3)
 		runProvenanceIters(10)
 		runValidateIters(3)
+		runServeConfig(8, 6, 20, 4)
 		return
 	}
 	cmd := "all"
@@ -1217,4 +1226,222 @@ func runValidateIters(iters int) {
 	fmt.Printf("validation pass: %d ns/op, %d ns/diag (budget %d ns/op)\n",
 		doc.ValidateNSPerOp, doc.NSPerDiag, doc.BudgetNSPerOp)
 	writeBenchJSON("BENCH_validate.json", doc)
+}
+
+// ---------------------------------------------------------------------------
+// E21: the analysis server. A long-lived daemon keeps the interface library
+// and the content-addressed cache resident, so an editor's re-check request
+// pays neither process startup nor cold analysis. The experiment compares a
+// cold single-shot CLI run over an E9-style corpus against warm requests to
+// a live server (same corpus, same checker path), records warm p50/p99 and
+// coalescing under concurrent clients, and BENCH_serve.json carries the
+// speedup scripts/bench.sh gates at >= 5x.
+
+// serveDoc is BENCH_serve.json.
+type serveDoc struct {
+	benchMeta
+	Lines   int `json:"lines"`
+	Modules int `json:"modules"`
+	// ColdCLINS is the best-of-3 wall time of a fresh CLI process-equivalent
+	// run (cli.Run, no cache) over the whole corpus from disk.
+	ColdCLINS int64 `json:"cold_cli_ns"`
+	// ColdServerNS is the first request to a fresh server (cache cold);
+	// WarmP50NS / WarmP99NS are percentiles over WarmReqs repeats of the
+	// same request once resident.
+	ColdServerNS int64 `json:"cold_server_ns"`
+	WarmReqs     int   `json:"warm_reqs"`
+	WarmP50NS    int64 `json:"warm_p50_ns"`
+	WarmP99NS    int64 `json:"warm_p99_ns"`
+	// SpeedupWarm is ColdCLINS / WarmP50NS — the gated headline figure.
+	SpeedupWarm float64 `json:"speedup_warm"`
+	// Concurrent-client section: Clients workers posting primed per-module
+	// requests for BurstReqs total requests.
+	Clients       int     `json:"clients"`
+	BurstReqs     int     `json:"burst_reqs"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	Coalesced     int64   `json:"coalesced"`
+	MemoHits      int64   `json:"memo_hits"`
+	// Resident-state footprint at the end of the run.
+	CacheEntries int   `json:"cache_entries"`
+	CacheBytes   int64 `json:"cache_bytes"`
+}
+
+func runServe() { runServeConfig(32, 10, 60, 4) }
+
+// runServeConfig is runServe over a configurable corpus (modules × funcsPer),
+// warm-request count, and concurrent-client count (the -quick smoke uses a
+// small configuration).
+func runServeConfig(modules, funcsPer, warmReqs, clients int) {
+	header("E21", "analysis server: warm request latency vs cold CLI")
+	p := testgen.Generate(testgen.Config{
+		Seed: 42, Modules: modules, FuncsPer: funcsPer, Annotate: true,
+		Bugs: map[testgen.BugKind]int{testgen.BugLeak: modules / 2},
+	})
+
+	// Cold CLI baseline: the corpus on disk, checked by the same entry point
+	// the golclint binary uses, no cache directory — every run pays the full
+	// frontend and analysis. Best of 3 keeps scheduler noise out of the
+	// denominator (understating the speedup, never inflating it).
+	dir, err := os.MkdirTemp("", "golclint-bench-serve-")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lclbench: %v\n", err)
+		return
+	}
+	defer os.RemoveAll(dir)
+	var args []string
+	for name, src := range p.Headers {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "lclbench: %v\n", err)
+			return
+		}
+	}
+	for name, src := range p.Files {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "lclbench: %v\n", err)
+			return
+		}
+		args = append(args, path)
+	}
+	sort.Strings(args)
+	coldCLI := int64(1 << 62)
+	for i := 0; i < 3; i++ {
+		start := time.Now()
+		cli.Run(args, io.Discard, io.Discard)
+		if ns := time.Since(start).Nanoseconds(); ns < coldCLI {
+			coldCLI = ns
+		}
+	}
+
+	// Live server on a loopback port, exactly as `golclint -serve` runs it.
+	srv, err := server.New(server.Options{})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lclbench: %v\n", err)
+		return
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lclbench: %v\n", err)
+		return
+	}
+	defer ln.Close()
+	go srv.Serve(ln)
+	base := "http://" + ln.Addr().String()
+	post := func(req *server.CheckRequest) (time.Duration, error) {
+		body, err := json.Marshal(req)
+		if err != nil {
+			return 0, err
+		}
+		start := time.Now()
+		resp, err := http.Post(base+"/check", "application/json", strings.NewReader(string(body)))
+		if err != nil {
+			return 0, err
+		}
+		defer resp.Body.Close()
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			return 0, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return 0, fmt.Errorf("POST /check: %s", resp.Status)
+		}
+		return time.Since(start), nil
+	}
+
+	var doc serveDoc
+	meta := measure("golclint-bench-serve/v1", "E21", func() {
+		// Whole-corpus batch request: the server-side equivalent of the cold
+		// CLI run above.
+		batch := &server.CheckRequest{Files: p.Files, Headers: p.Headers}
+		cold, err := post(batch)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lclbench: %v\n", err)
+			return
+		}
+		doc.ColdServerNS = cold.Nanoseconds()
+
+		warm := make([]int64, 0, warmReqs)
+		for i := 0; i < warmReqs; i++ {
+			d, err := post(batch)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "lclbench: %v\n", err)
+				return
+			}
+			warm = append(warm, d.Nanoseconds())
+		}
+		sort.Slice(warm, func(i, j int) bool { return warm[i] < warm[j] })
+		doc.WarmP50NS = warm[len(warm)/2]
+		p99 := len(warm) * 99 / 100
+		if p99 >= len(warm) {
+			p99 = len(warm) - 1
+		}
+		doc.WarmP99NS = warm[p99]
+
+		// Concurrent clients over per-module requests (primed once each):
+		// the editor-fleet shape. Identical in-flight requests coalesce.
+		perMod := make([]*server.CheckRequest, 0, len(p.Files))
+		for _, name := range sortedKeys(p.Files) {
+			req := &server.CheckRequest{
+				Files:   map[string]string{name: p.Files[name]},
+				Headers: p.Headers,
+			}
+			if _, err := post(req); err != nil {
+				fmt.Fprintf(os.Stderr, "lclbench: %v\n", err)
+				return
+			}
+			perMod = append(perMod, req)
+		}
+		burst := clients * 2 * len(perMod)
+		var wg sync.WaitGroup
+		burstStart := time.Now()
+		for c := 0; c < clients; c++ {
+			c := c
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 2*len(perMod); i++ {
+					if _, err := post(perMod[(c+i)%len(perMod)]); err != nil {
+						fmt.Fprintf(os.Stderr, "lclbench: %v\n", err)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		doc.Clients = clients
+		doc.BurstReqs = burst
+		doc.ThroughputRPS = float64(burst) / time.Since(burstStart).Seconds()
+	})
+
+	st := srv.StatsSnapshot()
+	doc.benchMeta = meta
+	doc.Lines, doc.Modules = p.Lines, modules
+	doc.ColdCLINS = coldCLI
+	doc.WarmReqs = warmReqs
+	doc.SpeedupWarm = float64(coldCLI) / float64(doc.WarmP50NS)
+	doc.Coalesced = st.Coalesced
+	doc.MemoHits = st.MemoHits
+	doc.CacheEntries = st.CacheMem.Entries
+	doc.CacheBytes = st.CacheMem.Bytes
+
+	fmt.Printf("corpus: %d lines, %d modules\n", p.Lines, modules)
+	fmt.Printf("%-24s %12.1f ms\n", "cold CLI (best of 3)", float64(coldCLI)/1e6)
+	fmt.Printf("%-24s %12.1f ms\n", "cold server request", float64(doc.ColdServerNS)/1e6)
+	fmt.Printf("%-24s %12.2f ms  p99 %.2f ms (%d reqs)\n", "warm server request p50",
+		float64(doc.WarmP50NS)/1e6, float64(doc.WarmP99NS)/1e6, warmReqs)
+	fmt.Printf("warm speedup vs cold CLI: %.1fx (gate: >= 5x)\n", doc.SpeedupWarm)
+	fmt.Printf("%d clients, %d requests: %.0f req/s, %d coalesced, %d memo replays\n",
+		doc.Clients, doc.BurstReqs, doc.ThroughputRPS, doc.Coalesced, doc.MemoHits)
+	fmt.Printf("resident cache: %d entries, %d bytes\n", doc.CacheEntries, doc.CacheBytes)
+	fmt.Println("paper extension: a resident checker turns whole-corpus re-checks into millisecond requests")
+	writeBenchJSON("BENCH_serve.json", doc)
+}
+
+// sortedKeys returns m's keys in sorted order.
+func sortedKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }

@@ -418,3 +418,48 @@ func TestBenchValidateJSONEmission(t *testing.T) {
 			vd.ValidateNSPerOp, vd.BudgetNSPerOp)
 	}
 }
+
+func TestBenchServeJSONEmission(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E21 runs a live server over a generated corpus")
+	}
+	old := outDir
+	outDir = t.TempDir()
+	defer func() { outDir = old }()
+
+	runServeConfig(4, 4, 12, 2)
+	b, err := os.ReadFile(filepath.Join(outDir, "BENCH_serve.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sd serveDoc
+	if err := json.Unmarshal(b, &sd); err != nil {
+		t.Fatalf("BENCH_serve.json invalid: %v", err)
+	}
+	if sd.Schema != "golclint-bench-serve/v1" || sd.Experiment != "E21" {
+		t.Errorf("meta = %q %q", sd.Schema, sd.Experiment)
+	}
+	if sd.Lines <= 0 || sd.Modules != 4 || sd.WarmReqs != 12 || sd.Clients != 2 {
+		t.Errorf("corpus stamps missing: %+v", sd)
+	}
+	if sd.ColdCLINS <= 0 || sd.ColdServerNS <= 0 {
+		t.Errorf("cold figures missing: %+v", sd)
+	}
+	if sd.WarmP50NS <= 0 || sd.WarmP99NS < sd.WarmP50NS {
+		t.Errorf("warm percentiles inconsistent: p50 %d, p99 %d", sd.WarmP50NS, sd.WarmP99NS)
+	}
+	if sd.SpeedupWarm <= 0 {
+		t.Errorf("speedup not computed: %+v", sd)
+	}
+	// Warm requests after the first replay the response memo, so most of
+	// the warm set must be memo hits and the resident cache populated.
+	if sd.MemoHits == 0 {
+		t.Error("no memo replays across the warm request set")
+	}
+	if sd.CacheEntries == 0 || sd.CacheBytes <= 0 {
+		t.Errorf("resident cache empty after the run: %+v", sd)
+	}
+	if sd.BurstReqs != 2*2*sd.Modules || sd.ThroughputRPS <= 0 {
+		t.Errorf("burst figures inconsistent: %+v", sd)
+	}
+}

@@ -37,6 +37,18 @@ import (
 // other schema are treated as misses.
 const entrySchema = "golclint-cache/v1"
 
+// Store is the entry-store abstraction the checker caches through: Get
+// answers whether a key's outcome is known, Put records one. Implementations
+// share the robustness contract of the disk cache — a Get hit must hand the
+// caller an Entry it can own outright (mutating a returned entry must never
+// poison later Gets), and any internal corruption reads as a miss. The
+// package provides three: *Cache (persistent, on disk), *MemStore (resident
+// in memory, for the analysis server), and *Layered (memory over disk).
+type Store interface {
+	Get(key string) (*Entry, bool)
+	Put(key string, e *Entry) (int64, error)
+}
+
 // Cache is a handle on one cache directory. The zero value is not usable;
 // call Open. A nil *Cache is valid and behaves as an always-miss,
 // discard-writes cache, so callers can thread it unconditionally.
@@ -185,6 +197,15 @@ func (c *Cache) Get(key string) (*Entry, bool) {
 	if err != nil {
 		return nil, false
 	}
+	return decodeEntry(key, b)
+}
+
+// decodeEntry parses entry wire bytes back into an Entry. Any mismatch —
+// malformed JSON, wrong schema, wrong key, undecodable diagnostics — reads
+// as a miss, exactly like a corrupted entry file. Every Store shares this
+// wire form, so the same bytes decode identically whether they came from
+// disk or the resident memory store.
+func decodeEntry(key string, b []byte) (*Entry, bool) {
 	var w wireEntry
 	if err := json.Unmarshal(b, &w); err != nil {
 		return nil, false
@@ -204,6 +225,25 @@ func (c *Cache) Get(key string) (*Entry, bool) {
 	}, true
 }
 
+// encodeEntry renders e in the stable wire form (newline-terminated JSON)
+// shared by every Store.
+func encodeEntry(key string, e *Entry) ([]byte, error) {
+	raw, err := diag.Marshal(e.Diags)
+	if err != nil {
+		return nil, err
+	}
+	b, err := json.Marshal(wireEntry{
+		Schema: entrySchema, Key: key,
+		Diags:      raw,
+		Suppressed: e.Suppressed, ParseErrors: e.ParseErrors, SemaErrors: e.SemaErrors,
+		Deps: e.Deps, Library: e.Library,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
 // Put stores e under key, atomically. It returns the bytes written (also
 // recorded in e.Size). A nil cache discards the write.
 func (c *Cache) Put(key string, e *Entry) (int64, error) {
@@ -213,20 +253,10 @@ func (c *Cache) Put(key string, e *Entry) (int64, error) {
 	if len(key) < 2 {
 		return 0, fmt.Errorf("cache put: malformed key %q", key)
 	}
-	raw, err := diag.Marshal(e.Diags)
+	b, err := encodeEntry(key, e)
 	if err != nil {
 		return 0, fmt.Errorf("cache put: %w", err)
 	}
-	b, err := json.Marshal(wireEntry{
-		Schema: entrySchema, Key: key,
-		Diags:      raw,
-		Suppressed: e.Suppressed, ParseErrors: e.ParseErrors, SemaErrors: e.SemaErrors,
-		Deps: e.Deps, Library: e.Library,
-	})
-	if err != nil {
-		return 0, fmt.Errorf("cache put: %w", err)
-	}
-	b = append(b, '\n')
 	dst := c.path(key)
 	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
 		return 0, fmt.Errorf("cache put: %w", err)

@@ -3,296 +3,65 @@
 // all output directed to caller-supplied writers) so that tests — notably
 // the golden-corpus runner — can drive the exact production code path
 // without spawning a subprocess.
+//
+// The package is split along the daemon seam: ParseConfig (config.go) is
+// the pure argument parser, Session.Execute (session.go) is everything
+// after input loading, and Run below is their one-shot composition. The
+// analysis server (internal/server) reuses ParseConfig and a long-lived
+// Session so a warm request runs the exact CLI code path.
 package cli
 
 import (
 	"bytes"
 	"encoding/json"
-	"flag"
 	"fmt"
 	"io"
 	"os"
-	"path/filepath"
-	"runtime"
-	"runtime/pprof"
 	"sort"
-	"strings"
 
 	"golclint/internal/atomicio"
 	"golclint/internal/cache"
-	"golclint/internal/cfg"
 	"golclint/internal/core"
-	"golclint/internal/cpp"
 	"golclint/internal/diag"
 	"golclint/internal/flags"
 	"golclint/internal/library"
 	"golclint/internal/obs"
-	"golclint/internal/sema"
-	validatepkg "golclint/internal/validate"
 )
-
-// dirIncluder resolves #include files against a list of directories.
-type dirIncluder struct {
-	dirs []string
-}
-
-// Include implements cpp.Includer. A file that exists but cannot be read
-// (permissions, I/O) reports that error instead of pretending the file is
-// absent — otherwise the builtin-header fallback could silently mask it.
-func (d dirIncluder) Include(name string) (string, error) {
-	var firstErr error
-	for _, dir := range d.dirs {
-		b, err := os.ReadFile(filepath.Join(dir, name))
-		if err == nil {
-			return string(b), nil
-		}
-		if !os.IsNotExist(err) && firstErr == nil {
-			firstErr = err
-		}
-	}
-	if firstErr != nil {
-		return "", firstErr
-	}
-	return "", &cpp.NotFoundError{Name: name}
-}
-
-// multiFlag collects repeated -I options.
-type multiFlag []string
-
-func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
-func (m *multiFlag) Set(s string) error { *m = append(*m, s); return nil }
 
 // Run executes one golclint invocation, writing diagnostics to stdout and
 // errors to stderr. Exit status is 1 when anomalies were reported, 2 on
 // usage or I/O errors.
 func Run(args []string, stdout, stderr io.Writer) int {
-	fs := flag.NewFlagSet("golclint", flag.ContinueOnError)
-	fs.SetOutput(stderr)
-	var (
-		flagToggles = fs.String("flags", "", "space-separated checker flag toggles (+name / -name)")
-		dumpLib     = fs.String("dump-lib", "", "write an interface library to this file")
-		loadLib     = fs.String("lib", "", "load an interface library from this file")
-		showCFG     = fs.String("cfg", "", "print the named function's control-flow graph")
-		cacheDir    = fs.String("cache-dir", "", "persistent analysis cache directory (empty = caching off)")
-		stats       = fs.Bool("stats", false, "print summary statistics")
-		statsJSON   = fs.String("stats-json", "", "write run metrics and message counts as JSON to this file")
-		tracePath   = fs.String("trace", "", "write per-function trace events (JSONL) to this file")
-		explain     = fs.Bool("explain", false, "print the witness path (branch decisions and state transitions) under each warning")
-		validate    = fs.Bool("validate", false, "replay each warning's witness path through the instrumented interpreter and tag it confirmed / unreproduced / path-infeasible")
-		traceOut    = fs.String("trace-out", "", "write hierarchical spans as Chrome trace_event JSON to this file (Perfetto-loadable)")
-		hotN        = fs.Int("hot", 0, "print the N slowest functions by check wall time")
-		cpuProfile  = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
-		memProfile  = fs.String("memprofile", "", "write a pprof heap profile to this file")
-		maxMsgs     = fs.Int("max", 0, "maximum number of messages (0 = unlimited)")
-		jobs        = fs.Int("jobs", 0, "concurrent checking workers (0 = GOMAXPROCS, 1 = serial)")
-		incDirs     multiFlag
-	)
-	fs.Var(&incDirs, "I", "include directory (repeatable)")
-	if err := fs.Parse(args); err != nil {
+	cfg, err := ParseConfig(args, stderr)
+	if err != nil {
 		return 2
 	}
-	if fs.NArg() == 0 {
-		fmt.Fprintln(stderr, "golclint: no input files")
-		fs.Usage()
+	return RunConfig(cfg, stdout, stderr)
+}
+
+// RunConfig executes one parsed one-shot invocation: load inputs, open the
+// on-disk cache if asked, check, render. Each call uses a transient Session
+// holding no resident state, so one-shot behavior (and output) is identical
+// to what the monolithic Run always produced.
+func RunConfig(cfg *Config, stdout, stderr io.Writer) int {
+	files, inc, err := cfg.LoadInputs()
+	if err != nil {
+		fmt.Fprintf(stderr, "golclint: %v\n", err)
 		return 2
 	}
-
-	fl := flags.Default()
-	fl.MaxMessages = *maxMsgs
-	for _, tog := range strings.Fields(*flagToggles) {
-		if err := fl.Set(tog); err != nil {
-			fmt.Fprintf(stderr, "golclint: %v\n", err)
-			return 2
-		}
-	}
-
-	files := map[string]string{}
-	dirSet := map[string]bool{}
-	for _, path := range fs.Args() {
-		b, err := os.ReadFile(path)
-		if err != nil {
-			fmt.Fprintf(stderr, "golclint: %v\n", err)
-			return 2
-		}
-		files[filepath.Base(path)] = string(b)
-		dirSet[filepath.Dir(path)] = true
-	}
-	for _, d := range incDirs {
-		dirSet[d] = true
-	}
-	var dirs []string
-	for d := range dirSet {
-		dirs = append(dirs, d)
-	}
-
-	var metrics *obs.Metrics
-	if *stats || *statsJSON != "" || *tracePath != "" || *traceOut != "" || *hotN > 0 {
-		metrics = obs.New()
-	}
-	if *traceOut != "" || *hotN > 0 {
-		metrics.EnableSpans()
-		metrics.BeginRunSpan("golclint")
-	}
-	if *tracePath != "" {
-		tf, err := os.Create(*tracePath)
-		if err != nil {
-			fmt.Fprintf(stderr, "golclint: %v\n", err)
-			return 2
-		}
-		defer tf.Close()
-		tracer := obs.NewJSONLTracer(tf)
-		metrics.SetTracer(tracer)
-		defer func() {
-			if err := tracer.Err(); err != nil {
-				fmt.Fprintf(stderr, "golclint: trace: %v\n", err)
-			}
-		}()
-	}
-	if *cpuProfile != "" {
-		pf, err := os.Create(*cpuProfile)
-		if err != nil {
-			fmt.Fprintf(stderr, "golclint: %v\n", err)
-			return 2
-		}
-		defer pf.Close()
-		if err := pprof.StartCPUProfile(pf); err != nil {
-			fmt.Fprintf(stderr, "golclint: %v\n", err)
-			return 2
-		}
-		defer pprof.StopCPUProfile()
-	}
-	if *memProfile != "" {
-		mp := *memProfile
-		defer func() {
-			mf, err := os.Create(mp)
-			if err != nil {
-				fmt.Fprintf(stderr, "golclint: %v\n", err)
-				return
-			}
-			defer mf.Close()
-			runtime.GC() // settle the heap so the profile reflects live objects
-			if err := pprof.WriteHeapProfile(mf); err != nil {
-				fmt.Fprintf(stderr, "golclint: %v\n", err)
-			}
-		}()
-	}
-
-	// -validate needs witness paths to derive harnesses from, so it implies
-	// provenance recording even without -explain.
-	opt := core.Options{Flags: fl, Includes: dirIncluder{dirs: dirs}, Metrics: metrics, Jobs: *jobs, Explain: *explain || *validate}
-	if *validate {
-		opt.Validate = func(prog *sema.Program, diags []*diag.Diagnostic) {
-			validatepkg.Apply(prog, diags, validatepkg.Options{})
-		}
-	}
+	var sess Session
 	// -cfg needs the parsed units, which a cache hit skips building, so it
 	// disables the cache for this run rather than printing nothing.
-	if *cacheDir != "" && *showCFG == "" {
-		c, err := cache.Open(*cacheDir)
+	if cfg.CacheDir != "" && cfg.ShowCFG == "" {
+		c, err := cache.Open(cfg.CacheDir)
 		if err != nil {
 			fmt.Fprintf(stderr, "golclint: %v\n", err)
 			return 2
 		}
-		opt.Cache = c
-		opt.CacheExport = library.ExportProgram
+		sess.disk = c
 	}
-
-	var res *core.Result
-	if *loadLib != "" {
-		f, err := os.Open(*loadLib)
-		if err != nil {
-			fmt.Fprintf(stderr, "golclint: %v\n", err)
-			return 2
-		}
-		lib, err := library.Decode(f)
-		f.Close()
-		if err != nil {
-			fmt.Fprintf(stderr, "golclint: %v\n", err)
-			return 2
-		}
-		res = library.CheckModule(files, lib, opt)
-	} else {
-		res = core.CheckSources(files, opt)
-	}
-
-	metrics.EndSpan(metrics.RunSpan())
-
-	for _, e := range res.ParseErrors {
-		fmt.Fprintf(stderr, "%v\n", e)
-	}
-	for _, e := range res.SemaErrors {
-		fmt.Fprintf(stderr, "%v\n", e)
-	}
-	switch {
-	case *explain:
-		// Explain output includes the validation line when -validate also ran.
-		fmt.Fprint(stdout, res.ExplainedMessages())
-	case *validate:
-		fmt.Fprint(stdout, res.ValidatedMessages())
-	default:
-		fmt.Fprint(stdout, res.Messages())
-	}
-
-	if *traceOut != "" {
-		var buf bytes.Buffer
-		err := obs.WriteTraceEvents(&buf, metrics.Spans())
-		if err == nil {
-			err = atomicio.WriteFile(*traceOut, buf.Bytes(), 0o644)
-		}
-		if err != nil {
-			fmt.Fprintf(stderr, "golclint: %v\n", err)
-			return 2
-		}
-	}
-	if *hotN > 0 {
-		fmt.Fprint(stdout, obs.FormatHotTable(metrics.Spans(), *hotN))
-	}
-
-	if *showCFG != "" {
-		printed := false
-		for _, u := range res.Units {
-			for _, f := range u.Funcs() {
-				if f.Name == *showCFG {
-					fmt.Fprint(stdout, cfg.Build(f).Dump())
-					printed = true
-				}
-			}
-		}
-		if !printed {
-			fmt.Fprintf(stderr, "golclint: function %q not found\n", *showCFG)
-		}
-	}
-
-	if *dumpLib != "" {
-		if code := writeLibrary(*dumpLib, res, *stats, stdout, stderr); code != 0 {
-			return code
-		}
-	}
-
-	if *stats {
-		counts := res.CountByCode()
-		keys := make([]diag.Code, 0, len(counts))
-		for c := range counts {
-			keys = append(keys, c)
-		}
-		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-		fmt.Fprintf(stdout, "%d message(s), %d suppressed\n", len(res.Diags), res.Suppressed)
-		for _, c := range keys {
-			fmt.Fprintf(stdout, "  %-16s %d\n", c, counts[c])
-		}
-	}
-
-	if *statsJSON != "" {
-		if err := writeStatsJSON(*statsJSON, fs.Args(), fl, metrics, res, *explain || *validate); err != nil {
-			fmt.Fprintf(stderr, "golclint: %v\n", err)
-			return 2
-		}
-	}
-
-	if len(res.Diags) > 0 || len(res.ParseErrors) > 0 {
-		return 1
-	}
-	return 0
+	code, _ := sess.Execute(cfg, files, inc, stdout, stderr)
+	return code
 }
 
 // writeLibrary emits the checked program's interface library. On a cache
@@ -357,11 +126,12 @@ type runStats struct {
 	// Diagnostics is populated only under -explain: each message with its
 	// machine-readable witness path. Absent otherwise, so default stats
 	// output is unchanged.
-	Diagnostics []statsDiag `json:"diagnostics,omitempty"`
+	Diagnostics []StatsDiag `json:"diagnostics,omitempty"`
 }
 
-// statsDiag is one diagnostic with its provenance in the -stats-json doc.
-type statsDiag struct {
+// StatsDiag is one diagnostic in the machine-readable wire form shared by
+// the -stats-json document and the analysis server's /check responses.
+type StatsDiag struct {
 	Pos     string   `json:"pos"`
 	Code    string   `json:"code"`
 	Msg     string   `json:"msg"`
@@ -371,6 +141,27 @@ type statsDiag struct {
 	// diagnostic: the tag name and the human-readable search outcome.
 	Validation       string `json:"validation,omitempty"`
 	ValidationDetail string `json:"validation_detail,omitempty"`
+}
+
+// StatsDiags renders diagnostics into the shared wire form, provenance and
+// validation tags included.
+func StatsDiags(ds []*diag.Diagnostic) []StatsDiag {
+	out := make([]StatsDiag, 0, len(ds))
+	for _, d := range ds {
+		sd := StatsDiag{Pos: d.Pos.String(), Code: d.Code.String(), Msg: d.Msg}
+		if d.Prov != nil {
+			sd.Ref = d.Prov.Ref
+			for _, s := range d.Prov.Steps {
+				sd.Witness = append(sd.Witness, s.StepString())
+			}
+		}
+		if d.Validation != nil && d.Validation.Tag != diag.ValidationNone {
+			sd.Validation = d.Validation.Tag.String()
+			sd.ValidationDetail = d.Validation.Detail
+		}
+		out = append(out, sd)
+	}
+	return out
 }
 
 // writeStatsJSON renders the run's metrics and per-code message counts.
@@ -402,20 +193,7 @@ func writeStatsJSON(path string, files []string, fl *flags.Flags, m *obs.Metrics
 		SemaErrors:       len(res.SemaErrors),
 	}
 	if explain {
-		for _, d := range res.Diags {
-			sd := statsDiag{Pos: d.Pos.String(), Code: d.Code.String(), Msg: d.Msg}
-			if d.Prov != nil {
-				sd.Ref = d.Prov.Ref
-				for _, s := range d.Prov.Steps {
-					sd.Witness = append(sd.Witness, s.StepString())
-				}
-			}
-			if d.Validation != nil && d.Validation.Tag != diag.ValidationNone {
-				sd.Validation = d.Validation.Tag.String()
-				sd.ValidationDetail = d.Validation.Detail
-			}
-			doc.Diagnostics = append(doc.Diagnostics, sd)
-		}
+		doc.Diagnostics = StatsDiags(res.Diags)
 	}
 	b, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {

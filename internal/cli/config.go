@@ -1,0 +1,179 @@
+package cli
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"golclint/internal/cpp"
+	"golclint/internal/flags"
+	"golclint/internal/library"
+	"golclint/internal/obs"
+)
+
+// dirIncluder resolves #include files against a list of directories.
+type dirIncluder struct {
+	dirs []string
+}
+
+// Include implements cpp.Includer. A file that exists but cannot be read
+// (permissions, I/O) reports that error instead of pretending the file is
+// absent — otherwise the builtin-header fallback could silently mask it.
+func (d dirIncluder) Include(name string) (string, error) {
+	var firstErr error
+	for _, dir := range d.dirs {
+		b, err := os.ReadFile(filepath.Join(dir, name))
+		if err == nil {
+			return string(b), nil
+		}
+		if !os.IsNotExist(err) && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return "", firstErr
+	}
+	return "", &cpp.NotFoundError{Name: name}
+}
+
+// multiFlag collects repeated -I options.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(s string) error { *m = append(*m, s); return nil }
+
+// Config is one fully parsed golclint invocation. ParseConfig produces it
+// from an argument vector; the analysis server also builds one per request
+// (via ParseConfig, for exact flag-validation parity with the CLI) and then
+// fills the programmatic-only fields below.
+type Config struct {
+	// Flags is the checker configuration with every -flags toggle and -max
+	// applied; never nil after ParseConfig.
+	Flags *flags.Flags
+	// Paths are the positional source arguments. RunConfig reads them from
+	// disk (diagnostics use the base name); the server uses them only as
+	// names for supplied sources.
+	Paths []string
+	// IncDirs are the -I include directories.
+	IncDirs []string
+
+	DumpLib  string // -dump-lib
+	LoadLib  string // -lib
+	ShowCFG  string // -cfg
+	CacheDir string // -cache-dir
+	Stats    bool   // -stats
+	Explain  bool   // -explain
+	Validate bool   // -validate
+
+	StatsJSON  string // -stats-json
+	TracePath  string // -trace
+	TraceOut   string // -trace-out
+	HotN       int    // -hot
+	CPUProfile string // -cpuprofile
+	MemProfile string // -memprofile
+
+	MaxMsgs int // -max (already applied to Flags)
+	Jobs    int // -jobs
+
+	// Serve is the -serve listen address. When set, cmd/golclint starts the
+	// analysis server instead of a one-shot run, and Paths may be empty.
+	Serve string
+	// ServeInFlight and ServePerClient bound the server's concurrent checks
+	// globally and per client (0 = server defaults).
+	ServeInFlight  int
+	ServePerClient int
+
+	// Lib, when non-nil, is a preloaded interface library to check against —
+	// the programmatic form of -lib. Execute loads LoadLib from disk into
+	// the same path; the server installs its resident libraries here.
+	Lib *library.Library
+	// Metrics, when non-nil, receives phase timings and counters even when
+	// no stats flag asked for them. The server sets it to collect
+	// per-request counters; when nil, Execute creates metrics only if an
+	// output flag needs them.
+	Metrics *obs.Metrics
+}
+
+// ParseConfig parses one golclint argument vector into a Config. It is
+// pure: a fresh FlagSet per call, no globals touched, no filesystem access —
+// so the analysis server can validate a request's flags without mutating
+// any resident state, and concurrent parses cannot interfere. Usage and
+// error text goes to errw exactly as the CLI prints it; the returned error
+// is non-nil whenever the CLI would exit 2 before loading inputs.
+func ParseConfig(args []string, errw io.Writer) (*Config, error) {
+	fs := flag.NewFlagSet("golclint", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	cfg := &Config{}
+	var incDirs multiFlag
+	flagToggles := fs.String("flags", "", "space-separated checker flag toggles (+name / -name)")
+	fs.StringVar(&cfg.DumpLib, "dump-lib", "", "write an interface library to this file")
+	fs.StringVar(&cfg.LoadLib, "lib", "", "load an interface library from this file")
+	fs.StringVar(&cfg.ShowCFG, "cfg", "", "print the named function's control-flow graph")
+	fs.StringVar(&cfg.CacheDir, "cache-dir", "", "persistent analysis cache directory (empty = caching off)")
+	fs.BoolVar(&cfg.Stats, "stats", false, "print summary statistics")
+	fs.StringVar(&cfg.StatsJSON, "stats-json", "", "write run metrics and message counts as JSON to this file")
+	fs.StringVar(&cfg.TracePath, "trace", "", "write per-function trace events (JSONL) to this file")
+	fs.BoolVar(&cfg.Explain, "explain", false, "print the witness path (branch decisions and state transitions) under each warning")
+	fs.BoolVar(&cfg.Validate, "validate", false, "replay each warning's witness path through the instrumented interpreter and tag it confirmed / unreproduced / path-infeasible")
+	fs.StringVar(&cfg.TraceOut, "trace-out", "", "write hierarchical spans as Chrome trace_event JSON to this file (Perfetto-loadable)")
+	fs.IntVar(&cfg.HotN, "hot", 0, "print the N slowest functions by check wall time")
+	fs.StringVar(&cfg.CPUProfile, "cpuprofile", "", "write a pprof CPU profile to this file")
+	fs.StringVar(&cfg.MemProfile, "memprofile", "", "write a pprof heap profile to this file")
+	fs.IntVar(&cfg.MaxMsgs, "max", 0, "maximum number of messages (0 = unlimited)")
+	fs.IntVar(&cfg.Jobs, "jobs", 0, "concurrent checking workers (0 = GOMAXPROCS, 1 = serial)")
+	fs.StringVar(&cfg.Serve, "serve", "", "run as an analysis server on this listen address (host:port) instead of checking files")
+	fs.IntVar(&cfg.ServeInFlight, "serve-inflight", 0, "server mode: maximum concurrent check computations (0 = 2x GOMAXPROCS)")
+	fs.IntVar(&cfg.ServePerClient, "serve-per-client", 0, "server mode: maximum concurrent requests per client before 429 (0 = default)")
+	fs.Var(&incDirs, "I", "include directory (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if fs.NArg() == 0 && cfg.Serve == "" {
+		fmt.Fprintln(errw, "golclint: no input files")
+		fs.Usage()
+		return nil, errors.New("no input files")
+	}
+
+	fl := flags.Default()
+	fl.MaxMessages = cfg.MaxMsgs
+	for _, tog := range strings.Fields(*flagToggles) {
+		if err := fl.Set(tog); err != nil {
+			fmt.Fprintf(errw, "golclint: %v\n", err)
+			return nil, err
+		}
+	}
+	cfg.Flags = fl
+	cfg.Paths = fs.Args()
+	cfg.IncDirs = incDirs
+	return cfg, nil
+}
+
+// LoadInputs reads cfg.Paths from disk — keyed by base name, which is how
+// diagnostics report positions — and builds the include resolver over the
+// sources' directories plus the -I dirs. It is the only part of a run that
+// touches the filesystem for inputs; the analysis server supplies sources
+// and an includer directly and never calls it.
+func (cfg *Config) LoadInputs() (map[string]string, cpp.Includer, error) {
+	files := map[string]string{}
+	dirSet := map[string]bool{}
+	for _, path := range cfg.Paths {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		files[filepath.Base(path)] = string(b)
+		dirSet[filepath.Dir(path)] = true
+	}
+	for _, d := range cfg.IncDirs {
+		dirSet[d] = true
+	}
+	var dirs []string
+	for d := range dirSet {
+		dirs = append(dirs, d)
+	}
+	return files, dirIncluder{dirs: dirs}, nil
+}

@@ -1,0 +1,301 @@
+package cli
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"sort"
+	"sync"
+
+	"golclint/internal/atomicio"
+	"golclint/internal/cache"
+	cfgpkg "golclint/internal/cfg"
+	"golclint/internal/core"
+	"golclint/internal/cpp"
+	"golclint/internal/diag"
+	"golclint/internal/library"
+	"golclint/internal/obs"
+	"golclint/internal/sema"
+	validatepkg "golclint/internal/validate"
+)
+
+// maxResidentLibraries bounds a Session's interface-library memo. Each
+// entry is one distinct header set a client checks against; a daemon
+// serving one repository sees a handful.
+const maxResidentLibraries = 16
+
+// Session owns the warm state a long-lived analysis process keeps between
+// runs: a resident in-memory entry store layered over the on-disk cache,
+// and a memo of interface libraries keyed by header-set content. The zero
+// Session is valid and holds nothing resident — RunConfig uses one per
+// invocation, so the one-shot CLI path behaves exactly as before (disk
+// cache only, no memory layer). NewSession builds the server form.
+//
+// A Session is safe for concurrent Execute calls: the stores are internally
+// locked, the library memo is mutex-guarded, and everything else Execute
+// touches is per-call.
+type Session struct {
+	mem  *cache.MemStore
+	disk *cache.Cache
+
+	libMu sync.Mutex
+	libs  map[string]*library.Library
+}
+
+// NewSession builds a warm session: a resident memory store, layered over a
+// persistent cache at cacheDir when non-empty (so outcomes survive daemon
+// restarts and a cold daemon inherits prior CLI runs' entries).
+func NewSession(cacheDir string) (*Session, error) {
+	s := &Session{mem: cache.NewMemStore(), libs: map[string]*library.Library{}}
+	if cacheDir != "" {
+		c, err := cache.Open(cacheDir)
+		if err != nil {
+			return nil, err
+		}
+		s.disk = c
+	}
+	return s, nil
+}
+
+// Store composes the session's entry store: memory over disk when both
+// exist, whichever one otherwise, nil when the session holds neither.
+func (s *Session) Store() cache.Store {
+	switch {
+	case s.mem != nil && s.disk != nil:
+		return &cache.Layered{Fast: s.mem, Slow: s.disk}
+	case s.mem != nil:
+		return s.mem
+	case s.disk != nil:
+		return s.disk
+	default:
+		return nil
+	}
+}
+
+// MemStats snapshots the resident store's counters (zero when the session
+// has no memory layer).
+func (s *Session) MemStats() cache.MemStats { return s.mem.Stats() }
+
+// ResidentLibraries reports how many interface libraries the session holds.
+func (s *Session) ResidentLibraries() int {
+	s.libMu.Lock()
+	defer s.libMu.Unlock()
+	return len(s.libs)
+}
+
+// LibraryFor returns the interface library built from the given header set,
+// memoized by content hash so repeated server requests against one
+// repository share a single build — the daemon's answer to the per-process
+// library rebuild every cold CLI run pays. Dirty-module detection is
+// downstream: cached module entries record per-symbol fingerprints from
+// this library (Library.Fingerprints), so an interface change invalidates
+// exactly the dependents. Returns nil for an empty header set.
+func (s *Session) LibraryFor(headers map[string]string) *library.Library {
+	if len(headers) == 0 {
+		return nil
+	}
+	key := cache.Key(core.Version, "interface-library", headers)
+	s.libMu.Lock()
+	defer s.libMu.Unlock()
+	if s.libs == nil {
+		s.libs = map[string]*library.Library{}
+	}
+	if lib, ok := s.libs[key]; ok {
+		return lib
+	}
+	res := core.CheckSources(headers, core.Options{})
+	lib := library.Build(res.Program)
+	if len(s.libs) >= maxResidentLibraries {
+		// Arbitrary eviction: the memo is a warmth optimization, rebuilt on
+		// demand from content that is itself hashed, never a correctness
+		// input.
+		for k := range s.libs {
+			delete(s.libs, k)
+			break
+		}
+	}
+	s.libs[key] = lib
+	return lib
+}
+
+// Execute runs one parsed invocation over already-loaded sources, writing
+// diagnostics to stdout and errors to stderr. It is the whole post-parse
+// CLI: metrics and tracing setup, cache wiring through the session's store,
+// checking, rendering, and the report surfaces. Exit status is 1 when
+// anomalies were reported, 2 on I/O errors; the Result is also returned so
+// programmatic callers (the analysis server) can render machine-readable
+// diagnostics without re-parsing the text output.
+func (s *Session) Execute(cfg *Config, files map[string]string, inc cpp.Includer, stdout, stderr io.Writer) (int, *core.Result) {
+	metrics := cfg.Metrics
+	if metrics == nil && (cfg.Stats || cfg.StatsJSON != "" || cfg.TracePath != "" || cfg.TraceOut != "" || cfg.HotN > 0) {
+		metrics = obs.New()
+	}
+	if cfg.TraceOut != "" || cfg.HotN > 0 {
+		metrics.EnableSpans()
+		metrics.BeginRunSpan("golclint")
+	}
+	if cfg.TracePath != "" {
+		tf, err := os.Create(cfg.TracePath)
+		if err != nil {
+			fmt.Fprintf(stderr, "golclint: %v\n", err)
+			return 2, nil
+		}
+		defer tf.Close()
+		tracer := obs.NewJSONLTracer(tf)
+		metrics.SetTracer(tracer)
+		defer func() {
+			if err := tracer.Err(); err != nil {
+				fmt.Fprintf(stderr, "golclint: trace: %v\n", err)
+			}
+		}()
+	}
+	if cfg.CPUProfile != "" {
+		pf, err := os.Create(cfg.CPUProfile)
+		if err != nil {
+			fmt.Fprintf(stderr, "golclint: %v\n", err)
+			return 2, nil
+		}
+		defer pf.Close()
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			fmt.Fprintf(stderr, "golclint: %v\n", err)
+			return 2, nil
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if cfg.MemProfile != "" {
+		mp := cfg.MemProfile
+		defer func() {
+			mf, err := os.Create(mp)
+			if err != nil {
+				fmt.Fprintf(stderr, "golclint: %v\n", err)
+				return
+			}
+			defer mf.Close()
+			runtime.GC() // settle the heap so the profile reflects live objects
+			if err := pprof.WriteHeapProfile(mf); err != nil {
+				fmt.Fprintf(stderr, "golclint: %v\n", err)
+			}
+		}()
+	}
+
+	// -validate needs witness paths to derive harnesses from, so it implies
+	// provenance recording even without -explain.
+	opt := core.Options{Flags: cfg.Flags, Includes: inc, Metrics: metrics, Jobs: cfg.Jobs, Explain: cfg.Explain || cfg.Validate}
+	if cfg.Validate {
+		opt.Validate = func(prog *sema.Program, diags []*diag.Diagnostic) {
+			validatepkg.Apply(prog, diags, validatepkg.Options{})
+		}
+	}
+	// -cfg needs the parsed units, which a cache hit skips building, so it
+	// disables the cache for this run rather than printing nothing.
+	if cfg.ShowCFG == "" {
+		if st := s.Store(); st != nil {
+			opt.Cache = st
+			opt.CacheExport = library.ExportProgram
+		}
+	}
+
+	var res *core.Result
+	lib := cfg.Lib
+	if lib == nil && cfg.LoadLib != "" {
+		f, err := os.Open(cfg.LoadLib)
+		if err != nil {
+			fmt.Fprintf(stderr, "golclint: %v\n", err)
+			return 2, nil
+		}
+		var derr error
+		lib, derr = library.Decode(f)
+		f.Close()
+		if derr != nil {
+			fmt.Fprintf(stderr, "golclint: %v\n", derr)
+			return 2, nil
+		}
+	}
+	if lib != nil {
+		res = library.CheckModule(files, lib, opt)
+	} else {
+		res = core.CheckSources(files, opt)
+	}
+
+	metrics.EndSpan(metrics.RunSpan())
+
+	for _, e := range res.ParseErrors {
+		fmt.Fprintf(stderr, "%v\n", e)
+	}
+	for _, e := range res.SemaErrors {
+		fmt.Fprintf(stderr, "%v\n", e)
+	}
+	switch {
+	case cfg.Explain:
+		// Explain output includes the validation line when -validate also ran.
+		fmt.Fprint(stdout, res.ExplainedMessages())
+	case cfg.Validate:
+		fmt.Fprint(stdout, res.ValidatedMessages())
+	default:
+		fmt.Fprint(stdout, res.Messages())
+	}
+
+	if cfg.TraceOut != "" {
+		var buf bytes.Buffer
+		err := obs.WriteTraceEvents(&buf, metrics.Spans())
+		if err == nil {
+			err = atomicio.WriteFile(cfg.TraceOut, buf.Bytes(), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "golclint: %v\n", err)
+			return 2, res
+		}
+	}
+	if cfg.HotN > 0 {
+		fmt.Fprint(stdout, obs.FormatHotTable(metrics.Spans(), cfg.HotN))
+	}
+
+	if cfg.ShowCFG != "" {
+		printed := false
+		for _, u := range res.Units {
+			for _, f := range u.Funcs() {
+				if f.Name == cfg.ShowCFG {
+					fmt.Fprint(stdout, cfgpkg.Build(f).Dump())
+					printed = true
+				}
+			}
+		}
+		if !printed {
+			fmt.Fprintf(stderr, "golclint: function %q not found\n", cfg.ShowCFG)
+		}
+	}
+
+	if cfg.DumpLib != "" {
+		if code := writeLibrary(cfg.DumpLib, res, cfg.Stats, stdout, stderr); code != 0 {
+			return code, res
+		}
+	}
+
+	if cfg.Stats {
+		counts := res.CountByCode()
+		keys := make([]diag.Code, 0, len(counts))
+		for c := range counts {
+			keys = append(keys, c)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		fmt.Fprintf(stdout, "%d message(s), %d suppressed\n", len(res.Diags), res.Suppressed)
+		for _, c := range keys {
+			fmt.Fprintf(stdout, "  %-16s %d\n", c, counts[c])
+		}
+	}
+
+	if cfg.StatsJSON != "" {
+		if err := writeStatsJSON(cfg.StatsJSON, cfg.Paths, cfg.Flags, metrics, res, cfg.Explain || cfg.Validate); err != nil {
+			fmt.Fprintf(stderr, "golclint: %v\n", err)
+			return 2, res
+		}
+	}
+
+	if len(res.Diags) > 0 || len(res.ParseErrors) > 0 {
+		return 1, res
+	}
+	return 0, res
+}

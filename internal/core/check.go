@@ -48,13 +48,15 @@ type Options struct {
 	// argument, §7) and results merge back in a deterministic order, so
 	// output is byte-identical at every worker count.
 	Jobs int
-	// Cache, when non-nil, consults the persistent analysis cache before
-	// checking and stores the outcome after: an unchanged input replays its
-	// stored diagnostics without lexing, parsing, or checking (the Result
-	// then has CacheHit set and carries no Program or Units). Caching is
-	// bypassed when PreCheck is set but CacheDeps is nil, because an opaque
-	// PreCheck can change results invisibly to the cache key.
-	Cache *cache.Cache
+	// Cache, when non-nil, consults the analysis cache before checking and
+	// stores the outcome after: an unchanged input replays its stored
+	// diagnostics without lexing, parsing, or checking (the Result then has
+	// CacheHit set and carries no Program or Units). Any cache.Store works —
+	// the on-disk cache for one-shot runs, a resident memory store layered
+	// over it for the analysis server. Caching is bypassed when PreCheck is
+	// set but CacheDeps is nil, because an opaque PreCheck can change
+	// results invisibly to the cache key.
+	Cache cache.Store
 	// CacheDeps are the per-symbol interface fingerprints of the installed
 	// library (library.CheckModule supplies them via Fingerprints). They
 	// make PreCheck's effect visible to the cache: an entry hits only while

@@ -1,0 +1,53 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+)
+
+// flight is one in-progress computation that concurrent identical requests
+// share.
+type flight struct {
+	done chan struct{}
+	body []byte
+}
+
+// requestKey canonicalizes a request for coalescing. encoding/json sorts
+// map keys, so two requests with the same content hash identically
+// regardless of construction order; the hash keeps the in-flight table's
+// keys small even for multi-megabyte requests.
+func requestKey(req *CheckRequest) string {
+	b, _ := json.Marshal(req) // CheckRequest always marshals
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// coalesce runs compute for key at most once across concurrent callers
+// (singleflight): the first caller becomes the leader and computes, later
+// callers with the same key block and then share the leader's bytes
+// verbatim. Coalescing spans only the in-flight window — a request arriving
+// after completion computes afresh (and typically replays from the resident
+// cache instead). The returned bool reports follower-hood.
+func (s *Server) coalesce(key string, compute func() []byte) ([]byte, bool) {
+	s.mu.Lock()
+	if f, ok := s.inflight[key]; ok {
+		s.mu.Unlock()
+		<-f.done
+		return f.body, true
+	}
+	f := &flight{done: make(chan struct{})}
+	s.inflight[key] = f
+	s.mu.Unlock()
+	defer func() {
+		// On the leader's way out — including a panic unwind, where body
+		// stays nil and followers answer 500 — retire the flight and wake
+		// followers.
+		s.mu.Lock()
+		delete(s.inflight, key)
+		s.mu.Unlock()
+		close(f.done)
+	}()
+	f.body = compute()
+	return f.body, false
+}

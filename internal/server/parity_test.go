@@ -1,0 +1,207 @@
+// Server/CLI parity: the full golden corpus driven through a live
+// in-process server must produce responses byte-identical to the committed
+// .golden / .explain.golden / .validate.golden CLI transcripts — cold and
+// warm, at jobs 1, 4, and 8. This is the tentpole guarantee: daemon mode is
+// a latency optimization, never a different checker.
+package server
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const corpusDir = "../../testdata/corpus"
+
+// corpusRequest builds the CheckRequest equivalent to the golden runner's
+// CLI invocation for one corpus file: the source under its base name, plus
+// the flag toggles from a first-line /*golden:flags ...*/ directive.
+func corpusRequest(t *testing.T, src string) *CheckRequest {
+	t.Helper()
+	b, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := &CheckRequest{Files: map[string]string{filepath.Base(src): string(b)}}
+	first, _, _ := strings.Cut(string(b), "\n")
+	if rest, ok := strings.CutPrefix(first, "/*golden:flags "); ok {
+		toggles, ok := strings.CutSuffix(rest, "*/")
+		if !ok {
+			t.Fatalf("%s: malformed golden:flags directive %q", src, first)
+		}
+		req.Flags = strings.TrimSpace(toggles)
+	}
+	return req
+}
+
+// responseTranscript renders a server response in the goldens' transcript
+// format.
+func responseTranscript(cr *CheckResponse) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "exit %d\n", cr.Exit)
+	b.WriteString("-- stdout --\n")
+	b.WriteString(cr.Stdout)
+	b.WriteString("-- stderr --\n")
+	b.WriteString(cr.Stderr)
+	return b.String()
+}
+
+func corpusFiles(t *testing.T) []string {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join(corpusDir, "*.c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 15 {
+		t.Fatalf("corpus has %d files, want >= 15", len(files))
+	}
+	return files
+}
+
+// explainCorpus mirrors the goldentest list: the entries with committed
+// .explain.golden and .validate.golden transcripts.
+var explainCorpus = []string{
+	"use_after_free",
+	"only_leak",
+	"null_deref",
+	"only_double_free",
+	"leak_return",
+	"null_pass",
+	"use_undef",
+	"confluence_list",
+}
+
+// readGolden loads one committed transcript.
+func readGolden(t *testing.T, path string) string {
+	t.Helper()
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate via go test ./internal/goldentest -update): %v", err)
+	}
+	return string(want)
+}
+
+// parityRun posts req cold and warm against ts and checks both transcripts
+// against the golden. The warm pass must also be a full resident-cache hit.
+func parityRun(t *testing.T, base string, req *CheckRequest, name, golden string) {
+	t.Helper()
+	want := readGolden(t, golden)
+	cold := check(t, base, req)
+	if got := responseTranscript(cold); got != want {
+		t.Errorf("%s: cold server response drifted from %s:\n--- got ---\n%s--- want ---\n%s",
+			name, golden, got, want)
+		return
+	}
+	warm := check(t, base, req)
+	if got := responseTranscript(warm); got != want {
+		t.Errorf("%s: warm server response differs from golden:\n--- warm ---\n%s--- want ---\n%s",
+			name, got, want)
+	}
+	if !warm.CacheHit {
+		t.Errorf("%s: warm request was not a resident-cache hit", name)
+	}
+	if len(warm.Diagnostics) != len(cold.Diagnostics) {
+		t.Errorf("%s: warm diagnostics count %d != cold %d", name, len(warm.Diagnostics), len(cold.Diagnostics))
+	}
+}
+
+// TestServerCLIParity drives every corpus file through the server at jobs
+// 1, 4, and 8 (a fresh server per worker count, so each covers its own
+// cold path) and asserts byte-identity with the .golden transcripts.
+func TestServerCLIParity(t *testing.T) {
+	for _, jobs := range []int{1, 4, 8} {
+		jobs := jobs
+		t.Run(fmt.Sprintf("jobs=%d", jobs), func(t *testing.T) {
+			_, ts := startTestServer(t, Options{})
+			for _, src := range corpusFiles(t) {
+				name := strings.TrimSuffix(filepath.Base(src), ".c")
+				req := corpusRequest(t, src)
+				req.Jobs = jobs
+				parityRun(t, ts.URL, req, name, strings.TrimSuffix(src, ".c")+".golden")
+			}
+		})
+	}
+}
+
+// TestServerCLIParityExplain: -explain transcripts, witnesses included,
+// byte-identical cold and warm; the machine-readable diagnostics carry the
+// same witness steps.
+func TestServerCLIParityExplain(t *testing.T) {
+	_, ts := startTestServer(t, Options{})
+	for _, name := range explainCorpus {
+		src := filepath.Join(corpusDir, name+".c")
+		req := corpusRequest(t, src)
+		req.Explain = true
+		parityRun(t, ts.URL, req, name, filepath.Join(corpusDir, name+".explain.golden"))
+
+		// The structured diagnostics must carry provenance, mirroring
+		// -stats-json under -explain.
+		warm := check(t, ts.URL, req)
+		if len(warm.Diagnostics) == 0 {
+			t.Errorf("%s: no structured diagnostics in explain response", name)
+		}
+		for _, d := range warm.Diagnostics {
+			if len(d.Witness) == 0 {
+				t.Errorf("%s: diagnostic %s lacks a witness path", name, d.Pos)
+			}
+		}
+	}
+}
+
+// TestServerCLIParityValidate: -validate transcripts at jobs 1, 4, and 8,
+// byte-identical cold and warm, with validation tags in the structured
+// diagnostics.
+func TestServerCLIParityValidate(t *testing.T) {
+	for _, jobs := range []int{1, 4, 8} {
+		jobs := jobs
+		t.Run(fmt.Sprintf("jobs=%d", jobs), func(t *testing.T) {
+			_, ts := startTestServer(t, Options{})
+			sawTag := false
+			for _, name := range explainCorpus {
+				src := filepath.Join(corpusDir, name+".c")
+				req := corpusRequest(t, src)
+				req.Validate = true
+				req.Jobs = jobs
+				parityRun(t, ts.URL, req, name, filepath.Join(corpusDir, name+".validate.golden"))
+				warm := check(t, ts.URL, req)
+				for _, d := range warm.Diagnostics {
+					if d.Validation != "" {
+						sawTag = true
+					}
+				}
+			}
+			if !sawTag {
+				t.Error("no validation tags in any structured diagnostics; the suite is vacuous")
+			}
+		})
+	}
+}
+
+// Distinct modes address distinct resident entries: a default-mode warm hit
+// must not replay an explain entry or vice versa (the cache key carries the
+// mode), so mixing modes against one server stays parity-clean.
+func TestServerModeIsolation(t *testing.T) {
+	_, ts := startTestServer(t, Options{})
+	src := filepath.Join(corpusDir, "use_after_free.c")
+	plain := corpusRequest(t, src)
+	explain := corpusRequest(t, src)
+	explain.Explain = true
+
+	check(t, ts.URL, plain) // warm the default-mode entry
+	er := check(t, ts.URL, explain)
+	if er.CacheHit {
+		t.Error("explain request hit the default-mode entry")
+	}
+	if got := responseTranscript(er); got != readGolden(t, filepath.Join(corpusDir, "use_after_free.explain.golden")) {
+		t.Errorf("explain response drifted after default-mode warmup:\n%s", got)
+	}
+	pr := check(t, ts.URL, plain)
+	if !pr.CacheHit {
+		t.Error("default-mode entry lost after explain run")
+	}
+	if got := responseTranscript(pr); got != readGolden(t, filepath.Join(corpusDir, "use_after_free.golden")) {
+		t.Errorf("default response drifted after explain run:\n%s", got)
+	}
+}

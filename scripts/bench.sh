@@ -12,13 +12,16 @@
 # BENCH_validate.json (E20) gates counterexample validation: every seeded
 # bug must validate `confirmed`, the corpus confirmed rate must stay >= 0.8,
 # and a whole-corpus validation pass must fit the committed wall budget.
+# BENCH_serve.json (E21) gates the analysis server: a warm request to a live
+# daemon must be at least 5x faster (p50) than a cold single-shot CLI run
+# over the same corpus.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 go run ./cmd/lclbench -quick
 
-for f in BENCH_scaling.json BENCH_modular.json BENCH_parallel.json BENCH_incremental.json BENCH_state.json BENCH_frontend.json BENCH_provenance.json BENCH_validate.json; do
+for f in BENCH_scaling.json BENCH_modular.json BENCH_parallel.json BENCH_incremental.json BENCH_state.json BENCH_frontend.json BENCH_provenance.json BENCH_validate.json BENCH_serve.json; do
     test -s "$f" || { echo "missing or empty: $f" >&2; exit 1; }
     python3 -m json.tool "$f" > /dev/null || { echo "invalid JSON: $f" >&2; exit 1; }
     echo "ok: $f"
@@ -72,4 +75,19 @@ if d["validate_ns_per_op"] > d["budget_ns_per_op"]:
              % (d["validate_ns_per_op"], d["budget_ns_per_op"]))
 print("ok: validation confirmed %d/%d seeded, rate %.3f, %d ns/op within budget"
       % (d["seeded_confirmed"], d["seeded_total"], d["confirmed_rate"], d["validate_ns_per_op"]))
+
+# E21 gate: the resident server must make re-checking cheap. A warm request
+# (identical content, so it replays the response memo over the resident
+# cache) must beat a cold single-shot CLI run by at least 5x at p50. The
+# figure is a ratio of two wall times measured back-to-back on the same
+# machine, so it is comparable across hosts.
+d = json.load(open("BENCH_serve.json"))
+if d["warm_p50_ns"] <= 0 or d["warm_p99_ns"] < d["warm_p50_ns"]:
+    sys.exit("serve warm percentiles inconsistent: p50 %d, p99 %d"
+             % (d["warm_p50_ns"], d["warm_p99_ns"]))
+if d["speedup_warm"] < 5.0:
+    sys.exit("serve warm speedup %.1fx < 5x over cold CLI (%d ns cold, %d ns warm p50)"
+             % (d["speedup_warm"], d["cold_cli_ns"], d["warm_p50_ns"]))
+print("ok: serve warm p50 %.2f ms vs cold CLI %.1f ms (%.1fx, gate 5x)"
+      % (d["warm_p50_ns"] / 1e6, d["cold_cli_ns"] / 1e6, d["speedup_warm"]))
 EOF
