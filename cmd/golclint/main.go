@@ -64,7 +64,36 @@ func run(args []string) int {
 	if cfg.Serve != "" {
 		return serve(cfg)
 	}
+	if cfg.CacheServe != "" {
+		return cacheServe(cfg)
+	}
 	return cli.RunConfig(cfg, os.Stdout, os.Stderr)
+}
+
+// cacheServe runs the shared blob-cache server behind distributed sharded
+// checking: GET/PUT /blob/{key} over the -cache-dir directory, bounded by
+// -cache-max-bytes.
+func cacheServe(cfg *cli.Config) int {
+	srv, err := server.NewBlob(server.BlobOptions{
+		Dir:         cfg.CacheDir,
+		MaxBytes:    cfg.CacheMaxBytes,
+		MaxInFlight: cfg.ServeInFlight,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "golclint: %v\n", err)
+		return 2
+	}
+	ln, err := net.Listen("tcp", cfg.CacheServe)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "golclint: %v\n", err)
+		return 2
+	}
+	fmt.Fprintf(os.Stderr, "golclint: blob cache serving on http://%s\n", ln.Addr())
+	if err := srv.Serve(ln); err != nil {
+		fmt.Fprintf(os.Stderr, "golclint: %v\n", err)
+		return 2
+	}
+	return 0
 }
 
 // serve runs the analysis daemon until the listener fails (or the process

@@ -7,8 +7,8 @@
 // prose tables — BENCH_scaling.json (E9), BENCH_modular.json (E10),
 // BENCH_parallel.json (E15), BENCH_incremental.json (E16),
 // BENCH_state.json (E17), BENCH_frontend.json (E18),
-// BENCH_provenance.json (E19), BENCH_validate.json (E20), and
-// BENCH_serve.json (E21) in the current
+// BENCH_provenance.json (E19), BENCH_validate.json (E20),
+// BENCH_serve.json (E21), and BENCH_distributed.json (E22) in the current
 // directory — each stamped with the
 // experiment's elapsed time and allocation totals (measured per benchmark
 // row, so alloc figures are attributable) so the numbers are diffable
@@ -16,7 +16,7 @@
 //
 // Usage:
 //
-//	lclbench [-jobs n] [-quick] [samples|listaddh|ercdb|scaling|modular|economy|staticvsdynamic|nofixpoint|parallel|incremental|state|frontend|provenance|validate|serve|all]
+//	lclbench [-jobs n] [-quick] [samples|listaddh|ercdb|scaling|modular|economy|staticvsdynamic|nofixpoint|parallel|incremental|state|frontend|provenance|validate|serve|distributed|all]
 //
 //	-jobs n   highest worker count the parallel experiment sweeps to
 //	          (0 = GOMAXPROCS)
@@ -147,6 +147,7 @@ var experiments = []struct {
 	{"provenance", runProvenance},
 	{"validate", runValidate},
 	{"serve", runServe},
+	{"distributed", runDistributed},
 }
 
 // maxJobs is the highest worker count the parallel experiment sweeps to
@@ -169,6 +170,7 @@ func main() {
 		runProvenanceIters(10)
 		runValidateIters(3)
 		runServeConfig(8, 6, 20, 4)
+		runDistributedConfig(true)
 		return
 	}
 	cmd := "all"
@@ -1444,4 +1446,385 @@ func sortedKeys(m map[string]string) []string {
 	}
 	sort.Strings(keys)
 	return keys
+}
+
+// ---------------------------------------------------------------------------
+// E22: distributed sharded checking over a shared remote cache at
+// million-line scale. n worker processes partition the module list with a
+// stable hash and coordinate only through the shared cache; the experiment
+// shows (a) ms/KLOC stays flat from 10K to 1M+ lines under sharding,
+// (b) a cold fleet replaying a warm shared remote cache beats a cold
+// single process by the gated factor, (c) merged shard output is
+// byte-identical to the single-process run at every shard count, and
+// (d) frame compression at least halves cache bytes with byte-identical
+// warm replay.
+
+// distributedRow is one corpus size in the E22 scaling ladder, checked by
+// a cold shard fleet writing through to a shared remote store.
+type distributedRow struct {
+	Lines   int `json:"lines"`
+	Modules int `json:"modules"`
+	Shards  int `json:"shards"`
+	// CheckMS is the summed wall time of all shard workers (the host is
+	// single-core, so the sum is the honest fleet cost).
+	CheckMS   float64 `json:"check_ms"`
+	MSPerKLOC float64 `json:"ms_per_kloc"`
+	Messages  int     `json:"messages"`
+}
+
+type distributedDoc struct {
+	benchMeta
+	// Quick marks the reduced CI smoke configuration; gates that need the
+	// million-line corpus only assert when Quick is false.
+	Quick bool             `json:"quick"`
+	Rows  []distributedRow `json:"rows"`
+	// Fleet section, on the largest corpus: a cold single process versus a
+	// fleet of cold-disk workers replaying the warm shared remote store.
+	FleetShards           int     `json:"fleet_shards"`
+	ColdSingleNS          int64   `json:"cold_single_ns"`
+	ColdFleetWarmRemoteNS int64   `json:"cold_fleet_warm_remote_ns"`
+	FleetSpeedup          float64 `json:"fleet_speedup"`
+	RemoteGets            int64   `json:"remote_gets"`
+	RemotePuts            int64   `json:"remote_puts"`
+	// Parity section: merged sorted diag-jsonl streams equal the
+	// single-process run's for every n in ParityShardCounts, cold and
+	// warm, in plain, -explain, and -validate modes.
+	ParityShardCounts []int `json:"parity_shard_counts"`
+	ParityCold        bool  `json:"parity_cold"`
+	ParityWarm        bool  `json:"parity_warm"`
+	ParityExplain     bool  `json:"parity_explain"`
+	ParityValidate    bool  `json:"parity_validate"`
+	// Compression section, on the E9 corpus shape.
+	CompressionRawBytes        int64   `json:"compression_raw_bytes"`
+	CompressionCompressedBytes int64   `json:"compression_compressed_bytes"`
+	CompressionRatio           float64 `json:"compression_ratio"`
+	WarmReplayIdentical        bool    `json:"warm_replay_identical"`
+}
+
+func runDistributed() { runDistributedConfig(false) }
+
+// materializeCorpus writes p to a temp dir, returning the sorted .c paths.
+// The caller removes the dir.
+func materializeCorpus(p *testgen.Program) (string, []string, error) {
+	dir, err := os.MkdirTemp("", "golclint-bench-dist-")
+	if err != nil {
+		return "", nil, err
+	}
+	for name, src := range p.AllSources() {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			os.RemoveAll(dir)
+			return "", nil, err
+		}
+	}
+	var args []string
+	for name := range p.Files {
+		args = append(args, filepath.Join(dir, name))
+	}
+	sort.Strings(args)
+	return dir, args, nil
+}
+
+// startBlobServer runs an in-process shared remote store on a loopback
+// port, exactly as `golclint -cache-serve` serves it. It returns the
+// server (for stats), its base URL, and a shutdown func.
+func startBlobServer(dir string) (*server.BlobServer, string, func(), error) {
+	bs, err := server.NewBlob(server.BlobOptions{Dir: dir})
+	if err != nil {
+		return nil, "", nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, "", nil, err
+	}
+	go bs.Serve(ln)
+	return bs, "http://" + ln.Addr().String(), func() { ln.Close() }, nil
+}
+
+// runShardFleet runs n shard workers sequentially (one core) over paths,
+// all sharing cacheDir and, if non-empty, the remote store at remoteURL.
+// It returns the summed wall time and the highest exit code.
+func runShardFleet(n int, paths []string, cacheDir, remoteURL string, extra ...string) (time.Duration, int) {
+	var total time.Duration
+	exit := 0
+	for i := 0; i < n; i++ {
+		args := []string{"-shard", fmt.Sprintf("%d/%d", i, n)}
+		if cacheDir != "" {
+			args = append(args, "-cache-dir", cacheDir)
+		}
+		if remoteURL != "" {
+			args = append(args, "-remote-cache", remoteURL)
+		}
+		args = append(args, extra...)
+		args = append(args, paths...)
+		start := time.Now()
+		code := cli.Run(args, io.Discard, io.Discard)
+		total += time.Since(start)
+		if code > exit {
+			exit = code
+		}
+	}
+	return total, exit
+}
+
+// shardJSONL runs one shard worker with a diag-jsonl stream and returns
+// the stream's lines sorted (the canonical merge order) plus stdout.
+func shardJSONL(shard string, paths []string, cacheDir string, extra ...string) ([]string, string, error) {
+	tmp, err := os.CreateTemp("", "golclint-bench-jsonl-")
+	if err != nil {
+		return nil, "", err
+	}
+	tmp.Close()
+	defer os.Remove(tmp.Name())
+	args := []string{"-shard", shard, "-cache-dir", cacheDir, "-diag-jsonl", tmp.Name()}
+	args = append(args, extra...)
+	args = append(args, paths...)
+	var out strings.Builder
+	if code := cli.Run(args, &out, io.Discard); code > 1 {
+		return nil, "", fmt.Errorf("shard %s exited %d", shard, code)
+	}
+	b, err := os.ReadFile(tmp.Name())
+	if err != nil {
+		return nil, "", err
+	}
+	lines := strings.Split(strings.TrimSuffix(string(b), "\n"), "\n")
+	if len(lines) == 1 && lines[0] == "" {
+		lines = nil
+	}
+	sort.Strings(lines)
+	return lines, out.String(), nil
+}
+
+// runWithStats runs a single-process shard worker with -stats-json and
+// returns its stdout.
+func runWithStats(paths []string, cacheDir, statsPath string) (string, error) {
+	args := []string{"-shard", "0/1", "-cache-dir", cacheDir, "-stats-json", statsPath}
+	args = append(args, paths...)
+	var out strings.Builder
+	if code := cli.Run(args, &out, io.Discard); code > 1 {
+		return "", fmt.Errorf("stats run exited %d", code)
+	}
+	return out.String(), nil
+}
+
+// readDiskCompression pulls the disk layer's raw/compressed byte counters
+// out of a -stats-json document.
+func readDiskCompression(path string) (raw, comp int64, err error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	var doc struct {
+		CacheStores map[string]cache.StoreStats `json:"cache_stores"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		return 0, 0, err
+	}
+	disk, ok := doc.CacheStores["disk"]
+	if !ok {
+		return 0, 0, fmt.Errorf("%s carries no disk cache stats", path)
+	}
+	return disk.RawBytes, disk.CompressedBytes, nil
+}
+
+// runDistributedConfig is E22; quick selects the reduced CI smoke corpora.
+func runDistributedConfig(quick bool) {
+	header("E22", "distributed sharded checking over a shared remote cache")
+
+	// Corpus ladder. Full mode spans 10K to 1M+ lines across 2000 modules;
+	// quick keeps the same shape two orders of magnitude smaller.
+	moduleSizes := []int{20, 200, 2000}
+	funcsPer, stmtsPer := 4, 90
+	parityModules := 20
+	compressionModules := 32
+	if quick {
+		moduleSizes = []int{4, 8, 16}
+		funcsPer, stmtsPer = 3, 20
+		parityModules = 6
+		compressionModules = 8
+	}
+	const fleetShards = 4
+
+	doc := distributedDoc{Quick: quick, FleetShards: fleetShards,
+		ParityShardCounts: []int{1, 2, 4, 8},
+		ParityCold:        true, ParityWarm: true, ParityExplain: true, ParityValidate: true,
+	}
+	fail := func(err error) bool {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lclbench: %v\n", err)
+			return true
+		}
+		return false
+	}
+
+	meta := measure("golclint-bench-distributed/v1", "E22", func() {
+		// (a) Scaling ladder: a cold 4-shard fleet writing through to a
+		// shared remote store, at each corpus size.
+		fmt.Printf("%10s %8s %7s %12s %12s\n", "lines", "modules", "shards", "fleet(ms)", "ms/kloc")
+		for _, modules := range moduleSizes {
+			p := testgen.Generate(testgen.Config{
+				Seed: 42, Modules: modules, FuncsPer: funcsPer, StmtsPer: stmtsPer,
+				Annotate: true,
+				Bugs:     map[testgen.BugKind]int{testgen.BugLeak: modules / 2},
+			})
+			dir, paths, err := materializeCorpus(p)
+			if fail(err) {
+				return
+			}
+			remoteDir, err := os.MkdirTemp("", "golclint-bench-remote-")
+			if fail(err) {
+				return
+			}
+			bs, remoteURL, stop, err := startBlobServer(remoteDir)
+			if fail(err) {
+				return
+			}
+			cacheDir, err := os.MkdirTemp("", "golclint-bench-cache-")
+			if fail(err) {
+				return
+			}
+			elapsed, _ := runShardFleet(fleetShards, paths, cacheDir, remoteURL)
+			ms := float64(elapsed.Microseconds()) / 1000
+			row := distributedRow{
+				Lines: p.Lines, Modules: modules, Shards: fleetShards,
+				CheckMS: ms, MSPerKLOC: ms / (float64(p.Lines) / 1000),
+			}
+			fmt.Printf("%10d %8d %7d %12.1f %12.2f\n", row.Lines, row.Modules, row.Shards, row.CheckMS, row.MSPerKLOC)
+			doc.Rows = append(doc.Rows, row)
+
+			if modules == moduleSizes[len(moduleSizes)-1] {
+				// (b) Fleet section on the largest corpus. The remote store
+				// is now warm (the cold fleet above wrote through). A cold
+				// single process with a fresh disk pays full analysis; a
+				// fleet of workers with no local state at all — the
+				// fresh-machine shape — replays remote GETs instead.
+				singleDir, err := os.MkdirTemp("", "golclint-bench-single-")
+				if fail(err) {
+					return
+				}
+				coldSingle, _ := runShardFleet(1, paths, singleDir, "")
+				warmFleet, _ := runShardFleet(fleetShards, paths, "", remoteURL)
+				doc.ColdSingleNS = coldSingle.Nanoseconds()
+				doc.ColdFleetWarmRemoteNS = warmFleet.Nanoseconds()
+				doc.FleetSpeedup = float64(coldSingle.Nanoseconds()) / float64(warmFleet.Nanoseconds())
+				st := bs.StatsSnapshot()
+				doc.RemoteGets, doc.RemotePuts = st.Gets, st.Puts
+				os.RemoveAll(singleDir)
+			}
+			stop()
+			os.RemoveAll(dir)
+			os.RemoveAll(cacheDir)
+			os.RemoveAll(remoteDir)
+		}
+
+		// (c) Parity: merged sorted shard streams equal the single-process
+		// stream for every n, cold and warm, in every output mode.
+		pp := testgen.Generate(testgen.Config{
+			Seed: 7, Modules: parityModules, FuncsPer: 3, Annotate: true,
+			Bugs: map[testgen.BugKind]int{
+				testgen.BugLeak: parityModules / 2, testgen.BugUseAfterFree: parityModules / 2,
+				testgen.BugNullDeref: parityModules / 2,
+			},
+		})
+		pdir, ppaths, err := materializeCorpus(pp)
+		if fail(err) {
+			return
+		}
+		defer os.RemoveAll(pdir)
+		for _, mode := range [][]string{nil, {"-explain"}, {"-validate"}} {
+			warmDir, err := os.MkdirTemp("", "golclint-bench-parity-")
+			if fail(err) {
+				return
+			}
+			single, _, err := shardJSONL("0/1", ppaths, warmDir, mode...)
+			if fail(err) {
+				return
+			}
+			want := strings.Join(single, "\n")
+			for _, n := range doc.ParityShardCounts {
+				for _, pass := range []string{"cold", "warm"} {
+					dir := warmDir
+					if pass == "cold" {
+						dir, err = os.MkdirTemp("", "golclint-bench-parity-")
+						if fail(err) {
+							return
+						}
+					}
+					var merged []string
+					for i := 0; i < n; i++ {
+						lines, _, err := shardJSONL(fmt.Sprintf("%d/%d", i, n), ppaths, dir, mode...)
+						if fail(err) {
+							return
+						}
+						merged = append(merged, lines...)
+					}
+					sort.Strings(merged)
+					ok := strings.Join(merged, "\n") == want
+					if !ok {
+						fmt.Printf("parity FAILED: n=%d %s mode=%v\n", n, pass, mode)
+					}
+					if pass == "cold" {
+						doc.ParityCold = doc.ParityCold && ok
+						os.RemoveAll(dir)
+					} else {
+						doc.ParityWarm = doc.ParityWarm && ok
+					}
+					switch {
+					case len(mode) > 0 && mode[0] == "-explain":
+						doc.ParityExplain = doc.ParityExplain && ok
+					case len(mode) > 0 && mode[0] == "-validate":
+						doc.ParityValidate = doc.ParityValidate && ok
+					}
+				}
+			}
+			os.RemoveAll(warmDir)
+		}
+		fmt.Printf("parity (n in %v, cold+warm, plain/explain/validate): cold=%v warm=%v explain=%v validate=%v\n",
+			doc.ParityShardCounts, doc.ParityCold, doc.ParityWarm, doc.ParityExplain, doc.ParityValidate)
+
+		// (d) Compression on the E9 corpus shape: gzip framing must at
+		// least halve stored bytes, and the warm replay from those
+		// compressed entries must be byte-identical.
+		cp := testgen.Generate(testgen.Config{
+			Seed: 42, Modules: compressionModules, FuncsPer: 10, Annotate: true,
+			Bugs: map[testgen.BugKind]int{testgen.BugLeak: compressionModules / 2},
+		})
+		cdir, cpaths, err := materializeCorpus(cp)
+		if fail(err) {
+			return
+		}
+		defer os.RemoveAll(cdir)
+		ccache, err := os.MkdirTemp("", "golclint-bench-comp-")
+		if fail(err) {
+			return
+		}
+		defer os.RemoveAll(ccache)
+		statsPath := filepath.Join(cdir, "stats.json")
+		coldOut, err := runWithStats(cpaths, ccache, statsPath)
+		if fail(err) {
+			return
+		}
+		raw, comp, err := readDiskCompression(statsPath)
+		if fail(err) {
+			return
+		}
+		doc.CompressionRawBytes, doc.CompressionCompressedBytes = raw, comp
+		if comp > 0 {
+			doc.CompressionRatio = float64(raw) / float64(comp)
+		}
+		_, warmOut, err := shardJSONL("0/1", cpaths, ccache)
+		if fail(err) {
+			return
+		}
+		doc.WarmReplayIdentical = coldOut == warmOut
+		fmt.Printf("compression: %d raw -> %d stored bytes (%.2fx), warm replay identical: %v\n",
+			raw, comp, doc.CompressionRatio, doc.WarmReplayIdentical)
+	})
+
+	doc.benchMeta = meta
+	if doc.ColdFleetWarmRemoteNS > 0 {
+		fmt.Printf("cold single %0.1f ms vs cold fleet over warm remote %0.1f ms: %.1fx (gate: >= 5x)\n",
+			float64(doc.ColdSingleNS)/1e6, float64(doc.ColdFleetWarmRemoteNS)/1e6, doc.FleetSpeedup)
+	}
+	fmt.Println("paper extension: shard workers coordinating only through a shared cache check million-line corpora with flat ms/KLOC")
+	writeBenchJSON("BENCH_distributed.json", doc)
 }

@@ -27,6 +27,10 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"golclint/internal/atomicio"
 	"golclint/internal/ctoken"
@@ -52,8 +56,31 @@ type Store interface {
 // Cache is a handle on one cache directory. The zero value is not usable;
 // call Open. A nil *Cache is valid and behaves as an always-miss,
 // discard-writes cache, so callers can thread it unconditionally.
+//
+// Entries are stored framed (compressed and checksummed, see frame.go);
+// entries written before framing existed still read back. When a byte
+// bound is set (SetMaxBytes / -cache-max-bytes), Put evicts
+// least-recently-written entries until the directory fits — entries are
+// content-addressed and reproducible, so eviction affects warmth only.
+// The size index is per-process and best-effort: concurrent processes
+// sharing one directory may briefly overshoot the bound, never corrupt it.
 type Cache struct {
-	dir string
+	dir      string
+	maxBytes int64
+
+	mu      sync.Mutex
+	scanned bool
+	usage   int64
+	index   map[string]blobInfo
+
+	hits, misses, evictions   atomic.Int64
+	rawBytes, compressedBytes atomic.Int64
+}
+
+// blobInfo is one on-disk entry in the eviction index.
+type blobInfo struct {
+	size  int64
+	mtime time.Time
 }
 
 // Open prepares a cache rooted at dir, creating it if needed.
@@ -61,7 +88,7 @@ func Open(dir string) (*Cache, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("opening analysis cache: %w", err)
 	}
-	return &Cache{dir: dir}, nil
+	return &Cache{dir: dir, index: map[string]blobInfo{}}, nil
 }
 
 // Dir returns the cache's root directory ("" on a nil cache).
@@ -70,6 +97,116 @@ func (c *Cache) Dir() string {
 		return ""
 	}
 	return c.dir
+}
+
+// SetMaxBytes bounds the directory's total entry bytes (0 or negative =
+// unbounded, the default). Shrinking below current usage evicts
+// immediately, oldest entries first.
+func (c *Cache) SetMaxBytes(n int64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.maxBytes = n
+	if n > 0 {
+		c.scanLocked()
+		c.evictLocked("")
+	}
+}
+
+// scanLocked builds the size index from the directory on first use. Errors
+// are ignored: an unreadable directory just means an empty index, and the
+// cache degrades to unbounded (its pre-existing behavior).
+func (c *Cache) scanLocked() {
+	if c.scanned {
+		return
+	}
+	c.scanned = true
+	shards, err := os.ReadDir(c.dir)
+	if err != nil {
+		return
+	}
+	for _, sh := range shards {
+		if !sh.IsDir() {
+			continue
+		}
+		files, err := os.ReadDir(filepath.Join(c.dir, sh.Name()))
+		if err != nil {
+			continue
+		}
+		for _, f := range files {
+			key := strings.TrimSuffix(f.Name(), ".json")
+			if key == f.Name() {
+				continue
+			}
+			info, err := f.Info()
+			if err != nil {
+				continue
+			}
+			c.index[key] = blobInfo{size: info.Size(), mtime: info.ModTime()}
+			c.usage += info.Size()
+		}
+	}
+}
+
+// recordLocked notes one written entry and evicts if the bound is
+// exceeded.
+func (c *Cache) recordLocked(key string, size int64) {
+	c.scanLocked()
+	if old, ok := c.index[key]; ok {
+		c.usage -= old.size
+	}
+	c.index[key] = blobInfo{size: size, mtime: time.Now()}
+	c.usage += size
+	if c.maxBytes > 0 {
+		c.evictLocked(key)
+	}
+}
+
+// evictLocked removes oldest entries until usage fits maxBytes, sparing
+// keep (the entry just written).
+func (c *Cache) evictLocked(keep string) {
+	for c.usage > c.maxBytes {
+		victim := ""
+		var oldest time.Time
+		for k, info := range c.index {
+			if k == keep {
+				continue
+			}
+			if victim == "" || info.mtime.Before(oldest) {
+				victim, oldest = k, info.mtime
+			}
+		}
+		if victim == "" {
+			return
+		}
+		c.usage -= c.index[victim].size
+		delete(c.index, victim)
+		os.Remove(c.path(victim))
+		c.evictions.Add(1)
+	}
+}
+
+// Stats snapshots the disk store's counters (zero values on a nil cache).
+// Entries and Bytes reflect the per-process view of the directory (scanned
+// on first use, tracked incrementally after); RawBytes and CompressedBytes
+// accumulate over this process's writes, so their ratio is the compression
+// factor achieved.
+func (c *Cache) Stats() StoreStats {
+	if c == nil {
+		return StoreStats{}
+	}
+	c.mu.Lock()
+	c.scanLocked()
+	s := StoreStats{Entries: len(c.index), Bytes: c.usage}
+	c.mu.Unlock()
+	s.Hits = c.hits.Load()
+	s.Misses = c.misses.Load()
+	s.Evictions = c.evictions.Load()
+	s.RawBytes = c.rawBytes.Load()
+	s.CompressedBytes = c.compressedBytes.Load()
+	return s
 }
 
 // Entry is one module's cached analysis outcome.
@@ -195,9 +332,82 @@ func (c *Cache) Get(key string) (*Entry, bool) {
 	}
 	b, err := os.ReadFile(c.path(key))
 	if err != nil {
+		c.misses.Add(1)
 		return nil, false
 	}
-	return decodeEntry(key, b)
+	stored := int64(len(b))
+	if isFramed(b) {
+		raw, ok := deframeBlob(b)
+		if !ok {
+			c.misses.Add(1)
+			return nil, false
+		}
+		b = raw
+	}
+	e, ok := decodeEntry(key, b)
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	// Size reports the on-disk footprint (the framed bytes), matching what
+	// Put charged, so cache_bytes counters agree across hits and misses.
+	e.Size = stored
+	c.hits.Add(1)
+	return e, true
+}
+
+// GetBytes returns the raw framed wire bytes stored under key, without
+// decoding them. The blob server serves entries this way: it never needs
+// entry semantics, and a corrupt frame is the client's to detect.
+func (c *Cache) GetBytes(key string) ([]byte, bool) {
+	if c == nil || len(key) < 2 {
+		return nil, false
+	}
+	b, err := os.ReadFile(c.path(key))
+	if err != nil {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return b, true
+}
+
+// PutBytes stores pre-framed wire bytes under key, atomically, enforcing
+// the byte bound. The frame is verified first (magic, lengths, checksum):
+// the blob server uses this to refuse storing garbage a broken client
+// sent, without ever decoding entry contents.
+func (c *Cache) PutBytes(key string, b []byte) error {
+	if c == nil {
+		return nil
+	}
+	if len(key) < 2 {
+		return fmt.Errorf("cache put: malformed key %q", key)
+	}
+	raw, ok := deframeBlob(b)
+	if !ok {
+		return fmt.Errorf("cache put: malformed frame for key %q", key)
+	}
+	if err := c.writeBytes(key, b); err != nil {
+		return err
+	}
+	c.rawBytes.Add(int64(len(raw)))
+	c.compressedBytes.Add(int64(len(b)))
+	return nil
+}
+
+// writeBytes is the shared atomic write + usage accounting path.
+func (c *Cache) writeBytes(key string, b []byte) error {
+	dst := c.path(key)
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		return fmt.Errorf("cache put: %w", err)
+	}
+	if err := atomicio.WriteFile(dst, b, 0o644); err != nil {
+		return fmt.Errorf("cache put: %w", err)
+	}
+	c.mu.Lock()
+	c.recordLocked(key, int64(len(b)))
+	c.mu.Unlock()
+	return nil
 }
 
 // decodeEntry parses entry wire bytes back into an Entry. Any mismatch —
@@ -244,8 +454,9 @@ func encodeEntry(key string, e *Entry) ([]byte, error) {
 	return append(b, '\n'), nil
 }
 
-// Put stores e under key, atomically. It returns the bytes written (also
-// recorded in e.Size). A nil cache discards the write.
+// Put stores e under key, atomically, framed (compressed + checksummed).
+// It returns the bytes written (also recorded in e.Size). A nil cache
+// discards the write.
 func (c *Cache) Put(key string, e *Entry) (int64, error) {
 	if c == nil {
 		return 0, nil
@@ -253,17 +464,16 @@ func (c *Cache) Put(key string, e *Entry) (int64, error) {
 	if len(key) < 2 {
 		return 0, fmt.Errorf("cache put: malformed key %q", key)
 	}
-	b, err := encodeEntry(key, e)
+	raw, err := encodeEntry(key, e)
 	if err != nil {
 		return 0, fmt.Errorf("cache put: %w", err)
 	}
-	dst := c.path(key)
-	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
-		return 0, fmt.Errorf("cache put: %w", err)
+	b := frameBlob(raw)
+	if err := c.writeBytes(key, b); err != nil {
+		return 0, err
 	}
-	if err := atomicio.WriteFile(dst, b, 0o644); err != nil {
-		return 0, fmt.Errorf("cache put: %w", err)
-	}
+	c.rawBytes.Add(int64(len(raw)))
+	c.compressedBytes.Add(int64(len(b)))
 	e.Size = int64(len(b))
 	return e.Size, nil
 }

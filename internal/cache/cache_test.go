@@ -106,11 +106,28 @@ func TestCorruptEntriesAreMisses(t *testing.T) {
 			}
 		})
 	}
+	// Payload-level corruption: rewrite the JSON inside the frame so it
+	// still deframes cleanly but decodes to a stale or foreign entry.
+	raw, ok := deframeBlob(good)
+	if !ok {
+		t.Fatal("stored entry is not framed")
+	}
+	reframe := func(s string) []byte { return frameBlob([]byte(s)) }
+
 	corrupt("truncated", good[:len(good)/2])
 	corrupt("garbage", []byte("\x00\xffnot json"))
 	corrupt("empty", nil)
-	corrupt("schema-mismatch", []byte(strings.Replace(string(good), entrySchema, "golclint-cache/v0", 1)))
-	corrupt("key-mismatch", []byte(strings.Replace(string(good), key, strings.Repeat("ab", 32), 2)))
+	corrupt("schema-mismatch", reframe(strings.Replace(string(raw), entrySchema, "golclint-cache/v0", 1)))
+	corrupt("key-mismatch", reframe(strings.Replace(string(raw), key, strings.Repeat("ab", 32), 2)))
+
+	// Frame-level corruption: valid header, damaged payload byte (checksum
+	// must catch it), and a header advertising the wrong payload length.
+	flipped := append([]byte(nil), good...)
+	flipped[len(flipped)-1] ^= 0xff
+	corrupt("bad-checksum", flipped)
+	shortLen := append([]byte(nil), good...)
+	shortLen[len(frameMagic)] ^= 0x01 // perturb rawLen
+	corrupt("bad-length", shortLen)
 
 	// Restore the good bytes: the entry must hit again.
 	if err := os.WriteFile(path, good, 0o644); err != nil {

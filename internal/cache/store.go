@@ -36,11 +36,23 @@ func NewMemStore() *MemStore {
 }
 
 // SetLimit rebounds the store's resident bytes (0 or negative = unlimited).
-// Existing entries are not evicted until the next Put.
+// Shrinking below current usage evicts immediately (arbitrary entries
+// first, like Put), so the store never holds more than the new bound.
 func (m *MemStore) SetLimit(bytes int64) {
 	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.limit = bytes
-	m.mu.Unlock()
+	if bytes <= 0 {
+		return
+	}
+	for k, old := range m.entries {
+		if m.bytes <= bytes {
+			break
+		}
+		m.bytes -= int64(len(old))
+		delete(m.entries, k)
+		m.evictions.Add(1)
+	}
 }
 
 // Get implements Store. The returned Entry is freshly decoded and owned by
@@ -110,23 +122,32 @@ func (m *MemStore) Put(key string, e *Entry) (int64, error) {
 	return int64(len(b)), nil
 }
 
-// MemStats is a point-in-time snapshot of a MemStore's counters, surfaced
-// by the analysis server's /stats endpoint.
-type MemStats struct {
-	Entries   int   `json:"entries"`
-	Bytes     int64 `json:"bytes"`
-	Hits      int64 `json:"hits"`
-	Misses    int64 `json:"misses"`
-	Evictions int64 `json:"evictions"`
+// StoreStats is a point-in-time snapshot of one store layer's counters —
+// every backend (memory, disk, remote) reports the same shape, surfaced by
+// -stats-json and the server /stats endpoints. RawBytes and
+// CompressedBytes are zero on layers that store entries uncompressed (the
+// memory store, whose Gets must stay cheap).
+type StoreStats struct {
+	Entries         int   `json:"entries"`
+	Bytes           int64 `json:"bytes"`
+	Hits            int64 `json:"hits"`
+	Misses          int64 `json:"misses"`
+	Evictions       int64 `json:"evictions"`
+	RawBytes        int64 `json:"raw_bytes,omitempty"`
+	CompressedBytes int64 `json:"compressed_bytes,omitempty"`
 }
 
+// MemStats is the historical name for StoreStats, kept for callers that
+// predate the multi-backend store.
+type MemStats = StoreStats
+
 // Stats snapshots the store's counters (zero values on a nil store).
-func (m *MemStore) Stats() MemStats {
+func (m *MemStore) Stats() StoreStats {
 	if m == nil {
-		return MemStats{}
+		return StoreStats{}
 	}
 	m.mu.RLock()
-	s := MemStats{Entries: len(m.entries), Bytes: m.bytes}
+	s := StoreStats{Entries: len(m.entries), Bytes: m.bytes}
 	m.mu.RUnlock()
 	s.Hits = m.hits.Load()
 	s.Misses = m.misses.Load()

@@ -189,3 +189,37 @@ func TestLayered(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// Shrinking the limit below current usage must evict immediately, not wait
+// for the next Put.
+func TestMemStoreSetLimitEvictsImmediately(t *testing.T) {
+	m := NewMemStore()
+	var size int64
+	for i := 0; i < 10; i++ {
+		n, err := m.Put(fmt.Sprintf("key%02d", i), testEntry())
+		if err != nil {
+			t.Fatal(err)
+		}
+		size = n
+	}
+	before := m.Stats()
+	if before.Entries != 10 {
+		t.Fatalf("setup: %d entries", before.Entries)
+	}
+	m.SetLimit(3 * size)
+	s := m.Stats()
+	if s.Bytes > 3*size {
+		t.Errorf("bytes %d over limit %d immediately after SetLimit", s.Bytes, 3*size)
+	}
+	if s.Entries > 3 {
+		t.Errorf("%d entries survive a 3-entry limit", s.Entries)
+	}
+	if s.Evictions == 0 {
+		t.Error("no evictions recorded")
+	}
+	// Growing or unbounding never evicts.
+	m.SetLimit(0)
+	if got := m.Stats().Entries; got != s.Entries {
+		t.Errorf("unbounding changed entry count %d -> %d", s.Entries, got)
+	}
+}

@@ -44,24 +44,44 @@ func Run(args []string, stdout, stderr io.Writer) int {
 // holding no resident state, so one-shot behavior (and output) is identical
 // to what the monolithic Run always produced.
 func RunConfig(cfg *Config, stdout, stderr io.Writer) int {
+	if cfg.Shard != "" {
+		return RunShard(cfg, stdout, stderr)
+	}
 	files, inc, err := cfg.LoadInputs()
 	if err != nil {
 		fmt.Fprintf(stderr, "golclint: %v\n", err)
 		return 2
 	}
-	var sess Session
-	// -cfg needs the parsed units, which a cache hit skips building, so it
-	// disables the cache for this run rather than printing nothing.
-	if cfg.CacheDir != "" && cfg.ShowCFG == "" {
-		c, err := cache.Open(cfg.CacheDir)
-		if err != nil {
-			fmt.Fprintf(stderr, "golclint: %v\n", err)
-			return 2
-		}
-		sess.disk = c
+	sess, err := sessionFor(cfg)
+	if err != nil {
+		fmt.Fprintf(stderr, "golclint: %v\n", err)
+		return 2
 	}
 	code, _ := sess.Execute(cfg, files, inc, stdout, stderr)
 	return code
+}
+
+// sessionFor builds the transient session for one invocation: a disk cache
+// when -cache-dir asked (bounded by -cache-max-bytes), a remote layer when
+// -remote-cache did. -cfg needs the parsed units, which a cache hit skips
+// building, so it disables both layers rather than printing nothing.
+func sessionFor(cfg *Config) (*Session, error) {
+	sess := &Session{}
+	if cfg.ShowCFG != "" {
+		return sess, nil
+	}
+	if cfg.CacheDir != "" {
+		c, err := cache.Open(cfg.CacheDir)
+		if err != nil {
+			return nil, err
+		}
+		c.SetMaxBytes(cfg.CacheMaxBytes)
+		sess.disk = c
+	}
+	if cfg.RemoteCache != "" {
+		sess.remote = cache.NewRemoteStore(cfg.RemoteCache)
+	}
+	return sess, nil
 }
 
 // writeLibrary emits the checked program's interface library. On a cache
@@ -127,6 +147,10 @@ type runStats struct {
 	// machine-readable witness path. Absent otherwise, so default stats
 	// output is unchanged.
 	Diagnostics []StatsDiag `json:"diagnostics,omitempty"`
+	// CacheStores reports per-layer cache counters ("mem", "disk",
+	// "remote") for each store layer the run was configured with; absent
+	// when the run had no cache.
+	CacheStores map[string]cache.StoreStats `json:"cache_stores,omitempty"`
 }
 
 // StatsDiag is one diagnostic in the machine-readable wire form shared by
@@ -167,7 +191,7 @@ func StatsDiags(ds []*diag.Diagnostic) []StatsDiag {
 // writeStatsJSON renders the run's metrics and per-code message counts.
 // Map keys serialize in sorted order, so the output is deterministic up to
 // the (intentionally volatile) duration fields.
-func writeStatsJSON(path string, files []string, fl *flags.Flags, m *obs.Metrics, res *core.Result, explain bool) error {
+func writeStatsJSON(path string, files []string, fl *flags.Flags, m *obs.Metrics, res *core.Result, explain bool, stores map[string]cache.StoreStats) error {
 	snap := m.Snapshot()
 	byCode := map[string]int{}
 	for c, n := range res.CountByCode() {
@@ -195,9 +219,27 @@ func writeStatsJSON(path string, files []string, fl *flags.Flags, m *obs.Metrics
 	if explain {
 		doc.Diagnostics = StatsDiags(res.Diags)
 	}
+	if len(stores) > 0 {
+		doc.CacheStores = stores
+	}
 	b, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err
 	}
 	return atomicio.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// printStatsSummary renders the -stats block: message totals and per-code
+// counts in sorted code order.
+func printStatsSummary(stdout io.Writer, res *core.Result) {
+	counts := res.CountByCode()
+	keys := make([]diag.Code, 0, len(counts))
+	for c := range counts {
+		keys = append(keys, c)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	fmt.Fprintf(stdout, "%d message(s), %d suppressed\n", len(res.Diags), res.Suppressed)
+	for _, c := range keys {
+		fmt.Fprintf(stdout, "  %-16s %d\n", c, counts[c])
+	}
 }

@@ -1,0 +1,208 @@
+package cli_test
+
+import (
+	"bytes"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"golclint/internal/cache"
+	"golclint/internal/cli"
+	"golclint/internal/server"
+	"golclint/internal/testgen"
+)
+
+// TestCoherenceWorker is not a test: it is the body of a child process
+// re-execed from TestCrossProcessCacheCoherence. It runs one CLI
+// invocation with the arguments smuggled through the environment and
+// exits with the CLI's exit code before the test framework can print
+// anything, so the parent sees exactly the run's stdout.
+func TestCoherenceWorker(t *testing.T) {
+	if os.Getenv("GOLCLINT_COHERENCE_WORKER") != "1" {
+		t.Skip("helper process for TestCrossProcessCacheCoherence")
+	}
+	args := strings.Split(os.Getenv("GOLCLINT_COHERENCE_ARGS"), "\x1f")
+	os.Exit(cli.Run(args, os.Stdout, os.Stderr))
+}
+
+// coherenceCorpus materializes a buggy corpus and returns sorted paths.
+func coherenceCorpus(t *testing.T, modules int) []string {
+	t.Helper()
+	dir := t.TempDir()
+	bugs := map[testgen.BugKind]int{}
+	for _, k := range testgen.AllBugKinds() {
+		bugs[k] = modules / 2
+	}
+	p := testgen.Generate(testgen.Config{Seed: 11, Modules: modules, FuncsPer: 3, Annotate: true, Bugs: bugs})
+	for name, src := range p.AllSources() {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var paths []string
+	for name := range p.Files {
+		paths = append(paths, filepath.Join(dir, name))
+	}
+	sort.Strings(paths)
+	return paths
+}
+
+// assertCacheDirCoherent opens dir as a cache and demands that every
+// on-disk blob decodes as a hit for the key its filename claims: a torn
+// or partial write would deframe-fail and read back as a miss.
+func assertCacheDirCoherent(t *testing.T, dir string) int {
+	t.Helper()
+	c, err := cache.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := 0
+	shards, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sh := range shards {
+		if !sh.IsDir() {
+			continue
+		}
+		files, err := os.ReadDir(filepath.Join(dir, sh.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range files {
+			key := strings.TrimSuffix(f.Name(), ".json")
+			if _, ok := c.Get(key); !ok {
+				t.Errorf("blob %s/%s does not decode: torn write", sh.Name(), f.Name())
+			}
+			entries++
+		}
+	}
+	return entries
+}
+
+// Two concurrent OS processes checking the same corpus through one shared
+// -cache-dir and one shared remote blob server must never corrupt an
+// entry or observe a partial write: afterwards every blob in both stores
+// decodes cleanly, both runs printed identical diagnostics, and the
+// remote server saw traffic from both sides.
+func TestCrossProcessCacheCoherence(t *testing.T) {
+	paths := coherenceCorpus(t, 10)
+	cacheDir := t.TempDir()
+
+	bs, err := server.NewBlob(server.BlobOptions{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(bs.Handler())
+	defer srv.Close()
+
+	runWorker := func(stdout *bytes.Buffer, dir string) int {
+		args := append([]string{
+			"-cache-dir", dir,
+			"-remote-cache", srv.URL,
+			"-shard", "0/1",
+		}, paths...)
+		cmd := exec.Command(os.Args[0], "-test.run=TestCoherenceWorker$")
+		cmd.Env = append(os.Environ(),
+			"GOLCLINT_COHERENCE_WORKER=1",
+			"GOLCLINT_COHERENCE_ARGS="+strings.Join(args, "\x1f"))
+		cmd.Stdout = stdout
+		var errb bytes.Buffer
+		cmd.Stderr = &errb
+		err := cmd.Run()
+		code := cmd.ProcessState.ExitCode()
+		if err != nil && code <= 0 {
+			t.Errorf("worker failed to run: %v, stderr:\n%s", err, errb.String())
+		}
+		if code > 1 {
+			t.Errorf("worker exit %d, stderr:\n%s", code, errb.String())
+		}
+		return code
+	}
+
+	var out1, out2 bytes.Buffer
+	var wg sync.WaitGroup
+	codes := make([]int, 2)
+	wg.Add(2)
+	go func() { defer wg.Done(); codes[0] = runWorker(&out1, cacheDir) }()
+	go func() { defer wg.Done(); codes[1] = runWorker(&out2, cacheDir) }()
+	wg.Wait()
+
+	if codes[0] != codes[1] {
+		t.Errorf("exit codes differ: %d vs %d", codes[0], codes[1])
+	}
+	if out1.String() != out2.String() {
+		t.Errorf("concurrent runs printed different diagnostics:\n--- run 1\n%s\n--- run 2\n%s", out1.String(), out2.String())
+	}
+
+	if n := assertCacheDirCoherent(t, cacheDir); n == 0 {
+		t.Error("no entries landed in the shared disk cache")
+	}
+	s := bs.StatsSnapshot()
+	if s.Puts == 0 {
+		t.Error("no PUTs reached the shared remote store")
+	}
+	if s.Errors > 0 {
+		t.Errorf("remote store rejected %d frames from live workers", s.Errors)
+	}
+	if n := assertCacheDirCoherent(t, bs.Dir()); n == 0 {
+		t.Error("no entries landed in the remote store")
+	}
+
+	// A third process with a cold local disk but the warm shared remote
+	// must replay entirely from remote GETs and agree byte for byte.
+	before := bs.StatsSnapshot().Gets
+	var out3 bytes.Buffer
+	runWorker(&out3, t.TempDir())
+	if out3.String() != out1.String() {
+		t.Error("warm replay printed different diagnostics")
+	}
+	if bs.StatsSnapshot().Gets <= before {
+		t.Error("warm process issued no remote GETs")
+	}
+}
+
+// In-process concurrency over the same shared stores, for the race
+// detector's benefit: four goroutines run disjoint shards against one
+// cache dir and one remote store inside this process.
+func TestConcurrentShardsShareStores(t *testing.T) {
+	paths := coherenceCorpus(t, 8)
+	cacheDir := t.TempDir()
+	bs, err := server.NewBlob(server.BlobOptions{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(bs.Handler())
+	defer srv.Close()
+
+	const n = 4
+	var wg sync.WaitGroup
+	outs := make([]bytes.Buffer, n)
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			jsonl := filepath.Join(t.TempDir(), "d.jsonl")
+			args := append([]string{
+				"-cache-dir", cacheDir,
+				"-remote-cache", srv.URL,
+				"-shard", fmt.Sprintf("%d/%d", i, n),
+				"-diag-jsonl", jsonl,
+			}, paths...)
+			var errb bytes.Buffer
+			if code := cli.Run(args, &outs[i], &errb); code > 1 {
+				t.Errorf("shard %d exit %d, stderr:\n%s", i, code, errb.String())
+			}
+		}()
+	}
+	wg.Wait()
+	assertCacheDirCoherent(t, cacheDir)
+	assertCacheDirCoherent(t, bs.Dir())
+}

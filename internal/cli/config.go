@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"golclint/internal/cpp"
+	"golclint/internal/diag"
 	"golclint/internal/flags"
 	"golclint/internal/library"
 	"golclint/internal/obs"
@@ -69,6 +70,21 @@ type Config struct {
 	Explain  bool   // -explain
 	Validate bool   // -validate
 
+	// RemoteCache is the -remote-cache blob server address; when set, the
+	// run's store gains a remote layer below the disk cache.
+	RemoteCache string
+	// CacheMaxBytes is -cache-max-bytes: a byte bound on the on-disk cache
+	// directory, enforced by eviction (0 = unbounded).
+	CacheMaxBytes int64
+	// Shard is the -shard "i/n" spec. When set, the positional sources are
+	// treated as one module each and this process checks only the modules a
+	// stable hash assigns to shard i of n (see RunShard).
+	Shard string
+	// DiagJSONL is the -diag-jsonl path: every retained diagnostic is
+	// streamed to it as one self-contained JSON record per line, in output
+	// order, for cross-shard merging.
+	DiagJSONL string
+
 	StatsJSON  string // -stats-json
 	TracePath  string // -trace
 	TraceOut   string // -trace-out
@@ -86,6 +102,10 @@ type Config struct {
 	// globally and per client (0 = server defaults).
 	ServeInFlight  int
 	ServePerClient int
+	// CacheServe is the -cache-serve listen address. When set, cmd/golclint
+	// runs the shared blob-cache server (backed by -cache-dir, bounded by
+	// -cache-max-bytes) instead of checking files, and Paths may be empty.
+	CacheServe string
 
 	// Lib, when non-nil, is a preloaded interface library to check against —
 	// the programmatic form of -lib. Execute loads LoadLib from disk into
@@ -96,6 +116,11 @@ type Config struct {
 	// per-request counters; when nil, Execute creates metrics only if an
 	// output flag needs them.
 	Metrics *obs.Metrics
+	// DiagSink, when non-nil, receives each retained diagnostic in output
+	// order — the programmatic form of -diag-jsonl. The shard runner shares
+	// one JSONL writer across its per-module checks this way; when set, it
+	// takes precedence over DiagJSONL.
+	DiagSink func(*diag.Diagnostic)
 }
 
 // ParseConfig parses one golclint argument vector into a Config. It is
@@ -128,14 +153,29 @@ func ParseConfig(args []string, errw io.Writer) (*Config, error) {
 	fs.StringVar(&cfg.Serve, "serve", "", "run as an analysis server on this listen address (host:port) instead of checking files")
 	fs.IntVar(&cfg.ServeInFlight, "serve-inflight", 0, "server mode: maximum concurrent check computations (0 = 2x GOMAXPROCS)")
 	fs.IntVar(&cfg.ServePerClient, "serve-per-client", 0, "server mode: maximum concurrent requests per client before 429 (0 = default)")
+	fs.StringVar(&cfg.CacheServe, "cache-serve", "", "run as a shared blob-cache server on this listen address (host:port); requires -cache-dir")
+	fs.StringVar(&cfg.RemoteCache, "remote-cache", "", "shared blob-cache server address (host:port or URL) to layer below the disk cache")
+	fs.Int64Var(&cfg.CacheMaxBytes, "cache-max-bytes", 0, "bound the on-disk cache directory to this many bytes, evicting oldest entries (0 = unbounded)")
+	fs.StringVar(&cfg.Shard, "shard", "", "check only shard i of n ('i/n', 0 <= i < n): each source file is one module, assigned by a stable hash of its base name")
+	fs.StringVar(&cfg.DiagJSONL, "diag-jsonl", "", "stream retained diagnostics as one JSON record per line to this file (mergeable across shards)")
 	fs.Var(&incDirs, "I", "include directory (repeatable)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
-	if fs.NArg() == 0 && cfg.Serve == "" {
+	if fs.NArg() == 0 && cfg.Serve == "" && cfg.CacheServe == "" {
 		fmt.Fprintln(errw, "golclint: no input files")
 		fs.Usage()
 		return nil, errors.New("no input files")
+	}
+	if cfg.CacheServe != "" && cfg.CacheDir == "" {
+		fmt.Fprintln(errw, "golclint: -cache-serve requires -cache-dir")
+		return nil, errors.New("-cache-serve requires -cache-dir")
+	}
+	if cfg.Shard != "" {
+		if _, _, err := ParseShard(cfg.Shard); err != nil {
+			fmt.Fprintf(errw, "golclint: %v\n", err)
+			return nil, err
+		}
 	}
 
 	fl := flags.Default()

@@ -1,6 +1,7 @@
 package cli
 
 import (
+	"bufio"
 	"bytes"
 	"fmt"
 	"io"
@@ -8,6 +9,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"strings"
 	"sync"
 
 	"golclint/internal/atomicio"
@@ -38,8 +40,9 @@ const maxResidentLibraries = 16
 // locked, the library memo is mutex-guarded, and everything else Execute
 // touches is per-call.
 type Session struct {
-	mem  *cache.MemStore
-	disk *cache.Cache
+	mem    *cache.MemStore
+	disk   *cache.Cache
+	remote *cache.RemoteStore
 
 	libMu sync.Mutex
 	libs  map[string]*library.Library
@@ -60,24 +63,55 @@ func NewSession(cacheDir string) (*Session, error) {
 	return s, nil
 }
 
-// Store composes the session's entry store: memory over disk when both
-// exist, whichever one otherwise, nil when the session holds neither.
+// SetRemote layers a remote blob store below the disk cache (distributed
+// sharded checking: workers coordinate only through this shared store).
+func (s *Session) SetRemote(r *cache.RemoteStore) { s.remote = r }
+
+// Store composes the session's entry store from its configured layers,
+// fastest first: memory over disk over remote. A Get falls through until a
+// layer hits and the entry is promoted into every faster layer; a Put
+// writes through all of them. Absent layers drop out of the composition;
+// nil when the session holds none.
 func (s *Session) Store() cache.Store {
+	var slow cache.Store
 	switch {
-	case s.mem != nil && s.disk != nil:
-		return &cache.Layered{Fast: s.mem, Slow: s.disk}
+	case s.disk != nil && s.remote != nil:
+		slow = &cache.Layered{Fast: s.disk, Slow: s.remote}
+	case s.disk != nil:
+		slow = s.disk
+	case s.remote != nil:
+		slow = s.remote
+	}
+	switch {
+	case s.mem != nil && slow != nil:
+		return &cache.Layered{Fast: s.mem, Slow: slow}
 	case s.mem != nil:
 		return s.mem
-	case s.disk != nil:
-		return s.disk
 	default:
-		return nil
+		return slow
 	}
 }
 
 // MemStats snapshots the resident store's counters (zero when the session
 // has no memory layer).
 func (s *Session) MemStats() cache.MemStats { return s.mem.Stats() }
+
+// LayerStats snapshots every configured store layer's counters, keyed by
+// layer name ("mem", "disk", "remote") — the shape -stats-json and the
+// server /stats endpoints surface.
+func (s *Session) LayerStats() map[string]cache.StoreStats {
+	out := map[string]cache.StoreStats{}
+	if s.mem != nil {
+		out["mem"] = s.mem.Stats()
+	}
+	if s.disk != nil {
+		out["disk"] = s.disk.Stats()
+	}
+	if s.remote != nil {
+		out["remote"] = s.remote.Stats()
+	}
+	return out
+}
 
 // ResidentLibraries reports how many interface libraries the session holds.
 func (s *Session) ResidentLibraries() int {
@@ -184,6 +218,20 @@ func (s *Session) Execute(cfg *Config, files map[string]string, inc cpp.Includer
 	// -validate needs witness paths to derive harnesses from, so it implies
 	// provenance recording even without -explain.
 	opt := core.Options{Flags: cfg.Flags, Includes: inc, Metrics: metrics, Jobs: cfg.Jobs, Explain: cfg.Explain || cfg.Validate}
+	opt.DiagSink = cfg.DiagSink
+	var jsonlFile *os.File
+	var jsonlBuf *bufio.Writer
+	var jsonlWriter *DiagJSONLWriter
+	if cfg.DiagJSONL != "" && cfg.DiagSink == nil {
+		f, err := os.Create(cfg.DiagJSONL)
+		if err != nil {
+			fmt.Fprintf(stderr, "golclint: %v\n", err)
+			return 2, nil
+		}
+		jsonlFile, jsonlBuf = f, bufio.NewWriter(f)
+		jsonlWriter = NewDiagJSONLWriter(jsonlBuf, moduleLabel(files), diagRenderMode(cfg.Explain, cfg.Validate))
+		opt.DiagSink = jsonlWriter.Sink
+	}
 	if cfg.Validate {
 		opt.Validate = func(prog *sema.Program, diags []*diag.Diagnostic) {
 			validatepkg.Apply(prog, diags, validatepkg.Options{})
@@ -221,6 +269,20 @@ func (s *Session) Execute(cfg *Config, files map[string]string, inc cpp.Includer
 	}
 
 	metrics.EndSpan(metrics.RunSpan())
+
+	if jsonlWriter != nil {
+		err := jsonlBuf.Flush()
+		if cerr := jsonlFile.Close(); err == nil {
+			err = cerr
+		}
+		if err == nil {
+			err = jsonlWriter.Err()
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "golclint: diag-jsonl: %v\n", err)
+			return 2, res
+		}
+	}
 
 	for _, e := range res.ParseErrors {
 		fmt.Fprintf(stderr, "%v\n", e)
@@ -275,20 +337,11 @@ func (s *Session) Execute(cfg *Config, files map[string]string, inc cpp.Includer
 	}
 
 	if cfg.Stats {
-		counts := res.CountByCode()
-		keys := make([]diag.Code, 0, len(counts))
-		for c := range counts {
-			keys = append(keys, c)
-		}
-		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-		fmt.Fprintf(stdout, "%d message(s), %d suppressed\n", len(res.Diags), res.Suppressed)
-		for _, c := range keys {
-			fmt.Fprintf(stdout, "  %-16s %d\n", c, counts[c])
-		}
+		printStatsSummary(stdout, res)
 	}
 
 	if cfg.StatsJSON != "" {
-		if err := writeStatsJSON(cfg.StatsJSON, cfg.Paths, cfg.Flags, metrics, res, cfg.Explain || cfg.Validate); err != nil {
+		if err := writeStatsJSON(cfg.StatsJSON, cfg.Paths, cfg.Flags, metrics, res, cfg.Explain || cfg.Validate, s.LayerStats()); err != nil {
 			fmt.Fprintf(stderr, "golclint: %v\n", err)
 			return 2, res
 		}
@@ -298,4 +351,14 @@ func (s *Session) Execute(cfg *Config, files map[string]string, inc cpp.Includer
 		return 1, res
 	}
 	return 0, res
+}
+
+// moduleLabel names a module for diag-jsonl records: its sorted file names.
+func moduleLabel(files map[string]string) string {
+	names := make([]string, 0, len(files))
+	for n := range files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ",")
 }

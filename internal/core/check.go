@@ -86,6 +86,13 @@ type Options struct {
 	// never replayed as validated ones. Validate implies witness recording
 	// (callers must also set Explain; internal/cli does this).
 	Validate func(*sema.Program, []*diag.Diagnostic)
+	// DiagSink, when non-nil, receives each retained diagnostic in final
+	// output order as soon as the run's diagnostics are settled
+	// (post-suppression, post-cap, post-validation) — on warm replays as
+	// well as cold checks. Shard workers stream per-module diagnostics
+	// through it instead of buffering a whole run's output; the sink must
+	// not mutate the diagnostic.
+	DiagSink func(*diag.Diagnostic)
 }
 
 // Result is the outcome of a checking run.
@@ -405,6 +412,7 @@ func CheckSources(files map[string]string, opt Options) *Result {
 			// nothing was re-executed).
 			countValidation(m, res.Diags)
 			traceDiags(m, opt.Explain, res.Diags)
+			emitDiags(opt.DiagSink, res.Diags)
 			return res
 		}
 		m.Add(obs.CacheMisses, 1)
@@ -494,7 +502,18 @@ func CheckSources(files map[string]string, opt Options) *Result {
 		m.AddTotal(time.Since(runStart))
 	}
 	traceDiags(m, opt.Explain, res.Diags)
+	emitDiags(opt.DiagSink, res.Diags)
 	return res
+}
+
+// emitDiags streams the settled diagnostics to the sink, in output order.
+func emitDiags(sink func(*diag.Diagnostic), diags []*diag.Diagnostic) {
+	if sink == nil {
+		return
+	}
+	for _, d := range diags {
+		sink(d)
+	}
 }
 
 // moduleName labels a module span by its files.

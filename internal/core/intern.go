@@ -42,8 +42,8 @@ type childRef struct {
 // without releasing the backing storage).
 type interner struct {
 	ids        map[string]RefID
-	keys       []string  // id -> canonical key
-	parent     []RefID   // id -> parent reference (noRef for base refs)
+	keys       []string // id -> canonical key
+	parent     []RefID  // id -> parent reference (noRef for base refs)
 	flags      []refFlags
 	disp       []string // id -> display form, computed lazily ("" = not yet)
 	childCache map[childRef]RefID

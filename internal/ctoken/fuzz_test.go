@@ -28,7 +28,7 @@ func FuzzLex(f *testing.F) {
 		"ab\r\ncd\r\n",      // CRLF line endings between tokens
 		"\"\r\n\"",          // CRLF inside a string literal
 		"\"héllo wörld\"",   // multi-byte UTF-8 inside a string
-		"\"日本語\" ident日本", // multi-byte UTF-8 at token boundaries
+		"\"日本語\" ident日本",   // multi-byte UTF-8 at token boundaries
 		"# 12 \"a\r\nb.c\"", // CRLF splitting a line marker
 		"int x/*",           // block comment open at buffer end
 		"//",                // line comment at buffer end

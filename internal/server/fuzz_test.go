@@ -67,17 +67,17 @@ func FuzzServeRequest(f *testing.F) {
 	seed(&CheckRequest{Files: map[string]string{"m.c": "int x;\n"}, Flags: "+null -def", Jobs: 2, Explain: true})
 	seed(&CheckRequest{Modules: map[string]map[string]string{"a": {"a.c": "int f(void);\n"}}, Headers: map[string]string{"h.h": "int g(void);\n"}})
 	seed(&CheckRequest{Files: map[string]string{"m.c": "int x;\n"}, Validate: true})
-	seed(&CheckRequest{Files: map[string]string{"m.c": "int x;\n"}, Jobs: 1 << 30})            // absurd jobs
-	seed(&CheckRequest{Files: map[string]string{"m.c": "int x;\n"}, Flags: "+nosuchflag"})     // unknown toggle
-	seed(&CheckRequest{Files: map[string]string{"-flags": "int x;\n"}})                        // flag-injection name
-	seed(&CheckRequest{Files: map[string]string{"m.c": strings.Repeat("x", 4096)}, Max: -3})   // negative max
-	seed(&CheckRequest{Headers: map[string]string{"h.h": "int g(void);\n"}})                   // neither files nor modules
-	f.Add([]byte(`{"files":`))                               // truncated JSON
-	f.Add([]byte(`[]`))                                      // wrong type
-	f.Add([]byte(`{"files":{"a.c":"int x;"},"extra":true}`)) // unknown field
-	f.Add([]byte(`{"files":{"a.c":"int x;"}}{"q":1}`))       // trailing data
-	f.Add([]byte(strings.Repeat("{", 10000)))                // deep nesting
-	f.Add(bytes.Repeat([]byte("A"), 4096))                   // non-JSON bulk
+	seed(&CheckRequest{Files: map[string]string{"m.c": "int x;\n"}, Jobs: 1 << 30})          // absurd jobs
+	seed(&CheckRequest{Files: map[string]string{"m.c": "int x;\n"}, Flags: "+nosuchflag"})   // unknown toggle
+	seed(&CheckRequest{Files: map[string]string{"-flags": "int x;\n"}})                      // flag-injection name
+	seed(&CheckRequest{Files: map[string]string{"m.c": strings.Repeat("x", 4096)}, Max: -3}) // negative max
+	seed(&CheckRequest{Headers: map[string]string{"h.h": "int g(void);\n"}})                 // neither files nor modules
+	f.Add([]byte(`{"files":`))                                                               // truncated JSON
+	f.Add([]byte(`[]`))                                                                      // wrong type
+	f.Add([]byte(`{"files":{"a.c":"int x;"},"extra":true}`))                                 // unknown field
+	f.Add([]byte(`{"files":{"a.c":"int x;"}}{"q":1}`))                                       // trailing data
+	f.Add([]byte(strings.Repeat("{", 10000)))                                                // deep nesting
+	f.Add(bytes.Repeat([]byte("A"), 4096))                                                   // non-JSON bulk
 
 	f.Fuzz(func(t *testing.T, body []byte) {
 		h := fuzzHandler(t)

@@ -76,6 +76,11 @@ type Config struct {
 	Seed     int64
 	Modules  int // number of .c files (>=1)
 	FuncsPer int // clean functions per module (>=1)
+	// StmtsPer pads each clean function with a companion straight-line
+	// function of this many statements. It scales line count without
+	// changing the bug content or the per-function analysis shape, which
+	// is how the scaling experiments reach million-line corpora.
+	StmtsPer int
 	// Annotate emits interface annotations (the "after the iterative
 	// annotation process" state); without it the program is bare.
 	Annotate bool
@@ -243,6 +248,9 @@ func (g *generator) emitModule(m int, plants []plant) {
 	// Clean compute functions.
 	for f := 0; f < g.cfg.FuncsPer; f++ {
 		g.emitCleanFunc(&h, &c, m, f, rec)
+		if g.cfg.StmtsPer > 0 {
+			g.emitPadFunc(&h, &c, m, f)
+		}
 	}
 
 	// Planted bugs.
@@ -348,6 +356,26 @@ func (g *generator) emitCleanFunc(h, c *strings.Builder, m, f int, rec string) {
 
 `, name, 1+g.rng.Intn(9))
 	}
+}
+
+// emitPadFunc writes a straight-line padding function of cfg.StmtsPer
+// statements. Padding is bug-free by construction: it exists to scale the
+// corpus toward realistic line counts without altering the ground truth.
+func (g *generator) emitPadFunc(h, c *strings.Builder, m, f int) {
+	name := fmt.Sprintf("mod%d_pad%d", m, f)
+	fmt.Fprintf(h, "extern int %s (int n);\n", name)
+	fmt.Fprintf(c, "int %s (int n)\n{\n\tint v;\n\n\tv = n;\n", name)
+	for s := 0; s < g.cfg.StmtsPer; s++ {
+		switch s % 3 {
+		case 0:
+			fmt.Fprintf(c, "\tv = v + %d;\n", 1+g.rng.Intn(9))
+		case 1:
+			fmt.Fprintf(c, "\tv = v * %d;\n", 2+g.rng.Intn(3))
+		default:
+			fmt.Fprintf(c, "\tv = v %% %d;\n", 97+g.rng.Intn(100))
+		}
+	}
+	fmt.Fprintf(c, "\treturn v;\n}\n\n")
 }
 
 // emitBug writes one seeded-bug function. Every bug function has the

@@ -14,14 +14,20 @@
 # and a whole-corpus validation pass must fit the committed wall budget.
 # BENCH_serve.json (E21) gates the analysis server: a warm request to a live
 # daemon must be at least 5x faster (p50) than a cold single-shot CLI run
-# over the same corpus.
+# over the same corpus. BENCH_distributed.json (E22) gates distributed
+# sharded checking: shard-merge parity (cold and warm, every output mode),
+# cache-entry compression >= 2x with byte-identical warm replay, and flat
+# ms/KLOC across the corpus ladder; the gates that need the million-line
+# corpus (>= 1M lines across >= 1000 modules, cold-fleet-over-warm-remote
+# >= 5x a cold single process) only assert when the JSON stamps
+# "quick": false, i.e. on full local runs, since -quick uses small corpora.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 go run ./cmd/lclbench -quick
 
-for f in BENCH_scaling.json BENCH_modular.json BENCH_parallel.json BENCH_incremental.json BENCH_state.json BENCH_frontend.json BENCH_provenance.json BENCH_validate.json BENCH_serve.json; do
+for f in BENCH_scaling.json BENCH_modular.json BENCH_parallel.json BENCH_incremental.json BENCH_state.json BENCH_frontend.json BENCH_provenance.json BENCH_validate.json BENCH_serve.json BENCH_distributed.json; do
     test -s "$f" || { echo "missing or empty: $f" >&2; exit 1; }
     python3 -m json.tool "$f" > /dev/null || { echo "invalid JSON: $f" >&2; exit 1; }
     echo "ok: $f"
@@ -90,4 +96,44 @@ if d["speedup_warm"] < 5.0:
              % (d["speedup_warm"], d["cold_cli_ns"], d["warm_p50_ns"]))
 print("ok: serve warm p50 %.2f ms vs cold CLI %.1f ms (%.1fx, gate 5x)"
       % (d["warm_p50_ns"] / 1e6, d["cold_cli_ns"] / 1e6, d["speedup_warm"]))
+
+# E22 gate: distributed sharded checking. Parity and compression are
+# machine independent, so they always assert: merged shard streams must be
+# byte-identical to the single-process run at every shard count (cold and
+# warm, plain/-explain/-validate), warm replay from compressed entries
+# must be byte-identical, compression must at least halve stored bytes,
+# and ms/KLOC must stay within 2x across the corpus ladder. The gates that
+# need the million-line corpus — >= 1M lines over >= 1000 modules, and a
+# cold fleet over the warm shared remote >= 5x a cold single process —
+# assert only when the JSON stamps "quick": false (full local runs).
+d = json.load(open("BENCH_distributed.json"))
+for key in ("parity_cold", "parity_warm", "parity_explain", "parity_validate"):
+    if not d[key]:
+        sys.exit("distributed shard-merge parity failed: %s is false" % key)
+if not d["warm_replay_identical"]:
+    sys.exit("distributed warm replay from compressed cache not byte-identical")
+if d["compression_ratio"] < 2.0:
+    sys.exit("cache compression %.2fx < 2x (%d raw -> %d stored bytes)"
+             % (d["compression_ratio"], d["compression_raw_bytes"],
+                d["compression_compressed_bytes"]))
+rows = d["rows"]
+if len(rows) < 2:
+    sys.exit("distributed scaling ladder has %d rows" % len(rows))
+kloc_ratio = rows[-1]["ms_per_kloc"] / rows[0]["ms_per_kloc"]
+if kloc_ratio > 2.0:
+    sys.exit("distributed ms/KLOC grew %.2fx from %d to %d lines (gate: <= 2x)"
+             % (kloc_ratio, rows[0]["lines"], rows[-1]["lines"]))
+if not d["quick"]:
+    if rows[-1]["lines"] < 1000000 or rows[-1]["modules"] < 1000:
+        sys.exit("distributed corpus too small: %d lines / %d modules (need >= 1M / >= 1000)"
+                 % (rows[-1]["lines"], rows[-1]["modules"]))
+    if d["fleet_speedup"] < 5.0:
+        sys.exit("cold fleet over warm remote %.1fx < 5x vs cold single process"
+                 % d["fleet_speedup"])
+    print("ok: distributed %d lines / %d modules, fleet %.1fx, compression %.2fx, ms/KLOC ratio %.2f"
+          % (rows[-1]["lines"], rows[-1]["modules"], d["fleet_speedup"],
+             d["compression_ratio"], kloc_ratio))
+else:
+    print("ok: distributed (quick) parity clean, compression %.2fx, ms/KLOC ratio %.2f"
+          % (d["compression_ratio"], kloc_ratio))
 EOF
