@@ -8,7 +8,8 @@
 // BENCH_parallel.json (E15), BENCH_incremental.json (E16),
 // BENCH_state.json (E17), BENCH_frontend.json (E18),
 // BENCH_provenance.json (E19), BENCH_validate.json (E20),
-// BENCH_serve.json (E21), and BENCH_distributed.json (E22) in the current
+// BENCH_serve.json (E21), BENCH_distributed.json (E22), and
+// BENCH_editloop.json (E23) in the current
 // directory — each stamped with the
 // experiment's elapsed time and allocation totals (measured per benchmark
 // row, so alloc figures are attributable) so the numbers are diffable
@@ -16,7 +17,7 @@
 //
 // Usage:
 //
-//	lclbench [-jobs n] [-quick] [samples|listaddh|ercdb|scaling|modular|economy|staticvsdynamic|nofixpoint|parallel|incremental|state|frontend|provenance|validate|serve|distributed|all]
+//	lclbench [-jobs n] [-quick] [samples|listaddh|ercdb|scaling|modular|economy|staticvsdynamic|nofixpoint|parallel|incremental|state|frontend|provenance|validate|serve|distributed|editloop|all]
 //
 //	-jobs n   highest worker count the parallel experiment sweeps to
 //	          (0 = GOMAXPROCS)
@@ -148,6 +149,7 @@ var experiments = []struct {
 	{"validate", runValidate},
 	{"serve", runServe},
 	{"distributed", runDistributed},
+	{"editloop", runEditloop},
 }
 
 // maxJobs is the highest worker count the parallel experiment sweeps to
@@ -171,6 +173,7 @@ func main() {
 		runValidateIters(3)
 		runServeConfig(8, 6, 20, 4)
 		runDistributedConfig(true)
+		runEditloopConfig(true)
 		return
 	}
 	cmd := "all"
@@ -1189,6 +1192,11 @@ func runValidateIters(iters int) {
 	minNS := int64(1 << 62)
 	meta := measure("golclint-bench-validate/v1", "E20", func() {
 		for i := 0; i < iters; i++ {
+			// Apply skips already-tagged diagnostics (cache replay leaves
+			// them tagged); clear the tags so every pass is a full one.
+			for _, d := range res.Diags {
+				d.Validation = nil
+			}
 			start := time.Now()
 			sum = validate.Apply(res.Program, res.Diags, validate.Options{})
 			elapsed := time.Since(start).Nanoseconds()
@@ -1827,4 +1835,255 @@ func runDistributedConfig(quick bool) {
 	}
 	fmt.Println("paper extension: shard workers coordinating only through a shared cache check million-line corpora with flat ms/KLOC")
 	writeBenchJSON("BENCH_distributed.json", doc)
+}
+
+// ---------------------------------------------------------------------------
+// E23: function-granular incremental checking — the editloop. The corpus is
+// an E22-style modular program whose functions are check-heavy (branchy
+// code over tracked allocations, the profile where re-checking is worth
+// avoiding). After warming the cache, exactly one function of one module is
+// edited and the whole corpus re-checked: the function-granular layer must
+// re-check only the edited function (func_cache_misses == 1) and replay
+// everything else, beating a module-granular warm re-check of the same edit
+// by the gated factor. The parity section drives the real CLI over a
+// materialized corpus and asserts the dirty warm transcript equals a cold
+// run over the same edited sources, byte for byte, in plain, -explain, and
+// -validate modes at jobs 1, 4, and 8.
+
+// editloopSpeedupGate is the committed dirty-edit speedup of the
+// function-granular layer over module-granular warm re-checking;
+// scripts/bench.sh enforces it on the full (non-quick) configuration.
+const editloopSpeedupGate = 5.0
+
+// editloopDoc is BENCH_editloop.json.
+type editloopDoc struct {
+	benchMeta
+	// Quick marks the reduced CI smoke configuration; the speedup gate
+	// only asserts when Quick is false (small corpora under-reward
+	// replay: fixed frontend cost dominates).
+	Quick    bool `json:"quick"`
+	Lines    int  `json:"lines"`
+	Modules  int  `json:"modules"`
+	FuncsPer int  `json:"funcs_per"`
+	Reps     int  `json:"reps"`
+	// Whole-corpus modular passes over the function-cache store.
+	ColdMS float64 `json:"cold_ms"`
+	WarmMS float64 `json:"warm_ms"`
+	// One-function-edit re-checks (fastest of Reps distinct edits):
+	// DirtyFnMS with function-granular sub-entries, DirtyModMS with the
+	// module-granular baseline (-fn-cache=false).
+	DirtyFnMS    float64 `json:"dirty_fn_ms"`
+	DirtyModMS   float64 `json:"dirty_mod_ms"`
+	SpeedupDirty float64 `json:"speedup_dirty"`
+	SpeedupGate  float64 `json:"speedup_gate"`
+	// Function-layer counters of one dirty pass: exactly one miss, every
+	// other function of the dirty module replayed.
+	FuncCacheHits     int64 `json:"func_cache_hits"`
+	FuncCacheMisses   int64 `json:"func_cache_misses"`
+	FuncReplayedDiags int64 `json:"func_replayed_diags"`
+	// An interface-annotation edit invalidates conservatively: every
+	// function of the edited module re-checks.
+	AnnotEditFuncMisses int64 `json:"annot_edit_func_misses"`
+	// CLI transcript parity on the edited corpus, warm vs cold.
+	ParityJobs     []int `json:"parity_jobs"`
+	ParityPlain    bool  `json:"parity_plain"`
+	ParityExplain  bool  `json:"parity_explain"`
+	ParityValidate bool  `json:"parity_validate"`
+	Messages       int   `json:"messages"`
+}
+
+func runEditloop() { runEditloopConfig(false) }
+
+// runEditloopConfig is E23; quick selects the reduced CI smoke corpus.
+func runEditloopConfig(quick bool) {
+	header("E23", "function-granular incremental checking: the editloop")
+	fail := func(err error) bool {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lclbench: %v\n", err)
+			return true
+		}
+		return false
+	}
+	modules, funcsPer, heavy, reps := 6, 6, 6, 5
+	if quick {
+		modules, funcsPer, heavy, reps = 4, 3, 4, 3
+	}
+	p := testgen.Generate(testgen.Config{
+		Seed: 47, Modules: modules, FuncsPer: funcsPer, HeavyPer: heavy,
+		Annotate: true, Bugs: map[testgen.BugKind]int{testgen.BugLeak: modules},
+	})
+	hdr := core.CheckSources(p.Headers, core.Options{})
+	lib := library.Build(hdr.Program)
+	mods := map[string]map[string]string{}
+	for name, src := range p.Files {
+		mods[name] = map[string]string{name: src}
+	}
+	fmt.Printf("corpus: %d lines, %d modules, %d functions per module (check-heavy)\n",
+		p.Lines, modules, funcsPer)
+
+	fnDir, err := os.MkdirTemp("", "golclint-bench-editloop-fn-")
+	if fail(err) {
+		return
+	}
+	defer os.RemoveAll(fnDir)
+	modDir, err := os.MkdirTemp("", "golclint-bench-editloop-mod-")
+	if fail(err) {
+		return
+	}
+	defer os.RemoveAll(modDir)
+	fnStore, err := cache.Open(fnDir)
+	if fail(err) {
+		return
+	}
+	modStore, err := cache.Open(modDir)
+	if fail(err) {
+		return
+	}
+
+	// runPass re-checks all modules against one store; disable selects the
+	// module-granular baseline (the -fn-cache=false path).
+	runPass := func(store cache.Store, disable bool, lib *library.Library,
+		mods map[string]map[string]string, inc cpp.Includer) (float64, *obs.Metrics, int) {
+		m := obs.New()
+		opt := core.Options{
+			Includes: inc, Cache: store, Metrics: m, Jobs: 1, DisableFnCache: disable,
+		}
+		var results map[string]*core.Result
+		elapsed, _ := measureRow(func() {
+			results = library.CheckModules(mods, lib, opt)
+		})
+		messages := 0
+		for _, res := range results {
+			messages += len(res.Diags)
+		}
+		return float64(elapsed.Microseconds()) / 1000, m, messages
+	}
+	editName := func(r int) string { return fmt.Sprintf("mod0_calc%d", r%funcsPer) }
+	editedMods := func(r int) (map[string]map[string]string, error) {
+		q, err := p.EditBody("mod0.c", editName(r))
+		if err != nil {
+			return nil, err
+		}
+		out := map[string]map[string]string{}
+		for name := range mods {
+			out[name] = mods[name]
+		}
+		out["mod0.c"] = map[string]string{"mod0.c": q.Files["mod0.c"]}
+		return out, nil
+	}
+
+	inc := cpp.MapIncluder(p.Headers)
+	var doc editloopDoc
+	doc.Quick, doc.SpeedupGate, doc.Reps = quick, editloopSpeedupGate, reps
+	doc.Lines, doc.Modules, doc.FuncsPer = p.Lines, modules, funcsPer
+	meta := measure("golclint-bench-editloop/v1", "E23", func() {
+		var m *obs.Metrics
+		doc.ColdMS, _, doc.Messages = runPass(fnStore, false, lib, mods, inc)
+		doc.WarmMS, _, _ = runPass(fnStore, false, lib, mods, inc)
+		runPass(modStore, true, lib, mods, inc) // warm the baseline store
+
+		// Reps distinct one-function edits, each a genuine dirty re-check
+		// against the original-warm stores; fastest-of-reps on both sides.
+		doc.DirtyFnMS, doc.DirtyModMS = 1e18, 1e18
+		for r := 0; r < reps; r++ {
+			em, err := editedMods(r)
+			if fail(err) {
+				return
+			}
+			wall, fm, _ := runPass(fnStore, false, lib, em, inc)
+			if wall < doc.DirtyFnMS {
+				doc.DirtyFnMS = wall
+			}
+			if r == 0 {
+				m = fm
+			}
+			if got := fm.Get(obs.FuncCacheMisses); got != 1 {
+				fmt.Printf("WARNING: edit %s re-checked %d functions, want 1\n", editName(r), got)
+			}
+			wall, _, _ = runPass(modStore, true, lib, em, inc)
+			if wall < doc.DirtyModMS {
+				doc.DirtyModMS = wall
+			}
+		}
+		doc.FuncCacheHits = m.Get(obs.FuncCacheHits)
+		doc.FuncCacheMisses = m.Get(obs.FuncCacheMisses)
+		doc.FuncReplayedDiags = m.Get(obs.FuncReplayedDiags)
+		doc.SpeedupDirty = doc.DirtyModMS / doc.DirtyFnMS
+
+		// Interface-annotation edit: conservative, module-wide re-check.
+		q, err := p.EditAnnot("mod0")
+		if fail(err) {
+			return
+		}
+		qhdr := core.CheckSources(q.Headers, core.Options{})
+		qlib := library.Build(qhdr.Program)
+		_, am, _ := runPass(fnStore, false, qlib, mods, cpp.MapIncluder(q.Headers))
+		doc.AnnotEditFuncMisses = am.Get(obs.FuncCacheMisses)
+
+		// CLI transcript parity, warm dirty vs cold, on the edited corpus.
+		dir, paths, err := materializeCorpus(p)
+		if fail(err) {
+			return
+		}
+		defer os.RemoveAll(dir)
+		doc.ParityJobs = []int{1, 4, 8}
+		doc.ParityPlain, doc.ParityExplain, doc.ParityValidate = true, true, true
+		for _, mode := range []string{"plain", "explain", "validate"} {
+			warmDir := filepath.Join(dir, "cache-"+mode)
+			var modeArgs []string
+			if mode != "plain" {
+				modeArgs = []string{"-" + mode}
+			}
+			prime := append(append([]string{"-cache-dir", warmDir}, modeArgs...), paths...)
+			cli.Run(prime, io.Discard, io.Discard)
+			for ji, jobs := range doc.ParityJobs {
+				q, err := p.EditBody("mod0.c", editName(ji))
+				if fail(err) {
+					return
+				}
+				if err := os.WriteFile(filepath.Join(dir, "mod0.c"),
+					[]byte(q.Files["mod0.c"]), 0o644); fail(err) {
+					return
+				}
+				js := fmt.Sprintf("%d", jobs)
+				var warm, cold strings.Builder
+				warmArgs := append(append([]string{"-cache-dir", warmDir, "-jobs", js}, modeArgs...), paths...)
+				warmCode := cli.Run(warmArgs, &warm, io.Discard)
+				coldArgs := append(append([]string{"-jobs", js}, modeArgs...), paths...)
+				coldCode := cli.Run(coldArgs, &cold, io.Discard)
+				if warm.String() != cold.String() || warmCode != coldCode {
+					switch mode {
+					case "plain":
+						doc.ParityPlain = false
+					case "explain":
+						doc.ParityExplain = false
+					case "validate":
+						doc.ParityValidate = false
+					}
+					fmt.Printf("PARITY MISMATCH: %s at jobs %d\n", mode, jobs)
+				}
+			}
+			// Restore the original module for the next mode's prime run.
+			if err := os.WriteFile(filepath.Join(dir, "mod0.c"),
+				[]byte(p.Files["mod0.c"]), 0o644); fail(err) {
+				return
+			}
+		}
+	})
+	doc.benchMeta = meta
+
+	fmt.Printf("%8s %10s\n", "pass", "wall(ms)")
+	fmt.Printf("%8s %10.1f\n", "cold", doc.ColdMS)
+	fmt.Printf("%8s %10.1f\n", "warm", doc.WarmMS)
+	fmt.Printf("%8s %10.1f  (function-granular: %d re-checked, %d replayed, %d diags replayed)\n",
+		"dirty-fn", doc.DirtyFnMS, doc.FuncCacheMisses, doc.FuncCacheHits, doc.FuncReplayedDiags)
+	fmt.Printf("%8s %10.1f  (module-granular baseline)\n", "dirty-mod", doc.DirtyModMS)
+	fmt.Printf("dirty-edit speedup: %.1fx (gate: >= %.0fx, full config)\n",
+		doc.SpeedupDirty, doc.SpeedupGate)
+	fmt.Printf("annotation edit re-checks %d functions (conservative module-wide invalidation)\n",
+		doc.AnnotEditFuncMisses)
+	fmt.Printf("transcript parity warm-vs-cold at jobs %v: plain=%v explain=%v validate=%v\n",
+		doc.ParityJobs, doc.ParityPlain, doc.ParityExplain, doc.ParityValidate)
+	fmt.Println("paper extension: an edit re-checks one function, not one module — the editloop is sub-frontend-cost")
+	writeBenchJSON("BENCH_editloop.json", doc)
 }

@@ -463,3 +463,56 @@ func TestBenchServeJSONEmission(t *testing.T) {
 		t.Errorf("burst figures inconsistent: %+v", sd)
 	}
 }
+
+// The editloop experiment (E23) emits a valid BENCH_editloop.json whose
+// machine-independent half holds: one-function edits re-check exactly one
+// function, replay is non-vacuous, annotation edits invalidate module-wide,
+// and warm dirty transcripts match cold ones byte for byte in every mode.
+// The speedup gate itself is timing-dependent and asserted by bench.sh on
+// full runs only.
+func TestBenchEditloopJSONEmission(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E23 checks a generated corpus across several cache stores")
+	}
+	old := outDir
+	outDir = t.TempDir()
+	defer func() { outDir = old }()
+
+	runEditloopConfig(true)
+	b, err := os.ReadFile(filepath.Join(outDir, "BENCH_editloop.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ed editloopDoc
+	if err := json.Unmarshal(b, &ed); err != nil {
+		t.Fatalf("BENCH_editloop.json invalid: %v", err)
+	}
+	if ed.Schema != "golclint-bench-editloop/v1" || ed.Experiment != "E23" {
+		t.Errorf("meta = %q %q", ed.Schema, ed.Experiment)
+	}
+	if !ed.Quick || ed.Lines <= 0 || ed.Modules <= 0 || ed.FuncsPer <= 0 || ed.Reps <= 0 {
+		t.Errorf("corpus stamps missing: %+v", ed)
+	}
+	if ed.ColdMS <= 0 || ed.WarmMS <= 0 || ed.DirtyFnMS <= 0 || ed.DirtyModMS <= 0 {
+		t.Errorf("wall figures missing: %+v", ed)
+	}
+	if ed.SpeedupDirty <= 0 || ed.SpeedupGate != editloopSpeedupGate {
+		t.Errorf("speedup figures inconsistent: %+v", ed)
+	}
+	if ed.FuncCacheMisses != 1 {
+		t.Errorf("one-function edit re-checked %d functions, want 1", ed.FuncCacheMisses)
+	}
+	if ed.FuncCacheHits == 0 {
+		t.Error("no functions replayed from cache; the experiment is vacuous")
+	}
+	if ed.AnnotEditFuncMisses <= 1 {
+		t.Errorf("annotation edit re-checked %d functions; want the whole module",
+			ed.AnnotEditFuncMisses)
+	}
+	if len(ed.ParityJobs) == 0 || !ed.ParityPlain || !ed.ParityExplain || !ed.ParityValidate {
+		t.Errorf("warm-vs-cold transcript parity failed: %+v", ed)
+	}
+	if ed.Messages <= 0 {
+		t.Errorf("corpus produced no diagnostics: %+v", ed)
+	}
+}

@@ -8,16 +8,30 @@
 //
 //	testgen -out dir [-modules n] [-funcs n] [-stmts n] [-seed n]
 //	        [-annotate] [-bugs n] [-driver] [-truth file]
+//	        [-edit fn@module] [-edit-annot module]
 //
 //	-out dir     directory to write mod*.c / mod*.h into (created)
 //	-modules n   number of modules (default 8)
 //	-funcs n     clean functions per module (default 3)
 //	-stmts n     padding statements per clean function (default 0)
+//	-heavy n     branch blocks per check-heavy companion function (default 0)
 //	-seed n      generation seed (default 1)
 //	-annotate    emit interface annotations (default true)
 //	-bugs n      seeded bugs of each kind (default 1)
 //	-driver      emit a main.c driver
 //	-truth file  write the seeded-bug ground truth as JSON
+//	-edit fn@module        mutate one function body before writing, e.g.
+//	                       -edit mod3_calc1@mod3: the named function's final
+//	                       return gains a "1 + " term (line counts preserved)
+//	-edit-annot module     drop the /*@null@*/ annotation from the module
+//	                       header's record label field (line counts preserved)
+//
+// The edit flags rewrite the generated program in memory before anything
+// is written, so running testgen twice — once plain, once with -edit —
+// over the same -out directory produces a corpus that differs from the
+// original in exactly the edited bytes. That is how the incremental-cache
+// experiments and CI build "warm cache, then one edit" scenarios without
+// shipping corpora.
 package main
 
 import (
@@ -26,6 +40,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"golclint/internal/testgen"
 )
@@ -40,11 +55,14 @@ func run(args []string) int {
 	modules := fs.Int("modules", 8, "number of modules")
 	funcs := fs.Int("funcs", 3, "clean functions per module")
 	stmts := fs.Int("stmts", 0, "padding statements per clean function")
+	heavy := fs.Int("heavy", 0, "branch blocks per check-heavy companion function (0 = none)")
 	seed := fs.Int64("seed", 1, "generation seed")
 	annotate := fs.Bool("annotate", true, "emit interface annotations")
 	bugs := fs.Int("bugs", 1, "seeded bugs of each kind")
 	driver := fs.Bool("driver", false, "emit a main.c driver")
 	truth := fs.String("truth", "", "write seeded-bug ground truth JSON here")
+	edit := fs.String("edit", "", "mutate one function body before writing (fn@module, e.g. mod3_calc1@mod3)")
+	editAnnot := fs.String("edit-annot", "", "drop a /*@null@*/ annotation from this module's header before writing")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -59,8 +77,29 @@ func run(args []string) int {
 	}
 	p := testgen.Generate(testgen.Config{
 		Seed: *seed, Modules: *modules, FuncsPer: *funcs, StmtsPer: *stmts,
-		Annotate: *annotate, Bugs: bugMap, WithDriver: *driver,
+		HeavyPer: *heavy, Annotate: *annotate, Bugs: bugMap, WithDriver: *driver,
 	})
+	if *edit != "" {
+		fn, module, ok := strings.Cut(*edit, "@")
+		if !ok {
+			fmt.Fprintln(os.Stderr, "testgen: -edit wants fn@module, e.g. mod3_calc1@mod3")
+			return 2
+		}
+		q, err := p.EditBody(module+".c", fn)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "testgen: %v\n", err)
+			return 2
+		}
+		p = q
+	}
+	if *editAnnot != "" {
+		q, err := p.EditAnnot(*editAnnot)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "testgen: %v\n", err)
+			return 2
+		}
+		p = q
+	}
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fmt.Fprintf(os.Stderr, "testgen: %v\n", err)

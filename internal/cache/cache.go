@@ -234,6 +234,19 @@ type Entry struct {
 	// Size is the entry's on-disk size in bytes, set by Get and Put (not
 	// stored).
 	Size int64
+	// Fn carries the per-function analysis counters of a function-granular
+	// sub-entry (see internal/core's function cache layer), so a replayed
+	// function restores the same obs counters the cold check recorded. Nil
+	// on module-level entries.
+	Fn *FnStats
+}
+
+// FnStats are the per-function analysis counters stored with a function
+// sub-entry and replayed into the run's metrics on a hit.
+type FnStats struct {
+	Blocks int64 `json:"blocks"`
+	Edges  int64 `json:"edges"`
+	Merges int64 `json:"merges"`
 }
 
 // wireEntry is the on-disk JSON form of an Entry. Diagnostics use the
@@ -248,6 +261,7 @@ type wireEntry struct {
 	SemaErrors  []string          `json:"sema_errors,omitempty"`
 	Deps        map[string]string `json:"deps,omitempty"`
 	Library     []byte            `json:"library,omitempty"`
+	Fn          *FnStats          `json:"fn,omitempty"`
 }
 
 // Key computes the content-addressed entry key: a hash over the checker
@@ -430,7 +444,7 @@ func decodeEntry(key string, b []byte) (*Entry, bool) {
 	return &Entry{
 		Diags:      ds,
 		Suppressed: w.Suppressed, ParseErrors: w.ParseErrors, SemaErrors: w.SemaErrors,
-		Deps: w.Deps, Library: w.Library,
+		Deps: w.Deps, Library: w.Library, Fn: w.Fn,
 		Size: int64(len(b)),
 	}, true
 }
@@ -446,7 +460,7 @@ func encodeEntry(key string, e *Entry) ([]byte, error) {
 		Schema: entrySchema, Key: key,
 		Diags:      raw,
 		Suppressed: e.Suppressed, ParseErrors: e.ParseErrors, SemaErrors: e.SemaErrors,
-		Deps: e.Deps, Library: e.Library,
+		Deps: e.Deps, Library: e.Library, Fn: e.Fn,
 	})
 	if err != nil {
 		return nil, err

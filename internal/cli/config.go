@@ -69,6 +69,11 @@ type Config struct {
 	Stats    bool   // -stats
 	Explain  bool   // -explain
 	Validate bool   // -validate
+	// FnCache is -fn-cache: the function-granular cache layer (per-function
+	// sub-entries with early cutoff), on by default whenever a cache store
+	// is configured. -fn-cache=false keeps caching module-granular, the
+	// baseline the editloop benchmark compares against.
+	FnCache bool
 
 	// RemoteCache is the -remote-cache blob server address; when set, the
 	// run's store gains a remote layer below the disk cache.
@@ -139,6 +144,7 @@ func ParseConfig(args []string, errw io.Writer) (*Config, error) {
 	fs.StringVar(&cfg.LoadLib, "lib", "", "load an interface library from this file")
 	fs.StringVar(&cfg.ShowCFG, "cfg", "", "print the named function's control-flow graph")
 	fs.StringVar(&cfg.CacheDir, "cache-dir", "", "persistent analysis cache directory (empty = caching off)")
+	fs.BoolVar(&cfg.FnCache, "fn-cache", true, "function-granular cache sub-entries: a dirty module re-checks only its edited functions (false = module-granular caching)")
 	fs.BoolVar(&cfg.Stats, "stats", false, "print summary statistics")
 	fs.StringVar(&cfg.StatsJSON, "stats-json", "", "write run metrics and message counts as JSON to this file")
 	fs.StringVar(&cfg.TracePath, "trace", "", "write per-function trace events (JSONL) to this file")

@@ -243,6 +243,12 @@ func (s *Session) Execute(cfg *Config, files map[string]string, inc cpp.Includer
 		if st := s.Store(); st != nil {
 			opt.Cache = st
 			opt.CacheExport = library.ExportProgram
+			// Function-granular incrementality: with a store present, each
+			// function definition gets its own sub-entry so a dirty module
+			// re-checks only its edited functions. -fn-cache=false reverts
+			// to module-granular caching (the benchmark baseline).
+			opt.EnvFingerprint = library.SymbolFingerprints
+			opt.DisableFnCache = !cfg.FnCache
 		}
 	}
 

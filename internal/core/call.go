@@ -15,7 +15,7 @@ import (
 // assumptions made by the implementation of the called function").
 func (c *checker) evalCall(st *store, call *cast.Call) value {
 	name := call.FunName()
-	sig, known := c.prog.Lookup(name)
+	sig, known := c.lookupSig(name)
 	if !known {
 		// Indirect call or unknown function: evaluate arguments for
 		// effect only.
@@ -338,7 +338,7 @@ func externallyShared(st *store, v value) bool {
 func (c *checker) checkCallGlobals(st *store, fname string, sig *sema.FuncSig, pos ctoken.Pos) {
 	in := c.fs.in
 	for _, gname := range sig.GlobalsUsed {
-		g, ok := c.prog.Global(gname)
+		g, ok := c.lookupGlobal(gname)
 		if !ok {
 			continue
 		}

@@ -86,6 +86,18 @@ type Options struct {
 	// never replayed as validated ones. Validate implies witness recording
 	// (callers must also set Explain; internal/cli does this).
 	Validate func(*sema.Program, []*diag.Diagnostic)
+	// EnvFingerprint, when non-nil, returns a lazy per-symbol interface
+	// fingerprint lookup for the analyzed (post-PreCheck) program
+	// (library.SymbolFingerprints is the standard implementation). Setting
+	// it enables the function-granular cache layer: when the module-level
+	// key misses, each function definition consults its own sub-entry and
+	// only functions whose span, skeleton, or used interface facts changed
+	// re-check (see fncache.go). Requires Cache; ignored otherwise.
+	EnvFingerprint func(*sema.Program) func(name string) string
+	// DisableFnCache switches the function-granular layer off even when
+	// EnvFingerprint is set. Benchmark baselines use it to measure the
+	// module-granular warm path the layer is compared against.
+	DisableFnCache bool
 	// DiagSink, when non-nil, receives each retained diagnostic in final
 	// output order as soon as the run's diagnostics are settled
 	// (post-suppression, post-cap, post-validation) — on warm replays as
@@ -450,7 +462,17 @@ func CheckSources(files map[string]string, opt Options) *Result {
 	}
 	stopSema()
 	m.EndSpan(semaSpan)
-	checkProgram(prog, fl, rep, m, opt.Jobs, opt.Explain, modSpan)
+
+	// The function-granular cache layer engages only when the module key
+	// missed but the run is otherwise cacheable, the caller supplied an
+	// interface-fingerprint environment, and the frontend was clean (parse
+	// or preprocess errors make span/AST alignment untrustworthy, so such
+	// modules fail safe to the module-granular path).
+	var fnc *fnCacheCtx
+	if cacheable && opt.EnvFingerprint != nil && !opt.DisableFnCache && len(res.ParseErrors) == 0 {
+		fnc = newFnCacheCtx(names, fronts, prog, fl, opt)
+	}
+	checkProgram(prog, fl, rep, m, opt.Jobs, opt.Explain, modSpan, fnc)
 
 	res.Diags = rep.Diags()
 	res.Suppressed = rep.Suppressed()
@@ -469,6 +491,11 @@ func CheckSources(files map[string]string, opt Options) *Result {
 			m.Add(obs.ValidateWallNS, time.Since(vStart).Nanoseconds())
 		}
 		countValidation(m, res.Diags)
+	}
+	if fnc != nil {
+		// Store per-function sub-entries after validation, so replayed
+		// functions carry their validation tags as well as their witnesses.
+		fnc.finish()
 	}
 	if cacheable {
 		entry := &cache.Entry{

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"golclint/internal/annot"
+	"golclint/internal/cache"
 	"golclint/internal/cast"
 	"golclint/internal/cfg"
 	"golclint/internal/ctoken"
@@ -37,6 +38,13 @@ type checker struct {
 	unknown    map[string]bool
 	topBlock   *cast.Block
 
+	// uses, when non-nil, records every symbol name the checker consults
+	// in the program environment while analyzing the current function (the
+	// use-set a function-cache sub-entry fingerprints). All environment
+	// lookups go through lookupSig/lookupGlobal/lookupEnum so the set is
+	// complete by construction.
+	uses map[string]bool
+
 	// Per-function instrumentation (reset by checkFunctionTimed).
 	fnMerges  int
 	fnBlocks  int
@@ -60,6 +68,34 @@ type checker struct {
 	continueStates []*[]*store
 }
 
+// lookupSig resolves a function signature, recording the name in the
+// use-set when one is being collected. All checker code resolves through
+// these wrappers rather than c.prog directly, so a function's cache
+// sub-entry depends on exactly the interface facts it consulted.
+func (c *checker) lookupSig(name string) (*sema.FuncSig, bool) {
+	if c.uses != nil {
+		c.uses[name] = true
+	}
+	return c.prog.Lookup(name)
+}
+
+// lookupGlobal resolves a global variable, recording the use.
+func (c *checker) lookupGlobal(name string) (*sema.Global, bool) {
+	if c.uses != nil {
+		c.uses[name] = true
+	}
+	return c.prog.Global(name)
+}
+
+// lookupEnum resolves an enum constant, recording the use.
+func (c *checker) lookupEnum(name string) (int64, bool) {
+	if c.uses != nil {
+		c.uses[name] = true
+	}
+	v, ok := c.prog.Enums[name]
+	return v, ok
+}
+
 // key returns the canonical key string for id.
 func (c *checker) key(id RefID) string { return c.fs.in.keys[id] }
 
@@ -69,14 +105,14 @@ func (c *checker) disp(id RefID) string { return c.fs.in.displayOf(id) }
 // CheckProgram checks every function definition in the program, filing
 // diagnostics with the reporter.
 func CheckProgram(prog *sema.Program, fl *flags.Flags, rep *diag.Reporter) {
-	checkProgram(prog, fl, rep, nil, 1, false, 0)
+	checkProgram(prog, fl, rep, nil, 1, false, 0, nil)
 }
 
 // CheckProgramExplain is CheckProgram with provenance recording switched on
 // or off explicitly; the E19 benchmark uses it to measure the overhead of
 // the recorder in both states over an otherwise identical pass.
 func CheckProgramExplain(prog *sema.Program, fl *flags.Flags, rep *diag.Reporter, explain bool) {
-	checkProgram(prog, fl, rep, nil, 1, explain, 0)
+	checkProgram(prog, fl, rep, nil, 1, explain, 0, nil)
 }
 
 // checkProgram fans the program's function definitions out to jobs
@@ -89,10 +125,13 @@ func CheckProgramExplain(prog *sema.Program, fl *flags.Flags, rep *diag.Reporter
 // byte-identical at every worker count. Each worker owns one fnState
 // (interner + arena + CFG builder), so per-function allocations amortize
 // across its whole share of the run.
-func checkProgram(prog *sema.Program, fl *flags.Flags, rep *diag.Reporter, m *obs.Metrics, jobs int, explain bool, parent obs.SpanID) {
+func checkProgram(prog *sema.Program, fl *flags.Flags, rep *diag.Reporter, m *obs.Metrics, jobs int, explain bool, parent obs.SpanID, fnc *fnCacheCtx) {
 	var fns []*cast.FuncDef
 	for _, u := range prog.Units {
 		fns = append(fns, u.Funcs()...)
+	}
+	if fnc != nil && len(fnc.fns) != len(fns) {
+		fnc = nil // enumeration drifted from the segmenter's; fail safe
 	}
 	if jobs <= 0 {
 		jobs = runtime.GOMAXPROCS(0)
@@ -119,14 +158,33 @@ func checkProgram(prog *sema.Program, fl *flags.Flags, rep *diag.Reporter, m *ob
 		}
 		return &events[i]
 	}
+	// doFn checks (or replays) function i. Cache hits skip the checker
+	// entirely: the stored raw buffer stands in for the one the checker
+	// would have produced, and the cold run's counters are re-added, so
+	// the serial merge below cannot tell a replayed function from a
+	// checked one.
+	doFn := func(i int, fs *fnState) {
+		if fnc != nil {
+			if fnc.hits[i] != nil {
+				results[i] = fnc.replayHit(i, m)
+				return
+			}
+			m.Add(obs.FuncCacheMisses, 1)
+			fnc.uses[i] = map[string]bool{}
+			results[i], fnc.stats[i] = checkFunctionUnit(prog, fl, m, fns[i], fs, evPtr(i), fnc.uses[i])
+			fnc.results[i] = results[i]
+			return
+		}
+		results[i], _ = checkFunctionUnit(prog, fl, m, fns[i], fs, evPtr(i), nil)
+	}
 	if jobs <= 1 {
 		fs := newFnState()
 		fs.spanRoot = checkSpan
 		if explain {
 			fs.prov = &provRec{}
 		}
-		for i, f := range fns {
-			results[i] = checkFunctionUnit(prog, fl, m, f, fs, evPtr(i))
+		for i := range fns {
+			doFn(i, fs)
 		}
 	} else {
 		work := make(chan int)
@@ -143,7 +201,7 @@ func checkProgram(prog *sema.Program, fl *flags.Flags, rep *diag.Reporter, m *ob
 					fs.prov = &provRec{}
 				}
 				for i := range work {
-					results[i] = checkFunctionUnit(prog, fl, m, fns[i], fs, evPtr(i))
+					doFn(i, fs)
 				}
 			}()
 		}
@@ -157,10 +215,13 @@ func checkProgram(prog *sema.Program, fl *flags.Flags, rep *diag.Reporter, m *ob
 	m.EndSpan(checkSpan)
 	if m.Enabled() {
 		for i := range events {
+			if events[i].Func == "" {
+				continue // replayed from the function cache; no event
+			}
 			m.TraceFunc(events[i])
 		}
 	}
-	mergeDiags(rep, results)
+	mergeDiags(rep, results, fnc)
 }
 
 // checkFunctionUnit is the pure per-function checking unit: it analyzes one
@@ -169,12 +230,14 @@ func checkProgram(prog *sema.Program, fl *flags.Flags, rep *diag.Reporter, m *ob
 // cross-function deduplication are deliberately NOT applied here — the
 // buffer records everything in report order and mergeDiags replays it
 // through the run's reporter, which applies them in serial order.
-func checkFunctionUnit(prog *sema.Program, fl *flags.Flags, m *obs.Metrics, f *cast.FuncDef, fs *fnState, ev *obs.FuncEvent) []*diag.Diagnostic {
+func checkFunctionUnit(prog *sema.Program, fl *flags.Flags, m *obs.Metrics, f *cast.FuncDef, fs *fnState, ev *obs.FuncEvent, uses map[string]bool) ([]*diag.Diagnostic, cache.FnStats) {
 	buf := diag.NewReporter(0)
 	c := &checker{prog: prog, fl: fl, rep: buf, m: m, fs: fs,
-		unknown: map[string]bool{}, prov: fs.prov, traceEv: ev}
+		unknown: map[string]bool{}, prov: fs.prov, traceEv: ev, uses: uses}
 	c.checkFunctionTimed(f)
-	return buf.Buffered()
+	return buf.Buffered(), cache.FnStats{
+		Blocks: int64(c.fnBlocks), Edges: int64(c.fnEdges), Merges: int64(c.fnMerges),
+	}
 }
 
 // mergeDiags replays per-function diagnostic buffers into the run's
@@ -183,9 +246,9 @@ func checkFunctionUnit(prog *sema.Program, fl *flags.Flags, m *obs.Metrics, f *c
 // serial run would; unknown-identifier messages additionally deduplicate
 // across functions (one report per name per run), keyed on the rendered
 // message so the first function in serial order wins.
-func mergeDiags(rep *diag.Reporter, results [][]*diag.Diagnostic) {
+func mergeDiags(rep *diag.Reporter, results [][]*diag.Diagnostic, fnc *fnCacheCtx) {
 	seenUnknown := map[string]bool{}
-	for _, ds := range results {
+	for i, ds := range results {
 		for _, d := range ds {
 			if d.Code == diag.UnknownName {
 				if seenUnknown[d.Msg] {
@@ -196,6 +259,14 @@ func mergeDiags(rep *diag.Reporter, results [][]*diag.Diagnostic) {
 			nd := rep.Report(d.Code, d.Pos, "%s", d.Msg)
 			if nd != nil {
 				nd.Prov = d.Prov
+				// Replayed buffers carry validation tags from the cold run;
+				// cold buffers carry nil. For cold functions, remember the
+				// merged copy so tags attached after checking flow back to
+				// the buffer before its sub-entry is stored.
+				nd.Validation = d.Validation
+				if fnc != nil && fnc.hits[i] == nil {
+					fnc.pairs = append(fnc.pairs, diagPair{merged: nd, buffered: d})
+				}
 			}
 			for _, n := range d.Notes {
 				nd.WithNote(n.Pos, "%s", n.Msg)
@@ -250,7 +321,7 @@ func (c *checker) checkFunctionTimed(f *cast.FuncDef) {
 // checkFunction analyzes one function body in a single forward pass.
 func (c *checker) checkFunction(f *cast.FuncDef) {
 	c.fn = f
-	sig, ok := c.prog.Lookup(f.Name)
+	sig, ok := c.lookupSig(f.Name)
 	if !ok {
 		return
 	}
@@ -279,7 +350,7 @@ func (c *checker) checkFunction(f *cast.FuncDef) {
 	// Globals used by the function are assumed to satisfy their
 	// annotations on entry.
 	for _, gname := range sig.GlobalsUsed {
-		if g, ok := c.prog.Global(gname); ok {
+		if g, ok := c.lookupGlobal(gname); ok {
 			c.ensureRef(st, in.intern(globalKey(gname)), g.Type, g.Effective(c.fl), g.Pos, true)
 		}
 	}

@@ -52,7 +52,7 @@ func (c *checker) checkCond(st *store, e cast.Expr) (*store, *store) {
 			}
 		}
 	case *cast.Call:
-		if sig, ok := c.prog.Lookup(v.FunName()); ok && len(v.Args) >= 1 {
+		if sig, ok := c.lookupSig(v.FunName()); ok && len(v.Args) >= 1 {
 			if sig.IsTrueNull() || sig.IsFalseNull() {
 				val := c.evalExpr(st, v.Args[0], true)
 				if val.ref != noRef {
@@ -205,7 +205,7 @@ func (c *checker) quietRefine(st *store, e cast.Expr, want bool) {
 			return
 		}
 	case *cast.Call:
-		if sig, ok := c.prog.Lookup(v.FunName()); ok && len(v.Args) >= 1 {
+		if sig, ok := c.lookupSig(v.FunName()); ok && len(v.Args) >= 1 {
 			if id := c.refIDOf(st, v.Args[0]); id != noRef {
 				if sig.IsTrueNull() {
 					ns := NullNo

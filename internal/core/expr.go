@@ -143,7 +143,7 @@ func (c *checker) evalIdent(st *store, id *cast.Ident, rvalue bool) value {
 		}
 	}
 	// Global variable.
-	if g, ok := c.prog.Global(id.Name); ok {
+	if g, ok := c.lookupGlobal(id.Name); ok {
 		gid := in.intern(globalKey(id.Name))
 		rs := c.ensureRef(st, gid, g.Type, g.Effective(c.fl), g.Pos, true)
 		id.SetType(g.Type)
@@ -154,14 +154,14 @@ func (c *checker) evalIdent(st *store, id *cast.Ident, rvalue bool) value {
 		return valueOf(gid, rs)
 	}
 	// Enum constant.
-	if ev, ok := c.prog.Enums[id.Name]; ok {
+	if ev, ok := c.lookupEnum(id.Name); ok {
 		id.SetType(ctypes.IntType)
 		val := anonValue(ctypes.IntType)
 		val.isNullConst = ev == 0 && false // enum 0 is not a null constant
 		return val
 	}
 	// Function name (address taken or called).
-	if sig, ok := c.prog.Lookup(id.Name); ok {
+	if sig, ok := c.lookupSig(id.Name); ok {
 		ft := ctypes.FuncOf(sig.Result, sig.Params, sig.Variadic)
 		id.SetType(ft)
 		return anonValue(ft)

@@ -388,7 +388,7 @@ func (c *checker) checkExitState(st *store, pos ctoken.Pos) {
 	in := c.fs.in
 	// Globals must satisfy their annotations.
 	for _, gname := range c.sig.GlobalsUsed {
-		g, ok := c.prog.Global(gname)
+		g, ok := c.lookupGlobal(gname)
 		if !ok {
 			continue
 		}

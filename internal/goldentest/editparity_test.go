@@ -1,0 +1,167 @@
+// Edit parity: after a single-function edit against a warm cache, the
+// function-granular layer re-checks only the edited function and replays
+// the rest — and the output must be byte-identical to a cold run over the
+// same edited sources, at every worker count, in plain, -explain, and
+// -validate modes. This is the incremental counterpart of the warm-cache
+// golden suites: those prove identical-input replay, this proves
+// dirty-input replay.
+package goldentest
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// cleanEditProbe and leakyEditProbe are the appended "edits": one new
+// function at the end of the file, so every existing function keeps its
+// lines and token span and exactly one function is dirty. Files that
+// include stdlib.h get the leaky variant, which adds a diagnostic — so
+// parity is checked on output the edit actually changed, not just on
+// replayed bytes.
+const cleanEditProbe = `
+int golden_edit_probe (int n)
+{
+	return n + 1;
+}
+`
+
+const leakyEditProbe = `
+int golden_edit_probe (int n)
+{
+	char *p;
+
+	p = (char *) malloc (16);
+	if (p == NULL)
+	{
+		exit (EXIT_FAILURE);
+	}
+	return n + (int) p[0];
+}
+`
+
+func editProbeFor(src string) string {
+	if strings.Contains(src, "<stdlib.h>") {
+		return leakyEditProbe
+	}
+	return cleanEditProbe
+}
+
+// writeEdited writes src's content plus the probe under the same base name
+// in a temp dir (diagnostics key on base names, so transcripts align).
+func writeEdited(t *testing.T, src, dir string) string {
+	t.Helper()
+	b, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edited := filepath.Join(dir, filepath.Base(src))
+	if err := os.WriteFile(edited, append(b, editProbeFor(string(b))...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return edited
+}
+
+// readCounters pulls the counters map out of a -stats-json file.
+func readCounters(t *testing.T, path string) map[string]int64 {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatal(err)
+	}
+	return doc.Counters
+}
+
+func TestGoldenCorpusEditParity(t *testing.T) {
+	if *update {
+		t.Skip("golden update run")
+	}
+	for _, jobs := range []int{1, 4, 8} {
+		jobs := jobs
+		t.Run(fmt.Sprintf("jobs=%d", jobs), func(t *testing.T) {
+			replayed := false
+			for _, src := range corpusFiles(t) {
+				name := strings.TrimSuffix(filepath.Base(src), ".c")
+				dir := t.TempDir()
+				edited := writeEdited(t, src, dir)
+				warmCache := filepath.Join(dir, "warm")
+				coldCache := filepath.Join(dir, "cold")
+				js := strconv.Itoa(jobs)
+
+				// Warm the cache on the original, then check the edited file
+				// against it; the cold reference checks the edited file with
+				// an empty cache.
+				transcript(fileArgs(t, src, "-cache-dir", warmCache, "-jobs", js)...)
+				stats := filepath.Join(dir, "stats.json")
+				warm := transcript(fileArgs(t, edited,
+					"-cache-dir", warmCache, "-jobs", js, "-stats-json", stats)...)
+				cold := transcript(fileArgs(t, edited, "-cache-dir", coldCache, "-jobs", js)...)
+				if warm != cold {
+					t.Errorf("%s: warm incremental run differs from cold on the edited file:\n--- warm ---\n%s--- cold ---\n%s",
+						name, warm, cold)
+					continue
+				}
+				c := readCounters(t, stats)
+				if c["func_cache_misses"] != 1 {
+					t.Errorf("%s: func_cache_misses = %d after a one-function edit, want 1 (hits %d)",
+						name, c["func_cache_misses"], c["func_cache_hits"])
+				}
+				if c["func_cache_hits"] > 0 {
+					replayed = true
+				}
+			}
+			if !replayed {
+				t.Error("no corpus entry replayed a cached function; the suite is vacuous")
+			}
+		})
+	}
+}
+
+// Explain and validate transcripts — witness paths and validation tags —
+// must survive the incremental path bit for bit too.
+func TestGoldenCorpusEditParityExplainValidate(t *testing.T) {
+	if *update {
+		t.Skip("golden update run")
+	}
+	for _, mode := range []string{"-explain", "-validate"} {
+		mode := mode
+		for _, jobs := range []int{1, 4, 8} {
+			jobs := jobs
+			t.Run(fmt.Sprintf("%s/jobs=%d", strings.TrimPrefix(mode, "-"), jobs), func(t *testing.T) {
+				for _, name := range explainCorpus {
+					src := filepath.Join(corpusDir, name+".c")
+					dir := t.TempDir()
+					edited := writeEdited(t, src, dir)
+					warmCache := filepath.Join(dir, "warm")
+					coldCache := filepath.Join(dir, "cold")
+					js := strconv.Itoa(jobs)
+
+					transcript(fileArgs(t, src, mode, "-cache-dir", warmCache, "-jobs", js)...)
+					stats := filepath.Join(dir, "stats.json")
+					warm := transcript(fileArgs(t, edited,
+						mode, "-cache-dir", warmCache, "-jobs", js, "-stats-json", stats)...)
+					cold := transcript(fileArgs(t, edited, mode, "-cache-dir", coldCache, "-jobs", js)...)
+					if warm != cold {
+						t.Errorf("%s: warm incremental %s run differs from cold:\n--- warm ---\n%s--- cold ---\n%s",
+							name, mode, warm, cold)
+						continue
+					}
+					if c := readCounters(t, stats); c["func_cache_misses"] != 1 {
+						t.Errorf("%s: func_cache_misses = %d after a one-function edit, want 1",
+							name, c["func_cache_misses"])
+					}
+				}
+			})
+		}
+	}
+}

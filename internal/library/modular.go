@@ -32,6 +32,12 @@ func CheckModule(files map[string]string, lib *Library, opt core.Options) *core.
 		if opt.CacheExport == nil {
 			opt.CacheExport = ExportProgram
 		}
+		if opt.EnvFingerprint == nil {
+			// Enable the function-granular cache layer: sub-entries record
+			// the fingerprints of exactly the symbols each function used,
+			// looked up lazily against the post-install environment.
+			opt.EnvFingerprint = SymbolFingerprints
+		}
 	}
 	return core.CheckSources(files, opt)
 }

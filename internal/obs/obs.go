@@ -75,6 +75,9 @@ const (
 	ConfirmedDiags                       // diagnostics whose fault the interpreter reproduced
 	InfeasibleDiags                      // diagnostics whose fault site no generated input reached
 	ValidateWallNS                       // nanoseconds spent in the validation pass
+	FuncCacheHits                        // functions replayed from per-function cache sub-entries
+	FuncCacheMisses                      // functions re-checked cold with the function layer enabled
+	FuncReplayedDiags                    // diagnostics replayed from function sub-entries
 	NumCounters
 )
 
@@ -100,6 +103,9 @@ var counterNames = [NumCounters]string{
 	ConfirmedDiags:        "confirmed",
 	InfeasibleDiags:       "infeasible",
 	ValidateWallNS:        "validate_wall_ns",
+	FuncCacheHits:         "func_cache_hits",
+	FuncCacheMisses:       "func_cache_misses",
+	FuncReplayedDiags:     "func_replayed_diags",
 }
 
 // String returns the counter's stable name (used as a JSON key).

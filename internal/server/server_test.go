@@ -230,7 +230,9 @@ func TestMethodsAndHealth(t *testing.T) {
 	if err := json.Unmarshal(b, &st); err != nil {
 		t.Fatalf("decoding /stats: %v\n%s", err, b)
 	}
-	if st.Schema != "golclint-serve-stats/v1" || st.Requests != 1 || st.CacheMem.Entries != 1 {
+	// One checked module yields a module-level cache entry plus one
+	// function-granular sub-entry (leak.c has a single function).
+	if st.Schema != "golclint-serve-stats/v1" || st.Requests != 1 || st.CacheMem.Entries != 2 {
 		t.Errorf("stats = %+v", st)
 	}
 	if st.Counters["cache_misses"] != 1 {
@@ -378,5 +380,64 @@ func TestRequestKeyCanonical(t *testing.T) {
 	}
 	if requestKey(a) == requestKey(&CheckRequest{Files: a.Files, Explain: true}) {
 		t.Error("explain flag did not change the request key")
+	}
+}
+
+// A dirty single-function edit against the resident cache: only the edited
+// function re-checks, the rest replay, and the response matches a cold
+// server's answer on the same edited source byte for byte. Concurrent
+// edited requests exercise the function-granular layer against the shared
+// resident store (the CI race job runs this under -race).
+func TestDirtyEditFunctionGranular(t *testing.T) {
+	base := "#include \"stdlib.h\"\n" +
+		"int keep(int n) {\n" +
+		"  char *p = (char *) malloc(1);\n" +
+		"  return n;\n" +
+		"}\n" +
+		"int touched(int n) {\n" +
+		"  return n + 1;\n" +
+		"}\n"
+	edited := strings.Replace(base, "return n + 1;", "return n + 2;", 1)
+
+	_, warmTS := startTestServer(t, Options{})
+	cold := check(t, warmTS.URL, &CheckRequest{Files: map[string]string{"ed.c": base}})
+	if cold.Counters["func_cache_misses"] != 2 {
+		t.Fatalf("cold counters = %v", cold.Counters)
+	}
+	dirty := check(t, warmTS.URL, &CheckRequest{Files: map[string]string{"ed.c": edited}})
+	if dirty.Counters["func_cache_hits"] != 1 || dirty.Counters["func_cache_misses"] != 1 {
+		t.Errorf("dirty-edit counters = %v, want 1 hit / 1 miss", dirty.Counters)
+	}
+
+	_, coldTS := startTestServer(t, Options{})
+	ref := check(t, coldTS.URL, &CheckRequest{Files: map[string]string{"ed.c": edited}})
+	if dirty.Exit != ref.Exit || dirty.Stdout != ref.Stdout || dirty.Stderr != ref.Stderr {
+		t.Errorf("dirty edit diverged from cold reference:\n--- warm ---\n%s--- cold ---\n%s",
+			dirty.Stdout, ref.Stdout)
+	}
+
+	// Concurrent distinct edits against the same resident store.
+	variants := []string{
+		strings.Replace(base, "return n + 1;", "return n + 3;", 1),
+		strings.Replace(base, "return n;", "return n - 1;", 1),
+	}
+	var wg sync.WaitGroup
+	outs := make([]string, 4)
+	for i := 0; i < 4; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cr := check(t, warmTS.URL, &CheckRequest{Files: map[string]string{"ed.c": variants[i%2]}})
+			outs[i] = cr.Stdout
+		}()
+	}
+	wg.Wait()
+	for i := 0; i < 4; i++ {
+		want := check(t, coldTS.URL, &CheckRequest{Files: map[string]string{"ed.c": variants[i%2]}})
+		if outs[i] != want.Stdout {
+			t.Errorf("concurrent edited request %d diverged:\n--- warm ---\n%s--- cold ---\n%s",
+				i, outs[i], want.Stdout)
+		}
 	}
 }

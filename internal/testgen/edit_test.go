@@ -1,0 +1,106 @@
+package testgen
+
+import (
+	"strings"
+	"testing"
+)
+
+// A body edit changes exactly one line of one file, preserves line counts,
+// and the edited program still parses and checks cleanly.
+func TestEditBodySingleLine(t *testing.T) {
+	cfg := Config{Seed: 7, Modules: 3, FuncsPer: 4, Annotate: true,
+		Bugs: map[BugKind]int{BugLeak: 1}}
+	p := Generate(cfg)
+	q, err := p.EditBody("mod1.c", "mod1_calc2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	changed := 0
+	for name := range p.Files {
+		if p.Files[name] == q.Files[name] {
+			continue
+		}
+		changed++
+		if name != "mod1.c" {
+			t.Errorf("edit leaked into %s", name)
+		}
+		a := strings.Split(p.Files[name], "\n")
+		b := strings.Split(q.Files[name], "\n")
+		if len(a) != len(b) {
+			t.Fatalf("line count changed: %d -> %d", len(a), len(b))
+		}
+		diffs := 0
+		for i := range a {
+			if a[i] != b[i] {
+				diffs++
+				if !strings.Contains(b[i], "return 1 + ") {
+					t.Errorf("unexpected mutation on line %d: %q", i+1, b[i])
+				}
+			}
+		}
+		if diffs != 1 {
+			t.Errorf("edit changed %d lines, want 1", diffs)
+		}
+	}
+	if changed != 1 {
+		t.Fatalf("edit changed %d files, want 1", changed)
+	}
+	for name := range p.Headers {
+		if p.Headers[name] != q.Headers[name] {
+			t.Errorf("body edit touched header %s", name)
+		}
+	}
+	checkProg(t, q)
+	// The original program is untouched (EditBody copies).
+	if p.Files["mod1.c"] == q.Files["mod1.c"] {
+		t.Error("edit was a no-op")
+	}
+}
+
+func TestEditBodyErrors(t *testing.T) {
+	p := Generate(Config{Seed: 1, Modules: 2, FuncsPer: 1})
+	if _, err := p.EditBody("mod9.c", "f"); err == nil {
+		t.Error("missing file accepted")
+	}
+	if _, err := p.EditBody("mod0.c", "no_such_fn"); err == nil {
+		t.Error("missing function accepted")
+	}
+}
+
+// An annotation edit changes exactly one header line, preserves line
+// counts, and leaves every .c file alone.
+func TestEditAnnotHeaderOnly(t *testing.T) {
+	p := Generate(Config{Seed: 7, Modules: 3, FuncsPer: 2, Annotate: true})
+	q, err := p.EditAnnot("mod2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name := range p.Files {
+		if p.Files[name] != q.Files[name] {
+			t.Errorf("annot edit touched source %s", name)
+		}
+	}
+	changed := 0
+	for name := range p.Headers {
+		if p.Headers[name] == q.Headers[name] {
+			continue
+		}
+		changed++
+		if name != "mod2.h" {
+			t.Errorf("edit leaked into %s", name)
+		}
+		a := strings.Count(p.Headers[name], "\n")
+		b := strings.Count(q.Headers[name], "\n")
+		if a != b {
+			t.Errorf("line count changed: %d -> %d", a, b)
+		}
+	}
+	if changed != 1 {
+		t.Fatalf("edit changed %d headers, want 1", changed)
+	}
+	// Un-annotated programs cannot take the edit.
+	bare := Generate(Config{Seed: 7, Modules: 1, FuncsPer: 1})
+	if _, err := bare.EditAnnot("mod0"); err == nil {
+		t.Error("annot edit accepted on a bare program")
+	}
+}

@@ -81,6 +81,13 @@ type Config struct {
 	// changing the bug content or the per-function analysis shape, which
 	// is how the scaling experiments reach million-line corpora.
 	StmtsPer int
+	// HeavyPer, when > 0, pairs each clean function with a branch-heavy
+	// companion: four tracked allocations live across this many two-way
+	// branches, so the checker's state copying dominates the frontend.
+	// The incremental editloop experiment (E23) uses this profile — the
+	// win of replaying an unchanged function is its check cost, which
+	// straight-line padding keeps too close to its parse cost to measure.
+	HeavyPer int
 	// Annotate emits interface annotations (the "after the iterative
 	// annotation process" state); without it the program is bare.
 	Annotate bool
@@ -251,6 +258,9 @@ func (g *generator) emitModule(m int, plants []plant) {
 		if g.cfg.StmtsPer > 0 {
 			g.emitPadFunc(&h, &c, m, f)
 		}
+		if g.cfg.HeavyPer > 0 {
+			g.emitHeavyFunc(&h, &c, m, f)
+		}
 	}
 
 	// Planted bugs.
@@ -376,6 +386,35 @@ func (g *generator) emitPadFunc(h, c *strings.Builder, m, f int) {
 		}
 	}
 	fmt.Fprintf(c, "\treturn v;\n}\n\n")
+}
+
+// emitHeavyFunc writes a branch-heavy, bug-free companion: eight
+// allocations checked and released around cfg.HeavyPer two-way branches.
+// Every branch forks the live tracked references' states and merges them
+// back, so check cost per line far exceeds parse cost per line (the
+// checker's path-sensitive state tracking grows steeply with the number
+// of live tracked references).
+func (g *generator) emitHeavyFunc(h, c *strings.Builder, m, f int) {
+	const heavyPtrs = 8
+	name := fmt.Sprintf("mod%d_heavy%d", m, f)
+	fmt.Fprintf(h, "extern int %s (int n);\n", name)
+	fmt.Fprintf(c, "int %s (int n)\n{\n", name)
+	for i := 0; i < heavyPtrs; i++ {
+		fmt.Fprintf(c, "\tchar *p%d;\n", i)
+	}
+	fmt.Fprintf(c, "\tint acc;\n\n\tacc = n;\n")
+	for i := 0; i < heavyPtrs; i++ {
+		fmt.Fprintf(c, "\tp%d = (char *) malloc (16);\n", i)
+		fmt.Fprintf(c, "\tif (p%d == NULL)\n\t{\n\t\texit (EXIT_FAILURE);\n\t}\n", i)
+	}
+	for s := 0; s < g.cfg.HeavyPer; s++ {
+		fmt.Fprintf(c, "\tif (acc > %d)\n\t{\n\t\tacc = acc + %d;\n\t}\n\telse\n\t{\n\t\tacc = acc - %d;\n\t}\n",
+			g.rng.Intn(100), s+1, 1+g.rng.Intn(3))
+	}
+	for i := 0; i < heavyPtrs; i++ {
+		fmt.Fprintf(c, "\tfree (p%d);\n", i)
+	}
+	fmt.Fprintf(c, "\treturn acc;\n}\n\n")
 }
 
 // emitBug writes one seeded-bug function. Every bug function has the
@@ -511,6 +550,75 @@ func (g *generator) emitDriver(nBugs int) {
 	}
 	b.WriteString("\tprintf (\"%d\", acc);\n\treturn 0;\n}\n")
 	g.prog.Files["main.c"] = b.String()
+}
+
+// EditBody returns a copy of the program with one deterministic,
+// line-count-preserving mutation inside function fn of module file (a .c
+// name from Files): the function's final "return" expression gains a
+// "1 + " term. Every generated int-returning function ends in one, so the
+// edit parses cleanly and dirties exactly that function's token span —
+// the single-function dirty corpus the incremental-checking experiments
+// re-check against a warm cache.
+func (p *Program) EditBody(file, fn string) (*Program, error) {
+	src, ok := p.Files[file]
+	if !ok {
+		return nil, fmt.Errorf("testgen: no module file %q", file)
+	}
+	// Function extent: generated functions open with "<type> <fn> (" at
+	// column 0 and close with the first column-0 "}" after it.
+	sig := "\n" + "int " + fn + " ("
+	start := strings.Index(src, sig)
+	if start < 0 {
+		return nil, fmt.Errorf("testgen: no function %q in %s", fn, file)
+	}
+	end := strings.Index(src[start:], "\n}\n")
+	if end < 0 {
+		return nil, fmt.Errorf("testgen: unterminated function %q in %s", fn, file)
+	}
+	body := src[start : start+end]
+	ret := strings.LastIndex(body, "return ")
+	if ret < 0 {
+		return nil, fmt.Errorf("testgen: no return statement in %q", fn)
+	}
+	body = body[:ret] + "return 1 + " + body[ret+len("return "):]
+	out := p.clone()
+	out.Files[file] = src[:start] + body + src[start+end:]
+	return out, nil
+}
+
+// EditAnnot returns a copy of the program with the /*@null@*/ annotation
+// removed from module's record label field in its header (mod<m>.h). An
+// interface-annotation edit invalidates every function of the module that
+// includes the header — the conservative counterpart the incremental
+// experiments measure against the single-function body edit. The edit
+// preserves line count; it requires an Annotate-generated program.
+func (p *Program) EditAnnot(module string) (*Program, error) {
+	name := module + ".h"
+	src, ok := p.Headers[name]
+	if !ok {
+		return nil, fmt.Errorf("testgen: no header %q", name)
+	}
+	const annot = "/*@null@*/ "
+	if !strings.Contains(src, annot) {
+		return nil, fmt.Errorf("testgen: no %s annotation in %s (generate with Annotate)", strings.TrimSpace(annot), name)
+	}
+	out := p.clone()
+	out.Headers = map[string]string{}
+	for k, v := range p.Headers {
+		out.Headers[k] = v
+	}
+	out.Headers[name] = strings.Replace(src, annot, "", 1)
+	return out, nil
+}
+
+// clone copies the program with a fresh Files map (Headers, Bugs, Lines
+// shared — edits that touch Headers copy that map themselves).
+func (p *Program) clone() *Program {
+	out := &Program{Files: map[string]string{}, Headers: p.Headers, Bugs: p.Bugs, Lines: p.Lines}
+	for k, v := range p.Files {
+		out.Files[k] = v
+	}
+	return out
 }
 
 // SetCoverage returns a copy of the program whose driver enables exactly

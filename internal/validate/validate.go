@@ -75,10 +75,12 @@ var nullClassCodes = map[diag.Code]bool{
 	diag.NullAssign: true, diag.NullReturn: true,
 }
 
-// Apply validates every diagnostic in place, attaching a Validation record
-// to each, and returns the tally. Diagnostics are processed in slice
-// (sorted) order and the search is deterministic, so repeated applications
-// over the same program produce identical tags. prog must be the analyzed
+// Apply validates every not-yet-tagged diagnostic in place, attaching a
+// Validation record to each, and returns the tally (of the diagnostics it
+// examined; already-tagged diagnostics replayed from the cache are left
+// untouched and uncounted). Diagnostics are processed in slice (sorted)
+// order and the search is deterministic, so repeated applications over the
+// same program produce identical tags. prog must be the analyzed
 // program the diagnostics came from; with a nil prog Apply is a no-op.
 func Apply(prog *sema.Program, diags []*diag.Diagnostic, opt Options) Summary {
 	var sum Summary
@@ -89,6 +91,13 @@ func Apply(prog *sema.Program, diags []*diag.Diagnostic, opt Options) Summary {
 	in := interp.New(prog, interp.Options{MaxSteps: opt.MaxStepsPerRun})
 	for _, d := range diags {
 		if d == nil {
+			continue
+		}
+		if d.Validation != nil {
+			// Already tagged — replayed from a cache sub-entry. Each
+			// validation search is independent (RunEntry resets the
+			// interpreter), so skipping it cannot change any other
+			// diagnostic's outcome.
 			continue
 		}
 		v := validateOne(in, prog, d, opt)

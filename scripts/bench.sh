@@ -1,6 +1,6 @@
 #!/bin/sh
 # Bench smoke: run the lclbench perf experiments in -quick mode and verify
-# that all eight BENCH_*.json artifacts are produced and parse as JSON.
+# that every BENCH_*.json artifact is produced and parses as JSON.
 # Exercised by CI; also useful locally before comparing numbers across
 # machines. Keep it cheap — -quick uses small corpora, so this is a
 # does-the-harness-work check, not a measurement. The numbers it does gate
@@ -21,13 +21,19 @@
 # corpus (>= 1M lines across >= 1000 modules, cold-fleet-over-warm-remote
 # >= 5x a cold single process) only assert when the JSON stamps
 # "quick": false, i.e. on full local runs, since -quick uses small corpora.
+# BENCH_editloop.json (E23) gates function-granular incremental checking:
+# a one-function edit against a warm cache must re-check exactly that
+# function (func_cache_misses == 1) with byte-identical warm-vs-cold
+# transcripts in plain/-explain/-validate at several worker counts; the
+# >= 5x dirty-edit speedup over module-granular warm re-checking asserts
+# only on full (non-quick) runs.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 go run ./cmd/lclbench -quick
 
-for f in BENCH_scaling.json BENCH_modular.json BENCH_parallel.json BENCH_incremental.json BENCH_state.json BENCH_frontend.json BENCH_provenance.json BENCH_validate.json BENCH_serve.json BENCH_distributed.json; do
+for f in BENCH_scaling.json BENCH_modular.json BENCH_parallel.json BENCH_incremental.json BENCH_state.json BENCH_frontend.json BENCH_provenance.json BENCH_validate.json BENCH_serve.json BENCH_distributed.json BENCH_editloop.json; do
     test -s "$f" || { echo "missing or empty: $f" >&2; exit 1; }
     python3 -m json.tool "$f" > /dev/null || { echo "invalid JSON: $f" >&2; exit 1; }
     echo "ok: $f"
@@ -136,4 +142,33 @@ if not d["quick"]:
 else:
     print("ok: distributed (quick) parity clean, compression %.2fx, ms/KLOC ratio %.2f"
           % (d["compression_ratio"], kloc_ratio))
+
+# E23 gate: function-granular incremental checking. The correctness half is
+# machine independent and always asserts: a one-function edit against a warm
+# cache re-checks exactly one function while replaying the rest, the
+# replayed set is non-empty (otherwise the experiment is vacuous), an
+# interface-annotation edit conservatively re-checks the whole module, and
+# warm dirty transcripts are byte-identical to cold runs in plain, -explain,
+# and -validate modes at every measured worker count. The >= 5x dirty-edit
+# speedup over the module-granular baseline is a timing, so it asserts only
+# on full (non-quick) runs, where the check-heavy corpus makes re-checking
+# dominate the fixed frontend cost.
+d = json.load(open("BENCH_editloop.json"))
+if d["func_cache_misses"] != 1:
+    sys.exit("editloop: one-function edit re-checked %d functions, want 1"
+             % d["func_cache_misses"])
+if d["func_cache_hits"] == 0:
+    sys.exit("editloop: no functions replayed from cache; the experiment is vacuous")
+if d["annot_edit_func_misses"] <= 1:
+    sys.exit("editloop: annotation edit re-checked only %d functions; module-wide "
+             "invalidation is not conservative" % d["annot_edit_func_misses"])
+for key in ("parity_plain", "parity_explain", "parity_validate"):
+    if not d[key]:
+        sys.exit("editloop warm-vs-cold transcript parity failed: %s is false" % key)
+if not d["quick"] and d["speedup_dirty"] < d["speedup_gate"]:
+    sys.exit("editloop dirty-edit speedup %.1fx < %.0fx gate (dirty-fn %.1f ms, dirty-mod %.1f ms)"
+             % (d["speedup_dirty"], d["speedup_gate"], d["dirty_fn_ms"], d["dirty_mod_ms"]))
+print("ok: editloop 1 re-checked / %d replayed, parity clean at jobs %s, dirty speedup %.1fx%s"
+      % (d["func_cache_hits"], d["parity_jobs"], d["speedup_dirty"],
+         " (quick: not gated)" if d["quick"] else ""))
 EOF
